@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: LSQ memory-disambiguation policy.
+ *
+ * Table 1 says "loads may execute when all prior store addresses are
+ * known"; SimpleScalar's functional-first execution actually gives the
+ * LSQ oracle addresses, so a load waits only for prior stores to the
+ * same address. The difference matters enormously for codes whose
+ * store addresses hang off loads (compress's hashed table indices).
+ * This harness quantifies both policies across the ten kernels.
+ *
+ * Usage: ablation_disambiguation [insts=N]
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+using namespace lbic;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::uint64_t insts = args.getU64("insts", 300000);
+    args.rejectUnrecognized();
+
+    std::cout << "Ablation: LSQ disambiguation policy (ideal:16), "
+              << insts << " instructions per run\n\n";
+
+    TextTable table;
+    table.setHeader({"Program", "perfect", "conservative",
+                     "conservative/perfect"});
+
+    for (const auto &kernel : allKernels()) {
+        SimConfig cfg;
+        cfg.core.disambiguation = Disambiguation::Perfect;
+        const double perfect =
+            runSim(kernel, "ideal:16", insts, cfg).ipc();
+        cfg.core.disambiguation = Disambiguation::Conservative;
+        const double conservative =
+            runSim(kernel, "ideal:16", insts, cfg).ipc();
+        table.addRow({kernel, TextTable::fmt(perfect, 3),
+                      TextTable::fmt(conservative, 3),
+                      TextTable::fmt(conservative / perfect, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: the conservative rule serializes every "
+                 "load behind the slowest pending store-address "
+                 "computation; codes whose store addresses depend on "
+                 "loads (compress, li) are hit hardest.\n";
+    return 0;
+}

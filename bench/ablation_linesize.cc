@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: cache line size.
+ *
+ * §4 notes that the floating-point codes' 32-byte lines (4 doubles)
+ * push consecutive non-unit-stride references onto different lines of
+ * the same bank. Longer lines convert B-diff-line conflicts into
+ * B-same-line opportunities the LBIC can combine; this harness sweeps
+ * the L1 line size for banked and LBIC organizations.
+ *
+ * Usage: ablation_linesize [insts=N]
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+using namespace lbic;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::uint64_t insts = args.getU64("insts", 300000);
+    args.rejectUnrecognized();
+
+    const std::vector<unsigned> line_sizes = {16, 32, 64, 128};
+    std::cout << "Ablation: L1 line size (32 KB direct-mapped), "
+              << insts << " instructions per run\n\n";
+
+    for (const char *spec : {"bank:4", "lbic:4x2"}) {
+        std::cout << "Organization " << spec << ":\n";
+        TextTable table;
+        std::vector<std::string> header = {"Program"};
+        for (const unsigned ls : line_sizes)
+            header.push_back(std::to_string(ls) + "B");
+        table.setHeader(header);
+
+        for (const auto &kernel : allKernels()) {
+            std::vector<std::string> row = {kernel};
+            for (const unsigned ls : line_sizes) {
+                SimConfig cfg;
+                cfg.memory.l1.line_bytes = ls;
+                row.push_back(TextTable::fmt(
+                    runSim(kernel, spec, insts, cfg).ipc(), 3));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: LSQ depth and store-queue depth sensitivity of the LBIC.
+ *
+ * §5.2: "performance of the scheme depends on the depth of the LSQ.
+ * Deeper LSQs will help to minimize possible performance degradation
+ * due to insufficient data requests for combining." This harness
+ * sweeps the LSQ depth (with the RUU scaled alongside) and the
+ * per-bank store-queue depth for a 4x2 LBIC.
+ *
+ * Usage: ablation_lsq [insts=N]
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+using namespace lbic;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::uint64_t insts = args.getU64("insts", 300000);
+    args.rejectUnrecognized();
+
+    const std::vector<unsigned> lsq_depths = {16, 32, 64, 128, 256,
+                                              512};
+    std::cout << "Ablation A: LSQ depth for lbic:4x2 (RUU = 2 x LSQ), "
+              << insts << " instructions per run\n\n";
+
+    TextTable lsq_table;
+    std::vector<std::string> header = {"Program"};
+    for (const unsigned d : lsq_depths)
+        header.push_back("lsq=" + std::to_string(d));
+    lsq_table.setHeader(header);
+
+    for (const auto &kernel : allKernels()) {
+        std::vector<std::string> row = {kernel};
+        for (const unsigned d : lsq_depths) {
+            SimConfig cfg;
+            cfg.core.lsq_size = d;
+            cfg.core.ruu_size = 2 * d;
+            row.push_back(TextTable::fmt(
+                runSim(kernel, "lbic:4x2", insts, cfg).ipc(), 3));
+        }
+        lsq_table.addRow(row);
+    }
+    lsq_table.print(std::cout);
+
+    const std::vector<unsigned> sq_depths = {1, 2, 4, 8, 16, 32};
+    std::cout << "\nAblation B: per-bank store-queue depth for "
+                 "lbic:4x2, " << insts << " instructions per run\n\n";
+
+    TextTable sq_table;
+    header = {"Program"};
+    for (const unsigned d : sq_depths)
+        header.push_back("sq=" + std::to_string(d));
+    sq_table.setHeader(header);
+
+    for (const auto &kernel : allKernels()) {
+        std::vector<std::string> row = {kernel};
+        for (const unsigned d : sq_depths) {
+            SimConfig cfg;
+            cfg.store_queue_depth = d;
+            row.push_back(TextTable::fmt(
+                runSim(kernel, "lbic:4x2", insts, cfg).ipc(), 3));
+        }
+        sq_table.addRow(row);
+    }
+    sq_table.print(std::cout);
+    return 0;
+}

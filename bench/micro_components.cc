@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's building
+ * blocks: tag-store lookups, port-scheduler selection, kernel
+ * instruction generation, and end-to-end simulation throughput.
+ * These guard the simulator's own performance (host instructions per
+ * simulated instruction), not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cacheport/banked.hh"
+#include "cacheport/ideal.hh"
+#include "cacheport/lbic.hh"
+#include "common/random.hh"
+#include "memory/hierarchy.hh"
+#include "memory/tag_store.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+namespace
+{
+
+using namespace lbic;
+
+void
+BM_TagStoreAccess(benchmark::State &state)
+{
+    CacheConfig cfg{32 * 1024, 32, static_cast<std::uint32_t>(
+                                       state.range(0)),
+                    ReplPolicy::LRU};
+    TagStore ts(cfg);
+    Random rng(1);
+    // Pre-fill.
+    for (unsigned i = 0; i < 1024; ++i)
+        ts.insert(Addr{i} * 32, false);
+    for (auto _ : state) {
+        const Addr a = rng.below(1u << 20);
+        if (!ts.access(a, false))
+            ts.insert(a, false);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagStoreAccess)->Arg(1)->Arg(4);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(HierarchyConfig{}, &root);
+    Random rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        mem.access(rng.below(1u << 18), rng.chance(0.25), now);
+        now += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+template <typename Scheduler, typename... Args>
+void
+schedulerBench(benchmark::State &state, Args &&...args)
+{
+    stats::StatGroup root;
+    Scheduler sched(&root, std::forward<Args>(args)...);
+    Random rng(1);
+    std::vector<MemRequest> requests;
+    std::vector<std::size_t> accepted;
+    InstSeq seq = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        requests.clear();
+        for (int i = 0; i < 16; ++i) {
+            requests.push_back({++seq, rng.below(1u << 16) & ~Addr{7},
+                                rng.chance(0.25)});
+        }
+        state.ResumeTiming();
+        sched.select(requests, accepted);
+        sched.tick();
+        benchmark::DoNotOptimize(accepted);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+
+void
+BM_IdealSelect(benchmark::State &state)
+{
+    schedulerBench<IdealPorts>(state, 4u);
+}
+BENCHMARK(BM_IdealSelect);
+
+void
+BM_BankedSelect(benchmark::State &state)
+{
+    schedulerBench<BankedPorts>(state, 4u, 5u, BankSelectFn::BitSelect);
+}
+BENCHMARK(BM_BankedSelect);
+
+void
+BM_LbicSelect(benchmark::State &state)
+{
+    LbicConfig cfg;
+    cfg.banks = 4;
+    cfg.line_ports = 2;
+    schedulerBench<Lbic>(state, cfg);
+}
+BENCHMARK(BM_LbicSelect);
+
+void
+BM_KernelGeneration(benchmark::State &state)
+{
+    auto w = makeWorkload(allKernels()[static_cast<std::size_t>(
+        state.range(0))]);
+    DynInst inst;
+    for (auto _ : state) {
+        w->next(inst);
+        benchmark::DoNotOptimize(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelGeneration)->DenseRange(0, 9);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    // Simulated instructions per second for a representative config.
+    for (auto _ : state) {
+        SimConfig cfg;
+        cfg.workload = "li";
+        cfg.port_spec = "lbic:4x2";
+        cfg.max_insts = 20000;
+        Simulator sim(cfg);
+        const RunResult r = sim.run();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates Table 3: IPC for ideal multi-porting (True),
+ * multi-porting by replication (Repl) and multi-banking (Bank) as the
+ * number of ports grows 1, 2, 4, 8, 16, for all ten benchmarks plus
+ * the SPECint / SPECfp averages.
+ *
+ * Usage: table3_ipc [insts=N] [seed=S]
+ */
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+using namespace lbic;
+
+namespace
+{
+
+std::string
+specFor(const std::string &kind, unsigned ports)
+{
+    return kind + ":" + std::to_string(ports);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::uint64_t insts = args.getU64("insts", 500000);
+    const std::uint64_t seed = args.getU64("seed", 1);
+    args.rejectUnrecognized();
+
+    const std::vector<unsigned> widths = {2, 4, 8, 16};
+
+    std::cout << "Table 3: IPC for ideal multi-porting (True), "
+                 "replication (Repl) and multi-banking (Bank)\n"
+              << "(" << insts << " instructions per run)\n\n";
+
+    TextTable table;
+    std::vector<std::string> header = {"Program", "1"};
+    for (const unsigned w : widths) {
+        header.push_back("True" + std::to_string(w));
+        header.push_back("Repl" + std::to_string(w));
+        header.push_back("Bank" + std::to_string(w));
+    }
+    table.setHeader(header);
+
+    SimConfig base;
+    base.seed = seed;
+
+    auto run_group = [&](const std::vector<std::string> &kernels,
+                         const std::string &avg_label) {
+        std::vector<double> sums(1 + widths.size() * 3, 0.0);
+        for (const auto &kernel : kernels) {
+            std::vector<std::string> row = {kernel};
+            std::size_t col = 0;
+            const double one =
+                runSim(kernel, "ideal:1", insts, base).ipc();
+            sums[col++] += one;
+            row.push_back(TextTable::fmt(one, 2));
+            for (const unsigned w : widths) {
+                for (const char *kind : {"ideal", "repl", "bank"}) {
+                    const double ipc =
+                        runSim(kernel, specFor(kind, w), insts, base)
+                            .ipc();
+                    sums[col++] += ipc;
+                    row.push_back(TextTable::fmt(ipc, 2));
+                }
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> avg = {avg_label};
+        for (const double s : sums)
+            avg.push_back(TextTable::fmt(
+                s / static_cast<double>(kernels.size()), 2));
+        table.addRow(avg);
+        table.addSeparator();
+    };
+
+    run_group(specintKernels(), "SPECint Ave.");
+    run_group(specfpKernels(), "SPECfp Ave.");
+
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (Table 3, selected): compress "
+                 "True2=5.22 Repl2=4.08 Bank2=3.95; mgrid True16=18.6; "
+                 "SPECint Ave True4=6.79 Bank16=6.20.\n";
+    return 0;
+}

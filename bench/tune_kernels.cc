@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Developer harness: prints each kernel's measured Table 2 fingerprint
+ * (memory %, store-to-load ratio, L1 miss rate), Figure 3 locality
+ * class and anchor IPCs (ideal:1, ideal:16) against the paper values.
+ * Used to tune the kernels; not one of the paper tables.
+ *
+ * Usage: tune_kernels [insts=N] [only=kernel]
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/refstream.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+using namespace lbic;
+
+namespace
+{
+
+struct PaperRow
+{
+    double mem_pct;
+    double st_ld;
+    double miss;
+    double ipc1;
+    double ipc16;
+};
+
+const std::map<std::string, PaperRow> paper = {
+    {"compress", {37.4, 0.81, 0.0542, 2.66, 7.83}},
+    {"gcc", {36.7, 0.59, 0.0240, 2.65, 6.27}},
+    {"go", {28.7, 0.36, 0.0271, 3.44, 7.17}},
+    {"li", {47.6, 0.59, 0.0084, 2.10, 6.58}},
+    {"perl", {43.7, 0.69, 0.0265, 2.25, 7.25}},
+    {"hydro2d", {25.9, 0.30, 0.1010, 3.76, 10.7}},
+    {"mgrid", {36.8, 0.04, 0.0402, 2.67, 18.6}},
+    {"su2cor", {32.0, 0.32, 0.1307, 3.01, 10.8}},
+    {"swim", {29.5, 0.28, 0.0615, 3.20, 13.6}},
+    {"wave5", {31.6, 0.39, 0.1103, 3.28, 7.56}},
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::uint64_t insts = args.getU64("insts", 200000);
+    const std::string only = args.getString("only", "");
+    args.rejectUnrecognized();
+
+    TextTable table;
+    table.setHeader({"Kernel", "mem% (tgt)", "st/ld (tgt)",
+                     "miss (tgt)", "sameBank", "sameLine", "diffLine",
+                     "IPC1 (tgt)", "IPC16 (tgt)"});
+
+    for (const auto &name : allKernels()) {
+        if (!only.empty() && name != only)
+            continue;
+        auto w = makeWorkload(name, 1);
+        const StreamProfile prof = profileStream(*w, insts);
+        w->reset();
+        const BankMapProfile bank = analyzeBankMapping(*w, insts / 4);
+
+        SimConfig cfg;
+        cfg.workload = name;
+        cfg.max_insts = insts;
+        cfg.port_spec = "ideal:1";
+        Simulator s1(cfg);
+        const double ipc1 = s1.run().ipc();
+        const double miss = s1.hierarchy().l1MissRate();
+        cfg.port_spec = "ideal:16";
+        Simulator s16(cfg);
+        const double ipc16 = s16.run().ipc();
+
+        const PaperRow &p = paper.at(name);
+        table.addRow({
+            name,
+            TextTable::fmt(prof.memFraction() * 100, 1) + " ("
+                + TextTable::fmt(p.mem_pct, 1) + ")",
+            TextTable::fmt(prof.storeToLoadRatio(), 2) + " ("
+                + TextTable::fmt(p.st_ld, 2) + ")",
+            TextTable::fmt(miss, 3) + " ("
+                + TextTable::fmt(p.miss, 3) + ")",
+            TextTable::fmt(bank.sameBank(), 2),
+            TextTable::fmt(bank.same_bank_same_line, 2),
+            TextTable::fmt(bank.same_bank_diff_line, 2),
+            TextTable::fmt(ipc1, 2) + " ("
+                + TextTable::fmt(p.ipc1, 2) + ")",
+            TextTable::fmt(ipc16, 2) + " ("
+                + TextTable::fmt(p.ipc16, 2) + ")",
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

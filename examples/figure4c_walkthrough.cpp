@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Walkthrough of the paper's Figure 4c example.
+ *
+ * The access pattern:
+ *
+ *   Ref    Bank  Line  Offset
+ *   store  0     12    0
+ *   load   1     10    4
+ *   load   1     10    8
+ *   store  0     12    12
+ *
+ * The paper argues: a 2-bank cache needs two cycles, a 2-port
+ * replicated cache needs three (one per store plus one for the two
+ * loads), and a 2x2 LBIC services all four in a single cycle. This
+ * example drives the three schedulers directly, cycle by cycle, and
+ * prints what each grants -- reproducing the argument exactly.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cacheport/banked.hh"
+#include "cacheport/lbic.hh"
+#include "cacheport/replicated.hh"
+
+int
+main()
+{
+    using namespace lbic;
+
+    constexpr unsigned line_bits = 5;   // 32-byte lines
+
+    // Build Figure 4c's four references. The figure's "Line" column
+    // is the line index within the bank; with bit selection the
+    // global line number is line * banks + bank, so bank 0 / line 12
+    // is global line 24 and bank 1 / line 10 is global line 21.
+    const auto make_requests = [] {
+        const Addr b0l12 = (12 * 2 + 0) * 32;
+        const Addr b1l10 = (10 * 2 + 1) * 32;
+        std::vector<MemRequest> reqs;
+        reqs.push_back({1, b0l12 + 0, true});    // store B0 L12
+        reqs.push_back({2, b1l10 + 4, false});   // load  B1 L10
+        reqs.push_back({3, b1l10 + 8, false});   // load  B1 L10
+        reqs.push_back({4, b0l12 + 12, true});   // store B0 L12
+        return reqs;
+    };
+
+    const auto describe = [](const MemRequest &r) {
+        return std::string(r.is_store ? "store" : "load ") + " bank "
+            + std::to_string((r.addr >> line_bits) & 1) + " line "
+            + std::to_string(r.addr >> (line_bits + 1)) + " offset "
+            + std::to_string(r.addr % 32);
+    };
+
+    const auto drive = [&](PortScheduler &sched) {
+        std::vector<MemRequest> pending = make_requests();
+        std::vector<std::size_t> accepted;
+        unsigned cycle = 0;
+        unsigned issue_cycles = 0;
+        while (!pending.empty() || sched.hasPendingWork()) {
+            ++cycle;
+            sched.select(pending, accepted);
+            std::cout << "  cycle " << cycle << ":";
+            if (accepted.empty())
+                std::cout << " (drains queued stores)";
+            for (const std::size_t i : accepted)
+                std::cout << "  [" << describe(pending[i]) << "]";
+            std::cout << '\n';
+            // Remove granted requests, back to front.
+            for (auto it = accepted.rbegin(); it != accepted.rend();
+                 ++it)
+                pending.erase(pending.begin()
+                              + static_cast<long>(*it));
+            if (pending.empty() && issue_cycles == 0)
+                issue_cycles = cycle;
+            sched.tick();
+            if (cycle > 10)
+                break;
+        }
+        return issue_cycles == 0 ? cycle : issue_cycles;
+    };
+
+    stats::StatGroup root;
+
+    std::cout << "Figure 4c access pattern:\n";
+    for (const auto &r : make_requests())
+        std::cout << "  " << describe(r) << '\n';
+
+    std::cout << "\n2-bank interleaved cache:\n";
+    BankedPorts banked(&root, 2, line_bits);
+    const unsigned bank_cycles = drive(banked);
+
+    std::cout << "\n2-port replicated cache:\n";
+    ReplicatedPorts repl(&root, 2);
+    const unsigned repl_cycles = drive(repl);
+
+    std::cout << "\n2x2 LBIC:\n";
+    LbicConfig cfg;
+    cfg.banks = 2;
+    cfg.line_ports = 2;
+    cfg.line_bits = line_bits;
+    Lbic lbic(&root, cfg);
+    const unsigned lbic_cycles = drive(lbic);
+
+    std::cout << "\nSummary (cycles to issue all four accesses):\n"
+              << "  2-bank cache:        " << bank_cycles
+              << "  (paper: 2)\n"
+              << "  2-port replicated:   " << repl_cycles
+              << "  (paper: 3)\n"
+              << "  2x2 LBIC:            " << lbic_cycles
+              << "  (paper: 1, plus background store drains)\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include "bank_select.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+BankSelectFn
+parseBankSelectFn(const std::string &name)
+{
+    if (name == "bit")
+        return BankSelectFn::BitSelect;
+    if (name == "xor")
+        return BankSelectFn::XorFold;
+    lbic_fatal("unknown bank-selection function '", name,
+               "' (expected 'bit' or 'xor')");
+}
+
+const char *
+bankSelectFnName(BankSelectFn fn)
+{
+    switch (fn) {
+      case BankSelectFn::BitSelect: return "bit";
+      case BankSelectFn::XorFold:   return "xor";
+    }
+    return "?";
+}
+
+} // namespace lbic

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bank-selection functions for interleaved caches.
+ *
+ * The paper uses simple bit selection (Figure 2c): the bits of the
+ * effective address immediately above the line offset choose the bank,
+ * giving a line-interleaved data layout. An XOR-folded variant is
+ * provided for the bank-selection ablation study (§3.2 discusses the
+ * tradeoff; the paper argues sophisticated functions are unattractive
+ * for caches).
+ */
+
+#ifndef LBIC_CACHEPORT_BANK_SELECT_HH
+#define LBIC_CACHEPORT_BANK_SELECT_HH
+
+#include <string>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace lbic
+{
+
+/** Available bank-selection functions. */
+enum class BankSelectFn
+{
+    BitSelect,  //!< bits just above the line offset (paper default)
+    XorFold,    //!< XOR of several bank-width fields above the offset
+};
+
+/**
+ * Map an address to a bank.
+ *
+ * @param addr effective byte address.
+ * @param nbanks number of banks (power of two).
+ * @param line_bits log2 of the line size.
+ * @param fn selection function.
+ */
+inline unsigned
+selectBank(Addr addr, unsigned nbanks, unsigned line_bits,
+           BankSelectFn fn = BankSelectFn::BitSelect)
+{
+    if (nbanks == 1)
+        return 0;
+    const unsigned bank_bits = floorLog2(nbanks);
+    const Addr above = addr >> line_bits;
+    switch (fn) {
+      case BankSelectFn::BitSelect:
+        return static_cast<unsigned>(bits(above, 0, bank_bits));
+      case BankSelectFn::XorFold: {
+        // Fold three consecutive bank-width fields together; breaks up
+        // power-of-two strides at the cost of a wider XOR in the
+        // address path.
+        const Addr f0 = bits(above, 0, bank_bits);
+        const Addr f1 = bits(above, bank_bits, bank_bits);
+        const Addr f2 = bits(above, 2 * bank_bits, bank_bits);
+        return static_cast<unsigned>(f0 ^ f1 ^ f2);
+      }
+    }
+    return 0;
+}
+
+/** Parse a selection-function name ("bit" or "xor"); fatal otherwise. */
+BankSelectFn parseBankSelectFn(const std::string &name);
+
+/** Printable name of @p fn. */
+const char *bankSelectFnName(BankSelectFn fn);
+
+} // namespace lbic
+
+#endif // LBIC_CACHEPORT_BANK_SELECT_HH

@@ -1,0 +1,60 @@
+#include "banked.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+BankedPorts::BankedPorts(stats::StatGroup *parent, unsigned banks,
+                         unsigned line_bits, BankSelectFn fn,
+                         bool word_interleaved)
+    : PortScheduler(parent, std::string(word_interleaved ? "wbank"
+                                                         : "bank")
+                                + std::to_string(banks)),
+      banks_(banks), line_bits_(line_bits),
+      interleave_bits_(word_interleaved ? 3u : line_bits), fn_(fn),
+      bank_line_(banks, 0), bank_used_(banks, false),
+      conflicts_same_line(&group_, "conflicts_same_line",
+                          "requests blocked behind an access to the "
+                          "same line of the same bank"),
+      conflicts_diff_line(&group_, "conflicts_diff_line",
+                          "requests blocked behind an access to a "
+                          "different line of the same bank"),
+      beyond_window(&group_, "beyond_window",
+                    "ready requests outside the crossbar's selection "
+                    "window")
+{
+    lbic_assert(banks_ >= 1 && isPowerOf2(banks_),
+                "bank count must be a power of two");
+}
+
+void
+BankedPorts::doSelect(const std::vector<MemRequest> &requests,
+                      std::vector<std::size_t> &accepted)
+{
+    std::fill(bank_used_.begin(), bank_used_.end(), false);
+
+    // The crossbar picks from the oldest M ready requests only; the
+    // LSQ's deeper reordering cannot help a plain multi-bank cache.
+    const std::size_t window =
+        std::min<std::size_t>(banks_, requests.size());
+    for (std::size_t i = 0; i < window; ++i) {
+        const unsigned b = selectBank(requests[i].addr, banks_,
+                                      interleave_bits_, fn_);
+        const Addr line = requests[i].addr >> line_bits_;
+        if (!bank_used_[b]) {
+            bank_used_[b] = true;
+            bank_line_[b] = line;
+            accepted.push_back(i);
+        } else if (bank_line_[b] == line) {
+            // Would have combined in an LBIC; serialized here.
+            ++conflicts_same_line;
+        } else {
+            ++conflicts_diff_line;
+        }
+    }
+    beyond_window += static_cast<double>(requests.size() - window);
+}
+
+} // namespace lbic

@@ -1,0 +1,77 @@
+#include "factory.hh"
+
+#include <cstdlib>
+
+#include "cacheport/banked.hh"
+#include "cacheport/ideal.hh"
+#include "cacheport/lbic.hh"
+#include "cacheport/replicated.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+namespace
+{
+
+/** Parse a positive integer; fatal() with context otherwise. */
+unsigned
+parseCount(const std::string &text, const std::string &spec)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v == 0)
+        lbic_fatal("bad count '", text, "' in port spec '", spec, "'");
+    return static_cast<unsigned>(v);
+}
+
+} // anonymous namespace
+
+std::unique_ptr<PortScheduler>
+makePortScheduler(const std::string &spec, stats::StatGroup *parent,
+                  const PortFactoryOptions &opts)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        lbic_fatal("port spec '", spec, "' missing ':' "
+                   "(expected kind:count)");
+    const std::string kind = spec.substr(0, colon);
+    const std::string arg = spec.substr(colon + 1);
+
+    if (kind == "ideal")
+        return std::make_unique<IdealPorts>(parent,
+                                            parseCount(arg, spec));
+    if (kind == "repl")
+        return std::make_unique<ReplicatedPorts>(parent,
+                                                 parseCount(arg, spec));
+    if (kind == "bank")
+        return std::make_unique<BankedPorts>(parent,
+                                             parseCount(arg, spec),
+                                             opts.line_bits,
+                                             opts.select_fn);
+    if (kind == "wbank")
+        return std::make_unique<BankedPorts>(parent,
+                                             parseCount(arg, spec),
+                                             opts.line_bits,
+                                             opts.select_fn, true);
+    if (kind == "lbic" || kind == "lbicg") {
+        const auto x = arg.find('x');
+        if (x == std::string::npos)
+            lbic_fatal("LBIC spec '", spec, "' must be ", kind,
+                       ":MxN");
+        LbicConfig config;
+        config.banks = parseCount(arg.substr(0, x), spec);
+        config.line_ports = parseCount(arg.substr(x + 1), spec);
+        config.line_bits = opts.line_bits;
+        config.select_fn = opts.select_fn;
+        config.store_queue_depth = opts.store_queue_depth;
+        config.lead_policy = kind == "lbicg"
+                                 ? LbicLeadPolicy::LargestGroup
+                                 : LbicLeadPolicy::LeadingRequest;
+        return std::make_unique<Lbic>(parent, config);
+    }
+    lbic_fatal("unknown port organization '", kind,
+               "' (expected ideal, repl, bank, wbank, lbic or lbicg)");
+}
+
+} // namespace lbic

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Factory for port schedulers from textual specifications.
+ *
+ * Spec grammar (used on benchmark/example command lines):
+ *   "ideal:P"    -- ideal multi-ported, P ports
+ *   "repl:P"     -- multi-ported by replication, P ports
+ *   "bank:M"     -- M-bank interleaved cache
+ *   "lbic:MxN"   -- MxN locality-based interleaved cache
+ */
+
+#ifndef LBIC_CACHEPORT_FACTORY_HH
+#define LBIC_CACHEPORT_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "cacheport/port_scheduler.hh"
+#include "cacheport/bank_select.hh"
+
+namespace lbic
+{
+
+/** Options shared by the banked organizations. */
+struct PortFactoryOptions
+{
+    /** log2 of the cache line size. */
+    unsigned line_bits = 5;
+
+    /** Bank-selection function for bank/lbic. */
+    BankSelectFn select_fn = BankSelectFn::BitSelect;
+
+    /** Store-queue depth per LBIC bank. */
+    unsigned store_queue_depth = 8;
+};
+
+/**
+ * Build a port scheduler from a spec string.
+ *
+ * @param spec e.g.\ "ideal:4", "repl:8", "bank:4", "lbic:4x2".
+ * @param parent stat group to register the scheduler under.
+ * @param opts line geometry and policy options.
+ * @return the scheduler; fatal() on a malformed spec.
+ */
+std::unique_ptr<PortScheduler>
+makePortScheduler(const std::string &spec, stats::StatGroup *parent,
+                  const PortFactoryOptions &opts = {});
+
+} // namespace lbic
+
+#endif // LBIC_CACHEPORT_FACTORY_HH

@@ -1,0 +1,24 @@
+#include "ideal.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+IdealPorts::IdealPorts(stats::StatGroup *parent, unsigned ports)
+    : PortScheduler(parent, "ideal" + std::to_string(ports)),
+      ports_(ports)
+{
+    lbic_assert(ports_ >= 1, "ideal cache needs at least one port");
+}
+
+void
+IdealPorts::doSelect(const std::vector<MemRequest> &requests,
+                     std::vector<std::size_t> &accepted)
+{
+    const std::size_t n = std::min<std::size_t>(ports_, requests.size());
+    for (std::size_t i = 0; i < n; ++i)
+        accepted.push_back(i);
+}
+
+} // namespace lbic

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ideal multi-ported cache (the paper's "True" columns).
+ *
+ * All p ports operate independently: up to p accesses per cycle to
+ * any combination of addresses, loads or stores. Considered too costly
+ * to build beyond a register file; simulated here as the performance
+ * ceiling the practical organizations are measured against.
+ */
+
+#ifndef LBIC_CACHEPORT_IDEAL_HH
+#define LBIC_CACHEPORT_IDEAL_HH
+
+#include "cacheport/port_scheduler.hh"
+
+namespace lbic
+{
+
+/** Ideal p-ported cache: the oldest p ready requests always win. */
+class IdealPorts : public PortScheduler
+{
+  public:
+    /**
+     * @param parent stat group to register under.
+     * @param ports number of independent ports (p >= 1).
+     */
+    IdealPorts(stats::StatGroup *parent, unsigned ports);
+
+    unsigned peakWidth() const override { return ports_; }
+
+  protected:
+    void doSelect(const std::vector<MemRequest> &requests,
+                  std::vector<std::size_t> &accepted) override;
+
+  private:
+    unsigned ports_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_CACHEPORT_IDEAL_HH

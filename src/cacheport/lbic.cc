@@ -1,0 +1,201 @@
+#include "lbic.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+Lbic::Lbic(stats::StatGroup *parent, const LbicConfig &config)
+    : PortScheduler(parent,
+                    std::string(config.lead_policy
+                                        == LbicLeadPolicy::LargestGroup
+                                    ? "lbicg"
+                                    : "lbic")
+                        + std::to_string(config.banks) + "x"
+                        + std::to_string(config.line_ports)),
+      config_(config),
+      banks_(config.banks),
+      combined_accesses(&group_, "combined_accesses",
+                        "accesses granted by combining with a leading "
+                        "request"),
+      store_queue_full(&group_, "store_queue_full",
+                       "stores rejected because the bank store queue "
+                       "was full"),
+      conflicts_diff_line(&group_, "conflicts_diff_line",
+                          "requests blocked behind a different line in "
+                          "the same bank"),
+      conflicts_ports_exhausted(&group_, "conflicts_ports_exhausted",
+                                "same-line requests beyond the N line-"
+                                "buffer ports"),
+      store_drains(&group_, "store_drains",
+                   "queued stores written to the cache on idle bank "
+                   "cycles or through a matching open line"),
+      store_direct_writes(&group_, "store_direct_writes",
+                          "leading stores written directly because "
+                          "the bank store queue was full")
+{
+    lbic_assert(config_.banks >= 1 && isPowerOf2(config_.banks),
+                "LBIC bank count must be a power of two");
+    lbic_assert(config_.line_ports >= 1,
+                "LBIC needs at least one line-buffer port");
+    lbic_assert(config_.store_queue_depth >= 1,
+                "LBIC needs at least one store-queue entry");
+}
+
+void
+Lbic::doSelect(const std::vector<MemRequest> &requests,
+               std::vector<std::size_t> &accepted)
+{
+    for (Bank &b : banks_) {
+        b.line_op = false;
+        b.ports_used = 0;
+    }
+
+    // Leading requests come from the oldest M ready entries, exactly
+    // like the plain multi-bank crossbar. Combining, however, compares
+    // each leading request's bank and line selectors against *all*
+    // pending ready requests in the LSQ (§5.2) -- that deep search is
+    // what lets the LBIC exploit the reordering a traditional banked
+    // cache cannot.
+    const std::size_t lead_window =
+        std::min<std::size_t>(config_.banks, requests.size());
+
+    if (config_.lead_policy == LbicLeadPolicy::LargestGroup)
+        preselectLargestGroups(requests);
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const MemRequest &req = requests[i];
+        const unsigned bi = selectBank(req.addr, config_.banks,
+                                       config_.line_bits,
+                                       config_.select_fn);
+        Bank &bank = banks_[bi];
+        const Addr line = req.addr >> config_.line_bits;
+
+        if (!bank.line_op) {
+            if (config_.lead_policy == LbicLeadPolicy::LargestGroup) {
+                // The bank is reserved for the pre-selected line.
+                if (line != bank.reserved_line)
+                    continue;
+            } else if (i >= lead_window) {
+                continue;
+            }
+            // Leading request: gates the line into the bank's buffer.
+            // A leading store normally parks in the store queue; with
+            // the queue full it degenerates to a direct write that
+            // consumes the bank cycle -- exactly what a plain banked
+            // cache would have done, so the LBIC never does worse.
+            bank.line_op = true;
+            bank.line = line;
+            bank.ports_used = 1;
+            if (req.is_store) {
+                if (bank.store_queue.size()
+                        < config_.store_queue_depth) {
+                    bank.store_queue.push_back(line);
+                } else {
+                    ++store_direct_writes;
+                }
+            }
+            accepted.push_back(i);
+        } else if (bank.line != line) {
+            if (i < lead_window)
+                ++conflicts_diff_line;
+        } else if (bank.ports_used >= config_.line_ports) {
+            ++conflicts_ports_exhausted;
+        } else {
+            // Combine: same bank, same line, a buffer port is free.
+            if (req.is_store
+                && bank.store_queue.size()
+                       >= config_.store_queue_depth) {
+                ++store_queue_full;
+                continue;
+            }
+            ++bank.ports_used;
+            if (req.is_store)
+                bank.store_queue.push_back(line);
+            ++combined_accesses;
+            accepted.push_back(i);
+        }
+    }
+}
+
+void
+Lbic::preselectLargestGroups(const std::vector<MemRequest> &requests)
+{
+    // Count ready requests per (bank, line) and reserve each bank for
+    // its most popular line; ties go to the older line, which keeps
+    // forward progress guaranteed (the oldest request's line can
+    // always win eventually as competitors drain).
+    group_size_scratch_.clear();
+    for (const MemRequest &req : requests) {
+        const unsigned bi = selectBank(req.addr, config_.banks,
+                                       config_.line_bits,
+                                       config_.select_fn);
+        const Addr line = req.addr >> config_.line_bits;
+        ++group_size_scratch_[(Addr{bi} << 48) | line];
+    }
+    for (Bank &b : banks_)
+        b.reserved_line = invalid_addr;
+    std::vector<unsigned> best(banks_.size(), 0);
+    for (const MemRequest &req : requests) {
+        const unsigned bi = selectBank(req.addr, config_.banks,
+                                       config_.line_bits,
+                                       config_.select_fn);
+        const Addr line = req.addr >> config_.line_bits;
+        const unsigned count =
+            group_size_scratch_[(Addr{bi} << 48) | line];
+        // Strict > keeps the tie with the older line (requests are
+        // scanned oldest-first).
+        if (count > best[bi]) {
+            best[bi] = count;
+            banks_[bi].reserved_line = line;
+        }
+    }
+}
+
+void
+Lbic::tick()
+{
+    // Each bank retires one queued store per cycle when it performed
+    // no line operation (the idle-cycle write the HP PA8000 uses), or
+    // when a queued store's line is the one sitting open in the line
+    // buffer (the write completes through the buffer).
+    for (Bank &b : banks_) {
+        if (!b.store_queue.empty()) {
+            if (!b.line_op) {
+                b.store_queue.pop_front();
+                ++store_drains;
+            } else {
+                auto it = std::find(b.store_queue.begin(),
+                                    b.store_queue.end(), b.line);
+                if (it != b.store_queue.end()) {
+                    b.store_queue.erase(it);
+                    ++store_drains;
+                }
+            }
+        }
+        b.line_op = false;
+        b.ports_used = 0;
+    }
+}
+
+bool
+Lbic::hasPendingWork() const
+{
+    for (const Bank &b : banks_) {
+        if (!b.store_queue.empty())
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Lbic::storeQueueDepth(unsigned bank) const
+{
+    lbic_assert(bank < banks_.size(), "bank index out of range");
+    return static_cast<unsigned>(banks_[bank].store_queue.size());
+}
+
+} // namespace lbic

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Locality-Based Interleaved Cache (LBIC) -- the paper's
+ * contribution (§5).
+ *
+ * An MxN LBIC is a line-interleaved M-bank cache where each bank
+ * carries one N-ported single-line buffer and a small store queue.
+ * Each cycle, the oldest ready request mapping to a bank (the leading
+ * request) gates its cache line into the bank's line buffer; up to N-1
+ * further ready requests to the *same line* combine with it, loads
+ * reading the buffer and stores depositing into the bank's store
+ * queue. The store queue performs its writes during cycles when the
+ * bank is otherwise idle (the HP PA8000 technique), so stores do not
+ * serialize accesses the way replicated multi-porting does.
+ *
+ * Peak bandwidth is M*N accesses per cycle at a cost close to plain
+ * M-way banking.
+ */
+
+#ifndef LBIC_CACHEPORT_LBIC_HH
+#define LBIC_CACHEPORT_LBIC_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cacheport/bank_select.hh"
+#include "cacheport/port_scheduler.hh"
+
+namespace lbic
+{
+
+/**
+ * How each bank picks its leading request (§5.2).
+ */
+enum class LbicLeadPolicy
+{
+    /**
+     * The oldest ready request mapping to the bank wins ("we settled
+     * on the leading request because we believe it is fair and
+     * simple" -- the paper's evaluated design).
+     */
+    LeadingRequest,
+
+    /**
+     * The enhancement §5.2 sketches: scan the ready requests and give
+     * the bank to the line with the largest combinable group. Costs
+     * sorting logic in the LSQ; evaluated by bench/ablation_lbic_policy.
+     */
+    LargestGroup,
+};
+
+/** Configuration of an MxN LBIC. */
+struct LbicConfig
+{
+    /** Number of banks (M, power of two). */
+    unsigned banks = 4;
+
+    /** Ports on each bank's single-line buffer (N >= 1). */
+    unsigned line_ports = 2;
+
+    /** Store-queue entries per bank. */
+    unsigned store_queue_depth = 8;
+
+    /** log2 of the cache line size. */
+    unsigned line_bits = 5;
+
+    /** Bank-selection function. */
+    BankSelectFn select_fn = BankSelectFn::BitSelect;
+
+    /** Leading-request selection policy. */
+    LbicLeadPolicy lead_policy = LbicLeadPolicy::LeadingRequest;
+};
+
+/** MxN locality-based interleaved cache. */
+class Lbic : public PortScheduler
+{
+  public:
+    /**
+     * @param parent stat group to register under.
+     * @param config MxN geometry and store-queue depth.
+     */
+    Lbic(stats::StatGroup *parent, const LbicConfig &config);
+
+    unsigned peakWidth() const override
+    {
+        return config_.banks * config_.line_ports;
+    }
+
+    void tick() override;
+
+    bool hasPendingWork() const override;
+
+    const LbicConfig &config() const { return config_; }
+
+    /** Occupancy of one bank's store queue (for tests). */
+    unsigned storeQueueDepth(unsigned bank) const;
+
+  protected:
+    void doSelect(const std::vector<MemRequest> &requests,
+                  std::vector<std::size_t> &accepted) override;
+
+  private:
+    /** Per-bank state, reset each cycle except the store queue. */
+    struct Bank
+    {
+        bool line_op = false;       //!< a leading request won the bank
+        Addr line = 0;              //!< line gated into the buffer
+        unsigned ports_used = 0;    //!< line-buffer ports consumed
+        Addr reserved_line = 0;     //!< LargestGroup pre-selection
+        std::deque<Addr> store_queue; //!< lines of queued stores
+    };
+
+    /** LargestGroup: reserve each bank for its biggest ready group. */
+    void preselectLargestGroups(const std::vector<MemRequest> &requests);
+
+    LbicConfig config_;
+    std::vector<Bank> banks_;
+    std::unordered_map<Addr, unsigned> group_size_scratch_;
+
+  public:
+    /** @{ @name Statistics */
+    stats::Scalar combined_accesses; //!< grants beyond the leader
+    stats::Scalar store_queue_full;  //!< stores rejected, queue full
+    stats::Scalar conflicts_diff_line;
+    stats::Scalar conflicts_ports_exhausted;
+    stats::Scalar store_drains;      //!< stores written on idle cycles
+    stats::Scalar store_direct_writes; //!< leading stores that bypassed
+                                       //!< a full queue
+    /** @} */
+};
+
+} // namespace lbic
+
+#endif // LBIC_CACHEPORT_LBIC_HH

@@ -1,0 +1,49 @@
+#include "port_scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+PortScheduler::PortScheduler(stats::StatGroup *parent, std::string name)
+    : group_(parent, name),
+      cycles_active(&group_, "cycles_active",
+                    "cycles with at least one ready request"),
+      requests_seen(&group_, "requests_seen",
+                    "ready requests presented to the scheduler"),
+      requests_granted(&group_, "requests_granted",
+                       "requests granted a cache access"),
+      grants_per_cycle(&group_, "grants_per_cycle",
+                       "accesses granted per active cycle", 0, 32, 1),
+      name_(std::move(name))
+{
+}
+
+void
+PortScheduler::select(const std::vector<MemRequest> &requests,
+                      std::vector<std::size_t> &accepted)
+{
+    accepted.clear();
+    if (requests.empty())
+        return;
+
+    // Requests must arrive oldest-first; the policies rely on it.
+    for (std::size_t i = 1; i < requests.size(); ++i) {
+        lbic_assert(requests[i - 1].seq < requests[i].seq,
+                    "port scheduler requests not sorted by age");
+    }
+
+    doSelect(requests, accepted);
+
+    ++cycles_active;
+    requests_seen += static_cast<double>(requests.size());
+    requests_granted += static_cast<double>(accepted.size());
+    grants_per_cycle.sample(accepted.size());
+}
+
+void
+PortScheduler::tick()
+{
+}
+
+} // namespace lbic

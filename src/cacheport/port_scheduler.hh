@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The cache-port scheduling interface.
+ *
+ * Each cycle the core's memory-issue stage collects the ready memory
+ * operations (issued loads plus commit-pending stores) in LSQ order
+ * and asks the PortScheduler which of them may access the data cache
+ * this cycle. The four implementations -- ideal multi-porting,
+ * multi-porting by replication, multi-banking, and the LBIC -- are the
+ * four organizations compared in the paper; a simulation run differs
+ * across Table 3 / Table 4 columns only in this object.
+ */
+
+#ifndef LBIC_CACHEPORT_PORT_SCHEDULER_HH
+#define LBIC_CACHEPORT_PORT_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hh"
+#include "common/types.hh"
+
+namespace lbic
+{
+
+/** One ready memory operation presented to the scheduler. */
+struct MemRequest
+{
+    /** Program-order sequence number (requests arrive sorted by it). */
+    InstSeq seq = 0;
+
+    /** Effective byte address. */
+    Addr addr = 0;
+
+    /** True for stores. */
+    bool is_store = false;
+};
+
+/** Decides which ready memory operations access the cache each cycle. */
+class PortScheduler
+{
+  public:
+    /**
+     * @param parent stat group to register under.
+     * @param name scheduler instance name (used for stats and tables).
+     */
+    PortScheduler(stats::StatGroup *parent, std::string name);
+    virtual ~PortScheduler() = default;
+
+    PortScheduler(const PortScheduler &) = delete;
+    PortScheduler &operator=(const PortScheduler &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Select the requests granted a cache access this cycle.
+     *
+     * Must be called at most once per cycle. @p requests is sorted
+     * oldest-first. Accepted indices (into @p requests) are appended
+     * to @p accepted in increasing order.
+     */
+    void select(const std::vector<MemRequest> &requests,
+                std::vector<std::size_t> &accepted);
+
+    /**
+     * Advance one cycle. Called exactly once per simulated cycle,
+     * after select(); lets per-bank store queues drain on idle banks.
+     */
+    virtual void tick();
+
+    /** Peak accesses the organization can grant in one cycle. */
+    virtual unsigned peakWidth() const = 0;
+
+    /**
+     * True if the scheduler is holding deferred work (e.g.\ queued
+     * stores) that has not yet reached the cache.
+     */
+    virtual bool hasPendingWork() const { return false; }
+
+  protected:
+    /** Organization-specific selection policy. */
+    virtual void doSelect(const std::vector<MemRequest> &requests,
+                          std::vector<std::size_t> &accepted) = 0;
+
+    stats::StatGroup group_;
+
+  public:
+    /** @{ @name Statistics */
+    stats::Scalar cycles_active;    //!< cycles with >= 1 request ready
+    stats::Scalar requests_seen;    //!< ready requests presented
+    stats::Scalar requests_granted; //!< requests granted an access
+    stats::Distribution grants_per_cycle;
+    /** @} */
+
+  private:
+    std::string name_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_CACHEPORT_PORT_SCHEDULER_HH

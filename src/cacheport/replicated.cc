@@ -1,0 +1,43 @@
+#include "replicated.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+ReplicatedPorts::ReplicatedPorts(stats::StatGroup *parent, unsigned ports)
+    : PortScheduler(parent, "repl" + std::to_string(ports)),
+      ports_(ports),
+      store_solo_cycles(&group_, "store_solo_cycles",
+                        "cycles spent broadcasting a single store"),
+      loads_blocked_by_store(&group_, "loads_blocked_by_store",
+                             "ready loads stalled behind a store "
+                             "broadcast")
+{
+    lbic_assert(ports_ >= 1, "replicated cache needs at least one port");
+}
+
+void
+ReplicatedPorts::doSelect(const std::vector<MemRequest> &requests,
+                          std::vector<std::size_t> &accepted)
+{
+    // A store must broadcast to every copy alone. Service the oldest
+    // request: if it is a store, it takes the whole cycle; otherwise
+    // grant up to p loads, letting them bypass younger stores (stores
+    // are only presented once they are the commit point, so a bypassed
+    // store becomes the oldest request soon after).
+    if (requests[0].is_store) {
+        accepted.push_back(0);
+        ++store_solo_cycles;
+        loads_blocked_by_store += static_cast<double>(
+            requests.size() - 1);
+        return;
+    }
+    for (std::size_t i = 0;
+         i < requests.size() && accepted.size() < ports_; ++i) {
+        if (!requests[i].is_store)
+            accepted.push_back(i);
+    }
+}
+
+} // namespace lbic

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-porting by replication (the paper's "Repl" columns; the DEC
+ * Alpha 21164 approach).
+ *
+ * The cache is duplicated once per port and every copy must stay
+ * coherent, so a store has to broadcast to all copies simultaneously:
+ * a store cannot be sent to the cache in parallel with any other
+ * access (§3.1). Loads use the p ports freely.
+ */
+
+#ifndef LBIC_CACHEPORT_REPLICATED_HH
+#define LBIC_CACHEPORT_REPLICATED_HH
+
+#include "cacheport/port_scheduler.hh"
+
+namespace lbic
+{
+
+/** p replicated single-ported copies with broadcast stores. */
+class ReplicatedPorts : public PortScheduler
+{
+  public:
+    /**
+     * @param parent stat group to register under.
+     * @param ports number of cache copies / ports (p >= 1).
+     */
+    ReplicatedPorts(stats::StatGroup *parent, unsigned ports);
+
+    unsigned peakWidth() const override { return ports_; }
+
+  protected:
+    void doSelect(const std::vector<MemRequest> &requests,
+                  std::vector<std::size_t> &accepted) override;
+
+  private:
+    unsigned ports_;
+
+  public:
+    /** @{ @name Statistics */
+    stats::Scalar store_solo_cycles;  //!< cycles consumed by a store
+    stats::Scalar loads_blocked_by_store;
+    /** @} */
+};
+
+} // namespace lbic
+
+#endif // LBIC_CACHEPORT_REPLICATED_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-manipulation helpers for address decomposition.
+ *
+ * The multi-bank cache models decompose an effective address into
+ * tag / line-selector / bank-selector / line-offset fields (paper
+ * Figure 2c); these helpers keep that arithmetic readable and safe.
+ */
+
+#ifndef LBIC_COMMON_BITOPS_HH
+#define LBIC_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace lbic
+{
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer base-2 logarithm of a power of two.
+ *
+ * @param v value; must be a non-zero power of two.
+ * @return floor(log2(v)).
+ */
+inline unsigned
+floorLog2(std::uint64_t v)
+{
+    lbic_assert(v != 0, "floorLog2(0) undefined");
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/**
+ * Extract @p nbits bits of @p v starting at bit position @p first
+ * (LSB = position 0).
+ */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned first, unsigned nbits)
+{
+    if (nbits == 0)
+        return 0;
+    if (nbits >= 64)
+        return v >> first;
+    return (v >> first) & ((std::uint64_t{1} << nbits) - 1);
+}
+
+/** Mask covering the low @p nbits bits. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << nbits) - 1;
+}
+
+/** Align @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Align @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_BITOPS_HH

@@ -1,0 +1,113 @@
+#include "config.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace lbic
+{
+
+Config
+Config::fromArgs(int argc, const char *const *argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            lbic_fatal("expected key=value argument, got '", tok, "'");
+        }
+        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    touched_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::uint64_t
+Config::getU64(const std::string &key, std::uint64_t def) const
+{
+    touched_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        lbic_fatal("config key '", key, "': '", it->second,
+                   "' is not an integer");
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    touched_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        lbic_fatal("config key '", key, "': '", it->second,
+                   "' is not a number");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    touched_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    lbic_fatal("config key '", key, "': '", v, "' is not a boolean");
+}
+
+std::vector<std::string>
+Config::unrecognizedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values_) {
+        if (!touched_.count(k))
+            out.push_back(k);
+    }
+    return out;
+}
+
+void
+Config::rejectUnrecognized() const
+{
+    const auto unknown = unrecognizedKeys();
+    if (!unknown.empty()) {
+        std::string joined;
+        for (const auto &k : unknown)
+            joined += (joined.empty() ? "" : ", ") + k;
+        lbic_fatal("unrecognized configuration key(s): ", joined);
+    }
+}
+
+} // namespace lbic

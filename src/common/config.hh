@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A tiny key=value configuration store with typed accessors.
+ *
+ * Examples and benchmarks parse `key=value` command-line arguments into
+ * a Config, then the simulator builder reads typed values out of it.
+ * Unknown keys are detected at the end of construction so typos fail
+ * loudly (fatal, not panic: a bad flag is a user error).
+ */
+
+#ifndef LBIC_COMMON_CONFIG_HH
+#define LBIC_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lbic
+{
+
+/** String-keyed configuration with typed, defaulted accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse `key=value` tokens (e.g.\ from argv). Tokens without '='
+     * are rejected with fatal().
+     */
+    static Config fromArgs(int argc, const char *const *argv);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True if @p key was provided. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed accessors; each records the key as "recognized" and
+     * returns @p def when absent. Malformed values are fatal.
+     */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::uint64_t getU64(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Keys that were set but never read by any accessor. */
+    std::vector<std::string> unrecognizedKeys() const;
+
+    /** fatal() if any set key was never read. */
+    void rejectUnrecognized() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> touched_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_CONFIG_HH

@@ -1,0 +1,60 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lbic
+{
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * When true (set by tests), panic/fatal throw instead of terminating so
+ * death behaviour can be unit tested without forking.
+ */
+bool throw_on_error = false;
+
+} // anonymous namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throw_on_error = enable;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (throw_on_error)
+        throw std::logic_error("panic: " + msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (throw_on_error)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace lbic

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 style.
+ *
+ * panic()  -- an internal simulator invariant was violated; aborts.
+ * fatal()  -- the user asked for something impossible; exits cleanly.
+ * warn()   -- something is suspicious but simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef LBIC_COMMON_LOGGING_HH
+#define LBIC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lbic
+{
+
+namespace detail
+{
+
+/** Format a message with source location and severity prefix. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/**
+ * Make panic()/fatal() throw std::logic_error / std::runtime_error
+ * instead of terminating. Intended for unit tests only.
+ */
+void setThrowOnError(bool enable);
+
+/** Stream-concatenate a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: simulator bug, should never happen. */
+#define lbic_panic(...) \
+    ::lbic::detail::panicImpl(__FILE__, __LINE__, \
+                              ::lbic::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: user error (bad configuration, bad input). */
+#define lbic_fatal(...) \
+    ::lbic::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::lbic::detail::concat(__VA_ARGS__))
+
+/** Warn but continue. */
+#define lbic_warn(...) \
+    ::lbic::detail::warnImpl(::lbic::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define lbic_inform(...) \
+    ::lbic::detail::informImpl(::lbic::detail::concat(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define lbic_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::lbic::detail::panicImpl(__FILE__, __LINE__, \
+                ::lbic::detail::concat("assertion '" #cond "' failed: ", \
+                                       ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_LOGGING_HH

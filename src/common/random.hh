@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Every stochastic choice in the simulator (synthetic address streams,
+ * random replacement, workload data initialization) draws from a
+ * seeded xorshift128+ generator so identical configurations produce
+ * identical results. std::mt19937 is avoided only because its state
+ * is bulky to copy into every workload; this generator is small, fast,
+ * and of ample quality for workload synthesis.
+ */
+
+#ifndef LBIC_COMMON_RANDOM_HH
+#define LBIC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace lbic
+{
+
+/** Small deterministic xorshift128+ PRNG. */
+class Random
+{
+  public:
+    /** Construct with a seed; any seed (including 0) is legal. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding avoids the all-zero state and decorrelates
+        // nearby seeds.
+        std::uint64_t z = seed;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            *s = x ^ (x >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        lbic_assert(bound != 0, "Random::below(0)");
+        // Multiply-shift rejection-free mapping (slight modulo bias is
+        // irrelevant for workload synthesis).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        lbic_assert(lo <= hi, "Random::between: lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_RANDOM_HH

@@ -1,0 +1,263 @@
+#include "statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace lbic
+{
+namespace stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    lbic_assert(parent != nullptr, "statistic '", name_,
+                "' needs a parent group");
+    parent->addStat(this);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(40) << (prefix + name())
+       << ' ' << value() << " # " << desc() << '\n';
+}
+
+namespace
+{
+
+/** Emit a leading comma unless this is the first member. */
+void
+jsonSep(std::ostream &os, bool &first)
+{
+    if (!first)
+        os << ',';
+    first = false;
+}
+
+/** JSON numbers may not be NaN/inf; clamp those to null. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // anonymous namespace
+
+void
+Scalar::printJson(std::ostream &os, bool &first) const
+{
+    jsonSep(os, first);
+    os << '"' << name() << "\":";
+    jsonNumber(os, value());
+}
+
+void
+Distribution::printJson(std::ostream &os, bool &first) const
+{
+    jsonSep(os, first);
+    os << '"' << name() << "\":{\"samples\":" << samples_
+       << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"buckets\":{";
+    bool bucket_first = true;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!bucket_first)
+            os << ',';
+        bucket_first = false;
+        os << '"' << (min_ + i * bucket_size_) << "\":" << buckets_[i];
+    }
+    os << '}';
+    if (underflow_)
+        os << ",\"underflow\":" << underflow_;
+    if (overflow_)
+        os << ",\"overflow\":" << overflow_;
+    os << '}';
+}
+
+void
+Derived::printJson(std::ostream &os, bool &first) const
+{
+    jsonSep(os, first);
+    os << '"' << name() << "\":";
+    jsonNumber(os, value());
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, std::uint64_t min,
+                           std::uint64_t max, std::uint64_t bucket_size)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      min_(min), max_(max), bucket_size_(bucket_size)
+{
+    lbic_assert(bucket_size_ > 0, "bucket size must be positive");
+    lbic_assert(max_ >= min_, "distribution max < min");
+    buckets_.resize((max_ - min_) / bucket_size_ + 1, 0);
+}
+
+void
+Distribution::sample(std::uint64_t v, std::uint64_t count)
+{
+    if (v < min_) {
+        underflow_ += count;
+    } else if (v > max_) {
+        overflow_ += count;
+    } else {
+        buckets_[(v - min_) / bucket_size_] += count;
+    }
+    samples_ += count;
+    sum_ += static_cast<double>(v) * static_cast<double>(count);
+    min_sample_ = std::min(min_sample_, v);
+    max_sample_ = std::max(max_sample_, v);
+}
+
+std::uint64_t
+Distribution::bucketCount(std::uint64_t v) const
+{
+    if (v < min_)
+        return underflow_;
+    if (v > max_)
+        return overflow_;
+    return buckets_[(v - min_) / bucket_size_];
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full = prefix + name();
+    os << std::left << std::setw(40) << (full + ".samples")
+       << ' ' << samples_ << " # " << desc() << '\n';
+    os << std::left << std::setw(40) << (full + ".mean")
+       << ' ' << mean() << " # mean of " << name() << '\n';
+    if (underflow_) {
+        os << std::left << std::setw(40) << (full + ".underflow")
+           << ' ' << underflow_ << " # samples below " << min_ << '\n';
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const std::uint64_t lo = min_ + i * bucket_size_;
+        os << std::left << std::setw(40)
+           << (full + "." + std::to_string(lo))
+           << ' ' << buckets_[i] << " # bucket [" << lo << ", "
+           << (lo + bucket_size_ - 1) << "]\n";
+    }
+    if (overflow_) {
+        os << std::left << std::setw(40) << (full + ".overflow")
+           << ' ' << overflow_ << " # samples above " << max_ << '\n';
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0.0;
+    min_sample_ = std::numeric_limits<std::uint64_t>::max();
+    max_sample_ = 0;
+}
+
+Derived::Derived(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      fn_(std::move(fn))
+{
+    lbic_assert(static_cast<bool>(fn_), "Derived stat needs a function");
+}
+
+void
+Derived::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(40) << (prefix + name())
+       << ' ' << value() << " # " << desc() << '\n';
+}
+
+StatGroup::StatGroup(StatGroup *parent, std::string name)
+    : parent_(parent), name_(std::move(name))
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    lbic_assert(find(stat->name()) == nullptr,
+                "duplicate statistic '", stat->name(), "' in group '",
+                name_, "'");
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    std::erase(children_, child);
+}
+
+void
+StatGroup::print(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        name_.empty() ? prefix : prefix + name_ + ".";
+    for (const auto *s : stats_)
+        s->print(os, full);
+    for (const auto *c : children_)
+        c->print(os, full);
+}
+
+void
+StatGroup::reset()
+{
+    for (auto *s : stats_)
+        s->reset();
+    for (auto *c : children_)
+        c->reset();
+}
+
+void
+StatGroup::printJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto *s : stats_)
+        s->printJson(os, first);
+    for (const auto *c : children_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << c->name() << "\":";
+        c->printJson(os);
+    }
+    os << '}';
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto *s : stats_) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace lbic

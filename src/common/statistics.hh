@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats framework.
+ *
+ * Components own a StatGroup and register named statistics with it.
+ * Three kinds are provided:
+ *
+ *  - Scalar:       a simple accumulating counter.
+ *  - Distribution: a bucketed histogram with running mean/min/max.
+ *  - Derived:      a value computed at dump time from other stats
+ *                  (gem5's "Formula").
+ *
+ * StatGroups nest, so `Simulator` can dump one tree covering the core,
+ * the LSQ, each cache level and the port scheduler.
+ */
+
+#ifndef LBIC_COMMON_STATISTICS_HH
+#define LBIC_COMMON_STATISTICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace lbic
+{
+namespace stats
+{
+
+class StatGroup;
+
+/** Base class for all named statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print this statistic as one or more `name value # desc` lines. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+    /** Emit this statistic as one or more JSON object members. */
+    virtual void printJson(std::ostream &os, bool &first) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** An accumulating scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os, bool &first) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-width bucketed histogram with running summary moments. */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param parent owning group.
+     * @param name statistic name.
+     * @param desc one-line description.
+     * @param min lowest bucketed value.
+     * @param max highest bucketed value.
+     * @param bucket_size width of each bucket (> 0).
+     */
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 std::uint64_t min, std::uint64_t max,
+                 std::uint64_t bucket_size);
+
+    /** Record one sample of value @p v. */
+    void sample(std::uint64_t v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const
+    {
+        return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+    }
+    std::uint64_t minSample() const { return min_sample_; }
+    std::uint64_t maxSample() const { return max_sample_; }
+
+    /** Count of samples that landed in the bucket containing @p v. */
+    std::uint64_t bucketCount(std::uint64_t v) const;
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os, bool &first) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t min_;
+    std::uint64_t max_;
+    std::uint64_t bucket_size_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_sample_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_sample_ = 0;
+};
+
+/** A value computed at dump time from other statistics. */
+class Derived : public StatBase
+{
+  public:
+    Derived(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os, bool &first) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/** A named collection of statistics; groups nest into a tree. */
+class StatGroup
+{
+  public:
+    /**
+     * @param parent enclosing group, or nullptr for a root.
+     * @param name group name, used as a dotted prefix when printing.
+     */
+    explicit StatGroup(StatGroup *parent = nullptr,
+                       std::string name = "");
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Called by StatBase's constructor. */
+    void addStat(StatBase *stat);
+
+    /** Print every stat in this group and its children. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Emit the group (recursively) as a JSON object: statistics as
+     * members, child groups as nested objects.
+     */
+    void printJson(std::ostream &os) const;
+
+    /** Reset every stat in this group and its children. */
+    void reset();
+
+    /** Find a directly-owned stat by name (nullptr if absent). */
+    const StatBase *find(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    StatGroup *parent_;
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace stats
+} // namespace lbic
+
+#endif // LBIC_COMMON_STATISTICS_HH

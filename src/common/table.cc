@@ -1,0 +1,95 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace lbic
+{
+
+namespace
+{
+
+/** Sentinel row meaning "draw a separator here". */
+const std::string separator_tag = "\x01--";
+
+} // anonymous namespace
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    lbic_assert(header_.empty() || row.size() == header_.size(),
+                "table row has ", row.size(), " cells, expected ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({separator_tag});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    const std::size_t ncols = header_.size();
+    std::vector<std::size_t> width(ncols, 0);
+    for (std::size_t c = 0; c < ncols; ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == separator_tag)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto print_sep = [&]() {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            // Left-align the first column (names), right-align numbers.
+            os << "| ";
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(width[c])) << cell << ' ';
+        }
+        os << "|\n";
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == separator_tag)
+            print_sep();
+        else
+            print_row(row);
+    }
+    print_sep();
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace lbic

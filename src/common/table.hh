@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style tables (Table 2, Table 3, Table 4, Figure 3 rows).
+ */
+
+#ifndef LBIC_COMMON_TABLE_HH
+#define LBIC_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lbic
+{
+
+/** A simple left/right-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with column widths fitted to content. */
+    void print(std::ostream &os) const;
+
+    /** Helper: format a double with @p precision fraction digits. */
+    static std::string fmt(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_TABLE_HH

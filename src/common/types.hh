@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ *
+ * These aliases follow the SimpleScalar / gem5 convention of giving
+ * architectural quantities explicit names so that interfaces document
+ * their units (an Addr is a byte address, a Cycle is a count of core
+ * clock cycles, and so on).
+ */
+
+#ifndef LBIC_COMMON_TYPES_HH
+#define LBIC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace lbic
+{
+
+/** A byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** A count of core clock cycles (also used as an absolute timestamp). */
+using Cycle = std::uint64_t;
+
+/** A dynamic instruction sequence number (program order). */
+using InstSeq = std::uint64_t;
+
+/** A virtual (architectural) register identifier. */
+using RegId = std::uint32_t;
+
+/** Sentinel meaning "no register" (e.g.\ a store has no destination). */
+constexpr RegId invalid_reg = ~RegId{0};
+
+/** Sentinel meaning "no address". */
+constexpr Addr invalid_addr = ~Addr{0};
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_TYPES_HH

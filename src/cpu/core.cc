@@ -1,0 +1,475 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+Core::Core(const CoreConfig &config, Workload &workload,
+           MemoryHierarchy &hierarchy, PortScheduler &scheduler,
+           stats::StatGroup *parent)
+    : config_(config), workload_(workload), hierarchy_(hierarchy),
+      scheduler_(scheduler),
+      ruu_(config.ruu_size),
+      wheel_(wheel_size),
+      fus_(config.int_alu_units, config.int_mult_div_units,
+           config.fp_add_units, config.fp_mult_div_units),
+      group_(parent, "core"),
+      committed(&group_, "committed", "instructions committed"),
+      cycles(&group_, "cycles", "cycles simulated"),
+      loads_executed(&group_, "loads_executed",
+                     "loads that accessed the cache"),
+      stores_executed(&group_, "stores_executed",
+                      "stores that accessed the cache"),
+      loads_forwarded(&group_, "loads_forwarded",
+                      "loads satisfied by an LSQ store with zero "
+                      "latency"),
+      mem_rejections(&group_, "mem_rejections",
+                     "granted accesses bounced off full MSHRs"),
+      ipc(&group_, "ipc", "committed instructions per cycle",
+          [this] {
+              return cycles.value() > 0.0
+                         ? committed.value() / cycles.value() : 0.0;
+          })
+{
+    lbic_assert(config_.ruu_size >= 1, "RUU must hold an instruction");
+    lbic_assert(config_.lsq_size >= 1, "LSQ must hold an instruction");
+    lbic_assert(config_.lsq_size <= config_.ruu_size,
+                "LSQ larger than the RUU window");
+}
+
+void
+Core::trace(char stage, InstSeq seq, const char *detail)
+{
+    const RuuEntry &e = entry(seq);
+    *trace_ << cycle_ << ": " << stage << ' ' << seq << ' '
+            << opClassName(e.inst.op);
+    if (e.inst.isMem())
+        *trace_ << " 0x" << std::hex << e.inst.addr << std::dec;
+    if (*detail)
+        *trace_ << ' ' << detail;
+    *trace_ << '\n';
+}
+
+void
+Core::scheduleCompletion(InstSeq seq, Cycle when)
+{
+    lbic_assert(when > cycle_ || (when == cycle_),
+                "completion scheduled in the past");
+    lbic_assert(when - cycle_ < wheel_size,
+                "completion latency ", when - cycle_,
+                " exceeds the event wheel");
+    wheel_[when % wheel_size].push_back(seq);
+}
+
+void
+Core::complete(InstSeq seq)
+{
+    RuuEntry &e = entry(seq);
+    lbic_assert(e.in_window, "completing a dead entry");
+    lbic_assert(!e.completed, "double completion of seq ", seq);
+    e.completed = true;
+    for (const std::uint32_t token : e.dependents) {
+        RuuEntry &dep = ruu_[token >> 1];
+        lbic_assert(dep.wait_count > 0, "dependent wait underflow");
+        if (--dep.wait_count == 0)
+            ready_q_.push(dep.inst.seq);
+        if (token & 1)
+            storeAddrKnown(dep.inst.seq);
+    }
+    e.dependents.clear();
+}
+
+void
+Core::storeAddrKnown(InstSeq seq)
+{
+    RuuEntry &e = entry(seq);
+    lbic_assert(e.inst.isStore(), "addr-known on a non-store");
+    lbic_assert(!e.addr_known, "store address resolved twice");
+    e.addr_known = true;
+    unknown_stores_.erase(seq);
+    // Under perfect disambiguation the store was indexed at dispatch.
+    if (config_.disambiguation == Disambiguation::Conservative)
+        stores_by_addr_[e.inst.addr].push_back(seq);
+}
+
+void
+Core::wakeup()
+{
+    auto &slot = wheel_[cycle_ % wheel_size];
+    for (const InstSeq seq : slot)
+        complete(seq);
+    slot.clear();
+}
+
+void
+Core::issueStage()
+{
+    retry_scratch_.clear();
+    unsigned issued = 0;
+
+    while (issued < config_.issue_width && !ready_q_.empty()) {
+        const InstSeq seq = ready_q_.top();
+        ready_q_.pop();
+        RuuEntry &e = entry(seq);
+        lbic_assert(e.in_window && !e.issued,
+                    "ready queue holds a bad entry");
+
+        if (e.inst.isMem()) {
+            // Address generation: the operation's address operands are
+            // ready, so its effective address is now known.
+            e.issued = true;
+            ++issued;
+            if (trace_)
+                trace('I', seq);
+            if (e.inst.isStore()) {
+                // All operands (address and data) are ready: the store
+                // can retire once it gets a cache port at commit. Its
+                // address became known when the address operand
+                // resolved, possibly much earlier.
+                complete(seq);
+            } else {
+                cache_ready_loads_.insert(seq);
+            }
+            continue;
+        }
+
+        FuPool &pool = fus_.poolFor(e.inst.op);
+        if (!pool.available(cycle_)) {
+            // Structural hazard: retry next cycle without burning the
+            // rest of this cycle's slots on the same entry.
+            retry_scratch_.push_back(seq);
+            ++issued;
+            continue;
+        }
+        pool.issue(cycle_, opIssueInterval(e.inst.op));
+        e.issued = true;
+        ++issued;
+        if (trace_)
+            trace('I', seq);
+        scheduleCompletion(seq, cycle_ + opLatency(e.inst.op));
+    }
+
+    for (const InstSeq seq : retry_scratch_)
+        ready_q_.push(seq);
+}
+
+Core::ForwardState
+Core::checkForward(InstSeq load_seq)
+{
+    const RuuEntry &load = entry(load_seq);
+    auto it = stores_by_addr_.find(load.inst.addr);
+    if (it == stores_by_addr_.end())
+        return ForwardState::NoMatch;
+    // The youngest older store to this address supplies the data. All
+    // entries are in-flight known-address stores (removed at commit).
+    InstSeq best = 0;
+    bool found = false;
+    for (const InstSeq s : it->second) {
+        if (s < load_seq && (!found || s > best)) {
+            best = s;
+            found = true;
+        }
+    }
+    if (!found)
+        return ForwardState::NoMatch;
+    // Zero-latency service needs the store's data; until the store's
+    // operands resolve the load waits in the LSQ.
+    return entry(best).completed ? ForwardState::Forward
+                                 : ForwardState::WaitData;
+}
+
+void
+Core::markPendingStores()
+{
+    // Stores write the cache at commit; a store becomes eligible for a
+    // port once everything older than it has completed (it is in the
+    // contiguous completed prefix at the head of the window). Walking
+    // at most commit_width entries bounds the cost and matches how far
+    // commit could reach this cycle.
+    InstSeq seq = head_seq_;
+    unsigned walked = 0;
+    while (seq < tail_seq_ && walked < config_.commit_width) {
+        const RuuEntry &e = entry(seq);
+        if (!e.in_window || !e.completed)
+            break;
+        if (e.inst.isStore() && !e.cache_granted)
+            pending_stores_.insert(seq);
+        ++seq;
+        ++walked;
+    }
+}
+
+void
+Core::memIssueStage()
+{
+    markPendingStores();
+
+    // Gather the oldest ready memory operations, stores and loads
+    // merged in program order. Loads younger than the oldest unknown-
+    // address store must wait (LSQ ordering rule), so the load scan
+    // can stop there.
+    requests_scratch_.clear();
+    const InstSeq load_barrier =
+        config_.disambiguation == Disambiguation::Perfect
+                || unknown_stores_.empty()
+            ? ~InstSeq{0}
+            : *unknown_stores_.begin();
+
+    auto store_it = pending_stores_.begin();
+    auto load_it = cache_ready_loads_.begin();
+    std::vector<InstSeq> forwarded;
+
+    while (requests_scratch_.size() < config_.mem_request_window) {
+        const bool have_store = store_it != pending_stores_.end();
+        bool have_load = load_it != cache_ready_loads_.end()
+            && *load_it < load_barrier;
+
+        if (have_load) {
+            const ForwardState fwd = checkForward(*load_it);
+            if (fwd == ForwardState::Forward) {
+                forwarded.push_back(*load_it);
+                ++load_it;
+                continue;
+            }
+            if (fwd == ForwardState::WaitData) {
+                // Matched an older store whose data is pending: the
+                // load is serviced in the LSQ later, never by the
+                // cache; skip it this cycle.
+                ++load_it;
+                continue;
+            }
+        }
+
+        InstSeq seq;
+        if (have_store && have_load) {
+            seq = std::min(*store_it, *load_it);
+            if (seq == *store_it)
+                ++store_it;
+            else
+                ++load_it;
+        } else if (have_store) {
+            seq = *store_it++;
+        } else if (have_load) {
+            seq = *load_it++;
+        } else {
+            break;
+        }
+
+        const RuuEntry &e = entry(seq);
+        MemRequest req;
+        req.seq = seq;
+        req.addr = e.inst.addr;
+        req.is_store = e.inst.isStore();
+        requests_scratch_.push_back(req);
+    }
+
+    // Forwarded loads complete with zero latency and never reach the
+    // cache structure.
+    for (const InstSeq seq : forwarded) {
+        cache_ready_loads_.erase(seq);
+        ++loads_forwarded;
+        if (trace_)
+            trace('M', seq, "forwarded");
+        complete(seq);
+    }
+
+    if (requests_scratch_.empty())
+        return;
+
+    scheduler_.select(requests_scratch_, accepted_scratch_);
+
+    for (const std::size_t i : accepted_scratch_) {
+        const MemRequest &req = requests_scratch_[i];
+        const AccessOutcome out =
+            hierarchy_.access(req.addr, req.is_store, cycle_);
+        if (!out.accepted) {
+            // MSHRs full: the grant is wasted; retry next cycle.
+            ++mem_rejections;
+            continue;
+        }
+        if (trace_)
+            trace('M', req.seq, out.l1_hit ? "hit" : "miss");
+        if (req.is_store) {
+            entry(req.seq).cache_granted = true;
+            pending_stores_.erase(req.seq);
+            ++stores_executed;
+        } else {
+            cache_ready_loads_.erase(req.seq);
+            ++loads_executed;
+            if (out.ready <= cycle_)
+                complete(req.seq);
+            else
+                scheduleCompletion(req.seq, out.ready);
+        }
+    }
+}
+
+void
+Core::commitStage()
+{
+    unsigned done = 0;
+    while (done < config_.commit_width && head_seq_ < tail_seq_
+           && committed_count_ < commit_limit_) {
+        RuuEntry &e = entry(head_seq_);
+        if (!e.in_window || !e.completed)
+            break;
+        if (e.inst.isStore() && !e.cache_granted)
+            break;
+
+        // Retire: release the producer binding and the LSQ slot.
+        if (e.inst.dst != invalid_reg) {
+            auto it = producers_.find(e.inst.dst);
+            if (it != producers_.end() && it->second == head_seq_)
+                producers_.erase(it);
+        }
+        if (e.inst.isMem()) {
+            lbic_assert(lsq_count_ > 0, "LSQ underflow");
+            --lsq_count_;
+            if (e.inst.isStore()) {
+                auto it = stores_by_addr_.find(e.inst.addr);
+                lbic_assert(it != stores_by_addr_.end(),
+                            "committing store missing from the "
+                            "forwarding index");
+                std::erase(it->second, head_seq_);
+                if (it->second.empty())
+                    stores_by_addr_.erase(it);
+            }
+        }
+        if (trace_)
+            trace('C', head_seq_);
+        e.in_window = false;
+        ++head_seq_;
+        ++committed_count_;
+        ++committed;
+        ++done;
+    }
+
+    if (done > 0) {
+        last_commit_cycle_ = cycle_;
+    } else if (head_seq_ < tail_seq_
+               && cycle_ - last_commit_cycle_
+                      > config_.deadlock_threshold) {
+        const RuuEntry &h = entry(head_seq_);
+        lbic_panic("no commit for ", config_.deadlock_threshold,
+                   " cycles; head seq ", head_seq_, " op ",
+                   opClassName(h.inst.op), " completed=", h.completed,
+                   " granted=", h.cache_granted,
+                   " wait=", h.wait_count);
+    }
+}
+
+void
+Core::dispatchStage()
+{
+    unsigned fetched = 0;
+    while (fetched < config_.fetch_width) {
+        if (tail_seq_ - head_seq_ >= config_.ruu_size)
+            break;
+
+        if (!staged_valid_) {
+            if (stream_ended_ || !workload_.next(staged_inst_)) {
+                stream_ended_ = true;
+                break;
+            }
+            staged_valid_ = true;
+        }
+        if (staged_inst_.isMem() && lsq_count_ >= config_.lsq_size)
+            break;
+
+        const InstSeq seq = tail_seq_++;
+        RuuEntry &e = entry(seq);
+        lbic_assert(!e.in_window, "RUU slot still occupied");
+        e.inst = staged_inst_;
+        e.inst.seq = seq;
+        e.wait_count = 0;
+        e.in_window = true;
+        e.issued = false;
+        e.completed = false;
+        e.addr_known = false;
+        e.cache_granted = false;
+        e.dependents.clear();
+        staged_valid_ = false;
+
+        // Resolve register dependences against in-flight producers.
+        // For stores, src[0] is the address operand: resolving it
+        // makes the store's effective address known to the LSQ even
+        // while the data operand (src[1]) is still in flight.
+        bool addr_pending = false;
+        for (unsigned k = 0; k < max_src_regs; ++k) {
+            const RegId src = e.inst.src[k];
+            if (src == invalid_reg)
+                continue;
+            auto it = producers_.find(src);
+            if (it == producers_.end())
+                continue;
+            RuuEntry &prod = entry(it->second);
+            if (prod.in_window && !prod.completed) {
+                const bool is_addr_edge = e.inst.isStore() && k == 0;
+                prod.dependents.push_back(static_cast<std::uint32_t>(
+                    (seq % config_.ruu_size) << 1 | is_addr_edge));
+                ++e.wait_count;
+                addr_pending = addr_pending || is_addr_edge;
+            }
+        }
+        if (e.inst.dst != invalid_reg)
+            producers_[e.inst.dst] = seq;
+
+        if (e.inst.isMem()) {
+            ++lsq_count_;
+            if (e.inst.isStore()) {
+                e.addr_known = false;
+                if (config_.disambiguation
+                        == Disambiguation::Perfect) {
+                    // Oracle: the store's address is visible to the
+                    // LSQ disambiguator from dispatch.
+                    stores_by_addr_[e.inst.addr].push_back(seq);
+                    if (!addr_pending)
+                        e.addr_known = true;
+                } else {
+                    unknown_stores_.insert(seq);
+                    if (!addr_pending)
+                        storeAddrKnown(seq);
+                }
+            }
+        }
+
+        if (e.wait_count == 0)
+            ready_q_.push(seq);
+        if (trace_)
+            trace('D', seq);
+        ++fetched;
+    }
+}
+
+void
+Core::tick()
+{
+    wakeup();
+    issueStage();
+    memIssueStage();
+    scheduler_.tick();
+    commitStage();
+    dispatchStage();
+    ++cycle_;
+    ++cycles;
+}
+
+RunResult
+Core::run(std::uint64_t max_insts)
+{
+    commit_limit_ = max_insts;
+    while (committed_count_ < max_insts) {
+        if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
+            break;
+        tick();
+    }
+    RunResult result;
+    result.instructions = committed_count_;
+    result.cycles = cycle_;
+    return result;
+}
+
+} // namespace lbic

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The dynamic superscalar core (paper §2.1, Figure 1).
+ *
+ * An execution-driven timing model of SimpleScalar's sim-outorder
+ * configuration used by the paper: a register update unit (RUU) holds
+ * the instruction window and tracks register dependences; a load/store
+ * queue (LSQ) enforces memory ordering -- loads may execute once their
+ * operands are ready and all prior store addresses are known, a load
+ * to the address of an earlier in-flight store is serviced by that
+ * store with zero latency, and stores access the data cache at commit
+ * time. Instruction supply is perfect (64 per cycle, never a branch
+ * stall), isolating data-supply bandwidth as the bottleneck, which is
+ * the paper's experimental design.
+ *
+ * The data cache's port organization is pluggable via PortScheduler;
+ * it is the only thing that differs between the Table 3 / Table 4
+ * columns.
+ */
+
+#ifndef LBIC_CPU_CORE_HH
+#define LBIC_CPU_CORE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cacheport/port_scheduler.hh"
+#include "common/statistics.hh"
+#include "cpu/core_config.hh"
+#include "cpu/fu_pool.hh"
+#include "isa/dyn_inst.hh"
+#include "memory/hierarchy.hh"
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** Result of a finished simulation run. */
+struct RunResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions)
+                            / static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param config core widths, window sizes and FU counts.
+     * @param workload instruction source (not owned).
+     * @param hierarchy data memory hierarchy (not owned).
+     * @param scheduler cache-port organization (not owned).
+     * @param parent stat group to register under.
+     */
+    Core(const CoreConfig &config, Workload &workload,
+         MemoryHierarchy &hierarchy, PortScheduler &scheduler,
+         stats::StatGroup *parent);
+
+    /**
+     * Simulate until @p max_insts instructions have committed (or the
+     * workload stream ends and the window drains).
+     */
+    RunResult run(std::uint64_t max_insts);
+
+    /** Advance the model by one cycle (exposed for unit tests). */
+    void tick();
+
+    /**
+     * Stream per-cycle pipeline events (dispatch/issue/memory/commit)
+     * to @p os, one line per event -- the debugging view gem5 calls
+     * Exec tracing. Pass nullptr to disable (the default; tracing has
+     * zero cost when off).
+     */
+    void setPipeTrace(std::ostream *os) { trace_ = os; }
+
+    Cycle now() const { return cycle_; }
+    std::uint64_t committedCount() const { return committed_count_; }
+
+    /** Current window occupancy (for tests). */
+    unsigned windowOccupancy() const
+    {
+        return static_cast<unsigned>(tail_seq_ - head_seq_);
+    }
+
+    /** Current load/store queue occupancy (for tests). */
+    unsigned lsqOccupancy() const { return lsq_count_; }
+
+  private:
+    /** One RUU/LSQ entry. */
+    struct RuuEntry
+    {
+        DynInst inst;
+        std::uint16_t wait_count = 0;
+        bool in_window = false;
+        bool issued = false;
+        bool completed = false;
+        bool addr_known = false;     //!< store: effective address known
+        bool cache_granted = false;  //!< store: write access granted
+        /**
+         * Waiting consumers, encoded as (ruu_index << 1) | is_addr.
+         * The is_addr bit marks a store's address-operand edge: when
+         * it resolves the store's address becomes known (LSQ rule)
+         * even though the store may still wait for its data.
+         */
+        std::vector<std::uint32_t> dependents;
+    };
+
+    RuuEntry &entry(InstSeq seq)
+    {
+        return ruu_[seq % config_.ruu_size];
+    }
+
+    /** @{ @name Pipeline stages, in per-cycle order */
+    void wakeup();
+    void issueStage();
+    void memIssueStage();
+    void commitStage();
+    void dispatchStage();
+    /** @} */
+
+    /** Mark @p seq completed and wake its dependents. */
+    void complete(InstSeq seq);
+
+    /** A store's effective address just became known. */
+    void storeAddrKnown(InstSeq seq);
+
+    /** Book a completion event for @p seq at @p when. */
+    void scheduleCompletion(InstSeq seq, Cycle when);
+
+    /** What the forwarding check decided for a ready load. */
+    enum class ForwardState
+    {
+        NoMatch,   //!< no older in-flight store to this address
+        Forward,   //!< matched a completed store: zero-latency data
+        WaitData,  //!< matched a store whose data is not ready yet
+    };
+
+    /**
+     * Check a ready load against older in-flight stores to the same
+     * address (youngest older store wins).
+     */
+    ForwardState checkForward(InstSeq load_seq);
+
+    /** Mark committed-prefix stores as eligible for cache access. */
+    void markPendingStores();
+
+    /** Emit one trace line if tracing is enabled. */
+    void trace(char stage, InstSeq seq, const char *detail = "");
+
+    std::ostream *trace_ = nullptr;
+
+    CoreConfig config_;
+    Workload &workload_;
+    MemoryHierarchy &hierarchy_;
+    PortScheduler &scheduler_;
+
+    std::vector<RuuEntry> ruu_;
+    InstSeq head_seq_ = 0;   //!< oldest in-window instruction
+    InstSeq tail_seq_ = 0;   //!< next sequence number to allocate
+    unsigned lsq_count_ = 0;
+
+    /** In-flight producer of each SSA register. */
+    std::unordered_map<RegId, InstSeq> producers_;
+
+    /** Operands-ready instructions awaiting an issue slot. */
+    std::priority_queue<InstSeq, std::vector<InstSeq>,
+                        std::greater<InstSeq>> ready_q_;
+
+    /** In-flight stores whose address is not yet known. */
+    std::set<InstSeq> unknown_stores_;
+
+    /** Issued loads awaiting a cache port. */
+    std::set<InstSeq> cache_ready_loads_;
+
+    /** Completed commit-prefix stores awaiting a cache port. */
+    std::set<InstSeq> pending_stores_;
+
+    /** In-flight known-address stores by effective address. */
+    std::unordered_map<Addr, std::vector<InstSeq>> stores_by_addr_;
+
+    /** Completion event wheel. */
+    static constexpr unsigned wheel_size = 256;
+    std::vector<std::vector<InstSeq>> wheel_;
+
+    FuPoolSet fus_;
+
+    Cycle cycle_ = 0;
+    std::uint64_t committed_count_ = 0;
+    std::uint64_t commit_limit_ = ~std::uint64_t{0};
+    Cycle last_commit_cycle_ = 0;
+    bool stream_ended_ = false;
+
+    /** One-instruction fetch buffer (holds an inst the LSQ refused). */
+    DynInst staged_inst_;
+    bool staged_valid_ = false;
+
+    /** Scratch buffers reused across cycles. */
+    std::vector<MemRequest> requests_scratch_;
+    std::vector<std::size_t> accepted_scratch_;
+    std::vector<InstSeq> retry_scratch_;
+
+    stats::StatGroup group_;
+
+  public:
+    /** @{ @name Statistics */
+    stats::Scalar committed;
+    stats::Scalar cycles;
+    stats::Scalar loads_executed;
+    stats::Scalar stores_executed;
+    stats::Scalar loads_forwarded;
+    stats::Scalar mem_rejections;   //!< grants bounced off full MSHRs
+    stats::Derived ipc;
+    /** @} */
+};
+
+} // namespace lbic
+
+#endif // LBIC_CPU_CORE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Out-of-order core parameters (paper Table 1).
+ *
+ * The defaults reproduce the baseline processor model: 64-wide fetch
+ * and issue, a 1024-entry register update unit, a 512-entry load/store
+ * queue, 64 functional units of each class, perfect instruction supply
+ * and branch prediction.
+ */
+
+#ifndef LBIC_CPU_CORE_CONFIG_HH
+#define LBIC_CPU_CORE_CONFIG_HH
+
+#include <cstdint>
+
+namespace lbic
+{
+
+/** How the LSQ decides when a load may pass earlier stores. */
+enum class Disambiguation
+{
+    /**
+     * Oracle (SimpleScalar-style): the simulator knows every store's
+     * effective address at dispatch, so a load waits only for earlier
+     * stores to the *same* address. This matches sim-outorder, which
+     * executes instructions functionally at dispatch, and reproduces
+     * the paper's IPC levels.
+     */
+    Perfect,
+
+    /**
+     * Conservative (Table 1's literal wording): a load may execute
+     * only when all prior store addresses are known. Exposed as an
+     * ablation; it serializes codes whose store addresses hang off
+     * loads (compress's hashed store addresses, for example).
+     */
+    Conservative,
+};
+
+/** Width, window and functional-unit parameters of the core. */
+struct CoreConfig
+{
+    /** Instructions fetched in program order per cycle. */
+    unsigned fetch_width = 64;
+
+    /** Operations issued out of order per cycle. */
+    unsigned issue_width = 64;
+
+    /** Instructions committed in order per cycle. */
+    unsigned commit_width = 64;
+
+    /** Register update unit (re-order buffer) entries. */
+    unsigned ruu_size = 1024;
+
+    /** Load/store queue entries. */
+    unsigned lsq_size = 512;
+
+    /** Functional-unit counts per pool (Table 1). */
+    unsigned int_alu_units = 64;      //!< also executes branches/nops
+    unsigned int_mult_div_units = 64;
+    unsigned fp_add_units = 64;
+    unsigned fp_mult_div_units = 64;
+
+    /**
+     * Upper bound on ready memory requests presented to the port
+     * scheduler per cycle (an implementation window, not a paper
+     * parameter; large enough that combining sees the whole useful
+     * candidate set).
+     */
+    unsigned mem_request_window = 64;
+
+    /** Load/store queue memory disambiguation policy. */
+    Disambiguation disambiguation = Disambiguation::Perfect;
+
+    /** Cycles without a commit before declaring deadlock (panic). */
+    unsigned deadlock_threshold = 100000;
+};
+
+} // namespace lbic
+
+#endif // LBIC_CPU_CORE_CONFIG_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Functional-unit pools.
+ *
+ * Each pool holds a number of identical units. Issuing an operation
+ * occupies one unit for the operation's issue interval (1 cycle for
+ * pipelined units, 12 for the unpipelined dividers). Occupancy is
+ * tracked with a release wheel so each query and release is O(1).
+ */
+
+#ifndef LBIC_CPU_FU_POOL_HH
+#define LBIC_CPU_FU_POOL_HH
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace lbic
+{
+
+/** A pool of identical functional units. */
+class FuPool
+{
+  public:
+    /** @param count number of units in the pool. */
+    explicit FuPool(unsigned count)
+        : count_(count)
+    {
+        release_wheel_.fill(0);
+    }
+
+    /** True if a unit is free at @p now. */
+    bool
+    available(Cycle now)
+    {
+        advance(now);
+        return busy_ < count_;
+    }
+
+    /**
+     * Occupy one unit for @p interval cycles starting at @p now.
+     * A unit must be available.
+     */
+    void
+    issue(Cycle now, unsigned interval)
+    {
+        advance(now);
+        lbic_assert(busy_ < count_, "issue to a fully busy FU pool");
+        lbic_assert(interval >= 1 && interval < wheel_size,
+                    "issue interval out of range");
+        ++busy_;
+        ++release_wheel_[(now + interval) % wheel_size];
+    }
+
+    unsigned busy() const { return busy_; }
+    unsigned count() const { return count_; }
+
+  private:
+    /** Release units whose issue interval has elapsed by @p now. */
+    void
+    advance(Cycle now)
+    {
+        while (clock_ < now) {
+            ++clock_;
+            const unsigned released =
+                release_wheel_[clock_ % wheel_size];
+            release_wheel_[clock_ % wheel_size] = 0;
+            lbic_assert(released <= busy_,
+                        "FU release underflow");
+            busy_ -= released;
+        }
+    }
+
+    static constexpr unsigned wheel_size = 64;
+
+    unsigned count_;
+    unsigned busy_ = 0;
+    Cycle clock_ = 0;
+    std::array<unsigned, wheel_size> release_wheel_{};
+};
+
+/** The four pools of Table 1, indexed by operation class. */
+class FuPoolSet
+{
+  public:
+    FuPoolSet(unsigned int_alu, unsigned int_mult_div, unsigned fp_add,
+              unsigned fp_mult_div)
+        : int_alu_(int_alu), int_mult_div_(int_mult_div),
+          fp_add_(fp_add), fp_mult_div_(fp_mult_div)
+    {
+    }
+
+    /** The pool executing operations of class @p op. */
+    FuPool &
+    poolFor(OpClass op)
+    {
+        switch (op) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+          case OpClass::Nop:
+            return int_alu_;
+          case OpClass::IntMult:
+          case OpClass::IntDiv:
+            return int_mult_div_;
+          case OpClass::FpAdd:
+            return fp_add_;
+          case OpClass::FpMult:
+          case OpClass::FpDiv:
+            return fp_mult_div_;
+          default:
+            lbic_panic("no FU pool for op class ",
+                       opClassName(op));
+        }
+    }
+
+  private:
+    FuPool int_alu_;
+    FuPool int_mult_div_;
+    FuPool fp_add_;
+    FuPool fp_mult_div_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_CPU_FU_POOL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The dynamic instruction record.
+ *
+ * Workload generators emit a stream of DynInst records; the out-of-
+ * order core consumes them. A DynInst carries everything the timing
+ * model needs: operation class, register dependences (up to two
+ * sources, one destination) and, for memory operations, the effective
+ * address and access size. Since the front end is perfect (paper §2.1)
+ * no PC or branch-target information is needed; branches only occupy
+ * a functional unit.
+ */
+
+#ifndef LBIC_ISA_DYN_INST_HH
+#define LBIC_ISA_DYN_INST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace lbic
+{
+
+/** Maximum number of source registers per instruction. */
+constexpr unsigned max_src_regs = 2;
+
+/** One dynamic instruction as produced by a workload generator. */
+struct DynInst
+{
+    /** Program-order sequence number, assigned by the fetch stage. */
+    InstSeq seq = 0;
+
+    /** Operation class (selects FU type and latency). */
+    OpClass op = OpClass::Nop;
+
+    /** Destination register, or invalid_reg if none. */
+    RegId dst = invalid_reg;
+
+    /** Source registers; unused slots hold invalid_reg. */
+    std::array<RegId, max_src_regs> src{invalid_reg, invalid_reg};
+
+    /** Effective byte address (memory ops only). */
+    Addr addr = invalid_addr;
+
+    /** Access size in bytes (memory ops only). */
+    std::uint8_t size = 0;
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isMem() const { return isMemOp(op); }
+};
+
+} // namespace lbic
+
+#endif // LBIC_ISA_DYN_INST_HH

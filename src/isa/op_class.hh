@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Operation classes and their latencies.
+ *
+ * The simulated processor executes a MIPS-like micro-ISA where each
+ * dynamic instruction belongs to one operation class. Latencies follow
+ * Table 1 of the paper exactly:
+ *
+ *   integer ALU   1/1     FP adder  2/1
+ *   integer MULT  3/1     FP MULT   4/1
+ *   integer DIV  12/12    FP DIV   12/12
+ *   load/store    1/1
+ *
+ * "total/issue" means total execution latency / cycles before the
+ * functional unit can accept another operation (issue interval).
+ */
+
+#ifndef LBIC_ISA_OP_CLASS_HH
+#define LBIC_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace lbic
+{
+
+/** The operation classes of the simulated micro-ISA. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     //!< integer add/sub/logic/compare/shift
+    IntMult,    //!< integer multiply
+    IntDiv,     //!< integer divide
+    FpAdd,      //!< floating-point add/sub/compare/convert
+    FpMult,     //!< floating-point multiply
+    FpDiv,      //!< floating-point divide/sqrt
+    Load,       //!< memory read
+    Store,      //!< memory write
+    Branch,     //!< control transfer (perfectly predicted)
+    Nop,        //!< no operation
+
+    NumClasses
+};
+
+/** Number of distinct operation classes. */
+constexpr std::size_t num_op_classes =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+/** Execution latency in cycles for @p op (the "total" in total/issue). */
+constexpr unsigned
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:  return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv:  return 12;
+      case OpClass::FpAdd:   return 2;
+      case OpClass::FpMult:  return 4;
+      case OpClass::FpDiv:   return 12;
+      case OpClass::Load:    return 1;
+      case OpClass::Store:   return 1;
+      case OpClass::Branch:  return 1;
+      case OpClass::Nop:     return 1;
+      default:               return 1;
+    }
+}
+
+/**
+ * Issue interval in cycles: how long the functional unit is busy
+ * before accepting another operation (the "issue" in total/issue).
+ */
+constexpr unsigned
+opIssueInterval(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntDiv: return 12;
+      case OpClass::FpDiv:  return 12;
+      default:              return 1;
+    }
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** Human-readable class name. */
+constexpr std::string_view
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:  return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::IntDiv:  return "IntDiv";
+      case OpClass::FpAdd:   return "FpAdd";
+      case OpClass::FpMult:  return "FpMult";
+      case OpClass::FpDiv:   return "FpDiv";
+      case OpClass::Load:    return "Load";
+      case OpClass::Store:   return "Store";
+      case OpClass::Branch:  return "Branch";
+      case OpClass::Nop:     return "Nop";
+      default:               return "Invalid";
+    }
+}
+
+} // namespace lbic
+
+#endif // LBIC_ISA_OP_CLASS_HH

@@ -1,0 +1,24 @@
+#include "cache_config.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOf2(size_bytes))
+        lbic_fatal("cache size ", size_bytes, " is not a power of two");
+    if (!isPowerOf2(line_bytes))
+        lbic_fatal("line size ", line_bytes, " is not a power of two");
+    if (assoc == 0)
+        lbic_fatal("associativity must be at least 1");
+    if (Addr{line_bytes} * assoc > size_bytes)
+        lbic_fatal("cache smaller than one set (size=", size_bytes,
+                   " line=", line_bytes, " assoc=", assoc, ")");
+    if (!isPowerOf2(numSets()))
+        lbic_fatal("set count ", numSets(), " is not a power of two");
+}
+
+} // namespace lbic

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cache geometry and policy parameters.
+ */
+
+#ifndef LBIC_MEMORY_CACHE_CONFIG_HH
+#define LBIC_MEMORY_CACHE_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace lbic
+{
+
+/** Line replacement policy for set-associative caches. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,     //!< least recently used
+    Random,  //!< pseudo-random victim
+};
+
+/** Geometry and policy of one cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes (power of two). */
+    std::uint64_t size_bytes = 32 * 1024;
+
+    /** Line size in bytes (power of two). */
+    std::uint32_t line_bytes = 32;
+
+    /** Associativity; 1 = direct mapped. */
+    std::uint32_t assoc = 1;
+
+    /** Victim selection policy. */
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return size_bytes / (Addr{line_bytes} * assoc);
+    }
+
+    /** Number of low bits covered by the line offset. */
+    unsigned lineBits() const { return floorLog2(line_bytes); }
+
+    /** Validity check; fatal() on a malformed geometry. */
+    void validate() const;
+};
+
+} // namespace lbic
+
+#endif // LBIC_MEMORY_CACHE_CONFIG_HH

@@ -1,0 +1,176 @@
+#include "hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
+                                 stats::StatGroup *parent)
+    : config_(config),
+      l1_(config.l1),
+      l2_(config.l2),
+      group_(parent, "dcache"),
+      accesses(&group_, "accesses", "total L1 accesses"),
+      hits(&group_, "hits", "L1 hits"),
+      misses(&group_, "misses", "L1 primary misses"),
+      secondary_misses(&group_, "secondary_misses",
+                       "misses coalesced onto an in-flight MSHR"),
+      rejected(&group_, "rejected", "accesses rejected (MSHRs full)"),
+      miss_port_stalls(&group_, "miss_port_stalls",
+                       "misses deferred by the one-request-per-cycle "
+                       "L1-to-L2 port"),
+      writebacks(&group_, "writebacks", "dirty L1 lines written back"),
+      l2_accesses(&group_, "l2_accesses", "L2 demand accesses"),
+      l2_hits(&group_, "l2_hits", "L2 hits"),
+      l2_misses(&group_, "l2_misses", "L2 misses"),
+      l2_writebacks(&group_, "l2_writebacks",
+                    "dirty L2 lines written back"),
+      miss_rate(&group_, "miss_rate", "L1 misses per access",
+                [this] { return l1MissRate(); })
+{
+    lbic_assert(config_.max_outstanding > 0, "need at least one MSHR");
+    mshrs_.reserve(config_.max_outstanding);
+}
+
+void
+MemoryHierarchy::retireFills(Cycle now)
+{
+    // MSHR count is small (<= 64); a linear sweep with swap-erase is
+    // cheaper than keeping an ordered structure.
+    for (std::size_t i = 0; i < mshrs_.size();) {
+        if (mshrs_[i].fill_cycle <= now) {
+            const Mshr done = mshrs_[i];
+            const Eviction ev = l1_.insert(done.line, done.dirty);
+            if (ev.valid && ev.dirty) {
+                ++writebacks;
+                writeback(ev.line_addr);
+            }
+            mshr_index_.erase(done.line);
+            mshrs_[i] = mshrs_.back();
+            mshrs_.pop_back();
+            if (i < mshrs_.size())
+                mshr_index_[mshrs_[i].line] = i;
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+MemoryHierarchy::writeback(Addr line_addr)
+{
+    // Writeback path: mark the containing L2 line dirty, allocating it
+    // if it has been displaced. Write bandwidth between the levels is
+    // not a modelled constraint (the L1-L2 path is fully pipelined).
+    if (l2_.access(line_addr, true))
+        return;
+    const Eviction ev = l2_.insert(line_addr, true);
+    if (ev.valid && ev.dirty)
+        ++l2_writebacks;
+}
+
+unsigned
+MemoryHierarchy::l2AccessLatency(Addr addr)
+{
+    ++l2_accesses;
+    if (l2_.access(addr, false)) {
+        ++l2_hits;
+        return config_.l2_latency;
+    }
+    ++l2_misses;
+    const Eviction ev = l2_.insert(addr, false);
+    if (ev.valid && ev.dirty)
+        ++l2_writebacks;
+    return config_.l2_latency + config_.mem_latency;
+}
+
+AccessOutcome
+MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
+{
+    retireFills(now);
+    ++accesses;
+
+    AccessOutcome out;
+    if (l1_.access(addr, is_store)) {
+        ++hits;
+        out.accepted = true;
+        out.l1_hit = true;
+        out.ready = now + config_.l1_hit_latency;
+        return out;
+    }
+
+    const Addr line = l1_.lineAddr(addr);
+    auto it = mshr_index_.find(line);
+    if (it != mshr_index_.end()) {
+        // Secondary miss: coalesce onto the in-flight fill.
+        ++secondary_misses;
+        Mshr &m = mshrs_[it->second];
+        m.dirty = m.dirty || is_store;
+        out.accepted = true;
+        out.ready = m.fill_cycle;
+        return out;
+    }
+
+    if (mshrs_.size() >= config_.max_outstanding) {
+        ++rejected;
+        // Undo the access count: a rejected request will be retried
+        // and should only be counted once.
+        accesses += -1.0;
+        return out;
+    }
+
+    // The L1-to-L2 path accepts a bounded number of new miss requests
+    // per cycle (Table 1: one; fully pipelined beyond that).
+    if (config_.miss_requests_per_cycle != 0) {
+        if (last_miss_cycle_ == now
+            && misses_this_cycle_ >= config_.miss_requests_per_cycle) {
+            ++miss_port_stalls;
+            accesses += -1.0;
+            return out;
+        }
+        if (last_miss_cycle_ != now) {
+            last_miss_cycle_ = now;
+            misses_this_cycle_ = 0;
+        }
+        ++misses_this_cycle_;
+    }
+
+    ++misses;
+    const unsigned latency =
+        config_.l1_hit_latency + l2AccessLatency(addr);
+    Mshr m;
+    m.line = line;
+    m.fill_cycle = now + latency;
+    m.dirty = is_store;
+    mshr_index_[line] = mshrs_.size();
+    mshrs_.push_back(m);
+
+    out.accepted = true;
+    out.ready = m.fill_cycle;
+    return out;
+}
+
+bool
+MemoryHierarchy::canAccept(Addr addr, Cycle now)
+{
+    retireFills(now);
+    if (l1_.probe(addr))
+        return true;
+    if (mshr_index_.count(l1_.lineAddr(addr)))
+        return true;
+    if (mshrs_.size() >= config_.max_outstanding)
+        return false;
+    return config_.miss_requests_per_cycle == 0
+        || last_miss_cycle_ != now
+        || misses_this_cycle_ < config_.miss_requests_per_cycle;
+}
+
+unsigned
+MemoryHierarchy::outstandingMisses(Cycle now)
+{
+    retireFills(now);
+    return static_cast<unsigned>(mshrs_.size());
+}
+
+} // namespace lbic

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The two-level data memory hierarchy.
+ *
+ * L1 (32 KB direct-mapped, 32 B lines, write-back write-allocate,
+ * non-blocking) backed by a 512 KB 4-way L2 with 64 B lines and a flat
+ * 10-cycle main memory, per Table 1 / §2.1 of the paper. The L1-to-L2
+ * path is fully pipelined: a miss request can be sent every cycle with
+ * up to 64 outstanding.
+ *
+ * Timing uses deterministic latencies with lazy fills: a miss books a
+ * fill completion cycle in an MSHR; the line is installed in the tag
+ * store the first time the hierarchy is consulted at or after that
+ * cycle. Secondary misses to an in-flight line coalesce onto its MSHR.
+ */
+
+#ifndef LBIC_MEMORY_HIERARCHY_HH
+#define LBIC_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statistics.hh"
+#include "common/types.hh"
+#include "memory/tag_store.hh"
+
+namespace lbic
+{
+
+/** Latency and capacity parameters of the hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1{32 * 1024, 32, 1, ReplPolicy::LRU};
+    CacheConfig l2{512 * 1024, 64, 4, ReplPolicy::LRU};
+
+    /** L1 hit latency in cycles. */
+    unsigned l1_hit_latency = 1;
+
+    /** Additional latency of an L2 access. */
+    unsigned l2_latency = 4;
+
+    /** Additional latency of a main-memory access. */
+    unsigned mem_latency = 10;
+
+    /** Maximum in-flight L1 miss requests (MSHRs). */
+    unsigned max_outstanding = 64;
+
+    /**
+     * New miss requests the L1 may send toward the L2 per cycle
+     * (Table 1: "a miss request can be sent every cycle", i.e.\ one).
+     * 0 means unlimited.
+     */
+    unsigned miss_requests_per_cycle = 1;
+};
+
+/** Result of presenting one access to the hierarchy. */
+struct AccessOutcome
+{
+    /** False if no MSHR was available; retry later. */
+    bool accepted = false;
+
+    /** The access hit in the L1 (data ready after hit latency). */
+    bool l1_hit = false;
+
+    /** Cycle at which the data is available. */
+    Cycle ready = 0;
+};
+
+/** L1 + L2 + main memory with deterministic miss timing. */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param config latencies and geometries.
+     * @param parent stat group to register under.
+     */
+    MemoryHierarchy(const HierarchyConfig &config,
+                    stats::StatGroup *parent);
+
+    /**
+     * Present one access.
+     *
+     * @param addr effective byte address.
+     * @param is_store true for stores (write-allocate on miss).
+     * @param now current cycle.
+     */
+    AccessOutcome access(Addr addr, bool is_store, Cycle now);
+
+    /**
+     * Would a miss for @p addr be accepted at @p now? True when the
+     * line hits, has an in-flight MSHR, or an MSHR is free.
+     */
+    bool canAccept(Addr addr, Cycle now);
+
+    /** Number of in-flight miss requests at @p now. */
+    unsigned outstandingMisses(Cycle now);
+
+    const CacheConfig &l1Config() const { return l1_.config(); }
+
+    /** Measured L1 miss rate so far. */
+    double
+    l1MissRate() const
+    {
+        const double a = accesses.value();
+        return a > 0.0 ? misses.value() / a : 0.0;
+    }
+
+  private:
+    /** One in-flight miss. */
+    struct Mshr
+    {
+        Addr line = 0;
+        Cycle fill_cycle = 0;
+        bool dirty = false;     //!< a store is waiting on this fill
+    };
+
+    /** Install fills whose data has arrived by @p now. */
+    void retireFills(Cycle now);
+
+    /** Handle an L1 writeback into the L2. */
+    void writeback(Addr line_addr);
+
+    /** Look up the L2, filling it on a miss; returns total latency. */
+    unsigned l2AccessLatency(Addr addr);
+
+    HierarchyConfig config_;
+    TagStore l1_;
+    TagStore l2_;
+
+    std::vector<Mshr> mshrs_;
+    std::unordered_map<Addr, std::size_t> mshr_index_;
+    Cycle last_miss_cycle_ = ~Cycle{0};
+    unsigned misses_this_cycle_ = 0;
+
+    stats::StatGroup group_;
+
+  public:
+    /** @{ @name Statistics (public for Derived formulas and tests) */
+    stats::Scalar accesses;
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar secondary_misses;
+    stats::Scalar rejected;
+    stats::Scalar miss_port_stalls;
+    stats::Scalar writebacks;
+    stats::Scalar l2_accesses;
+    stats::Scalar l2_hits;
+    stats::Scalar l2_misses;
+    stats::Scalar l2_writebacks;
+    stats::Derived miss_rate;
+    /** @} */
+};
+
+} // namespace lbic
+
+#endif // LBIC_MEMORY_HIERARCHY_HH

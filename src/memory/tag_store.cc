@@ -1,0 +1,145 @@
+#include "tag_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+TagStore::TagStore(const CacheConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    config_.validate();
+    line_bits_ = floorLog2(config_.line_bytes);
+    set_bits_ = floorLog2(config_.numSets());
+    entries_.resize(config_.numSets() * config_.assoc);
+}
+
+std::uint64_t
+TagStore::setIndex(Addr addr) const
+{
+    return bits(addr, line_bits_, set_bits_);
+}
+
+Addr
+TagStore::tagOf(Addr addr) const
+{
+    return addr >> (line_bits_ + set_bits_);
+}
+
+TagStore::Entry *
+TagStore::findEntry(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Entry *base = &entries_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const TagStore::Entry *
+TagStore::findEntry(Addr addr) const
+{
+    return const_cast<TagStore *>(this)->findEntry(addr);
+}
+
+bool
+TagStore::access(Addr addr, bool is_store)
+{
+    Entry *e = findEntry(addr);
+    if (e == nullptr)
+        return false;
+    e->last_use = ++use_counter_;
+    if (is_store)
+        e->dirty = true;
+    return true;
+}
+
+bool
+TagStore::probe(Addr addr) const
+{
+    return findEntry(addr) != nullptr;
+}
+
+Eviction
+TagStore::insert(Addr addr, bool is_store)
+{
+    lbic_assert(findEntry(addr) == nullptr,
+                "inserting a line that is already present");
+
+    const std::uint64_t set = setIndex(addr);
+    Entry *base = &entries_[set * config_.assoc];
+
+    // Prefer an invalid way; otherwise use the replacement policy.
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        if (config_.repl == ReplPolicy::Random) {
+            victim = &base[rng_.below(config_.assoc)];
+        } else {
+            victim = &base[0];
+            for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+                if (base[w].last_use < victim->last_use)
+                    victim = &base[w];
+            }
+        }
+    }
+
+    Eviction ev;
+    if (victim->valid) {
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.line_addr = (victim->tag << (line_bits_ + set_bits_)
+                        | set << line_bits_);
+    }
+
+    victim->valid = true;
+    victim->dirty = is_store;
+    victim->tag = tagOf(addr);
+    victim->last_use = ++use_counter_;
+    return ev;
+}
+
+bool
+TagStore::invalidate(Addr addr)
+{
+    Entry *e = findEntry(addr);
+    if (e == nullptr)
+        return false;
+    e->valid = false;
+    e->dirty = false;
+    return true;
+}
+
+void
+TagStore::markDirty(Addr addr)
+{
+    Entry *e = findEntry(addr);
+    lbic_assert(e != nullptr, "markDirty on an absent line");
+    e->dirty = true;
+}
+
+void
+TagStore::flush()
+{
+    std::fill(entries_.begin(), entries_.end(), Entry{});
+}
+
+std::uint64_t
+TagStore::validLines() const
+{
+    return static_cast<std::uint64_t>(
+        std::count_if(entries_.begin(), entries_.end(),
+                      [](const Entry &e) { return e.valid; }));
+}
+
+} // namespace lbic

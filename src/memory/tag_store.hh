@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Generic set-associative tag store.
+ *
+ * Tracks line presence, dirtiness and recency; carries no data (the
+ * simulator is a timing model -- values live in the workload
+ * generators). Used for the L1 data cache and the L2.
+ */
+
+#ifndef LBIC_MEMORY_TAG_STORE_HH
+#define LBIC_MEMORY_TAG_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "memory/cache_config.hh"
+
+namespace lbic
+{
+
+/** Result of a tag-store insertion. */
+struct Eviction
+{
+    bool valid = false;   //!< a line was evicted
+    bool dirty = false;   //!< the evicted line was dirty (writeback)
+    Addr line_addr = 0;   //!< line-aligned address of the victim
+};
+
+/** A set-associative array of cache tags. */
+class TagStore
+{
+  public:
+    /**
+     * @param config validated cache geometry.
+     * @param seed seed for the Random replacement policy.
+     */
+    explicit TagStore(const CacheConfig &config, std::uint64_t seed = 7);
+
+    /**
+     * Look up @p addr; updates recency on a hit.
+     *
+     * @param addr any byte address within the line.
+     * @param is_store marks the line dirty on a hit.
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool is_store);
+
+    /** Look up @p addr without updating any state. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Insert the line containing @p addr, evicting the victim chosen
+     * by the replacement policy if the set is full.
+     *
+     * @param addr any byte address within the line.
+     * @param is_store the insertion is for a store (line starts dirty).
+     * @return details of the evicted line, if any.
+     */
+    Eviction insert(Addr addr, bool is_store);
+
+    /**
+     * Invalidate the line containing @p addr if present.
+     * @return true if a line was invalidated.
+     */
+    bool invalidate(Addr addr);
+
+    /** Mark the line containing @p addr dirty; it must be present. */
+    void markDirty(Addr addr);
+
+    /** Drop all lines. */
+    void flush();
+
+    /** Number of valid lines currently held. */
+    std::uint64_t validLines() const;
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Line-aligned address for @p addr under this geometry. */
+    Addr lineAddr(Addr addr) const
+    {
+        return alignDown(addr, config_.line_bytes);
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t last_use = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Entry *findEntry(Addr addr);
+    const Entry *findEntry(Addr addr) const;
+
+    CacheConfig config_;
+    unsigned line_bits_;
+    unsigned set_bits_;
+    std::vector<Entry> entries_;
+    std::uint64_t use_counter_ = 0;
+    Random rng_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_MEMORY_TAG_STORE_HH

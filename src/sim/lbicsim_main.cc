@@ -1,0 +1,161 @@
+/**
+ * @file
+ * lbicsim: the command-line simulator driver.
+ *
+ * Runs one simulation and prints the result and statistics tree, or
+ * executes one of the utility modes:
+ *
+ *   lbicsim workload=swim ports=lbic:4x2 insts=1000000
+ *   lbicsim mode=list
+ *   lbicsim mode=profile workload=swim insts=200000
+ *   lbicsim mode=capture workload=swim insts=200000 trace=swim.trc
+ *   lbicsim mode=replay trace=swim.trc ports=bank:4
+ *
+ * All SimConfig overrides are accepted (see sim/sim_config.hh):
+ * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
+ * l1_assoc, lsq, ruu, fetch_width, issue_width, disambig.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/refstream.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
+
+namespace
+{
+
+using namespace lbic;
+
+int
+modeList()
+{
+    std::cout << "SPEC95-like kernels (integer):";
+    for (const auto &n : specintKernels())
+        std::cout << ' ' << n;
+    std::cout << "\nSPEC95-like kernels (floating point):";
+    for (const auto &n : specfpKernels())
+        std::cout << ' ' << n;
+    std::cout << "\nSynthetic: uniform strided chase sameline\n"
+              << "Port organizations: ideal:P repl:P bank:M wbank:M "
+                 "lbic:MxN lbicg:MxN\n";
+    return 0;
+}
+
+int
+modeProfile(const Config &args, const SimConfig &cfg)
+{
+    args.rejectUnrecognized();
+    auto w = makeWorkload(cfg.workload, cfg.seed);
+    const StreamProfile mix = profileStream(*w, cfg.max_insts);
+    w->reset();
+    const BankMapProfile bank = analyzeBankMapping(*w, cfg.max_insts);
+    std::cout << "workload " << cfg.workload << ": mem fraction "
+              << TextTable::fmt(mix.memFraction(), 3)
+              << ", store-to-load "
+              << TextTable::fmt(mix.storeToLoadRatio(), 3)
+              << ", same-bank " << TextTable::fmt(bank.sameBank(), 3)
+              << " (same-line "
+              << TextTable::fmt(bank.same_bank_same_line, 3)
+              << ", diff-line "
+              << TextTable::fmt(bank.same_bank_diff_line, 3) << ")\n";
+    return 0;
+}
+
+int
+modeCapture(const Config &args, const SimConfig &cfg)
+{
+    const std::string path = args.getString("trace", "");
+    args.rejectUnrecognized();
+    if (path.empty())
+        lbic_fatal("mode=capture needs trace=PATH");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        lbic_fatal("cannot open '", path, "' for writing");
+    auto w = makeWorkload(cfg.workload, cfg.seed);
+    const auto n = TraceWriter::capture(*w, out, cfg.max_insts);
+    std::cout << "captured " << n << " instructions of "
+              << cfg.workload << " to " << path << '\n';
+    return 0;
+}
+
+int
+modeReplay(const Config &args, SimConfig cfg)
+{
+    const std::string path = args.getString("trace", "");
+    args.rejectUnrecognized();
+    if (path.empty())
+        lbic_fatal("mode=replay needs trace=PATH");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        lbic_fatal("cannot open trace '", path, "'");
+    TraceReplayWorkload replay(in);
+    cfg.max_insts = std::min<std::uint64_t>(cfg.max_insts,
+                                            replay.size());
+    Simulator sim(cfg, replay);
+    const RunResult r = sim.run();
+    std::cout << "replayed " << r.instructions << " instructions in "
+              << r.cycles << " cycles: IPC "
+              << TextTable::fmt(r.ipc(), 4) << '\n';
+    sim.printStats(std::cout);
+    return 0;
+}
+
+int
+modeRun(const Config &args, const SimConfig &cfg)
+{
+    const std::string format = args.getString("stats", "text");
+    const std::string trace_path = args.getString("pipe_trace", "");
+    args.rejectUnrecognized();
+    Simulator sim(cfg);
+    std::ofstream trace_file;
+    if (!trace_path.empty()) {
+        trace_file.open(trace_path);
+        if (!trace_file)
+            lbic_fatal("cannot open '", trace_path, "' for writing");
+        sim.core().setPipeTrace(&trace_file);
+    }
+    const RunResult r = sim.run();
+    if (format == "json") {
+        sim.printStatsJson(std::cout);
+        return 0;
+    }
+    if (format != "text")
+        lbic_fatal("stats must be 'text' or 'json', got '", format,
+                   "'");
+    std::cout << cfg.workload << " on " << sim.portScheduler().name()
+              << ": " << r.instructions << " instructions, "
+              << r.cycles << " cycles, IPC "
+              << TextTable::fmt(r.ipc(), 4) << "\n\n";
+    sim.printStats(std::cout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const std::string mode = args.getString("mode", "run");
+
+    SimConfig cfg;
+    cfg.applyOverrides(args);
+
+    if (mode == "list")
+        return modeList();
+    if (mode == "profile")
+        return modeProfile(args, cfg);
+    if (mode == "capture")
+        return modeCapture(args, cfg);
+    if (mode == "replay")
+        return modeReplay(args, cfg);
+    if (mode == "run")
+        return modeRun(args, cfg);
+    lbic_fatal("unknown mode '", mode,
+               "' (expected run, list, profile, capture or replay)");
+}

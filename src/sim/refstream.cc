@@ -1,0 +1,81 @@
+#include "refstream.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+BankMapProfile
+analyzeBankMapping(Workload &workload, std::uint64_t num_refs,
+                   unsigned banks, unsigned line_bytes, BankSelectFn fn)
+{
+    lbic_assert(banks >= 2, "bank-mapping analysis needs >= 2 banks");
+    lbic_assert(isPowerOf2(line_bytes), "line size must be 2^k");
+
+    const unsigned line_bits = floorLog2(line_bytes);
+
+    std::uint64_t same_line = 0;
+    std::uint64_t diff_line = 0;
+    std::vector<std::uint64_t> other(banks, 0);
+    std::uint64_t pairs = 0;
+
+    bool have_prev = false;
+    unsigned prev_bank = 0;
+    Addr prev_line = 0;
+
+    DynInst inst;
+    std::uint64_t seen = 0;
+    while (seen < num_refs && workload.next(inst)) {
+        if (!inst.isMem())
+            continue;
+        ++seen;
+        const unsigned bank = selectBank(inst.addr, banks, line_bits,
+                                         fn);
+        const Addr line = inst.addr >> line_bits;
+        if (have_prev) {
+            ++pairs;
+            if (bank == prev_bank) {
+                if (line == prev_line)
+                    ++same_line;
+                else
+                    ++diff_line;
+            } else {
+                ++other[(bank + banks - prev_bank) % banks];
+            }
+        }
+        have_prev = true;
+        prev_bank = bank;
+        prev_line = line;
+    }
+
+    BankMapProfile profile;
+    profile.pairs = pairs;
+    profile.other_bank.assign(banks - 1, 0.0);
+    if (pairs == 0)
+        return profile;
+    const double denom = static_cast<double>(pairs);
+    profile.same_bank_same_line = static_cast<double>(same_line) / denom;
+    profile.same_bank_diff_line = static_cast<double>(diff_line) / denom;
+    for (unsigned i = 1; i < banks; ++i)
+        profile.other_bank[i - 1] =
+            static_cast<double>(other[i]) / denom;
+    return profile;
+}
+
+StreamProfile
+profileStream(Workload &workload, std::uint64_t num_insts)
+{
+    StreamProfile profile;
+    DynInst inst;
+    while (profile.instructions < num_insts && workload.next(inst)) {
+        ++profile.instructions;
+        if (inst.isLoad())
+            ++profile.loads;
+        else if (inst.isStore())
+            ++profile.stores;
+    }
+    return profile;
+}
+
+} // namespace lbic

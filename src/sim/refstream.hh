@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Memory reference-stream analyzers (paper §4, Figure 3, Table 2).
+ *
+ * These run directly over a workload's raw instruction stream, before
+ * any pipeline effects, matching the paper's methodology ("assuming an
+ * infinite size four-bank cache with 32 byte lines ... meant to serve
+ * as an upper bound").
+ */
+
+#ifndef LBIC_SIM_REFSTREAM_HH
+#define LBIC_SIM_REFSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cacheport/bank_select.hh"
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/**
+ * Figure 3: where does each memory reference's immediate successor
+ * map, relative to the reference's bank B in an infinite M-bank cache?
+ */
+struct BankMapProfile
+{
+    /** Successor in the same bank, same cache line. */
+    double same_bank_same_line = 0.0;
+
+    /** Successor in the same bank, different cache line. */
+    double same_bank_diff_line = 0.0;
+
+    /** Successor in bank (B + i) mod M, for i = 1..M-1. */
+    std::vector<double> other_bank;
+
+    /** Number of consecutive reference pairs analyzed. */
+    std::uint64_t pairs = 0;
+
+    /** same_bank_same_line + same_bank_diff_line. */
+    double
+    sameBank() const
+    {
+        return same_bank_same_line + same_bank_diff_line;
+    }
+};
+
+/**
+ * Run the Figure 3 analysis.
+ *
+ * @param workload the instruction source (consumed from its current
+ *                 position; reset it first for a clean measurement).
+ * @param num_refs number of memory references to analyze.
+ * @param banks number of banks (4 in the paper).
+ * @param line_bytes cache line size (32 in the paper).
+ * @param fn bank-selection function.
+ */
+BankMapProfile
+analyzeBankMapping(Workload &workload, std::uint64_t num_refs,
+                   unsigned banks = 4, unsigned line_bytes = 32,
+                   BankSelectFn fn = BankSelectFn::BitSelect);
+
+/**
+ * Table 2: instruction-mix characteristics of a workload's stream.
+ */
+struct StreamProfile
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    double
+    memFraction() const
+    {
+        return instructions
+                   ? static_cast<double>(loads + stores) / instructions
+                   : 0.0;
+    }
+
+    double
+    storeToLoadRatio() const
+    {
+        return loads ? static_cast<double>(stores) / loads : 0.0;
+    }
+};
+
+/** Measure the instruction mix over @p num_insts instructions. */
+StreamProfile
+profileStream(Workload &workload, std::uint64_t num_insts);
+
+} // namespace lbic
+
+#endif // LBIC_SIM_REFSTREAM_HH

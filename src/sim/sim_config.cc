@@ -1,0 +1,46 @@
+#include "sim_config.hh"
+
+#include "cacheport/bank_select.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+void
+SimConfig::applyOverrides(const Config &cfg)
+{
+    workload = cfg.getString("workload", workload);
+    port_spec = cfg.getString("ports", port_spec);
+    max_insts = cfg.getU64("insts", max_insts);
+    seed = cfg.getU64("seed", seed);
+    select_fn = parseBankSelectFn(
+        cfg.getString("banksel", bankSelectFnName(select_fn)));
+    store_queue_depth = static_cast<unsigned>(
+        cfg.getU64("storeq", store_queue_depth));
+    memory.l1.size_bytes = cfg.getU64("l1_size", memory.l1.size_bytes);
+    memory.l1.line_bytes = static_cast<std::uint32_t>(
+        cfg.getU64("l1_line", memory.l1.line_bytes));
+    memory.l1.assoc = static_cast<std::uint32_t>(
+        cfg.getU64("l1_assoc", memory.l1.assoc));
+    core.lsq_size = static_cast<unsigned>(
+        cfg.getU64("lsq", core.lsq_size));
+    core.ruu_size = static_cast<unsigned>(
+        cfg.getU64("ruu", core.ruu_size));
+    core.fetch_width = static_cast<unsigned>(
+        cfg.getU64("fetch_width", core.fetch_width));
+    core.issue_width = static_cast<unsigned>(
+        cfg.getU64("issue_width", core.issue_width));
+    const std::string dis = cfg.getString(
+        "disambig",
+        core.disambiguation == Disambiguation::Perfect ? "perfect"
+                                                       : "conservative");
+    if (dis == "perfect")
+        core.disambiguation = Disambiguation::Perfect;
+    else if (dis == "conservative")
+        core.disambiguation = Disambiguation::Conservative;
+    else
+        lbic_fatal("disambig must be 'perfect' or 'conservative', got '",
+                   dis, "'");
+}
+
+} // namespace lbic

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Top-level simulation configuration.
+ */
+
+#ifndef LBIC_SIM_SIM_CONFIG_HH
+#define LBIC_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cacheport/factory.hh"
+#include "common/config.hh"
+#include "cpu/core_config.hh"
+#include "memory/hierarchy.hh"
+
+namespace lbic
+{
+
+/** Everything needed to build and run one simulation. */
+struct SimConfig
+{
+    /** Core widths and window sizes (Table 1 defaults). */
+    CoreConfig core;
+
+    /** Cache and memory latencies/geometries (Table 1 defaults). */
+    HierarchyConfig memory;
+
+    /** Port organization spec: ideal:P, repl:P, bank:M or lbic:MxN. */
+    std::string port_spec = "ideal:1";
+
+    /** Bank-selection function for the banked organizations. */
+    BankSelectFn select_fn = BankSelectFn::BitSelect;
+
+    /** Store-queue depth per LBIC bank. */
+    unsigned store_queue_depth = 8;
+
+    /** Workload name (see workload/registry.hh). */
+    std::string workload = "compress";
+
+    /** Workload PRNG seed. */
+    std::uint64_t seed = 1;
+
+    /** Instructions to simulate. */
+    std::uint64_t max_insts = 1000000;
+
+    /** Port-factory options implied by this configuration. */
+    PortFactoryOptions
+    portOptions() const
+    {
+        PortFactoryOptions opts;
+        opts.line_bits = memory.l1.lineBits();
+        opts.select_fn = select_fn;
+        opts.store_queue_depth = store_queue_depth;
+        return opts;
+    }
+
+    /**
+     * Apply `key=value` overrides from @p cfg. Recognized keys:
+     * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
+     * l1_assoc, lsq, ruu, fetch_width, issue_width.
+     */
+    void applyOverrides(const Config &cfg);
+};
+
+} // namespace lbic
+
+#endif // LBIC_SIM_SIM_CONFIG_HH

@@ -1,0 +1,67 @@
+#include "simulator.hh"
+
+#include "cacheport/factory.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+
+Simulator::Simulator(const SimConfig &config)
+    : config_(config)
+{
+    owned_workload_ = makeWorkload(config_.workload, config_.seed);
+    build(*owned_workload_);
+}
+
+Simulator::Simulator(const SimConfig &config, Workload &workload)
+    : config_(config)
+{
+    build(workload);
+}
+
+void
+Simulator::build(Workload &workload)
+{
+    workload_ = &workload;
+    config_.memory.l1.validate();
+    config_.memory.l2.validate();
+    hierarchy_ = std::make_unique<MemoryHierarchy>(config_.memory,
+                                                   &root_);
+    scheduler_ = makePortScheduler(config_.port_spec, &root_,
+                                   config_.portOptions());
+    core_ = std::make_unique<Core>(config_.core, *workload_,
+                                   *hierarchy_, *scheduler_, &root_);
+}
+
+RunResult
+Simulator::run()
+{
+    return core_->run(config_.max_insts);
+}
+
+void
+Simulator::printStats(std::ostream &os) const
+{
+    root_.print(os);
+}
+
+void
+Simulator::printStatsJson(std::ostream &os) const
+{
+    root_.printJson(os);
+    os << '\n';
+}
+
+RunResult
+runSim(const std::string &workload_name, const std::string &port_spec,
+       std::uint64_t max_insts, const SimConfig &base)
+{
+    SimConfig cfg = base;
+    cfg.workload = workload_name;
+    cfg.port_spec = port_spec;
+    cfg.max_insts = max_insts;
+    Simulator sim(cfg);
+    return sim.run();
+}
+
+} // namespace lbic

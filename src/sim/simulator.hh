@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The simulation facade: build a configured system, run it, report.
+ *
+ * This is the main entry point of the public API:
+ *
+ * @code
+ *   SimConfig cfg;
+ *   cfg.workload = "swim";
+ *   cfg.port_spec = "lbic:4x2";
+ *   Simulator sim(cfg);
+ *   RunResult r = sim.run();
+ *   std::cout << r.ipc() << '\n';
+ *   sim.printStats(std::cout);
+ * @endcode
+ */
+
+#ifndef LBIC_SIM_SIMULATOR_HH
+#define LBIC_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <ostream>
+
+#include "cacheport/port_scheduler.hh"
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+#include "sim/sim_config.hh"
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** Owns one fully built simulated system. */
+class Simulator
+{
+  public:
+    /** Build from @p config, creating the workload by name. */
+    explicit Simulator(const SimConfig &config);
+
+    /**
+     * Build from @p config but drive the supplied @p workload
+     * (which the caller keeps ownership of) instead of creating one
+     * by name.
+     */
+    Simulator(const SimConfig &config, Workload &workload);
+
+    /** Run for config.max_insts instructions. */
+    RunResult run();
+
+    /** Dump the full statistics tree. */
+    void printStats(std::ostream &os) const;
+
+    /** Dump the full statistics tree as one JSON object. */
+    void printStatsJson(std::ostream &os) const;
+
+    Core &core() { return *core_; }
+    MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    PortScheduler &portScheduler() { return *scheduler_; }
+    Workload &workload() { return *workload_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    void build(Workload &workload);
+
+    SimConfig config_;
+    stats::StatGroup root_;
+    std::unique_ptr<Workload> owned_workload_;
+    Workload *workload_ = nullptr;
+    std::unique_ptr<MemoryHierarchy> hierarchy_;
+    std::unique_ptr<PortScheduler> scheduler_;
+    std::unique_ptr<Core> core_;
+};
+
+/**
+ * Convenience one-shot run used by the benchmark harnesses.
+ *
+ * @param workload_name registry name of the workload.
+ * @param port_spec port organization spec.
+ * @param max_insts instructions to simulate.
+ * @param base optional base configuration to start from.
+ * @return the finished run's result.
+ */
+RunResult runSim(const std::string &workload_name,
+                 const std::string &port_spec, std::uint64_t max_insts,
+                 const SimConfig &base = SimConfig{});
+
+} // namespace lbic
+
+#endif // LBIC_SIM_SIMULATOR_HH

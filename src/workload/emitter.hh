@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Instruction emitter used by workload kernels.
+ *
+ * Kernels describe one algorithmic step at a time by calling emit
+ * helpers (load, store, intAlu, fpAdd, ...). Each helper appends a
+ * DynInst to a pending queue and returns the SSA register holding the
+ * result, which later emissions can name as a dependence. The queue is
+ * drained by Workload::next().
+ */
+
+#ifndef LBIC_WORKLOAD_EMITTER_HH
+#define LBIC_WORKLOAD_EMITTER_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/dyn_inst.hh"
+
+namespace lbic
+{
+
+/** Builds DynInst records into a pending queue. */
+class Emitter
+{
+  public:
+    Emitter() = default;
+
+    /** Number of queued, not-yet-consumed instructions. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Pop the oldest queued instruction. Queue must be non-empty. */
+    DynInst
+    pop()
+    {
+        lbic_assert(!queue_.empty(), "Emitter::pop on empty queue");
+        DynInst inst = queue_.front();
+        queue_.pop_front();
+        return inst;
+    }
+
+    /** Discard queued instructions and restart SSA numbering. */
+    void
+    clear()
+    {
+        queue_.clear();
+        next_reg_ = 0;
+    }
+
+    /**
+     * Emit a load of @p size bytes at @p addr.
+     *
+     * @param addr effective byte address.
+     * @param size access size in bytes.
+     * @param d0,d1 optional register dependences (address operands).
+     * @return the SSA register receiving the loaded value.
+     */
+    RegId
+    load(Addr addr, unsigned size = 8, RegId d0 = invalid_reg,
+         RegId d1 = invalid_reg)
+    {
+        DynInst i;
+        i.op = OpClass::Load;
+        i.dst = allocReg();
+        i.src = {d0, d1};
+        i.addr = addr;
+        i.size = static_cast<std::uint8_t>(size);
+        queue_.push_back(i);
+        return i.dst;
+    }
+
+    /**
+     * Emit a store of @p size bytes at @p addr.
+     *
+     * The two dependence slots have distinct meanings for the LSQ:
+     * src[0] is the *address* operand (until it resolves, younger
+     * loads cannot bypass this store) and src[1] is the *data*
+     * operand (the store cannot retire, nor forward to a matching
+     * load, until it resolves).
+     *
+     * @param addr_dep register the effective address depends on.
+     * @param data_dep register holding the value being stored.
+     */
+    void
+    store(Addr addr, unsigned size = 8, RegId addr_dep = invalid_reg,
+          RegId data_dep = invalid_reg)
+    {
+        DynInst i;
+        i.op = OpClass::Store;
+        i.src = {addr_dep, data_dep};
+        i.addr = addr;
+        i.size = static_cast<std::uint8_t>(size);
+        queue_.push_back(i);
+    }
+
+    /** Emit a non-memory operation of class @p c; returns its result. */
+    RegId
+    op(OpClass c, RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    {
+        lbic_assert(!isMemOp(c), "use load()/store() for memory ops");
+        DynInst i;
+        i.op = c;
+        i.dst = c == OpClass::Branch || c == OpClass::Nop
+                    ? invalid_reg : allocReg();
+        i.src = {s0, s1};
+        queue_.push_back(i);
+        return i.dst;
+    }
+
+    RegId intAlu(RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    { return op(OpClass::IntAlu, s0, s1); }
+
+    RegId intMult(RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    { return op(OpClass::IntMult, s0, s1); }
+
+    RegId intDiv(RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    { return op(OpClass::IntDiv, s0, s1); }
+
+    RegId fpAdd(RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    { return op(OpClass::FpAdd, s0, s1); }
+
+    RegId fpMult(RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    { return op(OpClass::FpMult, s0, s1); }
+
+    RegId fpDiv(RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    { return op(OpClass::FpDiv, s0, s1); }
+
+    /** Emit a (perfectly predicted) branch depending on @p s0. */
+    void branch(RegId s0 = invalid_reg) { op(OpClass::Branch, s0); }
+
+    void nop() { op(OpClass::Nop); }
+
+  private:
+    RegId allocReg() { return next_reg_++; }
+
+    std::deque<DynInst> queue_;
+    RegId next_reg_ = 0;
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_EMITTER_HH

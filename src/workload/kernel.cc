@@ -1,0 +1,38 @@
+#include "kernel.hh"
+
+namespace lbic
+{
+
+KernelWorkload::KernelWorkload(std::string name, std::uint64_t seed)
+    : rng(seed), name_(std::move(name)), seed_(seed)
+{
+}
+
+bool
+KernelWorkload::next(DynInst &inst)
+{
+    if (!initialized_) {
+        init();
+        initialized_ = true;
+    }
+    // step() must make forward progress; guard against a kernel that
+    // emits nothing (that would be a simulator bug, not user error).
+    unsigned guard = 0;
+    while (emit.pending() == 0) {
+        step();
+        lbic_assert(++guard < 1024,
+                    "kernel '", name_, "' step() emitted no instructions");
+    }
+    inst = emit.pop();
+    return true;
+}
+
+void
+KernelWorkload::reset()
+{
+    emit.clear();
+    rng = Random(seed_);
+    initialized_ = false;
+}
+
+} // namespace lbic

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Base class for algorithmic workload kernels.
+ *
+ * A KernelWorkload runs a real (if scaled-down) algorithm over real
+ * in-memory data structures, emitting the instruction stream that a
+ * compiled version of the algorithm would produce. Subclasses
+ * implement init() to build their data structures and step() to emit
+ * one algorithmic unit of work (typically one loop iteration).
+ */
+
+#ifndef LBIC_WORKLOAD_KERNEL_HH
+#define LBIC_WORKLOAD_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "workload/emitter.hh"
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** A workload defined by an init() + step() algorithm pair. */
+class KernelWorkload : public Workload
+{
+  public:
+    /**
+     * @param name kernel name.
+     * @param seed PRNG seed; the same seed reproduces the same stream.
+     */
+    KernelWorkload(std::string name, std::uint64_t seed);
+
+    const std::string &name() const override { return name_; }
+
+    bool next(DynInst &inst) override;
+
+    void reset() override;
+
+  protected:
+    /** Build (or rebuild) the kernel's data structures. */
+    virtual void init() = 0;
+
+    /** Emit at least one instruction of the next unit of work. */
+    virtual void step() = 0;
+
+    /**
+     * Base byte address of the kernel's simulated heap. Kernels lay
+     * out their arrays and structures above this address. The value
+     * is arbitrary but non-zero so address arithmetic bugs (null
+     * derefs) are visible.
+     */
+    static constexpr Addr heap_base = 0x10000000;
+
+    Emitter emit;
+    Random rng;
+
+  private:
+    std::string name_;
+    std::uint64_t seed_;
+    bool initialized_ = false;
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_KERNEL_HH

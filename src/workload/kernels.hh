@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The ten SPEC95-like workload kernels.
+ *
+ * Each kernel stands in for one SPEC95 program from Table 2 of the
+ * paper. SPEC95 binaries and a MIPS toolchain are not available, so
+ * each kernel runs the algorithmic skeleton of its program over real
+ * in-memory data structures and emits the corresponding instruction
+ * stream. Kernels are tuned to their program's Table 2 fingerprint
+ * (fraction of memory instructions, store-to-load ratio, 32 KB L1
+ * miss rate) and to the consecutive-reference locality class visible
+ * in Figure 3 (same-bank/same-line for the integer codes, same-bank/
+ * different-line for swim and wave5, etc.).
+ *
+ * Integer kernels: compress, gcc, go, li, perl.
+ * Floating-point kernels: hydro2d, mgrid, su2cor, swim, wave5.
+ */
+
+#ifndef LBIC_WORKLOAD_KERNELS_HH
+#define LBIC_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/kernel.hh"
+
+namespace lbic
+{
+
+/**
+ * LZW compression (SPEC95 129.compress).
+ *
+ * Sequential input scan feeding a large open-hash code table. Probes
+ * hit a ~580 KB table nearly at random (high miss rate); successful
+ * inserts write both the hash and code tables, and compressed output
+ * is appended sequentially, giving the highest store-to-load ratio of
+ * the integer codes.
+ */
+class CompressKernel : public KernelWorkload
+{
+  public:
+    explicit CompressKernel(std::uint64_t seed = 1);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned hash_bits = 16;
+    static constexpr unsigned hash_size = 1u << hash_bits;
+
+    Addr input_base_ = 0;
+    Addr output_base_ = 0;
+    Addr htab_base_ = 0;
+    Addr codetab_base_ = 0;
+
+    std::uint64_t in_pos_ = 0;
+    std::uint64_t out_pos_ = 0;
+    std::uint32_t entry_ = 0;
+    std::uint32_t free_code_ = 257;
+    std::uint32_t hot_base_ = 0;
+    RegId entry_reg_ = invalid_reg;   //!< loop-carried prefix code
+    std::vector<std::uint32_t> htab_;
+};
+
+/**
+ * Compiler IR walk (SPEC95 126.gcc).
+ *
+ * Pointer-structured expression nodes in a compact pool (high spatial
+ * locality: several same-line field reads per node, read-modify-write
+ * updates), with occasional symbol-table probes into a larger table to
+ * produce gcc's small but non-zero miss rate.
+ */
+class GccKernel : public KernelWorkload
+{
+  public:
+    explicit GccKernel(std::uint64_t seed = 2);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned node_bytes = 64;
+    static constexpr unsigned pool_nodes = 400;   // 25 KB pool
+    static constexpr unsigned symtab_entries = 1u << 13;
+
+    Addr pool_base_ = 0;
+    Addr symtab_base_ = 0;
+    std::vector<std::uint32_t> next_;  //!< mirrored child links
+    std::uint32_t cursor_ = 0;
+    RegId chase_reg_ = invalid_reg;    //!< link value feeding next visit
+};
+
+/**
+ * Game-tree board evaluation (SPEC95 099.go).
+ *
+ * 19x19 board scans with neighbour reads and pattern-table lookups;
+ * compute-heavy (lowest memory fraction of the integer codes) with
+ * many branches and modest stores.
+ */
+class GoKernel : public KernelWorkload
+{
+  public:
+    explicit GoKernel(std::uint64_t seed = 3);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned board_dim = 19;
+    static constexpr unsigned num_boards = 32;
+    static constexpr unsigned pattern_entries = 1u << 13;
+
+    Addr boards_base_ = 0;
+    Addr patterns_base_ = 0;
+    Addr history_base_ = 0;
+    std::uint32_t move_ = 0;
+    RegId eval_reg_ = invalid_reg;   //!< carried position evaluation
+};
+
+/**
+ * Lisp interpreter (SPEC95 130.li).
+ *
+ * Cons-cell allocation and list traversal in a small recycled pool
+ * (tiny miss rate). cons() writes car and cdr of one 16-byte cell
+ * (same cache line); traversals chase cdr chains. The highest memory
+ * fraction of all ten programs.
+ */
+class LiKernel : public KernelWorkload
+{
+  public:
+    explicit LiKernel(std::uint64_t seed = 4);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned cell_bytes = 16;
+    static constexpr unsigned pool_cells = 1536;  // 24 KB pool
+
+    Addr pool_base_ = 0;
+    std::vector<std::uint32_t> cdr_;   //!< mirrored cdr links
+    std::uint32_t free_head_ = 0;
+    std::uint32_t list_head_ = 0;
+    std::uint32_t list_len_ = 0;
+    std::uint32_t cursor_ = 0;         //!< rotating traversal start
+};
+
+/**
+ * Text/hash processing (SPEC95 134.perl).
+ *
+ * Alternates string copies (unit-stride load+store pairs with strong
+ * same-line locality) with associative-array probes of a mostly-
+ * resident hash table; a large string arena provides occasional
+ * misses.
+ */
+class PerlKernel : public KernelWorkload
+{
+  public:
+    explicit PerlKernel(std::uint64_t seed = 5);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned hash_entries = 1u << 10;
+
+    Addr arena_base_ = 0;
+    Addr hash_base_ = 0;
+    Addr scratch_base_ = 0;
+    std::uint64_t arena_pos_ = 0;
+    RegId op_reg_ = invalid_reg;     //!< carried op-tree pointer
+};
+
+/**
+ * 2-D hydrodynamics stencil (SPEC95 104.hydro2d).
+ *
+ * Row-order sweeps of a grid several times larger than the L1, with
+ * east/west neighbours on the same line and north/south neighbours a
+ * row apart; moderate stores and a high miss rate.
+ */
+class Hydro2dKernel : public KernelWorkload
+{
+  public:
+    explicit Hydro2dKernel(std::uint64_t seed = 6);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned rows = 256;
+    static constexpr unsigned cols = 262;  //!< odd-ish leading dim:
+                                           //!< rows rotate banks
+
+    Addr grid_a_ = 0;
+    Addr grid_b_ = 0;
+    Addr grid_c_ = 0;
+    unsigned i_ = 1;
+    unsigned j_ = 1;
+    RegId flux_reg_ = invalid_reg;   //!< carried flux limiter state
+};
+
+/**
+ * 3-D multigrid relaxation (SPEC95 107.mgrid).
+ *
+ * 27-point stencil over a 64^3 double grid; nearly pure loads (the
+ * paper reports a 0.04 store-to-load ratio) accumulating into
+ * registers, one store per point. Plane-strided neighbours map to
+ * different lines, often in the same bank.
+ */
+class MgridKernel : public KernelWorkload
+{
+  public:
+    explicit MgridKernel(std::uint64_t seed = 7);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned dim = 40;   // 512 KB grid
+
+    Addr grid_u_ = 0;
+    Addr grid_r_ = 0;
+    RegId resid_reg_ = invalid_reg;  //!< carried residual norm
+    unsigned x_ = 1;
+    unsigned y_ = 1;
+    unsigned z_ = 1;
+};
+
+/**
+ * Quantum chromodynamics lattice (SPEC95 103.su2cor).
+ *
+ * Complex 3x3 matrix-times-vector products gathered across a 4-D
+ * lattice with direction-dependent strides; the highest miss rate of
+ * the ten programs.
+ */
+class Su2corKernel : public KernelWorkload
+{
+  public:
+    explicit Su2corKernel(std::uint64_t seed = 8);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned lat_dim = 12;   // 12^4 sites
+
+    Addr links_base_ = 0;
+    Addr field_base_ = 0;
+    Addr result_base_ = 0;
+    std::uint32_t site_ = 0;
+    unsigned dir_ = 0;
+    RegId action_reg_ = invalid_reg; //!< carried action accumulator
+};
+
+/**
+ * Shallow-water model (SPEC95 102.swim).
+ *
+ * Parallel unit-stride sweeps over several 2-D arrays whose bases are
+ * aligned to the same bank, so consecutive references hit the same
+ * bank in different lines -- the B-diff-line pathology of Figure 3
+ * (33.8% for swim) that defeats plain multi-banking.
+ */
+class SwimKernel : public KernelWorkload
+{
+  public:
+    explicit SwimKernel(std::uint64_t seed = 9);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned n_elems = 1u << 16;  // 512 KB per array
+
+    Addr u_ = 0, v_ = 0, p_ = 0;
+    Addr unew_ = 0, vnew_ = 0, pnew_ = 0;
+    std::uint64_t idx_ = 0;
+    RegId check_reg_ = invalid_reg;  //!< carried energy check
+};
+
+/**
+ * Particle-in-cell plasma simulation (SPEC95 145.wave5).
+ *
+ * Sequential particle-array reads plus scattered field gathers and
+ * charge-deposit writes into a large grid; mixed unit-stride and
+ * random access with a high miss rate.
+ */
+class Wave5Kernel : public KernelWorkload
+{
+  public:
+    explicit Wave5Kernel(std::uint64_t seed = 10);
+
+  protected:
+    void init() override;
+    void step() override;
+
+  private:
+    static constexpr unsigned num_particles = 1u << 15;
+    static constexpr unsigned grid_cells = 1u << 16;  // 512 KB field
+
+    Addr particles_base_ = 0;
+    Addr field_base_ = 0;
+    Addr charge_base_ = 0;
+    std::uint32_t particle_ = 0;
+    RegId energy_reg_ = invalid_reg; //!< carried energy diagnostic
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_KERNELS_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * LZW compression kernel (stands in for SPEC95 129.compress).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+CompressKernel::CompressKernel(std::uint64_t seed)
+    : KernelWorkload("compress", seed)
+{
+}
+
+void
+CompressKernel::init()
+{
+    // Layout: input text, compressed output, open hash table of
+    // (prefix, char) -> code, and the parallel code table.
+    input_base_ = heap_base;
+    output_base_ = input_base_ + (1u << 20);
+    htab_base_ = output_base_ + (1u << 20);
+    // The code table uses full 8-byte entries and sits half a cache
+    // beyond the hash table: the two hot regions drift at the same
+    // rate and always occupy disjoint halves of the direct-mapped L1.
+    codetab_base_ = htab_base_ + Addr{hash_size} * 8 + 16 * 1024;
+
+    htab_.assign(hash_size, 0);
+    in_pos_ = 0;
+    out_pos_ = 0;
+    entry_ = 0;
+    free_code_ = 257;
+    hot_base_ = 0;
+    entry_reg_ = invalid_reg;
+}
+
+void
+CompressKernel::step()
+{
+    // --- Read the next input byte (sequential scan). -----------------
+    const RegId byte = emit.load(input_base_ + (in_pos_ % (1u << 20)), 1);
+    ++in_pos_;
+
+    // --- Hash (entry, byte) like compress's fcode hash. The running
+    // prefix code (entry_) is the loop-carried dependence that bounds
+    // compress's ILP: each iteration's hash needs the previous
+    // iteration's code.
+    RegId h = emit.intAlu(byte, entry_reg_);  // fcode = byte<<16 | ent
+    h = emit.intAlu(h, byte);                 // i ^= fcode >> hash_bits
+
+    // The modelled probe index: common prefixes concentrate probes in
+    // a hot region of recently used codes that drifts slowly through
+    // the table; occasionally a rare string lands anywhere.
+    std::uint32_t probe;
+    if (rng.chance(0.97)) {
+        probe = (hot_base_ + static_cast<std::uint32_t>(rng.below(2048)))
+                % hash_size;
+    } else {
+        probe = static_cast<std::uint32_t>(rng.below(hash_size));
+    }
+    if ((in_pos_ & 63) == 0)
+        hot_base_ = (hot_base_ + 1) % hash_size;
+
+    // --- Probe the hash table. ---------------------------------------
+    const RegId probed = emit.load(htab_base_ + Addr{probe} * 8, 8, h);
+    const RegId cmp = emit.intAlu(probed, byte);
+    emit.branch(cmp);
+
+    if (rng.chance(0.42)) {
+        // Hit: the (prefix, char) string already has a code; the new
+        // prefix is the value the probe produced.
+        htab_[probe] = free_code_;
+        emit.intAlu(cmp);
+        entry_reg_ = h;                      // ent = codetab[i]
+    } else {
+        // Secondary probe on a nearby displaced slot, some of the
+        // time (a small displacement keeps it in the hot region; a
+        // large power-of-two one would alias with the primary probe
+        // in the direct-mapped cache).
+        if (rng.chance(0.3)) {
+            const std::uint32_t p2 = (probe + 61) % hash_size;
+            const RegId probed2 =
+                emit.load(htab_base_ + Addr{p2} * 8, 8, h);
+            emit.intAlu(probed2, byte);
+            emit.branch(probed2);
+        }
+        // Miss: insert the new string (the htab store lands on the
+        // line the probe just touched), then emit the current code.
+        const RegId code = emit.intAlu(probed);
+        emit.store(htab_base_ + Addr{probe} * 8, 8, h, code);
+        emit.store(codetab_base_ + Addr{probe} * 8, 8, h, code);
+        emit.store(output_base_ + (out_pos_ % (1u << 20)), 2,
+                   invalid_reg, code);
+        out_pos_ += 2;
+
+        htab_[probe] = free_code_;
+        free_code_ = free_code_ >= hash_size - 1 ? 257 : free_code_ + 1;
+        entry_reg_ = emit.intAlu(byte, entry_reg_);  // ent, free_ent++
+    }
+
+    // Loop bookkeeping.
+    emit.branch();
+}
+
+} // namespace lbic

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Compiler IR-walk kernel (stands in for SPEC95 126.gcc).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+GccKernel::GccKernel(std::uint64_t seed)
+    : KernelWorkload("gcc", seed)
+{
+}
+
+void
+GccKernel::init()
+{
+    pool_base_ = heap_base;
+    symtab_base_ = pool_base_ + pool_nodes * node_bytes + (1u << 16);
+
+    // Build the mirrored child links: a mostly-sequential walk with
+    // occasional back edges, like a flattened expression tree.
+    next_.assign(pool_nodes, 0);
+    for (std::uint32_t i = 0; i < pool_nodes; ++i) {
+        if (rng.chance(0.85)) {
+            next_[i] = (i + 1) % pool_nodes;
+        } else {
+            next_[i] = static_cast<std::uint32_t>(rng.below(pool_nodes));
+        }
+    }
+    cursor_ = 0;
+    chase_reg_ = invalid_reg;
+}
+
+void
+GccKernel::step()
+{
+    const Addr node = pool_base_ + Addr{cursor_} * node_bytes;
+
+    // Visit one 64-byte IR node: the core fields (opcode, operands,
+    // child link) live on the first cache line and the attribute /
+    // note fields on the second, so a visit keeps two lines -- and
+    // hence two banks -- busy. The child pointer needs two address
+    // computations (tag strip and bounds check) before it can be
+    // dereferenced, which is the pointer-chase recurrence that bounds
+    // gcc's ILP.
+    RegId ptr = emit.intAlu(chase_reg_);
+    ptr = emit.intAlu(ptr);
+    const RegId opcode = emit.load(node + 0, 8, ptr);
+    const RegId operand = emit.load(node + 8, 8, ptr);
+    const RegId link = emit.load(node + 16, 8, ptr);
+    const RegId attr = emit.load(node + 32, 8, ptr);
+    const RegId note = emit.load(node + 40, 8, ptr);
+
+    RegId v = emit.intAlu(opcode, operand);   // classify node
+    v = emit.intAlu(v);                       // fold constants
+    emit.branch(v);                           // switch on tree code
+    RegId a = emit.intAlu(attr, note);        // merge attribute flags
+    a = emit.intAlu(a, v);
+    emit.branch(a);
+
+    // Rewrite the folded operand and the attribute word (read-modify-
+    // write on both of the node's lines).
+    emit.store(node + 8, 8, ptr, v);
+    if (rng.chance(0.7))
+        emit.store(node + 24, 8, ptr, v);
+    emit.store(node + 48, 8, ptr, a);
+
+    // Symbol-table probe for identifier nodes.
+    if (rng.chance(0.10)) {
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(rng.below(symtab_entries));
+        const RegId hash = emit.intAlu(opcode);
+        const RegId sym = emit.load(symtab_base_ + Addr{slot} * 16, 8,
+                                    hash);
+        emit.intAlu(sym);
+        emit.branch(sym);
+    }
+
+    // Register-allocation bookkeeping and loop control; the next
+    // address comes from the link value just loaded.
+    RegId r = emit.intAlu(v, a);
+    r = emit.intAlu(r);
+    emit.intAlu(r);
+    emit.intAlu(link);
+    emit.intAlu(v);
+    emit.branch(link);
+
+    chase_reg_ = link;
+    cursor_ = next_[cursor_];
+}
+
+} // namespace lbic

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Game-tree board-evaluation kernel (stands in for SPEC95 099.go).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+GoKernel::GoKernel(std::uint64_t seed)
+    : KernelWorkload("go", seed)
+{
+}
+
+void
+GoKernel::init()
+{
+    // A stack of board copies (the game tree being searched), a large
+    // pattern-matching table, and a move-history array.
+    boards_base_ = heap_base;
+    patterns_base_ = boards_base_
+        + Addr{num_boards} * board_dim * board_dim + (1u << 16);
+    history_base_ = patterns_base_ + Addr{pattern_entries} * 32;
+    move_ = 0;
+    eval_reg_ = invalid_reg;
+}
+
+void
+GoKernel::step()
+{
+    // Evaluate one candidate point: read the point and its four
+    // neighbours from the current board copy, run the influence
+    // computation, consult the pattern table for some points, and
+    // occasionally record a move (board write + history append).
+    const std::uint32_t board =
+        static_cast<std::uint32_t>(rng.below(num_boards));
+    const std::uint32_t row = 1
+        + static_cast<std::uint32_t>(rng.below(board_dim - 2));
+    const std::uint32_t col = 1
+        + static_cast<std::uint32_t>(rng.below(board_dim - 2));
+    const Addr cell = boards_base_
+        + Addr{board} * board_dim * board_dim
+        + Addr{row} * board_dim + col;
+
+    const RegId c = emit.load(cell, 1);
+    const RegId west = emit.load(cell - 1, 1);
+    const RegId east = emit.load(cell + 1, 1);
+    const RegId north = emit.load(cell - board_dim, 1);
+    const RegId south = emit.load(cell + board_dim, 1);
+
+    // Influence/liberty computation: a tree of integer operations and
+    // data-dependent branches over the five stones. The running
+    // position evaluation (eval_reg_) is carried across points --
+    // go's alpha-beta bookkeeping -- which bounds its ILP.
+    RegId a = emit.intAlu(c, west);
+    RegId b = emit.intAlu(east, north);
+    a = emit.intAlu(a, south);
+    emit.branch(a);
+    b = emit.intAlu(a, b);
+    RegId lib = emit.intAlu(b);
+    emit.branch(lib);
+    lib = emit.intAlu(lib, c);
+    RegId score = emit.intAlu(lib, eval_reg_);
+    RegId margin = emit.intAlu(score);
+    margin = emit.intAlu(margin);
+    eval_reg_ = emit.intAlu(margin);
+    score = emit.intAlu(score, b);
+    emit.branch(score);
+    score = emit.intAlu(score);
+    emit.intAlu(score);
+
+    // Pattern-table lookup for tactically interesting points; common
+    // shapes dominate, so most probes hit a small hot subset.
+    if (rng.chance(0.35)) {
+        const std::uint32_t slot = rng.chance(0.9)
+            ? static_cast<std::uint32_t>(rng.below(256))
+            : static_cast<std::uint32_t>(rng.below(pattern_entries));
+        const RegId hash = emit.intAlu(score);
+        const RegId pat =
+            emit.load(patterns_base_ + Addr{slot} * 32, 8, hash);
+        const RegId match = emit.intAlu(pat, score);
+        emit.branch(match);
+        emit.intAlu(match);
+    }
+
+    // Update the influence map for this point (go writes its
+    // evaluation scratch arrays heavily), and record chosen moves.
+    emit.store(history_base_ + 16384 + (cell - boards_base_) % 4096,
+               4, invalid_reg, score);
+    if (rng.chance(0.45)) {
+        emit.store(cell, 1, invalid_reg, score);
+        emit.store(history_base_ + Addr{move_ % 4096} * 4, 4,
+                   invalid_reg, score);
+        ++move_;
+        emit.intAlu(score);
+    }
+
+    emit.intAlu(score);
+    emit.branch();
+}
+
+} // namespace lbic

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * 2-D hydrodynamics stencil kernel (stands in for SPEC95 104.hydro2d).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+Hydro2dKernel::Hydro2dKernel(std::uint64_t seed)
+    : KernelWorkload("hydro2d", seed)
+{
+}
+
+void
+Hydro2dKernel::init()
+{
+    // Two grids of doubles, each several times the 32 KB L1.
+    grid_a_ = heap_base;
+    grid_b_ = grid_a_ + Addr{rows} * cols * 8 + 4096;
+    grid_c_ = grid_b_ + Addr{rows} * cols * 8 + 4096;
+    i_ = 1;
+    j_ = 1;
+    flux_reg_ = invalid_reg;
+}
+
+void
+Hydro2dKernel::step()
+{
+    const auto at = [](Addr base, unsigned r, unsigned c) {
+        return base + (Addr{r} * cols + c) * 8;
+    };
+
+    // Five-point stencil on one cell: east/west neighbours share the
+    // centre's cache line most of the time; north/south are a full row
+    // (2 KB) away. Result goes to the second grid; the Galerkin
+    // correction writes back into the source grid every other cell.
+    const RegId w = emit.load(at(grid_a_, i_, j_ - 1), 8);
+    const RegId c = emit.load(at(grid_a_, i_, j_), 8);
+    const RegId e = emit.load(at(grid_a_, i_, j_ + 1), 8);
+    const RegId n = emit.load(at(grid_a_, i_ - 1, j_), 8);
+    const RegId s = emit.load(at(grid_a_, i_ + 1, j_), 8);
+
+    RegId t1 = emit.fpAdd(w, e);
+    RegId t2 = emit.fpAdd(n, s);
+    t1 = emit.fpMult(t1, c);
+    t2 = emit.fpMult(t2, c);
+    RegId flux = emit.fpAdd(t1, t2);
+    flux = emit.fpMult(flux);
+    // The flux limiter uses the west neighbour's flux, carried from
+    // the previous cell: hydro2d's loop-carried recurrence.
+    RegId lim = emit.fpAdd(flux, flux_reg_);
+    flux_reg_ = emit.intAlu(lim);
+    lim = emit.fpMult(lim, t1);
+    RegId out = emit.fpAdd(lim, t2);
+    out = emit.fpAdd(out);
+    RegId visc = emit.fpMult(out, c);
+    visc = emit.fpAdd(visc, t1);
+    visc = emit.fpMult(visc);
+    out = emit.fpAdd(out, visc);
+    emit.fpMult(out);
+
+    emit.store(at(grid_b_, i_, j_), 8, invalid_reg, out);
+    if ((j_ & 1) == 0)
+        emit.store(at(grid_c_, i_, j_), 8, invalid_reg, visc);
+
+    // Induction-variable updates and loop tests.
+    RegId idx = emit.intAlu();
+    idx = emit.intAlu(idx);
+    emit.intAlu(idx);
+    emit.branch(idx);
+
+    if (++j_ >= cols - 1) {
+        j_ = 1;
+        flux_reg_ = invalid_reg;   // recurrence restarts per row
+        if (++i_ >= rows - 1)
+            i_ = 1;
+        emit.branch();
+    }
+}
+
+} // namespace lbic

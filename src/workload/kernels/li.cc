@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lisp-interpreter kernel (stands in for SPEC95 130.li).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+LiKernel::LiKernel(std::uint64_t seed)
+    : KernelWorkload("li", seed)
+{
+}
+
+void
+LiKernel::init()
+{
+    pool_base_ = heap_base;
+
+    // All cells start on the free list, threaded in order; freed cells
+    // are pushed back on the front, so allocation reuses a small,
+    // cache-resident working set (li's miss rate is nearly zero).
+    cdr_.assign(pool_cells, 0);
+    for (std::uint32_t i = 0; i < pool_cells; ++i)
+        cdr_[i] = i + 1 < pool_cells ? i + 1 : 0;
+    free_head_ = 0;
+    list_head_ = 0;
+    list_len_ = 0;
+    cursor_ = 0;
+}
+
+void
+LiKernel::step()
+{
+    const auto cell_addr = [this](std::uint32_t c) {
+        return pool_base_ + Addr{c} * cell_bytes;
+    };
+
+    if (list_len_ < 256 || rng.chance(0.55)) {
+        // cons: pop a cell from the free list and build a node --
+        // three stores (car, cdr, type tag packed into the cdr word's
+        // line) against one free-list load. Allocation-heavy phases
+        // give li its high store-to-load ratio.
+        const std::uint32_t cell = free_head_;
+        free_head_ = cdr_[cell];
+
+        const RegId fl = emit.load(cell_addr(cell) + 8, 8); // free link
+        RegId val = emit.intAlu(fl);                        // eval arg
+        val = emit.intAlu(val);                             // tag bits
+        emit.intAlu(val);                                   // gc colour
+        emit.store(cell_addr(cell) + 0, 8, invalid_reg, val); // car
+        emit.store(cell_addr(cell) + 8, 8, invalid_reg, val); // cdr
+        if (rng.chance(0.6))
+            emit.store(cell_addr(cell) + 0, 1, invalid_reg, val); // tag
+        emit.branch(val);
+
+        cdr_[cell] = list_head_;
+        list_head_ = cell;
+        ++list_len_;
+
+        // Keep the pool from exhausting: recycle the oldest cells once
+        // the list is long (a free that costs one store).
+        if (list_len_ > pool_cells / 2) {
+            std::uint32_t prev = list_head_;
+            for (unsigned k = 0; k + 1 < list_len_ && cdr_[prev] != 0;
+                 ++k)
+                prev = cdr_[prev];
+            const std::uint32_t dead = prev;
+            emit.store(cell_addr(dead) + 8, 8, invalid_reg, val);
+            cdr_[dead] = free_head_;
+            free_head_ = dead;
+            --list_len_;
+        }
+    } else {
+        // Traverse a few cells starting from a rotating cursor (an
+        // interpreter walking an old list, not the cell it just made,
+        // so these loads hit the cache rather than in-flight stores).
+        std::uint32_t cur = cursor_;
+        cursor_ = (cursor_ + 37) % pool_cells;
+        RegId chain = invalid_reg;
+        const unsigned hops = 2 + static_cast<unsigned>(rng.below(3));
+        for (unsigned h = 0; h < hops; ++h) {
+            const RegId car = emit.load(cell_addr(cur) + 0, 8, chain);
+            const RegId cdr = emit.load(cell_addr(cur) + 8, 8, chain);
+            const RegId e = emit.intAlu(car, cdr);
+            emit.intAlu(e);
+            chain = cdr;
+            cur = cdr_[cur];
+        }
+        emit.branch(chain);
+    }
+}
+
+} // namespace lbic

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 3-D multigrid relaxation kernel (stands in for SPEC95 107.mgrid).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+MgridKernel::MgridKernel(std::uint64_t seed)
+    : KernelWorkload("mgrid", seed)
+{
+}
+
+void
+MgridKernel::init()
+{
+    grid_u_ = heap_base;
+    grid_r_ = grid_u_ + Addr{dim} * dim * dim * 8 + 4096;
+    resid_reg_ = invalid_reg;
+    x_ = 1;
+    y_ = 1;
+    z_ = 1;
+}
+
+void
+MgridKernel::step()
+{
+    const auto at = [](Addr base, unsigned x, unsigned y, unsigned z) {
+        return base + ((Addr{z} * dim + y) * dim + x) * 8;
+    };
+
+    // 27-point residual stencil: load the full 3x3x3 neighbourhood
+    // (x-neighbours share lines; y/z neighbours stride by a row or a
+    // plane), combine with the four symmetric coefficients, and store
+    // one result. Nearly pure loads: mgrid's store-to-load ratio is
+    // 0.04, the lowest of the ten programs.
+    RegId acc = invalid_reg;
+    RegId ring1 = invalid_reg;
+    RegId ring2 = invalid_reg;
+    for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            RegId row = invalid_reg;
+            for (int dx = -1; dx <= 1; ++dx) {
+                const RegId v = emit.load(
+                    at(grid_u_, x_ + dx, y_ + dy, z_ + dz), 8);
+                row = row == invalid_reg ? v : emit.fpAdd(row, v);
+            }
+            const int ring = (dz != 0) + (dy != 0);
+            if (ring == 0)
+                acc = row;
+            else if (ring == 1)
+                ring1 = ring1 == invalid_reg ? row
+                                             : emit.fpAdd(ring1, row);
+            else
+                ring2 = ring2 == invalid_reg ? row
+                                             : emit.fpAdd(ring2, row);
+        }
+    }
+    RegId r = emit.fpMult(acc);
+    RegId t1 = emit.fpMult(ring1);
+    RegId t2 = emit.fpMult(ring2);
+    r = emit.fpAdd(r, t1);
+    r = emit.fpAdd(r, t2);
+    const RegId res = emit.fpAdd(r);
+
+    // Smoother coefficients: extra per-point FP work that the real
+    // psinv/resid pair performs.
+    RegId s1 = emit.fpMult(res, acc);
+    RegId s2 = emit.fpMult(res, t1);
+    RegId s3 = emit.fpAdd(s1, s2);
+    RegId s4 = emit.fpMult(s3, t2);
+    RegId s5 = emit.fpAdd(s4, s1);
+    RegId s6 = emit.fpMult(s5);
+    RegId s7 = emit.fpAdd(s6, s2);
+    RegId s8 = emit.fpMult(s7);
+    RegId s9 = emit.fpAdd(s8, s3);
+    emit.fpMult(s9);
+
+    // The residual norm accumulates across points: a two-add carried
+    // recurrence (4 cycles) that bounds mgrid's otherwise enormous
+    // point-level parallelism.
+    resid_reg_ = emit.fpAdd(resid_reg_, res);
+    resid_reg_ = emit.fpAdd(resid_reg_);
+
+    emit.store(at(grid_r_, x_, y_, z_), 8, invalid_reg, res);
+
+    // Loop nest bookkeeping.
+    RegId idx = emit.intAlu();
+    emit.intAlu(idx);
+    emit.branch(idx);
+
+    if (++x_ >= dim - 1) {
+        x_ = 1;
+        emit.branch();
+        if (++y_ >= dim - 1) {
+            y_ = 1;
+            if (++z_ >= dim - 1)
+                z_ = 1;
+        }
+    }
+}
+
+} // namespace lbic

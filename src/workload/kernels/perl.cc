@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Text/hash-processing kernel (stands in for SPEC95 134.perl).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+PerlKernel::PerlKernel(std::uint64_t seed)
+    : KernelWorkload("perl", seed)
+{
+}
+
+void
+PerlKernel::init()
+{
+    // A large string arena (occasional cold touches), an associative-
+    // array hash table, and a small hot scratch buffer where most of
+    // the string copying happens.
+    arena_base_ = heap_base;
+    hash_base_ = arena_base_ + (1u << 19);          // 512 KB arena
+    scratch_base_ = hash_base_ + Addr{hash_entries} * 16;
+    arena_pos_ = 0;
+    op_reg_ = invalid_reg;
+}
+
+void
+PerlKernel::step()
+{
+    // Copy a short string: unit-stride load/store word pairs. Most
+    // copies shuffle the hot scratch buffer; some pull from the cold
+    // arena (perl's modest miss rate).
+    const bool cold = rng.chance(0.05);
+    Addr src;
+    if (cold) {
+        arena_pos_ = (arena_pos_ + 4096 + rng.below(8192)) & ~Addr{7};
+        src = arena_base_ + (arena_pos_ % (1u << 19));
+    } else {
+        src = scratch_base_ + (rng.below(2048) & ~Addr{7});
+    }
+    const Addr dst = scratch_base_ + 8192 + (rng.below(2048) & ~Addr{7});
+
+    const unsigned words = 3 + static_cast<unsigned>(rng.below(3));
+    RegId vals[8];
+    RegId last = invalid_reg;
+    for (unsigned w = 0; w < words; ++w) {
+        vals[w] = emit.load(src + Addr{w} * 8, 8);
+        last = vals[w];
+    }
+    for (unsigned w = 0; w < words; ++w)
+        emit.store(dst + Addr{w} * 8, 8, invalid_reg, vals[w]);
+    RegId len = emit.intAlu(last);      // length bookkeeping
+    len = emit.intAlu(len);             // SV flag update
+    emit.intAlu(len);                   // refcount
+    emit.branch(last);                  // copy-loop exit test
+
+    // Hash the string and probe the associative array.
+    RegId h = emit.intAlu(last);
+    h = emit.intMult(h);
+    h = emit.intAlu(h, last);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(rng.below(hash_entries));
+    const RegId bucket = emit.load(hash_base_ + Addr{slot} * 16, 8, h);
+    const RegId key = emit.load(hash_base_ + Addr{slot} * 16 + 8, 8, h);
+    const RegId cmp = emit.intAlu(bucket, key);
+    emit.branch(cmp);
+
+    // Update the value in place about half the time (hash writes),
+    // otherwise just read it.
+    if (rng.chance(0.5)) {
+        emit.store(hash_base_ + Addr{slot} * 16 + 8, 8, h, cmp);
+        emit.intAlu(cmp);
+    } else {
+        emit.intAlu(cmp, bucket);
+    }
+    // The op-tree walk: perl's interpreter advances its op pointer
+    // serially through three dependent operations per statement.
+    op_reg_ = emit.intAlu(cmp, op_reg_);
+    op_reg_ = emit.intAlu(op_reg_);
+    op_reg_ = emit.intAlu(op_reg_);
+    emit.branch();
+}
+
+} // namespace lbic

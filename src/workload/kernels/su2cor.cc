@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lattice quantum-chromodynamics kernel (stands in for SPEC95
+ * 103.su2cor).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+namespace
+{
+
+/** Bytes per complex 3x3 link matrix (18 doubles). */
+constexpr Addr link_bytes = 18 * 8;
+
+/** Bytes per complex 3-vector field element (6 doubles). */
+constexpr Addr field_bytes = 6 * 8;
+
+} // anonymous namespace
+
+Su2corKernel::Su2corKernel(std::uint64_t seed)
+    : KernelWorkload("su2cor", seed)
+{
+}
+
+void
+Su2corKernel::init()
+{
+    const Addr sites = Addr{lat_dim} * lat_dim * lat_dim * lat_dim;
+    links_base_ = heap_base;
+    field_base_ = links_base_ + sites * 4 * link_bytes + 4096;
+    result_base_ = field_base_ + sites * field_bytes + 4096;
+    site_ = 0;
+    dir_ = 0;
+    action_reg_ = invalid_reg;
+}
+
+void
+Su2corKernel::step()
+{
+    const Addr sites = Addr{lat_dim} * lat_dim * lat_dim * lat_dim;
+
+    // One link-matrix application: load the SU(3) link for (site, dir),
+    // gather the fermion field at the neighbour site in that
+    // direction (direction-dependent stride through the 4-D lattice),
+    // multiply, and accumulate into the result field.
+    const Addr link = links_base_
+        + (Addr{site_} * 4 + dir_) * link_bytes;
+
+    // Neighbour offset: +1, +L, +L^2, +L^3 sites depending on dir.
+    Addr stride = 1;
+    for (unsigned d = 0; d < dir_; ++d)
+        stride *= lat_dim;
+    const std::uint32_t nbr =
+        static_cast<std::uint32_t>((site_ + stride) % sites);
+
+    // Load the full 3x3 complex matrix (18 doubles streamed over 4.5
+    // cache lines) and the neighbour's complex 3-vector (6 doubles).
+    RegId m[18];
+    for (unsigned e = 0; e < 18; ++e)
+        m[e] = emit.load(link + Addr{e} * 8, 8);
+    RegId v[6];
+    for (unsigned e = 0; e < 6; ++e) {
+        v[e] = emit.load(field_base_ + Addr{nbr} * field_bytes
+                         + Addr{e} * 8, 8);
+    }
+
+    // Complex matrix-vector product: per output row, three complex
+    // multiplies (4 real mults + 2 adds each) and a reduction.
+    RegId out[6];
+    for (unsigned r = 0; r < 3; ++r) {
+        RegId acc_re = invalid_reg;
+        RegId acc_im = invalid_reg;
+        for (unsigned c = 0; c < 3; ++c) {
+            const RegId mre = m[(r * 3 + c) * 2];
+            const RegId mim = m[(r * 3 + c) * 2 + 1];
+            RegId re = emit.fpMult(mre, v[c * 2]);
+            RegId re2 = emit.fpMult(mim, v[c * 2 + 1]);
+            re = emit.fpAdd(re, re2);
+            RegId im = emit.fpMult(mre, v[c * 2 + 1]);
+            RegId im2 = emit.fpMult(mim, v[c * 2]);
+            im = emit.fpAdd(im, im2);
+            acc_re = acc_re == invalid_reg ? re
+                                           : emit.fpAdd(acc_re, re);
+            acc_im = acc_im == invalid_reg ? im
+                                           : emit.fpAdd(acc_im, im);
+        }
+        out[r * 2] = acc_re;
+        out[r * 2 + 1] = acc_im;
+    }
+
+    // Write the result vector and accumulate into it where the
+    // previous direction already produced a partial sum.
+    for (unsigned e = 0; e < 6; ++e) {
+        const Addr dst = result_base_ + Addr{site_} * field_bytes
+            + Addr{e} * 8;
+        if (e < 2) {
+            const RegId old = emit.load(dst, 8);
+            const RegId sum = emit.fpAdd(old, out[e]);
+            emit.store(dst, 8, invalid_reg, sum);
+        } else {
+            emit.store(dst, 8, invalid_reg, out[e]);
+        }
+    }
+
+    // Momentum update: two sequential writes per link application.
+    const Addr mom = result_base_ + (Addr{lat_dim} * lat_dim * lat_dim
+                                     * lat_dim) * field_bytes + 4096
+        + (Addr{site_} * 4 + dir_) * 16;
+    emit.store(mom, 8, invalid_reg, out[0]);
+    emit.store(mom + 8, 8, invalid_reg, out[1]);
+
+    // The plaquette action sums over every link application: a carried
+    // five-add recurrence (10 cycles) that reins in the otherwise
+    // enormous site-level parallelism, as the real program's global
+    // reductions do.
+    action_reg_ = emit.fpAdd(action_reg_, out[0]);
+    action_reg_ = emit.fpAdd(action_reg_, out[1]);
+    action_reg_ = emit.fpAdd(action_reg_, out[2]);
+    action_reg_ = emit.fpAdd(action_reg_, out[3]);
+    action_reg_ = emit.fpAdd(action_reg_);
+
+    // Loop bookkeeping.
+    const RegId idx = emit.intAlu();
+    emit.intAlu(idx);
+    emit.branch(idx);
+
+    if (++dir_ >= 4) {
+        dir_ = 0;
+        site_ = static_cast<std::uint32_t>((site_ + 1) % sites);
+    }
+}
+
+} // namespace lbic

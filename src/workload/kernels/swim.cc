@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shallow-water-model kernel (stands in for SPEC95 102.swim).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+SwimKernel::SwimKernel(std::uint64_t seed)
+    : KernelWorkload("swim", seed)
+{
+}
+
+void
+SwimKernel::init()
+{
+    // Six parallel arrays of doubles. The bases are deliberately
+    // aligned to a multiple of 4 KB: for any number of banks up to
+    // 128, element i of every array maps to the same bank, so the
+    // u[i], v[i], p[i] reference run hits one bank three times in
+    // three different lines -- swim's B-diff-line pathology in
+    // Figure 3 (33.8%, the highest of the ten programs).
+    // Span between array bases: congruent mod 4 KB (same bank for any
+    // bank count up to 128) but offset by three lines mod the 32 KB
+    // cache so corresponding elements do NOT collide in the same
+    // direct-mapped set (the real arrays are 513x513, i.e. odd-sized).
+    constexpr Addr array_bytes = Addr{n_elems} * 8;
+    constexpr Addr span = ((array_bytes + 4095) & ~Addr{4095}) + 4096
+        + 512;
+    u_ = heap_base;
+    v_ = u_ + span;
+    p_ = v_ + span;
+    unew_ = p_ + span;
+    vnew_ = unew_ + span;
+    pnew_ = vnew_ + span;
+    idx_ = 1;
+    check_reg_ = invalid_reg;
+}
+
+void
+SwimKernel::step()
+{
+    const Addr off = (idx_ % (n_elems - 1)) * 8;
+    const Addr off1 = off + 8;
+
+    // One column update of the CU/CV/Z/H equations: read u, v and p at
+    // i and i+1 (the i+1 line is reused next iteration), combine, and
+    // write the three new-timestep arrays on alternating iterations.
+    const RegId u0 = emit.load(u_ + off, 8);
+    const RegId u1 = emit.load(u_ + off1, 8);
+    const RegId v0 = emit.load(v_ + off, 8);
+    const RegId v1 = emit.load(v_ + off1, 8);
+    const RegId p0 = emit.load(p_ + off, 8);
+    const RegId p1 = emit.load(p_ + off1, 8);
+
+    RegId cu = emit.fpAdd(p0, p1);
+    cu = emit.fpMult(cu, u0);
+    RegId cv = emit.fpAdd(p0, p1);
+    cv = emit.fpMult(cv, v0);
+    RegId z = emit.fpAdd(v1, v0);
+    z = emit.fpAdd(z, u1);
+    z = emit.fpMult(z);
+    RegId h = emit.fpMult(u0, u0);
+    RegId h2 = emit.fpMult(v0, v0);
+    h = emit.fpAdd(h, h2);
+    h = emit.fpMult(h);
+    h = emit.fpAdd(h, p0);
+
+    // Re-read the previous new-timestep values (hot lines written a
+    // few iterations ago) for the time-smoothing term.
+    const RegId uprev = emit.load(unew_ + off, 8);
+    const RegId vprev = emit.load(vnew_ + off, 8);
+    RegId us = emit.fpAdd(uprev, cu);
+    RegId vs = emit.fpAdd(vprev, cv);
+    us = emit.fpMult(us, z);
+    vs = emit.fpMult(vs, z);
+
+    emit.store(unew_ + off, 8, invalid_reg, us);
+    emit.store(vnew_ + off, 8, invalid_reg, vs);
+    if ((idx_ & 3) == 0)
+        emit.store(pnew_ + off, 8, invalid_reg, h);
+
+    // Energy-check accumulation carried across columns (the CHECK
+    // loop of the real program): ~3 cycles per iteration.
+    check_reg_ = emit.fpAdd(check_reg_, h);
+    emit.intAlu(check_reg_);
+
+    // Loop bookkeeping.
+    const RegId i = emit.intAlu();
+    emit.intAlu(i);
+    emit.branch(i);
+
+    ++idx_;
+}
+
+} // namespace lbic

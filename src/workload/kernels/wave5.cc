@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Particle-in-cell plasma kernel (stands in for SPEC95 145.wave5).
+ */
+
+#include "workload/kernels.hh"
+
+namespace lbic
+{
+
+Wave5Kernel::Wave5Kernel(std::uint64_t seed)
+    : KernelWorkload("wave5", seed)
+{
+}
+
+void
+Wave5Kernel::init()
+{
+    // Structure-of-arrays particle storage, like the real Fortran:
+    // x, y, vx and vy are separate arrays swept with unit stride.
+    particles_base_ = heap_base;
+    field_base_ = particles_base_ + Addr{num_particles} * 4 * 8 + 4096;
+    charge_base_ = field_base_ + Addr{grid_cells} * 8 + 4096;
+    particle_ = 0;
+    energy_reg_ = invalid_reg;
+}
+
+void
+Wave5Kernel::step()
+{
+    // Push one particle: read position and velocity from the four
+    // parallel arrays (unit stride), locate its grid cell, gather the
+    // field at the four surrounding mesh points, update, write back,
+    // and deposit charge.
+    const Addr stride = Addr{num_particles} * 8;
+    const Addr x_arr = particles_base_;
+    const Addr y_arr = particles_base_ + stride + 544;
+    const Addr vx_arr = particles_base_ + 2 * (stride + 544);
+    const Addr vy_arr = particles_base_ + 3 * (stride + 544);
+    const Addr off = Addr{particle_} * 8;
+
+    const RegId px = emit.load(x_arr + off, 8);
+    const RegId py = emit.load(y_arr + off, 8);
+    const RegId vx = emit.load(vx_arr + off, 8);
+    const RegId vy = emit.load(vy_arr + off, 8);
+
+    // Particles are spatially coherent: nearby particles live in
+    // nearby cells (the real code's particle arrays are built column
+    // by column), so consecutive gathers cluster with a slow drift
+    // plus occasional jumps.
+    const std::uint32_t row_dim = 256;
+    // Several consecutive particles live in the same cell (the arrays
+    // are built column by column), so gathers reuse lines and the
+    // charge deposit forms a genuine read-modify-write chain.
+    const std::uint32_t base_cell = static_cast<std::uint32_t>(
+        (Addr{particle_ / 8} * 5 + rng.below(4))
+        % (grid_cells - row_dim - 2));
+
+    const RegId ci = emit.intAlu(px);       // cell index from position
+    const RegId cj = emit.intAlu(py);
+    emit.intAlu(ci, cj);
+
+    const RegId f00 =
+        emit.load(field_base_ + Addr{base_cell} * 8, 8, ci);
+    const RegId f01 =
+        emit.load(field_base_ + Addr{base_cell + 1} * 8, 8, ci);
+    const RegId f10 =
+        emit.load(field_base_ + Addr{base_cell + row_dim} * 8, 8, cj);
+    const RegId f11 =
+        emit.load(field_base_ + Addr{base_cell + row_dim + 1} * 8, 8,
+                  cj);
+
+    // Bilinear interpolation weights and the leapfrog update.
+    RegId wx = emit.fpAdd(px, ci);
+    RegId wy = emit.fpAdd(py, cj);
+    RegId w00 = emit.fpMult(wx, wy);
+    RegId w01 = emit.fpMult(wx, wy);
+    RegId ex = emit.fpMult(f00, w00);
+    RegId e2 = emit.fpMult(f01, w01);
+    ex = emit.fpAdd(ex, e2);
+    RegId ey = emit.fpMult(f10, w00);
+    RegId e3 = emit.fpMult(f11, w01);
+    ey = emit.fpAdd(ey, e3);
+    RegId e = emit.fpAdd(ex, ey);
+    e = emit.fpMult(e);
+    RegId nvx = emit.fpAdd(vx, e);
+    RegId nvy = emit.fpAdd(vy, e);
+    RegId nx = emit.fpMult(nvx);
+    RegId ny = emit.fpMult(nvy);
+    nx = emit.fpAdd(px, nx);
+    ny = emit.fpAdd(py, ny);
+    nx = emit.fpAdd(nx, e);
+    ny = emit.fpAdd(ny, e);
+
+    // Write the particle back (same lines as the reads).
+    emit.store(x_arr + off, 8, invalid_reg, nx);
+    emit.store(y_arr + off, 8, invalid_reg, ny);
+    if (rng.chance(0.5))
+        emit.store(vx_arr + off, 8, invalid_reg, nvx);
+
+    // Deposit charge: read-modify-write of the cell's charge.
+    const RegId q = emit.load(charge_base_ + Addr{base_cell} * 8, 8, ci);
+    const RegId nq = emit.fpAdd(q, e);
+    emit.store(charge_base_ + Addr{base_cell} * 8, 8, ci, nq);
+
+    // Field-energy accumulation: a carried two-add recurrence across
+    // particles (the diagnostic sums of the real program).
+    energy_reg_ = emit.fpAdd(energy_reg_, e);
+    energy_reg_ = emit.fpAdd(energy_reg_);
+    energy_reg_ = emit.intAlu(energy_reg_);
+
+    // Loop bookkeeping.
+    const RegId i = emit.intAlu();
+    emit.intAlu(i);
+    emit.branch(i);
+
+    particle_ = (particle_ + 1) % num_particles;
+}
+
+} // namespace lbic

@@ -1,0 +1,76 @@
+#include "registry.hh"
+
+#include "common/logging.hh"
+#include "workload/kernels.hh"
+#include "workload/synthetic.hh"
+
+namespace lbic
+{
+
+const std::vector<std::string> &
+specintKernels()
+{
+    static const std::vector<std::string> names =
+        {"compress", "gcc", "go", "li", "perl"};
+    return names;
+}
+
+const std::vector<std::string> &
+specfpKernels()
+{
+    static const std::vector<std::string> names =
+        {"hydro2d", "mgrid", "su2cor", "swim", "wave5"};
+    return names;
+}
+
+const std::vector<std::string> &
+allKernels()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all = specintKernels();
+        const auto &fp = specfpKernels();
+        all.insert(all.end(), fp.begin(), fp.end());
+        return all;
+    }();
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, std::uint64_t seed)
+{
+    if (name == "compress")
+        return std::make_unique<CompressKernel>(seed);
+    if (name == "gcc")
+        return std::make_unique<GccKernel>(seed);
+    if (name == "go")
+        return std::make_unique<GoKernel>(seed);
+    if (name == "li")
+        return std::make_unique<LiKernel>(seed);
+    if (name == "perl")
+        return std::make_unique<PerlKernel>(seed);
+    if (name == "hydro2d")
+        return std::make_unique<Hydro2dKernel>(seed);
+    if (name == "mgrid")
+        return std::make_unique<MgridKernel>(seed);
+    if (name == "su2cor")
+        return std::make_unique<Su2corKernel>(seed);
+    if (name == "swim")
+        return std::make_unique<SwimKernel>(seed);
+    if (name == "wave5")
+        return std::make_unique<Wave5Kernel>(seed);
+
+    SyntheticParams params;
+    params.seed = seed;
+    if (name == "uniform")
+        return std::make_unique<UniformRandomWorkload>(params);
+    if (name == "strided")
+        return std::make_unique<StridedWorkload>(params, 8);
+    if (name == "chase")
+        return std::make_unique<PointerChaseWorkload>(params, 1);
+    if (name == "sameline")
+        return std::make_unique<SameLineBurstWorkload>(params, 4);
+
+    lbic_fatal("unknown workload '", name, "'");
+}
+
+} // namespace lbic

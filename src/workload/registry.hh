@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Workload registry: create workloads by name.
+ *
+ * Benchmarks and examples look kernels up with strings like
+ * "compress" or "swim"; the registry also knows the SPECint/SPECfp
+ * grouping used when the paper reports averages.
+ */
+
+#ifndef LBIC_WORKLOAD_REGISTRY_HH
+#define LBIC_WORKLOAD_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** Names of the five SPECint-like kernels, in paper order. */
+const std::vector<std::string> &specintKernels();
+
+/** Names of the five SPECfp-like kernels, in paper order. */
+const std::vector<std::string> &specfpKernels();
+
+/** All ten kernel names, integer first, in paper order. */
+const std::vector<std::string> &allKernels();
+
+/**
+ * Instantiate a workload by name.
+ *
+ * Accepts the ten kernel names plus the synthetic names "uniform",
+ * "strided", "chase" and "sameline" (with default parameters).
+ *
+ * @param name workload name.
+ * @param seed PRNG seed for the instance.
+ * @return a fresh workload; fatal() on an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       std::uint64_t seed = 1);
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_REGISTRY_HH

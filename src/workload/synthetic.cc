@@ -1,0 +1,173 @@
+#include "synthetic.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+namespace
+{
+
+/** Fill @p inst as a non-memory filler op with a fresh destination. */
+void
+fillerOp(DynInst &inst, RegId &next_reg)
+{
+    inst = DynInst{};
+    inst.op = OpClass::IntAlu;
+    inst.dst = next_reg++;
+}
+
+/** Fill @p inst as a memory op at @p addr. */
+void
+memOp(DynInst &inst, bool store, Addr addr, unsigned size,
+      RegId &next_reg, RegId dep = invalid_reg)
+{
+    inst = DynInst{};
+    inst.op = store ? OpClass::Store : OpClass::Load;
+    inst.dst = store ? invalid_reg : next_reg++;
+    inst.src = {dep, invalid_reg};
+    inst.addr = addr;
+    inst.size = static_cast<std::uint8_t>(size);
+}
+
+} // anonymous namespace
+
+UniformRandomWorkload::UniformRandomWorkload(SyntheticParams params)
+    : params_(params), rng_(params.seed)
+{
+    lbic_assert(params_.region >= params_.size,
+                "synthetic region smaller than access size");
+}
+
+bool
+UniformRandomWorkload::next(DynInst &inst)
+{
+    if (!rng_.chance(params_.mem_fraction)) {
+        fillerOp(inst, next_reg_);
+        return true;
+    }
+    const Addr addr = params_.base
+        + alignDown(rng_.below(params_.region - params_.size),
+                    params_.size);
+    memOp(inst, rng_.chance(params_.store_fraction), addr, params_.size,
+          next_reg_);
+    return true;
+}
+
+void
+UniformRandomWorkload::reset()
+{
+    rng_ = Random(params_.seed);
+    next_reg_ = 0;
+}
+
+StridedWorkload::StridedWorkload(SyntheticParams params, Addr stride)
+    : params_(params), stride_(stride), rng_(params.seed)
+{
+    lbic_assert(stride_ > 0, "stride must be non-zero");
+}
+
+bool
+StridedWorkload::next(DynInst &inst)
+{
+    if (!rng_.chance(params_.mem_fraction)) {
+        fillerOp(inst, next_reg_);
+        return true;
+    }
+    const Addr addr = params_.base + (pos_ % params_.region);
+    pos_ += stride_;
+    memOp(inst, rng_.chance(params_.store_fraction), addr, params_.size,
+          next_reg_);
+    return true;
+}
+
+void
+StridedWorkload::reset()
+{
+    pos_ = 0;
+    rng_ = Random(params_.seed);
+    next_reg_ = 0;
+}
+
+PointerChaseWorkload::PointerChaseWorkload(SyntheticParams params,
+                                           unsigned chain_count)
+    : params_(params), chain_count_(chain_count), rng_(params.seed)
+{
+    lbic_assert(chain_count_ > 0, "need at least one chase chain");
+    reset();
+}
+
+bool
+PointerChaseWorkload::next(DynInst &inst)
+{
+    if (!rng_.chance(params_.mem_fraction)) {
+        fillerOp(inst, next_reg_);
+        return true;
+    }
+    const unsigned c = turn_;
+    turn_ = (turn_ + 1) % chain_count_;
+
+    // The next node address is a deterministic pseudo-random hop; the
+    // load *depends on* the previous load in this chain, which is what
+    // serializes the stream.
+    pos_[c] = params_.base
+        + alignDown(rng_.below(params_.region - params_.size),
+                    params_.size);
+    memOp(inst, false, pos_[c], params_.size, next_reg_, dep_[c]);
+    dep_[c] = inst.dst;
+    return true;
+}
+
+void
+PointerChaseWorkload::reset()
+{
+    rng_ = Random(params_.seed);
+    pos_.assign(chain_count_, params_.base);
+    dep_.assign(chain_count_, invalid_reg);
+    turn_ = 0;
+    next_reg_ = 0;
+}
+
+SameLineBurstWorkload::SameLineBurstWorkload(SyntheticParams params,
+                                             unsigned burst,
+                                             unsigned line_bytes)
+    : params_(params), burst_(burst), line_bytes_(line_bytes),
+      rng_(params.seed)
+{
+    lbic_assert(burst_ > 0, "burst must be non-zero");
+    lbic_assert(isPowerOf2(line_bytes_), "line size must be 2^k");
+    lbic_assert(burst_ * params_.size <= line_bytes_,
+                "burst does not fit in one line");
+    reset();
+}
+
+bool
+SameLineBurstWorkload::next(DynInst &inst)
+{
+    if (!rng_.chance(params_.mem_fraction)) {
+        fillerOp(inst, next_reg_);
+        return true;
+    }
+    if (in_burst_ == 0) {
+        const Addr lines = params_.region / line_bytes_;
+        line_ = params_.base + rng_.below(lines) * line_bytes_;
+        in_burst_ = burst_;
+    }
+    const Addr addr = line_ + Addr{burst_ - in_burst_} * params_.size;
+    --in_burst_;
+    memOp(inst, rng_.chance(params_.store_fraction), addr, params_.size,
+          next_reg_);
+    return true;
+}
+
+void
+SameLineBurstWorkload::reset()
+{
+    rng_ = Random(params_.seed);
+    in_burst_ = 0;
+    line_ = 0;
+    next_reg_ = 0;
+}
+
+} // namespace lbic

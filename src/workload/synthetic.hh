@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parametric synthetic workloads.
+ *
+ * These produce precisely controlled reference streams for unit tests
+ * and ablation studies: uniform-random addressing, fixed strides,
+ * serialized pointer chases, and same-line bursts (the best case for
+ * LBIC combining / the worst case for plain banking).
+ */
+
+#ifndef LBIC_WORKLOAD_SYNTHETIC_HH
+#define LBIC_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** Parameters shared by the synthetic workloads. */
+struct SyntheticParams
+{
+    /** Fraction of instructions that are memory operations. */
+    double mem_fraction = 0.34;
+
+    /** Fraction of memory operations that are stores. */
+    double store_fraction = 0.25;
+
+    /** Base address of the touched region. */
+    Addr base = 0x20000000;
+
+    /** Size of the touched region in bytes. */
+    Addr region = 1u << 20;
+
+    /** Access size in bytes. */
+    unsigned size = 8;
+
+    /** PRNG seed. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Independent references with uniformly random addresses: the
+ * statistically balanced stream under which multi-banking performs
+ * best (paper §3).
+ */
+class UniformRandomWorkload : public Workload
+{
+  public:
+    explicit UniformRandomWorkload(SyntheticParams params);
+
+    const std::string &name() const override { return name_; }
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+  private:
+    std::string name_ = "uniform";
+    SyntheticParams params_;
+    RegId next_reg_ = 0;
+    Random rng_;
+};
+
+/**
+ * A fixed-stride sweep (vector-style access). With a stride equal to
+ * the bank span every reference hits the same bank: the worst case
+ * for multi-banking.
+ */
+class StridedWorkload : public Workload
+{
+  public:
+    /**
+     * @param params common parameters.
+     * @param stride byte distance between consecutive references.
+     */
+    StridedWorkload(SyntheticParams params, Addr stride);
+
+    const std::string &name() const override { return name_; }
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+  private:
+    std::string name_ = "strided";
+    SyntheticParams params_;
+    Addr stride_;
+    Addr pos_ = 0;
+    RegId next_reg_ = 0;
+    Random rng_;
+};
+
+/**
+ * A serialized pointer chase: every load's address depends on the
+ * previous load's value, so at most one memory access is ready per
+ * chain step regardless of how many cache ports exist.
+ */
+class PointerChaseWorkload : public Workload
+{
+  public:
+    PointerChaseWorkload(SyntheticParams params, unsigned chain_count = 1);
+
+    const std::string &name() const override { return name_; }
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+  private:
+    std::string name_ = "chase";
+    SyntheticParams params_;
+    unsigned chain_count_;
+    std::vector<Addr> pos_;
+    std::vector<RegId> dep_;
+    unsigned turn_ = 0;
+    RegId next_reg_ = 0;
+    Random rng_;
+};
+
+/**
+ * Bursts of independent references into one cache line followed by a
+ * jump to another line: maximal same-line locality. A plain banked
+ * cache serializes each burst; an LBIC with N line-buffer ports
+ * services N per cycle.
+ */
+class SameLineBurstWorkload : public Workload
+{
+  public:
+    /**
+     * @param params common parameters.
+     * @param burst references per line before moving on.
+     * @param line_bytes cache line size used to space the bursts.
+     */
+    SameLineBurstWorkload(SyntheticParams params, unsigned burst,
+                          unsigned line_bytes = 32);
+
+    const std::string &name() const override { return name_; }
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+  private:
+    std::string name_ = "sameline";
+    SyntheticParams params_;
+    unsigned burst_;
+    unsigned line_bytes_;
+    unsigned in_burst_ = 0;
+    Addr line_ = 0;
+    RegId next_reg_ = 0;
+    Random rng_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_SYNTHETIC_HH

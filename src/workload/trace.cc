@@ -1,0 +1,111 @@
+#include "trace.hh"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+namespace
+{
+
+constexpr std::uint32_t trace_magic = 0x4c424943;  // "LBIC"
+constexpr std::uint32_t trace_version = 1;
+
+/** On-disk record layout (packed manually for portability). */
+struct PackedRecord
+{
+    std::uint8_t op;
+    std::uint8_t size;
+    std::uint32_t dst;
+    std::uint32_t src0;
+    std::uint32_t src1;
+    std::uint64_t addr;
+};
+
+PackedRecord
+pack(const DynInst &inst)
+{
+    PackedRecord r;
+    r.op = static_cast<std::uint8_t>(inst.op);
+    r.size = inst.size;
+    r.dst = inst.dst;
+    r.src0 = inst.src[0];
+    r.src1 = inst.src[1];
+    r.addr = inst.addr;
+    return r;
+}
+
+DynInst
+unpack(const PackedRecord &r)
+{
+    DynInst inst;
+    inst.op = static_cast<OpClass>(r.op);
+    inst.size = r.size;
+    inst.dst = r.dst;
+    inst.src = {r.src0, r.src1};
+    inst.addr = r.addr;
+    return inst;
+}
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(std::ostream &os)
+    : os_(os)
+{
+    os_.write(reinterpret_cast<const char *>(&trace_magic),
+              sizeof(trace_magic));
+    os_.write(reinterpret_cast<const char *>(&trace_version),
+              sizeof(trace_version));
+}
+
+void
+TraceWriter::write(const DynInst &inst)
+{
+    const PackedRecord r = pack(inst);
+    os_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    ++count_;
+}
+
+std::uint64_t
+TraceWriter::capture(Workload &src, std::ostream &os, std::uint64_t n)
+{
+    TraceWriter writer(os);
+    DynInst inst;
+    std::uint64_t captured = 0;
+    while (captured < n && src.next(inst)) {
+        writer.write(inst);
+        ++captured;
+    }
+    return captured;
+}
+
+TraceReplayWorkload::TraceReplayWorkload(std::istream &is)
+{
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!is || magic != trace_magic)
+        lbic_fatal("not an LBIC trace (bad magic)");
+    if (version != trace_version)
+        lbic_fatal("unsupported trace version ", version);
+
+    PackedRecord r;
+    while (is.read(reinterpret_cast<char *>(&r), sizeof(r)))
+        insts_.push_back(unpack(r));
+}
+
+bool
+TraceReplayWorkload::next(DynInst &inst)
+{
+    if (pos_ >= insts_.size())
+        return false;
+    inst = insts_[pos_++];
+    return true;
+}
+
+} // namespace lbic

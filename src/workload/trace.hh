@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Binary trace serialization for dynamic instruction streams.
+ *
+ * A trace lets a workload's stream be captured once and replayed many
+ * times (offline analysis, regression tests, cross-config runs over
+ * the identical reference stream). The format is a fixed magic/version
+ * header followed by packed records.
+ */
+
+#ifndef LBIC_WORKLOAD_TRACE_HH
+#define LBIC_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** Writes DynInst records to a binary stream. */
+class TraceWriter
+{
+  public:
+    /** @param os destination stream; the header is written eagerly. */
+    explicit TraceWriter(std::ostream &os);
+
+    /** Append one instruction record. */
+    void write(const DynInst &inst);
+
+    /** Number of records written so far. */
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Capture @p n instructions from @p src into @p os.
+     * @return the number actually captured (less than @p n only if the
+     *         source stream ends).
+     */
+    static std::uint64_t capture(Workload &src, std::ostream &os,
+                                 std::uint64_t n);
+
+  private:
+    std::ostream &os_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A Workload that replays a previously captured binary trace.
+ *
+ * The whole trace is loaded into memory at construction so replay
+ * (and reset) is cheap.
+ */
+class TraceReplayWorkload : public Workload
+{
+  public:
+    /** @param is source stream; fatal() on a malformed header. */
+    explicit TraceReplayWorkload(std::istream &is);
+
+    const std::string &name() const override { return name_; }
+    bool next(DynInst &inst) override;
+    void reset() override { pos_ = 0; }
+
+    std::size_t size() const { return insts_.size(); }
+
+  private:
+    std::string name_ = "trace";
+    std::vector<DynInst> insts_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_TRACE_HH

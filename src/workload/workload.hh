@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The workload interface: a producer of dynamic instructions.
+ *
+ * A Workload stands in for a benchmark binary running on the simulated
+ * processor. The fetch stage pulls DynInst records from it in program
+ * order. Register identifiers are SSA-like: each RegId is written by
+ * exactly one instruction in the stream, so the core can resolve
+ * dependences by looking up the (unique) producer of each source.
+ *
+ * Workloads must be deterministic: after reset(), the same sequence of
+ * instructions is produced again.
+ */
+
+#ifndef LBIC_WORKLOAD_WORKLOAD_HH
+#define LBIC_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+
+#include "isa/dyn_inst.hh"
+
+namespace lbic
+{
+
+/** Abstract producer of a dynamic instruction stream. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifying name (e.g.\ "compress"). */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Produce the next instruction in program order.
+     *
+     * @param inst filled in on success. The seq field is left to the
+     *             fetch stage.
+     * @return false when the stream is exhausted (kernel workloads
+     *         never exhaust; trace replays do).
+     */
+    virtual bool next(DynInst &inst) = 0;
+
+    /** Restart the stream from the beginning, deterministically. */
+    virtual void reset() = 0;
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for bank-selection functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cacheport/bank_select.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(BankSelectTest, SingleBankAlwaysZero)
+{
+    EXPECT_EQ(selectBank(0xdeadbeef, 1, 5), 0u);
+}
+
+TEST(BankSelectTest, BitSelectUsesBitsAboveLineOffset)
+{
+    // 32 B lines, 4 banks: bits 5-6 choose the bank.
+    EXPECT_EQ(selectBank(0x00, 4, 5), 0u);
+    EXPECT_EQ(selectBank(0x20, 4, 5), 1u);
+    EXPECT_EQ(selectBank(0x40, 4, 5), 2u);
+    EXPECT_EQ(selectBank(0x60, 4, 5), 3u);
+    EXPECT_EQ(selectBank(0x80, 4, 5), 0u);   // wraps
+}
+
+TEST(BankSelectTest, LineInterleavedWithinLine)
+{
+    // All bytes of one line map to the same bank.
+    for (Addr off = 0; off < 32; ++off)
+        EXPECT_EQ(selectBank(0x20 + off, 4, 5), 1u);
+}
+
+TEST(BankSelectTest, ConsecutiveLinesRotateBanks)
+{
+    // The line-interleaved property the LBIC relies on (§3.2).
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(selectBank(Addr{i} * 32, 4, 5), i % 4);
+}
+
+TEST(BankSelectTest, XorFoldBreaksPowerOfTwoStrides)
+{
+    // With bit selection, a stride equal to the bank span hits one
+    // bank forever; the XOR fold spreads it.
+    const Addr span = 4 * 32;  // 4 banks x 32 B lines
+    bool xor_spreads = false;
+    const unsigned first = selectBank(0, 4, 5, BankSelectFn::XorFold);
+    for (unsigned i = 1; i < 16; ++i) {
+        const Addr a = Addr{i} * span;
+        EXPECT_EQ(selectBank(a, 4, 5, BankSelectFn::BitSelect), 0u);
+        if (selectBank(a, 4, 5, BankSelectFn::XorFold) != first)
+            xor_spreads = true;
+    }
+    EXPECT_TRUE(xor_spreads);
+}
+
+TEST(BankSelectTest, XorFoldStaysInRange)
+{
+    for (Addr a = 0; a < (1u << 16); a += 37) {
+        EXPECT_LT(selectBank(a, 8, 5, BankSelectFn::XorFold), 8u);
+    }
+}
+
+TEST(BankSelectTest, ParseNames)
+{
+    EXPECT_EQ(parseBankSelectFn("bit"), BankSelectFn::BitSelect);
+    EXPECT_EQ(parseBankSelectFn("xor"), BankSelectFn::XorFold);
+    detail::setThrowOnError(true);
+    EXPECT_THROW(parseBankSelectFn("bogus"), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(BankSelectTest, NamesRoundTrip)
+{
+    EXPECT_STREQ(bankSelectFnName(BankSelectFn::BitSelect), "bit");
+    EXPECT_STREQ(bankSelectFnName(BankSelectFn::XorFold), "xor");
+}
+
+} // anonymous namespace
+} // namespace lbic

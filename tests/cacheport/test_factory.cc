@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the port-scheduler factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cacheport/factory.hh"
+#include "cacheport/lbic.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace
+{
+
+class FactoryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+
+    stats::StatGroup root;
+};
+
+TEST_F(FactoryTest, BuildsIdeal)
+{
+    auto s = makePortScheduler("ideal:4", &root);
+    EXPECT_EQ(s->name(), "ideal4");
+    EXPECT_EQ(s->peakWidth(), 4u);
+}
+
+TEST_F(FactoryTest, BuildsReplicated)
+{
+    auto s = makePortScheduler("repl:8", &root);
+    EXPECT_EQ(s->name(), "repl8");
+    EXPECT_EQ(s->peakWidth(), 8u);
+}
+
+TEST_F(FactoryTest, BuildsBanked)
+{
+    auto s = makePortScheduler("bank:16", &root);
+    EXPECT_EQ(s->name(), "bank16");
+    EXPECT_EQ(s->peakWidth(), 16u);
+}
+
+TEST_F(FactoryTest, BuildsLbicWithOptions)
+{
+    PortFactoryOptions opts;
+    opts.line_bits = 6;
+    opts.store_queue_depth = 3;
+    auto s = makePortScheduler("lbic:4x2", &root, opts);
+    EXPECT_EQ(s->name(), "lbic4x2");
+    EXPECT_EQ(s->peakWidth(), 8u);
+    const auto *l = dynamic_cast<Lbic *>(s.get());
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->config().line_bits, 6u);
+    EXPECT_EQ(l->config().store_queue_depth, 3u);
+}
+
+TEST_F(FactoryTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(makePortScheduler("ideal", &root),
+                 std::runtime_error);
+    EXPECT_THROW(makePortScheduler("ideal:", &root),
+                 std::runtime_error);
+    EXPECT_THROW(makePortScheduler("ideal:0", &root),
+                 std::runtime_error);
+    EXPECT_THROW(makePortScheduler("ideal:abc", &root),
+                 std::runtime_error);
+    EXPECT_THROW(makePortScheduler("lbic:4", &root),
+                 std::runtime_error);
+    EXPECT_THROW(makePortScheduler("warp:4", &root),
+                 std::runtime_error);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the ideal multi-ported model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cacheport/ideal.hh"
+
+namespace lbic
+{
+namespace
+{
+
+std::vector<MemRequest>
+makeRequests(std::initializer_list<std::pair<Addr, bool>> specs)
+{
+    std::vector<MemRequest> out;
+    InstSeq seq = 1;
+    for (const auto &[addr, is_store] : specs)
+        out.push_back({seq++, addr, is_store});
+    return out;
+}
+
+TEST(IdealPortsTest, GrantsUpToPortCount)
+{
+    stats::StatGroup root;
+    IdealPorts ports(&root, 2);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests(
+        {{0x00, false}, {0x08, false}, {0x10, false}});
+    ports.select(reqs, accepted);
+    ASSERT_EQ(accepted.size(), 2u);
+    EXPECT_EQ(accepted[0], 0u);
+    EXPECT_EQ(accepted[1], 1u);
+}
+
+TEST(IdealPortsTest, AnyAddressCombination)
+{
+    // Same line, same bank, whatever: ideal ports do not care.
+    stats::StatGroup root;
+    IdealPorts ports(&root, 4);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests(
+        {{0x00, false}, {0x00, true}, {0x04, false}, {0x00, false}});
+    ports.select(reqs, accepted);
+    EXPECT_EQ(accepted.size(), 4u);
+}
+
+TEST(IdealPortsTest, FewerRequestsThanPorts)
+{
+    stats::StatGroup root;
+    IdealPorts ports(&root, 8);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests({{0x00, true}});
+    ports.select(reqs, accepted);
+    EXPECT_EQ(accepted.size(), 1u);
+}
+
+TEST(IdealPortsTest, EmptyRequestVector)
+{
+    stats::StatGroup root;
+    IdealPorts ports(&root, 4);
+    std::vector<std::size_t> accepted{99};
+    ports.select({}, accepted);
+    EXPECT_TRUE(accepted.empty());
+}
+
+TEST(IdealPortsTest, PeakWidthAndStats)
+{
+    stats::StatGroup root;
+    IdealPorts ports(&root, 4);
+    EXPECT_EQ(ports.peakWidth(), 4u);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests({{0x00, false}, {0x20, false}});
+    ports.select(reqs, accepted);
+    EXPECT_DOUBLE_EQ(ports.requests_seen.value(), 2.0);
+    EXPECT_DOUBLE_EQ(ports.requests_granted.value(), 2.0);
+    EXPECT_DOUBLE_EQ(ports.cycles_active.value(), 1.0);
+}
+
+} // anonymous namespace
+} // namespace lbic

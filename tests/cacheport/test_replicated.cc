@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for multi-porting by replication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cacheport/replicated.hh"
+
+namespace lbic
+{
+namespace
+{
+
+std::vector<MemRequest>
+makeRequests(std::initializer_list<std::pair<Addr, bool>> specs)
+{
+    std::vector<MemRequest> out;
+    InstSeq seq = 1;
+    for (const auto &[addr, is_store] : specs)
+        out.push_back({seq++, addr, is_store});
+    return out;
+}
+
+TEST(ReplicatedPortsTest, LoadsFillAllPorts)
+{
+    stats::StatGroup root;
+    ReplicatedPorts ports(&root, 2);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests(
+        {{0x00, false}, {0x20, false}, {0x40, false}});
+    ports.select(reqs, accepted);
+    EXPECT_EQ(accepted.size(), 2u);
+}
+
+TEST(ReplicatedPortsTest, OldestStoreGoesAlone)
+{
+    // A store must broadcast to every copy: nothing else that cycle.
+    stats::StatGroup root;
+    ReplicatedPorts ports(&root, 4);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests(
+        {{0x00, true}, {0x20, false}, {0x40, false}});
+    ports.select(reqs, accepted);
+    ASSERT_EQ(accepted.size(), 1u);
+    EXPECT_EQ(accepted[0], 0u);
+    EXPECT_DOUBLE_EQ(ports.store_solo_cycles.value(), 1.0);
+    EXPECT_DOUBLE_EQ(ports.loads_blocked_by_store.value(), 2.0);
+}
+
+TEST(ReplicatedPortsTest, LoadsBypassYoungerStores)
+{
+    stats::StatGroup root;
+    ReplicatedPorts ports(&root, 2);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests(
+        {{0x00, false}, {0x20, true}, {0x40, false}});
+    ports.select(reqs, accepted);
+    ASSERT_EQ(accepted.size(), 2u);
+    EXPECT_EQ(accepted[0], 0u);
+    EXPECT_EQ(accepted[1], 2u);   // the store at index 1 is skipped
+}
+
+TEST(ReplicatedPortsTest, ConsecutiveStoresSerialize)
+{
+    // Two pending stores take two cycles even with many ports.
+    stats::StatGroup root;
+    ReplicatedPorts ports(&root, 8);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests({{0x00, true}, {0x20, true}});
+    ports.select(reqs, accepted);
+    ASSERT_EQ(accepted.size(), 1u);
+    EXPECT_EQ(accepted[0], 0u);
+}
+
+TEST(ReplicatedPortsTest, SinglePortDegeneratesToOneAccess)
+{
+    stats::StatGroup root;
+    ReplicatedPorts ports(&root, 1);
+    std::vector<std::size_t> accepted;
+    const auto reqs = makeRequests({{0x00, false}, {0x20, false}});
+    ports.select(reqs, accepted);
+    EXPECT_EQ(accepted.size(), 1u);
+}
+
+} // anonymous namespace
+} // namespace lbic

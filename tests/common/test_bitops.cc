@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for common/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(BitopsTest, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(4));
+    EXPECT_FALSE(isPowerOf2(6));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitopsTest, FloorLog2Exact)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(32), 5u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(BitopsTest, FloorLog2NonPowers)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(5), 2u);
+    EXPECT_EQ(floorLog2(1000), 9u);
+}
+
+TEST(BitopsTest, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xf0, 4, 4), 0xfu);
+    EXPECT_EQ(bits(0xabcd, 8, 8), 0xabu);
+    EXPECT_EQ(bits(0xabcd, 0, 0), 0u);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(bits(~0ull, 1, 64), ~0ull >> 1);
+}
+
+TEST(BitopsTest, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(BitopsTest, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 32), 0x1220u);
+    EXPECT_EQ(alignDown(0x1220, 32), 0x1220u);
+    EXPECT_EQ(alignUp(0x1234, 32), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 32), 0x1240u);
+    EXPECT_EQ(alignDown(31, 32), 0u);
+    EXPECT_EQ(alignUp(1, 32), 32u);
+}
+
+/** Address decomposition round trip: fields recombine to the address. */
+TEST(BitopsTest, AddressDecompositionRoundTrip)
+{
+    const Addr addr = 0xdeadbeef1234;
+    const unsigned line_bits = 5;
+    const unsigned bank_bits = 2;
+    const Addr lo = bits(addr, 0, line_bits);
+    const Addr bank = bits(addr, line_bits, bank_bits);
+    const Addr rest = addr >> (line_bits + bank_bits);
+    EXPECT_EQ((rest << (line_bits + bank_bits))
+                  | (bank << line_bits) | lo,
+              addr);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for common/config.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace
+{
+
+class ConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(ConfigTest, FromArgsParsesKeyValues)
+{
+    const char *argv[] = {"prog", "workload=swim", "insts=5000"};
+    const Config cfg = Config::fromArgs(3, argv);
+    EXPECT_TRUE(cfg.has("workload"));
+    EXPECT_EQ(cfg.getString("workload", ""), "swim");
+    EXPECT_EQ(cfg.getU64("insts", 0), 5000u);
+}
+
+TEST_F(ConfigTest, FromArgsRejectsMalformedToken)
+{
+    const char *argv[] = {"prog", "no-equals-here"};
+    EXPECT_THROW(Config::fromArgs(2, argv), std::runtime_error);
+}
+
+TEST_F(ConfigTest, DefaultsWhenAbsent)
+{
+    const Config cfg;
+    EXPECT_EQ(cfg.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(cfg.getU64("missing", 42), 42u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 2.5), 2.5);
+    EXPECT_TRUE(cfg.getBool("missing", true));
+}
+
+TEST_F(ConfigTest, TypedParsing)
+{
+    Config cfg;
+    cfg.set("n", "0x10");
+    cfg.set("d", "3.5");
+    cfg.set("b1", "true");
+    cfg.set("b2", "0");
+    EXPECT_EQ(cfg.getU64("n", 0), 16u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("d", 0.0), 3.5);
+    EXPECT_TRUE(cfg.getBool("b1", false));
+    EXPECT_FALSE(cfg.getBool("b2", true));
+}
+
+TEST_F(ConfigTest, MalformedValuesAreFatal)
+{
+    Config cfg;
+    cfg.set("n", "abc");
+    cfg.set("b", "maybe");
+    EXPECT_THROW(cfg.getU64("n", 0), std::runtime_error);
+    EXPECT_THROW(cfg.getBool("b", false), std::runtime_error);
+}
+
+TEST_F(ConfigTest, UnrecognizedKeysDetected)
+{
+    Config cfg;
+    cfg.set("used", "1");
+    cfg.set("typo", "1");
+    cfg.getU64("used", 0);
+    const auto unknown = cfg.unrecognizedKeys();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "typo");
+    EXPECT_THROW(cfg.rejectUnrecognized(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectUnrecognizedPassesWhenAllTouched)
+{
+    Config cfg;
+    cfg.set("a", "1");
+    cfg.getU64("a", 0);
+    EXPECT_NO_THROW(cfg.rejectUnrecognized());
+}
+
+} // anonymous namespace
+} // namespace lbic

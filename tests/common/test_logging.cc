@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for common/logging.hh (throw-on-error mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsLogicError)
+{
+    EXPECT_THROW(lbic_panic("boom ", 42), std::logic_error);
+}
+
+TEST_F(LoggingTest, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(lbic_fatal("bad config ", "x"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(lbic_assert(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST_F(LoggingTest, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(lbic_assert(1 + 1 == 3, "arithmetic is broken"),
+                 std::logic_error);
+}
+
+TEST_F(LoggingTest, MessageConcatenation)
+{
+    try {
+        lbic_panic("value=", 7, " name=", "x");
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7 name=x"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(lbic_warn("just a warning"));
+    EXPECT_NO_THROW(lbic_inform("status"));
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for common/random.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(RandomTest, DeterministicForSameSeed)
+{
+    Random a(123);
+    Random b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, ZeroSeedIsLegal)
+{
+    Random r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next());
+    EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(RandomTest, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RandomTest, BelowCoversRange)
+{
+    Random r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, BetweenInclusive)
+{
+    Random r(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, RealInUnitInterval)
+{
+    Random r(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RandomTest, ChanceApproximatesProbability)
+{
+    Random r(13);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        if (r.chance(0.3))
+            ++hits;
+    }
+    const double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RandomTest, ChanceExtremes)
+{
+    Random r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

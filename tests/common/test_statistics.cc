@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/statistics.hh"
+
+namespace lbic
+{
+namespace stats
+{
+namespace
+{
+
+TEST(StatisticsTest, ScalarAccumulates)
+{
+    StatGroup g;
+    Scalar s(&g, "count", "a counter");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatisticsTest, DistributionMoments)
+{
+    StatGroup g;
+    Distribution d(&g, "dist", "samples", 0, 10, 1);
+    d.sample(2);
+    d.sample(4);
+    d.sample(6);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_EQ(d.minSample(), 2u);
+    EXPECT_EQ(d.maxSample(), 6u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.bucketCount(5), 0u);
+}
+
+TEST(StatisticsTest, DistributionOverUnderflow)
+{
+    StatGroup g;
+    Distribution d(&g, "dist", "samples", 5, 10, 1);
+    d.sample(1);
+    d.sample(20);
+    d.sample(7);
+    EXPECT_EQ(d.bucketCount(1), 1u);    // underflow bucket
+    EXPECT_EQ(d.bucketCount(20), 1u);   // overflow bucket
+    EXPECT_EQ(d.samples(), 3u);
+}
+
+TEST(StatisticsTest, DistributionWideBuckets)
+{
+    StatGroup g;
+    Distribution d(&g, "dist", "samples", 0, 99, 10);
+    d.sample(5);
+    d.sample(9);
+    d.sample(10);
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(10), 1u);
+}
+
+TEST(StatisticsTest, DistributionWeightedSamples)
+{
+    StatGroup g;
+    Distribution d(&g, "dist", "samples", 0, 10, 1);
+    d.sample(3, 5);
+    EXPECT_EQ(d.samples(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(StatisticsTest, DerivedComputesAtReadTime)
+{
+    StatGroup g;
+    Scalar a(&g, "a", "");
+    Scalar b(&g, "b", "");
+    Derived ratio(&g, "ratio", "a per b",
+                  [&] { return b.value() > 0 ? a.value() / b.value()
+                                             : 0.0; });
+    a += 6;
+    b += 3;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.0);
+    b += 3;
+    EXPECT_DOUBLE_EQ(ratio.value(), 1.0);
+}
+
+TEST(StatisticsTest, GroupPrintIncludesNamesAndValues)
+{
+    StatGroup root;
+    StatGroup child(&root, "cache");
+    Scalar hits(&child, "hits", "cache hits");
+    hits += 7;
+    std::ostringstream os;
+    root.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("cache.hits"), std::string::npos);
+    EXPECT_NE(text.find('7'), std::string::npos);
+    EXPECT_NE(text.find("cache hits"), std::string::npos);
+}
+
+TEST(StatisticsTest, GroupResetRecurses)
+{
+    StatGroup root;
+    StatGroup child(&root, "c");
+    Scalar s(&child, "s", "");
+    s += 5;
+    root.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatisticsTest, FindLocatesOwnStatsOnly)
+{
+    StatGroup root;
+    StatGroup child(&root, "c");
+    Scalar s(&child, "s", "");
+    EXPECT_EQ(root.find("s"), nullptr);
+    EXPECT_EQ(child.find("s"), &s);
+}
+
+TEST(StatisticsTest, JsonScalarAndDerived)
+{
+    StatGroup root;
+    StatGroup child(&root, "core");
+    Scalar s(&child, "committed", "");
+    s += 42;
+    Derived d(&child, "ipc", "", [] { return 1.5; });
+    std::ostringstream os;
+    root.printJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"core\":{\"committed\":42,\"ipc\":1.5}}");
+}
+
+TEST(StatisticsTest, JsonDistribution)
+{
+    StatGroup root;
+    Distribution d(&root, "dist", "", 0, 10, 1);
+    d.sample(3);
+    d.sample(3);
+    d.sample(20);   // overflow
+    std::ostringstream os;
+    root.printJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"dist\":{\"samples\":3,\"mean\":8.66667,"
+              "\"buckets\":{\"3\":2},\"overflow\":1}}");
+}
+
+TEST(StatisticsTest, JsonEmptyGroup)
+{
+    StatGroup root;
+    std::ostringstream os;
+    root.printJson(os);
+    EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(StatisticsTest, JsonNanBecomesNull)
+{
+    StatGroup root;
+    Derived d(&root, "ratio", "", [] { return 0.0 / 0.0; });
+    std::ostringstream os;
+    root.printJson(os);
+    EXPECT_EQ(os.str(), "{\"ratio\":null}");
+}
+
+TEST(StatisticsTest, DuplicateNamePanics)
+{
+    detail::setThrowOnError(true);
+    StatGroup g;
+    Scalar a(&g, "x", "");
+    EXPECT_THROW(Scalar(&g, "x", ""), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace lbic

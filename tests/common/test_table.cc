@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the text table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(TableTest, PrintsHeaderAndRows)
+{
+    TextTable t;
+    t.setHeader({"Program", "IPC"});
+    t.addRow({"swim", "3.20"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Program"), std::string::npos);
+    EXPECT_NE(text.find("swim"), std::string::npos);
+    EXPECT_NE(text.find("3.20"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsPadToWidestCell)
+{
+    TextTable t;
+    t.setHeader({"A", "B"});
+    t.addRow({"long-name-here", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // Every printed row has the same length.
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t len = 0;
+    while (std::getline(is, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len);
+    }
+}
+
+TEST(TableTest, SeparatorRows)
+{
+    TextTable t;
+    t.setHeader({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::ostringstream os;
+    t.print(os);
+    // header sep + top + bottom + the explicit one = 4 separator lines.
+    std::istringstream is(os.str());
+    std::string line;
+    int seps = 0;
+    while (std::getline(is, line)) {
+        if (line.rfind("+-", 0) == 0)
+            ++seps;
+    }
+    EXPECT_EQ(seps, 4);
+}
+
+TEST(TableTest, MismatchedRowPanics)
+{
+    detail::setThrowOnError(true);
+    TextTable t;
+    t.setHeader({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(TableTest, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(2.0, 3), "2.000");
+    EXPECT_EQ(TextTable::fmt(0.5, 0), "0");
+}
+
+} // anonymous namespace
+} // namespace lbic

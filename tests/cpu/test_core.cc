@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the out-of-order core using scripted programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cacheport/ideal.hh"
+#include "cpu/core.hh"
+#include "tests/cpu/vector_workload.hh"
+
+namespace lbic
+{
+namespace
+{
+
+struct TestSystem
+{
+    explicit TestSystem(std::vector<DynInst> insts, unsigned ports = 4,
+                        CoreConfig cfg = CoreConfig{})
+        : workload(std::move(insts)),
+          hierarchy(HierarchyConfig{}, &root),
+          scheduler(&root, ports),
+          core(cfg, workload, hierarchy, scheduler, &root)
+    {
+    }
+
+    stats::StatGroup root;
+    VectorWorkload workload;
+    MemoryHierarchy hierarchy;
+    IdealPorts scheduler;
+    Core core;
+};
+
+TEST(CoreTest, EmptyProgramFinishesImmediately)
+{
+    TestSystem sys({});
+    const RunResult r = sys.core.run(1000);
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST(CoreTest, CommitsEveryInstructionExactlyOnce)
+{
+    InstBuilder b;
+    for (int i = 0; i < 500; ++i) {
+        const RegId v = b.load(0x1000 + (i % 64) * 8);
+        b.op(OpClass::IntAlu, v);
+        b.store(0x8000 + (i % 64) * 8, v);
+    }
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(10000);
+    EXPECT_EQ(r.instructions, 1500u);
+    EXPECT_EQ(sys.core.windowOccupancy(), 0u);
+    EXPECT_EQ(sys.core.lsqOccupancy(), 0u);
+}
+
+TEST(CoreTest, MaxInstsStopsEarly)
+{
+    InstBuilder b;
+    for (int i = 0; i < 1000; ++i)
+        b.op(OpClass::IntAlu);
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(100);
+    EXPECT_GE(r.instructions, 100u);
+    EXPECT_LT(r.instructions, 1000u);
+}
+
+TEST(CoreTest, IndependentAluOpsReachIssueWidth)
+{
+    // 6400 independent 1-cycle ops on a 64-wide machine: IPC near 64.
+    InstBuilder b;
+    for (int i = 0; i < 6400; ++i)
+        b.op(OpClass::IntAlu);
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(6400);
+    EXPECT_GT(r.ipc(), 40.0);
+}
+
+TEST(CoreTest, DependenceChainSerializes)
+{
+    // A chain of 1000 dependent ALU ops takes >= 1000 cycles.
+    InstBuilder b;
+    RegId prev = b.op(OpClass::IntAlu);
+    for (int i = 0; i < 999; ++i)
+        prev = b.op(OpClass::IntAlu, prev);
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(1000);
+    EXPECT_EQ(r.instructions, 1000u);
+    EXPECT_GE(r.cycles, 1000u);
+    EXPECT_LT(r.cycles, 1100u);
+}
+
+TEST(CoreTest, FpLatencyVisibleInChains)
+{
+    // FP multiplies (4-cycle latency) chained: ~4 cycles per op.
+    InstBuilder b;
+    RegId prev = b.op(OpClass::FpMult);
+    for (int i = 0; i < 249; ++i)
+        prev = b.op(OpClass::FpMult, prev);
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(250);
+    EXPECT_GE(r.cycles, 4u * 250u);
+    EXPECT_LT(r.cycles, 4u * 250u + 100u);
+}
+
+TEST(CoreTest, CacheHitLoadChainCostsOneCyclePerHop)
+{
+    // Dependent loads to one resident line: ~1 cycle per hop after
+    // the initial fill (Table 1 load latency 1/1).
+    InstBuilder b;
+    RegId prev = b.load(0x1000);
+    for (int i = 0; i < 499; ++i)
+        prev = b.load(0x1000, prev);
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(500);
+    EXPECT_EQ(r.instructions, 500u);
+    EXPECT_GE(r.cycles, 500u);
+    EXPECT_LT(r.cycles, 600u);
+}
+
+TEST(CoreTest, MissLatencyVisibleInDependentLoads)
+{
+    // Dependent loads, each to a fresh uncached line: ~15 cycles per
+    // hop (L1 miss + L2 miss + memory).
+    InstBuilder b;
+    RegId prev = invalid_reg;
+    for (Addr i = 0; i < 100; ++i)
+        prev = b.load(0x100000 + i * 4096, prev);
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(100);
+    EXPECT_GT(r.cycles, 100u * 14u);
+}
+
+TEST(CoreTest, StoreToLoadForwardingIsZeroLatency)
+{
+    // load -> store -> load-of-same-address chains: the second load
+    // must be forwarded, never reaching the cache.
+    InstBuilder b;
+    for (int i = 0; i < 200; ++i) {
+        const RegId v = b.op(OpClass::IntAlu);
+        b.store(0x7000, v);
+        b.load(0x7000);
+    }
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(600);
+    EXPECT_EQ(r.instructions, 600u);
+    EXPECT_GT(sys.core.loads_forwarded.value(), 150.0);
+}
+
+TEST(CoreTest, SinglePortBoundsMemThroughput)
+{
+    // 1000 independent loads on a 1-port cache: >= 1000 cycles.
+    InstBuilder b;
+    for (int i = 0; i < 1000; ++i)
+        b.load(0x1000 + (i % 8) * 8);
+    TestSystem sys(b.insts, 1);
+    const RunResult r = sys.core.run(1000);
+    EXPECT_GE(r.cycles, 1000u);
+}
+
+TEST(CoreTest, FourPortsQuadrupleMemThroughput)
+{
+    InstBuilder b;
+    for (int i = 0; i < 1000; ++i)
+        b.load(0x1000 + (i % 8) * 8);
+    TestSystem sys(b.insts, 4);
+    const RunResult r = sys.core.run(1000);
+    EXPECT_LT(r.cycles, 400u);
+}
+
+TEST(CoreTest, WindowLimitsRunahead)
+{
+    // A tiny 4-entry window on a long independent stream cannot exceed
+    // IPC ~4 even with huge widths.
+    CoreConfig cfg;
+    cfg.ruu_size = 4;
+    cfg.lsq_size = 4;
+    InstBuilder b;
+    for (int i = 0; i < 2000; ++i)
+        b.op(OpClass::IntAlu);
+    TestSystem sys(b.insts, 4, cfg);
+    const RunResult r = sys.core.run(2000);
+    EXPECT_LE(r.ipc(), 4.05);
+}
+
+TEST(CoreTest, LsqFullStallsDispatchNotCorrectness)
+{
+    CoreConfig cfg;
+    cfg.lsq_size = 2;
+    InstBuilder b;
+    for (Addr i = 0; i < 300; ++i)
+        b.load(0x1000 + (i % 16) * 8);
+    TestSystem sys(b.insts, 8, cfg);
+    const RunResult r = sys.core.run(300);
+    EXPECT_EQ(r.instructions, 300u);
+}
+
+TEST(CoreTest, StoresCommitInOrderWithCacheAccess)
+{
+    InstBuilder b;
+    for (Addr i = 0; i < 100; ++i)
+        b.store(0x1000 + (i % 4) * 8);
+    TestSystem sys(b.insts, 2);
+    const RunResult r = sys.core.run(100);
+    EXPECT_EQ(r.instructions, 100u);
+    EXPECT_DOUBLE_EQ(sys.core.stores_executed.value(), 100.0);
+}
+
+TEST(CoreTest, DivergentLatenciesStillCommitInOrder)
+{
+    // A slow divide followed by fast ops: everything must retire.
+    InstBuilder b;
+    for (int i = 0; i < 50; ++i) {
+        const RegId d = b.op(OpClass::IntDiv);
+        b.op(OpClass::IntAlu, d);
+        b.op(OpClass::IntAlu);
+        b.store(0x2000, d);
+    }
+    TestSystem sys(b.insts);
+    const RunResult r = sys.core.run(200);
+    EXPECT_EQ(r.instructions, 200u);
+}
+
+} // anonymous namespace
+} // namespace lbic

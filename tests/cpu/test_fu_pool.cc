@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for functional-unit pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fu_pool.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(FuPoolTest, PipelinedUnitFreesNextCycle)
+{
+    FuPool pool(1);
+    EXPECT_TRUE(pool.available(0));
+    pool.issue(0, 1);
+    EXPECT_FALSE(pool.available(0));
+    EXPECT_TRUE(pool.available(1));
+}
+
+TEST(FuPoolTest, UnpipelinedDividerBlocksForInterval)
+{
+    FuPool pool(1);
+    pool.issue(0, 12);
+    for (Cycle c = 0; c < 12; ++c)
+        EXPECT_FALSE(pool.available(c)) << "cycle " << c;
+    EXPECT_TRUE(pool.available(12));
+}
+
+TEST(FuPoolTest, MultipleUnitsIssueTogether)
+{
+    FuPool pool(3);
+    pool.issue(5, 12);
+    pool.issue(5, 12);
+    EXPECT_TRUE(pool.available(5));
+    pool.issue(5, 12);
+    EXPECT_FALSE(pool.available(5));
+    EXPECT_EQ(pool.busy(), 3u);
+    EXPECT_TRUE(pool.available(17));
+    EXPECT_EQ(pool.busy(), 0u);
+}
+
+TEST(FuPoolTest, StaggeredReleases)
+{
+    FuPool pool(2);
+    pool.issue(0, 1);
+    pool.issue(0, 12);
+    EXPECT_FALSE(pool.available(0));
+    EXPECT_TRUE(pool.available(1));   // the 1-cycle op freed its unit
+    pool.issue(1, 1);
+    EXPECT_FALSE(pool.available(1));
+    EXPECT_TRUE(pool.available(2));
+}
+
+TEST(FuPoolSetTest, OpClassRouting)
+{
+    FuPoolSet fus(1, 1, 1, 1);
+    EXPECT_EQ(&fus.poolFor(OpClass::IntAlu),
+              &fus.poolFor(OpClass::Branch));
+    EXPECT_EQ(&fus.poolFor(OpClass::IntAlu),
+              &fus.poolFor(OpClass::Nop));
+    EXPECT_EQ(&fus.poolFor(OpClass::IntMult),
+              &fus.poolFor(OpClass::IntDiv));
+    EXPECT_EQ(&fus.poolFor(OpClass::FpMult),
+              &fus.poolFor(OpClass::FpDiv));
+    EXPECT_NE(&fus.poolFor(OpClass::IntAlu),
+              &fus.poolFor(OpClass::FpAdd));
+    EXPECT_NE(&fus.poolFor(OpClass::FpAdd),
+              &fus.poolFor(OpClass::FpMult));
+}
+
+TEST(FuPoolSetTest, DividerContentionIsPerPool)
+{
+    FuPoolSet fus(1, 1, 1, 1);
+    fus.poolFor(OpClass::IntDiv).issue(0, opIssueInterval(OpClass::IntDiv));
+    EXPECT_FALSE(fus.poolFor(OpClass::IntMult).available(0));
+    EXPECT_TRUE(fus.poolFor(OpClass::FpDiv).available(0));
+}
+
+TEST(OpClassTest, Table1Latencies)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::IntMult), 3u);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 12u);
+    EXPECT_EQ(opLatency(OpClass::FpAdd), 2u);
+    EXPECT_EQ(opLatency(OpClass::FpMult), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 12u);
+    EXPECT_EQ(opLatency(OpClass::Load), 1u);
+    EXPECT_EQ(opLatency(OpClass::Store), 1u);
+    EXPECT_EQ(opIssueInterval(OpClass::IntDiv), 12u);
+    EXPECT_EQ(opIssueInterval(OpClass::FpDiv), 12u);
+    EXPECT_EQ(opIssueInterval(OpClass::IntMult), 1u);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the per-cycle pipeline trace (the Exec-trace style
+ * debugging view).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cacheport/ideal.hh"
+#include "cpu/core.hh"
+#include "tests/cpu/vector_workload.hh"
+
+namespace lbic
+{
+namespace
+{
+
+struct TestSystem
+{
+    explicit TestSystem(std::vector<DynInst> insts)
+        : workload(std::move(insts)),
+          hierarchy(HierarchyConfig{}, &root),
+          scheduler(&root, 4),
+          core(CoreConfig{}, workload, hierarchy, scheduler, &root)
+    {
+    }
+
+    stats::StatGroup root;
+    VectorWorkload workload;
+    MemoryHierarchy hierarchy;
+    IdealPorts scheduler;
+    Core core;
+};
+
+/** Count lines in @p text whose stage marker is @p stage. */
+int
+countStage(const std::string &text, char stage)
+{
+    std::istringstream is(text);
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) {
+        const auto colon = line.find(": ");
+        if (colon != std::string::npos
+            && line.size() > colon + 2 && line[colon + 2] == stage)
+            ++n;
+    }
+    return n;
+}
+
+TEST(PipeTraceTest, EveryInstructionDispatchesAndCommits)
+{
+    InstBuilder b;
+    const RegId v = b.load(0x1000);
+    b.op(OpClass::IntAlu, v);
+    b.store(0x2000, invalid_reg, v);
+    TestSystem sys(b.insts);
+    std::ostringstream trace;
+    sys.core.setPipeTrace(&trace);
+    sys.core.run(3);
+    const std::string text = trace.str();
+    EXPECT_EQ(countStage(text, 'D'), 3);
+    EXPECT_EQ(countStage(text, 'C'), 3);
+    EXPECT_EQ(countStage(text, 'I'), 3);
+    // Two memory events: the load and the store grant.
+    EXPECT_EQ(countStage(text, 'M'), 2);
+}
+
+TEST(PipeTraceTest, HitMissAnnotations)
+{
+    InstBuilder b;
+    b.load(0x3000);        // cold: miss
+    TestSystem sys(b.insts);
+    std::ostringstream trace;
+    sys.core.setPipeTrace(&trace);
+    sys.core.run(1);
+    EXPECT_NE(trace.str().find("miss"), std::string::npos);
+    EXPECT_NE(trace.str().find("0x3000"), std::string::npos);
+}
+
+TEST(PipeTraceTest, ForwardedLoadAnnotated)
+{
+    InstBuilder b;
+    const RegId v = b.op(OpClass::IntAlu);
+    b.store(0x4000, v);
+    b.load(0x4000);
+    TestSystem sys(b.insts);
+    std::ostringstream trace;
+    sys.core.setPipeTrace(&trace);
+    sys.core.run(3);
+    EXPECT_NE(trace.str().find("forwarded"), std::string::npos);
+}
+
+TEST(PipeTraceTest, DisabledByDefaultAndDetachable)
+{
+    InstBuilder b;
+    for (int i = 0; i < 10; ++i)
+        b.op(OpClass::IntAlu);
+    TestSystem sys(b.insts);
+    std::ostringstream trace;
+    sys.core.setPipeTrace(&trace);
+    sys.core.run(5);
+    const auto traced_len = trace.str().size();
+    EXPECT_GT(traced_len, 0u);
+    sys.core.setPipeTrace(nullptr);
+    sys.core.run(10);
+    EXPECT_EQ(trace.str().size(), traced_len);
+}
+
+} // anonymous namespace
+} // namespace lbic

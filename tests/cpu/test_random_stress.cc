@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Randomized stress tests: generate random (but well-formed, SSA)
+ * programs and random machine configurations, then check global
+ * invariants — everything commits, no deadlock, accounting balances,
+ * and cycle counts respect trivial bounds. This is the fuzz layer
+ * that guards the core's bookkeeping against corner-case interactions
+ * no directed test thinks of.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <memory>
+
+#include "cacheport/factory.hh"
+#include "common/bitops.hh"
+#include "common/random.hh"
+#include "cpu/core.hh"
+#include "tests/cpu/vector_workload.hh"
+
+namespace lbic
+{
+namespace
+{
+
+/** Generate a random well-formed program of @p n instructions. */
+std::vector<DynInst>
+randomProgram(Random &rng, unsigned n)
+{
+    InstBuilder b;
+    std::vector<RegId> live;   // registers produced so far
+
+    auto random_dep = [&]() -> RegId {
+        if (live.empty() || rng.chance(0.3))
+            return invalid_reg;
+        // Prefer recent producers (realistic dependence distance).
+        const std::size_t back = rng.below(std::min<std::size_t>(
+            live.size(), 32));
+        return live[live.size() - 1 - back];
+    };
+
+    const OpClass nonmem[] = {OpClass::IntAlu, OpClass::IntMult,
+                              OpClass::IntDiv, OpClass::FpAdd,
+                              OpClass::FpMult, OpClass::FpDiv,
+                              OpClass::Branch, OpClass::Nop};
+
+    for (unsigned i = 0; i < n; ++i) {
+        const double roll = rng.real();
+        if (roll < 0.25) {
+            const Addr addr = 0x1000
+                + alignDown(rng.below(1u << 16), 8);
+            live.push_back(b.load(addr, random_dep()));
+        } else if (roll < 0.40) {
+            const Addr addr = 0x1000
+                + alignDown(rng.below(1u << 16), 8);
+            b.store(addr, random_dep(), random_dep());
+        } else {
+            const OpClass op = nonmem[rng.below(std::size(nonmem))];
+            const RegId r = b.op(op, random_dep(), random_dep());
+            if (op != OpClass::Branch && op != OpClass::Nop)
+                live.push_back(r);
+        }
+        if (live.size() > 4096)
+            live.erase(live.begin(), live.begin() + 2048);
+    }
+    return b.insts;
+}
+
+struct StressParams
+{
+    std::uint64_t seed;
+    const char *ports;
+    unsigned ruu;
+    unsigned lsq;
+    Disambiguation disambiguation;
+};
+
+class RandomStressTest : public ::testing::TestWithParam<StressParams>
+{
+};
+
+TEST_P(RandomStressTest, InvariantsHold)
+{
+    const StressParams p = GetParam();
+    Random rng(p.seed);
+    const unsigned n = 4000;
+
+    VectorWorkload workload(randomProgram(rng, n));
+    stats::StatGroup root;
+    MemoryHierarchy hierarchy(HierarchyConfig{}, &root);
+    auto scheduler = makePortScheduler(p.ports, &root);
+    CoreConfig cfg;
+    cfg.ruu_size = p.ruu;
+    cfg.lsq_size = p.lsq;
+    cfg.disambiguation = p.disambiguation;
+    Core core(cfg, workload, hierarchy, *scheduler, &root);
+
+    const RunResult r = core.run(n);
+
+    // 1. Everything committed, nothing left in flight.
+    EXPECT_EQ(r.instructions, n);
+    EXPECT_EQ(core.windowOccupancy(), 0u);
+    EXPECT_EQ(core.lsqOccupancy(), 0u);
+
+    // 2. Cycle count within sane bounds: at least n / issue width,
+    //    at most n * worst-case instruction latency.
+    EXPECT_GE(r.cycles, n / 64);
+    EXPECT_LT(r.cycles, std::uint64_t{n} * 40);
+
+    // 3. Memory accounting balances: every load either accessed the
+    //    cache or was forwarded; cache accesses match what the
+    //    hierarchy saw.
+    const double cache_ops = core.loads_executed.value()
+        + core.stores_executed.value();
+    EXPECT_DOUBLE_EQ(hierarchy.accesses.value(), cache_ops);
+
+    // 4. Scheduler accounting: grants equal the core's cache ops plus
+    //    grants bounced off full MSHRs.
+    EXPECT_DOUBLE_EQ(scheduler->requests_granted.value(),
+                     cache_ops + core.mem_rejections.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RandomStressTest,
+    ::testing::Values(
+        StressParams{101, "ideal:1", 1024, 512,
+                     Disambiguation::Perfect},
+        StressParams{102, "ideal:16", 1024, 512,
+                     Disambiguation::Perfect},
+        StressParams{103, "repl:4", 1024, 512,
+                     Disambiguation::Perfect},
+        StressParams{104, "bank:4", 1024, 512,
+                     Disambiguation::Perfect},
+        StressParams{105, "bank:16", 64, 32,
+                     Disambiguation::Perfect},
+        StressParams{106, "lbic:4x2", 1024, 512,
+                     Disambiguation::Perfect},
+        StressParams{107, "lbic:2x4", 32, 16,
+                     Disambiguation::Perfect},
+        StressParams{108, "lbic:8x4", 1024, 512,
+                     Disambiguation::Conservative},
+        StressParams{109, "lbicg:4x2", 1024, 512,
+                     Disambiguation::Perfect},
+        StressParams{110, "wbank:8", 256, 128,
+                     Disambiguation::Conservative},
+        StressParams{111, "repl:16", 16, 8,
+                     Disambiguation::Conservative},
+        StressParams{112, "lbic:2x2", 8, 4,
+                     Disambiguation::Perfect}));
+
+/** The same random program gives identical cycles on repeat runs. */
+TEST(RandomStressTest, RandomProgramsAreDeterministic)
+{
+    for (std::uint64_t seed : {7ull, 13ull}) {
+        std::uint64_t cycles[2];
+        for (int pass = 0; pass < 2; ++pass) {
+            Random rng(seed);
+            VectorWorkload workload(randomProgram(rng, 2000));
+            stats::StatGroup root;
+            MemoryHierarchy hierarchy(HierarchyConfig{}, &root);
+            auto scheduler = makePortScheduler("lbic:4x2", &root);
+            Core core(CoreConfig{}, workload, hierarchy, *scheduler,
+                      &root);
+            cycles[pass] = core.run(2000).cycles;
+        }
+        EXPECT_EQ(cycles[0], cycles[1]) << "seed " << seed;
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

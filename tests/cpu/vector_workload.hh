@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A scripted workload for core unit tests: replays a fixed vector of
+ * instructions exactly once.
+ */
+
+#ifndef LBIC_TESTS_CPU_VECTOR_WORKLOAD_HH
+#define LBIC_TESTS_CPU_VECTOR_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/** Replays a caller-supplied instruction vector. */
+class VectorWorkload : public Workload
+{
+  public:
+    explicit VectorWorkload(std::vector<DynInst> insts)
+        : insts_(std::move(insts))
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+
+    bool
+    next(DynInst &inst) override
+    {
+        if (pos_ >= insts_.size())
+            return false;
+        inst = insts_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::string name_ = "vector";
+    std::vector<DynInst> insts_;
+    std::size_t pos_ = 0;
+};
+
+/** Builder helpers for terse test programs. */
+struct InstBuilder
+{
+    std::vector<DynInst> insts;
+    RegId next_reg = 0;
+
+    RegId
+    load(Addr addr, RegId dep = invalid_reg)
+    {
+        DynInst i;
+        i.op = OpClass::Load;
+        i.dst = next_reg++;
+        i.src = {dep, invalid_reg};
+        i.addr = addr;
+        i.size = 8;
+        insts.push_back(i);
+        return i.dst;
+    }
+
+    void
+    store(Addr addr, RegId addr_dep = invalid_reg,
+          RegId data_dep = invalid_reg)
+    {
+        DynInst i;
+        i.op = OpClass::Store;
+        i.src = {addr_dep, data_dep};
+        i.addr = addr;
+        i.size = 8;
+        insts.push_back(i);
+    }
+
+    RegId
+    op(OpClass c, RegId s0 = invalid_reg, RegId s1 = invalid_reg)
+    {
+        DynInst i;
+        i.op = c;
+        i.dst = next_reg++;
+        i.src = {s0, s1};
+        insts.push_back(i);
+        return i.dst;
+    }
+};
+
+} // namespace lbic
+
+#endif // LBIC_TESTS_CPU_VECTOR_WORKLOAD_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for cache geometry validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "memory/cache_config.hh"
+
+namespace lbic
+{
+namespace
+{
+
+class CacheConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(CacheConfigTest, PaperL1GeometryIsValid)
+{
+    // Table 1: 32 KB direct-mapped, 32-byte lines.
+    CacheConfig c{32 * 1024, 32, 1, ReplPolicy::LRU};
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(c.numSets(), 1024u);
+    EXPECT_EQ(c.lineBits(), 5u);
+}
+
+TEST_F(CacheConfigTest, PaperL2GeometryIsValid)
+{
+    // §2.1: 512 KB 4-way, 64-byte lines.
+    CacheConfig c{512 * 1024, 64, 4, ReplPolicy::LRU};
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(c.numSets(), 2048u);
+    EXPECT_EQ(c.lineBits(), 6u);
+}
+
+TEST_F(CacheConfigTest, RejectsNonPowerOfTwoSize)
+{
+    CacheConfig c{3000, 32, 1, ReplPolicy::LRU};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST_F(CacheConfigTest, RejectsNonPowerOfTwoLine)
+{
+    CacheConfig c{4096, 24, 1, ReplPolicy::LRU};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST_F(CacheConfigTest, RejectsZeroAssoc)
+{
+    CacheConfig c{4096, 32, 0, ReplPolicy::LRU};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST_F(CacheConfigTest, RejectsCacheSmallerThanOneSet)
+{
+    CacheConfig c{64, 32, 4, ReplPolicy::LRU};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST_F(CacheConfigTest, FullyAssociativeIsValid)
+{
+    CacheConfig c{1024, 32, 32, ReplPolicy::LRU};
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(c.numSets(), 1u);
+}
+
+} // anonymous namespace
+} // namespace lbic

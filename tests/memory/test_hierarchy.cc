@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the two-level memory hierarchy timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.hh"
+#include "memory/hierarchy.hh"
+
+namespace lbic
+{
+namespace
+{
+
+HierarchyConfig
+paperConfig()
+{
+    return HierarchyConfig{};  // Table 1 defaults
+}
+
+TEST(HierarchyTest, HitLatencyIsOneCycle)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(paperConfig(), &root);
+    const auto miss = mem.access(0x1000, false, 0);
+    ASSERT_TRUE(miss.accepted);
+    EXPECT_FALSE(miss.l1_hit);
+    // Access again after the fill: must now hit with 1-cycle latency.
+    const Cycle later = miss.ready + 1;
+    const auto hit = mem.access(0x1000, false, later);
+    ASSERT_TRUE(hit.accepted);
+    EXPECT_TRUE(hit.l1_hit);
+    EXPECT_EQ(hit.ready, later + 1);
+}
+
+TEST(HierarchyTest, ColdMissGoesToMainMemory)
+{
+    stats::StatGroup root;
+    const HierarchyConfig cfg = paperConfig();
+    MemoryHierarchy mem(cfg, &root);
+    const auto out = mem.access(0x1000, false, 100);
+    ASSERT_TRUE(out.accepted);
+    // L1 hit latency + L2 latency + memory latency.
+    EXPECT_EQ(out.ready, 100 + cfg.l1_hit_latency + cfg.l2_latency
+                             + cfg.mem_latency);
+}
+
+TEST(HierarchyTest, L2HitIsFasterThanMemory)
+{
+    stats::StatGroup root;
+    const HierarchyConfig cfg = paperConfig();
+    MemoryHierarchy mem(cfg, &root);
+    // Load the line, then evict it from L1 (direct-mapped conflict)
+    // while it stays resident in the larger L2.
+    const auto first = mem.access(0x1000, false, 0);
+    const Cycle t1 = first.ready + 1;
+    mem.access(0x1000 + cfg.l1.size_bytes, false, t1);  // evicts on fill
+    const Cycle t2 = t1 + 100;
+    mem.access(0x2000, false, t2);  // force fill retirement processing
+    const Cycle t3 = t2 + 100;
+    const auto back = mem.access(0x1000, false, t3);
+    ASSERT_TRUE(back.accepted);
+    EXPECT_FALSE(back.l1_hit);
+    EXPECT_EQ(back.ready, t3 + cfg.l1_hit_latency + cfg.l2_latency);
+}
+
+TEST(HierarchyTest, SecondaryMissCoalesces)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(paperConfig(), &root);
+    const auto a = mem.access(0x1000, false, 0);
+    const auto b = mem.access(0x1008, false, 1);   // same 32 B line
+    ASSERT_TRUE(b.accepted);
+    EXPECT_EQ(b.ready, a.ready);
+    EXPECT_DOUBLE_EQ(mem.misses.value(), 1.0);
+    EXPECT_DOUBLE_EQ(mem.secondary_misses.value(), 1.0);
+}
+
+TEST(HierarchyTest, DistinctLinesAreDistinctMisses)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(paperConfig(), &root);
+    mem.access(0x1000, false, 0);
+    mem.access(0x1020, false, 1);   // next 32 B line, next cycle
+    EXPECT_DOUBLE_EQ(mem.misses.value(), 2.0);
+    EXPECT_DOUBLE_EQ(mem.secondary_misses.value(), 0.0);
+}
+
+TEST(HierarchyTest, OneMissRequestPerCycle)
+{
+    // Table 1: "a miss request can be sent every cycle" -- exactly
+    // one; a second new miss in the same cycle must retry.
+    stats::StatGroup root;
+    MemoryHierarchy mem(paperConfig(), &root);
+    EXPECT_TRUE(mem.access(0x1000, false, 0).accepted);
+    const auto second = mem.access(0x2000, false, 0);
+    EXPECT_FALSE(second.accepted);
+    EXPECT_DOUBLE_EQ(mem.miss_port_stalls.value(), 1.0);
+    // A same-cycle HIT and a same-cycle secondary miss are unaffected.
+    EXPECT_TRUE(mem.access(0x1008, false, 0).accepted);
+    // Next cycle the deferred miss goes through.
+    EXPECT_TRUE(mem.access(0x2000, false, 1).accepted);
+    EXPECT_DOUBLE_EQ(mem.misses.value(), 2.0);
+}
+
+TEST(HierarchyTest, MissPortLimitConfigurable)
+{
+    stats::StatGroup root;
+    HierarchyConfig cfg = paperConfig();
+    cfg.miss_requests_per_cycle = 0;   // unlimited
+    MemoryHierarchy mem(cfg, &root);
+    for (Addr i = 0; i < 8; ++i)
+        EXPECT_TRUE(mem.access(0x1000 + i * 4096, false, 0)
+                        .accepted);
+    EXPECT_DOUBLE_EQ(mem.misses.value(), 8.0);
+}
+
+TEST(HierarchyTest, MshrLimitRejects)
+{
+    stats::StatGroup root;
+    HierarchyConfig cfg = paperConfig();
+    cfg.max_outstanding = 2;
+    MemoryHierarchy mem(cfg, &root);
+    EXPECT_TRUE(mem.access(0x1000, false, 0).accepted);
+    EXPECT_TRUE(mem.access(0x2000, false, 1).accepted);
+    const auto third = mem.access(0x3000, false, 2);
+    EXPECT_FALSE(third.accepted);
+    EXPECT_DOUBLE_EQ(mem.rejected.value(), 1.0);
+    // A secondary miss to an in-flight line is still accepted.
+    EXPECT_TRUE(mem.access(0x1010, false, 2).accepted);
+    // After the fills land, new misses are accepted again.
+    EXPECT_TRUE(mem.access(0x3000, false, 1000).accepted);
+}
+
+TEST(HierarchyTest, CanAcceptMatchesAccessBehaviour)
+{
+    stats::StatGroup root;
+    HierarchyConfig cfg = paperConfig();
+    cfg.max_outstanding = 1;
+    MemoryHierarchy mem(cfg, &root);
+    EXPECT_TRUE(mem.canAccept(0x1000, 0));
+    mem.access(0x1000, false, 0);
+    EXPECT_TRUE(mem.canAccept(0x1008, 0));   // coalesces
+    EXPECT_FALSE(mem.canAccept(0x2000, 0));  // would need a new MSHR
+    EXPECT_FALSE(mem.canAccept(0x2000, 1));  // MSHR still held
+}
+
+TEST(HierarchyTest, StoreMissAllocatesDirtyLine)
+{
+    stats::StatGroup root;
+    const HierarchyConfig cfg = paperConfig();
+    MemoryHierarchy mem(cfg, &root);
+    // Write-allocate: store miss fetches the line and dirties it.
+    const auto st = mem.access(0x1000, true, 0);
+    ASSERT_TRUE(st.accepted);
+    EXPECT_FALSE(st.l1_hit);
+    // Evict it with a conflicting line: a writeback must be counted.
+    const Cycle t1 = st.ready + 1;
+    mem.access(0x1000 + cfg.l1.size_bytes, false, t1);
+    const Cycle t2 = t1 + 100;
+    mem.access(0x4000, false, t2);   // trigger fill retirement
+    EXPECT_DOUBLE_EQ(mem.writebacks.value(), 1.0);
+}
+
+TEST(HierarchyTest, MissRateTracksAccesses)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(paperConfig(), &root);
+    const auto a = mem.access(0x1000, false, 0);   // miss
+    const Cycle t = a.ready + 1;
+    mem.access(0x1000, false, t);                  // hit
+    mem.access(0x1008, false, t + 1);              // hit
+    mem.access(0x1010, false, t + 2);              // hit
+    EXPECT_DOUBLE_EQ(mem.l1MissRate(), 0.25);
+}
+
+TEST(HierarchyTest, RejectedAccessNotCounted)
+{
+    stats::StatGroup root;
+    HierarchyConfig cfg = paperConfig();
+    cfg.max_outstanding = 1;
+    MemoryHierarchy mem(cfg, &root);
+    mem.access(0x1000, false, 0);
+    mem.access(0x2000, false, 0);   // rejected
+    EXPECT_DOUBLE_EQ(mem.accesses.value(), 1.0);
+}
+
+TEST(HierarchyTest, OutstandingMissesDrainOverTime)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(paperConfig(), &root);
+    mem.access(0x1000, false, 0);
+    mem.access(0x2000, false, 1);
+    EXPECT_EQ(mem.outstandingMisses(1), 2u);
+    EXPECT_EQ(mem.outstandingMisses(1000), 0u);
+}
+
+/** Working sets under the L1 capacity never miss after warmup. */
+TEST(HierarchyTest, ResidentWorkingSetStopsMissing)
+{
+    stats::StatGroup root;
+    const HierarchyConfig cfg = paperConfig();
+    MemoryHierarchy mem(cfg, &root);
+    const unsigned lines = 64;  // 2 KB worth of 32 B lines
+    Cycle now = 0;
+    // Warm up.
+    for (unsigned i = 0; i < lines; ++i) {
+        mem.access(0x10000 + Addr{i} * 32, false, now);
+        now += 20;
+    }
+    const double misses_after_warmup = mem.misses.value();
+    for (unsigned pass = 0; pass < 4; ++pass) {
+        for (unsigned i = 0; i < lines; ++i) {
+            const auto out =
+                mem.access(0x10000 + Addr{i} * 32, false, now);
+            EXPECT_TRUE(out.l1_hit);
+            ++now;
+        }
+    }
+    EXPECT_DOUBLE_EQ(mem.misses.value(), misses_after_warmup);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * End-to-end integration tests: full Simulator runs across workloads
+ * and port organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace
+{
+
+constexpr std::uint64_t quick_insts = 30000;
+
+TEST(IntegrationTest, EveryKernelRunsOnEveryOrganization)
+{
+    for (const auto &kernel : allKernels()) {
+        for (const char *ports :
+             {"ideal:4", "repl:4", "bank:4", "lbic:4x2"}) {
+            const RunResult r = runSim(kernel, ports, quick_insts);
+            EXPECT_EQ(r.instructions, quick_insts)
+                << kernel << " on " << ports;
+            EXPECT_GT(r.ipc(), 0.5) << kernel << " on " << ports;
+            EXPECT_LT(r.ipc(), 64.0) << kernel << " on " << ports;
+        }
+    }
+}
+
+TEST(IntegrationTest, RunsAreDeterministic)
+{
+    const RunResult a = runSim("compress", "lbic:4x2", quick_insts);
+    const RunResult b = runSim("compress", "lbic:4x2", quick_insts);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(IntegrationTest, StatsTreePrintsCoreAndCacheGroups)
+{
+    SimConfig cfg;
+    cfg.workload = "li";
+    cfg.port_spec = "lbic:2x2";
+    cfg.max_insts = quick_insts;
+    Simulator sim(cfg);
+    sim.run();
+    std::ostringstream os;
+    sim.printStats(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("core.committed"), std::string::npos);
+    EXPECT_NE(text.find("core.ipc"), std::string::npos);
+    EXPECT_NE(text.find("dcache.accesses"), std::string::npos);
+    EXPECT_NE(text.find("lbic2x2.combined_accesses"),
+              std::string::npos);
+}
+
+TEST(IntegrationTest, ExternalWorkloadIsDriven)
+{
+    SimConfig cfg;
+    cfg.port_spec = "ideal:2";
+    cfg.max_insts = quick_insts;
+    auto w = makeWorkload("swim", 3);
+    Simulator sim(cfg, *w);
+    const RunResult r = sim.run();
+    EXPECT_EQ(r.instructions, quick_insts);
+    EXPECT_EQ(&sim.workload(), w.get());
+}
+
+TEST(IntegrationTest, CommittedMatchesCoreStat)
+{
+    SimConfig cfg;
+    cfg.workload = "go";
+    cfg.port_spec = "bank:8";
+    cfg.max_insts = quick_insts;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    EXPECT_DOUBLE_EQ(sim.core().committed.value(),
+                     static_cast<double>(r.instructions));
+}
+
+TEST(IntegrationTest, CacheAccessesBoundedByMemInstructions)
+{
+    SimConfig cfg;
+    cfg.workload = "perl";
+    cfg.port_spec = "ideal:8";
+    cfg.max_insts = quick_insts;
+    Simulator sim(cfg);
+    sim.run();
+    const double accesses = sim.hierarchy().accesses.value();
+    const double executed = sim.core().loads_executed.value()
+        + sim.core().stores_executed.value();
+    EXPECT_DOUBLE_EQ(accesses, executed);
+}
+
+TEST(IntegrationTest, MoreIdealPortsNeverHurt)
+{
+    double prev = 0.0;
+    for (const char *spec : {"ideal:1", "ideal:2", "ideal:4"}) {
+        const RunResult r = runSim("hydro2d", spec, quick_insts);
+        EXPECT_GE(r.ipc(), prev * 0.99) << spec;
+        prev = r.ipc();
+    }
+}
+
+TEST(IntegrationTest, TinyRunFinishes)
+{
+    const RunResult r = runSim("mgrid", "lbic:8x4", 100);
+    EXPECT_EQ(r.instructions, 100u);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the reference-stream analyzers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/refstream.hh"
+#include "tests/cpu/vector_workload.hh"
+#include "workload/synthetic.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(RefStreamTest, SameLinePairsClassified)
+{
+    InstBuilder b;
+    b.load(0x00);
+    b.load(0x08);   // same bank 0, same line
+    b.load(0x80);   // same bank 0, different line
+    b.load(0xa0);   // bank 1
+    b.load(0xe0);   // bank 3 = (1 + 2) mod 4
+    VectorWorkload w(b.insts);
+    const BankMapProfile p = analyzeBankMapping(w, 100, 4, 32);
+    EXPECT_EQ(p.pairs, 4u);
+    EXPECT_DOUBLE_EQ(p.same_bank_same_line, 0.25);
+    EXPECT_DOUBLE_EQ(p.same_bank_diff_line, 0.25);
+    ASSERT_EQ(p.other_bank.size(), 3u);
+    EXPECT_DOUBLE_EQ(p.other_bank[0], 0.25);   // (B+1) mod 4
+    EXPECT_DOUBLE_EQ(p.other_bank[1], 0.25);   // (B+2) mod 4
+    EXPECT_DOUBLE_EQ(p.other_bank[2], 0.0);    // (B+3) mod 4
+}
+
+TEST(RefStreamTest, NonMemoryInstructionsIgnored)
+{
+    InstBuilder b;
+    b.load(0x00);
+    for (int i = 0; i < 10; ++i)
+        b.op(OpClass::IntAlu);
+    b.load(0x08);
+    VectorWorkload w(b.insts);
+    const BankMapProfile p = analyzeBankMapping(w, 100, 4, 32);
+    EXPECT_EQ(p.pairs, 1u);
+    EXPECT_DOUBLE_EQ(p.same_bank_same_line, 1.0);
+}
+
+TEST(RefStreamTest, FractionsSumToOne)
+{
+    SyntheticParams params;
+    params.mem_fraction = 0.5;
+    UniformRandomWorkload w(params);
+    const BankMapProfile p = analyzeBankMapping(w, 20000, 4, 32);
+    double total = p.same_bank_same_line + p.same_bank_diff_line;
+    for (const double f : p.other_bank)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RefStreamTest, UniformStreamIsNearUniformAcrossBanks)
+{
+    // The paper's null hypothesis: 0.25 per segment for a uniform,
+    // independent stream on four banks.
+    SyntheticParams params;
+    params.mem_fraction = 1.0;
+    params.region = 1u << 22;
+    UniformRandomWorkload w(params);
+    const BankMapProfile p = analyzeBankMapping(w, 100000, 4, 32);
+    EXPECT_NEAR(p.sameBank(), 0.25, 0.02);
+    for (const double f : p.other_bank)
+        EXPECT_NEAR(f, 0.25, 0.02);
+}
+
+TEST(RefStreamTest, UnitStrideSweepAlternatesBanks)
+{
+    // An 8-byte stride visits each 32 B line four times, then moves to
+    // the next bank: 75% same-line, 25% next-bank.
+    SyntheticParams params;
+    params.mem_fraction = 1.0;
+    StridedWorkload w(params, 8);
+    const BankMapProfile p = analyzeBankMapping(w, 40000, 4, 32);
+    EXPECT_NEAR(p.same_bank_same_line, 0.75, 0.02);
+    EXPECT_NEAR(p.other_bank[0], 0.25, 0.02);
+    EXPECT_NEAR(p.same_bank_diff_line, 0.0, 0.005);
+}
+
+TEST(RefStreamTest, BankSpanStrideStaysInOneBank)
+{
+    // Stride = banks * line: every reference lands in bank 0 in a new
+    // line -- 100% same-bank different-line, the banking worst case.
+    SyntheticParams params;
+    params.mem_fraction = 1.0;
+    params.region = 1u << 22;
+    StridedWorkload w(params, 4 * 32);
+    const BankMapProfile p = analyzeBankMapping(w, 20000, 4, 32);
+    EXPECT_NEAR(p.same_bank_diff_line, 1.0, 0.01);
+}
+
+TEST(RefStreamTest, ProfileStreamCounts)
+{
+    InstBuilder b;
+    b.load(0x00);
+    b.store(0x08);
+    b.op(OpClass::IntAlu);
+    b.op(OpClass::FpAdd);
+    b.load(0x10);
+    VectorWorkload w(b.insts);
+    const StreamProfile p = profileStream(w, 100);
+    EXPECT_EQ(p.instructions, 5u);
+    EXPECT_EQ(p.loads, 2u);
+    EXPECT_EQ(p.stores, 1u);
+    EXPECT_DOUBLE_EQ(p.memFraction(), 0.6);
+    EXPECT_DOUBLE_EQ(p.storeToLoadRatio(), 0.5);
+}
+
+TEST(RefStreamTest, EmptyStreamYieldsZeroes)
+{
+    VectorWorkload w({});
+    const StreamProfile p = profileStream(w, 100);
+    EXPECT_EQ(p.instructions, 0u);
+    EXPECT_DOUBLE_EQ(p.memFraction(), 0.0);
+    const BankMapProfile bp = analyzeBankMapping(w, 100, 4, 32);
+    EXPECT_EQ(bp.pairs, 0u);
+}
+
+} // anonymous namespace
+} // namespace lbic

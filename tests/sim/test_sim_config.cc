@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for SimConfig defaults and overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_config.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(SimConfigTest, DefaultsMatchPaperTable1)
+{
+    const SimConfig cfg;
+    EXPECT_EQ(cfg.core.fetch_width, 64u);
+    EXPECT_EQ(cfg.core.issue_width, 64u);
+    EXPECT_EQ(cfg.core.ruu_size, 1024u);
+    EXPECT_EQ(cfg.core.lsq_size, 512u);
+    EXPECT_EQ(cfg.core.int_alu_units, 64u);
+    EXPECT_EQ(cfg.core.fp_add_units, 64u);
+    EXPECT_EQ(cfg.memory.l1.size_bytes, 32u * 1024u);
+    EXPECT_EQ(cfg.memory.l1.line_bytes, 32u);
+    EXPECT_EQ(cfg.memory.l1.assoc, 1u);
+    EXPECT_EQ(cfg.memory.l2.size_bytes, 512u * 1024u);
+    EXPECT_EQ(cfg.memory.l2.line_bytes, 64u);
+    EXPECT_EQ(cfg.memory.l2.assoc, 4u);
+    EXPECT_EQ(cfg.memory.l1_hit_latency, 1u);
+    EXPECT_EQ(cfg.memory.l2_latency, 4u);
+    EXPECT_EQ(cfg.memory.mem_latency, 10u);
+    EXPECT_EQ(cfg.memory.max_outstanding, 64u);
+}
+
+TEST(SimConfigTest, OverridesApply)
+{
+    Config raw;
+    raw.set("workload", "swim");
+    raw.set("ports", "lbic:4x2");
+    raw.set("insts", "12345");
+    raw.set("seed", "77");
+    raw.set("banksel", "xor");
+    raw.set("storeq", "16");
+    raw.set("l1_size", "65536");
+    raw.set("lsq", "256");
+    SimConfig cfg;
+    cfg.applyOverrides(raw);
+    EXPECT_EQ(cfg.workload, "swim");
+    EXPECT_EQ(cfg.port_spec, "lbic:4x2");
+    EXPECT_EQ(cfg.max_insts, 12345u);
+    EXPECT_EQ(cfg.seed, 77u);
+    EXPECT_EQ(cfg.select_fn, BankSelectFn::XorFold);
+    EXPECT_EQ(cfg.store_queue_depth, 16u);
+    EXPECT_EQ(cfg.memory.l1.size_bytes, 65536u);
+    EXPECT_EQ(cfg.core.lsq_size, 256u);
+    EXPECT_TRUE(raw.unrecognizedKeys().empty());
+}
+
+TEST(SimConfigTest, PortOptionsDeriveFromGeometry)
+{
+    SimConfig cfg;
+    cfg.memory.l1.line_bytes = 64;
+    cfg.store_queue_depth = 4;
+    const PortFactoryOptions opts = cfg.portOptions();
+    EXPECT_EQ(opts.line_bits, 6u);
+    EXPECT_EQ(opts.store_queue_depth, 4u);
+}
+
+} // anonymous namespace
+} // namespace lbic

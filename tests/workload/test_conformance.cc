@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Interface-conformance suite: every registered workload (kernels and
+ * synthetics) must satisfy the Workload contract -- determinism,
+ * reset semantics, well-formed instructions, and non-exhaustion for
+ * generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace
+{
+
+std::vector<std::string>
+allRegisteredNames()
+{
+    std::vector<std::string> names = allKernels();
+    for (const char *s : {"uniform", "strided", "chase", "sameline"})
+        names.push_back(s);
+    return names;
+}
+
+class ConformanceTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ConformanceTest, NameMatchesOrIsStable)
+{
+    auto w = makeWorkload(GetParam(), 1);
+    EXPECT_FALSE(w->name().empty());
+    // The name must be stable across calls.
+    EXPECT_EQ(w->name(), w->name());
+}
+
+TEST_P(ConformanceTest, NeverExhaustsEarly)
+{
+    auto w = makeWorkload(GetParam(), 1);
+    DynInst inst;
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_TRUE(w->next(inst)) << "exhausted at " << i;
+}
+
+TEST_P(ConformanceTest, InstructionsAreWellFormed)
+{
+    auto w = makeWorkload(GetParam(), 1);
+    DynInst inst;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w->next(inst));
+        ASSERT_LT(static_cast<unsigned>(inst.op), num_op_classes);
+        if (inst.isMem()) {
+            EXPECT_NE(inst.addr, invalid_addr);
+            EXPECT_GE(inst.size, 1u);
+            EXPECT_LE(inst.size, 8u);
+        }
+        if (inst.isStore()) {
+            EXPECT_EQ(inst.dst, invalid_reg);
+        }
+        if (inst.op == OpClass::Branch || inst.op == OpClass::Nop) {
+            EXPECT_EQ(inst.dst, invalid_reg);
+        }
+        // No self-dependence.
+        if (inst.dst != invalid_reg) {
+            EXPECT_NE(inst.src[0], inst.dst);
+            EXPECT_NE(inst.src[1], inst.dst);
+        }
+    }
+}
+
+TEST_P(ConformanceTest, ResetIsIdempotent)
+{
+    auto w = makeWorkload(GetParam(), 1);
+    DynInst inst;
+    for (int i = 0; i < 100; ++i)
+        w->next(inst);
+    w->reset();
+    w->reset();   // double reset must be harmless
+    DynInst first;
+    ASSERT_TRUE(w->next(first));
+    auto fresh = makeWorkload(GetParam(), 1);
+    DynInst expect;
+    ASSERT_TRUE(fresh->next(expect));
+    EXPECT_EQ(first.op, expect.op);
+    EXPECT_EQ(first.addr, expect.addr);
+    EXPECT_EQ(first.dst, expect.dst);
+}
+
+TEST_P(ConformanceTest, ProducesMemoryTraffic)
+{
+    // Every workload in this suite exercises the data cache.
+    auto w = makeWorkload(GetParam(), 1);
+    DynInst inst;
+    int mem = 0;
+    for (int i = 0; i < 10000; ++i) {
+        w->next(inst);
+        mem += inst.isMem();
+    }
+    EXPECT_GT(mem, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ConformanceTest,
+    ::testing::ValuesIn(allRegisteredNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // anonymous namespace
+} // namespace lbic

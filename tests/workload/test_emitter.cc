@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the kernel instruction emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/emitter.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(EmitterTest, LoadProducesFreshRegister)
+{
+    Emitter e;
+    const RegId r0 = e.load(0x1000, 8);
+    const RegId r1 = e.load(0x1008, 4);
+    EXPECT_NE(r0, r1);
+    ASSERT_EQ(e.pending(), 2u);
+    const DynInst a = e.pop();
+    EXPECT_EQ(a.op, OpClass::Load);
+    EXPECT_EQ(a.dst, r0);
+    EXPECT_EQ(a.addr, 0x1000u);
+    EXPECT_EQ(a.size, 8u);
+    const DynInst b = e.pop();
+    EXPECT_EQ(b.size, 4u);
+}
+
+TEST(EmitterTest, StoreHasNoDestination)
+{
+    Emitter e;
+    const RegId v = e.intAlu();
+    e.store(0x2000, 8, v);
+    e.pop();   // the alu op
+    const DynInst st = e.pop();
+    EXPECT_EQ(st.op, OpClass::Store);
+    EXPECT_EQ(st.dst, invalid_reg);
+    EXPECT_EQ(st.src[0], v);
+}
+
+TEST(EmitterTest, DependencesAreRecorded)
+{
+    Emitter e;
+    const RegId a = e.load(0x1000);
+    const RegId b = e.load(0x1008);
+    const RegId c = e.fpAdd(a, b);
+    e.pop();
+    e.pop();
+    const DynInst add = e.pop();
+    EXPECT_EQ(add.op, OpClass::FpAdd);
+    EXPECT_EQ(add.dst, c);
+    EXPECT_EQ(add.src[0], a);
+    EXPECT_EQ(add.src[1], b);
+}
+
+TEST(EmitterTest, BranchAndNopHaveNoDestination)
+{
+    Emitter e;
+    const RegId v = e.intAlu();
+    e.branch(v);
+    e.nop();
+    e.pop();
+    const DynInst br = e.pop();
+    EXPECT_EQ(br.op, OpClass::Branch);
+    EXPECT_EQ(br.dst, invalid_reg);
+    EXPECT_EQ(br.src[0], v);
+    const DynInst nop = e.pop();
+    EXPECT_EQ(nop.op, OpClass::Nop);
+    EXPECT_EQ(nop.dst, invalid_reg);
+}
+
+TEST(EmitterTest, AllOpClassesEmit)
+{
+    Emitter e;
+    e.intAlu();
+    e.intMult();
+    e.intDiv();
+    e.fpAdd();
+    e.fpMult();
+    e.fpDiv();
+    EXPECT_EQ(e.pending(), 6u);
+    EXPECT_EQ(e.pop().op, OpClass::IntAlu);
+    EXPECT_EQ(e.pop().op, OpClass::IntMult);
+    EXPECT_EQ(e.pop().op, OpClass::IntDiv);
+    EXPECT_EQ(e.pop().op, OpClass::FpAdd);
+    EXPECT_EQ(e.pop().op, OpClass::FpMult);
+    EXPECT_EQ(e.pop().op, OpClass::FpDiv);
+}
+
+TEST(EmitterTest, ClearRestartsRegisterNumbering)
+{
+    Emitter e;
+    const RegId before = e.load(0x1000);
+    e.clear();
+    EXPECT_EQ(e.pending(), 0u);
+    const RegId after = e.load(0x1000);
+    EXPECT_EQ(before, after);
+}
+
+TEST(EmitterTest, SsaRegistersNeverRepeat)
+{
+    Emitter e;
+    std::set<RegId> seen;
+    for (int i = 0; i < 100; ++i) {
+        const RegId r = i % 2 ? e.load(0x1000) : e.intAlu();
+        EXPECT_TRUE(seen.insert(r).second);
+        e.pop();
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the ten SPEC95-like kernels: determinism, SSA discipline,
+ * and per-kernel Table 2 fingerprints (memory fraction, store-to-load
+ * ratio) within tolerances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/refstream.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace
+{
+
+constexpr std::uint64_t sample_insts = 200000;
+
+/** Table 2 fingerprints: {mem fraction, store-to-load ratio}. */
+struct Fingerprint
+{
+    const char *name;
+    double mem_fraction;
+    double store_to_load;
+};
+
+const Fingerprint fingerprints[] = {
+    {"compress", 0.374, 0.81},
+    {"gcc", 0.367, 0.59},
+    {"go", 0.287, 0.36},
+    {"li", 0.476, 0.59},
+    {"perl", 0.437, 0.69},
+    {"hydro2d", 0.259, 0.30},
+    {"mgrid", 0.368, 0.04},
+    {"su2cor", 0.320, 0.32},
+    {"swim", 0.295, 0.28},
+    {"wave5", 0.316, 0.39},
+};
+
+class KernelTest : public ::testing::TestWithParam<Fingerprint>
+{
+};
+
+TEST_P(KernelTest, StreamIsDeterministicAcrossInstances)
+{
+    auto a = makeWorkload(GetParam().name, 99);
+    auto b = makeWorkload(GetParam().name, 99);
+    DynInst ia, ib;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a->next(ia));
+        ASSERT_TRUE(b->next(ib));
+        EXPECT_EQ(ia.op, ib.op);
+        EXPECT_EQ(ia.addr, ib.addr);
+        EXPECT_EQ(ia.dst, ib.dst);
+        EXPECT_EQ(ia.src[0], ib.src[0]);
+        EXPECT_EQ(ia.src[1], ib.src[1]);
+    }
+}
+
+TEST_P(KernelTest, ResetReproducesTheStream)
+{
+    auto w = makeWorkload(GetParam().name, 5);
+    std::vector<DynInst> first;
+    DynInst inst;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(w->next(inst));
+        first.push_back(inst);
+    }
+    w->reset();
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(w->next(inst));
+        EXPECT_EQ(inst.op, first[i].op);
+        EXPECT_EQ(inst.addr, first[i].addr);
+        EXPECT_EQ(inst.dst, first[i].dst);
+    }
+}
+
+TEST_P(KernelTest, SsaDisciplineHolds)
+{
+    // Every destination register is written exactly once, and sources
+    // refer only to registers already produced.
+    auto w = makeWorkload(GetParam().name, 3);
+    std::set<RegId> written;
+    DynInst inst;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w->next(inst));
+        for (const RegId src : inst.src) {
+            if (src != invalid_reg) {
+                EXPECT_TRUE(written.count(src))
+                    << "use of unwritten register at inst " << i;
+            }
+        }
+        if (inst.dst != invalid_reg) {
+            EXPECT_TRUE(written.insert(inst.dst).second)
+                << "register written twice at inst " << i;
+        }
+    }
+}
+
+TEST_P(KernelTest, MemoryOpsHaveAddressAndSize)
+{
+    auto w = makeWorkload(GetParam().name, 3);
+    DynInst inst;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w->next(inst));
+        if (inst.isMem()) {
+            EXPECT_NE(inst.addr, invalid_addr);
+            EXPECT_GT(inst.size, 0u);
+            EXPECT_LE(inst.size, 8u);
+        }
+    }
+}
+
+TEST_P(KernelTest, MemFractionNearTable2)
+{
+    auto w = makeWorkload(GetParam().name, 1);
+    const StreamProfile p = profileStream(*w, sample_insts);
+    EXPECT_NEAR(p.memFraction(), GetParam().mem_fraction, 0.06)
+        << GetParam().name;
+}
+
+TEST_P(KernelTest, StoreToLoadRatioNearTable2)
+{
+    auto w = makeWorkload(GetParam().name, 1);
+    const StreamProfile p = profileStream(*w, sample_insts);
+    const double target = GetParam().store_to_load;
+    // Proportional tolerance with a floor for tiny ratios (mgrid).
+    const double tol = std::max(0.05, target * 0.30);
+    EXPECT_NEAR(p.storeToLoadRatio(), target, tol) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTest, ::testing::ValuesIn(fingerprints),
+    [](const ::testing::TestParamInfo<Fingerprint> &info) {
+        return std::string(info.param.name);
+    });
+
+/** Figure 3 class checks for the extreme cases called out in §4. */
+TEST(KernelLocalityTest, SwimHasHighSameBankDiffLine)
+{
+    auto w = makeWorkload("swim", 1);
+    const BankMapProfile p = analyzeBankMapping(*w, 100000);
+    // Paper: 33.81% B-diff-line for swim, the highest of the ten.
+    EXPECT_GT(p.same_bank_diff_line, 0.20);
+}
+
+TEST(KernelLocalityTest, IntegerCodesSkewTowardSameLine)
+{
+    for (const char *name : {"gcc", "li", "perl"}) {
+        auto w = makeWorkload(name, 1);
+        const BankMapProfile p = analyzeBankMapping(*w, 100000);
+        // Paper: > 40% of consecutive references hit the same line of
+        // the same bank for gcc, li and perl.
+        EXPECT_GT(p.same_bank_same_line, 0.30) << name;
+    }
+}
+
+TEST(KernelLocalityTest, SameBankExceedsUniformExpectation)
+{
+    // Paper §4: same-bank probability averages 44-49%, roughly double
+    // the 25% a uniform stream would give on four banks.
+    double total = 0.0;
+    for (const auto &f : fingerprints) {
+        auto w = makeWorkload(f.name, 1);
+        total += analyzeBankMapping(*w, 50000).sameBank();
+    }
+    EXPECT_GT(total / std::size(fingerprints), 0.33);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the workload registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(RegistryTest, PaperGrouping)
+{
+    EXPECT_EQ(specintKernels().size(), 5u);
+    EXPECT_EQ(specfpKernels().size(), 5u);
+    EXPECT_EQ(allKernels().size(), 10u);
+    EXPECT_EQ(allKernels().front(), "compress");
+    EXPECT_EQ(allKernels().back(), "wave5");
+}
+
+TEST(RegistryTest, AllKernelNamesResolve)
+{
+    for (const auto &name : allKernels()) {
+        auto w = makeWorkload(name, 1);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->name(), name);
+        DynInst inst;
+        EXPECT_TRUE(w->next(inst));
+    }
+}
+
+TEST(RegistryTest, SyntheticNamesResolve)
+{
+    for (const char *name : {"uniform", "strided", "chase", "sameline"}) {
+        auto w = makeWorkload(name, 1);
+        ASSERT_NE(w, nullptr);
+        DynInst inst;
+        EXPECT_TRUE(w->next(inst));
+    }
+}
+
+TEST(RegistryTest, UnknownNameIsFatal)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(makeWorkload("spice", 1), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(RegistryTest, SeedChangesTheStream)
+{
+    auto a = makeWorkload("uniform", 1);
+    auto b = makeWorkload("uniform", 2);
+    DynInst ia, ib;
+    int diffs = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a->next(ia);
+        b->next(ib);
+        if (ia.addr != ib.addr || ia.op != ib.op)
+            ++diffs;
+    }
+    EXPECT_GT(diffs, 0);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the parametric synthetic workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/refstream.hh"
+#include "workload/synthetic.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(SyntheticTest, UniformRespectsMemFraction)
+{
+    SyntheticParams p;
+    p.mem_fraction = 0.5;
+    p.store_fraction = 0.3;
+    UniformRandomWorkload w(p);
+    const StreamProfile prof = profileStream(w, 100000);
+    EXPECT_NEAR(prof.memFraction(), 0.5, 0.02);
+    const double stores = static_cast<double>(prof.stores);
+    const double mem = static_cast<double>(prof.loads + prof.stores);
+    EXPECT_NEAR(stores / mem, 0.3, 0.02);
+}
+
+TEST(SyntheticTest, UniformStaysInRegion)
+{
+    SyntheticParams p;
+    p.base = 0x1000;
+    p.region = 0x2000;
+    UniformRandomWorkload w(p);
+    DynInst inst;
+    for (int i = 0; i < 10000; ++i) {
+        w.next(inst);
+        if (inst.isMem()) {
+            EXPECT_GE(inst.addr, p.base);
+            EXPECT_LT(inst.addr + inst.size, p.base + p.region + 1);
+        }
+    }
+}
+
+TEST(SyntheticTest, StridedAdvancesByStride)
+{
+    SyntheticParams p;
+    p.mem_fraction = 1.0;
+    StridedWorkload w(p, 128);
+    DynInst a, b;
+    w.next(a);
+    w.next(b);
+    EXPECT_EQ(b.addr - a.addr, 128u);
+}
+
+TEST(SyntheticTest, StridedWrapsAtRegion)
+{
+    SyntheticParams p;
+    p.mem_fraction = 1.0;
+    p.region = 256;
+    StridedWorkload w(p, 64);
+    DynInst inst;
+    for (int i = 0; i < 100; ++i) {
+        w.next(inst);
+        EXPECT_LT(inst.addr, p.base + p.region);
+    }
+}
+
+TEST(SyntheticTest, ChaseLoadsFormDependenceChain)
+{
+    SyntheticParams p;
+    p.mem_fraction = 1.0;
+    PointerChaseWorkload w(p, 1);
+    DynInst prev, cur;
+    w.next(prev);
+    EXPECT_EQ(prev.src[0], invalid_reg);   // chain head
+    for (int i = 0; i < 100; ++i) {
+        w.next(cur);
+        EXPECT_EQ(cur.src[0], prev.dst);
+        prev = cur;
+    }
+}
+
+TEST(SyntheticTest, MultipleChainsInterleave)
+{
+    SyntheticParams p;
+    p.mem_fraction = 1.0;
+    PointerChaseWorkload w(p, 2);
+    DynInst i0, i1, i2, i3;
+    w.next(i0);
+    w.next(i1);
+    w.next(i2);
+    w.next(i3);
+    EXPECT_EQ(i2.src[0], i0.dst);
+    EXPECT_EQ(i3.src[0], i1.dst);
+}
+
+TEST(SyntheticTest, SameLineBurstsShareALine)
+{
+    SyntheticParams p;
+    p.mem_fraction = 1.0;
+    SameLineBurstWorkload w(p, 4, 32);
+    DynInst inst;
+    for (int burst = 0; burst < 50; ++burst) {
+        Addr line = 0;
+        for (int k = 0; k < 4; ++k) {
+            w.next(inst);
+            if (k == 0)
+                line = inst.addr / 32;
+            EXPECT_EQ(inst.addr / 32, line);
+        }
+    }
+}
+
+TEST(SyntheticTest, ResetReproducesStream)
+{
+    SyntheticParams p;
+    UniformRandomWorkload w(p);
+    std::vector<Addr> first;
+    DynInst inst;
+    for (int i = 0; i < 1000; ++i) {
+        w.next(inst);
+        first.push_back(inst.addr);
+    }
+    w.reset();
+    for (int i = 0; i < 1000; ++i) {
+        w.next(inst);
+        EXPECT_EQ(inst.addr, first[i]);
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

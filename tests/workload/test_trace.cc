@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(TraceTest, CaptureReplayRoundTrip)
+{
+    auto src = makeWorkload("compress", 1);
+    std::stringstream buf;
+    const auto captured = TraceWriter::capture(*src, buf, 5000);
+    EXPECT_EQ(captured, 5000u);
+
+    TraceReplayWorkload replay(buf);
+    EXPECT_EQ(replay.size(), 5000u);
+
+    src->reset();
+    DynInst orig, rep;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(src->next(orig));
+        ASSERT_TRUE(replay.next(rep));
+        EXPECT_EQ(rep.op, orig.op);
+        EXPECT_EQ(rep.addr, orig.addr);
+        EXPECT_EQ(rep.dst, orig.dst);
+        EXPECT_EQ(rep.src[0], orig.src[0]);
+        EXPECT_EQ(rep.src[1], orig.src[1]);
+        EXPECT_EQ(rep.size, orig.size);
+    }
+}
+
+TEST(TraceTest, ReplayEndsAfterLastRecord)
+{
+    auto src = makeWorkload("li", 1);
+    std::stringstream buf;
+    TraceWriter::capture(*src, buf, 100);
+    TraceReplayWorkload replay(buf);
+    DynInst inst;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(replay.next(inst));
+    EXPECT_FALSE(replay.next(inst));
+}
+
+TEST(TraceTest, ReplayResetRestarts)
+{
+    auto src = makeWorkload("li", 1);
+    std::stringstream buf;
+    TraceWriter::capture(*src, buf, 100);
+    TraceReplayWorkload replay(buf);
+    DynInst first;
+    replay.next(first);
+    DynInst inst;
+    while (replay.next(inst)) {
+    }
+    replay.reset();
+    DynInst again;
+    ASSERT_TRUE(replay.next(again));
+    EXPECT_EQ(again.op, first.op);
+    EXPECT_EQ(again.addr, first.addr);
+}
+
+TEST(TraceTest, BadMagicIsFatal)
+{
+    detail::setThrowOnError(true);
+    std::stringstream buf;
+    buf << "this is not a trace file";
+    EXPECT_THROW(TraceReplayWorkload{buf}, std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(TraceTest, EmptyStreamIsFatal)
+{
+    detail::setThrowOnError(true);
+    std::stringstream buf;
+    EXPECT_THROW(TraceReplayWorkload{buf}, std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(TraceTest, WriterCountsRecords)
+{
+    std::stringstream buf;
+    TraceWriter w(buf);
+    DynInst inst;
+    inst.op = OpClass::Load;
+    inst.addr = 0x1234;
+    w.write(inst);
+    w.write(inst);
+    EXPECT_EQ(w.count(), 2u);
+}
+
+} // anonymous namespace
+} // namespace lbic
