@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assoc.dir/ablation_assoc.cc.o"
+  "CMakeFiles/ablation_assoc.dir/ablation_assoc.cc.o.d"
+  "ablation_assoc"
+  "ablation_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

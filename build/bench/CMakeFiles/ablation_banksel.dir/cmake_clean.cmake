@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_banksel.dir/ablation_banksel.cc.o"
+  "CMakeFiles/ablation_banksel.dir/ablation_banksel.cc.o.d"
+  "ablation_banksel"
+  "ablation_banksel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_banksel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disambiguation.dir/ablation_disambiguation.cc.o"
+  "CMakeFiles/ablation_disambiguation.dir/ablation_disambiguation.cc.o.d"
+  "ablation_disambiguation"
+  "ablation_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

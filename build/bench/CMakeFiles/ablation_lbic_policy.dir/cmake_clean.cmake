@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lbic_policy.dir/ablation_lbic_policy.cc.o"
+  "CMakeFiles/ablation_lbic_policy.dir/ablation_lbic_policy.cc.o.d"
+  "ablation_lbic_policy"
+  "ablation_lbic_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lbic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lsq.dir/ablation_lsq.cc.o"
+  "CMakeFiles/ablation_lsq.dir/ablation_lsq.cc.o.d"
+  "ablation_lsq"
+  "ablation_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

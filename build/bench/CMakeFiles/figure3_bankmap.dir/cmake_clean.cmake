@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_bankmap.dir/figure3_bankmap.cc.o"
+  "CMakeFiles/figure3_bankmap.dir/figure3_bankmap.cc.o.d"
+  "figure3_bankmap"
+  "figure3_bankmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_bankmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

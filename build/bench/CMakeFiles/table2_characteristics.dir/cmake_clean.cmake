@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_characteristics.dir/table2_characteristics.cc.o"
+  "CMakeFiles/table2_characteristics.dir/table2_characteristics.cc.o.d"
+  "table2_characteristics"
+  "table2_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ipc.dir/table3_ipc.cc.o"
+  "CMakeFiles/table3_ipc.dir/table3_ipc.cc.o.d"
+  "table3_ipc"
+  "table3_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

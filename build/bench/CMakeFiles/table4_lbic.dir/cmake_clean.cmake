@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_lbic.dir/table4_lbic.cc.o"
+  "CMakeFiles/table4_lbic.dir/table4_lbic.cc.o.d"
+  "table4_lbic"
+  "table4_lbic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_lbic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

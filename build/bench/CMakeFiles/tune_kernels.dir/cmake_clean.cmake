@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_kernels.dir/tune_kernels.cc.o"
+  "CMakeFiles/tune_kernels.dir/tune_kernels.cc.o.d"
+  "tune_kernels"
+  "tune_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

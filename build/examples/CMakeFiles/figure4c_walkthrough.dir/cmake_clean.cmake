@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4c_walkthrough.dir/figure4c_walkthrough.cpp.o"
+  "CMakeFiles/figure4c_walkthrough.dir/figure4c_walkthrough.cpp.o.d"
+  "figure4c_walkthrough"
+  "figure4c_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4c_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

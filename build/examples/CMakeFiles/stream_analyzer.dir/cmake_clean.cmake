@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_analyzer.dir/stream_analyzer.cpp.o"
+  "CMakeFiles/stream_analyzer.dir/stream_analyzer.cpp.o.d"
+  "stream_analyzer"
+  "stream_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cacheport/bank_select.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/bank_select.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/bank_select.cc.o.d"
+  "/root/repo/src/cacheport/banked.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/banked.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/banked.cc.o.d"
+  "/root/repo/src/cacheport/factory.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/factory.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/factory.cc.o.d"
+  "/root/repo/src/cacheport/ideal.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/ideal.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/ideal.cc.o.d"
+  "/root/repo/src/cacheport/lbic.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/lbic.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/lbic.cc.o.d"
+  "/root/repo/src/cacheport/port_scheduler.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/port_scheduler.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/port_scheduler.cc.o.d"
+  "/root/repo/src/cacheport/replicated.cc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/replicated.cc.o" "gcc" "src/cacheport/CMakeFiles/lbic_cacheport.dir/replicated.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbic_cacheport.dir/bank_select.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/bank_select.cc.o.d"
+  "CMakeFiles/lbic_cacheport.dir/banked.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/banked.cc.o.d"
+  "CMakeFiles/lbic_cacheport.dir/factory.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/factory.cc.o.d"
+  "CMakeFiles/lbic_cacheport.dir/ideal.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/ideal.cc.o.d"
+  "CMakeFiles/lbic_cacheport.dir/lbic.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/lbic.cc.o.d"
+  "CMakeFiles/lbic_cacheport.dir/port_scheduler.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/port_scheduler.cc.o.d"
+  "CMakeFiles/lbic_cacheport.dir/replicated.cc.o"
+  "CMakeFiles/lbic_cacheport.dir/replicated.cc.o.d"
+  "liblbic_cacheport.a"
+  "liblbic_cacheport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbic_cacheport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

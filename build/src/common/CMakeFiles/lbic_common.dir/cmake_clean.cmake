@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbic_common.dir/config.cc.o"
+  "CMakeFiles/lbic_common.dir/config.cc.o.d"
+  "CMakeFiles/lbic_common.dir/logging.cc.o"
+  "CMakeFiles/lbic_common.dir/logging.cc.o.d"
+  "CMakeFiles/lbic_common.dir/statistics.cc.o"
+  "CMakeFiles/lbic_common.dir/statistics.cc.o.d"
+  "CMakeFiles/lbic_common.dir/table.cc.o"
+  "CMakeFiles/lbic_common.dir/table.cc.o.d"
+  "liblbic_common.a"
+  "liblbic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

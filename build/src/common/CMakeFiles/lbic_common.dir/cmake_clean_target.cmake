@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbic_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbic_cpu.dir/core.cc.o"
+  "CMakeFiles/lbic_cpu.dir/core.cc.o.d"
+  "liblbic_cpu.a"
+  "liblbic_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbic_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

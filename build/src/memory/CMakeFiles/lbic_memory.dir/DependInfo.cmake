@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/cache_config.cc" "src/memory/CMakeFiles/lbic_memory.dir/cache_config.cc.o" "gcc" "src/memory/CMakeFiles/lbic_memory.dir/cache_config.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/memory/CMakeFiles/lbic_memory.dir/hierarchy.cc.o" "gcc" "src/memory/CMakeFiles/lbic_memory.dir/hierarchy.cc.o.d"
+  "/root/repo/src/memory/tag_store.cc" "src/memory/CMakeFiles/lbic_memory.dir/tag_store.cc.o" "gcc" "src/memory/CMakeFiles/lbic_memory.dir/tag_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbic_memory.dir/cache_config.cc.o"
+  "CMakeFiles/lbic_memory.dir/cache_config.cc.o.d"
+  "CMakeFiles/lbic_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/lbic_memory.dir/hierarchy.cc.o.d"
+  "CMakeFiles/lbic_memory.dir/tag_store.cc.o"
+  "CMakeFiles/lbic_memory.dir/tag_store.cc.o.d"
+  "liblbic_memory.a"
+  "liblbic_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbic_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/refstream.cc" "src/sim/CMakeFiles/lbic_sim.dir/refstream.cc.o" "gcc" "src/sim/CMakeFiles/lbic_sim.dir/refstream.cc.o.d"
+  "/root/repo/src/sim/sim_config.cc" "src/sim/CMakeFiles/lbic_sim.dir/sim_config.cc.o" "gcc" "src/sim/CMakeFiles/lbic_sim.dir/sim_config.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/lbic_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/lbic_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cacheport/CMakeFiles/lbic_cacheport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lbic_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lbic_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbic_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbic_sim.dir/refstream.cc.o"
+  "CMakeFiles/lbic_sim.dir/refstream.cc.o.d"
+  "CMakeFiles/lbic_sim.dir/sim_config.cc.o"
+  "CMakeFiles/lbic_sim.dir/sim_config.cc.o.d"
+  "CMakeFiles/lbic_sim.dir/simulator.cc.o"
+  "CMakeFiles/lbic_sim.dir/simulator.cc.o.d"
+  "liblbic_sim.a"
+  "liblbic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

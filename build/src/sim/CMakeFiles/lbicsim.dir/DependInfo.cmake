@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/lbicsim_main.cc" "src/sim/CMakeFiles/lbicsim.dir/lbicsim_main.cc.o" "gcc" "src/sim/CMakeFiles/lbicsim.dir/lbicsim_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lbic_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cacheport/CMakeFiles/lbic_cacheport.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lbic_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbicsim.dir/lbicsim_main.cc.o"
+  "CMakeFiles/lbicsim.dir/lbicsim_main.cc.o.d"
+  "lbicsim"
+  "lbicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

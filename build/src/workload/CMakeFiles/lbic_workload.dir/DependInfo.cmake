@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernel.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernel.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernel.cc.o.d"
+  "/root/repo/src/workload/kernels/compress.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/compress.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/compress.cc.o.d"
+  "/root/repo/src/workload/kernels/gcc.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/gcc.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/gcc.cc.o.d"
+  "/root/repo/src/workload/kernels/go.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/go.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/go.cc.o.d"
+  "/root/repo/src/workload/kernels/hydro2d.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/hydro2d.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/hydro2d.cc.o.d"
+  "/root/repo/src/workload/kernels/li.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/li.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/li.cc.o.d"
+  "/root/repo/src/workload/kernels/mgrid.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/mgrid.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/mgrid.cc.o.d"
+  "/root/repo/src/workload/kernels/perl.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/perl.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/perl.cc.o.d"
+  "/root/repo/src/workload/kernels/su2cor.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/su2cor.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/su2cor.cc.o.d"
+  "/root/repo/src/workload/kernels/swim.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/swim.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/swim.cc.o.d"
+  "/root/repo/src/workload/kernels/wave5.cc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/wave5.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/kernels/wave5.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/lbic_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/lbic_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/lbic_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/lbic_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

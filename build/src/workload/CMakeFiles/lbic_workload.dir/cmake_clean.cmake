@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbic_workload.dir/kernel.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernel.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/compress.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/compress.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/gcc.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/gcc.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/go.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/go.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/hydro2d.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/hydro2d.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/li.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/li.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/mgrid.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/mgrid.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/perl.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/perl.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/su2cor.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/su2cor.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/swim.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/swim.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/kernels/wave5.cc.o"
+  "CMakeFiles/lbic_workload.dir/kernels/wave5.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/registry.cc.o"
+  "CMakeFiles/lbic_workload.dir/registry.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/synthetic.cc.o"
+  "CMakeFiles/lbic_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/lbic_workload.dir/trace.cc.o"
+  "CMakeFiles/lbic_workload.dir/trace.cc.o.d"
+  "liblbic_workload.a"
+  "liblbic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

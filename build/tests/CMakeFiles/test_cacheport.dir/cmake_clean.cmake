@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cacheport.dir/cacheport/test_bank_select.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_bank_select.cc.o.d"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_banked.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_banked.cc.o.d"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_factory.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_factory.cc.o.d"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_ideal.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_ideal.cc.o.d"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_lbic.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_lbic.cc.o.d"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_replicated.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_replicated.cc.o.d"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_variants.cc.o"
+  "CMakeFiles/test_cacheport.dir/cacheport/test_variants.cc.o.d"
+  "test_cacheport"
+  "test_cacheport.pdb"
+  "test_cacheport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cacheport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_bitops.cc.o"
+  "CMakeFiles/test_common.dir/common/test_bitops.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_config.cc.o"
+  "CMakeFiles/test_common.dir/common/test_config.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_logging.cc.o"
+  "CMakeFiles/test_common.dir/common/test_logging.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_random.cc.o"
+  "CMakeFiles/test_common.dir/common/test_random.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_statistics.cc.o"
+  "CMakeFiles/test_common.dir/common/test_statistics.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

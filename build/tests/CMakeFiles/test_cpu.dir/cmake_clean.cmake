@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/test_core.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_edge.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_edge.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_fu_pool.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_fu_pool.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_lsq_ordering.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_lsq_ordering.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_pipe_trace.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_pipe_trace.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_random_stress.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_random_stress.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

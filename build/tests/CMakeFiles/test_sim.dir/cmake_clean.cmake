@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cross_config.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cross_config.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_integration.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_integration.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_paper_shapes.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_paper_shapes.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_refstream.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_refstream.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sim_config.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_sim_config.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

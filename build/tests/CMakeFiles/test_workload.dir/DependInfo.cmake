@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_conformance.cc" "tests/CMakeFiles/test_workload.dir/workload/test_conformance.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_conformance.cc.o.d"
+  "/root/repo/tests/workload/test_emitter.cc" "tests/CMakeFiles/test_workload.dir/workload/test_emitter.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_emitter.cc.o.d"
+  "/root/repo/tests/workload/test_kernels.cc" "tests/CMakeFiles/test_workload.dir/workload/test_kernels.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_kernels.cc.o.d"
+  "/root/repo/tests/workload/test_registry.cc" "tests/CMakeFiles/test_workload.dir/workload/test_registry.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_registry.cc.o.d"
+  "/root/repo/tests/workload/test_synthetic.cc" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cc.o.d"
+  "/root/repo/tests/workload/test_trace.cc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lbic_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cacheport/CMakeFiles/lbic_cacheport.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lbic_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

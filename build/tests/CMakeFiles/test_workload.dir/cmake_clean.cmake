@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_conformance.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_conformance.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_emitter.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_emitter.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_kernels.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_kernels.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_registry.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_registry.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
