@@ -8,14 +8,14 @@
  * high-miss fp codes, but the port-architecture ordering (ideal >
  * LBIC > bank) should be insensitive.
  *
- * Usage: ablation_assoc [insts=N]
+ * Usage: ablation_assoc [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -23,45 +23,51 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 200000);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 200000);
+    args.config.rejectUnrecognized();
+
+    std::vector<SweepJob> jobs;
+    for (const auto &kernel : allKernels()) {
+        for (const unsigned assoc : {1u, 2u, 4u}) {
+            SimConfig cfg = args.base();
+            cfg.memory.l1.assoc = assoc;
+            jobs.push_back(
+                SweepJob::of(kernel, "lbic:4x2", args.insts, cfg));
+        }
+        SimConfig cfg = args.base();
+        cfg.memory.l1.assoc = 4;
+        cfg.memory.l1.repl = ReplPolicy::Random;
+        jobs.push_back(
+            SweepJob::of(kernel, "lbic:4x2", args.insts, cfg,
+                         "4-way rand"));
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("ablation_assoc", args, jobs, out))
+        return 0;
 
     std::cout << "Ablation: L1 associativity (32 KB, 32 B lines), "
-              << insts << " instructions per run, lbic:4x2\n\n";
+              << args.insts << " instructions per run, lbic:4x2\n\n";
 
     TextTable table;
     table.setHeader({"Program", "DM", "2-way", "4-way", "4-way rand",
                      "DM miss", "4-way miss"});
 
+    std::size_t next = 0;
     for (const auto &kernel : allKernels()) {
         std::vector<std::string> row = {kernel};
         double dm_miss = 0.0;
         double w4_miss = 0.0;
         for (const unsigned assoc : {1u, 2u, 4u}) {
-            SimConfig cfg;
-            cfg.workload = kernel;
-            cfg.port_spec = "lbic:4x2";
-            cfg.max_insts = insts;
-            cfg.memory.l1.assoc = assoc;
-            Simulator sim(cfg);
-            const RunResult r = sim.run();
+            const SweepResult &r = out.results[next++];
             row.push_back(TextTable::fmt(r.ipc(), 3));
             if (assoc == 1)
-                dm_miss = sim.hierarchy().l1MissRate();
+                dm_miss = r.metrics.l1_miss_rate;
             if (assoc == 4)
-                w4_miss = sim.hierarchy().l1MissRate();
+                w4_miss = r.metrics.l1_miss_rate;
         }
-        {
-            SimConfig cfg;
-            cfg.workload = kernel;
-            cfg.port_spec = "lbic:4x2";
-            cfg.max_insts = insts;
-            cfg.memory.l1.assoc = 4;
-            cfg.memory.l1.repl = ReplPolicy::Random;
-            Simulator sim(cfg);
-            row.push_back(TextTable::fmt(sim.run().ipc(), 3));
-        }
+        row.push_back(TextTable::fmt(out.results[next++].ipc(), 3));
         row.push_back(TextTable::fmt(dm_miss, 3));
         row.push_back(TextTable::fmt(w4_miss, 3));
         table.addRow(row);

@@ -7,14 +7,14 @@
  * anyway; this harness quantifies the claim by comparing bit-selected
  * and XOR-folded banked and LBIC caches.
  *
- * Usage: ablation_banksel [insts=N]
+ * Usage: ablation_banksel [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -22,28 +22,41 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 300000);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 300000);
+    args.config.rejectUnrecognized();
 
-    std::cout << "Ablation: bank-selection function, " << insts
+    std::vector<SweepJob> jobs;
+    for (const auto &kernel : allKernels()) {
+        for (const char *spec : {"bank:4", "lbic:4x2"}) {
+            for (const auto fn :
+                 {BankSelectFn::BitSelect, BankSelectFn::XorFold}) {
+                SimConfig cfg = args.base();
+                cfg.select_fn = fn;
+                jobs.push_back(
+                    SweepJob::of(kernel, spec, args.insts, cfg));
+            }
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("ablation_banksel", args, jobs,
+                                   out))
+        return 0;
+
+    std::cout << "Ablation: bank-selection function, " << args.insts
               << " instructions per run\n\n";
 
     TextTable table;
     table.setHeader({"Program", "bank:4 bit", "bank:4 xor",
                      "lbic:4x2 bit", "lbic:4x2 xor"});
 
+    std::size_t next = 0;
     for (const auto &kernel : allKernels()) {
         std::vector<std::string> row = {kernel};
-        for (const char *spec : {"bank:4", "lbic:4x2"}) {
-            for (const auto fn :
-                 {BankSelectFn::BitSelect, BankSelectFn::XorFold}) {
-                SimConfig cfg;
-                cfg.select_fn = fn;
-                row.push_back(TextTable::fmt(
-                    runSim(kernel, spec, insts, cfg).ipc(), 3));
-            }
-        }
+        for (int i = 0; i < 4; ++i)
+            row.push_back(
+                TextTable::fmt(out.results[next++].ipc(), 3));
         table.addRow(row);
     }
     table.print(std::cout);

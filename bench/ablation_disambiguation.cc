@@ -9,14 +9,14 @@
  * store addresses hang off loads (compress's hashed table indices).
  * This harness quantifies both policies across the ten kernels.
  *
- * Usage: ablation_disambiguation [insts=N]
+ * Usage: ablation_disambiguation [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -24,25 +24,37 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 300000);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 300000);
+    args.config.rejectUnrecognized();
+
+    std::vector<SweepJob> jobs;
+    for (const auto &kernel : allKernels()) {
+        for (const auto policy : {Disambiguation::Perfect,
+                                  Disambiguation::Conservative}) {
+            SimConfig cfg = args.base();
+            cfg.core.disambiguation = policy;
+            jobs.push_back(
+                SweepJob::of(kernel, "ideal:16", args.insts, cfg));
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("ablation_disambiguation", args,
+                                   jobs, out))
+        return 0;
 
     std::cout << "Ablation: LSQ disambiguation policy (ideal:16), "
-              << insts << " instructions per run\n\n";
+              << args.insts << " instructions per run\n\n";
 
     TextTable table;
     table.setHeader({"Program", "perfect", "conservative",
                      "conservative/perfect"});
 
+    std::size_t next = 0;
     for (const auto &kernel : allKernels()) {
-        SimConfig cfg;
-        cfg.core.disambiguation = Disambiguation::Perfect;
-        const double perfect =
-            runSim(kernel, "ideal:16", insts, cfg).ipc();
-        cfg.core.disambiguation = Disambiguation::Conservative;
-        const double conservative =
-            runSim(kernel, "ideal:16", insts, cfg).ipc();
+        const double perfect = out.results[next++].ipc();
+        const double conservative = out.results[next++].ipc();
         table.addRow({kernel, TextTable::fmt(perfect, 3),
                       TextTable::fmt(conservative, 3),
                       TextTable::fmt(conservative / perfect, 2)});

@@ -12,14 +12,14 @@
  *    the cost of replicating/multi-porting the tag store (spec
  *    "wbank:M").
  *
- * Usage: ablation_lbic_policy [insts=N]
+ * Usage: ablation_lbic_policy [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -27,18 +27,30 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 300000);
-    args.rejectUnrecognized();
-
-    std::cout << "Ablation: LBIC leading policy and interleaving "
-                 "granularity, " << insts
-              << " instructions per run\n\n";
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 300000);
+    args.config.rejectUnrecognized();
 
     const std::vector<std::string> specs = {
         "bank:4", "wbank:4", "lbic:4x2", "lbicg:4x2", "lbic:4x4",
         "lbicg:4x4", "ideal:4",
     };
+
+    std::vector<SweepJob> jobs;
+    for (const auto &kernel : allKernels()) {
+        for (const auto &spec : specs)
+            jobs.push_back(
+                SweepJob::of(kernel, spec, args.insts, args.base()));
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("ablation_lbic_policy", args, jobs,
+                                   out))
+        return 0;
+
+    std::cout << "Ablation: LBIC leading policy and interleaving "
+                 "granularity, " << args.insts
+              << " instructions per run\n\n";
 
     TextTable table;
     std::vector<std::string> header = {"Program"};
@@ -46,11 +58,12 @@ main(int argc, char **argv)
         header.push_back(s);
     table.setHeader(header);
 
+    std::size_t next = 0;
     std::vector<double> sums(specs.size(), 0.0);
     for (const auto &kernel : allKernels()) {
         std::vector<std::string> row = {kernel};
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            const double v = runSim(kernel, specs[i], insts).ipc();
+            const double v = out.results[next++].ipc();
             sums[i] += v;
             row.push_back(TextTable::fmt(v, 3));
         }

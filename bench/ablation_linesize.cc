@@ -8,14 +8,14 @@
  * B-same-line opportunities the LBIC can combine; this harness sweeps
  * the L1 line size for banked and LBIC organizations.
  *
- * Usage: ablation_linesize [insts=N]
+ * Usage: ablation_linesize [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -23,15 +23,35 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 300000);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 300000);
+    args.config.rejectUnrecognized();
 
     const std::vector<unsigned> line_sizes = {16, 32, 64, 128};
-    std::cout << "Ablation: L1 line size (32 KB direct-mapped), "
-              << insts << " instructions per run\n\n";
+    const std::vector<const char *> specs = {"bank:4", "lbic:4x2"};
 
-    for (const char *spec : {"bank:4", "lbic:4x2"}) {
+    std::vector<SweepJob> jobs;
+    for (const char *spec : specs) {
+        for (const auto &kernel : allKernels()) {
+            for (const unsigned ls : line_sizes) {
+                SimConfig cfg = args.base();
+                cfg.memory.l1.line_bytes = ls;
+                jobs.push_back(
+                    SweepJob::of(kernel, spec, args.insts, cfg));
+            }
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("ablation_linesize", args, jobs,
+                                   out))
+        return 0;
+
+    std::cout << "Ablation: L1 line size (32 KB direct-mapped), "
+              << args.insts << " instructions per run\n\n";
+
+    std::size_t next = 0;
+    for (const char *spec : specs) {
         std::cout << "Organization " << spec << ":\n";
         TextTable table;
         std::vector<std::string> header = {"Program"};
@@ -41,12 +61,9 @@ main(int argc, char **argv)
 
         for (const auto &kernel : allKernels()) {
             std::vector<std::string> row = {kernel};
-            for (const unsigned ls : line_sizes) {
-                SimConfig cfg;
-                cfg.memory.l1.line_bytes = ls;
-                row.push_back(TextTable::fmt(
-                    runSim(kernel, spec, insts, cfg).ipc(), 3));
-            }
+            for (std::size_t i = 0; i < line_sizes.size(); ++i)
+                row.push_back(
+                    TextTable::fmt(out.results[next++].ipc(), 3));
             table.addRow(row);
         }
         table.print(std::cout);

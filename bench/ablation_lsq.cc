@@ -8,14 +8,14 @@
  * sweeps the LSQ depth (with the RUU scaled alongside) and the
  * per-bank store-queue depth for a 4x2 LBIC.
  *
- * Usage: ablation_lsq [insts=N]
+ * Usage: ablation_lsq [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -23,14 +23,41 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 300000);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 300000);
+    args.config.rejectUnrecognized();
 
     const std::vector<unsigned> lsq_depths = {16, 32, 64, 128, 256,
                                               512};
+    const std::vector<unsigned> sq_depths = {1, 2, 4, 8, 16, 32};
+
+    std::vector<SweepJob> jobs;
+    for (const auto &kernel : allKernels()) {
+        for (const unsigned d : lsq_depths) {
+            SimConfig cfg = args.base();
+            cfg.core.lsq_size = d;
+            cfg.core.ruu_size = 2 * d;
+            jobs.push_back(SweepJob::of(kernel, "lbic:4x2",
+                                        args.insts, cfg, "lsq"));
+        }
+    }
+    for (const auto &kernel : allKernels()) {
+        for (const unsigned d : sq_depths) {
+            SimConfig cfg = args.base();
+            cfg.store_queue_depth = d;
+            jobs.push_back(SweepJob::of(kernel, "lbic:4x2",
+                                        args.insts, cfg, "sq"));
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("ablation_lsq", args, jobs, out))
+        return 0;
+
+    std::size_t next = 0;
+
     std::cout << "Ablation A: LSQ depth for lbic:4x2 (RUU = 2 x LSQ), "
-              << insts << " instructions per run\n\n";
+              << args.insts << " instructions per run\n\n";
 
     TextTable lsq_table;
     std::vector<std::string> header = {"Program"};
@@ -40,20 +67,16 @@ main(int argc, char **argv)
 
     for (const auto &kernel : allKernels()) {
         std::vector<std::string> row = {kernel};
-        for (const unsigned d : lsq_depths) {
-            SimConfig cfg;
-            cfg.core.lsq_size = d;
-            cfg.core.ruu_size = 2 * d;
-            row.push_back(TextTable::fmt(
-                runSim(kernel, "lbic:4x2", insts, cfg).ipc(), 3));
-        }
+        for (std::size_t i = 0; i < lsq_depths.size(); ++i)
+            row.push_back(
+                TextTable::fmt(out.results[next++].ipc(), 3));
         lsq_table.addRow(row);
     }
     lsq_table.print(std::cout);
 
-    const std::vector<unsigned> sq_depths = {1, 2, 4, 8, 16, 32};
     std::cout << "\nAblation B: per-bank store-queue depth for "
-                 "lbic:4x2, " << insts << " instructions per run\n\n";
+                 "lbic:4x2, " << args.insts
+              << " instructions per run\n\n";
 
     TextTable sq_table;
     header = {"Program"};
@@ -63,12 +86,9 @@ main(int argc, char **argv)
 
     for (const auto &kernel : allKernels()) {
         std::vector<std::string> row = {kernel};
-        for (const unsigned d : sq_depths) {
-            SimConfig cfg;
-            cfg.store_queue_depth = d;
-            row.push_back(TextTable::fmt(
-                runSim(kernel, "lbic:4x2", insts, cfg).ipc(), 3));
-        }
+        for (std::size_t i = 0; i < sq_depths.size(); ++i)
+            row.push_back(
+                TextTable::fmt(out.results[next++].ipc(), 3));
         sq_table.addRow(row);
     }
     sq_table.print(std::cout);

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Shared plumbing for the paper-table drivers and examples.
+ *
+ * Every sweep-shaped driver takes the same trio of knobs -- `insts=N`
+ * (instructions per run), `seed=S` (workload PRNG seed) and `jobs=J`
+ * (worker threads; 0 or absent means hardware concurrency) -- plus a
+ * `--json` flag (or `json=1`) that replaces the human-readable tables
+ * with one machine-readable JSON object for trajectory tracking under
+ * results/. This header folds the argument parsing, the common
+ * SimConfig seeding and the JSON emission into one place so the ten
+ * drivers stop duplicating it.
+ *
+ * JSON schema (one object on stdout):
+ * @code
+ * {
+ *   "driver": "table3_ipc",          // harness name
+ *   "insts": 500000,                 // instructions per run
+ *   "seed": 1,
+ *   "jobs": 8,                       // worker threads used
+ *   "total_wall_ms": 1234.5,         // whole-sweep wall clock
+ *   "runs": [                        // submission order
+ *     {"label": "", "workload": "compress", "port_spec": "ideal:1",
+ *      "ipc": 2.661, "instructions": 500000, "cycles": 187900,
+ *      "l1_miss_rate": 0.0542, "wall_ms": 103.2}, ...
+ *   ]
+ * }
+ * @endcode
+ */
+
+#ifndef LBIC_BENCH_BENCH_UTIL_HH
+#define LBIC_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace bench
+{
+
+/** The common driver arguments, parsed once. */
+struct BenchArgs
+{
+    /** Full key=value store, for driver-specific extra keys. */
+    Config config;
+
+    std::uint64_t insts = 0;  //!< instructions per run
+    std::uint64_t seed = 1;   //!< workload PRNG seed
+    unsigned jobs = 0;        //!< sweep workers; 0 = hardware
+    bool json = false;        //!< emit JSON instead of tables
+
+    /** Base SimConfig carrying the shared seed. */
+    SimConfig
+    base() const
+    {
+        SimConfig cfg;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+/**
+ * Parse argv into BenchArgs. `--json` is accepted as a bare flag
+ * (every other argument is `key=value`). Drivers read any extra keys
+ * from `args.config` and then call `args.config.rejectUnrecognized()`.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
+{
+    std::vector<const char *> kv;
+    kv.reserve(static_cast<std::size_t>(argc));
+    bool json_flag = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json_flag = true;
+        else
+            kv.push_back(argv[i]);
+    }
+
+    BenchArgs args;
+    args.config = Config::fromArgs(static_cast<int>(kv.size()),
+                                   kv.data());
+    args.insts = args.config.getU64("insts", default_insts);
+    args.seed = args.config.getU64("seed", 1);
+    args.jobs =
+        static_cast<unsigned>(args.config.getU64("jobs", 0));
+    args.json = json_flag || args.config.getBool("json", false);
+    return args;
+}
+
+/** A finished sweep plus its bookkeeping. */
+struct SweepOutput
+{
+    std::vector<SweepResult> results;
+    double total_wall_ms = 0.0;
+    unsigned jobs_used = 0;
+};
+
+/** Run @p jobs on the pool selected by @p args, timing the sweep. */
+inline SweepOutput
+runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
+{
+    SweepOutput out;
+    SweepRunner runner(args.jobs);
+    out.jobs_used = runner.numThreads();
+    const auto start = std::chrono::steady_clock::now();
+    out.results = runner.run(jobs);
+    const auto end = std::chrono::steady_clock::now();
+    out.total_wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return out;
+}
+
+/** Minimal JSON string escaping (labels are plain identifiers). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Emit the sweep as the machine-readable JSON object documented in
+ * the file header. @p jobs and @p out.results are index-aligned.
+ */
+inline void
+printJsonResults(std::ostream &os, const std::string &driver,
+                 const BenchArgs &args,
+                 const std::vector<SweepJob> &jobs,
+                 const SweepOutput &out)
+{
+    os << "{\"driver\": \"" << jsonEscape(driver) << "\""
+       << ", \"insts\": " << args.insts
+       << ", \"seed\": " << args.seed
+       << ", \"jobs\": " << out.jobs_used
+       << ", \"total_wall_ms\": " << out.total_wall_ms
+       << ", \"runs\": [";
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+        const SweepResult &r = out.results[i];
+        const SimConfig &cfg = jobs[i].config;
+        if (i)
+            os << ", ";
+        os << "{\"label\": \"" << jsonEscape(r.label) << "\""
+           << ", \"workload\": \"" << jsonEscape(cfg.workload) << "\""
+           << ", \"port_spec\": \"" << jsonEscape(cfg.port_spec)
+           << "\""
+           << ", \"ipc\": " << r.ipc()
+           << ", \"instructions\": " << r.result.instructions
+           << ", \"cycles\": " << r.result.cycles
+           << ", \"l1_miss_rate\": " << r.metrics.l1_miss_rate
+           << ", \"wall_ms\": " << r.wall_ms << "}";
+    }
+    os << "]}\n";
+}
+
+/**
+ * The standard driver epilogue: when `--json` was given, emit the
+ * JSON object and return true (the driver should exit 0 without
+ * printing its tables).
+ */
+inline bool
+emitJsonIfRequested(const std::string &driver, const BenchArgs &args,
+                    const std::vector<SweepJob> &jobs,
+                    const SweepOutput &out)
+{
+    if (!args.json)
+        return false;
+    printJsonResults(std::cout, driver, args, jobs, out);
+    return true;
+}
+
+} // namespace bench
+} // namespace lbic
+
+#endif // LBIC_BENCH_BENCH_UTIL_HH

@@ -124,7 +124,10 @@ BENCHMARK(BM_KernelGeneration)->DenseRange(0, 9);
 void
 BM_EndToEndSimulation(benchmark::State &state)
 {
-    // Simulated instructions per second for a representative config.
+    // Simulated instructions (items) and cycles per host second for a
+    // representative config -- the headline number for tick-loop
+    // optimizations.
+    std::uint64_t total_cycles = 0;
     for (auto _ : state) {
         SimConfig cfg;
         cfg.workload = "li";
@@ -132,9 +135,13 @@ BM_EndToEndSimulation(benchmark::State &state)
         cfg.max_insts = 20000;
         Simulator sim(cfg);
         const RunResult r = sim.run();
+        total_cycles += r.cycles;
         benchmark::DoNotOptimize(r);
     }
     state.SetItemsProcessed(state.iterations() * 20000);
+    state.counters["cycles_per_second"] = benchmark::Counter(
+        static_cast<double>(total_cycles),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 

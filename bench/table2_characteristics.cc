@@ -4,15 +4,16 @@
  * fraction of memory instructions, store-to-load ratio, and the 32 KB
  * direct-mapped L1 miss rate.
  *
- * Usage: table2_characteristics [insts=N] [seed=S]
+ * Usage: table2_characteristics [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
+#include <map>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "sim/refstream.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -20,15 +21,27 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 1000000);
-    const std::uint64_t seed = args.getU64("seed", 1);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 1000000);
+    args.config.rejectUnrecognized();
+
+    // Miss rates come from full simulations (so the LSQ filters
+    // forwarded loads exactly as the paper's runs did); run them as
+    // one parallel sweep, one ideal:8 job per benchmark.
+    std::vector<SweepJob> jobs;
+    for (const auto &name : allKernels())
+        jobs.push_back(
+            SweepJob::of(name, "ideal:8", args.insts, args.base()));
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("table2_characteristics", args,
+                                   jobs, out))
+        return 0;
 
     std::cout << "Table 2: benchmark memory characteristics\n"
               << "(paper values in parentheses; miss rate measured on "
                  "the 32KB direct-mapped L1 during\n"
-              << " an ideal:8 simulation of " << insts
+              << " an ideal:8 simulation of " << args.insts
               << " instructions)\n\n";
 
     struct PaperRow
@@ -55,21 +68,13 @@ main(int argc, char **argv)
                      "Store-to-Load", "(paper)", "L1 Miss Rate",
                      "(paper)"});
 
+    std::size_t next = 0;
     for (const auto &name : allKernels()) {
         // Instruction mix from the raw stream.
-        auto w = makeWorkload(name, seed);
-        const StreamProfile prof = profileStream(*w, insts);
+        auto w = makeWorkload(name, args.seed);
+        const StreamProfile prof = profileStream(*w, args.insts);
 
-        // Miss rate from a full simulation (so the LSQ filters
-        // forwarded loads exactly as the paper's runs did).
-        SimConfig cfg;
-        cfg.workload = name;
-        cfg.port_spec = "ideal:8";
-        cfg.max_insts = insts;
-        cfg.seed = seed;
-        Simulator sim(cfg);
-        sim.run();
-
+        const SweepResult &r = out.results[next++];
         const PaperRow &p = paper.at(name);
         table.addRow({
             name,
@@ -77,7 +82,7 @@ main(int argc, char **argv)
             TextTable::fmt(p.mem_pct, 1),
             TextTable::fmt(prof.storeToLoadRatio(), 2),
             TextTable::fmt(p.st_ld, 2),
-            TextTable::fmt(sim.hierarchy().l1MissRate(), 4),
+            TextTable::fmt(r.metrics.l1_miss_rate, 4),
             TextTable::fmt(p.miss, 4),
         });
         if (name == "perl")

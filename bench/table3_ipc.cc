@@ -5,16 +5,15 @@
  * number of ports grows 1, 2, 4, 8, 16, for all ten benchmarks plus
  * the SPECint / SPECfp averages.
  *
- * Usage: table3_ipc [insts=N] [seed=S]
+ * Usage: table3_ipc [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
-#include <map>
 #include <vector>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -33,16 +32,36 @@ specFor(const std::string &kind, unsigned ports)
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 500000);
-    const std::uint64_t seed = args.getU64("seed", 1);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 500000);
+    args.config.rejectUnrecognized();
 
     const std::vector<unsigned> widths = {2, 4, 8, 16};
+    const SimConfig base = args.base();
+
+    // Submit the whole table as one sweep, in the exact order the
+    // serial loops consumed the runs.
+    std::vector<SweepJob> jobs;
+    for (const auto &group : {specintKernels(), specfpKernels()}) {
+        for (const auto &kernel : group) {
+            jobs.push_back(
+                SweepJob::of(kernel, "ideal:1", args.insts, base));
+            for (const unsigned w : widths) {
+                for (const char *kind : {"ideal", "repl", "bank"}) {
+                    jobs.push_back(SweepJob::of(
+                        kernel, specFor(kind, w), args.insts, base));
+                }
+            }
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("table3_ipc", args, jobs, out))
+        return 0;
 
     std::cout << "Table 3: IPC for ideal multi-porting (True), "
                  "replication (Repl) and multi-banking (Bank)\n"
-              << "(" << insts << " instructions per run)\n\n";
+              << "(" << args.insts << " instructions per run)\n\n";
 
     TextTable table;
     std::vector<std::string> header = {"Program", "1"};
@@ -53,24 +72,19 @@ main(int argc, char **argv)
     }
     table.setHeader(header);
 
-    SimConfig base;
-    base.seed = seed;
-
-    auto run_group = [&](const std::vector<std::string> &kernels,
-                         const std::string &avg_label) {
+    std::size_t next = 0;
+    auto print_group = [&](const std::vector<std::string> &kernels,
+                           const std::string &avg_label) {
         std::vector<double> sums(1 + widths.size() * 3, 0.0);
         for (const auto &kernel : kernels) {
             std::vector<std::string> row = {kernel};
             std::size_t col = 0;
-            const double one =
-                runSim(kernel, "ideal:1", insts, base).ipc();
+            const double one = out.results[next++].ipc();
             sums[col++] += one;
             row.push_back(TextTable::fmt(one, 2));
-            for (const unsigned w : widths) {
-                for (const char *kind : {"ideal", "repl", "bank"}) {
-                    const double ipc =
-                        runSim(kernel, specFor(kind, w), insts, base)
-                            .ipc();
+            for (std::size_t w = 0; w < widths.size(); ++w) {
+                for (int kind = 0; kind < 3; ++kind) {
+                    const double ipc = out.results[next++].ipc();
                     sums[col++] += ipc;
                     row.push_back(TextTable::fmt(ipc, 2));
                 }
@@ -85,8 +99,8 @@ main(int argc, char **argv)
         table.addSeparator();
     };
 
-    run_group(specintKernels(), "SPECint Ave.");
-    run_group(specfpKernels(), "SPECfp Ave.");
+    print_group(specintKernels(), "SPECint Ave.");
+    print_group(specfpKernels(), "SPECfp Ave.");
 
     table.print(std::cout);
 

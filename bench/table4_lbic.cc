@@ -5,16 +5,16 @@
  * N-direction (combining) versus M-direction (banking) scaling gains
  * and the LBIC-versus-conventional cross-checks.
  *
- * Usage: table4_lbic [insts=N] [seed=S]
+ * Usage: table4_lbic [insts=N] [seed=S] [jobs=J] [--json]
  */
 
 #include <iostream>
 #include <map>
 #include <vector>
 
-#include "common/config.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workload/registry.hh"
 
 using namespace lbic;
@@ -22,16 +22,30 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
-    const Config args = Config::fromArgs(argc, argv);
-    const std::uint64_t insts = args.getU64("insts", 500000);
-    const std::uint64_t seed = args.getU64("seed", 1);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 500000);
+    args.config.rejectUnrecognized();
 
     const std::vector<std::string> configs =
         {"2x2", "2x4", "4x2", "4x4", "8x2", "8x4"};
+    const SimConfig base = args.base();
+
+    std::vector<SweepJob> jobs;
+    for (const auto &group : {specintKernels(), specfpKernels()}) {
+        for (const auto &kernel : group) {
+            for (const auto &c : configs) {
+                jobs.push_back(SweepJob::of(kernel, "lbic:" + c,
+                                            args.insts, base));
+            }
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("table4_lbic", args, jobs, out))
+        return 0;
 
     std::cout << "Table 4: IPC for six MxN LBIC configurations\n"
-              << "(" << insts << " instructions per run)\n\n";
+              << "(" << args.insts << " instructions per run)\n\n";
 
     TextTable table;
     std::vector<std::string> header = {"Program"};
@@ -39,21 +53,17 @@ main(int argc, char **argv)
         header.push_back(c);
     table.setHeader(header);
 
-    SimConfig base;
-    base.seed = seed;
-
     // Keep every IPC for the derived scaling analysis below.
     std::map<std::string, std::map<std::string, double>> ipc;
 
-    auto run_group = [&](const std::vector<std::string> &kernels,
-                         const std::string &avg_label) {
+    std::size_t next = 0;
+    auto print_group = [&](const std::vector<std::string> &kernels,
+                           const std::string &avg_label) {
         std::vector<double> sums(configs.size(), 0.0);
         for (const auto &kernel : kernels) {
             std::vector<std::string> row = {kernel};
             for (std::size_t c = 0; c < configs.size(); ++c) {
-                const double v =
-                    runSim(kernel, "lbic:" + configs[c], insts, base)
-                        .ipc();
+                const double v = out.results[next++].ipc();
                 ipc[kernel][configs[c]] = v;
                 sums[c] += v;
                 row.push_back(TextTable::fmt(v, 3));
@@ -71,8 +81,8 @@ main(int argc, char **argv)
         table.addSeparator();
     };
 
-    run_group(specintKernels(), "SPECint Ave.");
-    run_group(specfpKernels(), "SPECfp Ave.");
+    print_group(specintKernels(), "SPECint Ave.");
+    print_group(specfpKernels(), "SPECfp Ave.");
     table.print(std::cout);
 
     // §6 derived scaling gains for the SPECfp average.

@@ -6,28 +6,31 @@
  * cache ports for a wide-issue core and must choose between ideal
  * multi-porting (unbuildable, but the ceiling), replication, banking
  * and the LBIC, at comparable cost points. This example sweeps a set
- * of candidate organizations for one workload and prints IPC,
- * bandwidth and the cost-relevant statistics side by side.
+ * of candidate organizations for one workload -- in parallel, one
+ * sweep job per organization -- and prints IPC, bandwidth and the
+ * cost-relevant statistics side by side.
  *
- * Usage: design_explorer [workload=NAME] [insts=N]
+ * Usage: design_explorer [workload=NAME] [insts=N] [seed=S] [jobs=J]
+ *                        [--json]
  */
 
 #include <iostream>
 #include <vector>
 
-#include "common/config.hh"
+#include "../bench/bench_util.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace lbic;
 
-    const Config args = Config::fromArgs(argc, argv);
-    const std::string workload = args.getString("workload", "swim");
-    const std::uint64_t insts = args.getU64("insts", 200000);
-    args.rejectUnrecognized();
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 200000);
+    const std::string workload =
+        args.config.getString("workload", "swim");
+    args.config.rejectUnrecognized();
 
     // Candidate organizations, grouped by rough cost class: a 2-port
     // ideal cache costs far more than a 2x2 LBIC, which costs little
@@ -38,28 +41,31 @@ main(int argc, char **argv)
         "ideal:8", "bank:8",  "lbic:8x2",
     };
 
+    std::vector<SweepJob> jobs;
+    for (const auto &spec : candidates)
+        jobs.push_back(
+            SweepJob::of(workload, spec, args.insts, args.base()));
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("design_explorer", args, jobs, out))
+        return 0;
+
     std::cout << "Design-space exploration for workload '" << workload
-              << "' (" << insts << " instructions per run)\n\n";
+              << "' (" << args.insts << " instructions per run)\n\n";
 
     TextTable table;
     table.setHeader({"Organization", "Peak acc/cy", "IPC",
                      "Mem acc/cy", "Granted/offered", "Notes"});
 
     double ideal2 = 0.0;
-    for (const auto &spec : candidates) {
-        SimConfig cfg;
-        cfg.workload = workload;
-        cfg.port_spec = spec;
-        cfg.max_insts = insts;
-        Simulator sim(cfg);
-        const RunResult r = sim.run();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const std::string &spec = candidates[i];
+        const SweepResult &r = out.results[i];
 
-        const double accesses = sim.core().loads_executed.value()
-            + sim.core().stores_executed.value();
-        const double seen =
-            sim.portScheduler().requests_seen.value();
-        const double granted =
-            sim.portScheduler().requests_granted.value();
+        const double accesses = r.metrics.loads_executed
+            + r.metrics.stores_executed;
+        const double seen = r.metrics.requests_seen;
+        const double granted = r.metrics.requests_granted;
         if (spec == "ideal:2")
             ideal2 = r.ipc();
 
@@ -75,10 +81,11 @@ main(int argc, char **argv)
 
         table.addRow({
             spec,
-            std::to_string(sim.portScheduler().peakWidth()),
+            std::to_string(r.metrics.peak_width),
             TextTable::fmt(r.ipc(), 3),
             TextTable::fmt(accesses
-                               / static_cast<double>(r.cycles), 3),
+                               / static_cast<double>(r.result.cycles),
+                           3),
             TextTable::fmt(seen > 0 ? granted / seen : 0.0, 3),
             note,
         });

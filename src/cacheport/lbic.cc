@@ -138,7 +138,8 @@ Lbic::preselectLargestGroups(const std::vector<MemRequest> &requests)
     }
     for (Bank &b : banks_)
         b.reserved_line = invalid_addr;
-    std::vector<unsigned> best(banks_.size(), 0);
+    best_group_scratch_.assign(banks_.size(), 0);
+    std::vector<unsigned> &best = best_group_scratch_;
     for (const MemRequest &req : requests) {
         const unsigned bi = selectBank(req.addr, config_.banks,
                                        config_.line_bits,

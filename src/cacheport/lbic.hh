@@ -116,7 +116,10 @@ class Lbic : public PortScheduler
 
     LbicConfig config_;
     std::vector<Bank> banks_;
+
+    /** Per-select scratch, reused so selection never allocates. */
     std::unordered_map<Addr, unsigned> group_size_scratch_;
+    std::vector<unsigned> best_group_scratch_;
 
   public:
     /** @{ @name Statistics */

@@ -38,6 +38,33 @@ Core::Core(const CoreConfig &config, Workload &workload,
     lbic_assert(config_.lsq_size >= 1, "LSQ must hold an instruction");
     lbic_assert(config_.lsq_size <= config_.ruu_size,
                 "LSQ larger than the RUU window");
+
+    // Pre-size the per-cycle structures: occupancy is bounded by the
+    // window configuration, so the tick loop never reallocates.
+    producers_.reserve(2 * config_.ruu_size);
+    stores_by_addr_.reserve(2 * config_.lsq_size);
+    unknown_stores_.reserve(config_.lsq_size);
+    cache_ready_loads_.reserve(config_.lsq_size);
+    pending_stores_.reserve(config_.lsq_size);
+    requests_scratch_.reserve(config_.mem_request_window);
+    forwarded_scratch_.reserve(config_.lsq_size);
+    fwd_wait_scratch_.reserve(config_.lsq_size);
+    retry_scratch_.reserve(config_.issue_width);
+}
+
+void
+Core::indexStoreByAddr(InstSeq seq, Addr addr)
+{
+    // Keep each per-address list sorted by sequence number. In
+    // Perfect-disambiguation mode stores are indexed at dispatch in
+    // program order, so this is a plain append; in Conservative mode
+    // address resolution can complete out of order.
+    std::vector<InstSeq> &list = stores_by_addr_[addr];
+    if (list.empty() || seq > list.back()) {
+        list.push_back(seq);
+        return;
+    }
+    list.insert(std::lower_bound(list.begin(), list.end(), seq), seq);
 }
 
 void
@@ -72,11 +99,18 @@ Core::complete(InstSeq seq)
     lbic_assert(!e.completed, "double completion of seq ", seq);
     e.completed = true;
     for (const std::uint32_t token : e.dependents) {
-        RuuEntry &dep = ruu_[token >> 1];
+        RuuEntry &dep = ruu_[token >> 2];
+        const unsigned kind = token & 3u;
+        if (kind == 2u) {
+            // A load parked on this store's pending data: it can be
+            // serviced now, so it rejoins the memory-issue scan.
+            cache_ready_loads_.insert(dep.inst.seq);
+            continue;
+        }
         lbic_assert(dep.wait_count > 0, "dependent wait underflow");
         if (--dep.wait_count == 0)
             ready_q_.push(dep.inst.seq);
-        if (token & 1)
+        if (kind == 1u)
             storeAddrKnown(dep.inst.seq);
     }
     e.dependents.clear();
@@ -92,7 +126,7 @@ Core::storeAddrKnown(InstSeq seq)
     unknown_stores_.erase(seq);
     // Under perfect disambiguation the store was indexed at dispatch.
     if (config_.disambiguation == Disambiguation::Conservative)
-        stores_by_addr_[e.inst.addr].push_back(seq);
+        indexStoreByAddr(seq, e.inst.addr);
 }
 
 void
@@ -159,22 +193,47 @@ Core::issueStage()
 Core::ForwardState
 Core::checkForward(InstSeq load_seq)
 {
-    const RuuEntry &load = entry(load_seq);
-    auto it = stores_by_addr_.find(load.inst.addr);
-    if (it == stores_by_addr_.end())
-        return ForwardState::NoMatch;
-    // The youngest older store to this address supplies the data. All
-    // entries are in-flight known-address stores (removed at commit).
-    InstSeq best = 0;
-    bool found = false;
-    for (const InstSeq s : it->second) {
-        if (s < load_seq && (!found || s > best)) {
-            best = s;
-            found = true;
-        }
+    RuuEntry &load = entry(load_seq);
+
+    // A load is only checked once every store older than it has a
+    // known address (Perfect mode indexes all stores at dispatch; in
+    // Conservative mode the load barrier excludes loads younger than
+    // any unknown-address store), so its youngest older same-address
+    // store never changes while both stay in flight. Loads waiting on
+    // a port are re-checked every cycle; caching the match replaces
+    // the hash lookup with one array probe on those re-checks.
+    if (load.fwd_checked) {
+        if (load.fwd_none)
+            return ForwardState::NoMatch;
+        const RuuEntry &st = ruu_[load.fwd_store % config_.ruu_size];
+        if (st.in_window && st.inst.seq == load.fwd_store)
+            return st.completed ? ForwardState::Forward
+                                : ForwardState::WaitData;
+        // The matched store committed before this load was serviced
+        // (possible when the request window filled); recompute against
+        // the stores still in flight.
     }
-    if (!found)
+    load.fwd_checked = true;
+
+    auto it = stores_by_addr_.find(load.inst.addr);
+    if (it == stores_by_addr_.end()) {
+        load.fwd_none = true;
         return ForwardState::NoMatch;
+    }
+    // The youngest older store to this address supplies the data. All
+    // entries are in-flight known-address stores (removed at commit)
+    // sorted by sequence number, so it is the predecessor of the
+    // load's upper bound.
+    const std::vector<InstSeq> &stores = it->second;
+    const auto ub =
+        std::upper_bound(stores.begin(), stores.end(), load_seq);
+    if (ub == stores.begin()) {
+        load.fwd_none = true;
+        return ForwardState::NoMatch;
+    }
+    const InstSeq best = *(ub - 1);
+    load.fwd_none = false;
+    load.fwd_store = best;
     // Zero-latency service needs the store's data; until the store's
     // operands resolve the load waits in the LSQ.
     return entry(best).completed ? ForwardState::Forward
@@ -212,15 +271,16 @@ Core::memIssueStage()
     // address store must wait (LSQ ordering rule), so the load scan
     // can stop there.
     requests_scratch_.clear();
+    forwarded_scratch_.clear();
+    fwd_wait_scratch_.clear();
     const InstSeq load_barrier =
         config_.disambiguation == Disambiguation::Perfect
                 || unknown_stores_.empty()
             ? ~InstSeq{0}
-            : *unknown_stores_.begin();
+            : unknown_stores_.front();
 
     auto store_it = pending_stores_.begin();
     auto load_it = cache_ready_loads_.begin();
-    std::vector<InstSeq> forwarded;
 
     while (requests_scratch_.size() < config_.mem_request_window) {
         const bool have_store = store_it != pending_stores_.end();
@@ -230,14 +290,16 @@ Core::memIssueStage()
         if (have_load) {
             const ForwardState fwd = checkForward(*load_it);
             if (fwd == ForwardState::Forward) {
-                forwarded.push_back(*load_it);
+                forwarded_scratch_.push_back(*load_it);
                 ++load_it;
                 continue;
             }
             if (fwd == ForwardState::WaitData) {
                 // Matched an older store whose data is pending: the
                 // load is serviced in the LSQ later, never by the
-                // cache; skip it this cycle.
+                // cache. Park it on the store (below) so the scan
+                // stops revisiting it until the store completes.
+                fwd_wait_scratch_.push_back(*load_it);
                 ++load_it;
                 continue;
             }
@@ -266,9 +328,24 @@ Core::memIssueStage()
         requests_scratch_.push_back(req);
     }
 
+    // Park data-waiting loads on their matched store as a kind-2
+    // dependent edge; complete() reinserts them. The store cannot
+    // complete between the scan above and here (stores only complete
+    // in wakeup/issueStage, which precede this stage in tick()).
+    for (const InstSeq seq : fwd_wait_scratch_) {
+        cache_ready_loads_.erase(seq);
+        RuuEntry &load = entry(seq);
+        RuuEntry &st = entry(load.fwd_store);
+        lbic_assert(st.in_window && st.inst.seq == load.fwd_store
+                        && !st.completed,
+                    "parking a load on a dead store");
+        st.dependents.push_back(static_cast<std::uint32_t>(
+            (seq % config_.ruu_size) << 2 | 2u));
+    }
+
     // Forwarded loads complete with zero latency and never reach the
     // cache structure.
-    for (const InstSeq seq : forwarded) {
+    for (const InstSeq seq : forwarded_scratch_) {
         cache_ready_loads_.erase(seq);
         ++loads_forwarded;
         if (trace_)
@@ -333,8 +410,16 @@ Core::commitStage()
                 lbic_assert(it != stores_by_addr_.end(),
                             "committing store missing from the "
                             "forwarding index");
-                std::erase(it->second, head_seq_);
-                if (it->second.empty())
+                // The committing store is the oldest in flight, so in
+                // the sorted per-address list it sits at the front.
+                std::vector<InstSeq> &list = it->second;
+                const auto pos = std::lower_bound(
+                    list.begin(), list.end(), head_seq_);
+                lbic_assert(pos != list.end() && *pos == head_seq_,
+                            "committing store missing from its "
+                            "per-address list");
+                list.erase(pos);
+                if (list.empty())
                     stores_by_addr_.erase(it);
             }
         }
@@ -390,6 +475,8 @@ Core::dispatchStage()
         e.completed = false;
         e.addr_known = false;
         e.cache_granted = false;
+        e.fwd_checked = false;
+        e.fwd_none = false;
         e.dependents.clear();
         staged_valid_ = false;
 
@@ -409,7 +496,7 @@ Core::dispatchStage()
             if (prod.in_window && !prod.completed) {
                 const bool is_addr_edge = e.inst.isStore() && k == 0;
                 prod.dependents.push_back(static_cast<std::uint32_t>(
-                    (seq % config_.ruu_size) << 1 | is_addr_edge));
+                    (seq % config_.ruu_size) << 2 | is_addr_edge));
                 ++e.wait_count;
                 addr_pending = addr_pending || is_addr_edge;
             }
@@ -425,7 +512,7 @@ Core::dispatchStage()
                         == Disambiguation::Perfect) {
                     // Oracle: the store's address is visible to the
                     // LSQ disambiguator from dispatch.
-                    stores_by_addr_[e.inst.addr].push_back(seq);
+                    indexStoreByAddr(seq, e.inst.addr);
                     if (!addr_pending)
                         e.addr_known = true;
                 } else {

@@ -21,10 +21,10 @@
 #ifndef LBIC_CPU_CORE_HH
 #define LBIC_CPU_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <ostream>
 #include <queue>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +38,57 @@
 
 namespace lbic
 {
+
+/**
+ * An ordered set of instruction sequence numbers stored as a sorted
+ * vector.
+ *
+ * The core's per-cycle bookkeeping (ready loads, commit-pending
+ * stores, unknown-address stores) lives in ordered sets that are
+ * iterated oldest-first every cycle. Occupancy is bounded by the LSQ,
+ * insertions are overwhelmingly at the tail (sequence numbers grow
+ * monotonically) and erasures near the head (oldest retire first), so
+ * a contiguous sorted vector beats the pointer-chasing of std::set on
+ * every operation the tick loop performs.
+ */
+class FlatSeqSet
+{
+  public:
+    using const_iterator = std::vector<InstSeq>::const_iterator;
+
+    bool empty() const { return v_.empty(); }
+    std::size_t size() const { return v_.size(); }
+    const_iterator begin() const { return v_.begin(); }
+    const_iterator end() const { return v_.end(); }
+
+    /** Smallest (oldest) element; set must be non-empty. */
+    InstSeq front() const { return v_.front(); }
+
+    void
+    insert(InstSeq s)
+    {
+        if (v_.empty() || s > v_.back()) {
+            v_.push_back(s);
+            return;
+        }
+        const auto it = std::lower_bound(v_.begin(), v_.end(), s);
+        if (it == v_.end() || *it != s)
+            v_.insert(it, s);
+    }
+
+    void
+    erase(InstSeq s)
+    {
+        const auto it = std::lower_bound(v_.begin(), v_.end(), s);
+        if (it != v_.end() && *it == s)
+            v_.erase(it);
+    }
+
+    void reserve(std::size_t n) { v_.reserve(n); }
+
+  private:
+    std::vector<InstSeq> v_;
+};
 
 /** Result of a finished simulation run. */
 struct RunResult
@@ -109,11 +160,17 @@ class Core
         bool completed = false;
         bool addr_known = false;     //!< store: effective address known
         bool cache_granted = false;  //!< store: write access granted
+        bool fwd_checked = false;    //!< load: forwarding match cached
+        bool fwd_none = false;       //!< load: cached "no older store"
+        InstSeq fwd_store = 0;       //!< load: matched store, if any
         /**
-         * Waiting consumers, encoded as (ruu_index << 1) | is_addr.
-         * The is_addr bit marks a store's address-operand edge: when
-         * it resolves the store's address becomes known (LSQ rule)
-         * even though the store may still wait for its data.
+         * Waiting consumers, encoded as (ruu_index << 2) | kind.
+         * Kind 0 is a plain register edge. Kind 1 is a store's
+         * address-operand edge: when it resolves the store's address
+         * becomes known (LSQ rule) even though the store may still
+         * wait for its data. Kind 2 is a load parked on this store's
+         * pending data (ForwardState::WaitData): completion makes the
+         * load eligible for the memory-issue scan again.
          */
         std::vector<std::uint32_t> dependents;
     };
@@ -136,6 +193,9 @@ class Core
 
     /** A store's effective address just became known. */
     void storeAddrKnown(InstSeq seq);
+
+    /** Add a store to the sorted forwarding index. */
+    void indexStoreByAddr(InstSeq seq, Addr addr);
 
     /** Book a completion event for @p seq at @p when. */
     void scheduleCompletion(InstSeq seq, Cycle when);
@@ -180,15 +240,24 @@ class Core
                         std::greater<InstSeq>> ready_q_;
 
     /** In-flight stores whose address is not yet known. */
-    std::set<InstSeq> unknown_stores_;
+    FlatSeqSet unknown_stores_;
 
-    /** Issued loads awaiting a cache port. */
-    std::set<InstSeq> cache_ready_loads_;
+    /**
+     * Issued loads awaiting a cache port. Loads matched to an older
+     * store whose data is pending are parked on that store (a kind-2
+     * dependent edge) instead of occupying this set, so the per-cycle
+     * scan only visits loads that could actually be serviced.
+     */
+    FlatSeqSet cache_ready_loads_;
 
     /** Completed commit-prefix stores awaiting a cache port. */
-    std::set<InstSeq> pending_stores_;
+    FlatSeqSet pending_stores_;
 
-    /** In-flight known-address stores by effective address. */
+    /**
+     * In-flight known-address stores by effective address. Each
+     * per-address vector is kept sorted by sequence number so the
+     * forwarding check can binary-search for the youngest older store.
+     */
     std::unordered_map<Addr, std::vector<InstSeq>> stores_by_addr_;
 
     /** Completion event wheel. */
@@ -211,6 +280,8 @@ class Core
     std::vector<MemRequest> requests_scratch_;
     std::vector<std::size_t> accepted_scratch_;
     std::vector<InstSeq> retry_scratch_;
+    std::vector<InstSeq> forwarded_scratch_;
+    std::vector<InstSeq> fwd_wait_scratch_;
 
     stats::StatGroup group_;
 

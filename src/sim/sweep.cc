@@ -1,0 +1,104 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace lbic
+{
+
+namespace
+{
+
+SweepResult
+runOne(const SweepJob &job)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    Simulator sim(job.config);
+    SweepResult out;
+    out.label = job.label;
+    out.result = sim.run();
+
+    out.metrics.l1_miss_rate = sim.hierarchy().l1MissRate();
+    out.metrics.loads_executed = sim.core().loads_executed.value();
+    out.metrics.stores_executed = sim.core().stores_executed.value();
+    out.metrics.loads_forwarded = sim.core().loads_forwarded.value();
+    out.metrics.requests_seen =
+        sim.portScheduler().requests_seen.value();
+    out.metrics.requests_granted =
+        sim.portScheduler().requests_granted.value();
+    out.metrics.peak_width = sim.portScheduler().peakWidth();
+
+    const auto end = std::chrono::steady_clock::now();
+    out.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return out;
+}
+
+} // anonymous namespace
+
+SweepRunner::SweepRunner(unsigned num_threads)
+    : num_threads_(num_threads)
+{
+    if (num_threads_ == 0) {
+        num_threads_ = std::thread::hardware_concurrency();
+        if (num_threads_ == 0)
+            num_threads_ = 1;
+    }
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SweepResult> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    // Work-stealing by atomic cursor: each worker claims the next
+    // unclaimed submission index. Results land in their submission
+    // slot, so ordering never depends on scheduling.
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            try {
+                results[i] = runOne(jobs[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(num_threads_,
+                                                    jobs.size()));
+    if (pool <= 1) {
+        // Serial path: run inline, no threads spawned.
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned num_threads)
+{
+    return SweepRunner(num_threads).run(jobs);
+}
+
+} // namespace lbic

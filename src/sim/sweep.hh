@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Thread-pooled experiment sweeps.
+ *
+ * Every headline artifact of this reproduction (Table 2/3/4, the
+ * ablations, the design explorer) is an embarrassingly parallel grid
+ * of independent `Simulator` runs. SweepRunner executes such a grid on
+ * a fixed-size pool of worker threads:
+ *
+ * @code
+ *   std::vector<SweepJob> jobs;
+ *   for (const auto &kernel : allKernels())
+ *       jobs.push_back(SweepJob::of(kernel, "lbic:4x2", 500000));
+ *   SweepRunner runner;                      // hardware concurrency
+ *   std::vector<SweepResult> results = runner.run(jobs);
+ *   // results[i] corresponds to jobs[i], always.
+ * @endcode
+ *
+ * Determinism: each job is simulated by a private `Simulator` whose
+ * outcome depends only on its `SimConfig` (every stochastic choice
+ * draws from the per-workload seeded PRNG). Results are returned in
+ * submission order regardless of which worker ran which job or in what
+ * order they finished, so any output derived from the results vector
+ * is byte-identical for every thread count, including 1.
+ *
+ * Thread-safety audit (why concurrent `Simulator`s are safe):
+ *  - `Simulator` owns its entire object graph: the stats::StatGroup
+ *    root, the Workload, the MemoryHierarchy, the PortScheduler and
+ *    the Core. Stat registration walks only that private tree; there
+ *    is no global stat registry.
+ *  - `makeWorkload()` constructs a fresh kernel per call; the kernel
+ *    name lists in workload/registry.cc are function-local statics
+ *    (thread-safe magic-static initialization, const thereafter).
+ *  - `Random` is a per-instance xorshift128+; no shared state.
+ *  - logging: `detail::throw_on_error` is written only by tests
+ *    before threads start; workers at most read it on error paths.
+ * The `test_sweep` binary runs this audit under ThreadSanitizer in CI.
+ *
+ * Error handling: a job that throws (e.g. an unknown workload name
+ * under test error-throw mode) does not tear down the pool. All jobs
+ * are still attempted; after the pool drains, the exception of the
+ * earliest-submitted failed job is rethrown to the caller.
+ */
+
+#ifndef LBIC_SIM_SWEEP_HH
+#define LBIC_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace lbic
+{
+
+/** One independent simulation in a sweep. */
+struct SweepJob
+{
+    /** Caller-chosen tag echoed back in the result (may be empty). */
+    std::string label;
+
+    /** Complete configuration for this run. */
+    SimConfig config;
+
+    /**
+     * Convenience builder mirroring runSim(): start from @p base,
+     * override workload / port organization / instruction count. An
+     * empty @p label defaults to "workload/port_spec".
+     */
+    static SweepJob
+    of(const std::string &workload, const std::string &port_spec,
+       std::uint64_t max_insts, const SimConfig &base = SimConfig{},
+       std::string label = "")
+    {
+        SweepJob job;
+        job.label = label.empty() ? workload + "/" + port_spec
+                                  : std::move(label);
+        job.config = base;
+        job.config.workload = workload;
+        job.config.port_spec = port_spec;
+        job.config.max_insts = max_insts;
+        return job;
+    }
+};
+
+/**
+ * Statistics extracted from a finished job's Simulator before it is
+ * destroyed, covering everything the table drivers print.
+ */
+struct SweepMetrics
+{
+    double l1_miss_rate = 0.0;
+    double loads_executed = 0.0;
+    double stores_executed = 0.0;
+    double loads_forwarded = 0.0;
+    double requests_seen = 0.0;     //!< port scheduler: offered
+    double requests_granted = 0.0;  //!< port scheduler: granted
+    unsigned peak_width = 0;        //!< port scheduler: peak acc/cycle
+};
+
+/** Outcome of one sweep job. */
+struct SweepResult
+{
+    /** The submitting job's label, echoed. */
+    std::string label;
+
+    /** Instruction / cycle counts (RunResult::ipc() for IPC). */
+    RunResult result;
+
+    /** Extracted statistics. */
+    SweepMetrics metrics;
+
+    /** Host wall-clock of this run, milliseconds. */
+    double wall_ms = 0.0;
+
+    double ipc() const { return result.ipc(); }
+};
+
+/** Fixed-size thread pool for vectors of independent simulations. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param num_threads worker threads; 0 (the default) means
+     *        std::thread::hardware_concurrency().
+     */
+    explicit SweepRunner(unsigned num_threads = 0);
+
+    /** Worker threads a run() call will use (after the 0 default). */
+    unsigned numThreads() const { return num_threads_; }
+
+    /**
+     * Execute every job and return results in submission order.
+     *
+     * With one worker (or one job) everything runs inline on the
+     * calling thread -- the serial path is the parallel path.
+     * If any job threw, the earliest-submitted job's exception is
+     * rethrown after all jobs have been attempted.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+
+  private:
+    unsigned num_threads_;
+};
+
+/** One-shot convenience: run @p jobs on @p num_threads workers. */
+std::vector<SweepResult> runSweep(const std::vector<SweepJob> &jobs,
+                                  unsigned num_threads = 0);
+
+} // namespace lbic
+
+#endif // LBIC_SIM_SWEEP_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: determinism across thread
+ * counts, submission-ordered results, per-run metadata and error
+ * propagation out of worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+constexpr std::uint64_t quick_insts = 15000;
+
+/** A small mixed workload x port-organization matrix. */
+std::vector<SweepJob>
+mixedMatrix()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *workload : {"li", "swim", "compress"}) {
+        for (const char *ports :
+             {"ideal:4", "bank:4", "lbic:4x2", "repl:2"}) {
+            jobs.push_back(SweepJob::of(workload, ports, quick_insts));
+        }
+    }
+    return jobs;
+}
+
+TEST(SweepTest, ResultsIdenticalAcrossThreadCounts)
+{
+    const std::vector<SweepJob> jobs = mixedMatrix();
+    const std::vector<SweepResult> serial = runSweep(jobs, 1);
+    const std::vector<SweepResult> parallel = runSweep(jobs, 8);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(serial[i].label, parallel[i].label) << "job " << i;
+        EXPECT_EQ(serial[i].result.instructions,
+                  parallel[i].result.instructions) << "job " << i;
+        EXPECT_EQ(serial[i].result.cycles, parallel[i].result.cycles)
+            << "job " << i;
+        EXPECT_DOUBLE_EQ(serial[i].metrics.l1_miss_rate,
+                         parallel[i].metrics.l1_miss_rate)
+            << "job " << i;
+        EXPECT_DOUBLE_EQ(serial[i].metrics.loads_forwarded,
+                         parallel[i].metrics.loads_forwarded)
+            << "job " << i;
+    }
+}
+
+TEST(SweepTest, ResultsArriveInSubmissionOrder)
+{
+    const std::vector<SweepJob> jobs = mixedMatrix();
+    const std::vector<SweepResult> results = runSweep(jobs, 4);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(results[i].label, jobs[i].label) << "slot " << i;
+}
+
+TEST(SweepTest, DefaultLabelNamesWorkloadAndPorts)
+{
+    const SweepJob job = SweepJob::of("li", "lbic:4x2", 1000);
+    EXPECT_EQ(job.label, "li/lbic:4x2");
+}
+
+TEST(SweepTest, RunsPopulateMetricsAndWallClock)
+{
+    const std::vector<SweepResult> results = runSweep(
+        {SweepJob::of("swim", "bank:4", quick_insts)}, 2);
+    ASSERT_EQ(results.size(), 1u);
+    const SweepResult &r = results.front();
+    EXPECT_EQ(r.result.instructions, quick_insts);
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_GE(r.wall_ms, 0.0);
+    EXPECT_GT(r.metrics.loads_executed
+                  + r.metrics.loads_forwarded, 0.0);
+    EXPECT_GT(r.metrics.requests_granted, 0.0);
+    EXPECT_GE(r.metrics.peak_width, 1u);
+}
+
+TEST(SweepTest, ExceptionInWorkerPropagatesToCaller)
+{
+    detail::setThrowOnError(true);
+    std::vector<SweepJob> jobs = mixedMatrix();
+    // An unknown workload makes the Simulator constructor fatal()
+    // inside a worker thread; the runner must rethrow on join.
+    jobs.insert(jobs.begin() + 2,
+                SweepJob::of("no-such-kernel", "ideal:4", 1000));
+    EXPECT_THROW(runSweep(jobs, 4), std::runtime_error);
+    EXPECT_THROW(runSweep(jobs, 1), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(SweepTest, ZeroThreadsMeansHardwareConcurrency)
+{
+    const SweepRunner runner(0);
+    EXPECT_GE(runner.numThreads(), 1u);
+}
+
+TEST(SweepTest, EmptyJobListYieldsEmptyResults)
+{
+    EXPECT_TRUE(runSweep({}, 4).empty());
+}
+
+} // anonymous namespace
+} // namespace lbic
