@@ -32,11 +32,13 @@
 #define LBIC_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "sim/sweep.hh"
 
 namespace lbic
@@ -54,6 +56,7 @@ struct BenchArgs
     std::uint64_t seed = 1;   //!< workload PRNG seed
     unsigned jobs = 0;        //!< sweep workers; 0 = hardware
     bool json = false;        //!< emit JSON instead of tables
+    bool progress = false;    //!< stderr progress line during sweeps
 
     /** Base SimConfig carrying the shared seed. */
     SimConfig
@@ -66,9 +69,17 @@ struct BenchArgs
 };
 
 /**
- * Parse argv into BenchArgs. `--json` is accepted as a bare flag
- * (every other argument is `key=value`). Drivers read any extra keys
- * from `args.config` and then call `args.config.rejectUnrecognized()`.
+ * Parse argv into BenchArgs. `--json` and `--progress` are accepted
+ * as bare flags (every other argument is `key=value`). Drivers read
+ * any extra keys from `args.config` and then call
+ * `args.config.rejectUnrecognized()`.
+ *
+ * Logging side effects: `--json` drops the process log level to Warn
+ * so informational chatter cannot corrupt the machine-readable
+ * stdout; `quiet=1` silences warnings too. An explicit LBIC_LOG_LEVEL
+ * in the environment still wins (setLogLevel overrides it, so the
+ * flags here apply it first, env second via logLevel()'s lazy read
+ * happening before these run is fine -- we only ever lower).
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
@@ -76,9 +87,13 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
     std::vector<const char *> kv;
     kv.reserve(static_cast<std::size_t>(argc));
     bool json_flag = false;
+    bool progress_flag = false;
     for (int i = 0; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json")
+        const std::string arg(argv[i]);
+        if (arg == "--json")
             json_flag = true;
+        else if (arg == "--progress")
+            progress_flag = true;
         else
             kv.push_back(argv[i]);
     }
@@ -91,6 +106,13 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
     args.jobs =
         static_cast<unsigned>(args.config.getU64("jobs", 0));
     args.json = json_flag || args.config.getBool("json", false);
+    args.progress =
+        progress_flag || args.config.getBool("progress", false);
+
+    if (args.config.getBool("quiet", false))
+        setLogLevel(LogLevel::Quiet);
+    else if (args.json && logLevel() > LogLevel::Warn)
+        setLogLevel(LogLevel::Warn);
     return args;
 }
 
@@ -102,16 +124,41 @@ struct SweepOutput
     unsigned jobs_used = 0;
 };
 
-/** Run @p jobs on the pool selected by @p args, timing the sweep. */
+/**
+ * Run @p jobs on the pool selected by @p args, timing the sweep.
+ *
+ * With `progress=1` (or `--progress`) a single stderr status line is
+ * rewritten in place as jobs start and finish:
+ *
+ *   [12/40] running=8 failed=0 last=swim/lbic:4x2 (2.31 Minst/s)
+ *
+ * The line goes to stderr so it never mixes with `--json` stdout, and
+ * SweepRunner serializes the callback, so the writes cannot tear.
+ */
 inline SweepOutput
 runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
 {
     SweepOutput out;
     SweepRunner runner(args.jobs);
     out.jobs_used = runner.numThreads();
+    if (args.progress) {
+        runner.setProgress([](const SweepProgress &p) {
+            std::fprintf(stderr,
+                         "\r[%zu/%zu] running=%zu failed=%zu last=%s",
+                         p.completed, p.total, p.running, p.failed,
+                         p.label.c_str());
+            if (p.insts_per_sec > 0.0)
+                std::fprintf(stderr, " (%.2f Minst/s)",
+                             p.insts_per_sec / 1e6);
+            std::fprintf(stderr, "\x1b[K");
+            std::fflush(stderr);
+        });
+    }
     const auto start = std::chrono::steady_clock::now();
     out.results = runner.run(jobs);
     const auto end = std::chrono::steady_clock::now();
+    if (args.progress)
+        std::fprintf(stderr, "\n");
     out.total_wall_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
     return out;

@@ -50,11 +50,30 @@ BankedPorts::doSelect(const std::vector<MemRequest> &requests,
         } else if (bank_line_[b] == line) {
             // Would have combined in an LBIC; serialized here.
             ++conflicts_same_line;
+            if (tracer_) {
+                tracer_->bankEvent(
+                    now(), b, trace::BankEventKind::ConflictSameLine,
+                    line);
+            }
         } else {
             ++conflicts_diff_line;
+            if (tracer_) {
+                tracer_->bankEvent(
+                    now(), b, trace::BankEventKind::ConflictDiffLine,
+                    line);
+            }
         }
     }
     beyond_window += static_cast<double>(requests.size() - window);
+    if (tracer_) {
+        for (std::size_t i = window; i < requests.size(); ++i) {
+            const unsigned b = selectBank(requests[i].addr, banks_,
+                                          interleave_bits_, fn_);
+            tracer_->bankEvent(now(), b,
+                               trace::BankEventKind::BeyondWindow,
+                               requests[i].addr >> line_bits_);
+        }
+    }
 }
 
 } // namespace lbic

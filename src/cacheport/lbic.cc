@@ -96,26 +96,53 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
                     bank.store_queue.push_back(line);
                 } else {
                     ++store_direct_writes;
+                    if (tracer_) {
+                        tracer_->bankEvent(
+                            now(), bi,
+                            trace::BankEventKind::StoreDirectWrite,
+                            line);
+                    }
                 }
             }
             accepted.push_back(i);
         } else if (bank.line != line) {
-            if (i < lead_window)
+            if (i < lead_window) {
                 ++conflicts_diff_line;
+                if (tracer_) {
+                    tracer_->bankEvent(
+                        now(), bi,
+                        trace::BankEventKind::ConflictDiffLine, line);
+                }
+            }
         } else if (bank.ports_used >= config_.line_ports) {
             ++conflicts_ports_exhausted;
+            if (tracer_) {
+                tracer_->bankEvent(
+                    now(), bi, trace::BankEventKind::PortsExhausted,
+                    line);
+            }
         } else {
             // Combine: same bank, same line, a buffer port is free.
             if (req.is_store
                 && bank.store_queue.size()
                        >= config_.store_queue_depth) {
                 ++store_queue_full;
+                if (tracer_) {
+                    tracer_->bankEvent(
+                        now(), bi,
+                        trace::BankEventKind::StoreQueueFull, line);
+                }
                 continue;
             }
             ++bank.ports_used;
             if (req.is_store)
                 bank.store_queue.push_back(line);
             ++combined_accesses;
+            if (tracer_) {
+                tracer_->bankEvent(now(), bi,
+                                   trace::BankEventKind::Combine,
+                                   line);
+            }
             accepted.push_back(i);
         }
     }
@@ -163,23 +190,37 @@ Lbic::tick()
     // no line operation (the idle-cycle write the HP PA8000 uses), or
     // when a queued store's line is the one sitting open in the line
     // buffer (the write completes through the buffer).
-    for (Bank &b : banks_) {
+    for (std::size_t bi = 0; bi < banks_.size(); ++bi) {
+        Bank &b = banks_[bi];
         if (!b.store_queue.empty()) {
+            bool drained = false;
+            Addr drained_line = 0;
             if (!b.line_op) {
+                drained_line = b.store_queue.front();
                 b.store_queue.pop_front();
                 ++store_drains;
+                drained = true;
             } else {
                 auto it = std::find(b.store_queue.begin(),
                                     b.store_queue.end(), b.line);
                 if (it != b.store_queue.end()) {
+                    drained_line = *it;
                     b.store_queue.erase(it);
                     ++store_drains;
+                    drained = true;
                 }
+            }
+            if (drained && tracer_) {
+                tracer_->bankEvent(now(),
+                                   static_cast<std::uint32_t>(bi),
+                                   trace::BankEventKind::StoreDrain,
+                                   drained_line);
             }
         }
         b.line_op = false;
         b.ports_used = 0;
     }
+    PortScheduler::tick();
 }
 
 bool

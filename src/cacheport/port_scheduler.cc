@@ -44,6 +44,7 @@ PortScheduler::select(const std::vector<MemRequest> &requests,
 void
 PortScheduler::tick()
 {
+    ++now_;
 }
 
 } // namespace lbic

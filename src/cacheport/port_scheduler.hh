@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/statistics.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace lbic
@@ -66,8 +67,21 @@ class PortScheduler
     /**
      * Advance one cycle. Called exactly once per simulated cycle,
      * after select(); lets per-bank store queues drain on idle banks.
+     * Overrides must call the base class version (last), which
+     * advances the scheduler's cycle counter.
      */
     virtual void tick();
+
+    /**
+     * Attach the event tracer: per-bank events (conflicts, combines,
+     * store-queue drains, ...) are published as trace::BankEvents.
+     * Pass nullptr to detach; with no tracer each instrumentation
+     * site is a single null-pointer test.
+     */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /** Cycles this scheduler has ticked through (event timestamps). */
+    Cycle now() const { return now_; }
 
     /** Peak accesses the organization can grant in one cycle. */
     virtual unsigned peakWidth() const = 0;
@@ -85,6 +99,9 @@ class PortScheduler
 
     stats::StatGroup group_;
 
+    /** Event tracer; null (the default) disables bank events. */
+    trace::Tracer *tracer_ = nullptr;
+
   public:
     /** @{ @name Statistics */
     stats::Scalar cycles_active;    //!< cycles with >= 1 request ready
@@ -95,6 +112,7 @@ class PortScheduler
 
   private:
     std::string name_;
+    Cycle now_ = 0;
 };
 
 } // namespace lbic

@@ -31,6 +31,13 @@ ReplicatedPorts::doSelect(const std::vector<MemRequest> &requests,
         ++store_solo_cycles;
         loads_blocked_by_store += static_cast<double>(
             requests.size() - 1);
+        if (tracer_) {
+            // The broadcast occupies every replica; report it once
+            // against copy 0.
+            tracer_->bankEvent(now(), 0,
+                               trace::BankEventKind::StoreBroadcast,
+                               requests[0].addr);
+        }
         return;
     }
     for (std::size_t i = 0;

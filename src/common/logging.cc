@@ -1,11 +1,15 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 namespace lbic
 {
+
 namespace detail
 {
 
@@ -18,6 +22,60 @@ namespace
  */
 bool throw_on_error = false;
 
+/** Serializes every line the log sink writes (whole lines only). */
+std::mutex log_mutex;
+
+/** Test hook: when set, lines are appended here instead of printed. */
+std::vector<std::string> *log_capture = nullptr;
+
+/** LBIC_LOG_LEVEL parsed on first use; setLogLevel() overrides. */
+int
+levelFromEnv()
+{
+    const char *env = std::getenv("LBIC_LOG_LEVEL");
+    if (!env)
+        return static_cast<int>(LogLevel::Info);
+    if (!std::strcmp(env, "quiet") || !std::strcmp(env, "0"))
+        return static_cast<int>(LogLevel::Quiet);
+    if (!std::strcmp(env, "warn") || !std::strcmp(env, "1"))
+        return static_cast<int>(LogLevel::Warn);
+    if (!std::strcmp(env, "info") || !std::strcmp(env, "2"))
+        return static_cast<int>(LogLevel::Info);
+    std::fprintf(stderr,
+                 "warn: unknown LBIC_LOG_LEVEL '%s' "
+                 "(expected quiet, warn or info)\n", env);
+    return static_cast<int>(LogLevel::Info);
+}
+
+std::atomic<int> log_level{-1};  //!< -1: not yet initialized
+
+int
+currentLevel()
+{
+    int v = log_level.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = levelFromEnv();
+        log_level.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+/**
+ * The process-wide sink: write one complete line atomically. All
+ * paths that reach a real stream go through here.
+ */
+void
+sinkLine(std::FILE *stream, const std::string &line)
+{
+    const std::lock_guard<std::mutex> lock(log_mutex);
+    if (log_capture) {
+        log_capture->push_back(line);
+        return;
+    }
+    std::fputs(line.c_str(), stream);
+    std::fputc('\n', stream);
+}
+
 } // anonymous namespace
 
 void
@@ -27,9 +85,17 @@ setThrowOnError(bool enable)
 }
 
 void
+setLogCapture(std::vector<std::string> *capture)
+{
+    const std::lock_guard<std::mutex> lock(log_mutex);
+    log_capture = capture;
+}
+
+void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    sinkLine(stderr, "panic: " + msg + " (" + file + ":"
+                         + std::to_string(line) + ")");
     if (throw_on_error)
         throw std::logic_error("panic: " + msg);
     std::abort();
@@ -38,7 +104,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    sinkLine(stderr, "fatal: " + msg + " (" + file + ":"
+                         + std::to_string(line) + ")");
     if (throw_on_error)
         throw std::runtime_error("fatal: " + msg);
     std::exit(1);
@@ -47,14 +114,32 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (currentLevel() < static_cast<int>(LogLevel::Warn))
+        return;
+    sinkLine(stderr, "warn: " + msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (currentLevel() < static_cast<int>(LogLevel::Info))
+        return;
+    sinkLine(stdout, "info: " + msg);
 }
 
 } // namespace detail
+
+void
+setLogLevel(LogLevel level)
+{
+    detail::log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(detail::currentLevel());
+}
+
 } // namespace lbic

@@ -6,6 +6,13 @@
  * fatal()  -- the user asked for something impossible; exits cleanly.
  * warn()   -- something is suspicious but simulation continues.
  * inform() -- plain status output.
+ *
+ * All messages funnel through one process-wide sink guarded by a
+ * mutex, so lines from concurrent SweepRunner workers never interleave
+ * mid-line. Verbosity is controlled by setLogLevel() or the
+ * LBIC_LOG_LEVEL environment variable ("quiet", "warn" or "info"):
+ * Quiet drops warn() and inform(), Warn drops only inform(). panic()
+ * and fatal() always print.
  */
 
 #ifndef LBIC_COMMON_LOGGING_HH
@@ -15,9 +22,30 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace lbic
 {
+
+/** How much warn()/inform() output reaches the log sink. */
+enum class LogLevel
+{
+    Quiet = 0,  //!< suppress warn() and inform()
+    Warn = 1,   //!< warn() only
+    Info = 2,   //!< everything (the default)
+};
+
+/**
+ * Set the process-wide log level, overriding LBIC_LOG_LEVEL. Safe to
+ * call from any thread.
+ */
+void setLogLevel(LogLevel level);
+
+/**
+ * The current log level: the last setLogLevel() value, else
+ * LBIC_LOG_LEVEL from the environment, else Info.
+ */
+LogLevel logLevel();
 
 namespace detail
 {
@@ -37,6 +65,13 @@ void informImpl(const std::string &msg);
  * instead of terminating. Intended for unit tests only.
  */
 void setThrowOnError(bool enable);
+
+/**
+ * Divert warn()/inform() lines (severity prefix included, newline
+ * excluded) into @p capture instead of the real streams; nullptr
+ * restores normal output. Intended for unit tests only.
+ */
+void setLogCapture(std::vector<std::string> *capture);
 
 /** Stream-concatenate a parameter pack into one string. */
 template <typename... Args>

@@ -252,9 +252,24 @@ StatGroup::printJson(std::ostream &os) const
 const StatBase *
 StatGroup::find(const std::string &name) const
 {
-    for (const auto *s : stats_) {
-        if (s->name() == name)
-            return s;
+    const auto dot = name.find('.');
+    if (dot == std::string::npos) {
+        for (const auto *s : stats_) {
+            if (s->name() == name)
+                return s;
+        }
+        return nullptr;
+    }
+    const StatGroup *child = findGroup(name.substr(0, dot));
+    return child ? child->find(name.substr(dot + 1)) : nullptr;
+}
+
+const StatGroup *
+StatGroup::findGroup(const std::string &name) const
+{
+    for (const auto *c : children_) {
+        if (c->name() == name)
+            return c;
     }
     return nullptr;
 }

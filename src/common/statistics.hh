@@ -174,8 +174,15 @@ class StatGroup
     /** Reset every stat in this group and its children. */
     void reset();
 
-    /** Find a directly-owned stat by name (nullptr if absent). */
+    /**
+     * Find a stat by name (nullptr if absent). A plain name searches
+     * the directly-owned stats; a dotted path ("core.lsq.occupancy")
+     * descends through child groups, one component per level.
+     */
     const StatBase *find(const std::string &name) const;
+
+    /** Find a direct child group by name (nullptr if absent). */
+    const StatGroup *findGroup(const std::string &name) const;
 
     const std::string &name() const { return name_; }
 

@@ -1,0 +1,257 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace trace
+{
+
+const char *
+bankEventName(BankEventKind kind)
+{
+    switch (kind) {
+      case BankEventKind::ConflictSameLine:  return "conflict_same_line";
+      case BankEventKind::ConflictDiffLine:  return "conflict_diff_line";
+      case BankEventKind::PortsExhausted:    return "ports_exhausted";
+      case BankEventKind::Combine:           return "combine";
+      case BankEventKind::StoreQueueFull:    return "store_queue_full";
+      case BankEventKind::StoreDrain:        return "store_drain";
+      case BankEventKind::StoreDirectWrite:  return "store_direct_write";
+      case BankEventKind::StoreBroadcast:    return "store_broadcast";
+      case BankEventKind::BeyondWindow:      return "beyond_window";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+const char *
+noteName(InstRecord::Note note)
+{
+    switch (note) {
+      case InstRecord::Note::Hit:       return "hit";
+      case InstRecord::Note::Miss:      return "miss";
+      case InstRecord::Note::Forwarded: return "forwarded";
+      case InstRecord::Note::None:      break;
+    }
+    return "";
+}
+
+/** The stage stamps of @p rec that were actually reached, in order. */
+struct StageStamp
+{
+    const char *name;    //!< long name (text / chrome)
+    const char *abbrev;  //!< short name (konata lane labels)
+    Cycle cycle;
+};
+
+std::size_t
+collectStages(const InstRecord &rec, StageStamp out[6])
+{
+    std::size_t n = 0;
+    if (rec.fetch != no_stamp)
+        out[n++] = {"fetch", "F", rec.fetch};
+    if (rec.dispatch != no_stamp)
+        out[n++] = {"dispatch", "Ds", rec.dispatch};
+    if (rec.issue != no_stamp)
+        out[n++] = {"issue", "Is", rec.issue};
+    if (rec.mem != no_stamp)
+        out[n++] = {"mem", "M", rec.mem};
+    if (rec.writeback != no_stamp)
+        out[n++] = {"writeback", "Wb", rec.writeback};
+    if (rec.commit != no_stamp)
+        out[n++] = {"commit", "Cm", rec.commit};
+    return n;
+}
+
+} // anonymous namespace
+
+void
+TextTraceSink::instRetired(const InstRecord &rec)
+{
+    os_ << "inst " << rec.seq << ' ' << opClassName(rec.op);
+    if (rec.is_mem)
+        os_ << " 0x" << std::hex << rec.addr << std::dec;
+    StageStamp stages[6];
+    const std::size_t n = collectStages(rec, stages);
+    for (std::size_t i = 0; i < n; ++i)
+        os_ << ' ' << stages[i].abbrev << '=' << stages[i].cycle;
+    if (rec.note != InstRecord::Note::None)
+        os_ << ' ' << noteName(rec.note);
+    os_ << '\n';
+}
+
+void
+TextTraceSink::bankEvent(const BankEvent &ev)
+{
+    os_ << "bank " << ev.cycle << " b" << ev.bank << ' '
+        << bankEventName(ev.kind);
+    if (ev.line)
+        os_ << " line 0x" << std::hex << ev.line << std::dec;
+    os_ << '\n';
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os)
+    : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+void
+ChromeTraceSink::beginEvent()
+{
+    if (!first_)
+        os_ << ",";
+    first_ = false;
+    os_ << "\n";
+}
+
+void
+ChromeTraceSink::instRetired(const InstRecord &rec)
+{
+    // One duration ("ph":"X") event per pipeline stage, on a track per
+    // RUU slot: slot occupancy intervals are disjoint by construction,
+    // so every track renders without overlap in Perfetto.
+    StageStamp stages[6];
+    const std::size_t n = collectStages(rec, stages);
+    for (std::size_t i = 0; i < n; ++i) {
+        // A stage spans until the next reached stage begins; the final
+        // stage (commit) gets one cycle.
+        const Cycle start = stages[i].cycle;
+        const Cycle next = i + 1 < n ? stages[i + 1].cycle : start + 1;
+        const Cycle dur = next > start ? next - start : 1;
+        beginEvent();
+        os_ << "{\"name\":\"" << opClassName(rec.op) << ' '
+            << stages[i].name << "\",\"cat\":\"inst\",\"ph\":\"X\""
+            << ",\"ts\":" << start << ",\"dur\":" << dur
+            << ",\"pid\":1,\"tid\":" << rec.slot
+            << ",\"args\":{\"seq\":" << rec.seq;
+        if (rec.is_mem)
+            os_ << ",\"addr\":" << rec.addr;
+        if (rec.note != InstRecord::Note::None)
+            os_ << ",\"note\":\"" << noteName(rec.note) << "\"";
+        os_ << "}}";
+    }
+}
+
+void
+ChromeTraceSink::bankEvent(const BankEvent &ev)
+{
+    // Instant events on a separate process so bank activity groups
+    // apart from the pipeline tracks.
+    beginEvent();
+    os_ << "{\"name\":\"" << bankEventName(ev.kind)
+        << "\",\"cat\":\"bank\",\"ph\":\"i\",\"s\":\"t\""
+        << ",\"ts\":" << ev.cycle << ",\"pid\":2,\"tid\":" << ev.bank
+        << ",\"args\":{\"line\":" << ev.line << "}}";
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+void
+KonataTraceSink::instRetired(const InstRecord &rec)
+{
+    records_.push_back(rec);
+}
+
+void
+KonataTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    // Build the per-cycle command stream. Kanata interleaves all
+    // instructions against one cycle cursor, so every command is
+    // stamped with its cycle, sorted (stably, preserving per-
+    // instruction order within a cycle), and emitted behind C=/C
+    // cursor advances.
+    struct Cmd
+    {
+        Cycle cycle;
+        std::uint64_t order;  //!< tie-break: emission order
+        std::string text;
+    };
+    std::vector<Cmd> cmds;
+    std::uint64_t order = 0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const InstRecord &rec = records_[i];
+        StageStamp stages[6];
+        const std::size_t n = collectStages(rec, stages);
+        if (n == 0)
+            continue;
+        const std::string id = std::to_string(i);
+        std::string label(opClassName(rec.op));
+        if (rec.is_mem) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " @%llx",
+                          static_cast<unsigned long long>(rec.addr));
+            label += buf;
+        }
+        cmds.push_back({stages[0].cycle, order++,
+                        "I\t" + id + "\t" + std::to_string(rec.seq)
+                            + "\t0"});
+        cmds.push_back({stages[0].cycle, order++,
+                        "L\t" + id + "\t0\t" + std::to_string(rec.seq)
+                            + ": " + label});
+        for (std::size_t s = 0; s < n; ++s) {
+            cmds.push_back({stages[s].cycle, order++,
+                            "S\t" + id + "\t0\t" + stages[s].abbrev});
+        }
+        // Retire one cycle after commit begins (the stage needs a
+        // nonzero extent to render).
+        cmds.push_back({stages[n - 1].cycle + 1, order++,
+                        "R\t" + id + "\t" + std::to_string(rec.seq)
+                            + "\t0"});
+    }
+    std::stable_sort(cmds.begin(), cmds.end(),
+                     [](const Cmd &a, const Cmd &b) {
+                         return a.cycle != b.cycle ? a.cycle < b.cycle
+                                                   : a.order < b.order;
+                     });
+
+    os_ << "Kanata\t0004\n";
+    if (cmds.empty()) {
+        os_.flush();
+        return;
+    }
+    Cycle cursor = cmds.front().cycle;
+    os_ << "C=\t" << cursor << '\n';
+    for (const Cmd &cmd : cmds) {
+        if (cmd.cycle != cursor) {
+            os_ << "C\t" << (cmd.cycle - cursor) << '\n';
+            cursor = cmd.cycle;
+        }
+        os_ << cmd.text << '\n';
+    }
+    os_.flush();
+}
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &format, std::ostream &os)
+{
+    if (format == "text")
+        return std::make_unique<TextTraceSink>(os);
+    if (format == "chrome")
+        return std::make_unique<ChromeTraceSink>(os);
+    if (format == "konata")
+        return std::make_unique<KonataTraceSink>(os);
+    lbic_fatal("trace_format must be 'text', 'chrome' or 'konata', "
+               "got '", format, "'");
+}
+
+} // namespace trace
+} // namespace lbic

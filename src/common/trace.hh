@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The event-trace subsystem: pluggable sinks for pipeline and cache-
+ * port events.
+ *
+ * Producers (the core's pipeline stages, the port schedulers) publish
+ * two kinds of events through a Tracer:
+ *
+ *  - InstRecord: the complete lifecycle of one committed instruction,
+ *    with per-stage cycle stamps (fetch, dispatch, issue, memory
+ *    access, writeback, commit). Emitted once, at commit.
+ *  - BankEvent: a point event inside a cache-port organization (a bank
+ *    conflict, a line-buffer combine, a store-queue drain, ...).
+ *
+ * Sinks consume these events and render a format:
+ *
+ *  - TextTraceSink: one human-readable line per event.
+ *  - ChromeTraceSink: Chrome trace-event JSON (the `traceEvents` array
+ *    format), loadable in Perfetto or chrome://tracing. Cycles map to
+ *    microsecond timestamps; pipeline stages become duration events on
+ *    one track per RUU slot, bank events become instant events on one
+ *    track per bank.
+ *  - KonataTraceSink: the Kanata pipeline-viewer log format (the
+ *    Onikiri2 / gem5 `O3PipeView` ecosystem). Records are buffered and
+ *    written cycle-sorted at finish(), as the format requires a
+ *    monotonic cycle cursor.
+ *
+ * Disabled-path cost: a producer holds a raw `Tracer *` that is null
+ * when tracing is off; every instrumentation site is guarded by that
+ * one-pointer test, so the hot path pays a single well-predicted
+ * branch and performs no virtual call and no allocation. Attaching a
+ * sink is the only thing that makes events flow.
+ */
+
+#ifndef LBIC_COMMON_TRACE_HH
+#define LBIC_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace lbic
+{
+namespace trace
+{
+
+/** Sentinel for "this stage was never reached". */
+constexpr Cycle no_stamp = ~Cycle{0};
+
+/** Per-stage cycle stamps of one instruction's trip down the pipe. */
+struct InstRecord
+{
+    InstSeq seq = 0;
+    OpClass op = OpClass::IntAlu;
+    Addr addr = 0;           //!< effective address (memory ops only)
+    bool is_mem = false;
+    bool is_store = false;
+
+    Cycle fetch = no_stamp;      //!< pulled from the workload stream
+    Cycle dispatch = no_stamp;   //!< allocated an RUU/LSQ slot
+    Cycle issue = no_stamp;      //!< operands ready, began execution
+    Cycle mem = no_stamp;        //!< granted a cache port (memory ops)
+    Cycle writeback = no_stamp;  //!< result available to dependents
+    Cycle commit = no_stamp;     //!< retired in program order
+
+    /** Memory-outcome annotation. */
+    enum class Note : std::uint8_t { None, Hit, Miss, Forwarded };
+    Note note = Note::None;
+
+    /** RUU slot the instruction occupied (a stable display track). */
+    std::uint32_t slot = 0;
+};
+
+/** What happened inside a cache-port organization. */
+enum class BankEventKind : std::uint8_t
+{
+    ConflictSameLine,   //!< blocked behind the same line (bank/repl)
+    ConflictDiffLine,   //!< blocked behind a different line
+    PortsExhausted,     //!< same-line combine beyond the N buffer ports
+    Combine,            //!< line-buffer hit: combined with the leader
+    StoreQueueFull,     //!< store rejected, bank store queue full
+    StoreDrain,         //!< queued store written on an idle bank cycle
+    StoreDirectWrite,   //!< leading store bypassed a full queue
+    StoreBroadcast,     //!< store broadcast hogging all replica ports
+    BeyondWindow,       //!< ready request outside the crossbar window
+};
+
+/** Stable lower-case name of a BankEventKind. */
+const char *bankEventName(BankEventKind kind);
+
+/** One point event inside a port organization. */
+struct BankEvent
+{
+    Cycle cycle = 0;
+    std::uint32_t bank = 0;
+    BankEventKind kind = BankEventKind::ConflictDiffLine;
+    Addr line = 0;       //!< line address involved (0 when untracked)
+};
+
+/** Consumes trace events and renders one output format. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One instruction retired with its full set of stage stamps. */
+    virtual void instRetired(const InstRecord &rec) = 0;
+
+    /** One cache-port event. */
+    virtual void bankEvent(const BankEvent &ev) = 0;
+
+    /** Flush buffered state; called once when the run ends. */
+    virtual void finish() {}
+};
+
+/**
+ * The producer-facing handle. Producers keep a `Tracer *` that is
+ * null while tracing is disabled; all forwarding methods are inline
+ * and only dereference the sink when one is attached.
+ */
+class Tracer
+{
+  public:
+    bool enabled() const { return sink_ != nullptr; }
+
+    /** Attach (or detach, with nullptr) the consuming sink. */
+    void attach(TraceSink *sink) { sink_ = sink; }
+
+    void
+    instRetired(const InstRecord &rec)
+    {
+        if (sink_)
+            sink_->instRetired(rec);
+    }
+
+    void
+    bankEvent(Cycle cycle, std::uint32_t bank, BankEventKind kind,
+              Addr line = 0)
+    {
+        if (sink_)
+            sink_->bankEvent(BankEvent{cycle, bank, kind, line});
+    }
+
+    void
+    finish()
+    {
+        if (sink_)
+            sink_->finish();
+    }
+
+  private:
+    TraceSink *sink_ = nullptr;
+};
+
+/** One line per event; the grep-friendly view. */
+class TextTraceSink : public TraceSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &os) : os_(os) {}
+
+    void instRetired(const InstRecord &rec) override;
+    void bankEvent(const BankEvent &ev) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Chrome trace-event JSON (`{"traceEvents": [...]}`); events stream
+ * out as they arrive (the format does not require timestamp order).
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os);
+
+    void instRetired(const InstRecord &rec) override;
+    void bankEvent(const BankEvent &ev) override;
+    void finish() override;
+
+  private:
+    /** Emit one event object's shared prefix. */
+    void beginEvent();
+
+    std::ostream &os_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/**
+ * Kanata pipeline-viewer log (https://github.com/shioyadan/Konata).
+ * Buffers every record and writes the whole file at finish(), since
+ * the format interleaves all instructions against one monotonically
+ * advancing cycle cursor.
+ */
+class KonataTraceSink : public TraceSink
+{
+  public:
+    explicit KonataTraceSink(std::ostream &os) : os_(os) {}
+
+    void instRetired(const InstRecord &rec) override;
+    void bankEvent(const BankEvent &ev) override {(void)ev;}
+    void finish() override;
+
+  private:
+    std::ostream &os_;
+    std::vector<InstRecord> records_;
+    bool finished_ = false;
+};
+
+/**
+ * Create the sink for @p format ("text", "chrome" or "konata"),
+ * writing to @p os. Unknown formats are fatal (a user error).
+ */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &format,
+                                         std::ostream &os);
+
+} // namespace trace
+} // namespace lbic
+
+#endif // LBIC_COMMON_TRACE_HH

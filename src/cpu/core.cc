@@ -53,6 +53,39 @@ Core::Core(const CoreConfig &config, Workload &workload,
 }
 
 void
+Core::setTracer(trace::Tracer *tracer)
+{
+    tracer_ = tracer;
+    // The stamp array is only paid for when tracing is on; it sticks
+    // around after detach so stale stamps never mix runs.
+    if (tracer_ && stamps_.size() != config_.ruu_size)
+        stamps_.assign(config_.ruu_size, StageStamps{});
+}
+
+void
+Core::emitInstRecord(InstSeq seq)
+{
+    const RuuEntry &e = entry(seq);
+    StageStamps &st = stamps(seq);
+    trace::InstRecord rec;
+    rec.seq = seq;
+    rec.op = e.inst.op;
+    rec.addr = e.inst.addr;
+    rec.is_mem = e.inst.isMem();
+    rec.is_store = e.inst.isStore();
+    rec.fetch = st.fetch;
+    rec.dispatch = st.dispatch;
+    rec.issue = st.issue;
+    rec.mem = st.mem;
+    rec.writeback = st.writeback;
+    rec.commit = cycle_;
+    rec.note = st.note;
+    rec.slot = static_cast<std::uint32_t>(seq % config_.ruu_size);
+    st = StageStamps{};
+    tracer_->instRetired(rec);
+}
+
+void
 Core::indexStoreByAddr(InstSeq seq, Addr addr)
 {
     // Keep each per-address list sorted by sequence number. In
@@ -98,6 +131,8 @@ Core::complete(InstSeq seq)
     lbic_assert(e.in_window, "completing a dead entry");
     lbic_assert(!e.completed, "double completion of seq ", seq);
     e.completed = true;
+    if (tracer_)
+        stamps(seq).writeback = cycle_;
     for (const std::uint32_t token : e.dependents) {
         RuuEntry &dep = ruu_[token >> 2];
         const unsigned kind = token & 3u;
@@ -158,6 +193,8 @@ Core::issueStage()
             ++issued;
             if (trace_)
                 trace('I', seq);
+            if (tracer_)
+                stamps(seq).issue = cycle_;
             if (e.inst.isStore()) {
                 // All operands (address and data) are ready: the store
                 // can retire once it gets a cache port at commit. Its
@@ -183,6 +220,8 @@ Core::issueStage()
         ++issued;
         if (trace_)
             trace('I', seq);
+        if (tracer_)
+            stamps(seq).issue = cycle_;
         scheduleCompletion(seq, cycle_ + opLatency(e.inst.op));
     }
 
@@ -350,6 +389,8 @@ Core::memIssueStage()
         ++loads_forwarded;
         if (trace_)
             trace('M', seq, "forwarded");
+        if (tracer_)
+            stamps(seq).note = trace::InstRecord::Note::Forwarded;
         complete(seq);
     }
 
@@ -369,6 +410,12 @@ Core::memIssueStage()
         }
         if (trace_)
             trace('M', req.seq, out.l1_hit ? "hit" : "miss");
+        if (tracer_) {
+            StageStamps &st = stamps(req.seq);
+            st.mem = cycle_;
+            st.note = out.l1_hit ? trace::InstRecord::Note::Hit
+                                 : trace::InstRecord::Note::Miss;
+        }
         if (req.is_store) {
             entry(req.seq).cache_granted = true;
             pending_stores_.erase(req.seq);
@@ -425,6 +472,8 @@ Core::commitStage()
         }
         if (trace_)
             trace('C', head_seq_);
+        if (tracer_)
+            emitInstRecord(head_seq_);
         e.in_window = false;
         ++head_seq_;
         ++committed_count_;
@@ -460,6 +509,7 @@ Core::dispatchStage()
                 break;
             }
             staged_valid_ = true;
+            staged_fetch_cycle_ = cycle_;
         }
         if (staged_inst_.isMem() && lsq_count_ >= config_.lsq_size)
             break;
@@ -527,6 +577,12 @@ Core::dispatchStage()
             ready_q_.push(seq);
         if (trace_)
             trace('D', seq);
+        if (tracer_) {
+            StageStamps &st = stamps(seq);
+            st = StageStamps{};
+            st.fetch = staged_fetch_cycle_;
+            st.dispatch = cycle_;
+        }
         ++fetched;
     }
 }
@@ -552,6 +608,29 @@ Core::run(std::uint64_t max_insts)
         if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
             break;
         tick();
+    }
+    RunResult result;
+    result.instructions = committed_count_;
+    result.cycles = cycle_;
+    return result;
+}
+
+RunResult
+Core::run(std::uint64_t max_insts, Cycle sample_interval,
+          const std::function<void()> &sample_hook)
+{
+    if (sample_interval == 0)
+        return run(max_insts);
+    commit_limit_ = max_insts;
+    Cycle next_sample = cycle_ + sample_interval;
+    while (committed_count_ < max_insts) {
+        if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
+            break;
+        tick();
+        if (cycle_ >= next_sample) {
+            sample_hook();
+            next_sample += sample_interval;
+        }
     }
     RunResult result;
     result.instructions = committed_count_;

@@ -30,6 +30,7 @@
 
 #include "cacheport/port_scheduler.hh"
 #include "common/statistics.hh"
+#include "common/trace.hh"
 #include "cpu/core_config.hh"
 #include "cpu/fu_pool.hh"
 #include "isa/dyn_inst.hh"
@@ -126,6 +127,15 @@ class Core
      */
     RunResult run(std::uint64_t max_insts);
 
+    /**
+     * As run(), but invoke @p sample_hook after every
+     * @p sample_interval cycles (interval stats sampling). With
+     * @p sample_interval zero this is exactly run(); the plain-loop
+     * path stays free of the hook test.
+     */
+    RunResult run(std::uint64_t max_insts, Cycle sample_interval,
+                  const std::function<void()> &sample_hook);
+
     /** Advance the model by one cycle (exposed for unit tests). */
     void tick();
 
@@ -136,6 +146,15 @@ class Core
      * zero cost when off).
      */
     void setPipeTrace(std::ostream *os) { trace_ = os; }
+
+    /**
+     * Attach the event tracer: per-instruction stage stamps (fetch,
+     * dispatch, issue, memory access, writeback, commit) are recorded
+     * and published as one trace::InstRecord at commit. Pass nullptr
+     * to detach; with no tracer every instrumentation site is a
+     * single null-pointer test.
+     */
+    void setTracer(trace::Tracer *tracer);
 
     Cycle now() const { return cycle_; }
     std::uint64_t committedCount() const { return committed_count_; }
@@ -221,6 +240,31 @@ class Core
     void trace(char stage, InstSeq seq, const char *detail = "");
 
     std::ostream *trace_ = nullptr;
+
+    /** Per-RUU-slot stage stamps, maintained only while tracing. */
+    struct StageStamps
+    {
+        Cycle fetch = trace::no_stamp;
+        Cycle dispatch = trace::no_stamp;
+        Cycle issue = trace::no_stamp;
+        Cycle mem = trace::no_stamp;
+        Cycle writeback = trace::no_stamp;
+        trace::InstRecord::Note note = trace::InstRecord::Note::None;
+    };
+
+    StageStamps &stamps(InstSeq seq)
+    {
+        return stamps_[seq % config_.ruu_size];
+    }
+
+    /** Publish the committing instruction's lifecycle record. */
+    void emitInstRecord(InstSeq seq);
+
+    trace::Tracer *tracer_ = nullptr;
+    std::vector<StageStamps> stamps_;
+
+    /** Cycle the staged instruction was pulled from the workload. */
+    Cycle staged_fetch_cycle_ = 0;
 
     CoreConfig config_;
     Workload &workload_;

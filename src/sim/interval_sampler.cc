@@ -1,0 +1,120 @@
+#include "interval_sampler.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+
+IntervalSampler::IntervalSampler(
+    const stats::StatGroup &root, const Core &core,
+    const std::vector<std::string> &counter_paths, std::ostream &os,
+    Format format)
+    : core_(core), os_(os), format_(format)
+{
+    tracked_.reserve(counter_paths.size());
+    for (const std::string &path : counter_paths) {
+        const stats::StatBase *stat = root.find(path);
+        if (!stat)
+            lbic_fatal("interval counter '", path,
+                       "' not found in the stats tree");
+        Tracked t;
+        t.path = path;
+        t.scalar = dynamic_cast<const stats::Scalar *>(stat);
+        t.derived = dynamic_cast<const stats::Derived *>(stat);
+        if (!t.scalar && !t.derived)
+            lbic_fatal("interval counter '", path,
+                       "' is neither a Scalar nor a Derived stat");
+        if (t.scalar)
+            t.last = t.scalar->value();
+        tracked_.push_back(std::move(t));
+    }
+
+    if (format_ == Format::Csv) {
+        os_ << "interval,end_cycle,cycles,instructions,ipc,"
+               "lsq_occupancy,ruu_occupancy";
+        for (const Tracked &t : tracked_)
+            os_ << ',' << t.path;
+        os_ << '\n';
+    } else {
+        os_ << "[";
+    }
+}
+
+void
+IntervalSampler::emitRow()
+{
+    const std::uint64_t committed = core_.committedCount();
+    const Cycle cycle = core_.now();
+    const std::uint64_t insts = committed - last_committed_;
+    const Cycle cycles = cycle - last_cycle_;
+    const double ipc =
+        cycles ? static_cast<double>(insts)
+                     / static_cast<double>(cycles)
+               : 0.0;
+
+    if (format_ == Format::Csv) {
+        os_ << interval_ << ',' << cycle << ',' << cycles << ','
+            << insts << ',' << ipc << ',' << core_.lsqOccupancy()
+            << ',' << core_.windowOccupancy();
+        for (Tracked &t : tracked_) {
+            os_ << ',';
+            if (t.scalar) {
+                const double v = t.scalar->value();
+                os_ << (v - t.last);
+                t.last = v;
+            } else {
+                os_ << t.derived->value();
+            }
+        }
+        os_ << '\n';
+    } else {
+        os_ << (first_row_ ? "\n" : ",\n");
+        os_ << "{\"interval\":" << interval_
+            << ",\"end_cycle\":" << cycle
+            << ",\"cycles\":" << cycles
+            << ",\"instructions\":" << insts
+            << ",\"ipc\":" << ipc
+            << ",\"lsq_occupancy\":" << core_.lsqOccupancy()
+            << ",\"ruu_occupancy\":" << core_.windowOccupancy();
+        for (Tracked &t : tracked_) {
+            os_ << ",\"" << t.path << "\":";
+            if (t.scalar) {
+                const double v = t.scalar->value();
+                os_ << (v - t.last);
+                t.last = v;
+            } else {
+                os_ << t.derived->value();
+            }
+        }
+        os_ << "}";
+    }
+    first_row_ = false;
+    ++interval_;
+    last_committed_ = committed;
+    last_cycle_ = cycle;
+}
+
+void
+IntervalSampler::sample()
+{
+    emitRow();
+}
+
+void
+IntervalSampler::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    // The last partial interval keeps the summed instruction column
+    // equal to the final committed counter.
+    if (core_.committedCount() != last_committed_
+        || core_.now() != last_cycle_) {
+        emitRow();
+    }
+    if (format_ == Format::Json)
+        os_ << "\n]\n";
+    os_.flush();
+}
+
+} // namespace lbic

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Interval statistics sampling: a time series over a running sim.
+ *
+ * The end-of-run statistics tree says *that* a configuration lost IPC;
+ * the interval sampler says *when*. Every N cycles it snapshots a set
+ * of counters selected by dotted path through the stats tree
+ * (StatGroup::find) and emits one row of a CSV or JSON time series:
+ * per-interval instruction count and IPC, the deltas of every selected
+ * Scalar, the instantaneous value of every selected Derived, plus the
+ * core's instantaneous LSQ / RUU window occupancy.
+ *
+ * Invariant relied on by tests and downstream tooling: the final
+ * (possibly partial) interval is emitted by finish(), so the summed
+ * `instructions` column equals the run's committed-instruction
+ * counter exactly.
+ */
+
+#ifndef LBIC_SIM_INTERVAL_SAMPLER_HH
+#define LBIC_SIM_INTERVAL_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hh"
+#include "common/types.hh"
+#include "cpu/core.hh"
+
+namespace lbic
+{
+
+/** Emits one row per interval, CSV or JSON. */
+class IntervalSampler
+{
+  public:
+    enum class Format { Csv, Json };
+
+    /**
+     * @param root stats tree the counter paths resolve against.
+     * @param core sampled for occupancy gauges and committed/cycles.
+     * @param counter_paths dotted stat paths ("dcache.misses"); a
+     *        path that resolves to nothing is fatal (a user error).
+     * @param os destination stream (kept by reference).
+     * @param format Csv (default) or Json.
+     */
+    IntervalSampler(const stats::StatGroup &root, const Core &core,
+                    const std::vector<std::string> &counter_paths,
+                    std::ostream &os, Format format = Format::Csv);
+
+    /** Record and emit one interval row ending now. */
+    void sample();
+
+    /**
+     * Emit the final partial interval (if any cycles or commits have
+     * accrued since the last sample) and close the output. Idempotent.
+     */
+    void finish();
+
+    /** Rows emitted so far. */
+    std::uint64_t intervals() const { return interval_; }
+
+  private:
+    /** One selected counter and the value it had last interval. */
+    struct Tracked
+    {
+        std::string path;
+        const stats::Scalar *scalar = nullptr;    //!< delta per row
+        const stats::Derived *derived = nullptr;  //!< instantaneous
+        double last = 0.0;
+    };
+
+    void emitRow();
+
+    const Core &core_;
+    std::ostream &os_;
+    Format format_;
+    std::vector<Tracked> tracked_;
+    std::uint64_t interval_ = 0;
+    std::uint64_t last_committed_ = 0;
+    Cycle last_cycle_ = 0;
+    bool finished_ = false;
+    bool first_row_ = true;
+};
+
+} // namespace lbic
+
+#endif // LBIC_SIM_INTERVAL_SAMPLER_HH

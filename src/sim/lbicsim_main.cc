@@ -11,9 +11,15 @@
  *   lbicsim mode=capture workload=swim insts=200000 trace=swim.trc
  *   lbicsim mode=replay trace=swim.trc ports=bank:4
  *
+ * Observability (mode=run): `trace=PATH trace_format=chrome` writes an
+ * event trace (text, chrome or konata); `interval=N interval_out=PATH`
+ * writes an interval stats time series (CSV, or JSON when the path
+ * ends in .json) every N cycles. See README "Observability".
+ *
  * All SimConfig overrides are accepted (see sim/sim_config.hh):
  * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
- * l1_assoc, lsq, ruu, fetch_width, issue_width, disambig.
+ * l1_assoc, lsq, ruu, fetch_width, issue_width, disambig, trace,
+ * trace_format, interval, interval_out, interval_stats.
  */
 
 #include <fstream>
@@ -90,6 +96,10 @@ modeReplay(const Config &args, SimConfig cfg)
     args.rejectUnrecognized();
     if (path.empty())
         lbic_fatal("mode=replay needs trace=PATH");
+    // In this mode trace= names the captured workload stream being
+    // replayed, not an event-trace output; stop the Simulator from
+    // clobbering its own input.
+    cfg.trace_path.clear();
     std::ifstream in(path, std::ios::binary);
     if (!in)
         lbic_fatal("cannot open trace '", path, "'");

@@ -30,6 +30,11 @@ SimConfig::applyOverrides(const Config &cfg)
         cfg.getU64("fetch_width", core.fetch_width));
     core.issue_width = static_cast<unsigned>(
         cfg.getU64("issue_width", core.issue_width));
+    trace_path = cfg.getString("trace", trace_path);
+    trace_format = cfg.getString("trace_format", trace_format);
+    interval = cfg.getU64("interval", interval);
+    interval_out = cfg.getString("interval_out", interval_out);
+    interval_stats = cfg.getString("interval_stats", interval_stats);
     const std::string dis = cfg.getString(
         "disambig",
         core.disambiguation == Disambiguation::Perfect ? "perfect"

@@ -44,6 +44,25 @@ struct SimConfig
     /** Instructions to simulate. */
     std::uint64_t max_insts = 1000000;
 
+    /** Event-trace output path; empty (the default) disables tracing. */
+    std::string trace_path;
+
+    /** Event-trace format: "text", "chrome" or "konata". */
+    std::string trace_format = "text";
+
+    /** Interval stats sampling period in cycles; 0 disables. */
+    std::uint64_t interval = 0;
+
+    /** Interval time-series output path; empty means stderr. */
+    std::string interval_out;
+
+    /**
+     * Extra interval counters: comma-separated dotted stat paths
+     * ("core.loads_forwarded,dcache.misses"), appended to the built-in
+     * column set.
+     */
+    std::string interval_stats;
+
     /** Port-factory options implied by this configuration. */
     PortFactoryOptions
     portOptions() const
@@ -58,7 +77,8 @@ struct SimConfig
     /**
      * Apply `key=value` overrides from @p cfg. Recognized keys:
      * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
-     * l1_assoc, lsq, ruu, fetch_width, issue_width.
+     * l1_assoc, lsq, ruu, fetch_width, issue_width, trace,
+     * trace_format, interval, interval_out, interval_stats.
      */
     void applyOverrides(const Config &cfg);
 };

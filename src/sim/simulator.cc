@@ -1,6 +1,9 @@
 #include "simulator.hh"
 
+#include <iostream>
+
 #include "cacheport/factory.hh"
+#include "common/logging.hh"
 #include "workload/registry.hh"
 
 namespace lbic
@@ -33,10 +36,87 @@ Simulator::build(Workload &workload)
                                    *hierarchy_, *scheduler_, &root_);
 }
 
+void
+Simulator::setupTrace()
+{
+    if (config_.trace_path.empty() || trace_sink_)
+        return;
+    trace_file_.open(config_.trace_path);
+    if (!trace_file_)
+        lbic_fatal("cannot open trace file '", config_.trace_path,
+                   "' for writing");
+    trace_sink_ = trace::makeTraceSink(config_.trace_format,
+                                       trace_file_);
+    tracer_.attach(trace_sink_.get());
+}
+
+void
+Simulator::setupSampler()
+{
+    if (config_.interval == 0 || sampler_)
+        return;
+    std::ostream *os = &std::cerr;
+    if (!config_.interval_out.empty()) {
+        interval_file_.open(config_.interval_out);
+        if (!interval_file_)
+            lbic_fatal("cannot open interval output '",
+                       config_.interval_out, "' for writing");
+        os = &interval_file_;
+    }
+
+    // Built-in columns cover the paper's per-interval questions (IPC,
+    // L1 miss rate, bank-conflict rate); interval_stats= appends any
+    // other Scalar/Derived by dotted path.
+    std::vector<std::string> paths = {
+        "dcache.accesses",
+        "dcache.misses",
+        scheduler_->name() + ".requests_seen",
+        scheduler_->name() + ".requests_granted",
+    };
+    std::string rest = config_.interval_stats;
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string path = rest.substr(0, comma);
+        if (!path.empty())
+            paths.push_back(path);
+        rest = comma == std::string::npos ? ""
+                                          : rest.substr(comma + 1);
+    }
+
+    const bool json = config_.interval_out.size() >= 5
+        && config_.interval_out.compare(
+               config_.interval_out.size() - 5, 5, ".json") == 0;
+    sampler_ = std::make_unique<IntervalSampler>(
+        root_, *core_, paths, *os,
+        json ? IntervalSampler::Format::Json
+             : IntervalSampler::Format::Csv);
+}
+
 RunResult
 Simulator::run()
 {
-    return core_->run(config_.max_insts);
+    setupTrace();
+    setupSampler();
+    // Producers get the tracer only when a sink is actually attached
+    // (via config.trace_path or tracer().attach() before run()); with
+    // none, their tracer pointer stays null and the pipeline skips
+    // all stamp bookkeeping, not just the sink call.
+    if (tracer_.enabled()) {
+        core_->setTracer(&tracer_);
+        scheduler_->setTracer(&tracer_);
+    }
+    RunResult result;
+    if (sampler_) {
+        result = core_->run(config_.max_insts, config_.interval,
+                            [this] { sampler_->sample(); });
+        sampler_->finish();
+    } else {
+        result = core_->run(config_.max_insts);
+    }
+    tracer_.finish();
+    if (trace_file_.is_open())
+        trace_file_.flush();
+    return result;
 }
 
 void

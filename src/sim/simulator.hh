@@ -18,12 +18,15 @@
 #ifndef LBIC_SIM_SIMULATOR_HH
 #define LBIC_SIM_SIMULATOR_HH
 
+#include <fstream>
 #include <memory>
 #include <ostream>
 
 #include "cacheport/port_scheduler.hh"
+#include "common/trace.hh"
 #include "cpu/core.hh"
 #include "memory/hierarchy.hh"
+#include "sim/interval_sampler.hh"
 #include "sim/sim_config.hh"
 #include "workload/workload.hh"
 
@@ -44,7 +47,15 @@ class Simulator
      */
     Simulator(const SimConfig &config, Workload &workload);
 
-    /** Run for config.max_insts instructions. */
+    /**
+     * Run for config.max_insts instructions.
+     *
+     * When config.trace_path is set, an event trace (in
+     * config.trace_format) is written there over the run and
+     * finalized before returning. When config.interval is nonzero,
+     * an interval time series is written to config.interval_out
+     * (stderr when empty), one row per interval.
+     */
     RunResult run();
 
     /** Dump the full statistics tree. */
@@ -59,8 +70,21 @@ class Simulator
     Workload &workload() { return *workload_; }
     const SimConfig &config() const { return config_; }
 
+    /**
+     * The event tracer the core and port scheduler publish to.
+     * Attaching a sink here (instead of via config.trace_path) lets
+     * embedders and tests collect events into any ostream; attach
+     * before run(), which is when producers are wired up (a sink
+     * attached mid-run sees no events).
+     */
+    trace::Tracer &tracer() { return tracer_; }
+
   private:
     void build(Workload &workload);
+
+    /** Open streams / create the sink and sampler config asked for. */
+    void setupTrace();
+    void setupSampler();
 
     SimConfig config_;
     stats::StatGroup root_;
@@ -69,6 +93,12 @@ class Simulator
     std::unique_ptr<MemoryHierarchy> hierarchy_;
     std::unique_ptr<PortScheduler> scheduler_;
     std::unique_ptr<Core> core_;
+
+    trace::Tracer tracer_;
+    std::ofstream trace_file_;
+    std::unique_ptr<trace::TraceSink> trace_sink_;
+    std::ofstream interval_file_;
+    std::unique_ptr<IntervalSampler> sampler_;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 namespace lbic
@@ -55,6 +56,45 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::vector<SweepResult> results(jobs.size());
     std::vector<std::exception_ptr> errors(jobs.size());
 
+    // Progress telemetry: all counter updates and observer calls
+    // happen under one mutex, so the callback sees a consistent
+    // snapshot and needs no synchronization of its own. When no
+    // observer is installed the workers never touch the mutex.
+    std::mutex progress_mutex;
+    SweepProgress progress;
+    progress.total = jobs.size();
+    auto notifyStart = [&](const SweepJob &job) {
+        if (!progress_)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++progress.running;
+        progress.label = job.label;
+        progress.wall_ms = 0.0;
+        progress.insts_per_sec = 0.0;
+        progress_(progress);
+    };
+    auto notifyFinish = [&](const SweepJob &job,
+                            const SweepResult *result) {
+        if (!progress_)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        --progress.running;
+        progress.label = job.label;
+        if (result) {
+            ++progress.completed;
+            progress.wall_ms = result->wall_ms;
+            progress.insts_per_sec = result->wall_ms > 0.0
+                ? static_cast<double>(result->result.instructions)
+                      / (result->wall_ms / 1000.0)
+                : 0.0;
+        } else {
+            ++progress.failed;
+            progress.wall_ms = 0.0;
+            progress.insts_per_sec = 0.0;
+        }
+        progress_(progress);
+    };
+
     // Work-stealing by atomic cursor: each worker claims the next
     // unclaimed submission index. Results land in their submission
     // slot, so ordering never depends on scheduling.
@@ -65,10 +105,13 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
+            notifyStart(jobs[i]);
             try {
                 results[i] = runOne(jobs[i]);
+                notifyFinish(jobs[i], &results[i]);
             } catch (...) {
                 errors[i] = std::current_exception();
+                notifyFinish(jobs[i], nullptr);
             }
         }
     };

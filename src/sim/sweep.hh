@@ -46,6 +46,7 @@
 #define LBIC_SIM_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -118,10 +119,41 @@ struct SweepResult
     double ipc() const { return result.ipc(); }
 };
 
+/** A point-in-time snapshot of a running sweep, for telemetry. */
+struct SweepProgress
+{
+    std::size_t total = 0;      //!< jobs submitted to this run
+    std::size_t completed = 0;  //!< jobs finished successfully
+    std::size_t running = 0;    //!< jobs currently executing
+    std::size_t failed = 0;     //!< jobs that threw
+
+    /**
+     * Label of the job this event is about: one that just started
+     * (running grew) or just finished (completed/failed grew).
+     */
+    std::string label;
+
+    /** The finishing job's wall clock; 0 on start events. */
+    double wall_ms = 0.0;
+
+    /**
+     * The finishing job's simulated-instruction throughput
+     * (instructions per host second); 0 on start and failure events.
+     */
+    double insts_per_sec = 0.0;
+};
+
 /** Fixed-size thread pool for vectors of independent simulations. */
 class SweepRunner
 {
   public:
+    /**
+     * Observer invoked on every job start and finish. Invocations are
+     * serialized by the runner's own mutex, so the callback needs no
+     * locking of its own; it must not call back into the runner.
+     */
+    using ProgressFn = std::function<void(const SweepProgress &)>;
+
     /**
      * @param num_threads worker threads; 0 (the default) means
      *        std::thread::hardware_concurrency().
@@ -130,6 +162,12 @@ class SweepRunner
 
     /** Worker threads a run() call will use (after the 0 default). */
     unsigned numThreads() const { return num_threads_; }
+
+    /**
+     * Install the progress observer (empty function disables).
+     * Takes effect for subsequent run() calls.
+     */
+    void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
      * Execute every job and return results in submission order.
@@ -143,6 +181,7 @@ class SweepRunner
 
   private:
     unsigned num_threads_;
+    ProgressFn progress_;
 };
 
 /** One-shot convenience: run @p jobs on @p num_threads workers. */

@@ -1,11 +1,14 @@
 /**
  * @file
- * Unit tests for common/logging.hh (throw-on-error mode).
+ * Unit tests for common/logging.hh: throw-on-error mode, log levels
+ * and the capture sink.
  */
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -55,8 +58,60 @@ TEST_F(LoggingTest, MessageConcatenation)
 
 TEST_F(LoggingTest, WarnAndInformDoNotThrow)
 {
+    std::vector<std::string> lines;  // keep test output clean
+    detail::setLogCapture(&lines);
     EXPECT_NO_THROW(lbic_warn("just a warning"));
     EXPECT_NO_THROW(lbic_inform("status"));
+    detail::setLogCapture(nullptr);
+}
+
+/** Captures warn()/inform() lines and restores all defaults. */
+class LogLevelTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setLogCapture(&lines_); }
+    void
+    TearDown() override
+    {
+        detail::setLogCapture(nullptr);
+        setLogLevel(LogLevel::Info);
+    }
+    std::vector<std::string> lines_;
+};
+
+TEST_F(LogLevelTest, InfoLevelPassesEverything)
+{
+    setLogLevel(LogLevel::Info);
+    lbic_warn("w");
+    lbic_inform("i");
+    ASSERT_EQ(lines_.size(), 2u);
+    EXPECT_EQ(lines_[0], "warn: w");
+    EXPECT_EQ(lines_[1], "info: i");
+}
+
+TEST_F(LogLevelTest, WarnLevelDropsInform)
+{
+    setLogLevel(LogLevel::Warn);
+    lbic_warn("w");
+    lbic_inform("i");
+    ASSERT_EQ(lines_.size(), 1u);
+    EXPECT_EQ(lines_[0], "warn: w");
+}
+
+TEST_F(LogLevelTest, QuietLevelDropsBoth)
+{
+    setLogLevel(LogLevel::Quiet);
+    lbic_warn("w");
+    lbic_inform("i");
+    EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogLevelTest, LogLevelReadsBackLastSet)
+{
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
 }
 
 } // anonymous namespace

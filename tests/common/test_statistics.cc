@@ -125,6 +125,42 @@ TEST(StatisticsTest, FindLocatesOwnStatsOnly)
     EXPECT_EQ(child.find("s"), &s);
 }
 
+TEST(StatisticsTest, FindResolvesDottedPaths)
+{
+    StatGroup root;
+    StatGroup l1(&root, "dcache");
+    StatGroup mshr(&l1, "mshr");
+    Scalar misses(&l1, "misses", "");
+    Scalar stalls(&mshr, "stalls", "");
+
+    EXPECT_EQ(root.find("dcache.misses"), &misses);
+    EXPECT_EQ(root.find("dcache.mshr.stalls"), &stalls);
+    EXPECT_EQ(l1.find("mshr.stalls"), &stalls);
+}
+
+TEST(StatisticsTest, FindDottedPathMissesReturnNull)
+{
+    StatGroup root;
+    StatGroup child(&root, "c");
+    Scalar s(&child, "s", "");
+
+    EXPECT_EQ(root.find("nope.s"), nullptr);      // no such group
+    EXPECT_EQ(root.find("c.nope"), nullptr);      // no such stat
+    EXPECT_EQ(root.find("c.s.extra"), nullptr);   // stat, not a group
+    EXPECT_EQ(root.find("c."), nullptr);          // empty leaf name
+    EXPECT_EQ(root.find(".s"), nullptr);          // empty group name
+}
+
+TEST(StatisticsTest, FindGroupLocatesDirectChildren)
+{
+    StatGroup root;
+    StatGroup child(&root, "core");
+    StatGroup grandchild(&child, "lsq");
+    EXPECT_EQ(root.findGroup("core"), &child);
+    EXPECT_EQ(root.findGroup("lsq"), nullptr);   // not direct
+    EXPECT_EQ(child.findGroup("lsq"), &grandchild);
+}
+
 TEST(StatisticsTest, JsonScalarAndDerived)
 {
     StatGroup root;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the event-trace subsystem: the Tracer's null-sink
+ * gating and each sink's output format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace lbic
+{
+namespace trace
+{
+namespace
+{
+
+/** A committed load with every stage reached. */
+InstRecord
+sampleLoad()
+{
+    InstRecord rec;
+    rec.seq = 7;
+    rec.op = OpClass::Load;
+    rec.addr = 0x1040;
+    rec.is_mem = true;
+    rec.fetch = 10;
+    rec.dispatch = 11;
+    rec.issue = 13;
+    rec.mem = 14;
+    rec.writeback = 15;
+    rec.commit = 16;
+    rec.note = InstRecord::Note::Hit;
+    rec.slot = 3;
+    return rec;
+}
+
+TEST(TraceTest, TracerDisabledByDefault)
+{
+    Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    // No sink attached: these must be safe no-ops.
+    tracer.instRetired(sampleLoad());
+    tracer.bankEvent(5, 0, BankEventKind::Combine, 0x40);
+    tracer.finish();
+}
+
+TEST(TraceTest, TracerForwardsOnceAttached)
+{
+    std::ostringstream os;
+    TextTraceSink sink(os);
+    Tracer tracer;
+    tracer.attach(&sink);
+    EXPECT_TRUE(tracer.enabled());
+    tracer.bankEvent(5, 2, BankEventKind::StoreDrain, 0x80);
+    EXPECT_EQ(os.str(), "bank 5 b2 store_drain line 0x80\n");
+
+    tracer.attach(nullptr);
+    EXPECT_FALSE(tracer.enabled());
+    tracer.bankEvent(6, 2, BankEventKind::StoreDrain, 0x80);
+    EXPECT_EQ(os.str(), "bank 5 b2 store_drain line 0x80\n");
+}
+
+TEST(TraceTest, TextSinkFormatsInstLifecycle)
+{
+    std::ostringstream os;
+    TextTraceSink sink(os);
+    sink.instRetired(sampleLoad());
+    EXPECT_EQ(os.str(),
+              "inst 7 Load 0x1040 F=10 Ds=11 Is=13 M=14 Wb=15 "
+              "Cm=16 hit\n");
+}
+
+TEST(TraceTest, TextSinkOmitsUnreachedStages)
+{
+    InstRecord rec;
+    rec.seq = 1;
+    rec.op = OpClass::IntAlu;
+    rec.dispatch = 4;
+    rec.commit = 9;
+    std::ostringstream os;
+    TextTraceSink sink(os);
+    sink.instRetired(rec);
+    EXPECT_EQ(os.str(), "inst 1 IntAlu Ds=4 Cm=9\n");
+}
+
+TEST(TraceTest, ChromeSinkEmitsWellFormedWrapper)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os);
+        sink.instRetired(sampleLoad());
+        sink.bankEvent(BankEvent{14, 1,
+                                 BankEventKind::ConflictDiffLine,
+                                 0x1000});
+        sink.finish();
+        sink.finish();  // idempotent
+    }
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["),
+              0u);
+    EXPECT_NE(out.find("]}"), std::string::npos);
+    // Six stage duration events plus one bank instant.
+    std::size_t phx = 0, phi = 0, pos = 0;
+    while ((pos = out.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+        ++phx;
+        ++pos;
+    }
+    pos = 0;
+    while ((pos = out.find("\"ph\":\"i\"", pos)) != std::string::npos) {
+        ++phi;
+        ++pos;
+    }
+    EXPECT_EQ(phx, 6u);
+    EXPECT_EQ(phi, 1u);
+    // Stage events carry the stage name, slot track and seq arg.
+    EXPECT_NE(out.find("\"name\":\"Load fetch\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"tid\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"seq\":7"), std::string::npos);
+    // The bank instant sits on pid 2 with the kind as its name.
+    EXPECT_NE(out.find("\"name\":\"conflict_diff_line\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(TraceTest, KonataSinkWritesSortedCommandStream)
+{
+    InstRecord second = sampleLoad();
+    InstRecord first;
+    first.seq = 3;
+    first.op = OpClass::IntAlu;
+    first.fetch = 2;
+    first.dispatch = 3;
+    first.issue = 4;
+    first.writeback = 5;
+    first.commit = 6;
+
+    std::ostringstream os;
+    KonataTraceSink sink(os);
+    // Retirement order is program order, but the sink must interleave
+    // by cycle regardless of arrival order.
+    sink.instRetired(second);
+    sink.instRetired(first);
+    sink.finish();
+
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("Kanata\t0004\n"), 0u);
+    EXPECT_NE(out.find("C=\t2\n"), std::string::npos);
+    // The cycle-2 instruction's commands come before the cycle-10 one.
+    EXPECT_LT(out.find("3: IntAlu"), out.find("7: Load"));
+    // Stage and retire commands are present.
+    EXPECT_NE(out.find("S\t1\t0\tF"), std::string::npos);
+    EXPECT_NE(out.find("S\t0\t0\tM"), std::string::npos);
+    EXPECT_NE(out.find("R\t0\t7\t0"), std::string::npos);
+}
+
+TEST(TraceTest, KonataSinkEmptyRunStillWritesHeader)
+{
+    std::ostringstream os;
+    KonataTraceSink sink(os);
+    sink.finish();
+    EXPECT_EQ(os.str(), "Kanata\t0004\n");
+}
+
+TEST(TraceTest, BankEventNamesAreStable)
+{
+    EXPECT_STREQ(bankEventName(BankEventKind::ConflictSameLine),
+                 "conflict_same_line");
+    EXPECT_STREQ(bankEventName(BankEventKind::Combine), "combine");
+    EXPECT_STREQ(bankEventName(BankEventKind::StoreBroadcast),
+                 "store_broadcast");
+    EXPECT_STREQ(bankEventName(BankEventKind::BeyondWindow),
+                 "beyond_window");
+}
+
+TEST(TraceTest, MakeTraceSinkKnowsAllFormats)
+{
+    std::ostringstream os;
+    EXPECT_NE(makeTraceSink("text", os), nullptr);
+    EXPECT_NE(makeTraceSink("konata", os), nullptr);
+    EXPECT_NE(makeTraceSink("chrome", os), nullptr);
+}
+
+TEST(TraceTest, MakeTraceSinkRejectsUnknownFormat)
+{
+    detail::setThrowOnError(true);
+    std::ostringstream os;
+    EXPECT_THROW(makeTraceSink("csv", os), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+} // anonymous namespace
+} // namespace trace
+} // namespace lbic

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * End-to-end tests of the observability surfaces: the stats JSON
+ * dump, the chrome event trace, the interval time series and the
+ * determinism of trace files under parallel sweeps.
+ *
+ * The emitted JSON is parsed in-test by a minimal recursive-descent
+ * parser (below) rather than just grepped, so malformed output --
+ * a trailing comma, an unquoted key, an unclosed array -- fails the
+ * suite instead of only failing downstream tooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+/**
+ * A tiny validating JSON parser. Records every scalar it sees under
+ * its dotted path ("core.committed", "traceEvents.3.ph") and every
+ * array's length under "<path>.#" -- enough to assert both structure
+ * and values without an external JSON library.
+ */
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string &text) : s_(text) {}
+
+    /** True when the whole input is exactly one valid JSON value. */
+    bool
+    parse()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!value(""))
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+    bool has(const std::string &path) const
+    {
+        return values_.count(path) != 0;
+    }
+
+    /** Scalar at @p path rendered back as a string ("42", "X"). */
+    std::string
+    at(const std::string &path) const
+    {
+        const auto it = values_.find(path);
+        return it == values_.end() ? std::string() : it->second;
+    }
+
+    double num(const std::string &path) const
+    {
+        return std::stod(at(path));
+    }
+
+    std::size_t
+    arrayLen(const std::string &path) const
+    {
+        const auto it = values_.find(join(path, "#"));
+        return it == values_.end()
+            ? 0
+            : static_cast<std::size_t>(std::stoul(it->second));
+    }
+
+  private:
+    static std::string
+    join(const std::string &path, const std::string &leaf)
+    {
+        return path.empty() ? leaf : path + "." + leaf;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    stringLit(std::string *out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        std::string text;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return false;
+                ++pos_;
+            }
+            text.push_back(s_[pos_++]);
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_;  // closing quote
+        if (out)
+            *out = text;
+        return true;
+    }
+
+    bool
+    numberLit(std::string *out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                   || s_[pos_] == '.' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E' || s_[pos_] == '-'
+                   || s_[pos_] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                digits = true;
+            ++pos_;
+        }
+        if (!digits) {
+            pos_ = start;
+            return false;
+        }
+        *out = s_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    value(const std::string &path)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object(path);
+        if (c == '[')
+            return array(path);
+        if (c == '"') {
+            std::string text;
+            if (!stringLit(&text))
+                return false;
+            values_[path] = text;
+            return true;
+        }
+        if (literal("true")) { values_[path] = "true"; return true; }
+        if (literal("false")) { values_[path] = "false"; return true; }
+        if (literal("null")) { values_[path] = "null"; return true; }
+        std::string number;
+        if (!numberLit(&number))
+            return false;
+        values_[path] = number;
+        return true;
+    }
+
+    bool
+    object(const std::string &path)
+    {
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!stringLit(&key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_++] != ':')
+                return false;
+            if (!value(join(path, key)))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(const std::string &path)
+    {
+        ++pos_;  // '['
+        skipWs();
+        std::size_t count = 0;
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            values_[join(path, "#")] = "0";
+            return true;
+        }
+        for (;;) {
+            if (!value(join(path, std::to_string(count))))
+                return false;
+            ++count;
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                values_[join(path, "#")] = std::to_string(count);
+                return true;
+            }
+            return false;
+        }
+    }
+
+    std::string s_;
+    std::size_t pos_ = 0;
+    std::map<std::string, std::string> values_;
+};
+
+/** A unique-enough temp path under gtest's temp dir. */
+std::string
+tempPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + "lbic_obs_" + leaf;
+}
+
+TEST(ObservabilityTest, MiniJsonRejectsMalformedInput)
+{
+    EXPECT_TRUE(MiniJson("{\"a\": [1, 2], \"b\": {\"c\": \"x\"}}")
+                    .parse());
+    EXPECT_FALSE(MiniJson("{\"a\": 1,}").parse());      // trailing comma
+    EXPECT_FALSE(MiniJson("{\"a\": [1, 2}").parse());   // mismatched
+    EXPECT_FALSE(MiniJson("{a: 1}").parse());           // unquoted key
+    EXPECT_FALSE(MiniJson("{\"a\": 1} x").parse());     // trailing junk
+}
+
+TEST(ObservabilityTest, StatsJsonIsWellFormedAndComplete)
+{
+    SimConfig cfg;
+    cfg.workload = "li";
+    cfg.port_spec = "lbic:4x2";
+    cfg.max_insts = 20000;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+
+    std::ostringstream os;
+    sim.printStatsJson(os);
+    MiniJson json(os.str());
+    ASSERT_TRUE(json.parse()) << os.str();
+
+    // The three top-level groups and the counters the sweep drivers
+    // and interval sampler rely on.
+    EXPECT_TRUE(json.has("core.committed"));
+    EXPECT_TRUE(json.has("core.ipc"));
+    EXPECT_TRUE(json.has("dcache.accesses"));
+    EXPECT_TRUE(json.has("dcache.misses"));
+    EXPECT_TRUE(json.has("lbic4x2.requests_seen"));
+    EXPECT_TRUE(json.has("lbic4x2.requests_granted"));
+    EXPECT_DOUBLE_EQ(json.num("core.committed"),
+                     static_cast<double>(r.instructions));
+}
+
+TEST(ObservabilityTest, ChromeTraceEventsCarryRequiredFields)
+{
+    SimConfig cfg;
+    cfg.workload = "swim";
+    cfg.port_spec = "lbic:4x2";
+    cfg.max_insts = 2000;
+    Simulator sim(cfg);
+    std::ostringstream os;
+    trace::ChromeTraceSink sink(os);
+    sim.tracer().attach(&sink);
+    sim.run();  // run() finishes the tracer, closing the JSON
+
+    MiniJson json(os.str());
+    ASSERT_TRUE(json.parse());
+    const std::size_t n = json.arrayLen("traceEvents");
+    ASSERT_GT(n, 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string e = "traceEvents." + std::to_string(i);
+        ASSERT_TRUE(json.has(e + ".ph")) << e;
+        ASSERT_TRUE(json.has(e + ".ts")) << e;
+        ASSERT_TRUE(json.has(e + ".pid")) << e;
+        ASSERT_TRUE(json.has(e + ".name")) << e;
+        const std::string ph = json.at(e + ".ph");
+        EXPECT_TRUE(ph == "X" || ph == "i") << e << " ph=" << ph;
+        if (ph == "X")
+            EXPECT_TRUE(json.has(e + ".dur")) << e;
+    }
+}
+
+TEST(ObservabilityTest, IntervalCsvInstructionsSumToCommitted)
+{
+    const std::string path = tempPath("interval.csv");
+    SimConfig cfg;
+    cfg.workload = "compress";
+    cfg.port_spec = "bank:4";
+    cfg.max_insts = 20000;
+    cfg.interval = 700;  // deliberately not a divisor of the run
+    cfg.interval_out = path;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header.find("interval,end_cycle,cycles,instructions,"),
+              0u);
+
+    std::uint64_t summed = 0, rows = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        // instructions is column 3 (0-based).
+        std::istringstream cols(line);
+        std::string field;
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(std::getline(cols, field, ',')) << line;
+        summed += std::stoull(field);
+        ++rows;
+    }
+    EXPECT_GE(rows, 2u);
+    EXPECT_EQ(summed, r.instructions);
+    std::remove(path.c_str());
+}
+
+TEST(ObservabilityTest, IntervalJsonParsesWithPerRowFields)
+{
+    const std::string path = tempPath("interval.json");
+    SimConfig cfg;
+    cfg.workload = "li";
+    cfg.port_spec = "ideal:2";
+    cfg.max_insts = 10000;
+    cfg.interval = 1000;
+    cfg.interval_out = path;
+    Simulator sim(cfg);
+    sim.run();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    MiniJson json(buf.str());
+    ASSERT_TRUE(json.parse()) << buf.str();
+    const std::size_t rows = json.arrayLen("");
+    ASSERT_GT(rows, 0u);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const std::string row = std::to_string(i);
+        EXPECT_TRUE(json.has(row + ".interval"));
+        EXPECT_TRUE(json.has(row + ".instructions"));
+        EXPECT_TRUE(json.has(row + ".ipc"));
+        EXPECT_TRUE(json.has(row + ".dcache.misses"));
+    }
+    std::remove(path.c_str());
+}
+
+/** Read a whole file; empty string when missing. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(ObservabilityTest, TraceFilesIdenticalAcrossSweepThreadCounts)
+{
+    // The same jobs traced under a serial and a parallel sweep must
+    // produce byte-identical trace files: simulation is deterministic
+    // and each job owns its private sink.
+    const std::vector<const char *> workloads = {"li", "swim"};
+    auto makeJobs = [&](const std::string &tag,
+                        std::vector<std::string> *paths) {
+        std::vector<SweepJob> jobs;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            SweepJob job = SweepJob::of(workloads[i], "lbic:4x2",
+                                        8000);
+            job.config.trace_path =
+                tempPath(tag + "_" + std::to_string(i) + ".trace");
+            job.config.trace_format = "text";
+            paths->push_back(job.config.trace_path);
+            jobs.push_back(job);
+        }
+        return jobs;
+    };
+
+    std::vector<std::string> serial_paths, parallel_paths;
+    runSweep(makeJobs("serial", &serial_paths), 1);
+    runSweep(makeJobs("parallel", &parallel_paths), 4);
+
+    for (std::size_t i = 0; i < serial_paths.size(); ++i) {
+        const std::string a = slurp(serial_paths[i]);
+        const std::string b = slurp(parallel_paths[i]);
+        EXPECT_FALSE(a.empty()) << serial_paths[i];
+        EXPECT_EQ(a, b) << workloads[i];
+        std::remove(serial_paths[i].c_str());
+        std::remove(parallel_paths[i].c_str());
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

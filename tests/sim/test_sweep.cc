@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -99,6 +100,87 @@ TEST(SweepTest, ExceptionInWorkerPropagatesToCaller)
     EXPECT_THROW(runSweep(jobs, 4), std::runtime_error);
     EXPECT_THROW(runSweep(jobs, 1), std::runtime_error);
     detail::setThrowOnError(false);
+}
+
+TEST(SweepTest, ProgressReportsEveryStartAndFinish)
+{
+    const std::vector<SweepJob> jobs = mixedMatrix();
+    SweepRunner runner(4);
+    std::vector<SweepProgress> events;
+    runner.setProgress([&](const SweepProgress &p) {
+        events.push_back(p);  // serialized by the runner's mutex
+    });
+    runner.run(jobs);
+
+    // One start and one finish event per job.
+    ASSERT_EQ(events.size(), 2 * jobs.size());
+    std::size_t starts = 0;
+    double best_throughput = 0.0;
+    for (const SweepProgress &p : events) {
+        EXPECT_EQ(p.total, jobs.size());
+        EXPECT_LE(p.completed + p.failed + p.running, p.total);
+        EXPECT_LE(p.running, 4u);
+        EXPECT_FALSE(p.label.empty());
+        if (p.wall_ms == 0.0 && p.insts_per_sec == 0.0
+            && p.completed + p.failed < p.total)
+            ++starts;
+        best_throughput = std::max(best_throughput, p.insts_per_sec);
+    }
+    EXPECT_GT(best_throughput, 0.0);
+
+    const SweepProgress &last = events.back();
+    EXPECT_EQ(last.completed, jobs.size());
+    EXPECT_EQ(last.running, 0u);
+    EXPECT_EQ(last.failed, 0u);
+    EXPECT_GT(last.insts_per_sec, 0.0);
+}
+
+TEST(SweepTest, ProgressCountsFailedJobs)
+{
+    detail::setThrowOnError(true);
+    std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("no-such-kernel", "ideal:4", 1000),
+        SweepJob::of("swim", "bank:4", 5000),
+    };
+    SweepRunner runner(2);
+    std::vector<SweepProgress> events;
+    runner.setProgress([&](const SweepProgress &p) {
+        events.push_back(p);
+    });
+    EXPECT_THROW(runner.run(jobs), std::runtime_error);
+    detail::setThrowOnError(false);
+
+    ASSERT_EQ(events.size(), 2 * jobs.size());
+    const SweepProgress &last = events.back();
+    EXPECT_EQ(last.completed, 2u);
+    EXPECT_EQ(last.failed, 1u);
+    EXPECT_EQ(last.running, 0u);
+}
+
+TEST(SweepTest, ProgressSerialPathMatchesParallelShape)
+{
+    const std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("li", "bank:4", 5000),
+    };
+    SweepRunner runner(1);
+    std::vector<SweepProgress> events;
+    runner.setProgress([&](const SweepProgress &p) {
+        events.push_back(p);
+    });
+    runner.run(jobs);
+
+    // Serial execution interleaves strictly: start, finish, start,
+    // finish -- running is 1 on starts and 0 on finishes.
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].running, 1u);
+    EXPECT_EQ(events[1].running, 0u);
+    EXPECT_EQ(events[1].completed, 1u);
+    EXPECT_EQ(events[2].running, 1u);
+    EXPECT_EQ(events[3].completed, 2u);
+    EXPECT_EQ(events[0].label, jobs[0].label);
+    EXPECT_EQ(events[3].label, jobs[1].label);
 }
 
 TEST(SweepTest, ZeroThreadsMeansHardwareConcurrency)
