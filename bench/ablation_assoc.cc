@@ -45,7 +45,7 @@ main(int argc, char **argv)
 
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("ablation_assoc", args, jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Ablation: L1 associativity (32 KB, 32 B lines), "
               << args.insts << " instructions per run, lbic:4x2\n\n";
@@ -77,5 +77,6 @@ main(int argc, char **argv)
     std::cout << "\nReading: associativity removes conflict misses "
                  "(biggest for the aligned-array fp codes) but does "
                  "not change which port organization wins.\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

@@ -42,7 +42,7 @@ main(int argc, char **argv)
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("ablation_banksel", args, jobs,
                                    out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Ablation: bank-selection function, " << args.insts
               << " instructions per run\n\n";
@@ -66,5 +66,6 @@ main(int argc, char **argv)
                  "conflicts (which the LBIC removes) are unaffected "
                  "by the selection function, supporting §3.2's "
                  "conclusion.\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

@@ -42,7 +42,7 @@ main(int argc, char **argv)
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("ablation_disambiguation", args,
                                    jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Ablation: LSQ disambiguation policy (ideal:16), "
               << args.insts << " instructions per run\n\n";
@@ -65,5 +65,6 @@ main(int argc, char **argv)
                  "load behind the slowest pending store-address "
                  "computation; codes whose store addresses depend on "
                  "loads (compress, li) are hit hardest.\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

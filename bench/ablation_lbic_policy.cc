@@ -46,7 +46,7 @@ main(int argc, char **argv)
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("ablation_lbic_policy", args, jobs,
                                    out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Ablation: LBIC leading policy and interleaving "
                  "granularity, " << args.insts
@@ -83,5 +83,6 @@ main(int argc, char **argv)
                  "conflicts without combining, but remember its tag "
                  "store must be replicated or multi-ported (the paper "
                  "rejects that cost for caches).\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

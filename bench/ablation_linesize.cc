@@ -45,7 +45,7 @@ main(int argc, char **argv)
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("ablation_linesize", args, jobs,
                                    out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Ablation: L1 line size (32 KB direct-mapped), "
               << args.insts << " instructions per run\n\n";
@@ -69,5 +69,6 @@ main(int argc, char **argv)
         table.print(std::cout);
         std::cout << '\n';
     }
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

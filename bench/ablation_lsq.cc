@@ -52,7 +52,7 @@ main(int argc, char **argv)
 
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("ablation_lsq", args, jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::size_t next = 0;
 
@@ -92,5 +92,6 @@ main(int argc, char **argv)
         sq_table.addRow(row);
     }
     sq_table.print(std::cout);
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

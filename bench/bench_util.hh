@@ -11,6 +11,12 @@
  * SimConfig seeding and the JSON emission into one place so the ten
  * drivers stop duplicating it.
  *
+ * Sweeps run fault-isolated: a job that fails (bad configuration,
+ * watchdog deadlock, checker divergence) is reported instead of
+ * aborting the grid, transient failures are retried `retries=` times
+ * (default 1), and the driver's exit code is nonzero iff any job
+ * failed.
+ *
  * JSON schema (one object on stdout):
  * @code
  * {
@@ -21,6 +27,8 @@
  *   "total_wall_ms": 1234.5,         // whole-sweep wall clock
  *   "runs": [                        // submission order
  *     {"label": "", "workload": "compress", "port_spec": "ideal:1",
+ *      "status": "ok",               // "failed" adds "error",
+ *                                    // "error_kind" and "attempts"
  *      "ipc": 2.661, "instructions": 500000, "cycles": 187900,
  *      "l1_miss_rate": 0.0542, "wall_ms": 103.2}, ...
  *   ]
@@ -55,6 +63,7 @@ struct BenchArgs
     std::uint64_t insts = 0;  //!< instructions per run
     std::uint64_t seed = 1;   //!< workload PRNG seed
     unsigned jobs = 0;        //!< sweep workers; 0 = hardware
+    unsigned retries = 1;     //!< retries for transient job failures
     bool json = false;        //!< emit JSON instead of tables
     bool progress = false;    //!< stderr progress line during sweeps
 
@@ -105,6 +114,8 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
     args.seed = args.config.getU64("seed", 1);
     args.jobs =
         static_cast<unsigned>(args.config.getU64("jobs", 0));
+    args.retries =
+        static_cast<unsigned>(args.config.getU64("retries", 1));
     args.json = json_flag || args.config.getBool("json", false);
     args.progress =
         progress_flag || args.config.getBool("progress", false);
@@ -141,6 +152,15 @@ runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
     SweepOutput out;
     SweepRunner runner(args.jobs);
     out.jobs_used = runner.numThreads();
+
+    // Fault isolation: one broken configuration must not take down
+    // the rest of the grid. Failures land in their result slot
+    // (ok=false) and the driver reports them after the sweep;
+    // transient (non-SimError) failures are retried `retries=` times.
+    SweepPolicy policy;
+    policy.isolate = true;
+    policy.retries = args.retries;
+    runner.setPolicy(policy);
     if (args.progress) {
         runner.setProgress([](const SweepProgress &p) {
             std::fprintf(stderr,
@@ -204,7 +224,13 @@ printJsonResults(std::ostream &os, const std::string &driver,
            << ", \"workload\": \"" << jsonEscape(cfg.workload) << "\""
            << ", \"port_spec\": \"" << jsonEscape(cfg.port_spec)
            << "\""
-           << ", \"ipc\": " << r.ipc()
+           << ", \"status\": \"" << (r.ok ? "ok" : "failed") << "\"";
+        if (!r.ok) {
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\""
+               << ", \"error_kind\": \"" << jsonEscape(r.error_kind)
+               << "\", \"attempts\": " << r.attempts;
+        }
+        os << ", \"ipc\": " << r.ipc()
            << ", \"instructions\": " << r.result.instructions
            << ", \"cycles\": " << r.result.cycles
            << ", \"l1_miss_rate\": " << r.metrics.l1_miss_rate
@@ -213,10 +239,42 @@ printJsonResults(std::ostream &os, const std::string &driver,
     os << "]}\n";
 }
 
+/** Number of jobs whose final attempt failed. */
+inline std::size_t
+failedJobs(const SweepOutput &out)
+{
+    std::size_t n = 0;
+    for (const SweepResult &r : out.results)
+        n += r.ok ? 0 : 1;
+    return n;
+}
+
+/**
+ * Warn (stderr) about every failed job. Harmless when all succeeded;
+ * call before exiting so table-mode users see what the zeros mean.
+ */
+inline void
+reportFailures(const SweepOutput &out)
+{
+    for (const SweepResult &r : out.results) {
+        if (!r.ok)
+            lbic_warn("job '", r.label, "' failed after ", r.attempts,
+                      r.attempts == 1 ? " attempt: " : " attempts: ",
+                      r.error);
+    }
+}
+
+/** Driver exit code: nonzero iff any job failed. */
+inline int
+exitCode(const SweepOutput &out)
+{
+    return failedJobs(out) ? 1 : 0;
+}
+
 /**
  * The standard driver epilogue: when `--json` was given, emit the
- * JSON object and return true (the driver should exit 0 without
- * printing its tables).
+ * JSON object and return true (the driver should exit with
+ * exitCode(out) without printing its tables).
  */
 inline bool
 emitJsonIfRequested(const std::string &driver, const BenchArgs &args,

@@ -36,7 +36,7 @@ main(int argc, char **argv)
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("table2_characteristics", args,
                                    jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Table 2: benchmark memory characteristics\n"
               << "(paper values in parentheses; miss rate measured on "
@@ -89,5 +89,6 @@ main(int argc, char **argv)
             table.addSeparator();
     }
     table.print(std::cout);
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

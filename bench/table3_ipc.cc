@@ -57,7 +57,7 @@ main(int argc, char **argv)
 
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("table3_ipc", args, jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Table 3: IPC for ideal multi-porting (True), "
                  "replication (Repl) and multi-banking (Bank)\n"
@@ -107,5 +107,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Table 3, selected): compress "
                  "True2=5.22 Repl2=4.08 Bank2=3.95; mgrid True16=18.6; "
                  "SPECint Ave True4=6.79 Bank16=6.20.\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

@@ -42,7 +42,7 @@ main(int argc, char **argv)
 
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("table4_lbic", args, jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Table 4: IPC for six MxN LBIC configurations\n"
               << "(" << args.insts << " instructions per run)\n\n";
@@ -110,5 +110,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Table 4, averages): SPECint 2x2 "
                  "5.19, 4x4 6.10, 8x4 6.34; SPECfp 2x2 7.98, 4x4 9.74, "
                  "8x4 10.20.\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

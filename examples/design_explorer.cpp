@@ -48,7 +48,7 @@ main(int argc, char **argv)
 
     const bench::SweepOutput out = bench::runJobs(args, jobs);
     if (bench::emitJsonIfRequested("design_explorer", args, jobs, out))
-        return 0;
+        return bench::exitCode(out);
 
     std::cout << "Design-space exploration for workload '" << workload
               << "' (" << args.insts << " instructions per run)\n\n";
@@ -97,5 +97,6 @@ main(int argc, char **argv)
               << TextTable::fmt(ideal2, 3)
               << " at banked-cache cost is the design target the "
                  "paper argues the LBIC hits.\n";
-    return 0;
+    bench::reportFailures(out);
+    return bench::exitCode(out);
 }

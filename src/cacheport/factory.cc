@@ -6,7 +6,7 @@
 #include "cacheport/ideal.hh"
 #include "cacheport/lbic.hh"
 #include "cacheport/replicated.hh"
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace lbic
 {
@@ -14,14 +14,16 @@ namespace lbic
 namespace
 {
 
-/** Parse a positive integer; fatal() with context otherwise. */
+/** Parse a positive integer; SimError with context otherwise. */
 unsigned
 parseCount(const std::string &text, const std::string &spec)
 {
     char *end = nullptr;
     const unsigned long v = std::strtoul(text.c_str(), &end, 10);
     if (end == text.c_str() || *end != '\0' || v == 0)
-        lbic_fatal("bad count '", text, "' in port spec '", spec, "'");
+        throw SimError(SimErrorKind::Config,
+                       "bad count '" + text + "' in port spec '"
+                           + spec + "'");
     return static_cast<unsigned>(v);
 }
 
@@ -33,8 +35,9 @@ makePortScheduler(const std::string &spec, stats::StatGroup *parent,
 {
     const auto colon = spec.find(':');
     if (colon == std::string::npos)
-        lbic_fatal("port spec '", spec, "' missing ':' "
-                   "(expected kind:count)");
+        throw SimError(SimErrorKind::Config,
+                       "port spec '" + spec + "' missing ':' "
+                       "(expected kind:count)");
     const std::string kind = spec.substr(0, colon);
     const std::string arg = spec.substr(colon + 1);
 
@@ -57,8 +60,9 @@ makePortScheduler(const std::string &spec, stats::StatGroup *parent,
     if (kind == "lbic" || kind == "lbicg") {
         const auto x = arg.find('x');
         if (x == std::string::npos)
-            lbic_fatal("LBIC spec '", spec, "' must be ", kind,
-                       ":MxN");
+            throw SimError(SimErrorKind::Config,
+                           "LBIC spec '" + spec + "' must be " + kind
+                               + ":MxN");
         LbicConfig config;
         config.banks = parseCount(arg.substr(0, x), spec);
         config.line_ports = parseCount(arg.substr(x + 1), spec);
@@ -70,8 +74,10 @@ makePortScheduler(const std::string &spec, stats::StatGroup *parent,
                                  : LbicLeadPolicy::LeadingRequest;
         return std::make_unique<Lbic>(parent, config);
     }
-    lbic_fatal("unknown port organization '", kind,
-               "' (expected ideal, repl, bank, wbank, lbic or lbicg)");
+    throw SimError(SimErrorKind::Config,
+                   "unknown port organization '" + kind
+                       + "' (expected ideal, repl, bank, wbank, lbic "
+                         "or lbicg)");
 }
 
 } // namespace lbic

@@ -240,4 +240,79 @@ Lbic::storeQueueDepth(unsigned bank) const
     return static_cast<unsigned>(banks_[bank].store_queue.size());
 }
 
+void
+Lbic::dumpState(std::ostream &os) const
+{
+    PortScheduler::dumpState(os);
+    for (std::size_t bi = 0; bi < banks_.size(); ++bi) {
+        const Bank &b = banks_[bi];
+        os << "  bank " << bi << ": store queue "
+           << b.store_queue.size() << '/' << config_.store_queue_depth;
+        if (b.line_op)
+            os << ", line 0x" << std::hex << b.line << std::dec
+               << " open (" << b.ports_used << '/'
+               << config_.line_ports << " ports)";
+        os << '\n';
+    }
+}
+
+void
+Lbic::registerInvariants(verify::InvariantAuditor &auditor)
+{
+    PortScheduler::registerInvariants(auditor);
+
+    auditor.add("lbic.store_queues", [this]() -> std::string {
+        for (std::size_t bi = 0; bi < banks_.size(); ++bi) {
+            const Bank &b = banks_[bi];
+            if (b.store_queue.size() > config_.store_queue_depth)
+                return "bank " + std::to_string(bi)
+                       + " store queue holds "
+                       + std::to_string(b.store_queue.size())
+                       + " entries, depth limit is "
+                       + std::to_string(config_.store_queue_depth);
+            for (const Addr line : b.store_queue) {
+                const unsigned home = selectBank(
+                    line << config_.line_bits, config_.banks,
+                    config_.line_bits, config_.select_fn);
+                if (home != bi)
+                    return "bank " + std::to_string(bi)
+                           + " queues a store for line "
+                           + std::to_string(line)
+                           + " that maps to bank "
+                           + std::to_string(home);
+            }
+        }
+        return {};
+    });
+
+    auditor.add("lbic.line_buffers", [this]() -> std::string {
+        // Audits run at the cycle boundary, after Lbic::tick() has
+        // closed every bank's line operation for the cycle.
+        for (std::size_t bi = 0; bi < banks_.size(); ++bi) {
+            const Bank &b = banks_[bi];
+            if (b.line_op || b.ports_used != 0)
+                return "bank " + std::to_string(bi)
+                       + " line buffer still open at the cycle "
+                         "boundary (ports_used="
+                       + std::to_string(b.ports_used) + ")";
+            if (b.ports_used > config_.line_ports)
+                return "bank " + std::to_string(bi) + " used "
+                       + std::to_string(b.ports_used)
+                       + " line-buffer ports, only "
+                       + std::to_string(config_.line_ports)
+                       + " exist";
+        }
+        return {};
+    });
+
+    auditor.add("lbic.stats", [this]() -> std::string {
+        if (combined_accesses.value() > requests_granted.value())
+            return "combined_accesses "
+                   + std::to_string(combined_accesses.value())
+                   + " exceeds total grants "
+                   + std::to_string(requests_granted.value());
+        return {};
+    });
+}
+
 } // namespace lbic

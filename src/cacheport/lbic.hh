@@ -91,6 +91,10 @@ class Lbic : public PortScheduler
 
     bool hasPendingWork() const override;
 
+    void dumpState(std::ostream &os) const override;
+
+    void registerInvariants(verify::InvariantAuditor &auditor) override;
+
     const LbicConfig &config() const { return config_; }
 
     /** Occupancy of one bank's store queue (for tests). */

@@ -47,4 +47,32 @@ PortScheduler::tick()
     ++now_;
 }
 
+void
+PortScheduler::dumpState(std::ostream &os) const
+{
+    os << "scheduler " << name_ << " (peak " << peakWidth()
+       << "/cycle): "
+       << (hasPendingWork() ? "deferred work pending"
+                            : "no deferred work")
+       << '\n';
+}
+
+void
+PortScheduler::registerInvariants(verify::InvariantAuditor &auditor)
+{
+    auditor.add("sched.stats", [this]() -> std::string {
+        if (requests_granted.value() > requests_seen.value())
+            return "granted " + std::to_string(requests_granted.value())
+                   + " requests but only "
+                   + std::to_string(requests_seen.value())
+                   + " were presented";
+        if (cycles_active.value() > static_cast<double>(now_) + 1.0)
+            return "cycles_active "
+                   + std::to_string(cycles_active.value())
+                   + " exceeds scheduler cycle count "
+                   + std::to_string(now_);
+        return {};
+    });
+}
+
 } // namespace lbic

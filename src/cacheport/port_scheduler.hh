@@ -15,12 +15,14 @@
 #define LBIC_CACHEPORT_PORT_SCHEDULER_HH
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/statistics.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
+#include "verify/auditor.hh"
 
 namespace lbic
 {
@@ -91,6 +93,21 @@ class PortScheduler
      * stores) that has not yet reached the cache.
      */
     virtual bool hasPendingWork() const { return false; }
+
+    /**
+     * Write a human-readable dump of the scheduler's internal state
+     * (per-bank queues, open lines) to @p os. Used by the core's
+     * watchdog post-mortem; the base class prints the name and
+     * whether deferred work is pending.
+     */
+    virtual void dumpState(std::ostream &os) const;
+
+    /**
+     * Register this organization's structural invariants (stat
+     * consistency in the base class; store-queue bounds and
+     * line-buffer coherence in overrides) with @p auditor.
+     */
+    virtual void registerInvariants(verify::InvariantAuditor &auditor);
 
   protected:
     /** Organization-specific selection policy. */

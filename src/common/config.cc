@@ -1,5 +1,6 @@
 #include "config.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "logging.hh"
@@ -98,16 +99,64 @@ Config::unrecognizedKeys() const
     return out;
 }
 
+namespace
+{
+
+/** Levenshtein distance, early-exited; keys are short. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+        }
+    }
+    return row[b.size()];
+}
+
+} // anonymous namespace
+
+std::string
+Config::closestKnownKey(const std::string &key) const
+{
+    // Every key an accessor was ever asked for is a key this consumer
+    // understands; that set is exactly what a typo should be compared
+    // against. Accept a suggestion only when it is close enough to
+    // plausibly be a typo (distance <= 2, or <= 1 for short keys).
+    std::string best;
+    std::size_t best_dist = key.size() <= 4 ? 2 : 3;
+    for (const std::string &known : touched_) {
+        const std::size_t d = editDistance(key, known);
+        if (d < best_dist) {
+            best_dist = d;
+            best = known;
+        }
+    }
+    return best;
+}
+
 void
 Config::rejectUnrecognized() const
 {
     const auto unknown = unrecognizedKeys();
-    if (!unknown.empty()) {
-        std::string joined;
-        for (const auto &k : unknown)
-            joined += (joined.empty() ? "" : ", ") + k;
-        lbic_fatal("unrecognized configuration key(s): ", joined);
+    if (unknown.empty())
+        return;
+    std::string joined;
+    for (const auto &k : unknown) {
+        joined += (joined.empty() ? "" : ", ") + k;
+        const std::string suggestion = closestKnownKey(k);
+        if (!suggestion.empty())
+            joined += " (did you mean '" + suggestion + "'?)";
     }
+    lbic_fatal("unrecognized configuration key(s): ", joined);
 }
 
 } // namespace lbic

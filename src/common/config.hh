@@ -51,8 +51,18 @@ class Config
     /** Keys that were set but never read by any accessor. */
     std::vector<std::string> unrecognizedKeys() const;
 
-    /** fatal() if any set key was never read. */
+    /**
+     * fatal() if any set key was never read. The message carries a
+     * did-you-mean suggestion per unknown key, chosen by edit distance
+     * over the keys the accessors were asked for.
+     */
     void rejectUnrecognized() const;
+
+    /**
+     * The recognized key closest to @p key by edit distance, or ""
+     * when nothing is plausibly a typo for it.
+     */
+    std::string closestKnownKey(const std::string &key) const;
 
   private:
     std::map<std::string, std::string> values_;

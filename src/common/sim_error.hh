@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The recoverable-failure exception taxonomy.
+ *
+ * lbic_fatal() and lbic_panic() terminate the process, which is the
+ * right behaviour at a command-line entry point but wrong inside a
+ * SweepRunner worker: one bad configuration or one wedged simulation
+ * must not take down the 199 healthy jobs around it. Failure paths
+ * that a supervising layer can reasonably contain throw SimError
+ * instead; the CLI drivers catch it at main() and exit(1), preserving
+ * the old user-visible behaviour, while SweepRunner records it per job
+ * and lets the rest of the sweep complete.
+ *
+ * The taxonomy also tells the supervisor how to react:
+ *
+ *  - Config: the request itself is impossible (unknown workload, bad
+ *    port spec). Deterministic; never retry.
+ *  - Deadlock: the simulation stopped making forward progress (the
+ *    watchdog fired) or exhausted its cycle/wall-time budget.
+ *    Deterministic for a fixed configuration; never retry.
+ *  - CheckFailure: the golden-model checker or the invariant auditor
+ *    found the simulator in an architecturally inconsistent state.
+ *    Always a simulator bug; never retry, always report.
+ *
+ * Anything *not* a SimError (bad_alloc, filesystem errors...) is
+ * environmental and treated as transient by the sweep retry policy.
+ */
+
+#ifndef LBIC_COMMON_SIM_ERROR_HH
+#define LBIC_COMMON_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace lbic
+{
+
+/** What went wrong, at the granularity a supervisor cares about. */
+enum class SimErrorKind
+{
+    Config,       //!< impossible request: bad spec, unknown name
+    Deadlock,     //!< no forward progress, or budget exhausted
+    CheckFailure, //!< golden model / invariant auditor mismatch
+};
+
+/** Stable lowercase name of @p kind ("config", "deadlock", "check"). */
+inline const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Config: return "config";
+      case SimErrorKind::Deadlock: return "deadlock";
+      case SimErrorKind::CheckFailure: return "check";
+    }
+    return "unknown";
+}
+
+/**
+ * A recoverable simulation failure.
+ *
+ * Derives from std::runtime_error so legacy catch sites (and tests
+ * written against the fatal()-throws-runtime_error test mode) keep
+ * working unchanged; what() is prefixed with the kind name, e.g.
+ * "[deadlock] no commit for 100000 cycles ...".
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, const std::string &message)
+        : std::runtime_error(std::string("[") + simErrorKindName(kind)
+                             + "] " + message),
+          kind_(kind)
+    {}
+
+    SimErrorKind kind() const { return kind_; }
+
+    /** True for kinds that are deterministic and must not be retried. */
+    bool
+    permanent() const
+    {
+        return true;  // every kind in the taxonomy is deterministic
+    }
+
+  private:
+    SimErrorKind kind_;
+};
+
+} // namespace lbic
+
+#endif // LBIC_COMMON_SIM_ERROR_HH

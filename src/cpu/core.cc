@@ -1,8 +1,10 @@
 #include "core.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace lbic
 {
@@ -60,6 +62,77 @@ Core::setTracer(trace::Tracer *tracer)
     // around after detach so stale stamps never mix runs.
     if (tracer_ && stamps_.size() != config_.ruu_size)
         stamps_.assign(config_.ruu_size, StageStamps{});
+}
+
+void
+Core::setChecker(verify::GoldenChecker *checker)
+{
+    checker_ = checker;
+    // Like the tracer's stamps, the service-record array is only paid
+    // for when checking is on.
+    if (checker_ && check_info_.size() != config_.ruu_size)
+        check_info_.assign(config_.ruu_size, verify::CommitInfo{});
+}
+
+void
+Core::setAuditor(verify::InvariantAuditor *auditor, Cycle interval)
+{
+    auditor_ = auditor;
+    audit_interval_ = interval > 0 ? interval : 1;
+    cycles_since_audit_ = 0;
+}
+
+void
+Core::injectFaults(const FaultInjection &faults)
+{
+    fault_ = faults;
+    fault_active_ = fault_.drop_nth_forward != 0
+        || fault_.skip_nth_store_drain != 0
+        || fault_.defer_nth_store_drain != 0;
+}
+
+bool
+Core::faultDropsForward(InstSeq seq)
+{
+    if (!fault_.drop_nth_forward)
+        return false;
+    // Once a victim load is chosen, keep dropping its forward on every
+    // re-scan until it is serviced by the cache instead.
+    if (seq == fault_drop_seq_)
+        return true;
+    if (fault_drop_seq_ != ~InstSeq{0})
+        return false;
+    if (++fault_forwards_seen_ == fault_.drop_nth_forward) {
+        fault_drop_seq_ = seq;
+        return true;
+    }
+    return false;
+}
+
+bool
+Core::faultSkipsStoreDrain(InstSeq seq)
+{
+    if (!fault_.skip_nth_store_drain)
+        return false;
+    (void)seq;
+    return ++fault_store_grants_seen_ == fault_.skip_nth_store_drain;
+}
+
+bool
+Core::faultDefersStoreDrain(InstSeq seq)
+{
+    if (!fault_.defer_nth_store_drain)
+        return false;
+    if (seq == fault_defer_seq_)
+        return cycle_ < fault_defer_until_;
+    if (fault_defer_seq_ != ~InstSeq{0})
+        return false;
+    if (++fault_store_grants_seen_ == fault_.defer_nth_store_drain) {
+        fault_defer_seq_ = seq;
+        fault_defer_until_ = cycle_ + fault_.defer_cycles;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -327,7 +400,13 @@ Core::memIssueStage()
             && *load_it < load_barrier;
 
         if (have_load) {
-            const ForwardState fwd = checkForward(*load_it);
+            ForwardState fwd = checkForward(*load_it);
+            if (fwd == ForwardState::Forward && fault_active_
+                && faultDropsForward(*load_it)) {
+                // Injected bug: pretend no older store matched, so the
+                // load reads the (stale) cache instead of forwarding.
+                fwd = ForwardState::NoMatch;
+            }
             if (fwd == ForwardState::Forward) {
                 forwarded_scratch_.push_back(*load_it);
                 ++load_it;
@@ -391,6 +470,11 @@ Core::memIssueStage()
             trace('M', seq, "forwarded");
         if (tracer_)
             stamps(seq).note = trace::InstRecord::Note::Forwarded;
+        if (checker_) {
+            verify::CommitInfo &ci = checkInfo(seq);
+            ci.forwarded = true;
+            ci.src_store = entry(seq).fwd_store;
+        }
         complete(seq);
     }
 
@@ -401,6 +485,20 @@ Core::memIssueStage()
 
     for (const std::size_t i : accepted_scratch_) {
         const MemRequest &req = requests_scratch_[i];
+        if (fault_active_ && req.is_store) {
+            if (faultSkipsStoreDrain(req.seq)) {
+                // Injected bug: the store retires as if drained but
+                // its write never reaches the cache.
+                entry(req.seq).cache_granted = true;
+                pending_stores_.erase(req.seq);
+                continue;
+            }
+            if (faultDefersStoreDrain(req.seq)) {
+                // Injected bug: discard this grant so younger stores
+                // (possibly to the same address) drain first.
+                continue;
+            }
+        }
         const AccessOutcome out =
             hierarchy_.access(req.addr, req.is_store, cycle_);
         if (!out.accepted) {
@@ -416,6 +514,8 @@ Core::memIssueStage()
             st.note = out.l1_hit ? trace::InstRecord::Note::Hit
                                  : trace::InstRecord::Note::Miss;
         }
+        if (checker_)
+            checkInfo(req.seq).mem_cycle = cycle_;
         if (req.is_store) {
             entry(req.seq).cache_granted = true;
             pending_stores_.erase(req.seq);
@@ -474,6 +574,8 @@ Core::commitStage()
             trace('C', head_seq_);
         if (tracer_)
             emitInstRecord(head_seq_);
+        if (checker_)
+            checker_->onCommit(e.inst, checkInfo(head_seq_), cycle_);
         e.in_window = false;
         ++head_seq_;
         ++committed_count_;
@@ -486,13 +588,185 @@ Core::commitStage()
     } else if (head_seq_ < tail_seq_
                && cycle_ - last_commit_cycle_
                       > config_.deadlock_threshold) {
-        const RuuEntry &h = entry(head_seq_);
-        lbic_panic("no commit for ", config_.deadlock_threshold,
-                   " cycles; head seq ", head_seq_, " op ",
-                   opClassName(h.inst.op), " completed=", h.completed,
-                   " granted=", h.cache_granted,
-                   " wait=", h.wait_count);
+        throwDeadlock();
     }
+}
+
+void
+Core::throwDeadlock()
+{
+    // Forward-progress watchdog: the window is non-empty but nothing
+    // has committed for the configured number of cycles. Dump the
+    // machine state -- into the pipeline trace when one is attached
+    // (the PR 2 observability path, preserved for post-mortems) and
+    // into the error itself -- and raise a containable failure
+    // instead of hanging or aborting the whole process.
+    if (trace_) {
+        *trace_ << "=== watchdog: no forward progress ===\n";
+        dumpState(*trace_);
+    }
+    std::ostringstream os;
+    os << "no instruction committed for " << config_.deadlock_threshold
+       << " cycles (watchdog); raise the threshold with watchdog= if "
+          "the configuration is legitimately this slow\n";
+    dumpState(os);
+    throw SimError(SimErrorKind::Deadlock, os.str());
+}
+
+void
+Core::dumpState(std::ostream &os) const
+{
+    os << "cycle " << cycle_ << ", committed " << committed_count_
+       << ", window [" << head_seq_ << ", " << tail_seq_ << ") ("
+       << (tail_seq_ - head_seq_) << "/" << config_.ruu_size
+       << " RUU, " << lsq_count_ << "/" << config_.lsq_size
+       << " LSQ)\n"
+       << "scan sets: " << cache_ready_loads_.size()
+       << " cache-ready loads, " << pending_stores_.size()
+       << " pending stores, " << unknown_stores_.size()
+       << " unknown-address stores, " << ready_q_.size()
+       << " ready to issue\n";
+    const InstSeq limit =
+        std::min<InstSeq>(tail_seq_, head_seq_ + 8);
+    for (InstSeq seq = head_seq_; seq < limit; ++seq) {
+        const RuuEntry &e = ruu_[seq % config_.ruu_size];
+        os << "  seq " << seq << ' ' << opClassName(e.inst.op);
+        if (e.inst.isMem())
+            os << " @0x" << std::hex << e.inst.addr << std::dec;
+        os << (e.in_window ? "" : " DEAD") << " issued=" << e.issued
+           << " completed=" << e.completed
+           << " addr_known=" << e.addr_known
+           << " granted=" << e.cache_granted
+           << " wait=" << e.wait_count << '\n';
+    }
+    if (tail_seq_ > limit)
+        os << "  ... " << (tail_seq_ - limit) << " younger entries\n";
+    scheduler_.dumpState(os);
+    os << "hierarchy: " << hierarchy_.inFlightMisses()
+       << " in-flight misses\n";
+}
+
+void
+Core::registerInvariants(verify::InvariantAuditor &auditor)
+{
+    auditor.add("core.occupancy", [this]() -> std::string {
+        std::size_t in_window = 0, mem_in_window = 0;
+        for (const RuuEntry &e : ruu_) {
+            if (!e.in_window)
+                continue;
+            ++in_window;
+            if (e.inst.isMem())
+                ++mem_in_window;
+        }
+        if (in_window != tail_seq_ - head_seq_)
+            return "RUU holds " + std::to_string(in_window)
+                   + " live entries but window ["
+                   + std::to_string(head_seq_) + ", "
+                   + std::to_string(tail_seq_) + ") implies "
+                   + std::to_string(tail_seq_ - head_seq_);
+        if (in_window > config_.ruu_size)
+            return "window occupancy " + std::to_string(in_window)
+                   + " exceeds ruu_size "
+                   + std::to_string(config_.ruu_size);
+        if (mem_in_window != lsq_count_)
+            return std::to_string(mem_in_window)
+                   + " memory instructions in flight but lsq_count is "
+                   + std::to_string(lsq_count_);
+        if (lsq_count_ > config_.lsq_size)
+            return "LSQ occupancy " + std::to_string(lsq_count_)
+                   + " exceeds lsq_size "
+                   + std::to_string(config_.lsq_size);
+        return {};
+    });
+
+    auditor.add("core.seq_sets", [this]() -> std::string {
+        struct SetSpec
+        {
+            const char *name;
+            const FlatSeqSet *set;
+        };
+        const SetSpec specs[] = {
+            {"cache_ready_loads", &cache_ready_loads_},
+            {"pending_stores", &pending_stores_},
+            {"unknown_stores", &unknown_stores_},
+        };
+        for (const SetSpec &spec : specs) {
+            InstSeq prev = 0;
+            bool first = true;
+            for (const InstSeq seq : *spec.set) {
+                if (!first && seq <= prev)
+                    return std::string(spec.name)
+                           + " not strictly sorted near seq "
+                           + std::to_string(seq);
+                first = false;
+                prev = seq;
+                if (seq < head_seq_ || seq >= tail_seq_)
+                    return std::string(spec.name) + " holds seq "
+                           + std::to_string(seq)
+                           + " outside the window ["
+                           + std::to_string(head_seq_) + ", "
+                           + std::to_string(tail_seq_) + ")";
+                const RuuEntry &e = entry(seq);
+                if (!e.in_window)
+                    return std::string(spec.name) + " holds dead seq "
+                           + std::to_string(seq);
+                if (spec.set == &cache_ready_loads_
+                    && !e.inst.isLoad())
+                    return "cache_ready_loads holds non-load seq "
+                           + std::to_string(seq);
+                if (spec.set != &cache_ready_loads_
+                    && !e.inst.isStore())
+                    return std::string(spec.name)
+                           + " holds non-store seq "
+                           + std::to_string(seq);
+            }
+        }
+        return {};
+    });
+
+    auditor.add("core.forward_index", [this]() -> std::string {
+        for (const auto &kv : stores_by_addr_) {
+            if (kv.second.empty())
+                return "empty per-address list left in the forwarding "
+                       "index for addr "
+                       + std::to_string(kv.first);
+            InstSeq prev = 0;
+            bool first = true;
+            for (const InstSeq seq : kv.second) {
+                if (!first && seq <= prev)
+                    return "forwarding list for addr "
+                           + std::to_string(kv.first)
+                           + " not strictly sorted near seq "
+                           + std::to_string(seq);
+                first = false;
+                prev = seq;
+                if (seq < head_seq_ || seq >= tail_seq_)
+                    return "forwarding index holds retired seq "
+                           + std::to_string(seq);
+                const RuuEntry &e = entry(seq);
+                if (!e.in_window || !e.inst.isStore()
+                    || e.inst.addr != kv.first)
+                    return "forwarding entry seq "
+                           + std::to_string(seq)
+                           + " does not match a live store to addr "
+                           + std::to_string(kv.first);
+            }
+        }
+        return {};
+    });
+
+    auditor.add("core.stats", [this]() -> std::string {
+        if (committed.value()
+            != static_cast<double>(committed_count_))
+            return "committed stat "
+                   + std::to_string(committed.value())
+                   + " != committed_count "
+                   + std::to_string(committed_count_);
+        if (cycles.value() != static_cast<double>(cycle_))
+            return "cycles stat " + std::to_string(cycles.value())
+                   + " != cycle counter " + std::to_string(cycle_);
+        return {};
+    });
 }
 
 void
@@ -583,6 +857,8 @@ Core::dispatchStage()
             st.fetch = staged_fetch_cycle_;
             st.dispatch = cycle_;
         }
+        if (checker_)
+            checkInfo(seq) = verify::CommitInfo{};
         ++fetched;
     }
 }
@@ -598,15 +874,45 @@ Core::tick()
     dispatchStage();
     ++cycle_;
     ++cycles;
+    if (auditor_ && ++cycles_since_audit_ >= audit_interval_) {
+        cycles_since_audit_ = 0;
+        auditor_->audit(cycle_);
+    }
+}
+
+void
+Core::checkBudgets(
+    const std::chrono::steady_clock::time_point &start)
+{
+    if (max_cycles_ != 0 && cycle_ >= max_cycles_)
+        throw SimError(SimErrorKind::Deadlock,
+                       "cycle budget exhausted: " + std::to_string(cycle_)
+                           + " >= max_cycles=" + std::to_string(max_cycles_));
+    // The wall-clock read is comparatively expensive; sample it.
+    if (max_wall_ms_ > 0.0 && (cycle_ & 0x1fff) == 0) {
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() > max_wall_ms_)
+            throw SimError(
+                SimErrorKind::Deadlock,
+                "wall-clock budget exhausted after "
+                    + std::to_string(elapsed.count()) + " ms (max_wall_ms="
+                    + std::to_string(max_wall_ms_) + ", cycle "
+                    + std::to_string(cycle_) + ")");
+    }
 }
 
 RunResult
 Core::run(std::uint64_t max_insts)
 {
     commit_limit_ = max_insts;
+    const bool budgeted = max_cycles_ != 0 || max_wall_ms_ > 0.0;
+    const auto start = std::chrono::steady_clock::now();
     while (committed_count_ < max_insts) {
         if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
             break;
+        if (budgeted)
+            checkBudgets(start);
         tick();
     }
     RunResult result;
@@ -622,10 +928,14 @@ Core::run(std::uint64_t max_insts, Cycle sample_interval,
     if (sample_interval == 0)
         return run(max_insts);
     commit_limit_ = max_insts;
+    const bool budgeted = max_cycles_ != 0 || max_wall_ms_ > 0.0;
+    const auto start = std::chrono::steady_clock::now();
     Cycle next_sample = cycle_ + sample_interval;
     while (committed_count_ < max_insts) {
         if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
             break;
+        if (budgeted)
+            checkBudgets(start);
         tick();
         if (cycle_ >= next_sample) {
             sample_hook();

@@ -22,6 +22,7 @@
 #define LBIC_CPU_CORE_HH
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <queue>
@@ -35,6 +36,8 @@
 #include "cpu/fu_pool.hh"
 #include "isa/dyn_inst.hh"
 #include "memory/hierarchy.hh"
+#include "verify/auditor.hh"
+#include "verify/golden_model.hh"
 #include "workload/workload.hh"
 
 namespace lbic
@@ -156,6 +159,75 @@ class Core
      */
     void setTracer(trace::Tracer *tracer);
 
+    /**
+     * Attach the golden-model differential checker: every commit is
+     * cross-checked against an in-order functional memory model and
+     * the first divergence throws SimError (CheckFailure). Pass
+     * nullptr to detach; with no checker every instrumentation site
+     * is a single null-pointer test.
+     */
+    void setChecker(verify::GoldenChecker *checker);
+
+    /**
+     * Attach the invariant auditor: every @p interval cycles the
+     * registered invariants are evaluated (throwing SimError on the
+     * first violation). Pass nullptr to detach.
+     */
+    void setAuditor(verify::InvariantAuditor *auditor, Cycle interval);
+
+    /**
+     * Register this core's structural invariants (occupancy
+     * conservation, LSQ sequence ordering, forwarding-index and
+     * stat-counter consistency) with @p auditor.
+     */
+    void registerInvariants(verify::InvariantAuditor &auditor);
+
+    /**
+     * Bound the run: throw SimError (Deadlock) once @p max_cycles
+     * cycles have been simulated or @p max_wall_ms of host wall time
+     * has elapsed since run() was entered. 0 disables either bound.
+     */
+    void
+    setBudget(std::uint64_t max_cycles, double max_wall_ms)
+    {
+        max_cycles_ = max_cycles;
+        max_wall_ms_ = max_wall_ms;
+    }
+
+    /**
+     * Write a human-readable dump of the machine state -- window
+     * occupancy, the oldest RUU/LSQ entries with their status flags,
+     * the memory scan sets and the port scheduler's bank state -- to
+     * @p os. Used by the forward-progress watchdog and available to
+     * embedders for post-mortems.
+     */
+    void dumpState(std::ostream &os) const;
+
+    /**
+     * Deliberate bug injection for checker-validation tests: each
+     * nonzero field corrupts one specific microarchitectural decision
+     * so tests can prove the golden-model checker actually fires.
+     * Never enable outside tests.
+     */
+    struct FaultInjection
+    {
+        /** Drop the Nth load forward (1-based): the load reads the
+         *  cache even though an in-flight older store matches. */
+        std::uint64_t drop_nth_forward = 0;
+
+        /** Swallow the Nth store's cache-write grant (1-based): the
+         *  store commits without its write ever draining. */
+        std::uint64_t skip_nth_store_drain = 0;
+
+        /** Defer the Nth store's drain (1-based) by defer_cycles,
+         *  letting younger same-address stores drain first. */
+        std::uint64_t defer_nth_store_drain = 0;
+        Cycle defer_cycles = 4;
+    };
+
+    /** Arm fault injection (tests only). */
+    void injectFaults(const FaultInjection &faults);
+
     Cycle now() const { return cycle_; }
     std::uint64_t committedCount() const { return committed_count_; }
 
@@ -262,6 +334,44 @@ class Core
 
     trace::Tracer *tracer_ = nullptr;
     std::vector<StageStamps> stamps_;
+
+    /** Per-RUU-slot service records, maintained only while checking. */
+    verify::CommitInfo &
+    checkInfo(InstSeq seq)
+    {
+        return check_info_[seq % config_.ruu_size];
+    }
+
+    verify::GoldenChecker *checker_ = nullptr;
+    std::vector<verify::CommitInfo> check_info_;
+
+    verify::InvariantAuditor *auditor_ = nullptr;
+    Cycle audit_interval_ = 0;
+    Cycle cycles_since_audit_ = 0;
+
+    /** Build the watchdog's Deadlock error with a full state dump. */
+    [[noreturn]] void throwDeadlock();
+
+    /** Throw when a configured cycle/wall-time budget is exhausted. */
+    void checkBudgets(
+        const std::chrono::steady_clock::time_point &start);
+
+    std::uint64_t max_cycles_ = 0;
+    double max_wall_ms_ = 0.0;
+
+    /** @{ @name Fault-injection state (tests only) */
+    bool faultDropsForward(InstSeq seq);
+    bool faultSkipsStoreDrain(InstSeq seq);
+    bool faultDefersStoreDrain(InstSeq seq);
+
+    FaultInjection fault_;
+    bool fault_active_ = false;
+    std::uint64_t fault_forwards_seen_ = 0;
+    std::uint64_t fault_store_grants_seen_ = 0;
+    InstSeq fault_drop_seq_ = ~InstSeq{0};
+    InstSeq fault_defer_seq_ = ~InstSeq{0};
+    Cycle fault_defer_until_ = 0;
+    /** @} */
 
     /** Cycle the staged instruction was pulled from the workload. */
     Cycle staged_fetch_cycle_ = 0;

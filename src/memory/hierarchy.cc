@@ -173,4 +173,53 @@ MemoryHierarchy::outstandingMisses(Cycle now)
     return static_cast<unsigned>(mshrs_.size());
 }
 
+void
+MemoryHierarchy::registerInvariants(verify::InvariantAuditor &auditor)
+{
+    auditor.add("mem.stats", [this]() -> std::string {
+        // Rejected and port-stalled attempts roll the access count
+        // back, so every counted access resolved one way.
+        if (accesses.value()
+            != hits.value() + misses.value() + secondary_misses.value())
+            return "accesses " + std::to_string(accesses.value())
+                   + " != hits + misses + secondary ("
+                   + std::to_string(hits.value()) + " + "
+                   + std::to_string(misses.value()) + " + "
+                   + std::to_string(secondary_misses.value()) + ")";
+        if (l2_accesses.value()
+            != l2_hits.value() + l2_misses.value())
+            return "l2_accesses " + std::to_string(l2_accesses.value())
+                   + " != l2_hits + l2_misses";
+        // Every L1 primary miss consults the L2 exactly once
+        // (writebacks take a separate path).
+        if (misses.value() != l2_accesses.value())
+            return "L1 primary misses "
+                   + std::to_string(misses.value())
+                   + " != L2 demand accesses "
+                   + std::to_string(l2_accesses.value());
+        return {};
+    });
+
+    auditor.add("mem.mshrs", [this]() -> std::string {
+        if (mshrs_.size() > config_.max_outstanding)
+            return std::to_string(mshrs_.size())
+                   + " MSHRs allocated, only "
+                   + std::to_string(config_.max_outstanding)
+                   + " exist";
+        if (mshr_index_.size() != mshrs_.size())
+            return "MSHR index holds "
+                   + std::to_string(mshr_index_.size())
+                   + " entries for " + std::to_string(mshrs_.size())
+                   + " MSHRs";
+        for (const auto &kv : mshr_index_) {
+            if (kv.second >= mshrs_.size()
+                || mshrs_[kv.second].line != kv.first)
+                return "MSHR index entry for line "
+                       + std::to_string(kv.first)
+                       + " does not point at its MSHR";
+        }
+        return {};
+    });
+}
+
 } // namespace lbic

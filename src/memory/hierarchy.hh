@@ -24,6 +24,7 @@
 #include "common/statistics.hh"
 #include "common/types.hh"
 #include "memory/tag_store.hh"
+#include "verify/auditor.hh"
 
 namespace lbic
 {
@@ -95,6 +96,22 @@ class MemoryHierarchy
 
     /** Number of in-flight miss requests at @p now. */
     unsigned outstandingMisses(Cycle now);
+
+    /**
+     * Number of currently allocated MSHRs, without retiring finished
+     * fills first (a side-effect-free view for dumps and invariants).
+     */
+    unsigned
+    inFlightMisses() const
+    {
+        return static_cast<unsigned>(mshrs_.size());
+    }
+
+    /**
+     * Register the hierarchy's structural invariants (stat-counter
+     * conservation and MSHR bookkeeping consistency) with @p auditor.
+     */
+    void registerInvariants(verify::InvariantAuditor &auditor);
 
     const CacheConfig &l1Config() const { return l1_.config(); }
 

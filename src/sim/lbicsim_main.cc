@@ -16,16 +16,25 @@
  * writes an interval stats time series (CSV, or JSON when the path
  * ends in .json) every N cycles. See README "Observability".
  *
+ * Verification (mode=run): `check=1` runs the golden-model
+ * differential checker, `audit=1 [audit_interval=N]` audits the
+ * structural invariants, `watchdog=N` sets the forward-progress
+ * threshold and `max_cycles=N` / `max_wall_ms=X` bound the run; any
+ * violation exits 1 with a structured diagnosis. See README
+ * "Robustness & verification".
+ *
  * All SimConfig overrides are accepted (see sim/sim_config.hh):
  * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
  * l1_assoc, lsq, ruu, fetch_width, issue_width, disambig, trace,
- * trace_format, interval, interval_out, interval_stats.
+ * trace_format, interval, interval_out, interval_stats, check,
+ * audit, audit_interval, watchdog, max_cycles, max_wall_ms.
  */
 
 #include <fstream>
 #include <iostream>
 
 #include "common/config.hh"
+#include "common/sim_error.hh"
 #include "common/table.hh"
 #include "sim/refstream.hh"
 #include "sim/simulator.hh"
@@ -149,7 +158,7 @@ modeRun(const Config &args, const SimConfig &cfg)
 
 int
 main(int argc, char **argv)
-{
+try {
     const Config args = Config::fromArgs(argc, argv);
     const std::string mode = args.getString("mode", "run");
 
@@ -168,4 +177,10 @@ main(int argc, char **argv)
         return modeRun(args, cfg);
     lbic_fatal("unknown mode '", mode,
                "' (expected run, list, profile, capture or replay)");
+} catch (const lbic::SimError &e) {
+    // Structured simulation failures (bad configuration, watchdog
+    // deadlock, checker divergence) exit cleanly with the diagnosis
+    // instead of an unhandled-exception abort.
+    std::cerr << "lbicsim: " << e.what() << '\n';
+    return 1;
 }

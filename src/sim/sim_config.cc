@@ -1,7 +1,7 @@
 #include "sim_config.hh"
 
 #include "cacheport/bank_select.hh"
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace lbic
 {
@@ -35,6 +35,19 @@ SimConfig::applyOverrides(const Config &cfg)
     interval = cfg.getU64("interval", interval);
     interval_out = cfg.getString("interval_out", interval_out);
     interval_stats = cfg.getString("interval_stats", interval_stats);
+    check = cfg.getBool("check", check);
+    audit = cfg.getBool("audit", audit);
+    audit_interval = cfg.getU64("audit_interval", audit_interval);
+    core.deadlock_threshold = static_cast<unsigned>(
+        cfg.getU64("watchdog", core.deadlock_threshold));
+    max_cycles = cfg.getU64("max_cycles", max_cycles);
+    max_wall_ms = cfg.getDouble("max_wall_ms", max_wall_ms);
+    if (audit_interval == 0)
+        throw SimError(SimErrorKind::Config,
+                       "audit_interval must be nonzero");
+    if (core.deadlock_threshold == 0)
+        throw SimError(SimErrorKind::Config,
+                       "watchdog threshold must be nonzero");
     const std::string dis = cfg.getString(
         "disambig",
         core.disambiguation == Disambiguation::Perfect ? "perfect"
@@ -44,8 +57,9 @@ SimConfig::applyOverrides(const Config &cfg)
     else if (dis == "conservative")
         core.disambiguation = Disambiguation::Conservative;
     else
-        lbic_fatal("disambig must be 'perfect' or 'conservative', got '",
-                   dis, "'");
+        throw SimError(SimErrorKind::Config,
+                       "disambig must be 'perfect' or 'conservative', "
+                       "got '" + dis + "'");
 }
 
 } // namespace lbic

@@ -63,6 +63,33 @@ struct SimConfig
      */
     std::string interval_stats;
 
+    /**
+     * Run the golden-model differential checker: an in-order
+     * functional memory model shadows the out-of-order core and every
+     * committed load/store is cross-checked (throws SimError with kind
+     * CheckFailure on the first divergence). Requires a registry
+     * workload (the shadow stream is re-created by name and seed).
+     */
+    bool check = false;
+
+    /** Audit structural invariants every audit_interval cycles. */
+    bool audit = false;
+
+    /** Cycles between invariant audits (audit=1 only). */
+    std::uint64_t audit_interval = 64;
+
+    /**
+     * Cycle budget: abort with SimError (Deadlock) once this many
+     * cycles have been simulated. 0 disables.
+     */
+    std::uint64_t max_cycles = 0;
+
+    /**
+     * Wall-clock budget in milliseconds, measured from run().
+     * 0 disables.
+     */
+    double max_wall_ms = 0.0;
+
     /** Port-factory options implied by this configuration. */
     PortFactoryOptions
     portOptions() const
@@ -78,7 +105,8 @@ struct SimConfig
      * Apply `key=value` overrides from @p cfg. Recognized keys:
      * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
      * l1_assoc, lsq, ruu, fetch_width, issue_width, trace,
-     * trace_format, interval, interval_out, interval_stats.
+     * trace_format, interval, interval_out, interval_stats, check,
+     * audit, audit_interval, watchdog, max_cycles, max_wall_ms.
      */
     void applyOverrides(const Config &cfg);
 };

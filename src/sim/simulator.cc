@@ -4,6 +4,7 @@
 
 #include "cacheport/factory.hh"
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "workload/registry.hh"
 
 namespace lbic
@@ -92,11 +93,44 @@ Simulator::setupSampler()
              : IntervalSampler::Format::Csv);
 }
 
+void
+Simulator::setupChecker()
+{
+    if (!config_.check || checker_)
+        return;
+    // The shadow model replays the same instruction stream in order,
+    // so it needs an independent copy of the workload -- which only
+    // exists for registry workloads (name + seed reproduce the
+    // stream). A caller-supplied workload cannot be duplicated.
+    if (!owned_workload_)
+        throw SimError(SimErrorKind::Config,
+                       "check=1 requires a registry workload (the "
+                       "shadow stream is re-created by name and seed)");
+    checker_ = std::make_unique<verify::GoldenChecker>(
+        makeWorkload(config_.workload, config_.seed));
+    core_->setChecker(checker_.get());
+}
+
+void
+Simulator::setupAuditor()
+{
+    if (!config_.audit || auditor_)
+        return;
+    auditor_ = std::make_unique<verify::InvariantAuditor>();
+    core_->registerInvariants(*auditor_);
+    scheduler_->registerInvariants(*auditor_);
+    hierarchy_->registerInvariants(*auditor_);
+    core_->setAuditor(auditor_.get(), config_.audit_interval);
+}
+
 RunResult
 Simulator::run()
 {
     setupTrace();
     setupSampler();
+    setupChecker();
+    setupAuditor();
+    core_->setBudget(config_.max_cycles, config_.max_wall_ms);
     // Producers get the tracer only when a sink is actually attached
     // (via config.trace_path or tracer().attach() before run()); with
     // none, their tracer pointer stays null and the pipeline skips
@@ -106,12 +140,21 @@ Simulator::run()
         scheduler_->setTracer(&tracer_);
     }
     RunResult result;
-    if (sampler_) {
-        result = core_->run(config_.max_insts, config_.interval,
-                            [this] { sampler_->sample(); });
-        sampler_->finish();
-    } else {
-        result = core_->run(config_.max_insts);
+    try {
+        if (sampler_) {
+            result = core_->run(config_.max_insts, config_.interval,
+                                [this] { sampler_->sample(); });
+            sampler_->finish();
+        } else {
+            result = core_->run(config_.max_insts);
+        }
+    } catch (...) {
+        // Finalize the trace before propagating so the events leading
+        // up to the failure survive for the post-mortem.
+        tracer_.finish();
+        if (trace_file_.is_open())
+            trace_file_.flush();
+        throw;
     }
     tracer_.finish();
     if (trace_file_.is_open())

@@ -28,6 +28,8 @@
 #include "memory/hierarchy.hh"
 #include "sim/interval_sampler.hh"
 #include "sim/sim_config.hh"
+#include "verify/auditor.hh"
+#include "verify/golden_model.hh"
 #include "workload/workload.hh"
 
 namespace lbic
@@ -79,12 +81,32 @@ class Simulator
      */
     trace::Tracer &tracer() { return tracer_; }
 
+    /**
+     * The golden-model checker, or null when config.check is off (it
+     * is created lazily by run()). Exposed so tests can assert the
+     * checker actually exercised the commit stream.
+     */
+    const verify::GoldenChecker *checker() const
+    {
+        return checker_.get();
+    }
+
+    /** The invariant auditor, or null when config.audit is off. */
+    const verify::InvariantAuditor *auditor() const
+    {
+        return auditor_.get();
+    }
+
   private:
     void build(Workload &workload);
 
     /** Open streams / create the sink and sampler config asked for. */
     void setupTrace();
     void setupSampler();
+
+    /** Build the checker / auditor when config asks for them. */
+    void setupChecker();
+    void setupAuditor();
 
     SimConfig config_;
     stats::StatGroup root_;
@@ -99,6 +121,8 @@ class Simulator
     std::unique_ptr<trace::TraceSink> trace_sink_;
     std::ofstream interval_file_;
     std::unique_ptr<IntervalSampler> sampler_;
+    std::unique_ptr<verify::GoldenChecker> checker_;
+    std::unique_ptr<verify::InvariantAuditor> auditor_;
 };
 
 /**

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/sim_error.hh"
+
 namespace lbic
 {
 
@@ -106,12 +108,60 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             if (i >= jobs.size())
                 return;
             notifyStart(jobs[i]);
-            try {
-                results[i] = runOne(jobs[i]);
-                notifyFinish(jobs[i], &results[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
-                notifyFinish(jobs[i], nullptr);
+
+            SweepJob job = jobs[i];
+            if (policy_.max_cycles != 0)
+                job.config.max_cycles = policy_.max_cycles;
+            if (policy_.max_wall_ms > 0.0)
+                job.config.max_wall_ms = policy_.max_wall_ms;
+
+            for (unsigned attempt = 1;; ++attempt) {
+                try {
+                    results[i] = runOne(job);
+                    results[i].attempts = attempt;
+                    notifyFinish(jobs[i], &results[i]);
+                    break;
+                } catch (...) {
+                    const std::exception_ptr eptr =
+                        std::current_exception();
+                    // Classify: SimError failures are deterministic
+                    // (permanent), anything else is assumed transient
+                    // (OOM, filesystem) and eligible for retry.
+                    bool permanent = true;
+                    std::string what, kind;
+                    try {
+                        std::rethrow_exception(eptr);
+                    } catch (const SimError &e) {
+                        permanent = e.permanent();
+                        what = e.what();
+                        kind = simErrorKindName(e.kind());
+                    } catch (const std::exception &e) {
+                        permanent = false;
+                        what = e.what();
+                        kind = "exception";
+                    } catch (...) {
+                        permanent = false;
+                        what = "unknown exception";
+                        kind = "exception";
+                    }
+                    if (!permanent && attempt <= policy_.retries) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                static_cast<std::uint64_t>(
+                                    policy_.backoff_ms)
+                                << (attempt - 1)));
+                        continue;
+                    }
+                    errors[i] = eptr;
+                    results[i] = SweepResult{};
+                    results[i].label = jobs[i].label;
+                    results[i].ok = false;
+                    results[i].error = std::move(what);
+                    results[i].error_kind = std::move(kind);
+                    results[i].attempts = attempt;
+                    notifyFinish(jobs[i], nullptr);
+                    break;
+                }
             }
         }
     };
@@ -131,9 +181,11 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             t.join();
     }
 
-    for (const std::exception_ptr &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
+    if (!policy_.isolate) {
+        for (const std::exception_ptr &e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
     }
     return results;
 }

@@ -36,10 +36,13 @@
  *    before threads start; workers at most read it on error paths.
  * The `test_sweep` binary runs this audit under ThreadSanitizer in CI.
  *
- * Error handling: a job that throws (e.g. an unknown workload name
- * under test error-throw mode) does not tear down the pool. All jobs
- * are still attempted; after the pool drains, the exception of the
- * earliest-submitted failed job is rethrown to the caller.
+ * Error handling: a job that throws (e.g. an unknown workload name)
+ * does not tear down the pool; all jobs are always attempted. What
+ * happens to the failure is governed by SweepPolicy: by default the
+ * earliest-submitted failed job's exception is rethrown after the
+ * pool drains; with policy.isolate the failure is recorded in the
+ * job's result slot (ok=false, error, error_kind) and the sweep
+ * returns normally, optionally retrying transient failures first.
  */
 
 #ifndef LBIC_SIM_SWEEP_HH
@@ -116,7 +119,53 @@ struct SweepResult
     /** Host wall-clock of this run, milliseconds. */
     double wall_ms = 0.0;
 
+    /** False when the job's final attempt threw (isolated mode). */
+    bool ok = true;
+
+    /** The failure's what() text; empty when ok. */
+    std::string error;
+
+    /**
+     * Failure taxonomy: "config", "deadlock" or "check" for SimError,
+     * "exception" for anything else; empty when ok.
+     */
+    std::string error_kind;
+
+    /** Simulation attempts consumed (1 unless retries kicked in). */
+    unsigned attempts = 1;
+
     double ipc() const { return result.ipc(); }
+};
+
+/**
+ * Failure-handling policy of a sweep run.
+ *
+ * The default reproduces the historical contract: every job is
+ * attempted once and the earliest-submitted failure is rethrown after
+ * the pool drains. Isolated mode instead records failures in their
+ * result slot (ok=false, error, error_kind) so one broken
+ * configuration cannot take down a grid of good ones, and transient
+ * (non-SimError) failures may be retried with exponential backoff.
+ * SimError failures are deterministic -- a bad config or a
+ * deadlock/check divergence reproduces identically -- so they are
+ * never retried.
+ */
+struct SweepPolicy
+{
+    /** Capture failures in results instead of rethrowing. */
+    bool isolate = false;
+
+    /** Extra attempts for transient failures (0 = fail fast). */
+    unsigned retries = 0;
+
+    /** Backoff before retry k: backoff_ms << (k-1) milliseconds. */
+    unsigned backoff_ms = 10;
+
+    /** Per-job cycle budget; overrides job config when nonzero. */
+    std::uint64_t max_cycles = 0;
+
+    /** Per-job wall-clock budget (ms); overrides when nonzero. */
+    double max_wall_ms = 0.0;
 };
 
 /** A point-in-time snapshot of a running sweep, for telemetry. */
@@ -170,18 +219,30 @@ class SweepRunner
     void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
+     * Install the failure-handling policy (see SweepPolicy). Takes
+     * effect for subsequent run() calls.
+     */
+    void setPolicy(const SweepPolicy &policy) { policy_ = policy; }
+
+    const SweepPolicy &policy() const { return policy_; }
+
+    /**
      * Execute every job and return results in submission order.
      *
      * With one worker (or one job) everything runs inline on the
      * calling thread -- the serial path is the parallel path.
-     * If any job threw, the earliest-submitted job's exception is
-     * rethrown after all jobs have been attempted.
+     * All jobs are always attempted; what happens to failures is
+     * the policy's call. By default the earliest-submitted job's
+     * exception is rethrown after the pool drains; with
+     * policy.isolate the failure is recorded in the job's result
+     * slot instead and the sweep returns normally.
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
 
   private:
     unsigned num_threads_;
     ProgressFn progress_;
+    SweepPolicy policy_;
 };
 
 /** One-shot convenience: run @p jobs on @p num_threads workers. */

@@ -1,0 +1,38 @@
+#include "auditor.hh"
+
+#include <sstream>
+
+#include "common/sim_error.hh"
+
+namespace lbic
+{
+namespace verify
+{
+
+void
+InvariantAuditor::audit(Cycle now)
+{
+    for (const Check &check : checks_) {
+        const std::string diagnosis = check.fn();
+        if (!diagnosis.empty()) {
+            std::ostringstream os;
+            os << "invariant '" << check.name << "' violated at cycle "
+               << now << ": " << diagnosis;
+            throw SimError(SimErrorKind::CheckFailure, os.str());
+        }
+    }
+    ++audits_;
+}
+
+std::vector<std::string>
+InvariantAuditor::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(checks_.size());
+    for (const Check &check : checks_)
+        out.push_back(check.name);
+    return out;
+}
+
+} // namespace verify
+} // namespace lbic

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The structural invariant auditor.
+ *
+ * The golden model (verify/golden_model.hh) validates the committed
+ * stream; the auditor validates the machine *between* commits. Each
+ * component registers named invariants over its own internal state --
+ * RUU/LSQ occupancy conservation, LSQ sequence ordering, per-bank
+ * store-queue depth bounds, stat-counter consistency such as
+ * `combines <= grants` -- and the core evaluates the whole registry
+ * every `audit_interval` cycles (the periodic-sampling validation
+ * idea: frequent enough to localize a corruption to a short window,
+ * infrequent enough to stay cheap).
+ *
+ * An invariant is a callable returning an empty string when the
+ * invariant holds and a human-readable diagnosis when it does not.
+ * The first failing invariant aborts the audit with SimError
+ * (CheckFailure) naming the invariant, the cycle, and the diagnosis.
+ *
+ * Registration:
+ * @code
+ *   verify::InvariantAuditor auditor;
+ *   core.registerInvariants(auditor);
+ *   scheduler.registerInvariants(auditor);
+ *   hierarchy.registerInvariants(auditor);
+ *   core.setAuditor(&auditor, 1000);   // audit every 1000 cycles
+ * @endcode
+ */
+
+#ifndef LBIC_VERIFY_AUDITOR_HH
+#define LBIC_VERIFY_AUDITOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lbic
+{
+namespace verify
+{
+
+/** Named registry of structural invariants, audited periodically. */
+class InvariantAuditor
+{
+  public:
+    /**
+     * One invariant: returns "" while the invariant holds, a
+     * diagnosis otherwise. Must not mutate observable simulator
+     * state (audited runs stay bit-identical to unaudited ones).
+     */
+    using CheckFn = std::function<std::string()>;
+
+    /** Register an invariant under @p name (e.g. "core.occupancy"). */
+    void
+    add(std::string name, CheckFn fn)
+    {
+        checks_.push_back({std::move(name), std::move(fn)});
+    }
+
+    /**
+     * Evaluate every registered invariant.
+     *
+     * @param now the current cycle, for the failure message.
+     * @throws SimError (CheckFailure) on the first violated invariant.
+     */
+    void audit(Cycle now);
+
+    /** Number of registered invariants. */
+    std::size_t size() const { return checks_.size(); }
+
+    /** Completed full audit passes (for tests and reporting). */
+    std::uint64_t auditsRun() const { return audits_; }
+
+    /** Registered invariant names, in registration order. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Check
+    {
+        std::string name;
+        CheckFn fn;
+    };
+
+    std::vector<Check> checks_;
+    std::uint64_t audits_ = 0;
+};
+
+} // namespace verify
+} // namespace lbic
+
+#endif // LBIC_VERIFY_AUDITOR_HH

@@ -1,0 +1,159 @@
+#include "golden_model.hh"
+
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "isa/op_class.hh"
+
+namespace lbic
+{
+namespace verify
+{
+
+GoldenChecker::GoldenChecker(std::unique_ptr<Workload> shadow)
+    : shadow_(std::move(shadow))
+{}
+
+void
+GoldenChecker::fail(const DynInst &inst, const std::string &what) const
+{
+    std::ostringstream os;
+    os << "golden-model divergence at committed seq " << inst.seq
+       << " (" << opClassName(inst.op);
+    if (inst.isMem())
+        os << " @0x" << std::hex << inst.addr << std::dec;
+    os << "): " << what;
+    throw SimError(SimErrorKind::CheckFailure, os.str());
+}
+
+void
+GoldenChecker::checkShadowStream(const DynInst &inst)
+{
+    DynInst golden;
+    if (shadow_ended_ || !shadow_->next(golden)) {
+        shadow_ended_ = true;
+        fail(inst, "core committed an instruction past the end of the "
+                   "architectural stream");
+    }
+    if (inst.op != golden.op || inst.dst != golden.dst
+        || inst.src != golden.src || inst.addr != golden.addr
+        || inst.size != golden.size) {
+        std::ostringstream os;
+        os << "committed instruction diverges from the architectural "
+              "stream: expected "
+           << opClassName(golden.op) << " dst=" << golden.dst
+           << " src=[" << golden.src[0] << "," << golden.src[1]
+           << "] addr=0x" << std::hex << golden.addr << std::dec
+           << ", got " << opClassName(inst.op) << " dst=" << inst.dst
+           << " src=[" << inst.src[0] << "," << inst.src[1]
+           << "] addr=0x" << std::hex << inst.addr << std::dec;
+        fail(inst, os.str());
+    }
+}
+
+void
+GoldenChecker::onCommit(const DynInst &inst, const CommitInfo &info,
+                        Cycle commit_cycle)
+{
+    if (inst.seq != next_seq_) {
+        std::ostringstream os;
+        os << "commit order broken: expected seq " << next_seq_
+           << " next";
+        fail(inst, os.str());
+    }
+    ++next_seq_;
+    ++checked_;
+
+    if (shadow_)
+        checkShadowStream(inst);
+
+    if (!inst.isMem())
+        return;
+
+    const auto it = last_store_.find(inst.addr);
+
+    if (inst.isLoad()) {
+        ++loads_;
+        if (info.forwarded) {
+            ++forwards_;
+            // The architecturally-correct source is the youngest older
+            // store to the same address. All instructions older than
+            // this load have committed (commit is in order), so the
+            // model's per-address record *is* that store.
+            if (it == last_store_.end()) {
+                fail(inst, "load claims forwarding from seq "
+                               + std::to_string(info.src_store)
+                               + " but no store to this address "
+                                 "precedes it");
+            }
+            if (it->second.seq != info.src_store) {
+                std::ostringstream os;
+                os << "load forwarded from store seq "
+                   << info.src_store
+                   << " but the youngest older store to this address "
+                      "is seq " << it->second.seq << " (stale data)";
+                fail(inst, os.str());
+            }
+            return;
+        }
+        if (info.mem_cycle == no_cycle)
+            fail(inst, "load committed without being serviced by "
+                       "either forwarding or the cache");
+        if (it != last_store_.end()) {
+            const LastStore &st = it->second;
+            // A cache read is only architecturally safe once the
+            // youngest older same-address store has (a) drained its
+            // write into the cache and (b) left the window -- while it
+            // was still in flight the LSQ was required to forward.
+            if (st.drain_cycle == no_cycle
+                || st.drain_cycle > info.mem_cycle) {
+                std::ostringstream os;
+                os << "load read the cache at cycle " << info.mem_cycle
+                   << " before older store seq " << st.seq
+                   << " drained its write (drain cycle ";
+                if (st.drain_cycle == no_cycle)
+                    os << "never";
+                else
+                    os << st.drain_cycle;
+                os << "): stale data";
+                fail(inst, os.str());
+            }
+            if (st.commit_cycle >= info.mem_cycle) {
+                std::ostringstream os;
+                os << "load read the cache at cycle " << info.mem_cycle
+                   << " while older store seq " << st.seq
+                   << " was still in the window (committed at cycle "
+                   << st.commit_cycle
+                   << "); it should have been forwarded";
+                fail(inst, os.str());
+            }
+        }
+        return;
+    }
+
+    // Store: it must have drained (been granted its cache write)
+    // before retiring, and same-address drains must respect program
+    // order -- an out-of-order drain would leave the older store's
+    // value in the cache.
+    ++stores_;
+    if (info.mem_cycle == no_cycle)
+        fail(inst, "store committed without draining its write to "
+                   "the cache");
+    if (it != last_store_.end()
+        && info.mem_cycle < it->second.drain_cycle) {
+        std::ostringstream os;
+        os << "store drain order violated: this store drained at cycle "
+           << info.mem_cycle << " but older store seq "
+           << it->second.seq << " to the same address drained later, "
+           << "at cycle " << it->second.drain_cycle;
+        fail(inst, os.str());
+    }
+    LastStore st;
+    st.seq = inst.seq;
+    st.drain_cycle = info.mem_cycle;
+    st.commit_cycle = commit_cycle;
+    last_store_[inst.addr] = st;
+}
+
+} // namespace verify
+} // namespace lbic

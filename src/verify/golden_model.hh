@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The golden-model differential checker.
+ *
+ * Every IPC number this reproduction reports assumes the out-of-order
+ * core serviced the architectural reference stream *correctly*: each
+ * committed load got its data from the right place (the youngest older
+ * in-flight store to the same address, or the cache once that store
+ * had drained) and each store's cache write respected per-address
+ * program order. A silent forwarding or drain-ordering bug would not
+ * crash anything -- it would just quietly invalidate the Table 3/4
+ * comparison between port organizations.
+ *
+ * GoldenChecker is a second, trivially-simple, in-order functional
+ * memory model that shadows the timing core. The core notifies it of
+ * every commit (which is in program order) together with how the
+ * instruction was serviced (verify::CommitInfo); the checker replays
+ * the same access against its own architectural state and throws
+ * SimError (CheckFailure) on the first divergence. Because the checker
+ * is execution-order-independent -- it sees only the committed
+ * stream -- the same checks hold for all four port organizations.
+ *
+ * Checks performed at each commit:
+ *  - commits are gapless and in program order;
+ *  - (optional) the committed instruction matches an independently
+ *    generated shadow copy of the workload stream field by field;
+ *  - a forwarded load named exactly the youngest older same-address
+ *    store as its data source;
+ *  - a cache-serviced load read the cache only after the youngest
+ *    older same-address store had both drained its write and left the
+ *    window (otherwise the load was required to forward);
+ *  - every store drained to the cache before committing, and
+ *    same-address drains happened in program order.
+ *
+ * The model is timing-free: one hash map keyed by address. Overhead
+ * with check=1 is a few percent, far inside the 2x budget.
+ */
+
+#ifndef LBIC_VERIFY_GOLDEN_MODEL_HH
+#define LBIC_VERIFY_GOLDEN_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "isa/dyn_inst.hh"
+#include "workload/workload.hh"
+
+namespace lbic
+{
+namespace verify
+{
+
+/** "No cycle recorded" sentinel for CommitInfo stamps. */
+constexpr Cycle no_cycle = ~Cycle{0};
+
+/**
+ * How the core serviced one instruction, reported at its commit.
+ * Non-memory instructions leave every field defaulted.
+ */
+struct CommitInfo
+{
+    /**
+     * Cycle the operation's cache access was granted and accepted:
+     * the load's read, or the store's drain (write grant). no_cycle
+     * when the operation never touched the cache.
+     */
+    Cycle mem_cycle = no_cycle;
+
+    /** Load only: serviced by zero-latency LSQ forwarding. */
+    bool forwarded = false;
+
+    /** Load only: sequence number of the forwarding source store. */
+    InstSeq src_store = 0;
+};
+
+/** In-order functional shadow of the memory system. */
+class GoldenChecker
+{
+  public:
+    /**
+     * @param shadow optional second copy of the workload stream (same
+     *        name and seed as the one driving the core). When present
+     *        every committed instruction is compared against it field
+     *        by field, catching window-management bugs (skipped,
+     *        duplicated or corrupted instructions) that the memory
+     *        checks alone cannot see. Pass nullptr when the driving
+     *        workload cannot be re-created (external workloads).
+     */
+    explicit GoldenChecker(std::unique_ptr<Workload> shadow = nullptr);
+
+    /**
+     * Verify one committed instruction against the golden model.
+     *
+     * @param inst the committing instruction (seq assigned).
+     * @param info how the core serviced it.
+     * @param commit_cycle the cycle it committed.
+     * @throws SimError (CheckFailure) on the first divergence, with a
+     *         message naming the sequence number, address and the
+     *         expected-vs-actual service source.
+     */
+    void onCommit(const DynInst &inst, const CommitInfo &info,
+                  Cycle commit_cycle);
+
+    /** @{ @name Progress counters (for tests and reporting) */
+    std::uint64_t checkedInstructions() const { return checked_; }
+    std::uint64_t checkedLoads() const { return loads_; }
+    std::uint64_t checkedStores() const { return stores_; }
+    std::uint64_t validatedForwards() const { return forwards_; }
+    /** @} */
+
+  private:
+    /** Architectural state: the youngest committed store per address. */
+    struct LastStore
+    {
+        InstSeq seq = 0;
+        Cycle drain_cycle = no_cycle;  //!< cache write grant
+        Cycle commit_cycle = no_cycle; //!< left the window
+    };
+
+    [[noreturn]] void fail(const DynInst &inst,
+                           const std::string &what) const;
+
+    /** Compare @p inst against the next shadow-stream instruction. */
+    void checkShadowStream(const DynInst &inst);
+
+    std::unordered_map<Addr, LastStore> last_store_;
+    std::unique_ptr<Workload> shadow_;
+    InstSeq next_seq_ = 0;
+    bool shadow_ended_ = false;
+
+    std::uint64_t checked_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t forwards_ = 0;
+};
+
+} // namespace verify
+} // namespace lbic
+
+#endif // LBIC_VERIFY_GOLDEN_MODEL_HH

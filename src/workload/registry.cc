@@ -1,6 +1,6 @@
 #include "registry.hh"
 
-#include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "workload/kernels.hh"
 #include "workload/synthetic.hh"
 
@@ -70,7 +70,9 @@ makeWorkload(const std::string &name, std::uint64_t seed)
     if (name == "sameline")
         return std::make_unique<SameLineBurstWorkload>(params, 4);
 
-    lbic_fatal("unknown workload '", name, "'");
+    throw SimError(SimErrorKind::Config,
+                   "unknown workload '" + name
+                       + "' (see lbicsim mode=list)");
 }
 
 } // namespace lbic

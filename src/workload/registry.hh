@@ -36,7 +36,8 @@ const std::vector<std::string> &allKernels();
  *
  * @param name workload name.
  * @param seed PRNG seed for the instance.
- * @return a fresh workload; fatal() on an unknown name.
+ * @return a fresh workload; throws SimError (Config) on an unknown
+ *         name.
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        std::uint64_t seed = 1);

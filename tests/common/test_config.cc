@@ -88,5 +88,39 @@ TEST_F(ConfigTest, RejectUnrecognizedPassesWhenAllTouched)
     EXPECT_NO_THROW(cfg.rejectUnrecognized());
 }
 
+TEST_F(ConfigTest, UnrecognizedKeySuggestsClosestKnownKey)
+{
+    Config cfg;
+    cfg.set("workload", "swim");
+    cfg.set("worklod", "swim");  // the typo under test
+    cfg.getString("workload", "");
+    try {
+        cfg.rejectUnrecognized();
+        FAIL() << "typo key was accepted";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("worklod"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean 'workload'"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST_F(ConfigTest, NoSuggestionForDistantUnknownKey)
+{
+    Config cfg;
+    cfg.set("workload", "swim");
+    cfg.set("zzqqxx", "1");
+    cfg.getString("workload", "");
+    try {
+        cfg.rejectUnrecognized();
+        FAIL() << "unknown key was accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()).find("did you mean"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // anonymous namespace
 } // namespace lbic

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * End-to-end test of the bench drivers' shared JSON emission path:
+ * a sweep containing a failing job must still produce one
+ * well-formed JSON object, report the failure inline and yield a
+ * nonzero exit code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+/** Minimal structural JSON validation: balanced, quotes closed. */
+void
+expectBalancedJson(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(BenchJsonTest, FailingJobYieldsValidJsonAndNonzeroExit)
+{
+    detail::setThrowOnError(true);
+    const std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("no-such-kernel", "bank:4", 1000),
+        SweepJob::of("swim", "lbic:4x2", 5000),
+    };
+    bench::BenchArgs args;
+    args.insts = 5000;
+    args.jobs = 2;
+    args.json = true;
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    detail::setThrowOnError(false);
+
+    ASSERT_EQ(out.results.size(), 3u);
+    EXPECT_EQ(bench::failedJobs(out), 1u);
+    EXPECT_EQ(bench::exitCode(out), 1);
+
+    std::ostringstream os;
+    bench::printJsonResults(os, "test_driver", args, jobs, out);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"failed\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"error_kind\": \"config\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
+    EXPECT_NE(json.find("no-such-kernel"), std::string::npos);
+}
+
+TEST(BenchJsonTest, AllOkSweepExitsZero)
+{
+    const std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+    };
+    bench::BenchArgs args;
+    args.insts = 5000;
+    args.jobs = 1;
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    EXPECT_EQ(bench::failedJobs(out), 0u);
+    EXPECT_EQ(bench::exitCode(out), 0);
+
+    std::ostringstream os;
+    bench::printJsonResults(os, "test_driver", args, jobs, out);
+    expectBalancedJson(os.str());
+    EXPECT_EQ(os.str().find("\"status\": \"failed\""),
+              std::string::npos);
+}
+
+TEST(BenchJsonTest, JsonEscapeHandlesQuotesAndBackslashes)
+{
+    EXPECT_EQ(bench::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(bench::jsonEscape("plain"), "plain");
+}
+
+} // anonymous namespace
+} // namespace lbic

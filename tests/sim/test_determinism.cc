@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Determinism property tests: the same seed must produce
+ * byte-identical statistics, whether two runs happen back to back,
+ * on different thread counts, or with the verification machinery
+ * (golden checker + invariant auditor) switched on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+std::string
+statsJsonOf(const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    sim.run();
+    std::ostringstream os;
+    sim.printStatsJson(os);
+    return os.str();
+}
+
+/** Serialize a sweep's results so equality means byte equality. */
+std::string
+serializeResults(const std::vector<SweepResult> &results)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const SweepResult &r : results) {
+        os << r.label << '|' << (r.ok ? "ok" : "failed") << '|'
+           << r.result.instructions << '|' << r.result.cycles << '|'
+           << r.metrics.l1_miss_rate << '|' << r.metrics.loads_executed
+           << '|' << r.metrics.stores_executed << '|'
+           << r.metrics.loads_forwarded << '|'
+           << r.metrics.requests_seen << '|'
+           << r.metrics.requests_granted << '|' << r.metrics.peak_width
+           << '\n';
+    }
+    return os.str();
+}
+
+TEST(DeterminismTest, SameSeedSameStatsJson)
+{
+    for (const char *ports : {"ideal:4", "repl:4", "bank:4",
+                              "lbic:4x2"}) {
+        SimConfig cfg;
+        cfg.workload = "compress";
+        cfg.port_spec = ports;
+        cfg.max_insts = 30000;
+        cfg.seed = 42;
+        EXPECT_EQ(statsJsonOf(cfg), statsJsonOf(cfg)) << ports;
+    }
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge)
+{
+    // Sanity check that the equality above is not vacuous: the
+    // synthetic uniform stream is seed-driven, so a different seed
+    // must produce different statistics.
+    SimConfig a;
+    a.workload = "uniform";
+    a.port_spec = "bank:4";
+    a.max_insts = 30000;
+    a.seed = 1;
+    SimConfig b = a;
+    b.seed = 2;
+    EXPECT_NE(statsJsonOf(a), statsJsonOf(b));
+}
+
+TEST(DeterminismTest, SweepByteIdenticalAcrossThreadCounts)
+{
+    std::vector<SweepJob> jobs;
+    for (const char *workload : {"compress", "swim", "su2cor"}) {
+        for (const char *ports : {"ideal:4", "bank:4", "lbic:4x2"})
+            jobs.push_back(SweepJob::of(workload, ports, 20000));
+    }
+    const std::string serial = serializeResults(runSweep(jobs, 1));
+    const std::string four = serializeResults(runSweep(jobs, 4));
+    const std::string eight = serializeResults(runSweep(jobs, 8));
+    EXPECT_EQ(serial, four);
+    EXPECT_EQ(serial, eight);
+}
+
+TEST(DeterminismTest, CheckedRunDoesNotPerturbTheSimulation)
+{
+    // The checker and auditor are pure observers: instructions,
+    // cycles and the whole stats tree must match the unchecked run.
+    for (const char *ports : {"ideal:4", "bank:8", "lbic:4x2"}) {
+        SimConfig plain;
+        plain.workload = "li";
+        plain.port_spec = ports;
+        plain.max_insts = 30000;
+
+        SimConfig checked = plain;
+        checked.check = true;
+        checked.audit = true;
+        checked.audit_interval = 16;
+
+        EXPECT_EQ(statsJsonOf(plain), statsJsonOf(checked)) << ports;
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

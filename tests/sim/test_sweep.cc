@@ -183,6 +183,101 @@ TEST(SweepTest, ProgressSerialPathMatchesParallelShape)
     EXPECT_EQ(events[3].label, jobs[1].label);
 }
 
+TEST(SweepTest, IsolatedPolicyRecordsFailureAndCompletesSweep)
+{
+    detail::setThrowOnError(true);
+    std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("no-such-kernel", "ideal:4", 1000),
+        SweepJob::of("swim", "bank:4", 5000),
+    };
+    SweepRunner runner(2);
+    SweepPolicy policy;
+    policy.isolate = true;
+    runner.setPolicy(policy);
+    std::vector<SweepResult> results;
+    EXPECT_NO_THROW(results = runner.run(jobs));
+    detail::setThrowOnError(false);
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_GT(results[0].result.instructions, 0u);
+    EXPECT_GT(results[2].result.instructions, 0u);
+
+    const SweepResult &bad = results[1];
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.label, "no-such-kernel/ideal:4");
+    EXPECT_EQ(bad.error_kind, "config");
+    EXPECT_NE(bad.error.find("no-such-kernel"), std::string::npos)
+        << bad.error;
+    // Config failures are deterministic: never retried.
+    EXPECT_EQ(bad.attempts, 1u);
+}
+
+TEST(SweepTest, PermanentFailuresAreNotRetried)
+{
+    detail::setThrowOnError(true);
+    SweepRunner runner(1);
+    SweepPolicy policy;
+    policy.isolate = true;
+    policy.retries = 3;
+    policy.backoff_ms = 1;
+    runner.setPolicy(policy);
+    const std::vector<SweepResult> results = runner.run(
+        {SweepJob::of("no-such-kernel", "ideal:4", 1000)});
+    detail::setThrowOnError(false);
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    // A SimError (config) reproduces identically; retrying it would
+    // only burn wall clock.
+    EXPECT_EQ(results[0].attempts, 1u);
+    EXPECT_EQ(results[0].error_kind, "config");
+}
+
+TEST(SweepTest, PolicyBudgetsApplyPerJob)
+{
+    SweepRunner runner(2);
+    SweepPolicy policy;
+    policy.isolate = true;
+    policy.max_cycles = 100;  // far too few for 15k instructions
+    runner.setPolicy(policy);
+    const std::vector<SweepResult> results = runner.run(
+        {SweepJob::of("compress", "bank:4", quick_insts)});
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].error_kind, "deadlock");
+    EXPECT_NE(results[0].error.find("cycle budget"),
+              std::string::npos)
+        << results[0].error;
+}
+
+TEST(SweepTest, IsolatedFailureStillCountsInProgress)
+{
+    detail::setThrowOnError(true);
+    std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("no-such-kernel", "ideal:4", 1000),
+    };
+    SweepRunner runner(1);
+    SweepPolicy policy;
+    policy.isolate = true;
+    runner.setPolicy(policy);
+    std::vector<SweepProgress> events;
+    runner.setProgress([&](const SweepProgress &p) {
+        events.push_back(p);
+    });
+    runner.run(jobs);
+    detail::setThrowOnError(false);
+
+    ASSERT_EQ(events.size(), 2 * jobs.size());
+    const SweepProgress &last = events.back();
+    EXPECT_EQ(last.completed, 1u);
+    EXPECT_EQ(last.failed, 1u);
+}
+
 TEST(SweepTest, ZeroThreadsMeansHardwareConcurrency)
 {
     const SweepRunner runner(0);

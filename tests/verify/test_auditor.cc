@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the invariant auditor, plus perturbation tests
+ * proving the registered component invariants actually discriminate:
+ * corrupt one counter and the audit must fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "cacheport/ideal.hh"
+#include "cacheport/lbic.hh"
+#include "common/sim_error.hh"
+#include "cpu/core.hh"
+#include "sim/simulator.hh"
+#include "tests/cpu/vector_workload.hh"
+#include "verify/auditor.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(AuditorTest, PassingChecksCountAudits)
+{
+    verify::InvariantAuditor auditor;
+    int calls = 0;
+    auditor.add("always.ok", [&] {
+        ++calls;
+        return std::string{};
+    });
+    auditor.audit(10);
+    auditor.audit(20);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(auditor.auditsRun(), 2u);
+    EXPECT_EQ(auditor.size(), 1u);
+}
+
+TEST(AuditorTest, ViolationNamesInvariantAndCycle)
+{
+    verify::InvariantAuditor auditor;
+    auditor.add("always.ok", [] { return std::string{}; });
+    auditor.add("always.bad",
+                [] { return std::string("things fell apart"); });
+    try {
+        auditor.audit(1234);
+        FAIL() << "expected a SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::CheckFailure);
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("always.bad"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("1234"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("things fell apart"), std::string::npos)
+            << msg;
+    }
+    // The failed pass does not count as a completed audit.
+    EXPECT_EQ(auditor.auditsRun(), 0u);
+}
+
+TEST(AuditorTest, NamesReturnedInRegistrationOrder)
+{
+    verify::InvariantAuditor auditor;
+    auditor.add("b", [] { return std::string{}; });
+    auditor.add("a", [] { return std::string{}; });
+    const std::vector<std::string> names = auditor.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "b");
+    EXPECT_EQ(names[1], "a");
+}
+
+/** Core + hierarchy + scheduler with every invariant registered. */
+struct AuditedSystem
+{
+    explicit AuditedSystem(std::vector<DynInst> insts)
+        : workload(std::move(insts)),
+          hierarchy(HierarchyConfig{}, &root),
+          scheduler(&root, 4),
+          core(CoreConfig{}, workload, hierarchy, scheduler, &root)
+    {
+        core.registerInvariants(auditor);
+        scheduler.registerInvariants(auditor);
+        hierarchy.registerInvariants(auditor);
+    }
+
+    stats::StatGroup root;
+    VectorWorkload workload;
+    MemoryHierarchy hierarchy;
+    IdealPorts scheduler;
+    Core core;
+    verify::InvariantAuditor auditor;
+};
+
+std::vector<DynInst>
+mixedProgram()
+{
+    InstBuilder b;
+    for (int i = 0; i < 200; ++i) {
+        const RegId v = b.load(0x1000 + (i % 32) * 8);
+        b.op(OpClass::IntAlu, v);
+        b.store(0x8000 + (i % 32) * 8, v);
+    }
+    return b.insts;
+}
+
+TEST(AuditorTest, RealComponentsPassMidRunAndAtEnd)
+{
+    AuditedSystem sys(mixedProgram());
+    for (int i = 0; i < 50; ++i)
+        sys.core.tick();
+    EXPECT_NO_THROW(sys.auditor.audit(sys.core.now()));
+    sys.core.run(100000);
+    EXPECT_NO_THROW(sys.auditor.audit(sys.core.now()));
+    EXPECT_EQ(sys.auditor.auditsRun(), 2u);
+}
+
+TEST(AuditorTest, CorruptedCoreStatIsCaught)
+{
+    AuditedSystem sys(mixedProgram());
+    sys.core.run(100000);
+    sys.core.committed += 1.0;
+    try {
+        sys.auditor.audit(sys.core.now());
+        FAIL() << "corrupted commit counter escaped the audit";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("core.stats"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(AuditorTest, CorruptedHierarchyStatIsCaught)
+{
+    AuditedSystem sys(mixedProgram());
+    sys.core.run(100000);
+    sys.hierarchy.hits += 1.0;
+    try {
+        sys.auditor.audit(sys.core.now());
+        FAIL() << "corrupted hit counter escaped the audit";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("mem.stats"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(AuditorTest, CorruptedSchedulerStatIsCaught)
+{
+    AuditedSystem sys(mixedProgram());
+    sys.core.run(100000);
+    sys.scheduler.requests_granted += 1e9;
+    try {
+        sys.auditor.audit(sys.core.now());
+        FAIL() << "corrupted grant counter escaped the audit";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("sched.stats"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(AuditorTest, LbicRegistersBankInvariants)
+{
+    stats::StatGroup root;
+    LbicConfig cfg;
+    Lbic lbic(&root, cfg);
+    verify::InvariantAuditor auditor;
+    lbic.registerInvariants(auditor);
+    const std::vector<std::string> names = auditor.names();
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "lbic.store_queues"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "lbic.line_buffers"),
+              names.end());
+    EXPECT_NO_THROW(auditor.audit(0));
+}
+
+TEST(AuditorTest, SimulatorAuditModeRunsAudits)
+{
+    SimConfig cfg;
+    cfg.workload = "swim";
+    cfg.port_spec = "lbic:4x2";
+    cfg.max_insts = 20000;
+    cfg.audit = true;
+    cfg.audit_interval = 32;
+    Simulator sim(cfg);
+    sim.run();
+    ASSERT_NE(sim.auditor(), nullptr);
+    EXPECT_GT(sim.auditor()->auditsRun(), 0u);
+    EXPECT_GE(sim.auditor()->size(), 8u);
+}
+
+TEST(AuditorTest, CoreDumpStateMentionsWindowAndScheduler)
+{
+    AuditedSystem sys(mixedProgram());
+    for (int i = 0; i < 20; ++i)
+        sys.core.tick();
+    std::ostringstream os;
+    sys.core.dumpState(os);
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("window ["), std::string::npos) << dump;
+    EXPECT_NE(dump.find("scheduler"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("in-flight misses"), std::string::npos)
+        << dump;
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Unit tests for the golden-model differential checker, plus
+ * injected-bug tests proving the checker is not vacuous: a core with a
+ * deliberately corrupted forwarding or drain decision must be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cacheport/ideal.hh"
+#include "common/sim_error.hh"
+#include "cpu/core.hh"
+#include "sim/simulator.hh"
+#include "tests/cpu/vector_workload.hh"
+#include "verify/golden_model.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using verify::CommitInfo;
+using verify::GoldenChecker;
+using verify::no_cycle;
+
+DynInst
+loadInst(InstSeq seq, Addr addr)
+{
+    DynInst i;
+    i.op = OpClass::Load;
+    i.seq = seq;
+    i.dst = 1;
+    i.addr = addr;
+    i.size = 8;
+    return i;
+}
+
+DynInst
+storeInst(InstSeq seq, Addr addr)
+{
+    DynInst i;
+    i.op = OpClass::Store;
+    i.seq = seq;
+    i.addr = addr;
+    i.size = 8;
+    return i;
+}
+
+CommitInfo
+serviced(Cycle mem_cycle)
+{
+    CommitInfo ci;
+    ci.mem_cycle = mem_cycle;
+    return ci;
+}
+
+CommitInfo
+forwardedFrom(InstSeq store_seq)
+{
+    CommitInfo ci;
+    ci.forwarded = true;
+    ci.src_store = store_seq;
+    return ci;
+}
+
+SimErrorKind
+kindOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const SimError &e) {
+        return e.kind();
+    }
+    ADD_FAILURE() << "expected a SimError";
+    return SimErrorKind::Config;
+}
+
+TEST(GoldenModelTest, AcceptsCorrectStoreLoadSequence)
+{
+    GoldenChecker gc;
+    gc.onCommit(storeInst(0, 0x100), serviced(5), 6);
+    // Cache read strictly after the store drained (5) and left the
+    // window (6): architecturally clean.
+    gc.onCommit(loadInst(1, 0x100), serviced(9), 10);
+    // Forward naming the youngest older store: clean.
+    gc.onCommit(storeInst(2, 0x100), serviced(12), 13);
+    gc.onCommit(loadInst(3, 0x100), forwardedFrom(2), 14);
+    EXPECT_EQ(gc.checkedInstructions(), 4u);
+    EXPECT_EQ(gc.checkedLoads(), 2u);
+    EXPECT_EQ(gc.checkedStores(), 2u);
+    EXPECT_EQ(gc.validatedForwards(), 1u);
+}
+
+TEST(GoldenModelTest, RejectsOutOfOrderCommit)
+{
+    GoldenChecker gc;
+    EXPECT_EQ(kindOf([&] {
+                  gc.onCommit(loadInst(3, 0x100), serviced(4), 5);
+              }),
+              SimErrorKind::CheckFailure);
+}
+
+TEST(GoldenModelTest, RejectsForwardFromStaleStore)
+{
+    GoldenChecker gc;
+    gc.onCommit(storeInst(0, 0x200), serviced(3), 4);
+    gc.onCommit(storeInst(1, 0x200), serviced(6), 7);
+    // Claiming data from seq 0 skips the younger store seq 1.
+    EXPECT_EQ(kindOf([&] {
+                  gc.onCommit(loadInst(2, 0x200), forwardedFrom(0), 9);
+              }),
+              SimErrorKind::CheckFailure);
+}
+
+TEST(GoldenModelTest, RejectsForwardWithNoPriorStore)
+{
+    GoldenChecker gc;
+    EXPECT_THROW(gc.onCommit(loadInst(0, 0x300), forwardedFrom(7), 2),
+                 SimError);
+}
+
+TEST(GoldenModelTest, RejectsCacheReadBeforeStoreDrained)
+{
+    GoldenChecker gc;
+    gc.onCommit(storeInst(0, 0x400), serviced(10), 11);
+    // The load read the cache at cycle 8, before the store's write
+    // landed at cycle 10: it saw stale data.
+    EXPECT_THROW(gc.onCommit(loadInst(1, 0x400), serviced(8), 12),
+                 SimError);
+}
+
+TEST(GoldenModelTest, RejectsCacheReadWhileStoreInWindow)
+{
+    GoldenChecker gc;
+    // Store drained at 5 but only left the window at 9; a cache read
+    // at 7 should have been an LSQ forward instead.
+    gc.onCommit(storeInst(0, 0x500), serviced(5), 9);
+    EXPECT_THROW(gc.onCommit(loadInst(1, 0x500), serviced(7), 12),
+                 SimError);
+}
+
+TEST(GoldenModelTest, RejectsUnservicedLoad)
+{
+    GoldenChecker gc;
+    EXPECT_THROW(gc.onCommit(loadInst(0, 0x600), CommitInfo{}, 3),
+                 SimError);
+}
+
+TEST(GoldenModelTest, RejectsUndrainedStore)
+{
+    GoldenChecker gc;
+    EXPECT_THROW(gc.onCommit(storeInst(0, 0x700), CommitInfo{}, 3),
+                 SimError);
+}
+
+TEST(GoldenModelTest, RejectsOutOfOrderSameAddressDrains)
+{
+    GoldenChecker gc;
+    gc.onCommit(storeInst(0, 0x800), serviced(10), 11);
+    // The younger store's write landed at 8, before the older store's
+    // at 10: the cache ends up holding the older value.
+    EXPECT_THROW(gc.onCommit(storeInst(1, 0x800), serviced(8), 12),
+                 SimError);
+}
+
+TEST(GoldenModelTest, SameCycleCombinedDrainsAreLegal)
+{
+    GoldenChecker gc;
+    // Two same-address stores granted in the same cycle (an LBIC
+    // combine): equal drain cycles respect program order.
+    gc.onCommit(storeInst(0, 0x900), serviced(6), 7);
+    EXPECT_NO_THROW(gc.onCommit(storeInst(1, 0x900), serviced(6), 8));
+}
+
+TEST(GoldenModelTest, ShadowStreamCatchesDivergence)
+{
+    InstBuilder b;
+    b.load(0x1000);
+    b.store(0x2000);
+    auto shadow = std::make_unique<VectorWorkload>(b.insts);
+    GoldenChecker gc(std::move(shadow));
+
+    DynInst first = b.insts[0];
+    first.seq = 0;
+    CommitInfo ci;
+    ci.mem_cycle = 2;
+    gc.onCommit(first, ci, 3);
+
+    // Commit something that is not the stream's next instruction.
+    EXPECT_THROW(gc.onCommit(loadInst(1, 0xdead), serviced(5), 6),
+                 SimError);
+}
+
+TEST(GoldenModelTest, ShadowStreamCatchesPhantomInstructions)
+{
+    auto shadow = std::make_unique<VectorWorkload>(
+        std::vector<DynInst>{});
+    GoldenChecker gc(std::move(shadow));
+    // The architectural stream is empty; committing anything means the
+    // window invented an instruction.
+    DynInst i;
+    i.op = OpClass::IntAlu;
+    i.seq = 0;
+    EXPECT_THROW(gc.onCommit(i, CommitInfo{}, 1), SimError);
+}
+
+/** Harness wiring a checked core around a scripted program. */
+struct CheckedSystem
+{
+    explicit CheckedSystem(std::vector<DynInst> insts,
+                           unsigned ports = 4,
+                           CoreConfig cfg = CoreConfig{})
+        : workload(std::move(insts)),
+          hierarchy(HierarchyConfig{}, &root),
+          scheduler(&root, ports),
+          core(cfg, workload, hierarchy, scheduler, &root)
+    {
+        core.setChecker(&checker);
+    }
+
+    stats::StatGroup root;
+    VectorWorkload workload;
+    MemoryHierarchy hierarchy;
+    IdealPorts scheduler;
+    GoldenChecker checker;
+    Core core;
+};
+
+/**
+ * A program whose load must forward: a long dependent multiply chain
+ * clogs the commit head, the store completes immediately but cannot
+ * drain (it is far from the commit prefix), and the load right behind
+ * it wants the store's data.
+ */
+std::vector<DynInst>
+forwardingProgram()
+{
+    InstBuilder b;
+    RegId chain = b.op(OpClass::IntMult);
+    for (int i = 0; i < 40; ++i)
+        chain = b.op(OpClass::IntMult, chain);
+    b.store(0x4000);
+    b.load(0x4000);
+    for (int i = 0; i < 8; ++i)
+        b.op(OpClass::IntAlu);
+    return b.insts;
+}
+
+TEST(GoldenModelInjectionTest, CleanRunPassesAllPrograms)
+{
+    CheckedSystem sys(forwardingProgram());
+    EXPECT_NO_THROW(sys.core.run(100000));
+    EXPECT_EQ(sys.checker.validatedForwards(), 1u);
+}
+
+TEST(GoldenModelInjectionTest, DroppedForwardIsCaught)
+{
+    CheckedSystem sys(forwardingProgram());
+    Core::FaultInjection f;
+    f.drop_nth_forward = 1;
+    sys.core.injectFaults(f);
+    // The load reads the cache while the store is still parked behind
+    // the multiply chain: stale data, and the checker must say so.
+    try {
+        sys.core.run(100000);
+        FAIL() << "dropped forward escaped the checker";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::CheckFailure);
+        EXPECT_NE(std::string(e.what()).find("stale"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(GoldenModelInjectionTest, SkippedStoreDrainIsCaught)
+{
+    InstBuilder b;
+    for (int i = 0; i < 4; ++i) {
+        b.store(0x5000 + i * 64);
+        b.op(OpClass::IntAlu);
+    }
+    CheckedSystem sys(b.insts);
+    Core::FaultInjection f;
+    f.skip_nth_store_drain = 2;
+    sys.core.injectFaults(f);
+    try {
+        sys.core.run(100000);
+        FAIL() << "skipped store drain escaped the checker";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::CheckFailure);
+        EXPECT_NE(std::string(e.what()).find("without draining"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(GoldenModelInjectionTest, ReorderedStoreDrainIsCaught)
+{
+    // Two independent same-address stores: with the first store's
+    // grant deferred, the second drains first -- a program-order
+    // violation the checker must flag at the second store's commit.
+    InstBuilder b;
+    b.store(0x6000);
+    b.store(0x6000);
+    for (int i = 0; i < 8; ++i)
+        b.op(OpClass::IntAlu);
+    CheckedSystem sys(b.insts);
+    Core::FaultInjection f;
+    f.defer_nth_store_drain = 1;
+    f.defer_cycles = 6;
+    sys.core.injectFaults(f);
+    try {
+        sys.core.run(100000);
+        FAIL() << "reordered store drain escaped the checker";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::CheckFailure);
+        EXPECT_NE(std::string(e.what()).find("drain order"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(GoldenModelInjectionTest, SimulatorCheckModeCountsCommits)
+{
+    SimConfig cfg;
+    cfg.workload = "compress";
+    cfg.port_spec = "lbic:4x2";
+    cfg.max_insts = 20000;
+    cfg.check = true;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    ASSERT_NE(sim.checker(), nullptr);
+    EXPECT_EQ(sim.checker()->checkedInstructions(), r.instructions);
+    EXPECT_GT(sim.checker()->checkedLoads(), 0u);
+    EXPECT_GT(sim.checker()->checkedStores(), 0u);
+}
+
+TEST(GoldenModelInjectionTest, SimulatorCheckedInjectionFails)
+{
+    SimConfig cfg;
+    cfg.workload = "compress";
+    cfg.port_spec = "ideal:4";
+    cfg.max_insts = 200000;
+    cfg.check = true;
+    Simulator sim(cfg);
+    Core::FaultInjection f;
+    f.skip_nth_store_drain = 100;
+    sim.core().injectFaults(f);
+    EXPECT_THROW(sim.run(), SimError);
+}
+
+TEST(GoldenModelInjectionTest, CheckRequiresRegistryWorkload)
+{
+    InstBuilder b;
+    b.load(0x100);
+    VectorWorkload external(b.insts);
+    SimConfig cfg;
+    cfg.check = true;
+    Simulator sim(cfg, external);
+    EXPECT_THROW(sim.run(), SimError);
+}
+
+} // anonymous namespace
+} // namespace lbic

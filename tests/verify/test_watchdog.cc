@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the SimError taxonomy, the forward-progress watchdog and
+ * the cycle/wall-time budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cacheport/ideal.hh"
+#include "common/sim_error.hh"
+#include "cpu/core.hh"
+#include "sim/simulator.hh"
+#include "tests/cpu/vector_workload.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(SimErrorTest, KindsArePrefixedAndNamed)
+{
+    const SimError config(SimErrorKind::Config, "bad knob");
+    EXPECT_EQ(config.kind(), SimErrorKind::Config);
+    EXPECT_EQ(std::string(config.what()), "[config] bad knob");
+
+    const SimError dead(SimErrorKind::Deadlock, "stuck");
+    EXPECT_EQ(std::string(dead.what()), "[deadlock] stuck");
+
+    const SimError check(SimErrorKind::CheckFailure, "diverged");
+    EXPECT_EQ(std::string(check.what()), "[check] diverged");
+
+    EXPECT_STREQ(simErrorKindName(SimErrorKind::Config), "config");
+    EXPECT_STREQ(simErrorKindName(SimErrorKind::Deadlock), "deadlock");
+    EXPECT_STREQ(simErrorKindName(SimErrorKind::CheckFailure),
+                 "check");
+}
+
+TEST(SimErrorTest, IsACatchableRuntimeError)
+{
+    // Legacy call sites catch std::runtime_error; the taxonomy must
+    // stay inside that hierarchy.
+    try {
+        throw SimError(SimErrorKind::Config, "x");
+    } catch (const std::runtime_error &e) {
+        SUCCEED();
+        return;
+    }
+    FAIL();
+}
+
+struct WatchdogSystem
+{
+    explicit WatchdogSystem(std::vector<DynInst> insts, CoreConfig cfg)
+        : workload(std::move(insts)),
+          hierarchy(HierarchyConfig{}, &root),
+          scheduler(&root, 4),
+          core(cfg, workload, hierarchy, scheduler, &root)
+    {
+    }
+
+    stats::StatGroup root;
+    VectorWorkload workload;
+    MemoryHierarchy hierarchy;
+    IdealPorts scheduler;
+    Core core;
+};
+
+TEST(WatchdogTest, FiresWithStateDumpWhenNoCommitWithinThreshold)
+{
+    // A threshold far below an L2 miss's latency: the very first load
+    // miss starves the commit stage long enough to trip the watchdog.
+    InstBuilder b;
+    b.load(0x7000);
+    b.op(OpClass::IntAlu);
+    CoreConfig cfg;
+    cfg.deadlock_threshold = 2;
+    WatchdogSystem sys(b.insts, cfg);
+    try {
+        sys.core.run(1000);
+        FAIL() << "watchdog never fired";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Deadlock);
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no instruction committed"),
+                  std::string::npos)
+            << msg;
+        // The post-mortem dump rides along in the message.
+        EXPECT_NE(msg.find("window ["), std::string::npos) << msg;
+        EXPECT_NE(msg.find("scheduler"), std::string::npos) << msg;
+    }
+}
+
+TEST(WatchdogTest, HealthyRunNeverTrips)
+{
+    InstBuilder b;
+    for (int i = 0; i < 100; ++i)
+        b.op(OpClass::IntAlu);
+    CoreConfig cfg;
+    cfg.deadlock_threshold = 50;
+    WatchdogSystem sys(b.insts, cfg);
+    EXPECT_NO_THROW(sys.core.run(100000));
+}
+
+TEST(BudgetTest, CycleBudgetThrowsDeadlock)
+{
+    InstBuilder b;
+    for (int i = 0; i < 2000; ++i)
+        b.load(0x1000 + (i % 512) * 32);
+    WatchdogSystem sys(b.insts, CoreConfig{});
+    sys.core.setBudget(50, 0.0);
+    try {
+        sys.core.run(1000000);
+        FAIL() << "cycle budget never fired";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Deadlock);
+        EXPECT_NE(std::string(e.what()).find("cycle budget"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(BudgetTest, GenerousBudgetsDoNotPerturbTheRun)
+{
+    InstBuilder b;
+    for (int i = 0; i < 500; ++i)
+        b.op(OpClass::IntAlu);
+
+    WatchdogSystem plain(b.insts, CoreConfig{});
+    const RunResult base = plain.core.run(100000);
+
+    WatchdogSystem budgeted(b.insts, CoreConfig{});
+    budgeted.core.setBudget(1u << 30, 1e9);
+    const RunResult bounded = budgeted.core.run(100000);
+
+    EXPECT_EQ(base.instructions, bounded.instructions);
+    EXPECT_EQ(base.cycles, bounded.cycles);
+}
+
+TEST(BudgetTest, SimulatorMaxCyclesFromConfig)
+{
+    SimConfig cfg;
+    cfg.workload = "compress";
+    cfg.port_spec = "bank:4";
+    cfg.max_insts = 1000000;
+    cfg.max_cycles = 200;
+    Simulator sim(cfg);
+    EXPECT_THROW(sim.run(), SimError);
+}
+
+TEST(BudgetTest, WatchdogKeyRejectsZero)
+{
+    Config cfg;
+    cfg.set("watchdog", "0");
+    SimConfig sc;
+    EXPECT_THROW(sc.applyOverrides(cfg), SimError);
+}
+
+} // anonymous namespace
+} // namespace lbic
