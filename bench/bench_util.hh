@@ -20,7 +20,10 @@
  * JSON schema (one object on stdout):
  * @code
  * {
+ *   "schema_version": 2,             // bumped on breaking changes
  *   "driver": "table3_ipc",          // harness name
+ *   "git_sha": "52508a4b1c2d",       // tree that built the binary
+ *   "config_hash": "9a1f0c...",      // FNV-1a over the sweep config
  *   "insts": 500000,                 // instructions per run
  *   "seed": 1,
  *   "jobs": 8,                       // worker threads used
@@ -30,7 +33,24 @@
  *      "status": "ok",               // "failed" adds "error",
  *                                    // "error_kind" and "attempts"
  *      "ipc": 2.661, "instructions": 500000, "cycles": 187900,
- *      "l1_miss_rate": 0.0542, "wall_ms": 103.2}, ...
+ *      "l1_miss_rate": 0.0542, "wall_ms": 103.2,
+ *      "attribution": {              // sum-exact CPI stack
+ *        "fetch_width": 64, "commit_width": 64,
+ *        "cycles_base": 120000,
+ *        "stall_cycles": {"frontend_drained": 0, ...},   // + base
+ *                                    //   == cycles, exactly
+ *        "slots_committed": 500000,
+ *        "stall_slots": {...},       // + slots_committed
+ *                                    //   == cycles*commit_width
+ *        "dispatch_used": 500000,
+ *        "dispatch_stalls": {...}},  // + dispatch_used
+ *                                    //   == cycles*fetch_width
+ *      "port": {                     // rejection sub-attribution
+ *        "requests_seen": 700000, "requests_granted": 650000,
+ *        "requests_rejected": 50000, // == seen - granted
+ *        "rejects": {"bank_conflict": 41000, ...}, // sums to rejected
+ *        "reject_bank_samples": 50000,             // == rejected
+ *        "reject_banks": 4}}, ...
  *   ]
  * }
  * @endcode
@@ -49,10 +69,19 @@
 #include "common/logging.hh"
 #include "sim/sweep.hh"
 
+// Injected by the build system (see the root CMakeLists); the fallback
+// keeps non-CMake compiles (IDEs, tooling) working.
+#ifndef LBIC_GIT_SHA
+#define LBIC_GIT_SHA "unknown"
+#endif
+
 namespace lbic
 {
 namespace bench
 {
+
+/** Version of the JSON schema below; bump on breaking changes. */
+constexpr unsigned json_schema_version = 2;
 
 /** The common driver arguments, parsed once. */
 struct BenchArgs
@@ -199,6 +228,43 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/** 64-bit FNV-1a, chained so a sweep config folds into one value. */
+inline std::uint64_t
+fnv1a(const std::string &s,
+      std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Hash the experiment configuration (driver identity, shared knobs
+ * and every job's workload / port spec / instruction budget) so two
+ * JSON files can be compared for like-for-like provenance without
+ * diffing their inputs.
+ */
+inline std::string
+configHash(const std::string &driver, const BenchArgs &args,
+           const std::vector<SweepJob> &jobs)
+{
+    std::uint64_t h = fnv1a(driver);
+    h = fnv1a("insts=" + std::to_string(args.insts), h);
+    h = fnv1a("seed=" + std::to_string(args.seed), h);
+    for (const SweepJob &job : jobs) {
+        h = fnv1a(job.label, h);
+        h = fnv1a(job.config.workload, h);
+        h = fnv1a(job.config.port_spec, h);
+        h = fnv1a(std::to_string(job.config.max_insts), h);
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
 /**
  * Emit the sweep as the machine-readable JSON object documented in
  * the file header. @p jobs and @p out.results are index-aligned.
@@ -209,7 +275,11 @@ printJsonResults(std::ostream &os, const std::string &driver,
                  const std::vector<SweepJob> &jobs,
                  const SweepOutput &out)
 {
-    os << "{\"driver\": \"" << jsonEscape(driver) << "\""
+    os << "{\"schema_version\": " << json_schema_version
+       << ", \"driver\": \"" << jsonEscape(driver) << "\""
+       << ", \"git_sha\": \"" << jsonEscape(LBIC_GIT_SHA) << "\""
+       << ", \"config_hash\": \"" << configHash(driver, args, jobs)
+       << "\""
        << ", \"insts\": " << args.insts
        << ", \"seed\": " << args.seed
        << ", \"jobs\": " << out.jobs_used
@@ -217,6 +287,7 @@ printJsonResults(std::ostream &os, const std::string &driver,
        << ", \"runs\": [";
     for (std::size_t i = 0; i < out.results.size(); ++i) {
         const SweepResult &r = out.results[i];
+        const SweepMetrics &m = r.metrics;
         const SimConfig &cfg = jobs[i].config;
         if (i)
             os << ", ";
@@ -233,8 +304,55 @@ printJsonResults(std::ostream &os, const std::string &driver,
         os << ", \"ipc\": " << r.ipc()
            << ", \"instructions\": " << r.result.instructions
            << ", \"cycles\": " << r.result.cycles
-           << ", \"l1_miss_rate\": " << r.metrics.l1_miss_rate
-           << ", \"wall_ms\": " << r.wall_ms << "}";
+           << ", \"l1_miss_rate\": " << m.l1_miss_rate
+           << ", \"wall_ms\": " << r.wall_ms;
+        if (r.ok) {
+            os << ", \"attribution\": {\"fetch_width\": "
+               << m.fetch_width
+               << ", \"commit_width\": " << m.commit_width
+               << ", \"cycles_base\": " << m.cycles_base
+               << ", \"stall_cycles\": {";
+            for (unsigned c = 0; c < observe::num_stall_causes; ++c) {
+                os << (c ? ", " : "") << '"'
+                   << observe::stallCauseName(
+                          static_cast<observe::StallCause>(c))
+                   << "\": " << m.stall_cycles[c];
+            }
+            os << "}, \"slots_committed\": " << m.slots_committed
+               << ", \"stall_slots\": {";
+            for (unsigned c = 0; c < observe::num_stall_causes; ++c) {
+                os << (c ? ", " : "") << '"'
+                   << observe::stallCauseName(
+                          static_cast<observe::StallCause>(c))
+                   << "\": " << m.stall_slots[c];
+            }
+            os << "}, \"dispatch_used\": " << m.dispatch_used
+               << ", \"dispatch_stalls\": {";
+            for (unsigned c = 0; c < observe::num_dispatch_causes;
+                 ++c) {
+                os << (c ? ", " : "") << '"'
+                   << observe::dispatchCauseName(
+                          static_cast<observe::DispatchCause>(c))
+                   << "\": " << m.dispatch_stalls[c];
+            }
+            os << "}}"
+               << ", \"port\": {\"requests_seen\": "
+               << static_cast<std::uint64_t>(m.requests_seen)
+               << ", \"requests_granted\": "
+               << static_cast<std::uint64_t>(m.requests_granted)
+               << ", \"requests_rejected\": "
+               << static_cast<std::uint64_t>(m.requests_rejected)
+               << ", \"rejects\": {";
+            for (unsigned c = 0; c < num_reject_causes; ++c) {
+                os << (c ? ", " : "") << '"'
+                   << rejectCauseName(static_cast<RejectCause>(c))
+                   << "\": " << m.rejects[c];
+            }
+            os << "}, \"reject_bank_samples\": "
+               << m.reject_bank_samples
+               << ", \"reject_banks\": " << m.reject_banks << '}';
+        }
+        os << '}';
     }
     os << "]}\n";
 }

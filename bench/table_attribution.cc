@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Where every lost cycle goes: per-kernel CPI stacks for the four
+ * cache-port organizations of Table 3 / Table 4, plus the port
+ * schedulers' rejection sub-attribution.
+ *
+ * For each organization (True4, Repl4, Bank4, LBIC 4x2) the driver
+ * prints one table whose rows are the ten benchmarks (plus SPECint /
+ * SPECfp averages): IPC, then the percentage of all cycles charged to
+ * each CPI-stack component. The components are sum-exact -- they add
+ * to 100% of the simulated cycles by construction -- so the tables
+ * *explain* the IPC differences between the organizations instead of
+ * just reporting them. A second set of tables splits each scheduler's
+ * rejected cache-port requests by mechanism-specific cause.
+ *
+ * The IPC column reproduces the corresponding Table 3 / Table 4
+ * columns exactly (same SimConfig, same seed discipline).
+ *
+ * Usage: table_attribution [insts=N] [seed=S] [jobs=J] [--json]
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/sweep.hh"
+#include "workload/registry.hh"
+
+using namespace lbic;
+
+namespace
+{
+
+/** Percentage of @p total, safe on empty runs. */
+double
+pct(double part, double total)
+{
+    return total > 0.0 ? 100.0 * part / total : 0.0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 500000);
+    args.config.rejectUnrecognized();
+
+    // One representative width per organization: the paper's 4-wide
+    // points, plus the headline 4x2 LBIC.
+    const std::vector<std::pair<std::string, std::string>> orgs = {
+        {"True4", "ideal:4"},
+        {"Repl4", "repl:4"},
+        {"Bank4", "bank:4"},
+        {"LBIC4x2", "lbic:4x2"},
+    };
+    const SimConfig base = args.base();
+
+    std::vector<SweepJob> jobs;
+    for (const auto &org : orgs) {
+        for (const auto &group : {specintKernels(), specfpKernels()}) {
+            for (const auto &kernel : group) {
+                jobs.push_back(SweepJob::of(kernel, org.second,
+                                            args.insts, base));
+            }
+        }
+    }
+
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    if (bench::emitJsonIfRequested("table_attribution", args, jobs,
+                                   out))
+        return bench::exitCode(out);
+
+    std::cout << "Stall attribution: CPI stacks per port "
+                 "organization\n"
+              << "(" << args.insts << " instructions per run; "
+              << "columns are % of all cycles, summing to 100)\n\n";
+
+    // Short column labels for the eight stall causes plus base.
+    const std::vector<std::string> cause_labels = {
+        "base%",  // >= 1 commit
+        "fe%",    // frontend_drained
+        "dep%",   // data_dependency
+        "fu%",    // fu_busy
+        "exe%",   // exec_latency
+        "pld%",   // cache_port_load
+        "pst%",   // cache_port_store
+        "mem%",   // memory_latency
+        "lim%",   // run_limit
+    };
+
+    std::size_t next = 0;
+    for (const auto &org : orgs) {
+        std::cout << org.first << " (" << org.second << ")\n";
+        TextTable table;
+        std::vector<std::string> header = {"Program", "IPC"};
+        header.insert(header.end(), cause_labels.begin(),
+                      cause_labels.end());
+        table.setHeader(header);
+
+        auto print_group = [&](const std::vector<std::string> &kernels,
+                               const std::string &avg_label) {
+            std::vector<double> sums(1 + cause_labels.size(), 0.0);
+            for (const auto &kernel : kernels) {
+                const SweepResult &r = out.results[next++];
+                const SweepMetrics &m = r.metrics;
+                const double cycles =
+                    static_cast<double>(r.result.cycles);
+                std::vector<std::string> row = {kernel};
+                std::vector<double> vals;
+                vals.push_back(r.ipc());
+                vals.push_back(
+                    pct(static_cast<double>(m.cycles_base), cycles));
+                for (unsigned c = 0; c < observe::num_stall_causes;
+                     ++c) {
+                    vals.push_back(pct(
+                        static_cast<double>(m.stall_cycles[c]),
+                        cycles));
+                }
+                for (std::size_t col = 0; col < vals.size(); ++col) {
+                    sums[col] += vals[col];
+                    row.push_back(
+                        TextTable::fmt(vals[col], col == 0 ? 2 : 1));
+                }
+                table.addRow(row);
+            }
+            std::vector<std::string> avg = {avg_label};
+            for (std::size_t col = 0; col < sums.size(); ++col) {
+                avg.push_back(TextTable::fmt(
+                    sums[col] / static_cast<double>(kernels.size()),
+                    col == 0 ? 2 : 1));
+            }
+            table.addRow(avg);
+            table.addSeparator();
+        };
+
+        print_group(specintKernels(), "SPECint Ave.");
+        print_group(specfpKernels(), "SPECfp Ave.");
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "Cache-port rejection causes per organization\n"
+              << "(rej% is rejected/seen; cause columns are % of all "
+                 "rejections)\n\n";
+
+    next = 0;
+    for (const auto &org : orgs) {
+        std::cout << org.first << " (" << org.second << ")\n";
+        TextTable table;
+        std::vector<std::string> header = {"Program", "seen", "rej%"};
+        for (unsigned c = 0; c < num_reject_causes; ++c)
+            header.push_back(
+                rejectCauseName(static_cast<RejectCause>(c)));
+        table.setHeader(header);
+
+        auto print_group =
+            [&](const std::vector<std::string> &kernels) {
+                for (const auto &kernel : kernels) {
+                    const SweepResult &r = out.results[next++];
+                    const SweepMetrics &m = r.metrics;
+                    std::vector<std::string> row = {kernel};
+                    row.push_back(TextTable::fmt(m.requests_seen, 0));
+                    row.push_back(TextTable::fmt(
+                        pct(m.requests_rejected, m.requests_seen), 1));
+                    for (unsigned c = 0; c < num_reject_causes; ++c) {
+                        row.push_back(TextTable::fmt(
+                            pct(static_cast<double>(m.rejects[c]),
+                                m.requests_rejected),
+                            1));
+                    }
+                    table.addRow(row);
+                }
+                table.addSeparator();
+            };
+
+        print_group(specintKernels());
+        print_group(specfpKernels());
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    bench::reportFailures(out);
+    return bench::exitCode(out);
+}

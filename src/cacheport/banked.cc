@@ -11,7 +11,8 @@ BankedPorts::BankedPorts(stats::StatGroup *parent, unsigned banks,
                          bool word_interleaved)
     : PortScheduler(parent, std::string(word_interleaved ? "wbank"
                                                          : "bank")
-                                + std::to_string(banks)),
+                                + std::to_string(banks),
+                    banks),
       banks_(banks), line_bits_(line_bits),
       interleave_bits_(word_interleaved ? 3u : line_bits), fn_(fn),
       bank_line_(banks, 0), bank_used_(banks, false),
@@ -50,6 +51,7 @@ BankedPorts::doSelect(const std::vector<MemRequest> &requests,
         } else if (bank_line_[b] == line) {
             // Would have combined in an LBIC; serialized here.
             ++conflicts_same_line;
+            recordReject(RejectCause::BankConflict, b);
             if (tracer_) {
                 tracer_->bankEvent(
                     now(), b, trace::BankEventKind::ConflictSameLine,
@@ -57,6 +59,7 @@ BankedPorts::doSelect(const std::vector<MemRequest> &requests,
             }
         } else {
             ++conflicts_diff_line;
+            recordReject(RejectCause::BankConflict, b);
             if (tracer_) {
                 tracer_->bankEvent(
                     now(), b, trace::BankEventKind::ConflictDiffLine,
@@ -65,13 +68,25 @@ BankedPorts::doSelect(const std::vector<MemRequest> &requests,
         }
     }
     beyond_window += static_cast<double>(requests.size() - window);
-    if (tracer_) {
-        for (std::size_t i = window; i < requests.size(); ++i) {
-            const unsigned b = selectBank(requests[i].addr, banks_,
-                                          interleave_bits_, fn_);
-            tracer_->bankEvent(now(), b,
-                               trace::BankEventKind::BeyondWindow,
-                               requests[i].addr >> line_bits_);
+    if (requests.size() > window) {
+        // The crossbar never examined these requests, so no bank can
+        // honestly be blamed: charge the whole tail to the
+        // histogram's overflow slot (index == banks) in one batched
+        // call. That keeps the rejection partition exact at O(1) per
+        // cycle -- the tail can be ~window-size wide every cycle, so
+        // re-deriving each tail request's bank is too slow for an
+        // always-on path -- and leaves the per-bank buckets holding
+        // pure conflict counts.
+        recordRejects(RejectCause::BeyondWindow, banks_,
+                      requests.size() - window);
+        if (tracer_) {
+            for (std::size_t i = window; i < requests.size(); ++i) {
+                const unsigned b = selectBank(requests[i].addr, banks_,
+                                              interleave_bits_, fn_);
+                tracer_->bankEvent(now(), b,
+                                   trace::BankEventKind::BeyondWindow,
+                                   requests[i].addr >> line_bits_);
+            }
         }
     }
 }

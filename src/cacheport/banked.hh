@@ -69,6 +69,7 @@ class BankedPorts : public PortScheduler
     std::vector<Addr> bank_line_;
     std::vector<bool> bank_used_;
 
+
   public:
     /** @{ @name Statistics */
     stats::Scalar conflicts_same_line;  //!< blocked behind same line

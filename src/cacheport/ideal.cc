@@ -19,9 +19,10 @@ IdealPorts::doSelect(const std::vector<MemRequest> &requests,
     const std::size_t n = std::min<std::size_t>(ports_, requests.size());
     for (std::size_t i = 0; i < n; ++i)
         accepted.push_back(i);
+    // The only contention an ideal cache has: more ready requests
+    // than ports this cycle.
+    recordRejects(RejectCause::AllPortsBusy, 0, requests.size() - n);
     if (tracer_) {
-        // The only contention an ideal cache has: more ready requests
-        // than ports this cycle.
         for (std::size_t i = n; i < requests.size(); ++i) {
             tracer_->bankEvent(now(), 0,
                                trace::BankEventKind::PortsExhausted,

@@ -15,7 +15,8 @@ Lbic::Lbic(stats::StatGroup *parent, const LbicConfig &config)
                                     ? "lbicg"
                                     : "lbic")
                         + std::to_string(config.banks) + "x"
-                        + std::to_string(config.line_ports)),
+                        + std::to_string(config.line_ports),
+                    config.banks),
       config_(config),
       banks_(config.banks),
       combined_accesses(&group_, "combined_accesses",
@@ -66,6 +67,14 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
     if (config_.lead_policy == LbicLeadPolicy::LargestGroup)
         preselectLargestGroups(requests);
 
+    // Denials are tallied per (cause, bank) and flushed as batched
+    // recordRejects() after the scan; see reject_tally_.
+    reject_tally_.assign(num_reject_causes * config_.banks, 0);
+    const auto tally = [this](RejectCause cause, unsigned bank) {
+        ++reject_tally_[static_cast<unsigned>(cause) * config_.banks
+                        + bank];
+    };
+
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const MemRequest &req = requests[i];
         const unsigned bi = selectBank(req.addr, config_.banks,
@@ -77,9 +86,12 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
         if (!bank.line_op) {
             if (config_.lead_policy == LbicLeadPolicy::LargestGroup) {
                 // The bank is reserved for the pre-selected line.
-                if (line != bank.reserved_line)
+                if (line != bank.reserved_line) {
+                    tally(RejectCause::LineBufferMiss, bi);
                     continue;
+                }
             } else if (i >= lead_window) {
+                tally(RejectCause::BeyondWindow, bi);
                 continue;
             }
             // Leading request: gates the line into the bank's buffer.
@@ -106,6 +118,9 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
             }
             accepted.push_back(i);
         } else if (bank.line != line) {
+            // The bank's single-line buffer holds a different line, so
+            // this request cannot combine regardless of its age.
+            tally(RejectCause::LineBufferMiss, bi);
             if (i < lead_window) {
                 ++conflicts_diff_line;
                 if (tracer_) {
@@ -116,6 +131,7 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
             }
         } else if (bank.ports_used >= config_.line_ports) {
             ++conflicts_ports_exhausted;
+            tally(RejectCause::AllPortsBusy, bi);
             if (tracer_) {
                 tracer_->bankEvent(
                     now(), bi, trace::BankEventKind::PortsExhausted,
@@ -127,6 +143,7 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
                 && bank.store_queue.size()
                        >= config_.store_queue_depth) {
                 ++store_queue_full;
+                tally(RejectCause::StoreQueueFull, bi);
                 if (tracer_) {
                     tracer_->bankEvent(
                         now(), bi,
@@ -144,6 +161,13 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
                                    line);
             }
             accepted.push_back(i);
+        }
+    }
+
+    for (unsigned c = 0; c < num_reject_causes; ++c) {
+        for (unsigned b = 0; b < config_.banks; ++b) {
+            recordRejects(static_cast<RejectCause>(c), b,
+                          reject_tally_[c * config_.banks + b]);
         }
     }
 }

@@ -125,6 +125,14 @@ class Lbic : public PortScheduler
     std::unordered_map<Addr, unsigned> group_size_scratch_;
     std::vector<unsigned> best_group_scratch_;
 
+    /**
+     * Per-(cause, bank) denial tally for the current select() call,
+     * flushed as batched recordRejects() at the end: the combining
+     * scan visits every ready request, so per-denial stat updates
+     * would dominate the select fast path.
+     */
+    std::vector<std::uint64_t> reject_tally_;
+
   public:
     /** @{ @name Statistics */
     stats::Scalar combined_accesses; //!< grants beyond the leader

@@ -5,7 +5,22 @@
 namespace lbic
 {
 
-PortScheduler::PortScheduler(stats::StatGroup *parent, std::string name)
+const char *
+rejectCauseName(RejectCause cause)
+{
+    switch (cause) {
+      case RejectCause::AllPortsBusy:    return "all_ports_busy";
+      case RejectCause::BankConflict:    return "bank_conflict";
+      case RejectCause::LineBufferMiss:  return "line_buffer_miss";
+      case RejectCause::StoreQueueFull:  return "store_queue_full";
+      case RejectCause::StoreSerialized: return "store_serialized";
+      case RejectCause::BeyondWindow:    return "beyond_window";
+    }
+    return "unknown";
+}
+
+PortScheduler::PortScheduler(stats::StatGroup *parent, std::string name,
+                             unsigned banks)
     : group_(parent, name),
       cycles_active(&group_, "cycles_active",
                     "cycles with at least one ready request"),
@@ -13,10 +28,24 @@ PortScheduler::PortScheduler(stats::StatGroup *parent, std::string name)
                     "ready requests presented to the scheduler"),
       requests_granted(&group_, "requests_granted",
                        "requests granted a cache access"),
+      requests_rejected(&group_, "requests_rejected",
+                        "requests presented but denied this cycle"),
       grants_per_cycle(&group_, "grants_per_cycle",
                        "accesses granted per active cycle", 0, 32, 1),
+      rejects_by_bank(&group_, "rejects_by_bank",
+                      "rejected requests per bank (conflict "
+                      "histogram)", 0, banks ? banks - 1 : 0, 1),
+      reject_banks_(banks ? banks : 1),
       name_(std::move(name))
 {
+    reject_cause_.reserve(num_reject_causes);
+    for (unsigned i = 0; i < num_reject_causes; ++i) {
+        const auto cause = static_cast<RejectCause>(i);
+        reject_cause_.push_back(std::make_unique<stats::Scalar>(
+            &group_,
+            std::string("rejects_") + rejectCauseName(cause),
+            std::string("requests denied: ") + rejectCauseName(cause)));
+    }
 }
 
 void
@@ -33,12 +62,23 @@ PortScheduler::select(const std::vector<MemRequest> &requests,
                     "port scheduler requests not sorted by age");
     }
 
+    const double rejected_before = requests_rejected.value();
     doSelect(requests, accepted);
 
     ++cycles_active;
     requests_seen += static_cast<double>(requests.size());
     requests_granted += static_cast<double>(accepted.size());
     grants_per_cycle.sample(accepted.size());
+
+    // The rejection partition must stay exact: every presented
+    // request either got a grant or exactly one recordReject() call.
+    lbic_assert(requests_rejected.value() - rejected_before
+                    == static_cast<double>(requests.size()
+                                           - accepted.size()),
+                "scheduler '", name_, "' attributed ",
+                requests_rejected.value() - rejected_before,
+                " rejections for ", requests.size() - accepted.size(),
+                " denied requests");
 }
 
 void
@@ -71,6 +111,29 @@ PortScheduler::registerInvariants(verify::InvariantAuditor &auditor)
                    + std::to_string(cycles_active.value())
                    + " exceeds scheduler cycle count "
                    + std::to_string(now_);
+        return {};
+    });
+
+    auditor.add("sched.rejects", [this]() -> std::string {
+        double cause_total = 0.0;
+        for (unsigned i = 0; i < num_reject_causes; ++i)
+            cause_total += reject_cause_[i]->value();
+        const double denied =
+            requests_seen.value() - requests_granted.value();
+        if (cause_total != denied)
+            return "reject causes sum to "
+                   + std::to_string(cause_total) + " but "
+                   + std::to_string(denied)
+                   + " requests were denied";
+        if (requests_rejected.value() != denied)
+            return "requests_rejected "
+                   + std::to_string(requests_rejected.value())
+                   + " != seen - granted = " + std::to_string(denied);
+        if (static_cast<double>(rejects_by_bank.samples()) != denied)
+            return "rejects_by_bank holds "
+                   + std::to_string(rejects_by_bank.samples())
+                   + " samples but " + std::to_string(denied)
+                   + " requests were denied";
         return {};
     });
 }

@@ -15,6 +15,7 @@
 #define LBIC_CACHEPORT_PORT_SCHEDULER_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -40,6 +41,49 @@ struct MemRequest
     bool is_store = false;
 };
 
+/**
+ * Mechanism-specific reason a presented request was denied a cache
+ * access this cycle. Every organization partitions its rejections
+ * over this taxonomy: each select() call leaves
+ *
+ *   requests_seen == requests_granted + sum(rejects_<cause>)
+ *
+ * exact, and every rejection lands one sample in the per-bank
+ * rejects_by_bank histogram -- the stall-attribution subsystem's
+ * sub-attribution of cache-port stalls.
+ */
+enum class RejectCause : unsigned
+{
+    /** Port capacity exhausted: ideal/replicated beyond p ports, or
+     *  LBIC same-line requests beyond the N line-buffer ports. */
+    AllPortsBusy = 0,
+
+    /** Banked cache: the request's bank was granted to an older
+     *  request this cycle (same- or different-line collision). */
+    BankConflict,
+
+    /** LBIC: the request's bank opened (or reserved) a different
+     *  line, so the single-line buffer cannot serve it. */
+    LineBufferMiss,
+
+    /** LBIC: a combining store found its bank's store queue full. */
+    StoreQueueFull,
+
+    /** Replicated cache: store broadcast serialization -- either a
+     *  broadcasting store blocked this request, or this store must
+     *  wait to become the oldest before broadcasting. */
+    StoreSerialized,
+
+    /** The request fell outside the crossbar/leader selection window
+     *  (only the oldest M requests can open a bank). */
+    BeyondWindow,
+};
+
+constexpr unsigned num_reject_causes = 6;
+
+/** Stable snake_case name used for stats and JSON keys. */
+const char *rejectCauseName(RejectCause cause);
+
 /** Decides which ready memory operations access the cache each cycle. */
 class PortScheduler
 {
@@ -47,8 +91,11 @@ class PortScheduler
     /**
      * @param parent stat group to register under.
      * @param name scheduler instance name (used for stats and tables).
+     * @param banks independently contended structures, sizing the
+     *        per-bank rejection histogram (1 for monolithic caches).
      */
-    PortScheduler(stats::StatGroup *parent, std::string name);
+    PortScheduler(stats::StatGroup *parent, std::string name,
+                  unsigned banks = 1);
     virtual ~PortScheduler() = default;
 
     PortScheduler(const PortScheduler &) = delete;
@@ -109,10 +156,58 @@ class PortScheduler
      */
     virtual void registerInvariants(verify::InvariantAuditor &auditor);
 
+    /** Rejections recorded for @p cause so far. */
+    std::uint64_t
+    rejectCount(RejectCause cause) const
+    {
+        return static_cast<std::uint64_t>(
+            reject_cause_[static_cast<unsigned>(cause)]->value());
+    }
+
+    /** Per-bank rejection histogram (bank 0 for monolithic caches). */
+    const stats::Distribution &rejectsByBank() const
+    {
+        return rejects_by_bank;
+    }
+
+    /** Banks the rejection histogram is sized for. */
+    unsigned rejectBanks() const { return reject_banks_; }
+
   protected:
     /** Organization-specific selection policy. */
     virtual void doSelect(const std::vector<MemRequest> &requests,
                           std::vector<std::size_t> &accepted) = 0;
+
+    /**
+     * Charge one denied request to @p cause against @p bank. Every
+     * doSelect() implementation must call this exactly once per
+     * presented-but-not-accepted request; select() asserts the
+     * partition stays exact each cycle.
+     */
+    void
+    recordReject(RejectCause cause, unsigned bank)
+    {
+        recordRejects(cause, bank, 1);
+    }
+
+    /**
+     * Batched recordReject(): charge @p count denied requests to
+     * @p cause against @p bank with one set of counter updates, so
+     * wide same-cause denials (a whole cycle serialized behind a
+     * store broadcast, the entire beyond-window tail) stay O(1)
+     * instead of O(denied) on the select() fast path.
+     */
+    void
+    recordRejects(RejectCause cause, unsigned bank,
+                  std::uint64_t count)
+    {
+        if (count == 0)
+            return;
+        requests_rejected += static_cast<double>(count);
+        *reject_cause_[static_cast<unsigned>(cause)] +=
+            static_cast<double>(count);
+        rejects_by_bank.sample(bank, count);
+    }
 
     stats::StatGroup group_;
 
@@ -124,10 +219,14 @@ class PortScheduler
     stats::Scalar cycles_active;    //!< cycles with >= 1 request ready
     stats::Scalar requests_seen;    //!< ready requests presented
     stats::Scalar requests_granted; //!< requests granted an access
+    stats::Scalar requests_rejected; //!< presented but denied
     stats::Distribution grants_per_cycle;
+    stats::Distribution rejects_by_bank; //!< conflict histogram
     /** @} */
 
   private:
+    std::vector<std::unique_ptr<stats::Scalar>> reject_cause_;
+    unsigned reject_banks_;
     std::string name_;
     Cycle now_ = 0;
 };

@@ -31,6 +31,9 @@ ReplicatedPorts::doSelect(const std::vector<MemRequest> &requests,
         ++store_solo_cycles;
         loads_blocked_by_store += static_cast<double>(
             requests.size() - 1);
+        // Everything younger is serialized behind the broadcast.
+        recordRejects(RejectCause::StoreSerialized, 0,
+                      requests.size() - 1);
         if (tracer_) {
             // The broadcast occupies every replica; report it once
             // against copy 0.
@@ -40,11 +43,20 @@ ReplicatedPorts::doSelect(const std::vector<MemRequest> &requests,
         }
         return;
     }
-    for (std::size_t i = 0;
-         i < requests.size() && accepted.size() < ports_; ++i) {
-        if (!requests[i].is_store)
+    std::size_t blocked_stores = 0, excess_loads = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i].is_store) {
+            // A store may only broadcast once it is the oldest
+            // request; until then it is serialization-blocked.
+            ++blocked_stores;
+        } else if (accepted.size() < ports_) {
             accepted.push_back(i);
+        } else {
+            ++excess_loads;
+        }
     }
+    recordRejects(RejectCause::StoreSerialized, 0, blocked_stores);
+    recordRejects(RejectCause::AllPortsBusy, 0, excess_loads);
 }
 
 } // namespace lbic

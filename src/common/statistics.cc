@@ -100,22 +100,6 @@ Distribution::Distribution(StatGroup *parent, std::string name,
     buckets_.resize((max_ - min_) / bucket_size_ + 1, 0);
 }
 
-void
-Distribution::sample(std::uint64_t v, std::uint64_t count)
-{
-    if (v < min_) {
-        underflow_ += count;
-    } else if (v > max_) {
-        overflow_ += count;
-    } else {
-        buckets_[(v - min_) / bucket_size_] += count;
-    }
-    samples_ += count;
-    sum_ += static_cast<double>(v) * static_cast<double>(count);
-    min_sample_ = std::min(min_sample_, v);
-    max_sample_ = std::max(max_sample_, v);
-}
-
 std::uint64_t
 Distribution::bucketCount(std::uint64_t v) const
 {
@@ -212,14 +196,38 @@ StatGroup::removeChild(StatGroup *child)
     std::erase(children_, child);
 }
 
+std::vector<const StatBase *>
+StatGroup::sortedStats() const
+{
+    std::vector<const StatBase *> sorted(stats_.begin(), stats_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StatBase *a, const StatBase *b) {
+                  return a->name() < b->name();
+              });
+    return sorted;
+}
+
+std::vector<const StatGroup *>
+StatGroup::sortedChildren() const
+{
+    std::vector<const StatGroup *> sorted(children_.begin(),
+                                          children_.end());
+    // stable: same-named children keep their registration order.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+    return sorted;
+}
+
 void
 StatGroup::print(std::ostream &os, const std::string &prefix) const
 {
     const std::string full =
         name_.empty() ? prefix : prefix + name_ + ".";
-    for (const auto *s : stats_)
+    for (const auto *s : sortedStats())
         s->print(os, full);
-    for (const auto *c : children_)
+    for (const auto *c : sortedChildren())
         c->print(os, full);
 }
 
@@ -237,9 +245,9 @@ StatGroup::printJson(std::ostream &os) const
 {
     os << '{';
     bool first = true;
-    for (const auto *s : stats_)
+    for (const auto *s : sortedStats())
         s->printJson(os, first);
-    for (const auto *c : children_) {
+    for (const auto *c : sortedChildren()) {
         if (!first)
             os << ',';
         first = false;

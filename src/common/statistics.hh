@@ -17,6 +17,7 @@
 #ifndef LBIC_COMMON_STATISTICS_HH
 #define LBIC_COMMON_STATISTICS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -96,8 +97,29 @@ class Distribution : public StatBase
                  std::uint64_t min, std::uint64_t max,
                  std::uint64_t bucket_size);
 
-    /** Record one sample of value @p v. */
-    void sample(std::uint64_t v, std::uint64_t count = 1);
+    /**
+     * Record @p count samples of value @p v. Inline: several
+     * histograms (grants per cycle, per-bank rejections) sample on
+     * per-cycle simulation paths.
+     */
+    void
+    sample(std::uint64_t v, std::uint64_t count = 1)
+    {
+        if (v < min_) {
+            underflow_ += count;
+        } else if (v > max_) {
+            overflow_ += count;
+        } else if (bucket_size_ == 1) {
+            // Unit-width buckets dodge the integer divide.
+            buckets_[v - min_] += count;
+        } else {
+            buckets_[(v - min_) / bucket_size_] += count;
+        }
+        samples_ += count;
+        sum_ += static_cast<double>(v) * static_cast<double>(count);
+        min_sample_ = std::min(min_sample_, v);
+        max_sample_ = std::max(max_sample_, v);
+    }
 
     std::uint64_t samples() const { return samples_; }
     double mean() const
@@ -162,12 +184,17 @@ class StatGroup
     /** Called by StatBase's constructor. */
     void addStat(StatBase *stat);
 
-    /** Print every stat in this group and its children. */
+    /**
+     * Print every stat in this group and its children. Output is
+     * ordered by name (stats first, then child groups) so dumps are
+     * deterministic and diffable regardless of construction order.
+     */
     void print(std::ostream &os, const std::string &prefix = "") const;
 
     /**
      * Emit the group (recursively) as a JSON object: statistics as
-     * members, child groups as nested objects.
+     * members, child groups as nested objects, both sorted by name
+     * like print().
      */
     void printJson(std::ostream &os) const;
 
@@ -189,6 +216,10 @@ class StatGroup
   private:
     void addChild(StatGroup *child);
     void removeChild(StatGroup *child);
+
+    /** Registration-order members, sorted by name for dumping. */
+    std::vector<const StatBase *> sortedStats() const;
+    std::vector<const StatGroup *> sortedChildren() const;
 
     StatGroup *parent_;
     std::string name_;

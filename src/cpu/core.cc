@@ -34,7 +34,8 @@ Core::Core(const CoreConfig &config, Workload &workload,
           [this] {
               return cycles.value() > 0.0
                          ? committed.value() / cycles.value() : 0.0;
-          })
+          }),
+      attribution_(&group_, config.fetch_width, config.commit_width)
 {
     lbic_assert(config_.ruu_size >= 1, "RUU must hold an instruction");
     lbic_assert(config_.lsq_size >= 1, "LSQ must hold an instruction");
@@ -583,6 +584,14 @@ Core::commitStage()
         ++done;
     }
 
+    // CPI-stack accounting: charge the unused commit slots (and, on a
+    // zero-commit cycle, the cycle itself) to whatever is blocking the
+    // oldest instruction. A full cycle needs no classification.
+    attribution_.commitCycle(
+        done, done < config_.commit_width
+                  ? classifyHeadStall()
+                  : observe::StallCause::FrontendDrained);
+
     if (done > 0) {
         last_commit_cycle_ = cycle_;
     } else if (head_seq_ < tail_seq_
@@ -590,6 +599,56 @@ Core::commitStage()
                       > config_.deadlock_threshold) {
         throwDeadlock();
     }
+}
+
+observe::StallCause
+Core::classifyHeadStall() const
+{
+    // Ordered by the commit loop's own exit conditions. The commit
+    // budget is checked first: when it stops commit mid-cycle the head
+    // may be perfectly committable (only the run's final cycle can
+    // take this branch, since run() returns once the limit is hit).
+    if (committed_count_ >= commit_limit_)
+        return observe::StallCause::RunLimit;
+
+    // Empty window: the frontend has nothing in flight (warm-up, or
+    // the workload stream drained).
+    if (head_seq_ == tail_seq_)
+        return observe::StallCause::FrontendDrained;
+
+    const RuuEntry &e = ruu_[head_seq_ % config_.ruu_size];
+
+    // Not yet issued: either operands are outstanding (a true data
+    // dependence) or the head is ready but lost the structural race
+    // for a functional unit / issue slot.
+    if (!e.issued) {
+        return e.wait_count > 0 ? observe::StallCause::DataDependency
+                                : observe::StallCause::FuBusy;
+    }
+
+    // Completed but uncommittable: the commit loop only refuses a
+    // completed head when it is a store still waiting for its cache
+    // write grant.
+    if (e.completed)
+        return observe::StallCause::CachePortStore;
+
+    if (e.inst.isLoad()) {
+        // An issued, uncompleted head load is either still asking the
+        // port scheduler for a grant (it sits in cache_ready_loads_,
+        // and being the oldest it must be at the set's front) or its
+        // access is in flight in the hierarchy. MSHR-full bounces
+        // re-enter the ready set, so they land on the port side; the
+        // mem_rejections stat disambiguates.
+        return !cache_ready_loads_.empty()
+                       && cache_ready_loads_.front() == head_seq_
+                   ? observe::StallCause::CachePortLoad
+                   : observe::StallCause::MemoryLatency;
+    }
+
+    // Issued, uncompleted non-memory op: executing on its FU. (An
+    // issued store completes in the same cycle it issues, so only
+    // plain ALU/FP latency reaches this point.)
+    return observe::StallCause::ExecLatency;
 }
 
 void
@@ -755,6 +814,10 @@ Core::registerInvariants(verify::InvariantAuditor &auditor)
         return {};
     });
 
+    auditor.add("core.attribution", [this]() -> std::string {
+        return attribution_.verify(cycle_);
+    });
+
     auditor.add("core.stats", [this]() -> std::string {
         if (committed.value()
             != static_cast<double>(committed_count_))
@@ -773,20 +836,29 @@ void
 Core::dispatchStage()
 {
     unsigned fetched = 0;
+    // Dispatch-slot accounting: remember why the loop stopped early.
+    // The default only matters when the loop breaks (a full cycle's
+    // cause is ignored).
+    auto cause = observe::DispatchCause::FrontendDrained;
     while (fetched < config_.fetch_width) {
-        if (tail_seq_ - head_seq_ >= config_.ruu_size)
+        if (tail_seq_ - head_seq_ >= config_.ruu_size) {
+            cause = observe::DispatchCause::RuuFull;
             break;
+        }
 
         if (!staged_valid_) {
             if (stream_ended_ || !workload_.next(staged_inst_)) {
                 stream_ended_ = true;
+                cause = observe::DispatchCause::FrontendDrained;
                 break;
             }
             staged_valid_ = true;
             staged_fetch_cycle_ = cycle_;
         }
-        if (staged_inst_.isMem() && lsq_count_ >= config_.lsq_size)
+        if (staged_inst_.isMem() && lsq_count_ >= config_.lsq_size) {
+            cause = observe::DispatchCause::LsqFull;
             break;
+        }
 
         const InstSeq seq = tail_seq_++;
         RuuEntry &e = entry(seq);
@@ -861,6 +933,8 @@ Core::dispatchStage()
             checkInfo(seq) = verify::CommitInfo{};
         ++fetched;
     }
+
+    attribution_.dispatchCycle(fetched, cause);
 }
 
 void

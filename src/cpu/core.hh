@@ -36,6 +36,7 @@
 #include "cpu/fu_pool.hh"
 #include "isa/dyn_inst.hh"
 #include "memory/hierarchy.hh"
+#include "observe/attribution.hh"
 #include "verify/auditor.hh"
 #include "verify/golden_model.hh"
 #include "workload/workload.hh"
@@ -279,6 +280,14 @@ class Core
     void dispatchStage();
     /** @} */
 
+    /**
+     * Classify what blocks the oldest instruction from committing
+     * (the CPI stack's blame-the-oldest rule). Called by commitStage
+     * on cycles that leave commit slots unused, after the commit loop
+     * has retired what it could.
+     */
+    observe::StallCause classifyHeadStall() const;
+
     /** Mark @p seq completed and wake its dependents. */
     void complete(InstSeq seq);
 
@@ -449,6 +458,15 @@ class Core
     stats::Scalar mem_rejections;   //!< grants bounced off full MSHRs
     stats::Derived ipc;
     /** @} */
+
+    /** The CPI-stack counters ("core.attribution" stat group). */
+    const observe::StallAttribution &attribution() const
+    {
+        return attribution_;
+    }
+
+  private:
+    observe::StallAttribution attribution_;
 };
 
 } // namespace lbic

@@ -26,6 +26,11 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
       l2_misses(&group_, "l2_misses", "L2 misses"),
       l2_writebacks(&group_, "l2_writebacks",
                     "dirty L2 lines written back"),
+      miss_latency(&group_, "miss_latency",
+                   "fill latency in cycles per L1 primary miss", 0,
+                   config.l1_hit_latency + config.l2_latency
+                       + config.mem_latency,
+                   1),
       miss_rate(&group_, "miss_rate", "L1 misses per access",
                 [this] { return l1MissRate(); })
 {
@@ -139,6 +144,7 @@ MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
     ++misses;
     const unsigned latency =
         config_.l1_hit_latency + l2AccessLatency(addr);
+    miss_latency.sample(latency);
     Mshr m;
     m.line = line;
     m.fill_cycle = now + latency;
@@ -197,6 +203,12 @@ MemoryHierarchy::registerInvariants(verify::InvariantAuditor &auditor)
                    + std::to_string(misses.value())
                    + " != L2 demand accesses "
                    + std::to_string(l2_accesses.value());
+        if (static_cast<double>(miss_latency.samples())
+            != misses.value())
+            return "miss_latency holds "
+                   + std::to_string(miss_latency.samples())
+                   + " samples for " + std::to_string(misses.value())
+                   + " primary misses";
         return {};
     });
 

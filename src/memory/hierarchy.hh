@@ -165,6 +165,7 @@ class MemoryHierarchy
     stats::Scalar l2_hits;
     stats::Scalar l2_misses;
     stats::Scalar l2_writebacks;
+    stats::Distribution miss_latency; //!< fill latency per primary miss
     stats::Derived miss_rate;
     /** @} */
 };

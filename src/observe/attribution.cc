@@ -1,0 +1,143 @@
+#include "attribution.hh"
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace observe
+{
+
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::FrontendDrained: return "frontend_drained";
+      case StallCause::DataDependency:  return "data_dependency";
+      case StallCause::FuBusy:          return "fu_busy";
+      case StallCause::ExecLatency:     return "exec_latency";
+      case StallCause::CachePortLoad:   return "cache_port_load";
+      case StallCause::CachePortStore:  return "cache_port_store";
+      case StallCause::MemoryLatency:   return "memory_latency";
+      case StallCause::RunLimit:        return "run_limit";
+    }
+    return "unknown";
+}
+
+const char *
+stallCauseDesc(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::FrontendDrained:
+        return "head blocked: window empty (startup or stream end)";
+      case StallCause::DataDependency:
+        return "head blocked: waiting on register or store-data "
+               "operands";
+      case StallCause::FuBusy:
+        return "head blocked: ready but unissued (FU or issue width)";
+      case StallCause::ExecLatency:
+        return "head blocked: non-memory op executing";
+      case StallCause::CachePortLoad:
+        return "head blocked: load waiting for a cache-port grant";
+      case StallCause::CachePortStore:
+        return "head blocked: store waiting for a cache write grant";
+      case StallCause::MemoryLatency:
+        return "head blocked: load access in flight in the hierarchy";
+      case StallCause::RunLimit:
+        return "commit budget reached mid-cycle (final cycle only)";
+    }
+    return "";
+}
+
+const char *
+dispatchCauseName(DispatchCause cause)
+{
+    switch (cause) {
+      case DispatchCause::FrontendDrained: return "frontend_drained";
+      case DispatchCause::RuuFull:         return "ruu_full";
+      case DispatchCause::LsqFull:         return "lsq_full";
+    }
+    return "unknown";
+}
+
+StallAttribution::StallAttribution(stats::StatGroup *parent,
+                                   unsigned fetch_width,
+                                   unsigned commit_width)
+    : group_(parent, "attribution"),
+      fetch_width_(fetch_width), commit_width_(commit_width),
+      cycles_base(&group_, "cycles_base",
+                  "cycles committing at least one instruction"),
+      slots_committed(&group_, "slots_committed",
+                      "commit slots filled by retiring instructions"),
+      dispatch_used(&group_, "dispatch_used",
+                    "dispatch slots filled by new instructions")
+{
+    lbic_assert(fetch_width_ >= 1 && commit_width_ >= 1,
+                "attribution needs nonzero pipeline widths");
+    cycle_stack_.reserve(num_stall_causes);
+    slot_stack_.reserve(num_stall_causes);
+    for (unsigned i = 0; i < num_stall_causes; ++i) {
+        const auto cause = static_cast<StallCause>(i);
+        cycle_stack_.push_back(std::make_unique<stats::Scalar>(
+            &group_, std::string("cycles_") + stallCauseName(cause),
+            std::string("zero-commit cycles: ")
+                + stallCauseDesc(cause)));
+        slot_stack_.push_back(std::make_unique<stats::Scalar>(
+            &group_, std::string("slots_") + stallCauseName(cause),
+            std::string("unused commit slots: ")
+                + stallCauseDesc(cause)));
+    }
+    dispatch_stack_.reserve(num_dispatch_causes);
+    for (unsigned i = 0; i < num_dispatch_causes; ++i) {
+        const auto cause = static_cast<DispatchCause>(i);
+        dispatch_stack_.push_back(std::make_unique<stats::Scalar>(
+            &group_,
+            std::string("dispatch_") + dispatchCauseName(cause),
+            std::string("unused dispatch slots: ")
+                + dispatchCauseName(cause)));
+    }
+}
+
+std::uint64_t
+StallAttribution::cycleStackTotal() const
+{
+    std::uint64_t total = baseCycles();
+    for (unsigned i = 0; i < num_stall_causes; ++i)
+        total += stallCycles(static_cast<StallCause>(i));
+    return total;
+}
+
+std::string
+StallAttribution::verify(std::uint64_t cycles) const
+{
+    const std::uint64_t cycle_total = cycleStackTotal();
+    if (cycle_total != cycles)
+        return "CPI cycle stack sums to " + std::to_string(cycle_total)
+               + " but " + std::to_string(cycles)
+               + " cycles were simulated";
+
+    std::uint64_t commit_total = committedSlots();
+    for (unsigned i = 0; i < num_stall_causes; ++i)
+        commit_total += stallSlots(static_cast<StallCause>(i));
+    if (commit_total != cycles * commit_width_)
+        return "commit-slot stack sums to "
+               + std::to_string(commit_total) + " but "
+               + std::to_string(cycles) + " cycles * commit width "
+               + std::to_string(commit_width_) + " = "
+               + std::to_string(cycles * commit_width_);
+
+    std::uint64_t dispatch_total = usedDispatchSlots();
+    for (unsigned i = 0; i < num_dispatch_causes; ++i)
+        dispatch_total += dispatchStallSlots(
+            static_cast<DispatchCause>(i));
+    if (dispatch_total != cycles * fetch_width_)
+        return "dispatch-slot stack sums to "
+               + std::to_string(dispatch_total) + " but "
+               + std::to_string(cycles) + " cycles * fetch width "
+               + std::to_string(fetch_width_) + " = "
+               + std::to_string(cycles * fetch_width_);
+
+    return {};
+}
+
+} // namespace observe
+} // namespace lbic

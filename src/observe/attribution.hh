@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Stall attribution: a sum-exact CPI stack for the simulated core.
+ *
+ * The end-of-run aggregates say *that* a port organization lost IPC;
+ * this subsystem says *why*, in the style of top-down CPI stacks
+ * (Eyerman et al., "A Performance Counter Architecture for Computing
+ * Accurate CPI Components"). Every cycle the core charges its unused
+ * dispatch and commit slots to a root cause, and each whole cycle to
+ * exactly one cycle-stack component, so three accounting identities
+ * hold with byte-exact integer equality at every cycle boundary:
+ *
+ *   cycles_base + sum(cycles_<cause>)        == cycles
+ *   slots_committed + sum(slots_<cause>)     == cycles * commit_width
+ *   dispatch_used + sum(dispatch_<cause>)    == cycles * fetch_width
+ *
+ * The cycle stack uses the standard blame-the-oldest rule: a cycle
+ * that commits at least one instruction is a base cycle; a cycle that
+ * commits nothing is charged to whatever is blocking the *oldest*
+ * instruction (the head of the RUU), because nothing younger can
+ * commit before it. The slot stacks refine this: a partially used
+ * commit cycle charges its leftover slots to the head's blocker, and
+ * the dispatch stack attributes frontend-side loss (RUU full, LSQ
+ * full, stream drained) that the commit-side view cannot see.
+ *
+ * Counters are always on: the accounting is a handful of integer adds
+ * per cycle, cheap enough that every run is a self-explaining
+ * experiment.
+ */
+
+#ifndef LBIC_OBSERVE_ATTRIBUTION_HH
+#define LBIC_OBSERVE_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hh"
+
+namespace lbic
+{
+namespace observe
+{
+
+/**
+ * Root cause blocking the oldest instruction from committing. Charged
+ * to unused commit slots and (when nothing commits) to the cycle.
+ */
+enum class StallCause : unsigned
+{
+    /** The window is empty: startup or the workload stream drained. */
+    FrontendDrained = 0,
+
+    /** The head waits on register (or forwarded store-data) operands. */
+    DataDependency,
+
+    /** The head's operands are ready but it has not issued: its
+     *  functional unit is busy or the issue width was exhausted. */
+    FuBusy,
+
+    /** The head is a non-memory op in execution (FU latency). */
+    ExecLatency,
+
+    /** The head is a load waiting for a cache-port grant. */
+    CachePortLoad,
+
+    /** The head is a completed store waiting for a write grant. */
+    CachePortStore,
+
+    /** The head is a load whose cache access is in flight (hit or
+     *  miss latency in the memory hierarchy). */
+    MemoryLatency,
+
+    /** The commit budget (max_insts) was reached mid-cycle; only the
+     *  run's final cycle can carry this. */
+    RunLimit,
+};
+
+constexpr unsigned num_stall_causes = 8;
+
+/** Stable snake_case name used for stats and JSON keys. */
+const char *stallCauseName(StallCause cause);
+
+/** One-line description for stat dumps. */
+const char *stallCauseDesc(StallCause cause);
+
+/** Root cause for an unused dispatch slot. */
+enum class DispatchCause : unsigned
+{
+    /** The workload stream has ended (or has not produced yet). */
+    FrontendDrained = 0,
+
+    /** The RUU window is full. */
+    RuuFull,
+
+    /** The next instruction is a memory op and the LSQ is full. */
+    LsqFull,
+};
+
+constexpr unsigned num_dispatch_causes = 3;
+
+const char *dispatchCauseName(DispatchCause cause);
+
+/**
+ * The attribution counters, registered as the "attribution" stat
+ * group under the owning core. The core calls commitCycle() and
+ * dispatchCycle() exactly once per cycle each; everything else is
+ * read-side (accessors, the sum-exactness verifier).
+ */
+class StallAttribution
+{
+  public:
+    /**
+     * @param parent stat group to register the "attribution" group
+     *        under (the core's own group).
+     * @param fetch_width dispatch slots per cycle.
+     * @param commit_width commit slots per cycle.
+     */
+    StallAttribution(stats::StatGroup *parent, unsigned fetch_width,
+                     unsigned commit_width);
+
+    /**
+     * Account one cycle of the commit stage: @p committed_slots
+     * instructions committed; when fewer than commit_width, the
+     * leftover slots -- and, if nothing committed, the cycle itself --
+     * are charged to @p cause (ignored on a full cycle).
+     */
+    void
+    commitCycle(unsigned committed_slots, StallCause cause)
+    {
+        if (committed_slots > 0) {
+            ++cycles_base;
+            slots_committed += static_cast<double>(committed_slots);
+        } else {
+            ++*cycle_stack_[static_cast<unsigned>(cause)];
+        }
+        if (committed_slots < commit_width_) {
+            *slot_stack_[static_cast<unsigned>(cause)] +=
+                static_cast<double>(commit_width_ - committed_slots);
+        }
+    }
+
+    /**
+     * Account one cycle of the dispatch stage: @p used_slots
+     * instructions dispatched; leftover slots are charged to
+     * @p cause (ignored on a full cycle).
+     */
+    void
+    dispatchCycle(unsigned used_slots, DispatchCause cause)
+    {
+        if (used_slots > 0)
+            dispatch_used += static_cast<double>(used_slots);
+        if (used_slots < fetch_width_) {
+            *dispatch_stack_[static_cast<unsigned>(cause)] +=
+                static_cast<double>(fetch_width_ - used_slots);
+        }
+    }
+
+    /** @{ @name Integer read-back (counters only ever hold integers) */
+    std::uint64_t baseCycles() const { return u64(cycles_base); }
+    std::uint64_t
+    stallCycles(StallCause cause) const
+    {
+        return u64(*cycle_stack_[static_cast<unsigned>(cause)]);
+    }
+    std::uint64_t committedSlots() const { return u64(slots_committed); }
+    std::uint64_t
+    stallSlots(StallCause cause) const
+    {
+        return u64(*slot_stack_[static_cast<unsigned>(cause)]);
+    }
+    std::uint64_t usedDispatchSlots() const { return u64(dispatch_used); }
+    std::uint64_t
+    dispatchStallSlots(DispatchCause cause) const
+    {
+        return u64(*dispatch_stack_[static_cast<unsigned>(cause)]);
+    }
+    /** @} */
+
+    unsigned fetchWidth() const { return fetch_width_; }
+    unsigned commitWidth() const { return commit_width_; }
+
+    /** Sum of the cycle stack including base (must equal cycles). */
+    std::uint64_t cycleStackTotal() const;
+
+    /**
+     * Check all three sum-exactness identities against @p cycles.
+     * Returns an empty string when every component sums exactly, or a
+     * description of the first violated identity (the invariant
+     * auditor's contract).
+     */
+    std::string verify(std::uint64_t cycles) const;
+
+  private:
+    static std::uint64_t
+    u64(const stats::Scalar &s)
+    {
+        return static_cast<std::uint64_t>(s.value());
+    }
+
+    stats::StatGroup group_;
+    unsigned fetch_width_;
+    unsigned commit_width_;
+
+    std::vector<std::unique_ptr<stats::Scalar>> cycle_stack_;
+    std::vector<std::unique_ptr<stats::Scalar>> slot_stack_;
+    std::vector<std::unique_ptr<stats::Scalar>> dispatch_stack_;
+
+  public:
+    /** @{ @name Statistics (public for Derived formulas and tests) */
+    stats::Scalar cycles_base;      //!< cycles committing >= 1 inst
+    stats::Scalar slots_committed;  //!< commit slots used
+    stats::Scalar dispatch_used;    //!< dispatch slots used
+    /** @} */
+};
+
+} // namespace observe
+} // namespace lbic
+
+#endif // LBIC_OBSERVE_ATTRIBUTION_HH

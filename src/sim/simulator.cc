@@ -5,6 +5,7 @@
 #include "cacheport/factory.hh"
 #include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "observe/attribution.hh"
 #include "workload/registry.hh"
 
 namespace lbic
@@ -73,7 +74,16 @@ Simulator::setupSampler()
         "dcache.misses",
         scheduler_->name() + ".requests_seen",
         scheduler_->name() + ".requests_granted",
+        scheduler_->name() + ".requests_rejected",
     };
+    // The CPI stack, per interval: where this interval's cycles went.
+    paths.push_back("core.attribution.cycles_base");
+    for (unsigned i = 0; i < observe::num_stall_causes; ++i) {
+        paths.push_back(
+            std::string("core.attribution.cycles_")
+            + observe::stallCauseName(
+                  static_cast<observe::StallCause>(i)));
+    }
     std::string rest = config_.interval_stats;
     while (!rest.empty()) {
         const auto comma = rest.find(',');

@@ -28,11 +28,32 @@ runOne(const SweepJob &job)
     out.metrics.loads_executed = sim.core().loads_executed.value();
     out.metrics.stores_executed = sim.core().stores_executed.value();
     out.metrics.loads_forwarded = sim.core().loads_forwarded.value();
-    out.metrics.requests_seen =
-        sim.portScheduler().requests_seen.value();
-    out.metrics.requests_granted =
-        sim.portScheduler().requests_granted.value();
-    out.metrics.peak_width = sim.portScheduler().peakWidth();
+    const PortScheduler &sched = sim.portScheduler();
+    out.metrics.requests_seen = sched.requests_seen.value();
+    out.metrics.requests_granted = sched.requests_granted.value();
+    out.metrics.peak_width = sched.peakWidth();
+    out.metrics.requests_rejected = sched.requests_rejected.value();
+    for (unsigned c = 0; c < num_reject_causes; ++c)
+        out.metrics.rejects[c] =
+            sched.rejectCount(static_cast<RejectCause>(c));
+    out.metrics.reject_bank_samples = sched.rejectsByBank().samples();
+    out.metrics.reject_banks = sched.rejectBanks();
+
+    const observe::StallAttribution &attr = sim.core().attribution();
+    out.metrics.fetch_width = attr.fetchWidth();
+    out.metrics.commit_width = attr.commitWidth();
+    out.metrics.cycles_base = attr.baseCycles();
+    out.metrics.slots_committed = attr.committedSlots();
+    out.metrics.dispatch_used = attr.usedDispatchSlots();
+    for (unsigned c = 0; c < observe::num_stall_causes; ++c) {
+        const auto cause = static_cast<observe::StallCause>(c);
+        out.metrics.stall_cycles[c] = attr.stallCycles(cause);
+        out.metrics.stall_slots[c] = attr.stallSlots(cause);
+    }
+    for (unsigned c = 0; c < observe::num_dispatch_causes; ++c) {
+        out.metrics.dispatch_stalls[c] = attr.dispatchStallSlots(
+            static_cast<observe::DispatchCause>(c));
+    }
 
     const auto end = std::chrono::steady_clock::now();
     out.wall_ms =

@@ -48,11 +48,14 @@
 #ifndef LBIC_SIM_SWEEP_HH
 #define LBIC_SIM_SWEEP_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "cacheport/port_scheduler.hh"
+#include "observe/attribution.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 
@@ -102,6 +105,25 @@ struct SweepMetrics
     double requests_seen = 0.0;     //!< port scheduler: offered
     double requests_granted = 0.0;  //!< port scheduler: granted
     unsigned peak_width = 0;        //!< port scheduler: peak acc/cycle
+
+    /** @{ @name Cache-port rejection sub-attribution */
+    double requests_rejected = 0.0;
+    std::array<std::uint64_t, num_reject_causes> rejects{};
+    std::uint64_t reject_bank_samples = 0; //!< per-bank histogram mass
+    unsigned reject_banks = 0;
+    /** @} */
+
+    /** @{ @name CPI stack (indexed by StallCause / DispatchCause) */
+    unsigned fetch_width = 0;
+    unsigned commit_width = 0;
+    std::uint64_t cycles_base = 0;
+    std::array<std::uint64_t, observe::num_stall_causes> stall_cycles{};
+    std::uint64_t slots_committed = 0;
+    std::array<std::uint64_t, observe::num_stall_causes> stall_slots{};
+    std::uint64_t dispatch_used = 0;
+    std::array<std::uint64_t, observe::num_dispatch_causes>
+        dispatch_stalls{};
+    /** @} */
 };
 
 /** Outcome of one sweep job. */

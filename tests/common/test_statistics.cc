@@ -214,6 +214,55 @@ TEST(StatisticsTest, DuplicateNamePanics)
     detail::setThrowOnError(false);
 }
 
+TEST(StatisticsTest, PrintOrdersByNameNotRegistration)
+{
+    // Stats registered out of order dump alphabetically, so two dumps
+    // of equivalent trees are diffable regardless of construction
+    // order.
+    StatGroup root;
+    Scalar zebra(&root, "zebra", "");
+    Scalar apple(&root, "apple", "");
+    Scalar mango(&root, "mango", "");
+    std::ostringstream os;
+    root.print(os);
+    const std::string text = os.str();
+    const std::size_t a = text.find("apple");
+    const std::size_t m = text.find("mango");
+    const std::size_t z = text.find("zebra");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(a, m);
+    EXPECT_LT(m, z);
+}
+
+TEST(StatisticsTest, PrintOrdersChildGroupsByName)
+{
+    StatGroup root;
+    StatGroup late(&root, "zeta");
+    StatGroup early(&root, "alpha");
+    Scalar zs(&late, "s", "");
+    Scalar as(&early, "s", "");
+    std::ostringstream os;
+    root.print(os);
+    const std::string text = os.str();
+    EXPECT_LT(text.find("alpha.s"), text.find("zeta.s"));
+}
+
+TEST(StatisticsTest, JsonOrdersByNameNotRegistration)
+{
+    StatGroup root;
+    StatGroup group(&root, "zgroup");
+    Scalar s(&group, "s", "");
+    Scalar beta(&root, "beta", "");
+    Scalar alpha(&root, "alpha", "");
+    std::ostringstream os;
+    root.printJson(os);
+    // Stats (sorted) precede child groups (sorted).
+    EXPECT_EQ(os.str(),
+              "{\"alpha\":0,\"beta\":0,\"zgroup\":{\"s\":0}}");
+}
+
 } // anonymous namespace
 } // namespace stats
 } // namespace lbic
