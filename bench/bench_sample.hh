@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Sampled-mode plumbing for the paper-table drivers.
+ *
+ * Any sweep-shaped driver can run its grid in checkpointed sampled
+ * mode (`sampled=1`): instead of simulating every (workload, port
+ * organization) cell in full, the workload's reference stream is
+ * profiled once, K representative intervals are selected
+ * (sample/signature.hh), ONE functional fast-forward pass captures a
+ * warmed checkpoint before each interval, and every cell then runs
+ * only K short detailed windows restored from those shared
+ * checkpoints. All interval runs across all cells go into a single
+ * fault-isolated SweepRunner invocation, so the parallelism of the
+ * full-mode sweep is preserved.
+ *
+ * Extra keys in sampled mode:
+ *   sampled=1        enable
+ *   intervals=K      representative intervals per workload (default 5)
+ *   interval_len=L   interval length in instructions (default 50000)
+ *   warmup=W         detailed warmup before each interval (10000)
+ *   compare_full=1   also run every cell in full and report the
+ *                    per-cell estimation error (accuracy audits)
+ *
+ * JSON: schema v3 adds a per-run "sampling" block (see
+ * printJsonSampledResults) carrying the plan, per-interval results
+ * and, with compare_full=1, the measured error against the full run.
+ */
+
+#ifndef LBIC_BENCH_BENCH_SAMPLE_HH
+#define LBIC_BENCH_BENCH_SAMPLE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sample/sampler.hh"
+
+namespace lbic
+{
+namespace bench
+{
+
+/** The sampled-mode knobs, parsed from the driver's key=value args. */
+struct SampleArgs
+{
+    bool enabled = false;
+    bool compare_full = false;
+    sample::SamplingConfig cfg;
+};
+
+/** Parse sampled=/intervals=/interval_len=/warmup=/compare_full=. */
+inline SampleArgs
+parseSampleArgs(const BenchArgs &args)
+{
+    SampleArgs s;
+    s.enabled = args.config.getBool("sampled", false);
+    s.compare_full = args.config.getBool("compare_full", false);
+    s.cfg.total_insts = args.insts;
+    s.cfg.interval_insts =
+        args.config.getU64("interval_len", s.cfg.interval_insts);
+    s.cfg.max_intervals = static_cast<unsigned>(
+        args.config.getU64("intervals", s.cfg.max_intervals));
+    s.cfg.warmup_insts =
+        args.config.getU64("warmup", s.cfg.warmup_insts);
+    return s;
+}
+
+/** One grid cell's sampled outcome. */
+struct SampledCell
+{
+    std::string label;
+    std::string workload;
+    std::string port_spec;
+    sample::SampledEstimate est;
+
+    /** Summed wall clock of this cell's interval runs (ms). */
+    double wall_ms = 0.0;
+
+    /** Full-run IPC when compare_full=1; negative otherwise. */
+    double full_ipc = -1.0;
+
+    /** The full run failed (compare_full=1 only). */
+    bool full_failed = false;
+
+    bool ok() const { return est.ok && !full_failed; }
+
+    /** Relative estimation error vs the full run (compare_full=1). */
+    double
+    errorVsFull() const
+    {
+        return full_ipc > 0.0
+                   ? (est.ipc - full_ipc) / full_ipc
+                   : 0.0;
+    }
+};
+
+/** A finished sampled grid. */
+struct SampledOutput
+{
+    std::vector<SampledCell> cells;     //!< cells[i] matches jobs[i]
+    std::map<std::string, sample::SamplingPlan> plans; //!< by workload
+    double total_wall_ms = 0.0;         //!< includes plan/checkpoint
+    unsigned jobs_used = 0;
+    std::size_t failed = 0;
+};
+
+/**
+ * Run the driver's full-mode grid (@p cells, one SweepJob per table
+ * cell) in sampled mode. Plans and checkpoints are built once per
+ * distinct workload and shared across that workload's cells; the
+ * interval runs of every cell (plus the full runs, with
+ * compare_full=1) execute in one SweepRunner invocation.
+ */
+inline SampledOutput
+runSampledCells(const BenchArgs &args, const SampleArgs &sargs,
+                const std::vector<SweepJob> &cells)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SampledOutput out;
+    out.cells.resize(cells.size());
+
+    // Phase 1 (serial, cheap): per distinct workload, profile the
+    // stream, select intervals and capture the shared checkpoints
+    // with one incremental fast-forward pass.
+    std::map<std::string, std::vector<sample::Checkpoint>> ckpts;
+    for (const SweepJob &cell : cells) {
+        const std::string &w = cell.config.workload;
+        if (out.plans.count(w))
+            continue;
+        out.plans[w] =
+            sample::makePlan(w, cell.config.seed, sargs.cfg);
+        ckpts[w] = sample::makeCheckpoints(cell.config, out.plans[w]);
+    }
+
+    // Phase 2: flatten every cell's interval jobs (and optional full
+    // run) into one sweep.
+    std::vector<SweepJob> flat;
+    std::vector<std::size_t> first_job(cells.size(), 0);
+    std::vector<std::size_t> full_job(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepJob &cell = cells[i];
+        const sample::SamplingPlan &plan =
+            out.plans[cell.config.workload];
+        std::vector<SweepJob> jobs = sample::buildJobs(
+            cell.config, plan, ckpts[cell.config.workload],
+            cell.label);
+        first_job[i] = flat.size();
+        for (SweepJob &j : jobs)
+            flat.push_back(std::move(j));
+        if (sargs.compare_full) {
+            SweepJob full = cell;
+            full.label += "/full";
+            full_job[i] = flat.size();
+            flat.push_back(std::move(full));
+        }
+    }
+
+    const SweepOutput swept = runJobs(args, flat);
+    out.jobs_used = swept.jobs_used;
+
+    // Phase 3: regroup and aggregate.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SampledCell &cell = out.cells[i];
+        cell.label = cells[i].label;
+        cell.workload = cells[i].config.workload;
+        cell.port_spec = cells[i].config.port_spec;
+        const sample::SamplingPlan &plan = out.plans[cell.workload];
+        const std::vector<SweepResult> slice(
+            swept.results.begin()
+                + static_cast<std::ptrdiff_t>(first_job[i]),
+            swept.results.begin() + static_cast<std::ptrdiff_t>(
+                first_job[i] + plan.selected.size()));
+        cell.est = sample::estimate(plan, slice);
+        for (const SweepResult &r : slice)
+            cell.wall_ms += r.wall_ms;
+        if (sargs.compare_full) {
+            const SweepResult &full = swept.results[full_job[i]];
+            if (full.ok)
+                cell.full_ipc = full.ipc();
+            else
+                cell.full_failed = true;
+        }
+        if (!cell.ok())
+            ++out.failed;
+    }
+
+    const auto end = std::chrono::steady_clock::now();
+    out.total_wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return out;
+}
+
+/**
+ * Adapt a sampled grid to the SweepOutput shape the drivers' table
+ * printers consume: one synthesized result per cell whose ipc() is
+ * the sampled estimate (instructions/cycles are scaled stand-ins, not
+ * simulation counts).
+ */
+inline SweepOutput
+toSweepOutput(const SampledOutput &sout)
+{
+    SweepOutput out;
+    out.total_wall_ms = sout.total_wall_ms;
+    out.jobs_used = sout.jobs_used;
+    out.results.reserve(sout.cells.size());
+    for (const SampledCell &cell : sout.cells) {
+        SweepResult r;
+        r.label = cell.label;
+        r.ok = cell.ok();
+        if (!r.ok) {
+            r.error = cell.est.error;
+            r.error_kind = "sampling";
+        }
+        r.result.cycles = 1000000;
+        r.result.instructions = static_cast<std::uint64_t>(
+            cell.est.ipc * 1000000.0 + 0.5);
+        r.wall_ms = cell.wall_ms;
+        out.results.push_back(std::move(r));
+    }
+    return out;
+}
+
+/**
+ * Emit the sampled grid as one schema-v3 JSON object: the usual
+ * header plus "sampled": true and, per run, a "sampling" block with
+ * the plan, coverage, per-interval measurements and (compare_full=1)
+ * the full-run IPC and relative error.
+ */
+inline void
+printJsonSampledResults(std::ostream &os, const std::string &driver,
+                        const BenchArgs &args,
+                        const std::vector<SweepJob> &cells,
+                        const SampledOutput &out,
+                        const SampleArgs &sargs)
+{
+    os << "{\"schema_version\": " << json_schema_version
+       << ", \"driver\": \"" << jsonEscape(driver) << "\""
+       << ", \"git_sha\": \"" << jsonEscape(LBIC_GIT_SHA) << "\""
+       << ", \"config_hash\": \"" << configHash(driver, args, cells)
+       << "\""
+       << ", \"insts\": " << args.insts
+       << ", \"seed\": " << args.seed
+       << ", \"jobs\": " << out.jobs_used
+       << ", \"sampled\": true"
+       << ", \"total_wall_ms\": " << out.total_wall_ms
+       << ", \"runs\": [";
+    for (std::size_t i = 0; i < out.cells.size(); ++i) {
+        const SampledCell &cell = out.cells[i];
+        if (i)
+            os << ", ";
+        os << "{\"label\": \"" << jsonEscape(cell.label) << "\""
+           << ", \"workload\": \"" << jsonEscape(cell.workload)
+           << "\""
+           << ", \"port_spec\": \"" << jsonEscape(cell.port_spec)
+           << "\""
+           << ", \"status\": \"" << (cell.ok() ? "ok" : "failed")
+           << "\"";
+        if (!cell.ok())
+            os << ", \"error\": \"" << jsonEscape(cell.est.error)
+               << "\"";
+        os << ", \"ipc\": " << cell.est.ipc
+           << ", \"wall_ms\": " << cell.wall_ms
+           << ", \"sampling\": {\"intervals\": "
+           << cell.est.runs.size()
+           << ", \"interval_len\": " << sargs.cfg.interval_insts
+           << ", \"warmup\": " << sargs.cfg.warmup_insts
+           << ", \"coverage\": " << cell.est.coverage
+           << ", \"est_ipc\": " << cell.est.ipc
+           << ", \"interval_runs\": [";
+        for (std::size_t k = 0; k < cell.est.runs.size(); ++k) {
+            const sample::SampledRun &run = cell.est.runs[k];
+            os << (k ? ", " : "") << "{\"start\": " << run.start
+               << ", \"length\": " << run.length
+               << ", \"weight\": " << run.weight
+               << ", \"ipc\": " << run.result.measuredIpc()
+               << ", \"instructions\": " << run.result.instructions
+               << ", \"cycles\": " << run.result.cycles << "}";
+        }
+        os << "]";
+        if (sargs.compare_full && cell.full_ipc > 0.0) {
+            os << ", \"full_ipc\": " << cell.full_ipc
+               << ", \"error_vs_full\": " << cell.errorVsFull();
+        }
+        os << "}}";
+    }
+    os << "]}\n";
+}
+
+/** Sampled-mode twin of emitJsonIfRequested(). */
+inline bool
+emitSampledJsonIfRequested(const std::string &driver,
+                           const BenchArgs &args,
+                           const std::vector<SweepJob> &cells,
+                           const SampledOutput &out,
+                           const SampleArgs &sargs)
+{
+    if (!args.json)
+        return false;
+    printJsonSampledResults(std::cout, driver, args, cells, out,
+                            sargs);
+    return true;
+}
+
+/** Warn (stderr) about every failed sampled cell. */
+inline void
+reportSampledFailures(const SampledOutput &out)
+{
+    for (const SampledCell &cell : out.cells) {
+        if (!cell.ok())
+            lbic_warn("sampled cell '", cell.label, "' failed: ",
+                      cell.est.error.empty() ? "full run failed"
+                                             : cell.est.error);
+    }
+}
+
+} // namespace bench
+} // namespace lbic
+
+#endif // LBIC_BENCH_BENCH_SAMPLE_HH

@@ -20,13 +20,17 @@
  * JSON schema (one object on stdout):
  * @code
  * {
- *   "schema_version": 2,             // bumped on breaking changes
+ *   "schema_version": 3,             // bumped on breaking changes
  *   "driver": "table3_ipc",          // harness name
  *   "git_sha": "52508a4b1c2d",       // tree that built the binary
  *   "config_hash": "9a1f0c...",      // FNV-1a over the sweep config
  *   "insts": 500000,                 // instructions per run
  *   "seed": 1,
  *   "jobs": 8,                       // worker threads used
+ *   "sampled": false,                // true in checkpointed sampled
+ *                                    //   mode, where each run carries
+ *                                    //   a "sampling" block instead of
+ *                                    //   attribution (bench_sample.hh)
  *   "total_wall_ms": 1234.5,         // whole-sweep wall clock
  *   "runs": [                        // submission order
  *     {"label": "", "workload": "compress", "port_spec": "ideal:1",
@@ -81,7 +85,7 @@ namespace bench
 {
 
 /** Version of the JSON schema below; bump on breaking changes. */
-constexpr unsigned json_schema_version = 2;
+constexpr unsigned json_schema_version = 3;
 
 /** The common driver arguments, parsed once. */
 struct BenchArgs
@@ -283,6 +287,7 @@ printJsonResults(std::ostream &os, const std::string &driver,
        << ", \"insts\": " << args.insts
        << ", \"seed\": " << args.seed
        << ", \"jobs\": " << out.jobs_used
+       << ", \"sampled\": false"
        << ", \"total_wall_ms\": " << out.total_wall_ms
        << ", \"runs\": [";
     for (std::size_t i = 0; i < out.results.size(); ++i) {

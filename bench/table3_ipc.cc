@@ -6,11 +6,21 @@
  * the SPECint / SPECfp averages.
  *
  * Usage: table3_ipc [insts=N] [seed=S] [jobs=J] [--json]
+ *                   [sampled=1 intervals=K interval_len=L warmup=W
+ *                    compare_full=1]
+ *
+ * `sampled=1` regenerates the table by checkpointed sampled
+ * simulation (bench_sample.hh): per kernel, one profiling pass picks K
+ * representative intervals and one fast-forward pass captures shared
+ * warmed checkpoints; every port organization then runs only the
+ * short detailed windows. `compare_full=1` additionally runs every
+ * cell in full and reports per-cell estimation error (JSON mode).
  */
 
 #include <iostream>
 #include <vector>
 
+#include "bench_sample.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "sim/sweep.hh"
@@ -34,6 +44,7 @@ main(int argc, char **argv)
 {
     const bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, 500000);
+    const bench::SampleArgs sargs = bench::parseSampleArgs(args);
     args.config.rejectUnrecognized();
 
     const std::vector<unsigned> widths = {2, 4, 8, 16};
@@ -55,13 +66,27 @@ main(int argc, char **argv)
         }
     }
 
-    const bench::SweepOutput out = bench::runJobs(args, jobs);
-    if (bench::emitJsonIfRequested("table3_ipc", args, jobs, out))
-        return bench::exitCode(out);
+    bench::SweepOutput out;
+    if (sargs.enabled) {
+        const bench::SampledOutput sout =
+            bench::runSampledCells(args, sargs, jobs);
+        if (bench::emitSampledJsonIfRequested("table3_ipc", args,
+                                              jobs, sout, sargs))
+            return sout.failed ? 1 : 0;
+        bench::reportSampledFailures(sout);
+        out = bench::toSweepOutput(sout);
+    } else {
+        out = bench::runJobs(args, jobs);
+        if (bench::emitJsonIfRequested("table3_ipc", args, jobs, out))
+            return bench::exitCode(out);
+    }
 
     std::cout << "Table 3: IPC for ideal multi-porting (True), "
                  "replication (Repl) and multi-banking (Bank)\n"
-              << "(" << args.insts << " instructions per run)\n\n";
+              << "(" << args.insts << " instructions per run"
+              << (sargs.enabled ? ", checkpointed sampled estimate"
+                                : "")
+              << ")\n\n";
 
     TextTable table;
     std::vector<std::string> header = {"Program", "1"};

@@ -6,12 +6,19 @@
  * and the LBIC-versus-conventional cross-checks.
  *
  * Usage: table4_lbic [insts=N] [seed=S] [jobs=J] [--json]
+ *                    [sampled=1 intervals=K interval_len=L warmup=W
+ *                     compare_full=1]
+ *
+ * `sampled=1` regenerates the table by checkpointed sampled
+ * simulation (bench_sample.hh); the per-kernel checkpoints are shared
+ * across all six LBIC configurations.
  */
 
 #include <iostream>
 #include <map>
 #include <vector>
 
+#include "bench_sample.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "sim/sweep.hh"
@@ -24,6 +31,7 @@ main(int argc, char **argv)
 {
     const bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, 500000);
+    const bench::SampleArgs sargs = bench::parseSampleArgs(args);
     args.config.rejectUnrecognized();
 
     const std::vector<std::string> configs =
@@ -40,12 +48,26 @@ main(int argc, char **argv)
         }
     }
 
-    const bench::SweepOutput out = bench::runJobs(args, jobs);
-    if (bench::emitJsonIfRequested("table4_lbic", args, jobs, out))
-        return bench::exitCode(out);
+    bench::SweepOutput out;
+    if (sargs.enabled) {
+        const bench::SampledOutput sout =
+            bench::runSampledCells(args, sargs, jobs);
+        if (bench::emitSampledJsonIfRequested("table4_lbic", args,
+                                              jobs, sout, sargs))
+            return sout.failed ? 1 : 0;
+        bench::reportSampledFailures(sout);
+        out = bench::toSweepOutput(sout);
+    } else {
+        out = bench::runJobs(args, jobs);
+        if (bench::emitJsonIfRequested("table4_lbic", args, jobs, out))
+            return bench::exitCode(out);
+    }
 
     std::cout << "Table 4: IPC for six MxN LBIC configurations\n"
-              << "(" << args.insts << " instructions per run)\n\n";
+              << "(" << args.insts << " instructions per run"
+              << (sargs.enabled ? ", checkpointed sampled estimate"
+                                : "")
+              << ")\n\n";
 
     TextTable table;
     std::vector<std::string> header = {"Program"};

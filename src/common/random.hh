@@ -86,6 +86,30 @@ class Random
         return real() < p;
     }
 
+    /** The raw generator state, for checkpoint serialization. */
+    struct State
+    {
+        std::uint64_t s0 = 0;
+        std::uint64_t s1 = 0;
+    };
+
+    /** Snapshot the generator state. */
+    State state() const { return {s0_, s1_}; }
+
+    /**
+     * Restore a state captured by state(). An all-zero state would
+     * wedge xorshift; it is coerced to the same non-degenerate state
+     * the seeding path uses.
+     */
+    void
+    setState(const State &s)
+    {
+        s0_ = s.s0;
+        s1_ = s.s1;
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
   private:
     std::uint64_t s0_;
     std::uint64_t s1_;

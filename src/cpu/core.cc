@@ -12,7 +12,7 @@ namespace lbic
 Core::Core(const CoreConfig &config, Workload &workload,
            MemoryHierarchy &hierarchy, PortScheduler &scheduler,
            stats::StatGroup *parent)
-    : config_(config), workload_(workload), hierarchy_(hierarchy),
+    : config_(config), workload_(&workload), hierarchy_(hierarchy),
       scheduler_(scheduler),
       ruu_(config.ruu_size),
       wheel_(wheel_size),
@@ -30,6 +30,9 @@ Core::Core(const CoreConfig &config, Workload &workload,
                       "latency"),
       mem_rejections(&group_, "mem_rejections",
                      "granted accesses bounced off full MSHRs"),
+      ff_instructions(&group_, "ff_instructions",
+                      "instructions retired by functional "
+                      "fast-forward (no cycles modeled)"),
       ipc(&group_, "ipc", "committed instructions per cycle",
           [this] {
               return cycles.value() > 0.0
@@ -847,7 +850,7 @@ Core::dispatchStage()
         }
 
         if (!staged_valid_) {
-            if (stream_ended_ || !workload_.next(staged_inst_)) {
+            if (stream_ended_ || !workload_->next(staged_inst_)) {
                 stream_ended_ = true;
                 cause = observe::DispatchCause::FrontendDrained;
                 break;
@@ -976,20 +979,65 @@ Core::checkBudgets(
     }
 }
 
+std::uint64_t
+Core::fastForward(std::uint64_t n)
+{
+    // Fast-forward is a stream operation, not a pipeline one: it is
+    // only meaningful before anything has been dispatched, so the
+    // architectural cursor and the pipeline agree on "the next
+    // instruction".
+    lbic_assert(cycle_ == 0 && committed_count_ == 0
+                    && head_seq_ == tail_seq_ && !staged_valid_,
+                "fast-forward requires a pristine core");
+    std::uint64_t done = 0;
+    DynInst inst;
+    while (done < n) {
+        if (!workload_->next(inst)) {
+            stream_ended_ = true;
+            break;
+        }
+        if (inst.isMem())
+            hierarchy_.warmAccess(inst.addr, inst.isStore());
+        ++done;
+    }
+    ff_count_ += done;
+    ff_instructions.set(static_cast<double>(ff_count_));
+    return done;
+}
+
+void
+Core::noteFastForwarded(std::uint64_t n)
+{
+    ff_count_ += n;
+    ff_instructions.set(static_cast<double>(ff_count_));
+}
+
 RunResult
 Core::run(std::uint64_t max_insts)
 {
     commit_limit_ = max_insts;
     const bool budgeted = max_cycles_ != 0 || max_wall_ms_ > 0.0;
     const auto start = std::chrono::steady_clock::now();
+    bool warm_marked = warmup_target_ == 0;
+    RunResult result;
     while (committed_count_ < max_insts) {
         if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
             break;
         if (budgeted)
             checkBudgets(start);
         tick();
+        if (!warm_marked && committed_count_ >= warmup_target_) {
+            warm_marked = true;
+            result.warmup_instructions = committed_count_;
+            result.warmup_cycles = cycle_;
+        }
     }
-    RunResult result;
+    if (!warm_marked) {
+        // Stream ended inside the warmup window: the measured region
+        // is empty, not negative.
+        result.warmup_instructions = committed_count_;
+        result.warmup_cycles = cycle_;
+    }
     result.instructions = committed_count_;
     result.cycles = cycle_;
     return result;
@@ -1005,18 +1053,28 @@ Core::run(std::uint64_t max_insts, Cycle sample_interval,
     const bool budgeted = max_cycles_ != 0 || max_wall_ms_ > 0.0;
     const auto start = std::chrono::steady_clock::now();
     Cycle next_sample = cycle_ + sample_interval;
+    bool warm_marked = warmup_target_ == 0;
+    RunResult result;
     while (committed_count_ < max_insts) {
         if (stream_ended_ && head_seq_ == tail_seq_ && !staged_valid_)
             break;
         if (budgeted)
             checkBudgets(start);
         tick();
+        if (!warm_marked && committed_count_ >= warmup_target_) {
+            warm_marked = true;
+            result.warmup_instructions = committed_count_;
+            result.warmup_cycles = cycle_;
+        }
         if (cycle_ >= next_sample) {
             sample_hook();
             next_sample += sample_interval;
         }
     }
-    RunResult result;
+    if (!warm_marked) {
+        result.warmup_instructions = committed_count_;
+        result.warmup_cycles = cycle_;
+    }
     result.instructions = committed_count_;
     result.cycles = cycle_;
     return result;

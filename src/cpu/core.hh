@@ -101,12 +101,30 @@ struct RunResult
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;
 
+    /**
+     * Detailed-warmup prefix of the run (sampled simulation): the
+     * instruction/cycle counts recorded when the configured warmup
+     * target was reached. Both zero when no warmup was configured.
+     */
+    std::uint64_t warmup_instructions = 0;
+    std::uint64_t warmup_cycles = 0;
+
     double
     ipc() const
     {
         return cycles ? static_cast<double>(instructions)
                             / static_cast<double>(cycles)
                       : 0.0;
+    }
+
+    /** IPC of the post-warmup (measured) region only. */
+    double
+    measuredIpc() const
+    {
+        const std::uint64_t i = instructions - warmup_instructions;
+        const std::uint64_t c = cycles - warmup_cycles;
+        return c ? static_cast<double>(i) / static_cast<double>(c)
+                 : 0.0;
     }
 };
 
@@ -142,6 +160,48 @@ class Core
 
     /** Advance the model by one cycle (exposed for unit tests). */
     void tick();
+
+    /**
+     * Functional fast-forward: retire up to @p n instructions
+     * architecturally -- consuming the workload stream in order and
+     * warming the memory hierarchy's tag state through
+     * MemoryHierarchy::warmAccess() -- without modeling the pipeline.
+     * No cycles elapse and no timed statistics move; only the ff_*
+     * counters and the hierarchy's warm_* counters advance. Legal only
+     * on a pristine core (nothing dispatched or committed yet).
+     *
+     * @return instructions actually skipped (less than @p n only if
+     *         the stream ended).
+     */
+    std::uint64_t fastForward(std::uint64_t n);
+
+    /**
+     * Mark @p n instructions as already fast-forwarded without
+     * consuming the stream -- the checkpoint-restore path, where the
+     * caller has positioned the workload and restored the warm cache
+     * state itself. Keeps the ff accounting (and therefore the stats
+     * dump) identical to a run that did the fast-forward in-process.
+     */
+    void noteFastForwarded(std::uint64_t n);
+
+    /** Instructions retired architecturally by fast-forward. */
+    std::uint64_t fastForwarded() const { return ff_count_; }
+
+    /**
+     * Redirect fetch to @p workload (not owned). Legal only before
+     * anything was staged or dispatched -- the checkpoint-restore
+     * path, which swaps in a pre-positioned stream.
+     */
+    void setWorkload(Workload &workload) { workload_ = &workload; }
+
+    /**
+     * Configure the detailed-warmup boundary: the run() result records
+     * the instruction/cycle counts at the first cycle boundary where
+     * at least @p insts instructions have committed, so callers can
+     * measure the post-warmup region alone. 0 (the default) marks the
+     * boundary at the start of the run.
+     */
+    void setWarmup(std::uint64_t insts) { warmup_target_ = insts; }
 
     /**
      * Stream per-cycle pipeline events (dispatch/issue/memory/commit)
@@ -386,7 +446,7 @@ class Core
     Cycle staged_fetch_cycle_ = 0;
 
     CoreConfig config_;
-    Workload &workload_;
+    Workload *workload_;
     MemoryHierarchy &hierarchy_;
     PortScheduler &scheduler_;
 
@@ -435,6 +495,12 @@ class Core
     Cycle last_commit_cycle_ = 0;
     bool stream_ended_ = false;
 
+    /** Instructions retired architecturally by fastForward(). */
+    std::uint64_t ff_count_ = 0;
+
+    /** Detailed-warmup boundary for run() (0 = no warmup). */
+    std::uint64_t warmup_target_ = 0;
+
     /** One-instruction fetch buffer (holds an inst the LSQ refused). */
     DynInst staged_inst_;
     bool staged_valid_ = false;
@@ -456,6 +522,7 @@ class Core
     stats::Scalar stores_executed;
     stats::Scalar loads_forwarded;
     stats::Scalar mem_rejections;   //!< grants bounced off full MSHRs
+    stats::Scalar ff_instructions;  //!< instructions fast-forwarded
     stats::Derived ipc;
     /** @} */
 

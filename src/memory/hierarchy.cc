@@ -1,6 +1,7 @@
 #include "hierarchy.hh"
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace lbic
 {
@@ -26,6 +27,12 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
       l2_misses(&group_, "l2_misses", "L2 misses"),
       l2_writebacks(&group_, "l2_writebacks",
                     "dirty L2 lines written back"),
+      warm_accesses(&group_, "warm_accesses",
+                    "functional (fast-forward) accesses"),
+      warm_misses(&group_, "warm_misses",
+                  "L1 misses on the functional warming path"),
+      warm_l2_misses(&group_, "warm_l2_misses",
+                     "L2 misses on the functional warming path"),
       miss_latency(&group_, "miss_latency",
                    "fill latency in cycles per L1 primary miss", 0,
                    config.l1_hit_latency + config.l2_latency
@@ -155,6 +162,99 @@ MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
     out.accepted = true;
     out.ready = m.fill_cycle;
     return out;
+}
+
+bool
+MemoryHierarchy::warmAccess(Addr addr, bool is_store)
+{
+    // The functional mirror of access(): identical tag-state
+    // evolution (same lookup, fill, LRU and writeback decisions in
+    // the same order) with the MSHR/latency machinery elided, so a
+    // fast-forwarded cache holds the lines an equally long timed
+    // in-order run would hold.
+    ++warm_accesses;
+    if (l1_.access(addr, is_store))
+        return true;
+    ++warm_misses;
+
+    // L2 lookup-and-fill, exactly as l2AccessLatency() does it.
+    if (!l2_.access(addr, false)) {
+        ++warm_l2_misses;
+        const Eviction l2ev = l2_.insert(addr, false);
+        if (l2ev.valid && l2ev.dirty)
+            ++l2_writebacks;
+    }
+
+    // L1 fill; a dirty victim writes back into the L2.
+    const Eviction ev = l1_.insert(addr, is_store);
+    if (ev.valid && ev.dirty) {
+        ++writebacks;
+        writeback(ev.line_addr);
+    }
+    return false;
+}
+
+void
+MemoryHierarchy::saveWarmState(std::ostream &os) const
+{
+    lbic_assert(mshrs_.empty(),
+                "warm state captured with timed misses in flight");
+    // The warm counters ride along so a restored run's statistics
+    // dump is byte-identical to the run that produced the checkpoint.
+    const std::uint64_t counters[3] = {
+        static_cast<std::uint64_t>(warm_accesses.value()),
+        static_cast<std::uint64_t>(warm_misses.value()),
+        static_cast<std::uint64_t>(warm_l2_misses.value()),
+    };
+    for (const std::uint64_t v : counters) {
+        char buf[8];
+        for (unsigned i = 0; i < 8; ++i)
+            buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        os.write(buf, sizeof(buf));
+    }
+    // Writebacks triggered while warming also land in the timed
+    // counters (they are architectural events); capture them too.
+    const std::uint64_t wb[2] = {
+        static_cast<std::uint64_t>(writebacks.value()),
+        static_cast<std::uint64_t>(l2_writebacks.value()),
+    };
+    for (const std::uint64_t v : wb) {
+        char buf[8];
+        for (unsigned i = 0; i < 8; ++i)
+            buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        os.write(buf, sizeof(buf));
+    }
+    l1_.saveState(os);
+    l2_.saveState(os);
+}
+
+void
+MemoryHierarchy::loadWarmState(std::istream &is)
+{
+    if (!mshrs_.empty())
+        throw SimError(SimErrorKind::Config,
+                       "cannot restore warm state into a hierarchy "
+                       "with timed misses in flight");
+    std::uint64_t vals[5];
+    for (std::uint64_t &v : vals) {
+        char buf[8];
+        is.read(buf, sizeof(buf));
+        if (!is)
+            throw SimError(SimErrorKind::Config,
+                           "truncated hierarchy warm-state blob");
+        v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[i]))
+                 << (8 * i);
+    }
+    warm_accesses.set(static_cast<double>(vals[0]));
+    warm_misses.set(static_cast<double>(vals[1]));
+    warm_l2_misses.set(static_cast<double>(vals[2]));
+    writebacks.set(static_cast<double>(vals[3]));
+    l2_writebacks.set(static_cast<double>(vals[4]));
+    l1_.loadState(is);
+    l2_.loadState(is);
 }
 
 bool

@@ -18,6 +18,8 @@
 #define LBIC_MEMORY_HIERARCHY_HH
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +89,32 @@ class MemoryHierarchy
      * @param now current cycle.
      */
     AccessOutcome access(Addr addr, bool is_store, Cycle now);
+
+    /**
+     * Present one access *functionally*: update the L1/L2 tag state
+     * exactly as a timed access would (allocation, recency, dirtiness,
+     * writeback propagation) but with no MSHRs, no latencies and no
+     * effect on the timed statistics. This is the fast-forward warming
+     * path: it keeps the cache contents representative while skipping
+     * the pipeline entirely. Counted in the warm_* statistics only.
+     *
+     * @return true on an L1 hit.
+     */
+    bool warmAccess(Addr addr, bool is_store);
+
+    /**
+     * Serialize the warm architectural state -- the two tag stores and
+     * the warm_* counters -- as an opaque binary blob. Only legal
+     * while the timed side is quiescent (no allocated MSHRs), which is
+     * always true at a fast-forward boundary.
+     */
+    void saveWarmState(std::ostream &os) const;
+
+    /**
+     * Restore state written by saveWarmState(); throws SimError
+     * (Config) on truncation or a geometry mismatch.
+     */
+    void loadWarmState(std::istream &is);
 
     /**
      * Would a miss for @p addr be accepted at @p now? True when the
@@ -165,6 +193,9 @@ class MemoryHierarchy
     stats::Scalar l2_hits;
     stats::Scalar l2_misses;
     stats::Scalar l2_writebacks;
+    stats::Scalar warm_accesses;  //!< functional fast-forward accesses
+    stats::Scalar warm_misses;    //!< L1 misses on the warming path
+    stats::Scalar warm_l2_misses; //!< L2 misses on the warming path
     stats::Distribution miss_latency; //!< fill latency per primary miss
     stats::Derived miss_rate;
     /** @} */

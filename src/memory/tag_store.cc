@@ -1,8 +1,10 @@
 #include "tag_store.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace lbic
 {
@@ -132,6 +134,97 @@ void
 TagStore::flush()
 {
     std::fill(entries_.begin(), entries_.end(), Entry{});
+}
+
+namespace
+{
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (unsigned i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, sizeof(buf));
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    char buf[8];
+    is.read(buf, sizeof(buf));
+    if (!is)
+        throw SimError(SimErrorKind::Config,
+                       "truncated tag-store state blob");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+} // anonymous namespace
+
+void
+TagStore::saveState(std::ostream &os) const
+{
+    // Geometry echo: a blob restored into a differently shaped store
+    // would silently scramble set indexing, so the reader validates.
+    putU64(os, config_.size_bytes);
+    putU64(os, config_.line_bytes);
+    putU64(os, config_.assoc);
+    putU64(os, static_cast<std::uint64_t>(config_.repl));
+    putU64(os, use_counter_);
+    const Random::State rs = rng_.state();
+    putU64(os, rs.s0);
+    putU64(os, rs.s1);
+    putU64(os, entries_.size());
+    for (const Entry &e : entries_) {
+        putU64(os, (e.valid ? 1u : 0u) | (e.dirty ? 2u : 0u));
+        putU64(os, e.tag);
+        putU64(os, e.last_use);
+    }
+}
+
+void
+TagStore::loadState(std::istream &is)
+{
+    const std::uint64_t size = getU64(is);
+    const std::uint64_t line = getU64(is);
+    const std::uint64_t assoc = getU64(is);
+    const std::uint64_t repl = getU64(is);
+    if (size != config_.size_bytes || line != config_.line_bytes
+        || assoc != config_.assoc
+        || repl != static_cast<std::uint64_t>(config_.repl)) {
+        throw SimError(
+            SimErrorKind::Config,
+            "tag-store state geometry mismatch: blob is "
+                + std::to_string(size) + "B/" + std::to_string(line)
+                + "B-line/" + std::to_string(assoc)
+                + "-way, this store is "
+                + std::to_string(config_.size_bytes) + "B/"
+                + std::to_string(config_.line_bytes) + "B-line/"
+                + std::to_string(config_.assoc) + "-way");
+    }
+    use_counter_ = getU64(is);
+    Random::State rs;
+    rs.s0 = getU64(is);
+    rs.s1 = getU64(is);
+    rng_.setState(rs);
+    const std::uint64_t n = getU64(is);
+    if (n != entries_.size())
+        throw SimError(SimErrorKind::Config,
+                       "tag-store state holds " + std::to_string(n)
+                           + " entries for a store of "
+                           + std::to_string(entries_.size()));
+    for (Entry &e : entries_) {
+        const std::uint64_t flags = getU64(is);
+        e.valid = (flags & 1u) != 0;
+        e.dirty = (flags & 2u) != 0;
+        e.tag = getU64(is);
+        e.last_use = getU64(is);
+    }
 }
 
 std::uint64_t

@@ -11,6 +11,8 @@
 #define LBIC_MEMORY_TAG_STORE_HH
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "common/random.hh"
@@ -71,6 +73,24 @@ class TagStore
 
     /** Drop all lines. */
     void flush();
+
+    /**
+     * Serialize the complete tag-store state (geometry echo, recency
+     * counter, replacement-RNG state and every entry) as a packed
+     * little-endian binary blob. Restoring with loadState() on a store
+     * of identical geometry reproduces this store bit-for-bit --
+     * including LRU recency and Random-replacement decisions -- which
+     * is what makes warmed checkpoints byte-reproducible.
+     */
+    void saveState(std::ostream &os) const;
+
+    /**
+     * Restore state written by saveState().
+     *
+     * @throws SimError (Config) when the blob is truncated or was
+     *         written for a different geometry than this store's.
+     */
+    void loadState(std::istream &is);
 
     /** Number of valid lines currently held. */
     std::uint64_t validLines() const;

@@ -1,0 +1,241 @@
+#include "checkpoint.hh"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/sim_error.hh"
+#include "workload/trace.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+namespace
+{
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    char buf[4];
+    for (unsigned i = 0; i < 4; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, sizeof(buf));
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (unsigned i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, sizeof(buf));
+}
+
+std::uint32_t
+getU32(std::istream &is, const char *field)
+{
+    char buf[4];
+    is.read(buf, sizeof(buf));
+    if (!is)
+        throw SimError(SimErrorKind::Config,
+                       std::string("truncated checkpoint: missing ")
+                           + field);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &is, const char *field)
+{
+    char buf[8];
+    is.read(buf, sizeof(buf));
+    if (!is)
+        throw SimError(SimErrorKind::Config,
+                       std::string("truncated checkpoint: missing ")
+                           + field);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+std::string
+toHex(std::uint32_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+} // anonymous namespace
+
+Checkpoint
+captureCheckpoint(Simulator &sim)
+{
+    if (sim.core().now() != 0 || sim.core().committedCount() != 0)
+        throw SimError(SimErrorKind::Config,
+                       "checkpoint capture after detailed simulation "
+                       "started (cycle "
+                           + std::to_string(sim.core().now()) + ")");
+    Checkpoint ckpt;
+    ckpt.workload = sim.config().workload;
+    ckpt.seed = sim.config().seed;
+    ckpt.position = sim.fastForwarded();
+    std::ostringstream blob(std::ios::binary);
+    sim.hierarchy().saveWarmState(blob);
+    ckpt.memory_state = blob.str();
+    return ckpt;
+}
+
+void
+applyCheckpoint(Simulator &sim, const Checkpoint &ckpt)
+{
+    if (ckpt.workload != sim.config().workload
+        || ckpt.seed != sim.config().seed) {
+        throw SimError(
+            SimErrorKind::Config,
+            "checkpoint is for workload '" + ckpt.workload + "' seed "
+                + std::to_string(ckpt.seed)
+                + " but the simulator was built for '"
+                + sim.config().workload + "' seed "
+                + std::to_string(sim.config().seed));
+    }
+    if (sim.core().now() != 0 || sim.core().committedCount() != 0
+        || sim.fastForwarded() != 0) {
+        throw SimError(SimErrorKind::Config,
+                       "checkpoints restore only into a freshly built "
+                       "simulator");
+    }
+
+    if (ckpt.segment) {
+        // The recorded segment stands in for the stream suffix: no
+        // prefix regeneration at all. The recorder provisions margin
+        // beyond max_insts for the in-flight window, so a segment
+        // that cannot even cover the committed instructions is a
+        // recording bug, not a stream property.
+        if (ckpt.segment->size() < sim.config().max_insts) {
+            throw SimError(
+                SimErrorKind::Config,
+                "checkpoint segment holds "
+                    + std::to_string(ckpt.segment->size())
+                    + " instructions but the resumed run commits "
+                    + std::to_string(sim.config().max_insts));
+        }
+        sim.adoptStream(std::make_unique<SegmentReplayWorkload>(
+            ckpt.workload, ckpt.segment));
+    } else {
+        // Reposition the stream. The workload is deterministic (same
+        // name + seed reproduce it), so the cursor is just "skip this
+        // many"; the instructions themselves were consumed when the
+        // checkpoint was captured and their memory effects live in
+        // the warm blob.
+        Workload &w = sim.workload();
+        w.reset();
+        DynInst inst;
+        for (std::uint64_t i = 0; i < ckpt.position; ++i) {
+            if (!w.next(inst)) {
+                throw SimError(
+                    SimErrorKind::Config,
+                    "checkpoint position "
+                        + std::to_string(ckpt.position)
+                        + " is past the end of workload '"
+                        + ckpt.workload + "' (stream ended at "
+                        + std::to_string(i) + ")");
+            }
+        }
+    }
+
+    std::istringstream blob(ckpt.memory_state, std::ios::binary);
+    sim.hierarchy().loadWarmState(blob);
+    sim.markFastForwarded(ckpt.position);
+}
+
+void
+writeCheckpoint(std::ostream &os, const Checkpoint &ckpt)
+{
+    putU32(os, checkpoint_magic);
+    putU32(os, checkpoint_version);
+    putU32(os, static_cast<std::uint32_t>(ckpt.workload.size()));
+    os.write(ckpt.workload.data(),
+             static_cast<std::streamsize>(ckpt.workload.size()));
+    putU64(os, ckpt.seed);
+    putU64(os, ckpt.position);
+    putU64(os, ckpt.memory_state.size());
+    os.write(ckpt.memory_state.data(),
+             static_cast<std::streamsize>(ckpt.memory_state.size()));
+}
+
+Checkpoint
+readCheckpoint(std::istream &is)
+{
+    const std::uint32_t magic = getU32(is, "magic");
+    if (magic != checkpoint_magic)
+        throw SimError(SimErrorKind::Config,
+                       "not a checkpoint file: magic " + toHex(magic)
+                           + ", expected " + toHex(checkpoint_magic));
+    const std::uint32_t version = getU32(is, "version");
+    if (version != checkpoint_version)
+        throw SimError(SimErrorKind::Config,
+                       "checkpoint version " + std::to_string(version)
+                           + " not supported (this build reads version "
+                           + std::to_string(checkpoint_version) + ")");
+
+    Checkpoint ckpt;
+    const std::uint32_t name_len = getU32(is, "workload name length");
+    ckpt.workload.resize(name_len);
+    is.read(ckpt.workload.data(),
+            static_cast<std::streamsize>(name_len));
+    if (!is || is.gcount() != static_cast<std::streamsize>(name_len))
+        throw SimError(SimErrorKind::Config,
+                       "truncated checkpoint: workload name cut short");
+    ckpt.seed = getU64(is, "seed");
+    ckpt.position = getU64(is, "position");
+    const std::uint64_t blob_len = getU64(is, "memory-state length");
+    ckpt.memory_state.resize(blob_len);
+    is.read(ckpt.memory_state.data(),
+            static_cast<std::streamsize>(blob_len));
+    if (!is || is.gcount() != static_cast<std::streamsize>(blob_len))
+        throw SimError(
+            SimErrorKind::Config,
+            "truncated checkpoint: memory state holds "
+                + std::to_string(is.gcount()) + " of "
+                + std::to_string(blob_len) + " bytes");
+    return ckpt;
+}
+
+void
+saveCheckpointFile(const std::string &path, const Checkpoint &ckpt)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw SimError(SimErrorKind::Config,
+                       "cannot open checkpoint file '" + path
+                           + "' for writing");
+    writeCheckpoint(os, ckpt);
+    os.flush();
+    if (!os)
+        throw SimError(SimErrorKind::Config,
+                       "write to checkpoint file '" + path
+                           + "' failed");
+}
+
+Checkpoint
+loadCheckpointFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SimError(SimErrorKind::Config,
+                       "cannot open checkpoint file '" + path + "'");
+    return readCheckpoint(is);
+}
+
+} // namespace sample
+} // namespace lbic

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Warmed-simulation checkpoints.
+ *
+ * A checkpoint freezes everything needed to resume a simulation at an
+ * instruction boundary reached by functional fast-forward: the
+ * workload's identity (registry name + seed -- the stream itself is
+ * deterministic, so the cursor is just a position), and the memory
+ * hierarchy's warm architectural state (both tag stores, bit-for-bit,
+ * including LRU recency and the Random-replacement RNG). Restoring a
+ * checkpoint into a freshly built Simulator and running is
+ * byte-reproducible against fast-forwarding the same distance
+ * in-process and running: the statistics dumps are identical.
+ *
+ * The on-disk format follows the trace writer's conventions: a
+ * little-endian magic/version header ("LBCK", version 1) followed by
+ * packed fields. Malformed input -- bad magic, a future version, or
+ * truncation anywhere -- raises structured SimError (Config) with a
+ * message naming what was wrong, never a crash or a garbage resume.
+ *
+ * Checkpoints are port-organization independent: the cache geometry is
+ * what the warm state depends on, so one checkpoint per (workload,
+ * position) serves every Table 3/4 column. That sharing is where the
+ * sampled-simulation speedup comes from.
+ */
+
+#ifndef LBIC_SAMPLE_CHECKPOINT_HH
+#define LBIC_SAMPLE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+/** File magic: "LBCK" as little-endian bytes. */
+constexpr std::uint32_t checkpoint_magic = 0x4b43424c;
+
+/** Current checkpoint format version. */
+constexpr std::uint32_t checkpoint_version = 1;
+
+/** A resumable warmed simulation state. */
+struct Checkpoint
+{
+    /** Registry name of the workload that produced the stream. */
+    std::string workload;
+
+    /** Workload PRNG seed. */
+    std::uint64_t seed = 0;
+
+    /** Instructions consumed from the stream (the resume point). */
+    std::uint64_t position = 0;
+
+    /** Opaque MemoryHierarchy::saveWarmState() blob. */
+    std::string memory_state;
+
+    /**
+     * Optional in-memory acceleration: the stream's instructions from
+     * `position` onward (at least as many as the resumed run will
+     * consume), recorded when the checkpoint was made. When present,
+     * applyCheckpoint() swaps in a SegmentReplayWorkload over this
+     * vector instead of regenerating and skipping the stream prefix,
+     * making restore O(1) in `position` -- the difference between a
+     * sampled sweep whose cost is the measured intervals and one
+     * dominated by cursor repositioning. Shared so every port
+     * organization's job for the interval replays one copy.
+     *
+     * In-process only: the LBCK file format does not carry it (the
+     * stream is reproducible from name + seed, so a file restore
+     * repositions by regeneration), and it does not affect results --
+     * a segment restore is byte-identical to a skip restore.
+     */
+    std::shared_ptr<const std::vector<DynInst>> segment;
+};
+
+/**
+ * Capture a checkpoint from @p sim, which must have been built from a
+ * registry workload and fast-forwarded (Simulator::fastForward) but
+ * not yet run in detail.
+ *
+ * @throws SimError (Config) if detailed simulation has started.
+ */
+Checkpoint captureCheckpoint(Simulator &sim);
+
+/**
+ * Restore @p ckpt into the freshly built @p sim: advances the
+ * workload cursor to the checkpoint position, loads the warm cache
+ * state and marks the instructions as fast-forwarded.
+ *
+ * @throws SimError (Config) when @p sim was built for a different
+ *         workload/seed than the checkpoint, has already run, or the
+ *         memory blob does not match its cache geometry.
+ */
+void applyCheckpoint(Simulator &sim, const Checkpoint &ckpt);
+
+/** Serialize @p ckpt in the LBCK v1 format. */
+void writeCheckpoint(std::ostream &os, const Checkpoint &ckpt);
+
+/**
+ * Parse a checkpoint written by writeCheckpoint().
+ *
+ * @throws SimError (Config) on bad magic, an unsupported version or
+ *         truncation, with a message naming the problem.
+ */
+Checkpoint readCheckpoint(std::istream &is);
+
+/** writeCheckpoint() to @p path; throws SimError (Config) on I/O. */
+void saveCheckpointFile(const std::string &path, const Checkpoint &ckpt);
+
+/** readCheckpoint() from @p path; throws SimError (Config) on I/O. */
+Checkpoint loadCheckpointFile(const std::string &path);
+
+} // namespace sample
+} // namespace lbic
+
+#endif // LBIC_SAMPLE_CHECKPOINT_HH

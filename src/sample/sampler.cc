@@ -1,0 +1,193 @@
+#include "sampler.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/sim_error.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+namespace
+{
+
+/** Detailed-warmup budget for an interval starting at @p start. */
+std::uint64_t
+warmupFor(const SamplingPlan &plan, std::uint64_t start)
+{
+    return std::min(plan.warmup_insts, start);
+}
+
+} // anonymous namespace
+
+SamplingPlan
+makePlan(const std::string &name, std::uint64_t seed,
+         const SamplingConfig &cfg)
+{
+    const std::unique_ptr<Workload> stream = makeWorkload(name, seed);
+    const std::vector<IntervalSignature> sigs =
+        profileStream(*stream, cfg);
+    return selectIntervals(sigs, cfg);
+}
+
+std::vector<Checkpoint>
+makeCheckpoints(const SimConfig &base, const SamplingPlan &plan)
+{
+    std::vector<Checkpoint> ckpts;
+    ckpts.reserve(plan.selected.size());
+    if (plan.selected.empty())
+        return ckpts;
+
+    // One pass: selected intervals are sorted by start, so each
+    // checkpoint's capture point is reached by fast-forwarding the
+    // distance from the previous one. The cache state at capture
+    // point p reflects the entire prefix [0, p) -- full functional
+    // warming, not a cold start.
+    SimConfig cfg = base;
+    cfg.ff_insts = 0;
+    Simulator sim(cfg);
+
+    // A second raw cursor records each interval's instruction window
+    // into the checkpoint (Checkpoint::segment), so restoring is O(1)
+    // instead of regenerating the stream prefix per job. The window
+    // covers warmup + measured length plus the in-flight margin: the
+    // core can fetch up to an RUU of instructions beyond the last one
+    // it commits, and the replayed tail must match what the live
+    // stream would have supplied for cycle-exact equivalence.
+    const std::uint64_t margin =
+        base.core.ruu_size + base.core.fetch_width + 8;
+    const std::unique_ptr<Workload> rec =
+        makeWorkload(base.workload, base.seed);
+    std::uint64_t rec_pos = 0;        // next instruction rec yields
+    std::uint64_t prev_begin = 0;     // previous window, for overlaps
+
+    for (const IntervalInfo &iv : plan.selected) {
+        const std::uint64_t warm = warmupFor(plan, iv.start);
+        const std::uint64_t detail_start = iv.start - warm;
+        lbic_assert(detail_start >= sim.fastForwarded(),
+                    "selected intervals overlap their warmup windows");
+        const std::uint64_t skip = detail_start - sim.fastForwarded();
+        if (sim.fastForward(skip) != skip) {
+            throw SimError(
+                SimErrorKind::Config,
+                "stream of workload '" + cfg.workload
+                    + "' ended while fast-forwarding to instruction "
+                    + std::to_string(detail_start));
+        }
+        Checkpoint ckpt = captureCheckpoint(sim);
+
+        const std::uint64_t want_end =
+            detail_start + warm + iv.length + margin;
+        auto seg = std::make_shared<std::vector<DynInst>>();
+        seg->reserve(want_end - detail_start);
+        // An adjacent window's margin can reach into this one: reuse
+        // the already-recorded overlap (the cursor cannot rewind).
+        if (detail_start < rec_pos) {
+            const std::vector<DynInst> &prev = *ckpts.back().segment;
+            const std::uint64_t from = detail_start - prev_begin;
+            const std::uint64_t to =
+                std::min(rec_pos, want_end) - prev_begin;
+            seg->insert(seg->end(),
+                        prev.begin() + static_cast<std::ptrdiff_t>(from),
+                        prev.begin() + static_cast<std::ptrdiff_t>(to));
+        }
+        DynInst inst;
+        while (rec_pos < detail_start && rec->next(inst))
+            ++rec_pos;
+        while (rec_pos < want_end && rec->next(inst)) {
+            seg->push_back(inst);
+            ++rec_pos;
+        }
+        lbic_assert(seg->size() >= warm + iv.length,
+                    "stream ended inside a selected interval");
+        ckpt.segment = std::move(seg);
+        prev_begin = detail_start;
+        ckpts.push_back(std::move(ckpt));
+    }
+    return ckpts;
+}
+
+std::vector<SweepJob>
+buildJobs(const SimConfig &base, const SamplingPlan &plan,
+          const std::vector<Checkpoint> &ckpts,
+          const std::string &label_prefix)
+{
+    lbic_assert(ckpts.size() == plan.selected.size(),
+                "one checkpoint per selected interval required");
+    std::vector<SweepJob> jobs;
+    jobs.reserve(plan.selected.size());
+    for (std::size_t i = 0; i < plan.selected.size(); ++i) {
+        const IntervalInfo &iv = plan.selected[i];
+        const std::uint64_t warm = warmupFor(plan, iv.start);
+
+        SweepJob job;
+        job.label = label_prefix + "@" + std::to_string(iv.start);
+        job.config = base;
+        job.config.max_insts = warm + iv.length;
+        job.config.warmup_insts = warm;
+        // The restore hook advances the stream; nothing left to ff.
+        job.config.ff_insts = 0;
+
+        // Shared ownership: every port organization's job for this
+        // interval restores the same immutable checkpoint.
+        auto ckpt = std::make_shared<const Checkpoint>(ckpts[i]);
+        job.setup = [ckpt](Simulator &sim) {
+            applyCheckpoint(sim, *ckpt);
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+SampledEstimate
+estimate(const SamplingPlan &plan,
+         const std::vector<SweepResult> &results)
+{
+    lbic_assert(results.size() == plan.selected.size(),
+                "one result per selected interval required");
+    SampledEstimate est;
+    est.coverage = plan.coverage();
+
+    double weighted_cpi = 0.0;
+    double weight_ok = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const IntervalInfo &iv = plan.selected[i];
+        const SweepResult &r = results[i];
+        SampledRun run;
+        run.start = iv.start;
+        run.length = iv.length;
+        run.weight = iv.weight;
+        run.result = r.result;
+        run.ok = r.ok;
+        run.error = r.error;
+        est.runs.push_back(run);
+        if (!r.ok) {
+            est.ok = false;
+            if (est.error.empty())
+                est.error = r.label + ": " + r.error;
+            continue;
+        }
+        const double mipc = r.result.measuredIpc();
+        if (mipc <= 0.0) {
+            est.ok = false;
+            if (est.error.empty())
+                est.error = r.label + ": empty measured region";
+            continue;
+        }
+        weighted_cpi += iv.weight / mipc;
+        weight_ok += iv.weight;
+    }
+
+    // Renormalize over the intervals that survived: with all of them,
+    // weight_ok is 1 and this is exactly 1 / sum(w * CPI).
+    if (weight_ok > 0.0 && weighted_cpi > 0.0)
+        est.ipc = weight_ok / weighted_cpi;
+    return est;
+}
+
+} // namespace sample
+} // namespace lbic

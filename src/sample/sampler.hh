@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The checkpointed sampled-simulation pipeline.
+ *
+ * Estimating a full run's IPC from a handful of detailed intervals:
+ *
+ *   1. makePlan()        -- profile the reference stream, cluster the
+ *                           intervals, pick representatives + weights.
+ *   2. makeCheckpoints() -- ONE incremental functional fast-forward
+ *                           pass over the stream, capturing a warmed
+ *                           checkpoint just before each selected
+ *                           interval (minus the detailed-warmup
+ *                           budget). Checkpoints depend only on the
+ *                           workload and cache geometry, so the same
+ *                           set serves every port organization.
+ *   3. buildJobs()       -- turn plan + checkpoints into SweepJobs
+ *                           (one per interval) whose setup hook
+ *                           restores the checkpoint; run them on a
+ *                           SweepRunner, in parallel with everything
+ *                           else.
+ *   4. estimate()        -- weighted-CPI aggregation of the measured
+ *                           (post-warmup) regions into one IPC.
+ *
+ * The estimate is 1 / sum_k(w_k * CPI_k): instruction-proportional
+ * weights combine in CPI space, not IPC space (harmonic, matching how
+ * a full run accumulates cycles).
+ */
+
+#ifndef LBIC_SAMPLE_SAMPLER_HH
+#define LBIC_SAMPLE_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sample/checkpoint.hh"
+#include "sample/signature.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+/** One measured interval of a sampled estimate. */
+struct SampledRun
+{
+    std::uint64_t start = 0;   //!< first measured instruction
+    std::uint64_t length = 0;  //!< planned measured instructions
+    double weight = 0.0;       //!< cluster weight
+    RunResult result;          //!< detailed run (warmup + interval)
+    bool ok = true;
+    std::string error;
+};
+
+/** The aggregated result of a sampled simulation. */
+struct SampledEstimate
+{
+    double ipc = 0.0;       //!< weighted-CPI estimate of the full run
+    double coverage = 0.0;  //!< measured fraction of the full run
+    std::vector<SampledRun> runs;
+    bool ok = true;         //!< false when any interval run failed
+    std::string error;      //!< first failure, when !ok
+};
+
+/**
+ * Profile workload @p name (seed @p seed) and select representative
+ * intervals. cfg.total_insts bounds the profiled stream.
+ */
+SamplingPlan makePlan(const std::string &name, std::uint64_t seed,
+                      const SamplingConfig &cfg);
+
+/**
+ * Fast-forward one Simulator built from @p base through the stream,
+ * capturing a warmed checkpoint at each selected interval's detailed
+ * start (interval start minus the warmup budget, clamped at 0).
+ * Returns one checkpoint per plan.selected entry, in order.
+ *
+ * @p base supplies workload, seed and cache geometry; its port spec is
+ * irrelevant (checkpoints are port-organization independent).
+ */
+std::vector<Checkpoint> makeCheckpoints(const SimConfig &base,
+                                        const SamplingPlan &plan);
+
+/**
+ * Build one SweepJob per selected interval for the configuration in
+ * @p base (workload/seed must match the checkpoints). Each job's setup
+ * hook restores its checkpoint; its config runs warmup + interval
+ * instructions with the warmup boundary marked. Labels are
+ * "<label_prefix>@<start>".
+ */
+std::vector<SweepJob> buildJobs(const SimConfig &base,
+                                const SamplingPlan &plan,
+                                const std::vector<Checkpoint> &ckpts,
+                                const std::string &label_prefix);
+
+/**
+ * Aggregate the interval runs (results[i] corresponds to
+ * plan.selected[i]) into the weighted-IPC estimate. Failed runs mark
+ * the estimate !ok but the surviving intervals are still aggregated
+ * (with weights renormalized) so a single bad interval degrades the
+ * estimate instead of erasing it.
+ */
+SampledEstimate estimate(const SamplingPlan &plan,
+                         const std::vector<SweepResult> &results);
+
+} // namespace sample
+} // namespace lbic
+
+#endif // LBIC_SAMPLE_SAMPLER_HH

@@ -1,0 +1,214 @@
+#include "signature.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "cacheport/bank_select.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+namespace
+{
+
+double
+sqDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+} // anonymous namespace
+
+std::vector<IntervalSignature>
+profileStream(Workload &stream, const SamplingConfig &cfg)
+{
+    lbic_assert(cfg.interval_insts > 0, "interval length must be > 0");
+    lbic_assert(cfg.banks > 0, "need at least one bank");
+    const unsigned line_bits = floorLog2(cfg.line_bytes);
+
+    std::vector<IntervalSignature> sigs;
+    std::uint64_t consumed = 0;
+    DynInst inst;
+
+    while (consumed < cfg.total_insts) {
+        IntervalSignature sig;
+        sig.start = consumed;
+
+        // The final interval absorbs a short remainder: a tail shorter
+        // than half an interval would make a poor detailed sample.
+        std::uint64_t want = std::min<std::uint64_t>(
+            cfg.interval_insts, cfg.total_insts - consumed);
+        const std::uint64_t after = consumed + want;
+        if (cfg.total_insts - after < cfg.interval_insts / 2)
+            want = cfg.total_insts - consumed;
+
+        std::uint64_t mem = 0, stores = 0, same_line = 0;
+        std::uint64_t same_bank = 0, new_lines = 0;
+        std::vector<std::uint64_t> bank_hits(cfg.banks, 0);
+        std::unordered_set<Addr> lines_seen;
+        Addr prev_line = invalid_addr;
+        unsigned prev_bank = ~0u;
+        bool have_prev = false;
+        bool ended = false;
+
+        for (std::uint64_t i = 0; i < want; ++i) {
+            if (!stream.next(inst)) {
+                ended = true;
+                break;
+            }
+            ++sig.length;
+            if (!inst.isMem())
+                continue;
+            ++mem;
+            if (inst.isStore())
+                ++stores;
+            const Addr line = alignDown(inst.addr, cfg.line_bytes);
+            const unsigned bank =
+                selectBank(inst.addr, cfg.banks, line_bits);
+            ++bank_hits[bank];
+            if (lines_seen.insert(line).second)
+                ++new_lines;
+            if (have_prev) {
+                if (line == prev_line)
+                    ++same_line;
+                if (bank == prev_bank)
+                    ++same_bank;
+            }
+            prev_line = line;
+            prev_bank = bank;
+            have_prev = true;
+        }
+
+        consumed += sig.length;
+        if (sig.length == 0)
+            break;
+
+        const double n = static_cast<double>(sig.length);
+        const double m = mem ? static_cast<double>(mem) : 1.0;
+        sig.features.reserve(5 + cfg.banks);
+        sig.features.push_back(static_cast<double>(mem) / n);
+        sig.features.push_back(static_cast<double>(stores) / m);
+        sig.features.push_back(static_cast<double>(same_line) / m);
+        sig.features.push_back(static_cast<double>(same_bank) / m);
+        sig.features.push_back(static_cast<double>(new_lines) / m);
+        for (unsigned b = 0; b < cfg.banks; ++b)
+            sig.features.push_back(
+                static_cast<double>(bank_hits[b]) / m);
+        sigs.push_back(std::move(sig));
+
+        if (ended)
+            break;
+    }
+    return sigs;
+}
+
+SamplingPlan
+selectIntervals(const std::vector<IntervalSignature> &sigs,
+                const SamplingConfig &cfg)
+{
+    SamplingPlan plan;
+    plan.total_insts = 0;
+    for (const IntervalSignature &s : sigs)
+        plan.total_insts += s.length;
+    plan.interval_insts = cfg.interval_insts;
+    plan.warmup_insts = cfg.warmup_insts;
+    if (sigs.empty())
+        return plan;
+
+    const std::size_t k = std::min<std::size_t>(
+        std::max<unsigned>(cfg.max_intervals, 1), sigs.size());
+
+    // Initial centers spread evenly over the run: deterministic, and a
+    // reasonable prior (program phases are contiguous in time).
+    std::vector<std::vector<double>> centers;
+    centers.reserve(k);
+    for (std::size_t c = 0; c < k; ++c)
+        centers.push_back(sigs[c * sigs.size() / k].features);
+
+    std::vector<std::size_t> assign(sigs.size(), 0);
+    const std::size_t dims = sigs.front().features.size();
+    for (unsigned iter = 0; iter < cfg.kmeans_iters; ++iter) {
+        bool moved = false;
+        for (std::size_t i = 0; i < sigs.size(); ++i) {
+            std::size_t best = 0;
+            double best_d = sqDistance(sigs[i].features, centers[0]);
+            for (std::size_t c = 1; c < k; ++c) {
+                const double d =
+                    sqDistance(sigs[i].features, centers[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                moved = true;
+            }
+        }
+        if (!moved && iter > 0)
+            break;
+
+        // Recompute centroids; an emptied cluster keeps its center
+        // (it can re-acquire members on a later iteration).
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dims, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < sigs.size(); ++i) {
+            ++counts[assign[i]];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[assign[i]][d] += sigs[i].features[d];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < dims; ++d)
+                centers[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+    }
+
+    // Representative per non-empty cluster: the member closest to the
+    // centroid, earlier interval on ties. Weight = cluster instruction
+    // mass over the total.
+    for (std::size_t c = 0; c < k; ++c) {
+        std::size_t rep = sigs.size();
+        double rep_d = 0.0;
+        std::uint64_t mass = 0;
+        for (std::size_t i = 0; i < sigs.size(); ++i) {
+            if (assign[i] != c)
+                continue;
+            mass += sigs[i].length;
+            const double d = sqDistance(sigs[i].features, centers[c]);
+            if (rep == sigs.size() || d < rep_d) {
+                rep = i;
+                rep_d = d;
+            }
+        }
+        if (rep == sigs.size())
+            continue;
+        IntervalInfo info;
+        info.start = sigs[rep].start;
+        info.length = sigs[rep].length;
+        info.weight = static_cast<double>(mass)
+                      / static_cast<double>(plan.total_insts);
+        plan.selected.push_back(info);
+    }
+    std::sort(plan.selected.begin(), plan.selected.end(),
+              [](const IntervalInfo &a, const IntervalInfo &b) {
+                  return a.start < b.start;
+              });
+    return plan;
+}
+
+} // namespace sample
+} // namespace lbic

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Interval signatures and representative-interval selection.
+ *
+ * SimPoint-style sampled simulation: the reference instruction stream
+ * is profiled (functionally, no timing) into fixed-length intervals,
+ * each summarized by a feature vector that captures what the data
+ * cache will see -- memory intensity, store mix, spatial locality
+ * (same-line and same-bank successor fractions), per-bank pressure and
+ * working-set growth (new-line fraction). Intervals are clustered with
+ * a deterministic k-means (fixed seed, fixed iteration budget,
+ * evenly-spread initial centers) and one representative per cluster is
+ * simulated in detail; its measured CPI stands in for the whole
+ * cluster, weighted by the cluster's instruction mass.
+ *
+ * Everything here is deterministic: the same stream and configuration
+ * produce the same plan, bit for bit, on every host and thread count.
+ */
+
+#ifndef LBIC_SAMPLE_SIGNATURE_HH
+#define LBIC_SAMPLE_SIGNATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+/** Knobs of the sampled-simulation pipeline. */
+struct SamplingConfig
+{
+    /** Instructions of the full run being estimated. */
+    std::uint64_t total_insts = 1000000;
+
+    /** Interval (detailed-sample unit) length in instructions. */
+    std::uint64_t interval_insts = 50000;
+
+    /** Representative intervals to simulate (k-means cluster count). */
+    unsigned max_intervals = 5;
+
+    /**
+     * Detailed warmup budget per sampled interval: the detailed run
+     * starts this many instructions before the measured region (capped
+     * at the interval's start) and the warmup prefix is excluded from
+     * the CPI measurement.
+     */
+    std::uint64_t warmup_insts = 10000;
+
+    /** k-means iteration budget (Lloyd steps). */
+    unsigned kmeans_iters = 20;
+
+    /** Banks assumed by the same-bank/per-bank features. */
+    unsigned banks = 4;
+
+    /** Line size assumed by the locality features. */
+    std::uint32_t line_bytes = 32;
+};
+
+/** One profiled interval's feature vector. */
+struct IntervalSignature
+{
+    std::uint64_t start = 0;   //!< first instruction (stream offset)
+    std::uint64_t length = 0;  //!< instructions profiled
+    std::vector<double> features;
+};
+
+/** One selected interval of a sampling plan. */
+struct IntervalInfo
+{
+    std::uint64_t start = 0;   //!< first measured instruction
+    std::uint64_t length = 0;  //!< measured instructions
+    double weight = 0.0;       //!< cluster instruction mass / total
+};
+
+/** The output of interval selection: what to simulate in detail. */
+struct SamplingPlan
+{
+    std::uint64_t total_insts = 0;
+    std::uint64_t interval_insts = 0;
+    std::uint64_t warmup_insts = 0;
+
+    /** Representative intervals, sorted by start; weights sum to 1. */
+    std::vector<IntervalInfo> selected;
+
+    /** Fraction of the full run simulated in detail (measured only). */
+    double
+    coverage() const
+    {
+        std::uint64_t measured = 0;
+        for (const IntervalInfo &iv : selected)
+            measured += iv.length;
+        return total_insts
+                   ? static_cast<double>(measured)
+                         / static_cast<double>(total_insts)
+                   : 0.0;
+    }
+};
+
+/**
+ * Profile cfg.total_insts instructions of @p stream into
+ * interval_insts-long signatures (the last interval absorbs any
+ * remainder shorter than half an interval). The stream is consumed;
+ * callers pass a throwaway copy of the workload.
+ */
+std::vector<IntervalSignature>
+profileStream(Workload &stream, const SamplingConfig &cfg);
+
+/**
+ * Cluster @p sigs and pick one representative per cluster.
+ * Deterministic: fixed initial centers (evenly spread), fixed
+ * iteration budget, ties broken toward the earlier interval.
+ */
+SamplingPlan selectIntervals(const std::vector<IntervalSignature> &sigs,
+                             const SamplingConfig &cfg);
+
+} // namespace sample
+} // namespace lbic
+
+#endif // LBIC_SAMPLE_SIGNATURE_HH

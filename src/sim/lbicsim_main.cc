@@ -23,11 +23,18 @@
  * violation exits 1 with a structured diagnosis. See README
  * "Robustness & verification".
  *
+ * Checkpointing (mode=run): `ff=N checkpoint_out=PATH` fast-forwards
+ * N instructions functionally (warming the caches) and saves the
+ * state; `checkpoint_in=PATH` restores it and runs detailed from that
+ * point (`warmup=N` marks a measurement boundary). A restored run's
+ * stats dump is byte-identical to an uninterrupted `ff=N` run's.
+ *
  * All SimConfig overrides are accepted (see sim/sim_config.hh):
  * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
  * l1_assoc, lsq, ruu, fetch_width, issue_width, disambig, trace,
  * trace_format, interval, interval_out, interval_stats, check,
- * audit, audit_interval, watchdog, max_cycles, max_wall_ms.
+ * audit, audit_interval, watchdog, max_cycles, max_wall_ms, ff,
+ * warmup.
  */
 
 #include <fstream>
@@ -36,6 +43,7 @@
 #include "common/config.hh"
 #include "common/sim_error.hh"
 #include "common/table.hh"
+#include "sample/checkpoint.hh"
 #include "sim/refstream.hh"
 #include "sim/simulator.hh"
 #include "workload/registry.hh"
@@ -125,12 +133,39 @@ modeReplay(const Config &args, SimConfig cfg)
 }
 
 int
-modeRun(const Config &args, const SimConfig &cfg)
+modeRun(const Config &args, SimConfig cfg)
 {
     const std::string format = args.getString("stats", "text");
     const std::string trace_path = args.getString("pipe_trace", "");
+    const std::string ckpt_in = args.getString("checkpoint_in", "");
+    const std::string ckpt_out = args.getString("checkpoint_out", "");
     args.rejectUnrecognized();
+    if (!ckpt_in.empty() && cfg.ff_insts)
+        lbic_fatal("checkpoint_in= and ff= are mutually exclusive "
+                   "(the checkpoint already holds a stream position)");
     Simulator sim(cfg);
+    if (!ckpt_in.empty()) {
+        const sample::Checkpoint ckpt =
+            sample::loadCheckpointFile(ckpt_in);
+        sample::applyCheckpoint(sim, ckpt);
+        std::cerr << "restored checkpoint " << ckpt_in << " ("
+                  << cfg.workload << " @ " << ckpt.position << ")\n";
+    }
+    if (!ckpt_out.empty()) {
+        // Capture-only mode: fast-forward to the requested position
+        // (ff=N) and save the warmed state; no detailed run happens.
+        if (cfg.ff_insts) {
+            const std::uint64_t done = sim.fastForward(cfg.ff_insts);
+            if (done != cfg.ff_insts)
+                lbic_fatal("stream ended after ", done,
+                           " instructions, before ff=", cfg.ff_insts);
+        }
+        sample::saveCheckpointFile(ckpt_out,
+                                   sample::captureCheckpoint(sim));
+        std::cout << "saved checkpoint of " << cfg.workload << " @ "
+                  << sim.fastForwarded() << " to " << ckpt_out << '\n';
+        return 0;
+    }
     std::ofstream trace_file;
     if (!trace_path.empty()) {
         trace_file.open(trace_path);

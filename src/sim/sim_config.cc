@@ -12,6 +12,8 @@ SimConfig::applyOverrides(const Config &cfg)
     workload = cfg.getString("workload", workload);
     port_spec = cfg.getString("ports", port_spec);
     max_insts = cfg.getU64("insts", max_insts);
+    ff_insts = cfg.getU64("ff", ff_insts);
+    warmup_insts = cfg.getU64("warmup", warmup_insts);
     seed = cfg.getU64("seed", seed);
     select_fn = parseBankSelectFn(
         cfg.getString("banksel", bankSelectFnName(select_fn)));
@@ -45,6 +47,11 @@ SimConfig::applyOverrides(const Config &cfg)
     if (audit_interval == 0)
         throw SimError(SimErrorKind::Config,
                        "audit_interval must be nonzero");
+    if (warmup_insts != 0 && warmup_insts >= max_insts)
+        throw SimError(SimErrorKind::Config,
+                       "warmup=" + std::to_string(warmup_insts)
+                           + " leaves no measured region (insts="
+                           + std::to_string(max_insts) + ")");
     if (core.deadlock_threshold == 0)
         throw SimError(SimErrorKind::Config,
                        "watchdog threshold must be nonzero");

@@ -44,6 +44,24 @@ struct SimConfig
     /** Instructions to simulate. */
     std::uint64_t max_insts = 1000000;
 
+    /**
+     * Instructions to fast-forward functionally before the detailed
+     * run: they retire architecturally and warm the cache tag state
+     * (MemoryHierarchy::warmAccess) but model no pipeline cycles.
+     * The detailed run then simulates max_insts instructions starting
+     * from the warmed state. 0 (the default) disables.
+     */
+    std::uint64_t ff_insts = 0;
+
+    /**
+     * Detailed-warmup instructions: the first warmup_insts committed
+     * instructions of the detailed run are simulated normally but
+     * marked in the RunResult so callers can report the post-warmup
+     * region alone (RunResult::measuredIpc()). Must be < max_insts to
+     * leave a measured region. 0 (the default) disables.
+     */
+    std::uint64_t warmup_insts = 0;
+
     /** Event-trace output path; empty (the default) disables tracing. */
     std::string trace_path;
 
@@ -103,10 +121,10 @@ struct SimConfig
 
     /**
      * Apply `key=value` overrides from @p cfg. Recognized keys:
-     * workload, ports, insts, seed, banksel, storeq, l1_size, l1_line,
-     * l1_assoc, lsq, ruu, fetch_width, issue_width, trace,
-     * trace_format, interval, interval_out, interval_stats, check,
-     * audit, audit_interval, watchdog, max_cycles, max_wall_ms.
+     * workload, ports, insts, ff, warmup, seed, banksel, storeq,
+     * l1_size, l1_line, l1_assoc, lsq, ruu, fetch_width, issue_width,
+     * trace, trace_format, interval, interval_out, interval_stats,
+     * check, audit, audit_interval, watchdog, max_cycles, max_wall_ms.
      */
     void applyOverrides(const Config &cfg);
 };

@@ -118,7 +118,34 @@ Simulator::setupChecker()
                        "shadow stream is re-created by name and seed)");
     checker_ = std::make_unique<verify::GoldenChecker>(
         makeWorkload(config_.workload, config_.seed));
+    // Keep the shadow stream aligned with a fast-forwarded core: the
+    // skipped prefix retired architecturally and never commits.
+    if (ff_done_ > 0)
+        checker_->skipShadow(ff_done_);
     core_->setChecker(checker_.get());
+}
+
+std::uint64_t
+Simulator::fastForward(std::uint64_t n)
+{
+    const std::uint64_t done = core_->fastForward(n);
+    ff_done_ += done;
+    return done;
+}
+
+void
+Simulator::markFastForwarded(std::uint64_t n)
+{
+    core_->noteFastForwarded(n);
+    ff_done_ += n;
+}
+
+void
+Simulator::adoptStream(std::unique_ptr<Workload> workload)
+{
+    owned_workload_ = std::move(workload);
+    workload_ = owned_workload_.get();
+    core_->setWorkload(*workload_);
 }
 
 void
@@ -138,8 +165,13 @@ Simulator::run()
 {
     setupTrace();
     setupSampler();
+    // Fast-forward before the checker is built so the shadow stream
+    // can be skipped past the same prefix.
+    if (config_.ff_insts > ff_done_)
+        fastForward(config_.ff_insts - ff_done_);
     setupChecker();
     setupAuditor();
+    core_->setWarmup(config_.warmup_insts);
     core_->setBudget(config_.max_cycles, config_.max_wall_ms);
     // Producers get the tracer only when a sink is actually attached
     // (via config.trace_path or tracer().attach() before run()); with

@@ -52,13 +52,52 @@ class Simulator
     /**
      * Run for config.max_insts instructions.
      *
-     * When config.trace_path is set, an event trace (in
+     * When config.ff_insts is nonzero the stream is first
+     * fast-forwarded functionally (fastForward()) so the detailed run
+     * starts from a warmed cache; config.warmup_insts marks the
+     * detailed-warmup boundary in the returned RunResult. When
+     * config.trace_path is set, an event trace (in
      * config.trace_format) is written there over the run and
      * finalized before returning. When config.interval is nonzero,
      * an interval time series is written to config.interval_out
      * (stderr when empty), one row per interval.
      */
     RunResult run();
+
+    /**
+     * Functionally fast-forward up to @p n instructions now (before
+     * run(): retire them architecturally, warm the cache tag state,
+     * model no cycles). Exposed separately from run() so checkpoint
+     * tooling can advance the stream incrementally and capture state
+     * at several points. run() only fast-forwards whatever remains of
+     * config.ff_insts beyond what was already skipped here.
+     *
+     * @return instructions actually skipped (less when the stream
+     *         ends).
+     */
+    std::uint64_t fastForward(std::uint64_t n);
+
+    /**
+     * Record that @p n instructions were already skipped outside the
+     * simulator -- the checkpoint-restore path, where the workload
+     * cursor and cache state arrive pre-advanced. Affects the same
+     * accounting fastForward() does, without touching the stream.
+     */
+    void markFastForwarded(std::uint64_t n);
+
+    /** Instructions fast-forwarded so far (both paths above). */
+    std::uint64_t fastForwarded() const { return ff_done_; }
+
+    /**
+     * Replace the instruction source with @p workload (taking
+     * ownership) before any detailed simulation has run -- the
+     * checkpoint-restore path, where a pre-positioned replay segment
+     * stands in for regenerating the stream from the beginning.
+     * config().workload keeps naming the original registry workload,
+     * so stats output and the golden checker's shadow stream are
+     * unaffected.
+     */
+    void adoptStream(std::unique_ptr<Workload> workload);
 
     /** Dump the full statistics tree. */
     void printStats(std::ostream &os) const;
@@ -110,6 +149,7 @@ class Simulator
 
     SimConfig config_;
     stats::StatGroup root_;
+    std::uint64_t ff_done_ = 0;
     std::unique_ptr<Workload> owned_workload_;
     Workload *workload_ = nullptr;
     std::unique_ptr<MemoryHierarchy> hierarchy_;

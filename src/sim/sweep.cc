@@ -20,6 +20,8 @@ runOne(const SweepJob &job)
     const auto start = std::chrono::steady_clock::now();
 
     Simulator sim(job.config);
+    if (job.setup)
+        job.setup(sim);
     SweepResult out;
     out.label = job.label;
     out.result = sim.run();

@@ -72,6 +72,15 @@ struct SweepJob
     SimConfig config;
 
     /**
+     * Optional pre-run hook, invoked on the freshly built Simulator
+     * before run(). The checkpointed-sampling path uses it to restore
+     * a warmed checkpoint into each job's private Simulator; anything
+     * it does must keep the job deterministic (results must depend
+     * only on config + setup, never on scheduling). May be empty.
+     */
+    std::function<void(Simulator &)> setup;
+
+    /**
      * Convenience builder mirroring runSim(): start from @p base,
      * override workload / port organization / instruction count. An
      * empty @p label defaults to "workload/port_spec".

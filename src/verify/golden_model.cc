@@ -52,6 +52,25 @@ GoldenChecker::checkShadowStream(const DynInst &inst)
 }
 
 void
+GoldenChecker::skipShadow(std::uint64_t n)
+{
+    // Fast-forwarded instructions never commit, so only the shadow
+    // stream's cursor moves; the gapless-seq counter stays put (the
+    // pipeline's sequence numbers start at 0 regardless of how far
+    // the stream was advanced first). Stores skipped here have long
+    // since drained architecturally, so the empty per-address map is
+    // the correct post-skip state: later loads may read the cache
+    // freely.
+    DynInst golden;
+    for (std::uint64_t i = 0; i < n && shadow_; ++i) {
+        if (!shadow_->next(golden)) {
+            shadow_ended_ = true;
+            break;
+        }
+    }
+}
+
+void
 GoldenChecker::onCommit(const DynInst &inst, const CommitInfo &info,
                         Cycle commit_cycle)
 {

@@ -103,6 +103,14 @@ class GoldenChecker
     void onCommit(const DynInst &inst, const CommitInfo &info,
                   Cycle commit_cycle);
 
+    /**
+     * Advance the shadow stream past @p n instructions without
+     * checking them -- the fast-forward path, where the core retired
+     * them architecturally and never commits them through the
+     * pipeline. Call before the first onCommit().
+     */
+    void skipShadow(std::uint64_t n);
+
     /** @{ @name Progress counters (for tests and reporting) */
     std::uint64_t checkedInstructions() const { return checked_; }
     std::uint64_t checkedLoads() const { return loads_; }

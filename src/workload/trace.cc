@@ -2,9 +2,11 @@
 
 #include <array>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace lbic
 {
@@ -29,7 +31,11 @@ struct PackedRecord
 PackedRecord
 pack(const DynInst &inst)
 {
-    PackedRecord r;
+    // Value-initialized so the struct's padding bytes (between size
+    // and dst) are zero: the raw-struct write below would otherwise
+    // leak indeterminate stack bytes into the file and break
+    // byte-identical regeneration of golden traces.
+    PackedRecord r{};
     r.op = static_cast<std::uint8_t>(inst.op);
     r.size = inst.size;
     r.dst = inst.dst;
@@ -89,14 +95,48 @@ TraceReplayWorkload::TraceReplayWorkload(std::istream &is)
     std::uint32_t version = 0;
     is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
     is.read(reinterpret_cast<char *>(&version), sizeof(version));
-    if (!is || magic != trace_magic)
-        lbic_fatal("not an LBIC trace (bad magic)");
+    if (!is)
+        throw SimError(SimErrorKind::Config,
+                       "truncated trace: the stream ends inside the "
+                       "8-byte magic/version header");
+    if (magic != trace_magic) {
+        std::ostringstream os;
+        os << "not an LBIC trace: magic 0x" << std::hex << magic
+           << ", expected 0x" << trace_magic;
+        throw SimError(SimErrorKind::Config, os.str());
+    }
     if (version != trace_version)
-        lbic_fatal("unsupported trace version ", version);
+        throw SimError(SimErrorKind::Config,
+                       "unsupported trace version "
+                           + std::to_string(version)
+                           + " (this build reads version "
+                           + std::to_string(trace_version) + ")");
 
     PackedRecord r;
-    while (is.read(reinterpret_cast<char *>(&r), sizeof(r)))
+    for (;;) {
+        is.read(reinterpret_cast<char *>(&r), sizeof(r));
+        if (is.gcount() == 0 && is.eof())
+            break;
+        if (is.gcount()
+            != static_cast<std::streamsize>(sizeof(r))) {
+            // A record cut short is corruption, not end-of-stream:
+            // silently dropping it would replay a different stream
+            // than was captured.
+            throw SimError(
+                SimErrorKind::Config,
+                "truncated trace: record "
+                    + std::to_string(insts_.size()) + " holds "
+                    + std::to_string(is.gcount()) + " of "
+                    + std::to_string(sizeof(r)) + " bytes");
+        }
+        if (r.op >= static_cast<std::uint8_t>(OpClass::NumClasses))
+            throw SimError(SimErrorKind::Config,
+                           "corrupt trace: record "
+                               + std::to_string(insts_.size())
+                               + " holds invalid op class "
+                               + std::to_string(r.op));
         insts_.push_back(unpack(r));
+    }
 }
 
 bool

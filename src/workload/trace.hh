@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -57,7 +58,14 @@ class TraceWriter
 class TraceReplayWorkload : public Workload
 {
   public:
-    /** @param is source stream; fatal() on a malformed header. */
+    /**
+     * @param is source stream, fully consumed.
+     * @throws SimError (Config) on malformed input: a truncated
+     *         header, bad magic, an unsupported (future) version, a
+     *         record cut short by truncation, or a record holding an
+     *         out-of-range op class. The message names the problem
+     *         and the offending record.
+     */
     explicit TraceReplayWorkload(std::istream &is);
 
     const std::string &name() const override { return name_; }
@@ -69,6 +77,48 @@ class TraceReplayWorkload : public Workload
   private:
     std::string name_ = "trace";
     std::vector<DynInst> insts_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * A Workload replaying a shared, immutable in-memory instruction
+ * segment. Unlike TraceReplayWorkload it owns nothing: many replays
+ * (e.g. every port organization's job for one sampled interval) share
+ * one recorded vector. reset() rewinds to the segment start, not the
+ * original stream's beginning -- the segment stands in for a stream
+ * already positioned at its first instruction.
+ */
+class SegmentReplayWorkload : public Workload
+{
+  public:
+    /**
+     * @param name reported workload name (the original stream's).
+     * @param segment shared recorded instructions; must stay alive
+     *        and unchanged for this object's lifetime.
+     */
+    SegmentReplayWorkload(
+        std::string name,
+        std::shared_ptr<const std::vector<DynInst>> segment)
+        : name_(std::move(name)), segment_(std::move(segment))
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+
+    bool
+    next(DynInst &inst) override
+    {
+        if (pos_ >= segment_->size())
+            return false;
+        inst = (*segment_)[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::string name_;
+    std::shared_ptr<const std::vector<DynInst>> segment_;
     std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests of warmed-checkpoint capture, serialization and restore. The
+ * headline property is byte-reproducibility: restoring a checkpoint
+ * into a fresh Simulator and running produces a statistics dump
+ * byte-identical to fast-forwarding the same distance in-process and
+ * running. The malformed-input matrix pins the structured SimError
+ * (Config) taxonomy for every way a checkpoint file can be broken.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/sim_error.hh"
+#include "sample/checkpoint.hh"
+#include "sim/simulator.hh"
+
+namespace lbic
+{
+namespace sample
+{
+namespace
+{
+
+SimConfig
+baseConfig(const std::string &workload, const std::string &ports)
+{
+    SimConfig cfg;
+    cfg.workload = workload;
+    cfg.port_spec = ports;
+    cfg.max_insts = 8000;
+    return cfg;
+}
+
+std::string
+statsDump(Simulator &sim)
+{
+    std::ostringstream os;
+    sim.printStats(os);
+    return os.str();
+}
+
+std::string
+checkpointBytes(const Checkpoint &ckpt)
+{
+    std::ostringstream os;
+    writeCheckpoint(os, ckpt);
+    return os.str();
+}
+
+/** Expect readCheckpoint(bytes) to throw a Config SimError. */
+void
+expectConfigError(const std::string &bytes,
+                  const std::string &what_contains)
+{
+    std::istringstream is(bytes);
+    try {
+        readCheckpoint(is);
+        FAIL() << "expected SimError for " << what_contains;
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find(what_contains),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+TEST(CheckpointTest, SerializationRoundTrip)
+{
+    Checkpoint ckpt;
+    ckpt.workload = "swim";
+    ckpt.seed = 42;
+    ckpt.position = 123456;
+    ckpt.memory_state = std::string("\x00\x01\x02pay\xffload", 11);
+
+    std::stringstream buf;
+    writeCheckpoint(buf, ckpt);
+    const Checkpoint back = readCheckpoint(buf);
+    EXPECT_EQ(back.workload, ckpt.workload);
+    EXPECT_EQ(back.seed, ckpt.seed);
+    EXPECT_EQ(back.position, ckpt.position);
+    EXPECT_EQ(back.memory_state, ckpt.memory_state);
+}
+
+TEST(CheckpointTest, FileRoundTrip)
+{
+    SimConfig cfg = baseConfig("li", "bank:4");
+    Simulator sim(cfg);
+    sim.fastForward(12000);
+    const Checkpoint ckpt = captureCheckpoint(sim);
+
+    const std::string path =
+        testing::TempDir() + "/lbic_test_checkpoint.ckpt";
+    saveCheckpointFile(path, ckpt);
+    const Checkpoint back = loadCheckpointFile(path);
+    EXPECT_EQ(back.workload, "li");
+    EXPECT_EQ(back.position, 12000u);
+    EXPECT_EQ(back.memory_state, ckpt.memory_state);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsConfigError)
+{
+    try {
+        loadCheckpointFile("/nonexistent/dir/nope.ckpt");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+    }
+}
+
+// --- malformed-input matrix -----------------------------------------
+
+TEST(CheckpointMalformedTest, EmptyStream)
+{
+    expectConfigError("", "truncated checkpoint");
+}
+
+TEST(CheckpointMalformedTest, BadMagic)
+{
+    Checkpoint ckpt;
+    ckpt.workload = "swim";
+    std::string bytes = checkpointBytes(ckpt);
+    bytes[0] = 'X';
+    expectConfigError(bytes, "not a checkpoint file");
+}
+
+TEST(CheckpointMalformedTest, FutureVersion)
+{
+    Checkpoint ckpt;
+    ckpt.workload = "swim";
+    std::string bytes = checkpointBytes(ckpt);
+    bytes[4] = 9;  // version field, little-endian low byte
+    expectConfigError(bytes, "version 9");
+}
+
+TEST(CheckpointMalformedTest, TruncatedAnywhere)
+{
+    Checkpoint ckpt;
+    ckpt.workload = "swim";
+    ckpt.seed = 7;
+    ckpt.position = 1000;
+    ckpt.memory_state = "0123456789abcdef";
+    const std::string bytes = checkpointBytes(ckpt);
+    // Every proper prefix must fail with a structured error, never
+    // crash or return a half-read checkpoint.
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        std::istringstream is(bytes.substr(0, cut));
+        EXPECT_THROW(readCheckpoint(is), SimError) << "cut=" << cut;
+    }
+}
+
+// --- capture/restore semantics --------------------------------------
+
+TEST(CheckpointTest, CaptureAfterDetailedRunIsRejected)
+{
+    SimConfig cfg = baseConfig("compress", "ideal:4");
+    Simulator sim(cfg);
+    sim.run();
+    EXPECT_THROW(captureCheckpoint(sim), SimError);
+}
+
+TEST(CheckpointTest, RestoreRejectsMismatches)
+{
+    SimConfig cfg = baseConfig("compress", "ideal:4");
+    Simulator donor(cfg);
+    donor.fastForward(5000);
+    const Checkpoint ckpt = captureCheckpoint(donor);
+
+    {
+        SimConfig other = cfg;
+        other.workload = "swim";
+        Simulator sim(other);
+        EXPECT_THROW(applyCheckpoint(sim, ckpt), SimError);
+    }
+    {
+        SimConfig other = cfg;
+        other.seed = 99;
+        Simulator sim(other);
+        EXPECT_THROW(applyCheckpoint(sim, ckpt), SimError);
+    }
+    {
+        // Already-run simulators cannot be rewound.
+        Simulator sim(cfg);
+        sim.run();
+        EXPECT_THROW(applyCheckpoint(sim, ckpt), SimError);
+    }
+}
+
+TEST(CheckpointTest, UndersizedSegmentIsRejected)
+{
+    // An in-memory replay segment that cannot cover the committed
+    // instructions would silently truncate the resumed run; restore
+    // must refuse it up front.
+    SimConfig cfg = baseConfig("swim", "ideal:4");
+    Simulator donor(cfg);
+    donor.fastForward(5000);
+    Checkpoint ckpt = captureCheckpoint(donor);
+    ckpt.segment =
+        std::make_shared<std::vector<DynInst>>(cfg.max_insts - 1);
+
+    Simulator resumed(cfg);
+    try {
+        applyCheckpoint(resumed, ckpt);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("segment"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckpointTest, RestoredRunIsByteIdenticalToStraightThrough)
+{
+    // The acceptance property: save -> restore -> run must reproduce
+    // the stats dump of an uninterrupted ff+run, byte for byte, for
+    // a conventional and an LBIC organization.
+    for (const char *ports : {"bank:4", "lbic:4x2"}) {
+        constexpr std::uint64_t ff = 15000;
+
+        SimConfig cfg = baseConfig("swim", ports);
+
+        // Straight through: functional skip, then detailed run.
+        SimConfig straight = cfg;
+        straight.ff_insts = ff;
+        Simulator uninterrupted(straight);
+        const RunResult want = uninterrupted.run();
+
+        // Checkpointed: capture at the same boundary...
+        Simulator donor(cfg);
+        ASSERT_EQ(donor.fastForward(ff), ff);
+        const Checkpoint ckpt = captureCheckpoint(donor);
+
+        // ...serialize through the binary format for good measure...
+        std::stringstream buf;
+        writeCheckpoint(buf, ckpt);
+        const Checkpoint restored = readCheckpoint(buf);
+
+        // ...and resume in a fresh Simulator.
+        Simulator resumed(cfg);
+        applyCheckpoint(resumed, restored);
+        EXPECT_EQ(resumed.fastForwarded(), ff);
+        const RunResult got = resumed.run();
+
+        EXPECT_EQ(got.instructions, want.instructions) << ports;
+        EXPECT_EQ(got.cycles, want.cycles) << ports;
+        EXPECT_EQ(statsDump(resumed), statsDump(uninterrupted))
+            << ports;
+    }
+}
+
+TEST(CheckpointTest, RestoredRunPassesGoldenCheck)
+{
+    // The restored stream position must line up with the golden
+    // model's shadow stream: one instruction of slip diverges.
+    SimConfig cfg = baseConfig("gcc", "lbic:4x2");
+    cfg.check = true;
+    cfg.audit = true;
+
+    Simulator donor(cfg);
+    donor.fastForward(10000);
+    const Checkpoint ckpt = captureCheckpoint(donor);
+
+    Simulator resumed(cfg);
+    applyCheckpoint(resumed, ckpt);
+    const RunResult r = resumed.run();
+    EXPECT_EQ(r.instructions, cfg.max_insts);
+    ASSERT_NE(resumed.checker(), nullptr);
+    EXPECT_EQ(resumed.checker()->checkedInstructions(),
+              cfg.max_insts);
+}
+
+TEST(CheckpointTest, SharedAcrossPortOrganizations)
+{
+    // One checkpoint must restore into any port organization built
+    // on the same cache geometry -- the basis of the sampled-mode
+    // speedup. Verify each against its own straight-through run.
+    SimConfig cfg = baseConfig("compress", "ideal:1");
+    Simulator donor(cfg);
+    donor.fastForward(10000);
+    const Checkpoint ckpt = captureCheckpoint(donor);
+
+    for (const char *ports : {"ideal:4", "repl:2", "bank:8"}) {
+        SimConfig run_cfg = baseConfig("compress", ports);
+        Simulator resumed(run_cfg);
+        applyCheckpoint(resumed, ckpt);
+        const RunResult got = resumed.run();
+
+        SimConfig straight = run_cfg;
+        straight.ff_insts = 10000;
+        Simulator uninterrupted(straight);
+        const RunResult want = uninterrupted.run();
+        EXPECT_EQ(got.cycles, want.cycles) << ports;
+        EXPECT_EQ(statsDump(resumed), statsDump(uninterrupted))
+            << ports;
+    }
+}
+
+} // anonymous namespace
+} // namespace sample
+} // namespace lbic

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests of functional fast-forward: the warming path must advance the
+ * stream exactly, evolve the cache tag state deterministically, agree
+ * with an independently coded reference cache model, and hand off to a
+ * detailed run that the golden-model checker and invariant auditor
+ * accept (proof the stream and shadow stream stayed aligned).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "sample/checkpoint.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
+
+namespace lbic
+{
+namespace
+{
+
+std::string
+warmBlob(Simulator &sim)
+{
+    std::ostringstream os;
+    sim.hierarchy().saveWarmState(os);
+    return os.str();
+}
+
+TEST(FastForwardTest, AdvancesAndAccumulates)
+{
+    SimConfig cfg;
+    cfg.workload = "swim";
+    Simulator sim(cfg);
+    EXPECT_EQ(sim.fastForward(10000), 10000u);
+    EXPECT_EQ(sim.fastForwarded(), 10000u);
+    EXPECT_EQ(sim.fastForward(5000), 5000u);
+    EXPECT_EQ(sim.fastForwarded(), 15000u);
+    EXPECT_EQ(sim.core().fastForwarded(), 15000u);
+}
+
+TEST(FastForwardTest, StopsAtStreamEnd)
+{
+    // A finite stream: a captured trace replayed as the workload.
+    auto src = makeWorkload("li", 1);
+    std::stringstream buf;
+    TraceWriter::capture(*src, buf, 2000);
+    TraceReplayWorkload replay(buf);
+
+    SimConfig cfg;
+    cfg.workload = "li";
+    Simulator sim(cfg, replay);
+    EXPECT_EQ(sim.fastForward(5000), 2000u);
+    EXPECT_EQ(sim.fastForwarded(), 2000u);
+}
+
+TEST(FastForwardTest, IncrementalEqualsOneShot)
+{
+    SimConfig cfg;
+    cfg.workload = "gcc";
+    Simulator once(cfg);
+    once.fastForward(30000);
+
+    Simulator twice(cfg);
+    twice.fastForward(10000);
+    twice.fastForward(20000);
+
+    EXPECT_EQ(warmBlob(once), warmBlob(twice));
+}
+
+TEST(FastForwardTest, WarmingIsDeterministic)
+{
+    SimConfig cfg;
+    cfg.workload = "mgrid";
+    Simulator a(cfg);
+    Simulator b(cfg);
+    a.fastForward(25000);
+    b.fastForward(25000);
+    EXPECT_EQ(warmBlob(a), warmBlob(b));
+}
+
+TEST(FastForwardTest, DetailedRunAfterFFPassesGoldenCheckAndAudit)
+{
+    // The golden checker re-creates the shadow stream by name and
+    // skips it by the fast-forwarded distance; a single instruction of
+    // misalignment diverges immediately. The auditor guards the
+    // structural invariants across the warmed start.
+    for (const char *kernel : {"compress", "swim"}) {
+        SimConfig cfg;
+        cfg.workload = kernel;
+        cfg.port_spec = "lbic:4x2";
+        cfg.ff_insts = 20000;
+        cfg.max_insts = 5000;
+        cfg.check = true;
+        cfg.audit = true;
+        Simulator sim(cfg);
+        const RunResult r = sim.run();
+        EXPECT_EQ(r.instructions, 5000u) << kernel;
+        ASSERT_NE(sim.checker(), nullptr) << kernel;
+        EXPECT_GT(sim.checker()->checkedInstructions(), 0u) << kernel;
+    }
+}
+
+/**
+ * An independently coded in-order reference of the two-level warming
+ * semantics: direct-mapped L1 backed by a 4-way LRU L2, write-back
+ * write-allocate at both levels, victim writebacks propagating down.
+ * Geometry mirrors the HierarchyConfig defaults (32 KB / 32 B L1,
+ * 512 KB / 64 B / 4-way L2).
+ */
+class ReferenceModel
+{
+  public:
+    std::uint64_t accesses = 0, misses = 0, l2_misses = 0;
+    std::uint64_t writebacks = 0, l2_writebacks = 0;
+
+    void
+    access(Addr addr, bool is_store)
+    {
+        ++accesses;
+        const Addr line = addr / l1_line * l1_line;
+        L1Entry &slot = l1_[lineIndex(line)];
+        if (slot.valid && slot.line == line) {
+            slot.dirty |= is_store;
+            return;
+        }
+        ++misses;
+        l2Lookup(line, false);
+        // Fill the L1; the displaced dirty victim writes back.
+        if (slot.valid && slot.dirty) {
+            ++writebacks;
+            l2Writeback(slot.line);
+        }
+        slot = {line, is_store, true};
+    }
+
+  private:
+    static constexpr Addr l1_line = 32;
+    static constexpr std::size_t l1_sets = 32 * 1024 / 32;
+    static constexpr Addr l2_line = 64;
+    static constexpr std::size_t l2_sets = 512 * 1024 / 64 / 4;
+    static constexpr std::size_t l2_ways = 4;
+
+    struct L1Entry
+    {
+        Addr line = 0;
+        bool dirty = false;
+        bool valid = false;
+    };
+
+    struct L2Entry
+    {
+        Addr line = 0;
+        bool dirty = false;
+    };
+
+    static std::size_t
+    lineIndex(Addr line)
+    {
+        return static_cast<std::size_t>((line / l1_line) % l1_sets);
+    }
+
+    /** Lookup-and-fill; @p mark_dirty is the writeback path. */
+    void
+    l2Lookup(Addr addr, bool mark_dirty)
+    {
+        const Addr line = addr / l2_line * l2_line;
+        auto &set = l2_[(line / l2_line) % l2_sets];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->line == line) {
+                L2Entry e = *it;
+                e.dirty |= mark_dirty;
+                set.erase(it);
+                set.push_front(e);  // most-recently-used first
+                return;
+            }
+        }
+        ++l2_misses;
+        if (set.size() >= l2_ways) {
+            if (set.back().dirty)
+                ++l2_writebacks;
+            set.pop_back();
+        }
+        set.push_front({line, mark_dirty});
+    }
+
+    void
+    l2Writeback(Addr l1_line_addr)
+    {
+        // Mirror MemoryHierarchy::writeback(): mark dirty on hit,
+        // allocate dirty on miss -- but without counting an L2 miss
+        // (the timed path does not either).
+        const Addr line = l1_line_addr / l2_line * l2_line;
+        auto &set = l2_[(line / l2_line) % l2_sets];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->line == line) {
+                L2Entry e = *it;
+                e.dirty = true;
+                set.erase(it);
+                set.push_front(e);
+                return;
+            }
+        }
+        if (set.size() >= l2_ways) {
+            if (set.back().dirty)
+                ++l2_writebacks;
+            set.pop_back();
+        }
+        set.push_front({line, true});
+    }
+
+    std::unordered_map<std::size_t, L1Entry> l1_;
+    std::unordered_map<std::size_t, std::list<L2Entry>> l2_;
+};
+
+TEST(FastForwardTest, WarmingAgreesWithTheReferenceModel)
+{
+    for (const char *kernel : {"compress", "swim", "gcc"}) {
+        constexpr std::uint64_t n = 40000;
+
+        SimConfig cfg;
+        cfg.workload = kernel;
+        Simulator sim(cfg);
+        ASSERT_EQ(sim.fastForward(n), n);
+
+        ReferenceModel ref;
+        auto stream = makeWorkload(kernel, cfg.seed);
+        DynInst inst;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(stream->next(inst));
+            if (inst.isMem())
+                ref.access(inst.addr, inst.isStore());
+        }
+
+        const MemoryHierarchy &h = sim.hierarchy();
+        EXPECT_EQ(h.warm_accesses.value(),
+                  static_cast<double>(ref.accesses))
+            << kernel;
+        EXPECT_EQ(h.warm_misses.value(),
+                  static_cast<double>(ref.misses))
+            << kernel;
+        EXPECT_EQ(h.warm_l2_misses.value(),
+                  static_cast<double>(ref.l2_misses))
+            << kernel;
+        EXPECT_EQ(h.writebacks.value(),
+                  static_cast<double>(ref.writebacks))
+            << kernel;
+        EXPECT_EQ(h.l2_writebacks.value(),
+                  static_cast<double>(ref.l2_writebacks))
+            << kernel;
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * End-to-end accuracy tests of the sampled-simulation pipeline: for
+ * every kernel and a representative port organization from each family
+ * (ideal multi-port, multi-bank, LBIC), the checkpointed sampled
+ * estimate must land close to the full run it predicts. Unit tests pin
+ * the weighted-CPI aggregation arithmetic and its failure handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sample/sampler.hh"
+#include "sim/sweep.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace sample
+{
+namespace
+{
+
+SamplingConfig
+testConfig()
+{
+    SamplingConfig cfg;
+    cfg.total_insts = 100000;
+    cfg.interval_insts = 10000;
+    cfg.max_intervals = 4;
+    cfg.warmup_insts = 2500;
+    return cfg;
+}
+
+TEST(SamplingAccuracyTest, EstimateTracksTheFullRunEverywhere)
+{
+    const SamplingConfig scfg = testConfig();
+    const std::vector<std::string> orgs = {"ideal:4", "bank:4",
+                                           "lbic:4x2"};
+
+    for (const std::string &kernel : allKernels()) {
+        SimConfig base;
+        base.workload = kernel;
+        base.max_insts = scfg.total_insts;
+
+        const SamplingPlan plan = makePlan(kernel, base.seed, scfg);
+        ASSERT_FALSE(plan.selected.empty()) << kernel;
+        const std::vector<Checkpoint> ckpts =
+            makeCheckpoints(base, plan);
+
+        // One flat sweep: every organization's interval runs plus its
+        // full run, exactly how the bench drivers schedule it.
+        std::vector<SweepJob> jobs;
+        for (const std::string &org : orgs) {
+            SimConfig cfg = base;
+            cfg.port_spec = org;
+            for (SweepJob &j : buildJobs(cfg, plan, ckpts, org))
+                jobs.push_back(std::move(j));
+            jobs.push_back(SweepJob::of(kernel, org,
+                                        scfg.total_insts, base));
+        }
+        const std::vector<SweepResult> results = runSweep(jobs);
+
+        const std::size_t stride = plan.selected.size() + 1;
+        for (std::size_t o = 0; o < orgs.size(); ++o) {
+            const auto first = results.begin()
+                               + static_cast<std::ptrdiff_t>(
+                                   o * stride);
+            const std::vector<SweepResult> slice(
+                first,
+                first
+                    + static_cast<std::ptrdiff_t>(
+                        plan.selected.size()));
+            const SampledEstimate est = estimate(plan, slice);
+            const SweepResult &full = results[o * stride
+                                              + plan.selected.size()];
+
+            ASSERT_TRUE(est.ok)
+                << kernel << "/" << orgs[o] << ": " << est.error;
+            ASSERT_TRUE(full.ok)
+                << kernel << "/" << orgs[o] << ": " << full.error;
+            const double rel =
+                (est.ipc - full.ipc()) / full.ipc();
+            EXPECT_LT(std::abs(rel), 0.12)
+                << kernel << "/" << orgs[o] << ": sampled "
+                << est.ipc << " vs full " << full.ipc();
+        }
+    }
+}
+
+TEST(SamplingEstimateTest, WeightedCpiArithmetic)
+{
+    // Two equal-weight intervals at IPC 2.0 and 1.0: harmonic
+    // aggregation gives 1 / (0.5/2 + 0.5/1) = 4/3, not the 1.5 an
+    // arithmetic mean would claim.
+    SamplingPlan plan;
+    plan.total_insts = 20000;
+    plan.interval_insts = 10000;
+    plan.selected = {{0, 10000, 0.5}, {10000, 10000, 0.5}};
+
+    std::vector<SweepResult> results(2);
+    results[0].result.instructions = 10000;
+    results[0].result.cycles = 5000;  // IPC 2.0
+    results[1].result.instructions = 10000;
+    results[1].result.cycles = 10000; // IPC 1.0
+
+    const SampledEstimate est = estimate(plan, results);
+    ASSERT_TRUE(est.ok);
+    EXPECT_NEAR(est.ipc, 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(est.coverage, 1.0, 1e-12);
+    ASSERT_EQ(est.runs.size(), 2u);
+    EXPECT_DOUBLE_EQ(est.runs[0].weight, 0.5);
+}
+
+TEST(SamplingEstimateTest, WarmupRegionIsExcluded)
+{
+    // The warmup prefix rides in the RunResult but must not leak into
+    // the measured IPC: only the post-warmup region counts.
+    SamplingPlan plan;
+    plan.total_insts = 10000;
+    plan.interval_insts = 5000;
+    plan.warmup_insts = 1000;
+    plan.selected = {{1000, 5000, 1.0}};
+
+    std::vector<SweepResult> results(1);
+    results[0].result.instructions = 6000;
+    results[0].result.cycles = 7000;
+    results[0].result.warmup_instructions = 1000;
+    results[0].result.warmup_cycles = 2000;  // slow warmup
+
+    const SampledEstimate est = estimate(plan, results);
+    ASSERT_TRUE(est.ok);
+    EXPECT_NEAR(est.ipc, 5000.0 / 5000.0, 1e-12);
+}
+
+TEST(SamplingEstimateTest, FailedIntervalDegradesNotErases)
+{
+    SamplingPlan plan;
+    plan.total_insts = 30000;
+    plan.interval_insts = 10000;
+    plan.selected = {
+        {0, 10000, 0.25}, {10000, 10000, 0.5}, {20000, 10000, 0.25}};
+
+    std::vector<SweepResult> results(3);
+    results[0].result.instructions = 10000;
+    results[0].result.cycles = 5000;  // IPC 2.0
+    results[1].ok = false;
+    results[1].label = "mid";
+    results[1].error = "boom";
+    results[2].result.instructions = 10000;
+    results[2].result.cycles = 5000;  // IPC 2.0
+
+    const SampledEstimate est = estimate(plan, results);
+    EXPECT_FALSE(est.ok);
+    EXPECT_NE(est.error.find("boom"), std::string::npos);
+    // The survivors renormalize: both run at IPC 2.0, so the
+    // degraded estimate is still 2.0.
+    EXPECT_NEAR(est.ipc, 2.0, 1e-12);
+}
+
+TEST(SamplingPipelineTest, PlanAndCheckpointsAreDeterministic)
+{
+    const SamplingConfig scfg = testConfig();
+    SimConfig base;
+    base.workload = "swim";
+
+    const SamplingPlan a = makePlan("swim", base.seed, scfg);
+    const SamplingPlan b = makePlan("swim", base.seed, scfg);
+    ASSERT_EQ(a.selected.size(), b.selected.size());
+    for (std::size_t i = 0; i < a.selected.size(); ++i)
+        EXPECT_EQ(a.selected[i].start, b.selected[i].start);
+
+    const std::vector<Checkpoint> ca = makeCheckpoints(base, a);
+    const std::vector<Checkpoint> cb = makeCheckpoints(base, b);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+        EXPECT_EQ(ca[i].position, cb[i].position);
+        EXPECT_EQ(ca[i].memory_state, cb[i].memory_state);
+    }
+}
+
+TEST(SamplingPipelineTest, SegmentRestoreEqualsSkipRestore)
+{
+    // makeCheckpoints() records each interval's instruction window so
+    // applyCheckpoint() can swap in a replay segment instead of
+    // regenerating the stream prefix. The two restore paths must be
+    // indistinguishable: same cycles, same stats dump, byte for byte.
+    const SamplingConfig scfg = testConfig();
+    SimConfig base;
+    base.workload = "compress";
+    base.port_spec = "bank:4";
+
+    const SamplingPlan plan = makePlan("compress", base.seed, scfg);
+    const std::vector<Checkpoint> ckpts = makeCheckpoints(base, plan);
+    ASSERT_FALSE(ckpts.empty());
+
+    for (std::size_t i = 0; i < ckpts.size(); ++i) {
+        ASSERT_TRUE(static_cast<bool>(ckpts[i].segment)) << i;
+        const IntervalInfo &iv = plan.selected[i];
+        const std::uint64_t warm =
+            std::min(plan.warmup_insts, iv.start);
+
+        SimConfig cfg = base;
+        cfg.max_insts = warm + iv.length;
+
+        Simulator fast(cfg);
+        applyCheckpoint(fast, ckpts[i]);
+        const RunResult a = fast.run();
+
+        Checkpoint skip = ckpts[i];
+        skip.segment.reset();
+        Simulator slow(cfg);
+        applyCheckpoint(slow, skip);
+        const RunResult b = slow.run();
+
+        EXPECT_EQ(a.instructions, b.instructions) << "interval " << i;
+        EXPECT_EQ(a.cycles, b.cycles) << "interval " << i;
+
+        std::ostringstream sa, sb;
+        fast.printStats(sa);
+        slow.printStats(sb);
+        EXPECT_EQ(sa.str(), sb.str()) << "interval " << i;
+    }
+}
+
+TEST(SamplingPipelineTest, JobsCarryWarmupAndRestoreHooks)
+{
+    const SamplingConfig scfg = testConfig();
+    SimConfig base;
+    base.workload = "li";
+    base.port_spec = "bank:4";
+
+    const SamplingPlan plan = makePlan("li", base.seed, scfg);
+    const std::vector<Checkpoint> ckpts = makeCheckpoints(base, plan);
+    const std::vector<SweepJob> jobs =
+        buildJobs(base, plan, ckpts, "li/bank:4");
+
+    ASSERT_EQ(jobs.size(), plan.selected.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const IntervalInfo &iv = plan.selected[i];
+        const std::uint64_t warm =
+            std::min(plan.warmup_insts, iv.start);
+        EXPECT_EQ(jobs[i].config.max_insts, warm + iv.length);
+        EXPECT_EQ(jobs[i].config.warmup_insts, warm);
+        EXPECT_EQ(jobs[i].config.ff_insts, 0u);
+        EXPECT_TRUE(static_cast<bool>(jobs[i].setup));
+        EXPECT_NE(jobs[i].label.find("li/bank:4@"),
+                  std::string::npos);
+    }
+}
+
+} // anonymous namespace
+} // namespace sample
+} // namespace lbic

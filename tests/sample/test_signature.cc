@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for interval profiling and representative selection: the
+ * profile must tile the stream exactly, and the deterministic k-means
+ * selection must produce a valid, reproducible plan (sorted
+ * representatives, weights summing to one, bounded interval count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sample/signature.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace sample
+{
+namespace
+{
+
+SamplingConfig
+smallConfig()
+{
+    SamplingConfig cfg;
+    cfg.total_insts = 60000;
+    cfg.interval_insts = 10000;
+    cfg.max_intervals = 3;
+    cfg.warmup_insts = 1000;
+    return cfg;
+}
+
+std::vector<IntervalSignature>
+profiled(const std::string &kernel, const SamplingConfig &cfg)
+{
+    auto w = makeWorkload(kernel, 1);
+    return profileStream(*w, cfg);
+}
+
+TEST(SignatureTest, ProfileTilesTheStreamExactly)
+{
+    const SamplingConfig cfg = smallConfig();
+    const auto sigs = profiled("compress", cfg);
+    ASSERT_FALSE(sigs.empty());
+    std::uint64_t expected_start = 0;
+    std::uint64_t total = 0;
+    for (const IntervalSignature &s : sigs) {
+        EXPECT_EQ(s.start, expected_start);
+        expected_start += s.length;
+        total += s.length;
+    }
+    EXPECT_EQ(total, cfg.total_insts);
+}
+
+TEST(SignatureTest, ShortTailIsAbsorbedIntoTheLastInterval)
+{
+    SamplingConfig cfg = smallConfig();
+    cfg.total_insts = 63000;  // 3000-inst tail < interval/2
+    const auto sigs = profiled("compress", cfg);
+    ASSERT_FALSE(sigs.empty());
+    EXPECT_EQ(sigs.back().length, 13000u);
+    std::uint64_t total = 0;
+    for (const IntervalSignature &s : sigs)
+        total += s.length;
+    EXPECT_EQ(total, cfg.total_insts);
+}
+
+TEST(SignatureTest, FeaturesAreFractions)
+{
+    const auto sigs = profiled("swim", smallConfig());
+    for (const IntervalSignature &s : sigs) {
+        ASSERT_FALSE(s.features.empty());
+        for (const double f : s.features) {
+            EXPECT_GE(f, 0.0);
+            EXPECT_LE(f, 1.0);
+        }
+    }
+}
+
+TEST(SignatureTest, ProfileIsDeterministic)
+{
+    const SamplingConfig cfg = smallConfig();
+    const auto a = profiled("li", cfg);
+    const auto b = profiled("li", cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].start, b[i].start);
+        EXPECT_EQ(a[i].length, b[i].length);
+        EXPECT_EQ(a[i].features, b[i].features);
+    }
+}
+
+TEST(SignatureTest, SelectionIsAValidPlan)
+{
+    const SamplingConfig cfg = smallConfig();
+    const auto sigs = profiled("mgrid", cfg);
+    const SamplingPlan plan = selectIntervals(sigs, cfg);
+
+    EXPECT_EQ(plan.total_insts, cfg.total_insts);
+    ASSERT_FALSE(plan.selected.empty());
+    EXPECT_LE(plan.selected.size(),
+              static_cast<std::size_t>(cfg.max_intervals));
+
+    double weight = 0.0;
+    std::uint64_t prev_end = 0;
+    for (const IntervalInfo &iv : plan.selected) {
+        EXPECT_GE(iv.start, prev_end);
+        EXPECT_GT(iv.length, 0u);
+        EXPECT_GT(iv.weight, 0.0);
+        weight += iv.weight;
+        prev_end = iv.start + iv.length;
+    }
+    EXPECT_NEAR(weight, 1.0, 1e-9);
+    EXPECT_GT(plan.coverage(), 0.0);
+    EXPECT_LE(plan.coverage(), 1.0);
+}
+
+TEST(SignatureTest, SelectionIsDeterministic)
+{
+    const SamplingConfig cfg = smallConfig();
+    const auto sigs = profiled("gcc", cfg);
+    const SamplingPlan a = selectIntervals(sigs, cfg);
+    const SamplingPlan b = selectIntervals(sigs, cfg);
+    ASSERT_EQ(a.selected.size(), b.selected.size());
+    for (std::size_t i = 0; i < a.selected.size(); ++i) {
+        EXPECT_EQ(a.selected[i].start, b.selected[i].start);
+        EXPECT_EQ(a.selected[i].length, b.selected[i].length);
+        EXPECT_DOUBLE_EQ(a.selected[i].weight, b.selected[i].weight);
+    }
+}
+
+TEST(SignatureTest, KClampsToTheNumberOfIntervals)
+{
+    SamplingConfig cfg = smallConfig();
+    cfg.max_intervals = 50;  // more than the 6 intervals available
+    const auto sigs = profiled("compress", cfg);
+    const SamplingPlan plan = selectIntervals(sigs, cfg);
+    // k clamps to the interval count; identical-feature intervals may
+    // merge clusters, but the weights always cover the whole stream.
+    EXPECT_LE(plan.selected.size(), sigs.size());
+    double weight = 0.0;
+    for (const IntervalInfo &iv : plan.selected)
+        weight += iv.weight;
+    EXPECT_NEAR(weight, 1.0, 1e-9);
+}
+
+TEST(SignatureTest, SelectedIntervalsAreSortedAndDisjoint)
+{
+    SamplingConfig cfg;
+    cfg.total_insts = 200000;
+    cfg.interval_insts = 20000;
+    cfg.max_intervals = 5;
+    const auto sigs = profiled("swim", cfg);
+    const SamplingPlan plan = selectIntervals(sigs, cfg);
+    for (std::size_t i = 1; i < plan.selected.size(); ++i) {
+        EXPECT_GE(plan.selected[i].start,
+                  plan.selected[i - 1].start
+                      + plan.selected[i - 1].length);
+    }
+}
+
+} // anonymous namespace
+} // namespace sample
+} // namespace lbic

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_sample.hh"
 #include "bench/bench_util.hh"
 #include "common/logging.hh"
 #include "sim/sweep.hh"
@@ -121,7 +123,8 @@ TEST(BenchJsonTest, EmitsSchemaVersionAndProvenanceMetadata)
     const std::string json = os.str();
     expectBalancedJson(json);
 
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"sampled\": false"), std::string::npos);
     EXPECT_NE(json.find("\"driver\": \"test_driver\""),
               std::string::npos);
     EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
@@ -199,6 +202,53 @@ TEST(BenchJsonTest, OkRunsCarryAttributionAndPortObjects)
     for (unsigned c = 0; c < observe::num_stall_causes; ++c)
         cycle_sum += m.stall_cycles[c];
     EXPECT_EQ(cycle_sum, out.results[0].result.cycles);
+}
+
+TEST(BenchJsonTest, SampledJsonCarriesSamplingBlocks)
+{
+    // Two cells over one workload: the plan and checkpoints are
+    // shared, each cell gets its own sampling block in the JSON.
+    const std::vector<SweepJob> cells = {
+        SweepJob::of("li", "ideal:4", 40000),
+        SweepJob::of("li", "bank:4", 40000),
+    };
+    bench::BenchArgs args;
+    args.insts = 40000;
+    args.jobs = 2;
+    bench::SampleArgs sargs;
+    sargs.enabled = true;
+    sargs.compare_full = true;
+    sargs.cfg.total_insts = 40000;
+    sargs.cfg.interval_insts = 5000;
+    sargs.cfg.max_intervals = 3;
+    sargs.cfg.warmup_insts = 1000;
+
+    const bench::SampledOutput out =
+        bench::runSampledCells(args, sargs, cells);
+    ASSERT_EQ(out.cells.size(), 2u);
+    EXPECT_EQ(out.failed, 0u);
+    EXPECT_EQ(out.plans.size(), 1u);  // one shared plan for "li"
+
+    std::ostringstream os;
+    bench::printJsonSampledResults(os, "test_driver", args, cells,
+                                   out, sargs);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    for (const char *key :
+         {"\"schema_version\": 3", "\"sampled\": true",
+          "\"sampling\": {", "\"intervals\": ",
+          "\"interval_len\": 5000", "\"warmup\": 1000",
+          "\"coverage\": ", "\"est_ipc\": ", "\"interval_runs\": [",
+          "\"weight\": ", "\"full_ipc\": ",
+          "\"error_vs_full\": "}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+
+    // The sampled estimate must land near the full run it shadows.
+    for (const bench::SampledCell &cell : out.cells) {
+        ASSERT_GT(cell.full_ipc, 0.0);
+        EXPECT_LT(std::abs(cell.errorVsFull()), 0.15) << cell.label;
+    }
 }
 
 TEST(BenchJsonTest, FailedRunsOmitAttributionObjects)

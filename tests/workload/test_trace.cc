@@ -1,21 +1,61 @@
 /**
  * @file
- * Unit tests for trace capture and replay.
+ * Unit tests for trace capture and replay: the round trip, the
+ * malformed-input matrix (every way a trace file can be broken maps
+ * to a structured SimError) and the golden-trace regression suite
+ * that pins each kernel's reference stream to the byte-exact prefix
+ * committed under tests/data/.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "workload/registry.hh"
 #include "workload/trace.hh"
+
+// Injected by tests/CMakeLists.txt: absolute path of tests/data.
+#ifndef LBIC_TEST_DATA_DIR
+#define LBIC_TEST_DATA_DIR "tests/data"
+#endif
 
 namespace lbic
 {
 namespace
 {
+
+/** A well-formed trace of @p n compress instructions, as raw bytes. */
+std::string
+validTraceBytes(std::uint64_t n)
+{
+    auto src = makeWorkload("compress", 1);
+    std::stringstream buf;
+    TraceWriter::capture(*src, buf, n);
+    return buf.str();
+}
+
+/** Expect TraceReplayWorkload(bytes) to throw a Config SimError. */
+void
+expectConfigError(const std::string &bytes,
+                  const std::string &what_contains)
+{
+    std::stringstream buf(bytes);
+    try {
+        TraceReplayWorkload replay(buf);
+        FAIL() << "expected SimError for " << what_contains;
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find(what_contains),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
 
 TEST(TraceTest, CaptureReplayRoundTrip)
 {
@@ -86,6 +126,115 @@ TEST(TraceTest, EmptyStreamIsFatal)
     std::stringstream buf;
     EXPECT_THROW(TraceReplayWorkload{buf}, std::runtime_error);
     detail::setThrowOnError(false);
+}
+
+// --- malformed-input matrix -----------------------------------------
+// Every corruption mode maps to a SimError of kind Config with a
+// message naming what broke; none of them crash, hang or silently
+// replay a different stream.
+
+TEST(TraceMalformedTest, EmptyStream)
+{
+    expectConfigError("", "truncated trace");
+}
+
+TEST(TraceMalformedTest, HeaderCutShort)
+{
+    const std::string good = validTraceBytes(4);
+    expectConfigError(good.substr(0, 3), "truncated trace");
+    expectConfigError(good.substr(0, 7), "truncated trace");
+}
+
+TEST(TraceMalformedTest, BadMagic)
+{
+    std::string bytes = validTraceBytes(4);
+    bytes[0] = 'X';
+    expectConfigError(bytes, "not an LBIC trace");
+}
+
+TEST(TraceMalformedTest, FutureVersion)
+{
+    std::string bytes = validTraceBytes(4);
+    bytes[4] = 99;  // version field, little-endian low byte
+    expectConfigError(bytes, "unsupported trace version 99");
+}
+
+TEST(TraceMalformedTest, RecordCutShort)
+{
+    const std::string good = validTraceBytes(4);
+    // Chop the last record mid-way; the reader must name the record.
+    expectConfigError(good.substr(0, good.size() - 5), "record 3");
+}
+
+TEST(TraceMalformedTest, InvalidOpClass)
+{
+    std::string bytes = validTraceBytes(4);
+    bytes[8] = static_cast<char>(0xee);  // first record's op byte
+    expectConfigError(bytes, "invalid op class");
+}
+
+TEST(TraceMalformedTest, TrailingGarbageByte)
+{
+    // One stray byte after the last full record is a truncated record.
+    expectConfigError(validTraceBytes(2) + "Z", "truncated trace");
+}
+
+// --- golden-trace regression suite ----------------------------------
+// tests/data/ commits the first 1000 instructions of every kernel at
+// seed 1 (tools/gen_golden_traces). Re-capturing must reproduce those
+// files byte for byte: a mismatch means a workload generator or the
+// trace serialization changed, which silently shifts every number in
+// the paper's tables. If the change was intentional, regenerate with
+// `./build/tools/gen_golden_traces tests/data` and commit the files.
+
+constexpr std::uint64_t golden_insts = 1000;
+constexpr std::uint64_t golden_seed = 1;
+
+std::string
+goldenPath(const std::string &kernel)
+{
+    return std::string(LBIC_TEST_DATA_DIR) + "/" + kernel + ".trace";
+}
+
+TEST(GoldenTraceTest, EveryKernelRegeneratesByteIdentical)
+{
+    for (const std::string &kernel : allKernels()) {
+        std::ifstream is(goldenPath(kernel), std::ios::binary);
+        ASSERT_TRUE(is) << "missing golden trace for " << kernel
+                        << " (run ./build/tools/gen_golden_traces "
+                           "tests/data)";
+        std::ostringstream golden;
+        golden << is.rdbuf();
+
+        auto src = makeWorkload(kernel, golden_seed);
+        std::stringstream fresh;
+        const auto n =
+            TraceWriter::capture(*src, fresh, golden_insts);
+        ASSERT_EQ(n, golden_insts) << kernel;
+        EXPECT_EQ(fresh.str(), golden.str())
+            << kernel << ": regenerated trace differs from the "
+            << "committed golden prefix";
+    }
+}
+
+TEST(GoldenTraceTest, GoldenFilesReplayAsTheLiveKernel)
+{
+    for (const std::string &kernel : allKernels()) {
+        std::ifstream is(goldenPath(kernel), std::ios::binary);
+        ASSERT_TRUE(is) << "missing golden trace for " << kernel;
+        TraceReplayWorkload replay(is);
+        ASSERT_EQ(replay.size(), golden_insts) << kernel;
+
+        auto live = makeWorkload(kernel, golden_seed);
+        DynInst want, got;
+        for (std::uint64_t i = 0; i < golden_insts; ++i) {
+            ASSERT_TRUE(live->next(want)) << kernel << " @" << i;
+            ASSERT_TRUE(replay.next(got)) << kernel << " @" << i;
+            ASSERT_EQ(got.op, want.op) << kernel << " @" << i;
+            ASSERT_EQ(got.addr, want.addr) << kernel << " @" << i;
+            ASSERT_EQ(got.size, want.size) << kernel << " @" << i;
+        }
+    }
 }
 
 TEST(TraceTest, WriterCountsRecords)

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerate the golden trace prefixes committed under tests/data/.
+ *
+ * Each kernel workload is deterministic (name + seed reproduce the
+ * stream), so a committed prefix of its trace pins the reference
+ * stream across refactors: the trace-replay regression suite captures
+ * the first 1000 instructions of every kernel at seed 1 and compares
+ * byte-for-byte against these files. If a workload generator changes
+ * intentionally, rerun this tool and commit the new files together
+ * with the change that motivated them.
+ *
+ * Usage: gen_golden_traces <output-dir>
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "workload/registry.hh"
+#include "workload/trace.hh"
+
+namespace
+{
+
+constexpr std::uint64_t golden_insts = 1000;
+constexpr std::uint64_t golden_seed = 1;
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: gen_golden_traces <output-dir>\n";
+        return 2;
+    }
+    const std::string dir = argv[1];
+    for (const std::string &name : lbic::allKernels()) {
+        const auto workload = lbic::makeWorkload(name, golden_seed);
+        const std::string path = dir + "/" + name + ".trace";
+        std::ofstream os(path, std::ios::binary);
+        if (!os) {
+            std::cerr << "cannot open " << path << " for writing\n";
+            return 1;
+        }
+        const std::uint64_t n =
+            lbic::TraceWriter::capture(*workload, os, golden_insts);
+        os.flush();
+        if (!os) {
+            std::cerr << "write to " << path << " failed\n";
+            return 1;
+        }
+        std::cout << path << ": " << n << " records\n";
+    }
+    return 0;
+}
