@@ -120,16 +120,26 @@ runSampledCells(const BenchArgs &args, const SampleArgs &sargs,
     SampledOutput out;
     out.cells.resize(cells.size());
 
+    // trace=DIR applies to the whole sampled pipeline: profiling,
+    // checkpoint capture and the interval runs below all replay the
+    // pre-generated stream instead of re-running the generator.
+    std::vector<SweepJob> replayed;
+    const std::vector<SweepJob> *grid = &cells;
+    if (!args.trace_dir.empty()) {
+        replayed = cells;
+        applyReplayTraces(args, replayed);
+        grid = &replayed;
+    }
+
     // Phase 1 (serial, cheap): per distinct workload, profile the
     // stream, select intervals and capture the shared checkpoints
     // with one incremental fast-forward pass.
     std::map<std::string, std::vector<sample::Checkpoint>> ckpts;
-    for (const SweepJob &cell : cells) {
+    for (const SweepJob &cell : *grid) {
         const std::string &w = cell.config.workload;
         if (out.plans.count(w))
             continue;
-        out.plans[w] =
-            sample::makePlan(w, cell.config.seed, sargs.cfg);
+        out.plans[w] = sample::makePlan(cell.config, sargs.cfg);
         ckpts[w] = sample::makeCheckpoints(cell.config, out.plans[w]);
     }
 
@@ -139,7 +149,7 @@ runSampledCells(const BenchArgs &args, const SampleArgs &sargs,
     std::vector<std::size_t> first_job(cells.size(), 0);
     std::vector<std::size_t> full_job(cells.size(), 0);
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        const SweepJob &cell = cells[i];
+        const SweepJob &cell = (*grid)[i];
         const sample::SamplingPlan &plan =
             out.plans[cell.config.workload];
         std::vector<SweepJob> jobs = sample::buildJobs(

@@ -63,15 +63,19 @@
 #ifndef LBIC_BENCH_BENCH_UTIL_HH
 #define LBIC_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "sim/sweep.hh"
+#include "workload/replay.hh"
 
 // Injected by the build system (see the root CMakeLists); the fallback
 // keeps non-CMake compiles (IDEs, tooling) working.
@@ -99,6 +103,17 @@ struct BenchArgs
     unsigned retries = 1;     //!< retries for transient job failures
     bool json = false;        //!< emit JSON instead of tables
     bool progress = false;    //!< stderr progress line during sweeps
+
+    /**
+     * `trace=DIR`: replay-backed sweeps. Before running, each distinct
+     * (workload, seed) in the grid gets a binary trace pre-generated
+     * into DIR (reusing a file from an earlier sweep when it is long
+     * enough), and every job replays it instead of re-running the
+     * generator. Results are identical to generator mode; the
+     * generator cost is paid once per sweep instead of once per job.
+     * Empty (the default) runs generators.
+     */
+    std::string trace_dir;
 
     /** Base SimConfig carrying the shared seed. */
     SimConfig
@@ -152,6 +167,7 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
     args.json = json_flag || args.config.getBool("json", false);
     args.progress =
         progress_flag || args.config.getBool("progress", false);
+    args.trace_dir = args.config.getString("trace", "");
 
     if (args.config.getBool("quiet", false))
         setLogLevel(LogLevel::Quiet);
@@ -169,6 +185,52 @@ struct SweepOutput
 };
 
 /**
+ * Implement the `trace=DIR` knob: pre-generate one binary trace per
+ * distinct (workload, seed) in @p jobs -- sized for the longest run
+ * that will replay it -- and point each job's config at it. Jobs that
+ * already replay (config.replay_trace set, or a "trace:<path>"
+ * workload spec) are left alone. No-op when args.trace_dir is empty.
+ *
+ * Existing files are reused when long enough, so consecutive sweeps
+ * over the same grid (or a widening one) only pay generation once.
+ */
+inline void
+applyReplayTraces(const BenchArgs &args, std::vector<SweepJob> &jobs)
+{
+    if (args.trace_dir.empty())
+        return;
+    // Longest requirement per (workload, seed) across the grid.
+    std::map<std::pair<std::string, std::uint64_t>, std::uint64_t>
+        needed;
+    for (const SweepJob &job : jobs) {
+        const SimConfig &cfg = job.config;
+        if (!cfg.replay_trace.empty()
+            || cfg.workload.rfind("trace:", 0) == 0) {
+            continue;
+        }
+        auto &n = needed[{cfg.workload, cfg.seed}];
+        n = std::max(n, cfg.replayRecordsNeeded());
+    }
+    std::map<std::pair<std::string, std::uint64_t>, std::string>
+        paths;
+    for (const auto &kv : needed) {
+        const std::string path = args.trace_dir + "/" + kv.first.first
+            + "_s" + std::to_string(kv.first.second) + ".trace";
+        ensureTraceFile(path, kv.first.first, kv.first.second,
+                        kv.second);
+        paths[kv.first] = path;
+    }
+    for (SweepJob &job : jobs) {
+        SimConfig &cfg = job.config;
+        if (!cfg.replay_trace.empty()
+            || cfg.workload.rfind("trace:", 0) == 0) {
+            continue;
+        }
+        cfg.replay_trace = paths.at({cfg.workload, cfg.seed});
+    }
+}
+
+/**
  * Run @p jobs on the pool selected by @p args, timing the sweep.
  *
  * With `progress=1` (or `--progress`) a single stderr status line is
@@ -182,6 +244,17 @@ struct SweepOutput
 inline SweepOutput
 runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
 {
+    // trace=DIR: swap every job onto a pre-generated replay trace.
+    // The copy leaves the caller's jobs (used for labels and JSON
+    // metadata) untouched; results stay index-aligned either way.
+    if (!args.trace_dir.empty()) {
+        std::vector<SweepJob> replayed = jobs;
+        applyReplayTraces(args, replayed);
+        BenchArgs generators = args;
+        generators.trace_dir.clear();
+        return runJobs(generators, replayed);
+    }
+
     SweepOutput out;
     SweepRunner runner(args.jobs);
     out.jobs_used = runner.numThreads();

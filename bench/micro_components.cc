@@ -7,16 +7,21 @@
  * simulated instruction), not the paper's results.
  */
 
+#include <filesystem>
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
 #include "cacheport/banked.hh"
 #include "cacheport/ideal.hh"
 #include "cacheport/lbic.hh"
 #include "common/random.hh"
+#include "cpu/core.hh"
 #include "memory/hierarchy.hh"
 #include "memory/tag_store.hh"
 #include "sim/simulator.hh"
 #include "workload/registry.hh"
+#include "workload/replay.hh"
 
 namespace
 {
@@ -144,6 +149,187 @@ BM_EndToEndSimulation(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndReplay(benchmark::State &state)
+{
+    // BM_EndToEndSimulation with the workload generator replaced by a
+    // trace replay, per kernel: the tick loop consumes pre-decoded
+    // records through the span fetch path, so this measures the
+    // simulator core alone. The trace is written once per process and
+    // the decoded records are shared via the process-wide cache, so
+    // setup cost does not pollute the timed region.
+    const std::string kernel =
+        allKernels()[static_cast<std::size_t>(state.range(0))];
+    SimConfig cfg;
+    cfg.workload = kernel;
+    cfg.port_spec = "lbic:4x2";
+    cfg.max_insts = 20000;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "lbic_bench_traces";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / (kernel + ".bin")).string();
+    ensureTraceFile(path, kernel, cfg.seed, cfg.replayRecordsNeeded());
+    cfg.replay_trace = path;
+    loadTraceFile(path); // prime the cache outside the timed region
+    std::uint64_t total_cycles = 0;
+    for (auto _ : state) {
+        Simulator sim(cfg);
+        const RunResult r = sim.run();
+        total_cycles += r.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(kernel);
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(cfg.max_insts));
+    state.counters["cycles_per_second"] = benchmark::Counter(
+        static_cast<double>(total_cycles),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndReplay)->DenseRange(0, 9)
+    ->Unit(benchmark::kMillisecond);
+
+/*
+ * Tick-loop stage microbenchmarks: run a real Core over an in-memory
+ * instruction vector shaped so one pipeline stage dominates the
+ * profile. Unlike the schedulerBench-style component benchmarks above,
+ * these exercise the stages' actual code paths (SoA window, dep arena,
+ * forwarding index) rather than isolated data structures.
+ */
+
+using Program = std::shared_ptr<const std::vector<DynInst>>;
+
+std::uint64_t
+runProgram(const Program &prog)
+{
+    stats::StatGroup root;
+    MemoryHierarchy mem(HierarchyConfig{}, &root);
+    LbicConfig lcfg;
+    lcfg.banks = 4;
+    lcfg.line_ports = 2;
+    Lbic sched(&root, lcfg);
+    ReplayWorkload w("tickloop", prog);
+    Core core(CoreConfig{}, w, mem, sched, &root);
+    return core.run(prog->size()).cycles;
+}
+
+void
+stageBench(benchmark::State &state, const Program &prog)
+{
+    std::uint64_t total_cycles = 0;
+    for (auto _ : state)
+        total_cycles += runProgram(prog);
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(prog->size()));
+    state.counters["cycles_per_second"] = benchmark::Counter(
+        static_cast<double>(total_cycles),
+        benchmark::Counter::kIsRate);
+}
+
+constexpr std::size_t stage_prog_insts = 1 << 15;
+
+void
+BM_TickLoopWakeup(benchmark::State &state)
+{
+    // Fan-out dependence groups: one IntMult producer, seven IntAlu
+    // consumers waiting on it. Every producer completion walks a
+    // seven-entry dependent list in the wakeup arena.
+    static const Program prog = [] {
+        auto v = std::make_shared<std::vector<DynInst>>();
+        RegId next = 0;
+        while (v->size() < stage_prog_insts) {
+            DynInst p;
+            p.op = OpClass::IntMult;
+            p.dst = next++;
+            v->push_back(p);
+            for (int i = 0; i < 7; ++i) {
+                DynInst c;
+                c.op = OpClass::IntAlu;
+                c.dst = next++;
+                c.src = {p.dst, invalid_reg};
+                v->push_back(c);
+            }
+        }
+        return v;
+    }();
+    stageBench(state, prog);
+}
+BENCHMARK(BM_TickLoopWakeup)->Unit(benchmark::kMillisecond);
+
+void
+BM_TickLoopSelect(benchmark::State &state)
+{
+    // Independent loads striding whole lines: the fetch stage keeps
+    // the memory request window saturated, so every cycle presents a
+    // full window to Lbic::doSelect and the per-request combining scan
+    // dominates.
+    static const Program prog = [] {
+        auto v = std::make_shared<std::vector<DynInst>>();
+        RegId next = 0;
+        for (std::size_t i = 0; i < stage_prog_insts; ++i) {
+            DynInst l;
+            l.op = OpClass::Load;
+            l.dst = next++;
+            l.addr = (Addr{i} * 32) & ((Addr{1} << 18) - 1);
+            l.size = 8;
+            v->push_back(l);
+        }
+        return v;
+    }();
+    stageBench(state, prog);
+}
+BENCHMARK(BM_TickLoopSelect)->Unit(benchmark::kMillisecond);
+
+void
+BM_TickLoopForwardIndex(benchmark::State &state)
+{
+    // Store/load pairs to the same address over a rotating working
+    // set: every load probes the store-forwarding index and hits a
+    // matching older store.
+    static const Program prog = [] {
+        auto v = std::make_shared<std::vector<DynInst>>();
+        RegId next = 0;
+        std::size_t i = 0;
+        while (v->size() < stage_prog_insts) {
+            const Addr a = (Addr{i++} * 8) & ((Addr{1} << 12) - 1);
+            DynInst s;
+            s.op = OpClass::Store;
+            s.addr = a;
+            s.size = 8;
+            v->push_back(s);
+            DynInst l;
+            l.op = OpClass::Load;
+            l.dst = next++;
+            l.addr = a;
+            l.size = 8;
+            v->push_back(l);
+        }
+        return v;
+    }();
+    stageBench(state, prog);
+}
+BENCHMARK(BM_TickLoopForwardIndex)->Unit(benchmark::kMillisecond);
+
+void
+BM_TickLoopCommit(benchmark::State &state)
+{
+    // Independent single-cycle ALU ops: nothing stalls, so dispatch,
+    // issue and commit all run at full machine width and the
+    // per-instruction bookkeeping (rename, ROB retire) dominates.
+    static const Program prog = [] {
+        auto v = std::make_shared<std::vector<DynInst>>();
+        RegId next = 0;
+        for (std::size_t i = 0; i < stage_prog_insts; ++i) {
+            DynInst a;
+            a.op = OpClass::IntAlu;
+            a.dst = next++;
+            v->push_back(a);
+        }
+        return v;
+    }();
+    stageBench(state, prog);
+}
+BENCHMARK(BM_TickLoopCommit)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

@@ -60,6 +60,43 @@ selectBank(Addr addr, unsigned nbanks, unsigned line_bits,
     return 0;
 }
 
+/**
+ * selectBank() with the per-call setup (floorLog2, function dispatch)
+ * hoisted: build once per cache geometry, then map addresses. The
+ * per-cycle selection scans call this instead of selectBank() so bit
+ * selection reduces to a shift and a mask per request.
+ */
+class BankSelector
+{
+  public:
+    BankSelector(unsigned nbanks, unsigned line_bits, BankSelectFn fn)
+        : line_bits_(line_bits),
+          bank_bits_(nbanks > 1 ? floorLog2(nbanks) : 0),
+          mask_(nbanks - 1),
+          xor_fold_(fn == BankSelectFn::XorFold)
+    {
+    }
+
+    /** Bank of the line-sized block @p line (an addr >> line_bits). */
+    unsigned
+    mapLine(Addr line) const
+    {
+        const Addr folded = xor_fold_
+            ? line ^ (line >> bank_bits_) ^ (line >> (2 * bank_bits_))
+            : line;
+        return static_cast<unsigned>(folded & mask_);
+    }
+
+    /** Bank of byte address @p addr; equals selectBank(). */
+    unsigned map(Addr addr) const { return mapLine(addr >> line_bits_); }
+
+  private:
+    unsigned line_bits_;
+    unsigned bank_bits_;
+    Addr mask_;
+    bool xor_fold_;
+};
+
 /** Parse a selection-function name ("bit" or "xor"); fatal otherwise. */
 BankSelectFn parseBankSelectFn(const std::string &name);
 

@@ -18,6 +18,7 @@ Lbic::Lbic(stats::StatGroup *parent, const LbicConfig &config)
                         + std::to_string(config.line_ports),
                     config.banks),
       config_(config),
+      selector_(config.banks, config.line_bits, config.select_fn),
       banks_(config.banks),
       combined_accesses(&group_, "combined_accesses",
                         "accesses granted by combining with a leading "
@@ -75,13 +76,132 @@ Lbic::doSelect(const std::vector<MemRequest> &requests,
                         + bank];
     };
 
+    // The paper-default configuration (LeadingRequest policy, no event
+    // tracer attached) takes a lean copy of the scan below: same
+    // classification per request, but per-request denial causes go to
+    // integer tallies, the conflict scalars accumulate in locals
+    // flushed once after the scan, and the tracer hooks are compiled
+    // out. The scan visits every ready request every cycle (the
+    // window stays full under memory pressure), so these constants
+    // dominate end-to-end simulator throughput.
+    if (!tracer_
+        && config_.lead_policy == LbicLeadPolicy::LeadingRequest) {
+        const unsigned nbanks = config_.banks;
+        const unsigned line_bits = config_.line_bits;
+        const unsigned line_ports = config_.line_ports;
+        const std::size_t sq_depth = config_.store_queue_depth;
+        const BankSelector sel = selector_;
+        std::uint64_t *const tally_rows = reject_tally_.data();
+        std::uint64_t *const beyond_row = tally_rows
+            + static_cast<unsigned>(RejectCause::BeyondWindow) * nbanks;
+        std::uint64_t *const miss_row = tally_rows
+            + static_cast<unsigned>(RejectCause::LineBufferMiss)
+                  * nbanks;
+        std::uint64_t *const busy_row = tally_rows
+            + static_cast<unsigned>(RejectCause::AllPortsBusy) * nbanks;
+        std::uint64_t *const sqfull_row = tally_rows
+            + static_cast<unsigned>(RejectCause::StoreQueueFull)
+                  * nbanks;
+        std::uint64_t diff_line = 0, ports_exhausted = 0;
+        std::uint64_t sq_full = 0, combined = 0, store_direct = 0;
+
+        // Lead-window prefix: leading requests can still claim banks,
+        // so every classification outcome is possible. At most
+        // `banks` iterations.
+        for (std::size_t i = 0; i < lead_window; ++i) {
+            const MemRequest &req = requests[i];
+            const Addr line = req.addr >> line_bits;
+            const unsigned bi = sel.mapLine(line);
+            Bank &bank = banks_[bi];
+            if (bank.line_op) {
+                if (bank.line != line) {
+                    ++miss_row[bi];
+                    ++diff_line;
+                } else if (bank.ports_used >= line_ports) {
+                    ++ports_exhausted;
+                    ++busy_row[bi];
+                } else if (req.is_store
+                           && bank.store_queue.size() >= sq_depth) {
+                    ++sq_full;
+                    ++sqfull_row[bi];
+                } else {
+                    ++bank.ports_used;
+                    if (req.is_store)
+                        bank.store_queue.push_back(line);
+                    ++combined;
+                    accepted.push_back(i);
+                }
+            } else {
+                bank.line_op = true;
+                bank.line = line;
+                bank.ports_used = 1;
+                if (req.is_store) {
+                    if (bank.store_queue.size() < sq_depth)
+                        bank.store_queue.push_back(line);
+                    else
+                        ++store_direct;
+                }
+                accepted.push_back(i);
+            }
+        }
+
+        // Beyond-window tail: the bulk of a saturated scan. Leading is
+        // impossible here and only the (rare) combine has side
+        // effects, so the three reject causes reduce to two
+        // conditional moves and one unconditional tally increment --
+        // no data-dependent branches for the predictor to miss.
+        for (std::size_t i = lead_window; i < requests.size(); ++i) {
+            const MemRequest &req = requests[i];
+            const Addr line = req.addr >> line_bits;
+            const unsigned bi = sel.mapLine(line);
+            Bank &bank = banks_[bi];
+            const bool has_op = bank.line_op;
+            const bool match = has_op & (bank.line == line);
+            const bool free_port = bank.ports_used < line_ports;
+            if (match & free_port) {
+                if (req.is_store
+                    && bank.store_queue.size() >= sq_depth) {
+                    ++sq_full;
+                    ++sqfull_row[bi];
+                } else {
+                    ++bank.ports_used;
+                    if (req.is_store)
+                        bank.store_queue.push_back(line);
+                    ++combined;
+                    accepted.push_back(i);
+                }
+            } else {
+                // !has_op -> BeyondWindow; stale line -> LineBufferMiss;
+                // same line, ports gone -> AllPortsBusy.
+                std::uint64_t *row =
+                    has_op ? (match ? busy_row : miss_row)
+                           : beyond_row;
+                ++row[bi];
+                ports_exhausted += match;
+            }
+        }
+
+        conflicts_diff_line += static_cast<double>(diff_line);
+        conflicts_ports_exhausted +=
+            static_cast<double>(ports_exhausted);
+        store_queue_full += static_cast<double>(sq_full);
+        combined_accesses += static_cast<double>(combined);
+        store_direct_writes += static_cast<double>(store_direct);
+
+        for (unsigned c = 0; c < num_reject_causes; ++c) {
+            for (unsigned b = 0; b < nbanks; ++b) {
+                recordRejects(static_cast<RejectCause>(c), b,
+                              reject_tally_[c * nbanks + b]);
+            }
+        }
+        return;
+    }
+
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const MemRequest &req = requests[i];
-        const unsigned bi = selectBank(req.addr, config_.banks,
-                                       config_.line_bits,
-                                       config_.select_fn);
-        Bank &bank = banks_[bi];
         const Addr line = req.addr >> config_.line_bits;
+        const unsigned bi = selector_.mapLine(line);
+        Bank &bank = banks_[bi];
 
         if (!bank.line_op) {
             if (config_.lead_policy == LbicLeadPolicy::LargestGroup) {
@@ -181,10 +301,8 @@ Lbic::preselectLargestGroups(const std::vector<MemRequest> &requests)
     // always win eventually as competitors drain).
     group_size_scratch_.clear();
     for (const MemRequest &req : requests) {
-        const unsigned bi = selectBank(req.addr, config_.banks,
-                                       config_.line_bits,
-                                       config_.select_fn);
         const Addr line = req.addr >> config_.line_bits;
+        const unsigned bi = selector_.mapLine(line);
         ++group_size_scratch_[(Addr{bi} << 48) | line];
     }
     for (Bank &b : banks_)
@@ -192,10 +310,8 @@ Lbic::preselectLargestGroups(const std::vector<MemRequest> &requests)
     best_group_scratch_.assign(banks_.size(), 0);
     std::vector<unsigned> &best = best_group_scratch_;
     for (const MemRequest &req : requests) {
-        const unsigned bi = selectBank(req.addr, config_.banks,
-                                       config_.line_bits,
-                                       config_.select_fn);
         const Addr line = req.addr >> config_.line_bits;
+        const unsigned bi = selector_.mapLine(line);
         const unsigned count =
             group_size_scratch_[(Addr{bi} << 48) | line];
         // Strict > keeps the tie with the older line (requests are

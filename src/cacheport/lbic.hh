@@ -119,6 +119,10 @@ class Lbic : public PortScheduler
     void preselectLargestGroups(const std::vector<MemRequest> &requests);
 
     LbicConfig config_;
+
+    /** Precomputed bank mapping for the per-cycle selection scans. */
+    BankSelector selector_;
+
     std::vector<Bank> banks_;
 
     /** Per-select scratch, reused so selection never allocates. */

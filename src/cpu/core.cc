@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/sim_error.hh"
 
@@ -14,7 +15,6 @@ Core::Core(const CoreConfig &config, Workload &workload,
            stats::StatGroup *parent)
     : config_(config), workload_(&workload), hierarchy_(hierarchy),
       scheduler_(scheduler),
-      ruu_(config.ruu_size),
       wheel_(wheel_size),
       fus_(config.int_alu_units, config.int_mult_div_units,
            config.fp_add_units, config.fp_mult_div_units),
@@ -45,9 +45,24 @@ Core::Core(const CoreConfig &config, Workload &workload,
     lbic_assert(config_.lsq_size <= config_.ruu_size,
                 "LSQ larger than the RUU window");
 
+    pool_.allocate(config_.ruu_size);
+    slot_mask_ = isPowerOf2(config_.ruu_size)
+                     ? config_.ruu_size - 1 : 0;
+
+    // The producer ring must span at least the window in registers so
+    // two in-flight producers never collide (see bindProducer); twice
+    // that, rounded to a power of two, leaves slack.
+    std::size_t ring = 1;
+    while (ring < 2 * static_cast<std::size_t>(config_.ruu_size))
+        ring <<= 1;
+    prod_ring_.assign(ring, ProdBind{});
+    prod_mask_ = static_cast<RegId>(ring - 1);
+
     // Pre-size the per-cycle structures: occupancy is bounded by the
-    // window configuration, so the tick loop never reallocates.
-    producers_.reserve(2 * config_.ruu_size);
+    // window configuration, so the tick loop never reallocates. Each
+    // in-flight instruction holds at most two register edges plus one
+    // parked-load edge.
+    dep_nodes_.reserve(3 * static_cast<std::size_t>(config_.ruu_size));
     stores_by_addr_.reserve(2 * config_.lsq_size);
     unknown_stores_.reserve(config_.lsq_size);
     cache_ready_loads_.reserve(config_.lsq_size);
@@ -72,10 +87,13 @@ void
 Core::setChecker(verify::GoldenChecker *checker)
 {
     checker_ = checker;
-    // Like the tracer's stamps, the service-record array is only paid
+    // Like the tracer's stamps, the service-record array -- and the
+    // cold full-DynInst copy the shadow compare needs -- is only paid
     // for when checking is on.
     if (checker_ && check_info_.size() != config_.ruu_size)
         check_info_.assign(config_.ruu_size, verify::CommitInfo{});
+    if (checker_ && pool_.inst.size() != config_.ruu_size)
+        pool_.inst.assign(config_.ruu_size, DynInst{});
 }
 
 void
@@ -142,14 +160,14 @@ Core::faultDefersStoreDrain(InstSeq seq)
 void
 Core::emitInstRecord(InstSeq seq)
 {
-    const RuuEntry &e = entry(seq);
+    const std::size_t sl = slot(seq);
     StageStamps &st = stamps(seq);
     trace::InstRecord rec;
     rec.seq = seq;
-    rec.op = e.inst.op;
-    rec.addr = e.inst.addr;
-    rec.is_mem = e.inst.isMem();
-    rec.is_store = e.inst.isStore();
+    rec.op = pool_.op[sl];
+    rec.addr = pool_.addr[sl];
+    rec.is_mem = isMemOp(pool_.op[sl]);
+    rec.is_store = pool_.op[sl] == OpClass::Store;
     rec.fetch = st.fetch;
     rec.dispatch = st.dispatch;
     rec.issue = st.issue;
@@ -157,7 +175,7 @@ Core::emitInstRecord(InstSeq seq)
     rec.writeback = st.writeback;
     rec.commit = cycle_;
     rec.note = st.note;
-    rec.slot = static_cast<std::uint32_t>(seq % config_.ruu_size);
+    rec.slot = static_cast<std::uint32_t>(sl);
     st = StageStamps{};
     tracer_->instRetired(rec);
 }
@@ -180,11 +198,11 @@ Core::indexStoreByAddr(InstSeq seq, Addr addr)
 void
 Core::trace(char stage, InstSeq seq, const char *detail)
 {
-    const RuuEntry &e = entry(seq);
+    const std::size_t sl = slot(seq);
     *trace_ << cycle_ << ": " << stage << ' ' << seq << ' '
-            << opClassName(e.inst.op);
-    if (e.inst.isMem())
-        *trace_ << " 0x" << std::hex << e.inst.addr << std::dec;
+            << opClassName(pool_.op[sl]);
+    if (isMemOp(pool_.op[sl]))
+        *trace_ << " 0x" << std::hex << pool_.addr[sl] << std::dec;
     if (*detail)
         *trace_ << ' ' << detail;
     *trace_ << '\n';
@@ -204,41 +222,54 @@ Core::scheduleCompletion(InstSeq seq, Cycle when)
 void
 Core::complete(InstSeq seq)
 {
-    RuuEntry &e = entry(seq);
-    lbic_assert(e.in_window, "completing a dead entry");
-    lbic_assert(!e.completed, "double completion of seq ", seq);
-    e.completed = true;
+    const std::size_t sl = slot(seq);
+    lbic_assert(pool_.flags[sl] & f_in_window,
+                "completing a dead entry");
+    lbic_assert(!(pool_.flags[sl] & f_completed),
+                "double completion of seq ", seq);
+    pool_.flags[sl] |= f_completed;
     if (tracer_)
         stamps(seq).writeback = cycle_;
-    for (const std::uint32_t token : e.dependents) {
-        RuuEntry &dep = ruu_[token >> 2];
+    std::int32_t node = pool_.dep_head[sl];
+    pool_.dep_head[sl] = -1;
+    while (node >= 0) {
+        DepNode &dn = dep_nodes_[static_cast<std::size_t>(node)];
+        const std::uint32_t token = dn.token;
+        const std::int32_t next = dn.next;
+        dn.next = dep_free_;
+        dep_free_ = node;
+        node = next;
+
+        const std::size_t dep_sl = token >> 2;
         const unsigned kind = token & 3u;
         if (kind == 2u) {
             // A load parked on this store's pending data: it can be
             // serviced now, so it rejoins the memory-issue scan.
-            cache_ready_loads_.insert(dep.inst.seq);
+            cache_ready_loads_.insert(pool_.seq[dep_sl]);
             continue;
         }
-        lbic_assert(dep.wait_count > 0, "dependent wait underflow");
-        if (--dep.wait_count == 0)
-            ready_q_.push(dep.inst.seq);
+        lbic_assert(pool_.wait_count[dep_sl] > 0,
+                    "dependent wait underflow");
+        if (--pool_.wait_count[dep_sl] == 0)
+            ready_q_.push(pool_.seq[dep_sl]);
         if (kind == 1u)
-            storeAddrKnown(dep.inst.seq);
+            storeAddrKnown(pool_.seq[dep_sl]);
     }
-    e.dependents.clear();
 }
 
 void
 Core::storeAddrKnown(InstSeq seq)
 {
-    RuuEntry &e = entry(seq);
-    lbic_assert(e.inst.isStore(), "addr-known on a non-store");
-    lbic_assert(!e.addr_known, "store address resolved twice");
-    e.addr_known = true;
+    const std::size_t sl = slot(seq);
+    lbic_assert(pool_.op[sl] == OpClass::Store,
+                "addr-known on a non-store");
+    lbic_assert(!(pool_.flags[sl] & f_addr_known),
+                "store address resolved twice");
+    pool_.flags[sl] |= f_addr_known;
     unknown_stores_.erase(seq);
     // Under perfect disambiguation the store was indexed at dispatch.
     if (config_.disambiguation == Disambiguation::Conservative)
-        indexStoreByAddr(seq, e.inst.addr);
+        indexStoreByAddr(seq, pool_.addr[sl]);
 }
 
 void
@@ -259,20 +290,22 @@ Core::issueStage()
     while (issued < config_.issue_width && !ready_q_.empty()) {
         const InstSeq seq = ready_q_.top();
         ready_q_.pop();
-        RuuEntry &e = entry(seq);
-        lbic_assert(e.in_window && !e.issued,
+        const std::size_t sl = slot(seq);
+        lbic_assert((pool_.flags[sl] & (f_in_window | f_issued))
+                        == f_in_window,
                     "ready queue holds a bad entry");
+        const OpClass op = pool_.op[sl];
 
-        if (e.inst.isMem()) {
+        if (isMemOp(op)) {
             // Address generation: the operation's address operands are
             // ready, so its effective address is now known.
-            e.issued = true;
+            pool_.flags[sl] |= f_issued;
             ++issued;
             if (trace_)
                 trace('I', seq);
             if (tracer_)
                 stamps(seq).issue = cycle_;
-            if (e.inst.isStore()) {
+            if (op == OpClass::Store) {
                 // All operands (address and data) are ready: the store
                 // can retire once it gets a cache port at commit. Its
                 // address became known when the address operand
@@ -284,7 +317,7 @@ Core::issueStage()
             continue;
         }
 
-        FuPool &pool = fus_.poolFor(e.inst.op);
+        FuPool &pool = fus_.poolFor(op);
         if (!pool.available(cycle_)) {
             // Structural hazard: retry next cycle without burning the
             // rest of this cycle's slots on the same entry.
@@ -292,14 +325,14 @@ Core::issueStage()
             ++issued;
             continue;
         }
-        pool.issue(cycle_, opIssueInterval(e.inst.op));
-        e.issued = true;
+        pool.issue(cycle_, opIssueInterval(op));
+        pool_.flags[sl] |= f_issued;
         ++issued;
         if (trace_)
             trace('I', seq);
         if (tracer_)
             stamps(seq).issue = cycle_;
-        scheduleCompletion(seq, cycle_ + opLatency(e.inst.op));
+        scheduleCompletion(seq, cycle_ + opLatency(op));
     }
 
     for (const InstSeq seq : retry_scratch_)
@@ -309,7 +342,7 @@ Core::issueStage()
 Core::ForwardState
 Core::checkForward(InstSeq load_seq)
 {
-    RuuEntry &load = entry(load_seq);
+    const std::size_t sl = slot(load_seq);
 
     // A load is only checked once every store older than it has a
     // known address (Perfect mode indexes all stores at dispatch; in
@@ -318,22 +351,26 @@ Core::checkForward(InstSeq load_seq)
     // store never changes while both stay in flight. Loads waiting on
     // a port are re-checked every cycle; caching the match replaces
     // the hash lookup with one array probe on those re-checks.
-    if (load.fwd_checked) {
-        if (load.fwd_none)
+    if (pool_.flags[sl] & f_fwd_checked) {
+        if (pool_.flags[sl] & f_fwd_none)
             return ForwardState::NoMatch;
-        const RuuEntry &st = ruu_[load.fwd_store % config_.ruu_size];
-        if (st.in_window && st.inst.seq == load.fwd_store)
-            return st.completed ? ForwardState::Forward
-                                : ForwardState::WaitData;
+        const InstSeq st_seq = pool_.fwd_store[sl];
+        const std::size_t st_sl = slot(st_seq);
+        if ((pool_.flags[st_sl] & f_in_window)
+            && pool_.seq[st_sl] == st_seq) {
+            return (pool_.flags[st_sl] & f_completed)
+                       ? ForwardState::Forward
+                       : ForwardState::WaitData;
+        }
         // The matched store committed before this load was serviced
         // (possible when the request window filled); recompute against
         // the stores still in flight.
     }
-    load.fwd_checked = true;
+    pool_.flags[sl] |= f_fwd_checked;
 
-    auto it = stores_by_addr_.find(load.inst.addr);
+    auto it = stores_by_addr_.find(pool_.addr[sl]);
     if (it == stores_by_addr_.end()) {
-        load.fwd_none = true;
+        pool_.flags[sl] |= f_fwd_none;
         return ForwardState::NoMatch;
     }
     // The youngest older store to this address supplies the data. All
@@ -344,16 +381,17 @@ Core::checkForward(InstSeq load_seq)
     const auto ub =
         std::upper_bound(stores.begin(), stores.end(), load_seq);
     if (ub == stores.begin()) {
-        load.fwd_none = true;
+        pool_.flags[sl] |= f_fwd_none;
         return ForwardState::NoMatch;
     }
     const InstSeq best = *(ub - 1);
-    load.fwd_none = false;
-    load.fwd_store = best;
+    pool_.flags[sl] &= static_cast<std::uint8_t>(~f_fwd_none);
+    pool_.fwd_store[sl] = best;
     // Zero-latency service needs the store's data; until the store's
     // operands resolve the load waits in the LSQ.
-    return entry(best).completed ? ForwardState::Forward
-                                 : ForwardState::WaitData;
+    return (pool_.flags[slot(best)] & f_completed)
+               ? ForwardState::Forward
+               : ForwardState::WaitData;
 }
 
 void
@@ -361,20 +399,27 @@ Core::markPendingStores()
 {
     // Stores write the cache at commit; a store becomes eligible for a
     // port once everything older than it has completed (it is in the
-    // contiguous completed prefix at the head of the window). Walking
-    // at most commit_width entries bounds the cost and matches how far
-    // commit could reach this cycle.
-    InstSeq seq = head_seq_;
-    unsigned walked = 0;
-    while (seq < tail_seq_ && walked < config_.commit_width) {
-        const RuuEntry &e = entry(seq);
-        if (!e.in_window || !e.completed)
+    // contiguous completed prefix at the head of the window). Only
+    // entries within commit_width of the head are scanned, matching
+    // how far commit could reach this cycle. The completed prefix is
+    // monotone and a marked store stays in pending_stores_ until its
+    // write is granted, so the scan resumes at store_scan_ instead of
+    // re-walking from the head every cycle.
+    InstSeq seq = std::max(store_scan_, head_seq_);
+    const InstSeq end = std::min<InstSeq>(
+        tail_seq_, head_seq_ + config_.commit_width);
+    while (seq < end) {
+        const std::size_t sl = slot(seq);
+        const std::uint8_t f = pool_.flags[sl];
+        if ((f & (f_in_window | f_completed))
+            != (f_in_window | f_completed)) {
             break;
-        if (e.inst.isStore() && !e.cache_granted)
+        }
+        if (pool_.op[sl] == OpClass::Store && !(f & f_granted))
             pending_stores_.insert(seq);
         ++seq;
-        ++walked;
     }
+    store_scan_ = seq;
 }
 
 void
@@ -397,14 +442,27 @@ Core::memIssueStage()
 
     auto store_it = pending_stores_.begin();
     auto load_it = cache_ready_loads_.begin();
+    const auto stores_end = pending_stores_.end();
+    const auto loads_end = cache_ready_loads_.end();
+    std::size_t slots = config_.mem_request_window;
+    InstSeq prev_seq = 0;
 
-    while (requests_scratch_.size() < config_.mem_request_window) {
-        const bool have_store = store_it != pending_stores_.end();
-        bool have_load = load_it != cache_ready_loads_.end()
-            && *load_it < load_barrier;
+    while (slots != 0) {
+        const bool have_store = store_it != stores_end;
+        bool have_load =
+            load_it != loads_end && *load_it < load_barrier;
 
         if (have_load) {
-            ForwardState fwd = checkForward(*load_it);
+            // Inline the cached no-match fast path: a load already
+            // checked against the in-flight stores and found no match
+            // stays matchless (see checkForward), and such loads
+            // dominate this scan when the request window is full.
+            const std::uint8_t lflags = pool_.flags[slot(*load_it)];
+            ForwardState fwd =
+                (lflags & (f_fwd_checked | f_fwd_none))
+                        == (f_fwd_checked | f_fwd_none)
+                    ? ForwardState::NoMatch
+                    : checkForward(*load_it);
             if (fwd == ForwardState::Forward && fault_active_
                 && faultDropsForward(*load_it)) {
                 // Injected bug: pretend no older store matched, so the
@@ -442,12 +500,20 @@ Core::memIssueStage()
             break;
         }
 
-        const RuuEntry &e = entry(seq);
+        // The scheduler contract: requests are offered oldest-first.
+        // Asserted here, where the merge has both values in hand,
+        // instead of with a second scan inside select().
+        lbic_assert(requests_scratch_.empty() || seq > prev_seq,
+                    "port scheduler requests not sorted by age");
+        prev_seq = seq;
+
+        const std::size_t sl = slot(seq);
         MemRequest req;
         req.seq = seq;
-        req.addr = e.inst.addr;
-        req.is_store = e.inst.isStore();
+        req.addr = pool_.addr[sl];
+        req.is_store = pool_.op[sl] == OpClass::Store;
         requests_scratch_.push_back(req);
+        --slots;
     }
 
     // Park data-waiting loads on their matched store as a kind-2
@@ -456,13 +522,15 @@ Core::memIssueStage()
     // in wakeup/issueStage, which precede this stage in tick()).
     for (const InstSeq seq : fwd_wait_scratch_) {
         cache_ready_loads_.erase(seq);
-        RuuEntry &load = entry(seq);
-        RuuEntry &st = entry(load.fwd_store);
-        lbic_assert(st.in_window && st.inst.seq == load.fwd_store
-                        && !st.completed,
+        const std::size_t load_sl = slot(seq);
+        const InstSeq st_seq = pool_.fwd_store[load_sl];
+        const std::size_t st_sl = slot(st_seq);
+        lbic_assert((pool_.flags[st_sl] & f_in_window)
+                        && pool_.seq[st_sl] == st_seq
+                        && !(pool_.flags[st_sl] & f_completed),
                     "parking a load on a dead store");
-        st.dependents.push_back(static_cast<std::uint32_t>(
-            (seq % config_.ruu_size) << 2 | 2u));
+        pushDep(st_sl,
+                static_cast<std::uint32_t>(load_sl << 2 | 2u));
     }
 
     // Forwarded loads complete with zero latency and never reach the
@@ -477,7 +545,7 @@ Core::memIssueStage()
         if (checker_) {
             verify::CommitInfo &ci = checkInfo(seq);
             ci.forwarded = true;
-            ci.src_store = entry(seq).fwd_store;
+            ci.src_store = pool_.fwd_store[slot(seq)];
         }
         complete(seq);
     }
@@ -493,7 +561,7 @@ Core::memIssueStage()
             if (faultSkipsStoreDrain(req.seq)) {
                 // Injected bug: the store retires as if drained but
                 // its write never reaches the cache.
-                entry(req.seq).cache_granted = true;
+                pool_.flags[slot(req.seq)] |= f_granted;
                 pending_stores_.erase(req.seq);
                 continue;
             }
@@ -521,7 +589,7 @@ Core::memIssueStage()
         if (checker_)
             checkInfo(req.seq).mem_cycle = cycle_;
         if (req.is_store) {
-            entry(req.seq).cache_granted = true;
+            pool_.flags[slot(req.seq)] |= f_granted;
             pending_stores_.erase(req.seq);
             ++stores_executed;
         } else {
@@ -541,23 +609,26 @@ Core::commitStage()
     unsigned done = 0;
     while (done < config_.commit_width && head_seq_ < tail_seq_
            && committed_count_ < commit_limit_) {
-        RuuEntry &e = entry(head_seq_);
-        if (!e.in_window || !e.completed)
+        const std::size_t sl = slot(head_seq_);
+        const std::uint8_t f = pool_.flags[sl];
+        if ((f & (f_in_window | f_completed))
+            != (f_in_window | f_completed)) {
             break;
-        if (e.inst.isStore() && !e.cache_granted)
+        }
+        const OpClass op = pool_.op[sl];
+        const bool is_store = op == OpClass::Store;
+        if (is_store && !(f & f_granted))
             break;
 
-        // Retire: release the producer binding and the LSQ slot.
-        if (e.inst.dst != invalid_reg) {
-            auto it = producers_.find(e.inst.dst);
-            if (it != producers_.end() && it->second == head_seq_)
-                producers_.erase(it);
-        }
-        if (e.inst.isMem()) {
+        // Retire: release the LSQ slot and, for stores, the
+        // forwarding-index entry. The producer ring needs no release:
+        // a binding to this entry dies with the in_window bit (see
+        // findLiveProducer).
+        if (isMemOp(op)) {
             lbic_assert(lsq_count_ > 0, "LSQ underflow");
             --lsq_count_;
-            if (e.inst.isStore()) {
-                auto it = stores_by_addr_.find(e.inst.addr);
+            if (is_store) {
+                auto it = stores_by_addr_.find(pool_.addr[sl]);
                 lbic_assert(it != stores_by_addr_.end(),
                             "committing store missing from the "
                             "forwarding index");
@@ -579,13 +650,14 @@ Core::commitStage()
         if (tracer_)
             emitInstRecord(head_seq_);
         if (checker_)
-            checker_->onCommit(e.inst, checkInfo(head_seq_), cycle_);
-        e.in_window = false;
+            checker_->onCommit(pool_.inst[sl], checkInfo(head_seq_),
+                               cycle_);
+        pool_.flags[sl] = f & static_cast<std::uint8_t>(~f_in_window);
         ++head_seq_;
         ++committed_count_;
-        ++committed;
         ++done;
     }
+    committed += static_cast<double>(done);
 
     // CPI-stack accounting: charge the unused commit slots (and, on a
     // zero-commit cycle, the cycle itself) to whatever is blocking the
@@ -619,23 +691,25 @@ Core::classifyHeadStall() const
     if (head_seq_ == tail_seq_)
         return observe::StallCause::FrontendDrained;
 
-    const RuuEntry &e = ruu_[head_seq_ % config_.ruu_size];
+    const std::size_t sl = slot(head_seq_);
+    const std::uint8_t f = pool_.flags[sl];
 
     // Not yet issued: either operands are outstanding (a true data
     // dependence) or the head is ready but lost the structural race
     // for a functional unit / issue slot.
-    if (!e.issued) {
-        return e.wait_count > 0 ? observe::StallCause::DataDependency
-                                : observe::StallCause::FuBusy;
+    if (!(f & f_issued)) {
+        return pool_.wait_count[sl] > 0
+                   ? observe::StallCause::DataDependency
+                   : observe::StallCause::FuBusy;
     }
 
     // Completed but uncommittable: the commit loop only refuses a
     // completed head when it is a store still waiting for its cache
     // write grant.
-    if (e.completed)
+    if (f & f_completed)
         return observe::StallCause::CachePortStore;
 
-    if (e.inst.isLoad()) {
+    if (pool_.op[sl] == OpClass::Load) {
         // An issued, uncompleted head load is either still asking the
         // port scheduler for a grant (it sits in cache_ready_loads_,
         // and being the oldest it must be at the set's front) or its
@@ -691,15 +765,17 @@ Core::dumpState(std::ostream &os) const
     const InstSeq limit =
         std::min<InstSeq>(tail_seq_, head_seq_ + 8);
     for (InstSeq seq = head_seq_; seq < limit; ++seq) {
-        const RuuEntry &e = ruu_[seq % config_.ruu_size];
-        os << "  seq " << seq << ' ' << opClassName(e.inst.op);
-        if (e.inst.isMem())
-            os << " @0x" << std::hex << e.inst.addr << std::dec;
-        os << (e.in_window ? "" : " DEAD") << " issued=" << e.issued
-           << " completed=" << e.completed
-           << " addr_known=" << e.addr_known
-           << " granted=" << e.cache_granted
-           << " wait=" << e.wait_count << '\n';
+        const std::size_t sl = slot(seq);
+        const std::uint8_t f = pool_.flags[sl];
+        os << "  seq " << seq << ' ' << opClassName(pool_.op[sl]);
+        if (isMemOp(pool_.op[sl]))
+            os << " @0x" << std::hex << pool_.addr[sl] << std::dec;
+        os << ((f & f_in_window) ? "" : " DEAD")
+           << " issued=" << ((f & f_issued) != 0)
+           << " completed=" << ((f & f_completed) != 0)
+           << " addr_known=" << ((f & f_addr_known) != 0)
+           << " granted=" << ((f & f_granted) != 0)
+           << " wait=" << pool_.wait_count[sl] << '\n';
     }
     if (tail_seq_ > limit)
         os << "  ... " << (tail_seq_ - limit) << " younger entries\n";
@@ -713,11 +789,11 @@ Core::registerInvariants(verify::InvariantAuditor &auditor)
 {
     auditor.add("core.occupancy", [this]() -> std::string {
         std::size_t in_window = 0, mem_in_window = 0;
-        for (const RuuEntry &e : ruu_) {
-            if (!e.in_window)
+        for (std::size_t sl = 0; sl < config_.ruu_size; ++sl) {
+            if (!(pool_.flags[sl] & f_in_window))
                 continue;
             ++in_window;
-            if (e.inst.isMem())
+            if (isMemOp(pool_.op[sl]))
                 ++mem_in_window;
         }
         if (in_window != tail_seq_ - head_seq_)
@@ -768,16 +844,21 @@ Core::registerInvariants(verify::InvariantAuditor &auditor)
                            + " outside the window ["
                            + std::to_string(head_seq_) + ", "
                            + std::to_string(tail_seq_) + ")";
-                const RuuEntry &e = entry(seq);
-                if (!e.in_window)
+                const std::size_t sl = slot(seq);
+                if (!(pool_.flags[sl] & f_in_window))
                     return std::string(spec.name) + " holds dead seq "
                            + std::to_string(seq);
+                if (pool_.seq[sl] != seq)
+                    return std::string(spec.name) + " holds seq "
+                           + std::to_string(seq)
+                           + " but its slot is occupied by seq "
+                           + std::to_string(pool_.seq[sl]);
                 if (spec.set == &cache_ready_loads_
-                    && !e.inst.isLoad())
+                    && pool_.op[sl] != OpClass::Load)
                     return "cache_ready_loads holds non-load seq "
                            + std::to_string(seq);
                 if (spec.set != &cache_ready_loads_
-                    && !e.inst.isStore())
+                    && pool_.op[sl] != OpClass::Store)
                     return std::string(spec.name)
                            + " holds non-store seq "
                            + std::to_string(seq);
@@ -805,9 +886,11 @@ Core::registerInvariants(verify::InvariantAuditor &auditor)
                 if (seq < head_seq_ || seq >= tail_seq_)
                     return "forwarding index holds retired seq "
                            + std::to_string(seq);
-                const RuuEntry &e = entry(seq);
-                if (!e.in_window || !e.inst.isStore()
-                    || e.inst.addr != kv.first)
+                const std::size_t sl = slot(seq);
+                if (!(pool_.flags[sl] & f_in_window)
+                    || pool_.seq[sl] != seq
+                    || pool_.op[sl] != OpClass::Store
+                    || pool_.addr[sl] != kv.first)
                     return "forwarding entry seq "
                            + std::to_string(seq)
                            + " does not match a live store to addr "
@@ -850,7 +933,7 @@ Core::dispatchStage()
         }
 
         if (!staged_valid_) {
-            if (stream_ended_ || !workload_->next(staged_inst_)) {
+            if (stream_ended_ || !fetchStaged()) {
                 stream_ended_ = true;
                 cause = observe::DispatchCause::FrontendDrained;
                 break;
@@ -864,56 +947,51 @@ Core::dispatchStage()
         }
 
         const InstSeq seq = tail_seq_++;
-        RuuEntry &e = entry(seq);
-        lbic_assert(!e.in_window, "RUU slot still occupied");
-        e.inst = staged_inst_;
-        e.inst.seq = seq;
-        e.wait_count = 0;
-        e.in_window = true;
-        e.issued = false;
-        e.completed = false;
-        e.addr_known = false;
-        e.cache_granted = false;
-        e.fwd_checked = false;
-        e.fwd_none = false;
-        e.dependents.clear();
+        const std::size_t sl = slot(seq);
+        lbic_assert(!(pool_.flags[sl] & f_in_window),
+                    "RUU slot still occupied");
+        lbic_assert(pool_.dep_head[sl] < 0,
+                    "RUU slot retired with dependents");
+        pool_.seq[sl] = seq;
+        pool_.op[sl] = staged_inst_.op;
+        pool_.addr[sl] = staged_inst_.addr;
+        pool_.flags[sl] = f_in_window;
         staged_valid_ = false;
 
         // Resolve register dependences against in-flight producers.
         // For stores, src[0] is the address operand: resolving it
         // makes the store's effective address known to the LSQ even
         // while the data operand (src[1]) is still in flight.
+        const bool is_store = staged_inst_.op == OpClass::Store;
         bool addr_pending = false;
+        std::uint16_t waits = 0;
         for (unsigned k = 0; k < max_src_regs; ++k) {
-            const RegId src = e.inst.src[k];
+            const RegId src = staged_inst_.src[k];
             if (src == invalid_reg)
                 continue;
-            auto it = producers_.find(src);
-            if (it == producers_.end())
+            const InstSeq prod = findLiveProducer(src);
+            if (prod == no_producer)
                 continue;
-            RuuEntry &prod = entry(it->second);
-            if (prod.in_window && !prod.completed) {
-                const bool is_addr_edge = e.inst.isStore() && k == 0;
-                prod.dependents.push_back(static_cast<std::uint32_t>(
-                    (seq % config_.ruu_size) << 2 | is_addr_edge));
-                ++e.wait_count;
-                addr_pending = addr_pending || is_addr_edge;
-            }
+            const bool is_addr_edge = is_store && k == 0;
+            pushDep(slot(prod),
+                    static_cast<std::uint32_t>(sl << 2 | is_addr_edge));
+            ++waits;
+            addr_pending = addr_pending || is_addr_edge;
         }
-        if (e.inst.dst != invalid_reg)
-            producers_[e.inst.dst] = seq;
+        pool_.wait_count[sl] = waits;
+        if (staged_inst_.dst != invalid_reg)
+            bindProducer(staged_inst_.dst, seq);
 
-        if (e.inst.isMem()) {
+        if (staged_inst_.isMem()) {
             ++lsq_count_;
-            if (e.inst.isStore()) {
-                e.addr_known = false;
+            if (is_store) {
                 if (config_.disambiguation
                         == Disambiguation::Perfect) {
                     // Oracle: the store's address is visible to the
                     // LSQ disambiguator from dispatch.
-                    indexStoreByAddr(seq, e.inst.addr);
+                    indexStoreByAddr(seq, staged_inst_.addr);
                     if (!addr_pending)
-                        e.addr_known = true;
+                        pool_.flags[sl] |= f_addr_known;
                 } else {
                     unknown_stores_.insert(seq);
                     if (!addr_pending)
@@ -922,7 +1000,7 @@ Core::dispatchStage()
             }
         }
 
-        if (e.wait_count == 0)
+        if (waits == 0)
             ready_q_.push(seq);
         if (trace_)
             trace('D', seq);
@@ -932,12 +1010,41 @@ Core::dispatchStage()
             st.fetch = staged_fetch_cycle_;
             st.dispatch = cycle_;
         }
-        if (checker_)
+        if (checker_) {
+            pool_.inst[sl] = staged_inst_;
+            pool_.inst[sl].seq = seq;
             checkInfo(seq) = verify::CommitInfo{};
+        }
         ++fetched;
     }
 
+    // Retire the records consumed off the bulk span this cycle, so the
+    // workload's cursor is exact at every cycle boundary.
+    if (span_taken_ != 0) {
+        workload_->advanceSpan(span_taken_);
+        span_taken_ = 0;
+    }
+
     attribution_.dispatchCycle(fetched, cause);
+}
+
+bool
+Core::fetchStaged()
+{
+    if (span_left_ == 0 && span_probe_) {
+        workload_->advanceSpan(span_taken_);
+        span_taken_ = 0;
+        span_left_ = workload_->peekSpan(span_cursor_);
+        if (span_left_ == 0)
+            span_probe_ = false;
+    }
+    if (span_left_ != 0) {
+        staged_inst_ = *span_cursor_++;
+        --span_left_;
+        ++span_taken_;
+        return true;
+    }
+    return workload_->next(staged_inst_);
 }
 
 void
@@ -990,8 +1097,26 @@ Core::fastForward(std::uint64_t n)
                     && head_seq_ == tail_seq_ && !staged_valid_,
                 "fast-forward requires a pristine core");
     std::uint64_t done = 0;
-    DynInst inst;
     while (done < n) {
+        // Replay-backed workloads expose their records as a contiguous
+        // span, turning warm-up into a linear scan with no virtual
+        // call per instruction; generator workloads fall back to the
+        // one-at-a-time path below.
+        const DynInst *span = nullptr;
+        const std::size_t avail = workload_->peekSpan(span);
+        if (avail > 0) {
+            const std::uint64_t take =
+                std::min<std::uint64_t>(avail, n - done);
+            for (std::uint64_t i = 0; i < take; ++i) {
+                if (span[i].isMem())
+                    hierarchy_.warmAccess(span[i].addr,
+                                          span[i].isStore());
+            }
+            workload_->advanceSpan(static_cast<std::size_t>(take));
+            done += take;
+            continue;
+        }
+        DynInst inst;
         if (!workload_->next(inst)) {
             stream_ended_ = true;
             break;

@@ -302,34 +302,173 @@ class Core
     unsigned lsqOccupancy() const { return lsq_count_; }
 
   private:
-    /** One RUU/LSQ entry. */
-    struct RuuEntry
+    /** @{ @name Per-slot status flags (InstPool::flags bits) */
+    static constexpr std::uint8_t f_in_window = 1u << 0;
+    static constexpr std::uint8_t f_issued = 1u << 1;
+    static constexpr std::uint8_t f_completed = 1u << 2;
+    //! store: effective address known
+    static constexpr std::uint8_t f_addr_known = 1u << 3;
+    //! store: write access granted
+    static constexpr std::uint8_t f_granted = 1u << 4;
+    //! load: forwarding match cached
+    static constexpr std::uint8_t f_fwd_checked = 1u << 5;
+    //! load: cached "no older store"
+    static constexpr std::uint8_t f_fwd_none = 1u << 6;
+    /** @} */
+
+    /**
+     * The in-flight window in structure-of-arrays layout, one slot per
+     * RUU entry, indexed by slot(seq).
+     *
+     * The tick loop touches one or two fields of many entries per
+     * cycle (a flags probe here, an address compare there), so the
+     * hot state lives in parallel dense arrays instead of an
+     * array-of-structs: a 64-entry commit scan walks 64 contiguous
+     * flag bytes -- one cache line -- rather than 64 strided structs.
+     * Entries are named by index handles (seq -> slot), never by
+     * pointer; slot reuse is detected by re-validating pool.seq
+     * against the handle, so no stage may cache a pointer into the
+     * pool across a cycle.
+     *
+     * The full fetched DynInst (source registers and all) is only
+     * needed after dispatch by the golden checker's field-by-field
+     * shadow compare, so the cold copy is kept -- and paid for --
+     * only while a checker is attached (see setChecker()).
+     */
+    struct InstPool
     {
-        DynInst inst;
-        std::uint16_t wait_count = 0;
-        bool in_window = false;
-        bool issued = false;
-        bool completed = false;
-        bool addr_known = false;     //!< store: effective address known
-        bool cache_granted = false;  //!< store: write access granted
-        bool fwd_checked = false;    //!< load: forwarding match cached
-        bool fwd_none = false;       //!< load: cached "no older store"
-        InstSeq fwd_store = 0;       //!< load: matched store, if any
-        /**
-         * Waiting consumers, encoded as (ruu_index << 2) | kind.
-         * Kind 0 is a plain register edge. Kind 1 is a store's
-         * address-operand edge: when it resolves the store's address
-         * becomes known (LSQ rule) even though the store may still
-         * wait for its data. Kind 2 is a load parked on this store's
-         * pending data (ForwardState::WaitData): completion makes the
-         * load eligible for the memory-issue scan again.
-         */
-        std::vector<std::uint32_t> dependents;
+        std::vector<InstSeq> seq;        //!< occupant's sequence number
+        std::vector<OpClass> op;
+        std::vector<Addr> addr;
+        std::vector<std::uint8_t> flags; //!< f_* bits
+        std::vector<std::uint16_t> wait_count;
+        std::vector<InstSeq> fwd_store;  //!< load: matched store
+        std::vector<std::int32_t> dep_head; //!< dependent list head
+        std::vector<DynInst> inst;       //!< cold; checker only
+
+        void
+        allocate(std::size_t n)
+        {
+            seq.assign(n, 0);
+            op.assign(n, OpClass::Nop);
+            addr.assign(n, 0);
+            flags.assign(n, 0);
+            wait_count.assign(n, 0);
+            fwd_store.assign(n, 0);
+            dep_head.assign(n, -1);
+        }
     };
 
-    RuuEntry &entry(InstSeq seq)
+    /** RUU slot of @p seq (index handle into the pool arrays). */
+    std::size_t
+    slot(InstSeq seq) const
     {
-        return ruu_[seq % config_.ruu_size];
+        // ruu_size is a power of two in every shipped configuration;
+        // the mask keeps the hottest address computation in the tick
+        // loop division-free, with a modulo fallback for odd sizes.
+        return slot_mask_ ? static_cast<std::size_t>(seq) & slot_mask_
+                          : static_cast<std::size_t>(seq % config_.ruu_size);
+    }
+
+    /**
+     * Dependent-edge arena: the per-entry consumer lists live as
+     * singly linked chains of fixed nodes in one vector (freelist
+     * recycled), replacing a heap-allocated std::vector per RUU entry.
+     * Tokens encode (slot << 2) | kind; kind 0 is a plain register
+     * edge, kind 1 a store's address-operand edge (resolving it makes
+     * the store's address known to the LSQ even while the data operand
+     * is in flight), kind 2 a load parked on this store's pending data
+     * (ForwardState::WaitData). Walk order is immaterial: every wake
+     * target is an order-independent structure (a seq-keyed heap or
+     * sorted set), so chains are pushed and walked LIFO.
+     */
+    struct DepNode
+    {
+        std::uint32_t token;
+        std::int32_t next;
+    };
+
+    /** Append a dependent edge to @p producer_slot's chain. */
+    void
+    pushDep(std::size_t producer_slot, std::uint32_t token)
+    {
+        std::int32_t n = dep_free_;
+        if (n >= 0) {
+            dep_free_ = dep_nodes_[static_cast<std::size_t>(n)].next;
+        } else {
+            n = static_cast<std::int32_t>(dep_nodes_.size());
+            dep_nodes_.push_back(DepNode{});
+        }
+        DepNode &node = dep_nodes_[static_cast<std::size_t>(n)];
+        node.token = token;
+        node.next = pool_.dep_head[producer_slot];
+        pool_.dep_head[producer_slot] = n;
+    }
+
+    /** "No in-flight producer" sentinel for findLiveProducer(). */
+    static constexpr InstSeq no_producer = ~InstSeq{0};
+
+    /** One register->producer binding in the direct-mapped ring. */
+    struct ProdBind
+    {
+        RegId reg = invalid_reg;
+        InstSeq seq = 0;
+    };
+
+    /** Is @p pseq still in the window with its result outstanding? */
+    bool
+    producerLive(InstSeq pseq) const
+    {
+        const std::size_t sl = slot(pseq);
+        return pool_.seq[sl] == pseq
+               && (pool_.flags[sl] & (f_in_window | f_completed))
+                      == f_in_window;
+    }
+
+    /**
+     * Record @p seq as the in-flight producer of @p reg.
+     *
+     * The ring is direct-mapped by the low register bits. Workload
+     * emitters allocate SSA registers monotonically, so two in-window
+     * producers can never collide in a ring at least ruu_size wide
+     * (their register numbers differ by less than the window span);
+     * the overflow map only catches hand-built test streams with
+     * adversarial register numbering, keeping dependence resolution
+     * exact for every stream while the hot path stays one probe.
+     */
+    void
+    bindProducer(RegId reg, InstSeq seq)
+    {
+        ProdBind &b = prod_ring_[reg & prod_mask_];
+        if (b.reg != invalid_reg && b.reg != reg
+            && producerLive(b.seq)) {
+            producers_slow_[b.reg] = b.seq;
+        }
+        b.reg = reg;
+        b.seq = seq;
+    }
+
+    /**
+     * The in-flight, uncompleted producer of @p src, or no_producer.
+     * Stale bindings (producer completed, committed, or its slot
+     * reused) are detected by re-validating the index handle against
+     * the pool, so nothing needs erasing at commit.
+     */
+    InstSeq
+    findLiveProducer(RegId src)
+    {
+        const ProdBind &b = prod_ring_[src & prod_mask_];
+        if (b.reg == src)
+            return producerLive(b.seq) ? b.seq : no_producer;
+        if (!producers_slow_.empty()) {
+            const auto it = producers_slow_.find(src);
+            if (it != producers_slow_.end()) {
+                if (producerLive(it->second))
+                    return it->second;
+                producers_slow_.erase(it);
+            }
+        }
+        return no_producer;
     }
 
     /** @{ @name Pipeline stages, in per-cycle order */
@@ -339,6 +478,13 @@ class Core
     void commitStage();
     void dispatchStage();
     /** @} */
+
+    /**
+     * Pull the next instruction into staged_inst_, from the workload's
+     * bulk span when it offers one and through next() otherwise.
+     * Returns false when the stream is exhausted.
+     */
+    bool fetchStaged();
 
     /**
      * Classify what blocks the oldest instruction from committing
@@ -395,7 +541,7 @@ class Core
 
     StageStamps &stamps(InstSeq seq)
     {
-        return stamps_[seq % config_.ruu_size];
+        return stamps_[slot(seq)];
     }
 
     /** Publish the committing instruction's lifecycle record. */
@@ -408,7 +554,7 @@ class Core
     verify::CommitInfo &
     checkInfo(InstSeq seq)
     {
-        return check_info_[seq % config_.ruu_size];
+        return check_info_[slot(seq)];
     }
 
     verify::GoldenChecker *checker_ = nullptr;
@@ -450,13 +596,27 @@ class Core
     MemoryHierarchy &hierarchy_;
     PortScheduler &scheduler_;
 
-    std::vector<RuuEntry> ruu_;
+    InstPool pool_;
+    std::size_t slot_mask_ = 0;  //!< ruu_size - 1, or 0 if not a pow2
+    std::vector<DepNode> dep_nodes_;
+    std::int32_t dep_free_ = -1;
     InstSeq head_seq_ = 0;   //!< oldest in-window instruction
     InstSeq tail_seq_ = 0;   //!< next sequence number to allocate
     unsigned lsq_count_ = 0;
 
-    /** In-flight producer of each SSA register. */
-    std::unordered_map<RegId, InstSeq> producers_;
+    /**
+     * Resume cursor for markPendingStores(): every position in
+     * [head_seq_, store_scan_) has been scanned with its completed
+     * prefix intact, so its stores are already in pending_stores_
+     * (or were granted and erased). Completion of the committed
+     * prefix is monotone, so the scan never needs to revisit them.
+     */
+    InstSeq store_scan_ = 0;
+
+    /** In-flight producer of each SSA register (see bindProducer). */
+    std::vector<ProdBind> prod_ring_;
+    RegId prod_mask_ = 0;
+    std::unordered_map<RegId, InstSeq> producers_slow_;
 
     /** Operands-ready instructions awaiting an issue slot. */
     std::priority_queue<InstSeq, std::vector<InstSeq>,
@@ -504,6 +664,21 @@ class Core
     /** One-instruction fetch buffer (holds an inst the LSQ refused). */
     DynInst staged_inst_;
     bool staged_valid_ = false;
+
+    /**
+     * @{ @name Bulk-fetch cursor
+     * Replay-backed workloads expose their records as a contiguous
+     * span (Workload::peekSpan); dispatch reads records straight off
+     * it and retires the batch with one advanceSpan() per cycle,
+     * replacing a virtual next() call per instruction. span_probe_
+     * drops to false on the first empty peek so generator-backed
+     * workloads pay one probe per run, not one per fetch.
+     */
+    const DynInst *span_cursor_ = nullptr;
+    std::size_t span_left_ = 0;
+    std::size_t span_taken_ = 0;
+    bool span_probe_ = true;
+    /** @} */
 
     /** Scratch buffers reused across cycles. */
     std::vector<MemRequest> requests_scratch_;

@@ -34,6 +34,16 @@ makePlan(const std::string &name, std::uint64_t seed,
     return selectIntervals(sigs, cfg);
 }
 
+SamplingPlan
+makePlan(const SimConfig &base, const SamplingConfig &cfg)
+{
+    const std::unique_ptr<Workload> stream =
+        makeConfiguredWorkload(base);
+    const std::vector<IntervalSignature> sigs =
+        profileStream(*stream, cfg);
+    return selectIntervals(sigs, cfg);
+}
+
 std::vector<Checkpoint>
 makeCheckpoints(const SimConfig &base, const SamplingPlan &plan)
 {
@@ -61,7 +71,7 @@ makeCheckpoints(const SimConfig &base, const SamplingPlan &plan)
     const std::uint64_t margin =
         base.core.ruu_size + base.core.fetch_width + 8;
     const std::unique_ptr<Workload> rec =
-        makeWorkload(base.workload, base.seed);
+        makeConfiguredWorkload(base);
     std::uint64_t rec_pos = 0;        // next instruction rec yields
     std::uint64_t prev_begin = 0;     // previous window, for overlaps
 

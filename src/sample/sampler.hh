@@ -71,6 +71,15 @@ SamplingPlan makePlan(const std::string &name, std::uint64_t seed,
                       const SamplingConfig &cfg);
 
 /**
+ * Like makePlan(name, seed, cfg) but profiling the stream @p base
+ * describes -- the replay trace when base.replay_trace is set, the
+ * registry workload otherwise. The plan is identical either way (the
+ * streams are the same records); replay just skips regenerating them.
+ */
+SamplingPlan makePlan(const SimConfig &base,
+                      const SamplingConfig &cfg);
+
+/**
  * Fast-forward one Simulator built from @p base through the stream,
  * capturing a warmed checkpoint at each selected interval's detailed
  * start (interval start minus the warmup budget, clamped at 0).

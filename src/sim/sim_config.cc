@@ -32,6 +32,7 @@ SimConfig::applyOverrides(const Config &cfg)
         cfg.getU64("fetch_width", core.fetch_width));
     core.issue_width = static_cast<unsigned>(
         cfg.getU64("issue_width", core.issue_width));
+    replay_trace = cfg.getString("replay", replay_trace);
     trace_path = cfg.getString("trace", trace_path);
     trace_format = cfg.getString("trace_format", trace_format);
     interval = cfg.getU64("interval", interval);

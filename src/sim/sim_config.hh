@@ -62,6 +62,18 @@ struct SimConfig
      */
     std::uint64_t warmup_insts = 0;
 
+    /**
+     * Replay the workload's instruction stream from this binary trace
+     * file (workload/replay.hh) instead of running the generator.
+     * `workload` keeps naming the original kernel, so stats output and
+     * the golden checker are unaffected; the trace must hold at least
+     * ff_insts + max_insts plus an in-flight-window margin of records
+     * (checked at build time) so replay never ends a run early that
+     * the generator would have continued. Empty (the default) runs the
+     * generator.
+     */
+    std::string replay_trace;
+
     /** Event-trace output path; empty (the default) disables tracing. */
     std::string trace_path;
 
@@ -121,12 +133,28 @@ struct SimConfig
 
     /**
      * Apply `key=value` overrides from @p cfg. Recognized keys:
-     * workload, ports, insts, ff, warmup, seed, banksel, storeq,
-     * l1_size, l1_line, l1_assoc, lsq, ruu, fetch_width, issue_width,
-     * trace, trace_format, interval, interval_out, interval_stats,
-     * check, audit, audit_interval, watchdog, max_cycles, max_wall_ms.
+     * workload, ports, insts, ff, warmup, seed, replay, banksel,
+     * storeq, l1_size, l1_line, l1_assoc, lsq, ruu, fetch_width,
+     * issue_width, trace, trace_format, interval, interval_out,
+     * interval_stats, check, audit, audit_interval, watchdog,
+     * max_cycles, max_wall_ms, disambig.
      */
     void applyOverrides(const Config &cfg);
+
+    /**
+     * Records a replay trace must hold to stand in for the generator
+     * over this configuration's run: the fast-forwarded prefix, the
+     * committed instructions, and the deepest in-flight window the
+     * frontend can run ahead by. A shorter trace would hit
+     * end-of-stream while the generator kept producing, changing
+     * dispatch-stall behavior (and so every downstream statistic).
+     */
+    std::uint64_t
+    replayRecordsNeeded() const
+    {
+        return ff_insts + max_insts + core.ruu_size + core.fetch_width
+               + 8;
+    }
 };
 
 } // namespace lbic

@@ -7,14 +7,34 @@
 #include "common/sim_error.hh"
 #include "observe/attribution.hh"
 #include "workload/registry.hh"
+#include "workload/replay.hh"
 
 namespace lbic
 {
 
+std::unique_ptr<Workload>
+makeConfiguredWorkload(const SimConfig &config)
+{
+    if (config.replay_trace.empty())
+        return makeWorkload(config.workload, config.seed);
+    auto insts = loadTraceFile(config.replay_trace);
+    const std::uint64_t needed = config.replayRecordsNeeded();
+    if (insts->size() < needed)
+        throw SimError(
+            SimErrorKind::Config,
+            "replay trace '" + config.replay_trace + "' holds "
+                + std::to_string(insts->size()) + " records but this "
+                "run needs " + std::to_string(needed)
+                + " (ff + insts + window margin); regenerate it "
+                  "longer");
+    return std::make_unique<ReplayWorkload>(config.workload,
+                                            std::move(insts));
+}
+
 Simulator::Simulator(const SimConfig &config)
     : config_(config)
 {
-    owned_workload_ = makeWorkload(config_.workload, config_.seed);
+    owned_workload_ = makeConfiguredWorkload(config_);
     build(*owned_workload_);
 }
 
@@ -117,7 +137,7 @@ Simulator::setupChecker()
                        "check=1 requires a registry workload (the "
                        "shadow stream is re-created by name and seed)");
     checker_ = std::make_unique<verify::GoldenChecker>(
-        makeWorkload(config_.workload, config_.seed));
+        makeConfiguredWorkload(config_));
     // Keep the shadow stream aligned with a fast-forwarded core: the
     // skipped prefix retired architecturally and never commits.
     if (ff_done_ > 0)

@@ -166,6 +166,20 @@ class Simulator
 };
 
 /**
+ * Build the instruction stream @p config describes: a shared-cache
+ * replay of config.replay_trace when set (named after config.workload,
+ * and length-checked against config.replayRecordsNeeded()), the
+ * registry workload otherwise. This is the stream the Simulator itself
+ * drives; the sampling/checkpoint tooling uses the same helper so a
+ * `replay=` knob covers both paths.
+ *
+ * @throws SimError (Config) when the trace is missing, malformed, or
+ *         too short for the configured run.
+ */
+std::unique_ptr<Workload>
+makeConfiguredWorkload(const SimConfig &config);
+
+/**
  * Convenience one-shot run used by the benchmark harnesses.
  *
  * @param workload_name registry name of the workload.

@@ -2,6 +2,7 @@
 
 #include "common/sim_error.hh"
 #include "workload/kernels.hh"
+#include "workload/replay.hh"
 #include "workload/synthetic.hh"
 
 namespace lbic
@@ -38,6 +39,19 @@ allKernels()
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, std::uint64_t seed)
 {
+    // "trace:<path>" replays a captured binary trace. The seed is
+    // irrelevant (the file pins the stream); the spec itself is the
+    // workload name so it round-trips through makeWorkload -- which is
+    // how the golden checker rebuilds its shadow stream.
+    if (name.rfind("trace:", 0) == 0) {
+        const std::string path = name.substr(6);
+        if (path.empty())
+            throw SimError(SimErrorKind::Config,
+                           "empty path in workload spec '" + name
+                               + "'");
+        return std::make_unique<ReplayWorkload>(name, path);
+    }
+
     if (name == "compress")
         return std::make_unique<CompressKernel>(seed);
     if (name == "gcc")

@@ -1,0 +1,109 @@
+#include "replay.hh"
+
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/sim_error.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
+
+namespace lbic
+{
+
+namespace
+{
+
+std::mutex cache_mutex;
+std::unordered_map<std::string,
+                   std::shared_ptr<const std::vector<DynInst>>>
+    trace_cache;
+
+} // anonymous namespace
+
+std::shared_ptr<const std::vector<DynInst>>
+loadTraceFile(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        auto it = trace_cache.find(path);
+        if (it != trace_cache.end())
+            return it->second;
+    }
+
+    // Decode outside the lock: a multi-threaded sweep decoding two
+    // different traces should not serialize. Two threads racing on the
+    // same path decode twice and the second insert wins -- wasteful
+    // but correct, and in practice the bench drivers pre-load traces
+    // before spawning workers.
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SimError(SimErrorKind::Config,
+                       "cannot open trace file '" + path + "'");
+    TraceReplayWorkload decoded(is);
+
+    std::vector<DynInst> insts;
+    insts.reserve(decoded.size());
+    DynInst inst;
+    while (decoded.next(inst))
+        insts.push_back(inst);
+    auto shared = std::make_shared<const std::vector<DynInst>>(
+        std::move(insts));
+
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    trace_cache[path] = shared;
+    return shared;
+}
+
+void
+dropTraceCache()
+{
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    trace_cache.clear();
+}
+
+std::uint64_t
+writeTraceFile(const std::string &path, const std::string &name,
+               std::uint64_t seed, std::uint64_t n)
+{
+    const auto workload = makeWorkload(name, seed);
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw SimError(SimErrorKind::Config,
+                       "cannot open trace file '" + path
+                           + "' for writing");
+    const std::uint64_t written =
+        TraceWriter::capture(*workload, os, n);
+    os.flush();
+    if (!os)
+        throw SimError(SimErrorKind::Config,
+                       "write to trace file '" + path + "' failed");
+    // The old decoded contents (if any) are stale now.
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    trace_cache.erase(path);
+    return written;
+}
+
+std::uint64_t
+ensureTraceFile(const std::string &path, const std::string &name,
+                std::uint64_t seed, std::uint64_t n)
+{
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (is) {
+            // Sized check without decoding: header + fixed records.
+            is.seekg(0, std::ios::end);
+            const auto bytes = static_cast<std::uint64_t>(is.tellg());
+            const std::uint64_t have =
+                bytes >= trace_header_bytes
+                    ? (bytes - trace_header_bytes) / trace_record_bytes
+                    : 0;
+            if (have >= n)
+                return have;
+        }
+    }
+    return writeTraceFile(path, name, seed, n);
+}
+
+} // namespace lbic

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * File-backed trace replay: decode a binary trace once, share the
+ * decoded records process-wide, and replay them as a Workload.
+ *
+ * TraceReplayWorkload (trace.hh) owns a private copy of the decoded
+ * stream -- fine for one-off replays, wasteful for a sweep where every
+ * (workload, organization) job replays the same file. ReplayWorkload
+ * instead borrows an immutable shared vector from a process-wide
+ * cache keyed by path, so a 10M-instruction trace is decoded once per
+ * process no matter how many jobs replay it, and exposes the records
+ * through the Workload span API so the core's fast-forward and the
+ * fetch stage can scan them without a virtual call per instruction.
+ */
+
+#ifndef LBIC_WORKLOAD_REPLAY_HH
+#define LBIC_WORKLOAD_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace lbic
+{
+
+/**
+ * Load a binary trace file (the trace.hh v1 format) into an immutable
+ * shared record vector. Results are cached process-wide by path: the
+ * second and later loads of the same file return the cached vector
+ * without touching the filesystem.
+ *
+ * @throws SimError (Config) if the file cannot be opened or is
+ *         malformed (same diagnostics as TraceReplayWorkload).
+ */
+std::shared_ptr<const std::vector<DynInst>>
+loadTraceFile(const std::string &path);
+
+/**
+ * Drop every cached trace (test hook: lets a test overwrite a trace
+ * file and observe the new contents).
+ */
+void dropTraceCache();
+
+/**
+ * Capture @p n instructions of workload @p name at @p seed into a
+ * binary trace at @p path.
+ *
+ * @return the number of records written (less than @p n only if the
+ *         generator stream ends early).
+ * @throws SimError (Config) if the file cannot be written.
+ */
+std::uint64_t writeTraceFile(const std::string &path,
+                             const std::string &name,
+                             std::uint64_t seed, std::uint64_t n);
+
+/**
+ * Make sure @p path holds a trace of at least @p n records for
+ * (@p name, @p seed), regenerating it if missing or too short. Used by
+ * the bench drivers' trace= knob to pre-generate once per sweep.
+ *
+ * @return the number of records in the (possibly regenerated) file.
+ */
+std::uint64_t ensureTraceFile(const std::string &path,
+                              const std::string &name,
+                              std::uint64_t seed, std::uint64_t n);
+
+/**
+ * A Workload replaying a shared decoded trace.
+ *
+ * The display name is the caller's choice: the Simulator passes the
+ * original kernel name so stats output is indistinguishable from
+ * generator mode; the registry's "trace:<path>" spec passes the spec
+ * itself so name() round-trips through makeWorkload (which is what
+ * the golden checker uses to build its shadow stream).
+ */
+class ReplayWorkload : public Workload
+{
+  public:
+    ReplayWorkload(std::string name,
+                   std::shared_ptr<const std::vector<DynInst>> insts)
+        : name_(std::move(name)), insts_(std::move(insts))
+    {
+    }
+
+    /** Convenience: load @p path through the process-wide cache. */
+    ReplayWorkload(std::string name, const std::string &path)
+        : name_(std::move(name)), insts_(loadTraceFile(path))
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+
+    bool
+    next(DynInst &inst) override
+    {
+        if (pos_ >= insts_->size())
+            return false;
+        inst = (*insts_)[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    std::size_t
+    peekSpan(const DynInst *&span) override
+    {
+        span = insts_->data() + pos_;
+        return insts_->size() - pos_;
+    }
+
+    void advanceSpan(std::size_t n) override { pos_ += n; }
+
+    std::size_t size() const { return insts_->size(); }
+
+  private:
+    std::string name_;
+    std::shared_ptr<const std::vector<DynInst>> insts_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace lbic
+
+#endif // LBIC_WORKLOAD_REPLAY_HH

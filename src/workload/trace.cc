@@ -28,6 +28,12 @@ struct PackedRecord
     std::uint64_t addr;
 };
 
+static_assert(sizeof(PackedRecord) == trace_record_bytes,
+              "trace_record_bytes out of sync with PackedRecord");
+static_assert(sizeof(trace_magic) + sizeof(trace_version)
+                  == trace_header_bytes,
+              "trace_header_bytes out of sync with the header");
+
 PackedRecord
 pack(const DynInst &inst)
 {

@@ -23,6 +23,15 @@
 namespace lbic
 {
 
+/**
+ * On-disk sizes of the v1 format: an 8-byte magic/version header
+ * followed by fixed-size records (trace.cc static_asserts the record
+ * size against the actual packed layout). Exposed so callers can
+ * size-check a trace file without decoding it.
+ */
+constexpr std::uint64_t trace_header_bytes = 8;
+constexpr std::uint64_t trace_record_bytes = 24;
+
 /** Writes DynInst records to a binary stream. */
 class TraceWriter
 {
@@ -72,6 +81,15 @@ class TraceReplayWorkload : public Workload
     bool next(DynInst &inst) override;
     void reset() override { pos_ = 0; }
 
+    std::size_t
+    peekSpan(const DynInst *&span) override
+    {
+        span = insts_.data() + pos_;
+        return insts_.size() - pos_;
+    }
+
+    void advanceSpan(std::size_t n) override { pos_ += n; }
+
     std::size_t size() const { return insts_.size(); }
 
   private:
@@ -115,6 +133,15 @@ class SegmentReplayWorkload : public Workload
     }
 
     void reset() override { pos_ = 0; }
+
+    std::size_t
+    peekSpan(const DynInst *&span) override
+    {
+        span = segment_->data() + pos_;
+        return segment_->size() - pos_;
+    }
+
+    void advanceSpan(std::size_t n) override { pos_ += n; }
 
   private:
     std::string name_;

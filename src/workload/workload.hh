@@ -15,6 +15,7 @@
 #ifndef LBIC_WORKLOAD_WORKLOAD_HH
 #define LBIC_WORKLOAD_WORKLOAD_HH
 
+#include <cstddef>
 #include <string>
 
 #include "isa/dyn_inst.hh"
@@ -43,6 +44,31 @@ class Workload
 
     /** Restart the stream from the beginning, deterministically. */
     virtual void reset() = 0;
+
+    /**
+     * Bulk view for replay-style sources: expose the remaining run of
+     * contiguous, already-materialized records without consuming them.
+     * Generator workloads return 0 (no view) and callers fall back to
+     * next(); replay workloads return the remaining span. Callers then
+     * consume a prefix with advanceSpan(). Used by the functional
+     * fast-forward path to scan records without a virtual call per
+     * instruction.
+     *
+     * @param span set to the first unconsumed record, or nullptr.
+     * @return number of records readable through @p span.
+     */
+    virtual std::size_t
+    peekSpan(const DynInst *&span)
+    {
+        span = nullptr;
+        return 0;
+    }
+
+    /**
+     * Consume @p n records of the span returned by peekSpan(). Only
+     * valid after a peekSpan() that returned at least @p n.
+     */
+    virtual void advanceSpan(std::size_t n) { (void)n; }
 };
 
 } // namespace lbic

@@ -1,23 +1,38 @@
 /**
  * @file
- * Regenerate the golden trace prefixes committed under tests/data/.
+ * Generate binary traces for the paper kernels.
  *
- * Each kernel workload is deterministic (name + seed reproduce the
- * stream), so a committed prefix of its trace pins the reference
- * stream across refactors: the trace-replay regression suite captures
- * the first 1000 instructions of every kernel at seed 1 and compares
- * byte-for-byte against these files. If a workload generator changes
- * intentionally, rerun this tool and commit the new files together
- * with the change that motivated them.
+ * Default mode regenerates the golden trace prefixes committed under
+ * tests/data/: each kernel workload is deterministic (name + seed
+ * reproduce the stream), so a committed prefix of its trace pins the
+ * reference stream across refactors. The trace-replay regression suite
+ * captures the first 1000 instructions of every kernel at seed 1 and
+ * compares byte-for-byte against these files. If a workload generator
+ * changes intentionally, rerun this tool and commit the new files
+ * together with the change that motivated them.
  *
- * Usage: gen_golden_traces <output-dir>
+ * With `insts=N` the tool instead emits full-length traces (N records
+ * per kernel) suitable for the replay backend's `replay=` /
+ * `trace=DIR` knobs -- pre-generate once, replay across a whole
+ * design-space sweep.
+ *
+ * Usage: gen_golden_traces <output-dir> [insts=N] [seed=S] [check=1]
+ *
+ *   insts=N   records per kernel (default 1000, the golden prefix)
+ *   seed=S    workload PRNG seed (default 1)
+ *   check=1   after writing, size/format-check each file: the byte
+ *             size must match the header plus exactly N fixed-size
+ *             records, and every record must decode cleanly (magic,
+ *             version, op-class range)
  */
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/sim_error.hh"
 #include "workload/registry.hh"
+#include "workload/replay.hh"
 #include "workload/trace.hh"
 
 namespace
@@ -26,32 +41,92 @@ namespace
 constexpr std::uint64_t golden_insts = 1000;
 constexpr std::uint64_t golden_seed = 1;
 
+/** Size/format sanity check; returns false (and explains) on failure. */
+bool
+checkTrace(const std::string &path, std::uint64_t expect_records)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::cerr << path << ": cannot reopen for checking\n";
+        return false;
+    }
+    is.seekg(0, std::ios::end);
+    const auto bytes = static_cast<std::uint64_t>(is.tellg());
+    const std::uint64_t expect_bytes = lbic::trace_header_bytes
+        + expect_records * lbic::trace_record_bytes;
+    if (bytes != expect_bytes) {
+        std::cerr << path << ": " << bytes << " bytes, expected "
+                  << expect_bytes << " (" << expect_records
+                  << " records)\n";
+        return false;
+    }
+    is.seekg(0);
+    try {
+        lbic::TraceReplayWorkload replay(is);
+        if (replay.size() != expect_records) {
+            std::cerr << path << ": decoded " << replay.size()
+                      << " records, expected " << expect_records
+                      << "\n";
+            return false;
+        }
+    } catch (const lbic::SimError &e) {
+        std::cerr << path << ": " << e.what() << "\n";
+        return false;
+    }
+    return true;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::cerr << "usage: gen_golden_traces <output-dir>\n";
+    if (argc < 2) {
+        std::cerr << "usage: gen_golden_traces <output-dir> [insts=N] "
+                     "[seed=S] [check=1]\n";
         return 2;
     }
     const std::string dir = argv[1];
+    std::uint64_t insts = golden_insts;
+    std::uint64_t seed = golden_seed;
+    bool check = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind("insts=", 0) == 0)
+            insts = std::stoull(arg.substr(6));
+        else if (arg.rfind("seed=", 0) == 0)
+            seed = std::stoull(arg.substr(5));
+        else if (arg == "check=1")
+            check = true;
+        else if (arg == "check=0")
+            check = false;
+        else {
+            std::cerr << "unrecognized argument '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    bool ok = true;
     for (const std::string &name : lbic::allKernels()) {
-        const auto workload = lbic::makeWorkload(name, golden_seed);
         const std::string path = dir + "/" + name + ".trace";
-        std::ofstream os(path, std::ios::binary);
-        if (!os) {
-            std::cerr << "cannot open " << path << " for writing\n";
+        std::uint64_t n = 0;
+        try {
+            n = lbic::writeTraceFile(path, name, seed, insts);
+        } catch (const lbic::SimError &e) {
+            std::cerr << e.what() << "\n";
             return 1;
         }
-        const std::uint64_t n =
-            lbic::TraceWriter::capture(*workload, os, golden_insts);
-        os.flush();
-        if (!os) {
-            std::cerr << "write to " << path << " failed\n";
+        if (n != insts) {
+            std::cerr << path << ": stream ended after " << n << " of "
+                      << insts << " records\n";
             return 1;
         }
         std::cout << path << ": " << n << " records\n";
+        if (check)
+            ok = checkTrace(path, n) && ok;
     }
-    return 0;
+    if (check)
+        std::cout << (ok ? "all traces check out\n"
+                         : "trace check FAILED\n");
+    return ok ? 0 : 1;
 }
