@@ -21,9 +21,10 @@
  *   compare_full=1   also run every cell in full and report the
  *                    per-cell estimation error (accuracy audits)
  *
- * JSON: schema v3 adds a per-run "sampling" block (see
- * printJsonSampledResults) carrying the plan, per-interval results
- * and, with compare_full=1, the measured error against the full run.
+ * JSON: the per-run "sampling" block (see printJsonSampledResults)
+ * carries the plan, per-interval results and, with compare_full=1,
+ * the measured error against the full run; schema v4 adds the same
+ * top-level "resources" telemetry block full-mode sweeps emit.
  */
 
 #ifndef LBIC_BENCH_BENCH_SAMPLE_HH
@@ -103,6 +104,9 @@ struct SampledOutput
     double total_wall_ms = 0.0;         //!< includes plan/checkpoint
     unsigned jobs_used = 0;
     std::size_t failed = 0;
+
+    /** Host telemetry of the flattened interval sweep. */
+    SweepTelemetry telemetry;
 };
 
 /**
@@ -168,6 +172,7 @@ runSampledCells(const BenchArgs &args, const SampleArgs &sargs,
 
     const SweepOutput swept = runJobs(args, flat);
     out.jobs_used = swept.jobs_used;
+    out.telemetry = swept.telemetry;
 
     // Phase 3: regroup and aggregate.
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -213,6 +218,7 @@ toSweepOutput(const SampledOutput &sout)
     SweepOutput out;
     out.total_wall_ms = sout.total_wall_ms;
     out.jobs_used = sout.jobs_used;
+    out.telemetry = sout.telemetry;
     out.results.reserve(sout.cells.size());
     for (const SampledCell &cell : sout.cells) {
         SweepResult r;
@@ -232,10 +238,11 @@ toSweepOutput(const SampledOutput &sout)
 }
 
 /**
- * Emit the sampled grid as one schema-v3 JSON object: the usual
- * header plus "sampled": true and, per run, a "sampling" block with
- * the plan, coverage, per-interval measurements and (compare_full=1)
- * the full-run IPC and relative error.
+ * Emit the sampled grid as one schema-v4 JSON object: the usual
+ * header (including "resources") plus "sampled": true and, per run,
+ * a "sampling" block with the plan, coverage, per-interval
+ * measurements and (compare_full=1) the full-run IPC and relative
+ * error.
  */
 inline void
 printJsonSampledResults(std::ostream &os, const std::string &driver,
@@ -253,8 +260,9 @@ printJsonSampledResults(std::ostream &os, const std::string &driver,
        << ", \"seed\": " << args.seed
        << ", \"jobs\": " << out.jobs_used
        << ", \"sampled\": true"
-       << ", \"total_wall_ms\": " << out.total_wall_ms
-       << ", \"runs\": [";
+       << ", \"total_wall_ms\": " << out.total_wall_ms;
+    printJsonResources(os, out.telemetry, out.total_wall_ms);
+    os << ", \"runs\": [";
     for (std::size_t i = 0; i < out.cells.size(); ++i) {
         const SampledCell &cell = out.cells[i];
         if (i)
@@ -297,6 +305,50 @@ printJsonSampledResults(std::ostream &os, const std::string &driver,
     os << "]}\n";
 }
 
+/**
+ * Append one sampled=true ledger record per cell. Interval counts
+ * are estimates, not simulation totals, so instructions / cycles /
+ * insts_per_sec are left zero; ipc carries the sampled estimate.
+ */
+inline void
+appendSampledLedgerEntries(const std::string &driver,
+                           const BenchArgs &args,
+                           const std::vector<SweepJob> &cells,
+                           const SampledOutput &out)
+{
+    const std::string path = observe::resolveLedgerPath(args.ledger);
+    if (path.empty())
+        return;
+    const std::string hash = configHash(driver, args, cells);
+    const std::string stamp = observe::ledgerTimestamp();
+    std::vector<observe::LedgerEntry> entries;
+    entries.reserve(out.cells.size());
+    for (std::size_t i = 0; i < out.cells.size(); ++i) {
+        const SampledCell &cell = out.cells[i];
+        observe::LedgerEntry e;
+        e.config_hash = hash;
+        e.driver = driver;
+        e.workload = cell.workload;
+        e.seed = cells[i].config.seed;
+        e.insts = cells[i].config.max_insts;
+        e.git_sha = LBIC_GIT_SHA;
+        e.label = cell.label;
+        e.port_spec = cell.port_spec;
+        e.status = cell.ok() ? "ok" : "failed";
+        e.timestamp = stamp;
+        e.ipc = cell.est.ipc;
+        e.wall_ms = cell.wall_ms;
+        e.sampled = true;
+        entries.push_back(std::move(e));
+    }
+    try {
+        observe::appendLedger(path, entries);
+    } catch (const std::exception &e) {
+        lbic_warn("run ledger append to '", path, "' failed: ",
+                  e.what());
+    }
+}
+
 /** Sampled-mode twin of emitJsonIfRequested(). */
 inline bool
 emitSampledJsonIfRequested(const std::string &driver,
@@ -305,6 +357,7 @@ emitSampledJsonIfRequested(const std::string &driver,
                            const SampledOutput &out,
                            const SampleArgs &sargs)
 {
+    appendSampledLedgerEntries(driver, args, cells, out);
     if (!args.json)
         return false;
     printJsonSampledResults(std::cout, driver, args, cells, out,

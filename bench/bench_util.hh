@@ -17,10 +17,17 @@
  * (default 1), and the driver's exit code is nonzero iff any job
  * failed.
  *
+ * Every sweep additionally appends one line per run to the persistent
+ * run ledger (observe/ledger.hh) -- `ledger=PATH` overrides the
+ * destination, `ledger=none` disables, and the default appends to
+ * results/ledger.jsonl when invoked from the repo root. The ledger is
+ * what `tools/perf_report` reads for trend tables and regression
+ * checks.
+ *
  * JSON schema (one object on stdout):
  * @code
  * {
- *   "schema_version": 3,             // bumped on breaking changes
+ *   "schema_version": 4,             // bumped on breaking changes
  *   "driver": "table3_ipc",          // harness name
  *   "git_sha": "52508a4b1c2d",       // tree that built the binary
  *   "config_hash": "9a1f0c...",      // FNV-1a over the sweep config
@@ -32,6 +39,23 @@
  *                                    //   a "sampling" block instead of
  *                                    //   attribution (bench_sample.hh)
  *   "total_wall_ms": 1234.5,         // whole-sweep wall clock
+ *   "resources": {                   // host-side sweep telemetry
+ *     "jobs_total": 130, "jobs_run": 130, "failures": 0,
+ *     "retries": 0,                  // extra attempts across the sweep
+ *     "busy_ms": 8000.1,             // sum of per-attempt wall time
+ *     "insts": 65000000,             // instructions actually committed
+ *     "insts_per_sec": 7.9e6,        // insts / total_wall_ms
+ *     "peak_rss_kb": 40960,          // process high-water mark
+ *     "workers": [                   // one per pool thread; jobs sums
+ *                                    //   to jobs_run (verified)
+ *       {"worker": 0, "jobs": 17, "failures": 0, "retries": 0,
+ *        "wall_ms": 9000.0,          // thread lifetime
+ *        "busy_ms": 8100.2,          // inside runOne
+ *        "idle_ms": 899.8,           // == wall - busy, exactly
+ *        "queue_wait_ms": 12.5,      // claim latency sum
+ *        "user_ms": 8000.0, "sys_ms": 90.2,  // thread CPU time
+ *        "alloc_bytes": 51200,       // hooked arena allocations
+ *        "peak_rss_kb": 40960, "insts": 8500000}, ...]},
  *   "runs": [                        // submission order
  *     {"label": "", "workload": "compress", "port_spec": "ideal:1",
  *      "status": "ok",               // "failed" adds "error",
@@ -66,6 +90,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
@@ -74,6 +99,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "observe/ledger.hh"
 #include "sim/sweep.hh"
 #include "workload/replay.hh"
 
@@ -89,7 +115,7 @@ namespace bench
 {
 
 /** Version of the JSON schema below; bump on breaking changes. */
-constexpr unsigned json_schema_version = 3;
+constexpr unsigned json_schema_version = 4;
 
 /** The common driver arguments, parsed once. */
 struct BenchArgs
@@ -103,6 +129,13 @@ struct BenchArgs
     unsigned retries = 1;     //!< retries for transient job failures
     bool json = false;        //!< emit JSON instead of tables
     bool progress = false;    //!< stderr progress line during sweeps
+
+    /**
+     * `ledger=`: run-ledger destination -- a path, "none" to disable,
+     * or "auto" (the default) to let resolveLedgerPath() pick
+     * (LBIC_LEDGER env, else results/ledger.jsonl from the repo root).
+     */
+    std::string ledger = "auto";
 
     /**
      * `trace=DIR`: replay-backed sweeps. Before running, each distinct
@@ -168,6 +201,7 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
     args.progress =
         progress_flag || args.config.getBool("progress", false);
     args.trace_dir = args.config.getString("trace", "");
+    args.ledger = args.config.getString("ledger", "auto");
 
     if (args.config.getBool("quiet", false))
         setLogLevel(LogLevel::Quiet);
@@ -182,6 +216,9 @@ struct SweepOutput
     std::vector<SweepResult> results;
     double total_wall_ms = 0.0;
     unsigned jobs_used = 0;
+
+    /** Host-side per-worker telemetry (SweepRunner::lastTelemetry). */
+    SweepTelemetry telemetry;
 };
 
 /**
@@ -234,12 +271,15 @@ applyReplayTraces(const BenchArgs &args, std::vector<SweepJob> &jobs)
  * Run @p jobs on the pool selected by @p args, timing the sweep.
  *
  * With `progress=1` (or `--progress`) a single stderr status line is
- * rewritten in place as jobs start and finish:
+ * rewritten in place as jobs start, retry and finish:
  *
- *   [12/40] running=8 failed=0 last=swim/lbic:4x2 (2.31 Minst/s)
+ *   [12/40] running=8 failed=0 retries=1 last=swim/lbic:4x2 (2.31 Minst/s)
  *
- * The line goes to stderr so it never mixes with `--json` stdout, and
- * SweepRunner serializes the callback, so the writes cannot tear.
+ * The line goes to stderr so it never mixes with `--json` stdout.
+ * SweepRunner serializes the callback, and each update is formatted
+ * into one buffer and handed to stderr as a single write, so a line
+ * can never tear -- not even against lbic_warn output from a failing
+ * job on another thread.
  */
 inline SweepOutput
 runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
@@ -269,20 +309,50 @@ runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
     runner.setPolicy(policy);
     if (args.progress) {
         runner.setProgress([](const SweepProgress &p) {
-            std::fprintf(stderr,
-                         "\r[%zu/%zu] running=%zu failed=%zu last=%s",
-                         p.completed, p.total, p.running, p.failed,
-                         p.label.c_str());
-            if (p.insts_per_sec > 0.0)
-                std::fprintf(stderr, " (%.2f Minst/s)",
-                             p.insts_per_sec / 1e6);
-            std::fprintf(stderr, "\x1b[K");
+            char line[256];
+            int n = std::snprintf(
+                line, sizeof(line),
+                "\r[%zu/%zu] running=%zu failed=%zu retries=%zu "
+                "last=%s",
+                p.completed, p.total, p.running, p.failed, p.retries,
+                p.label.c_str());
+            if (n < 0)
+                return;
+            std::size_t len = std::min(static_cast<std::size_t>(n),
+                                       sizeof(line) - 1);
+            if (p.insts_per_sec > 0.0 && len < sizeof(line)) {
+                n = std::snprintf(line + len, sizeof(line) - len,
+                                  " (%.2f Minst/s)",
+                                  p.insts_per_sec / 1e6);
+                if (n > 0)
+                    len = std::min(
+                        len + static_cast<std::size_t>(n),
+                        sizeof(line) - 1);
+            }
+            // Erase-to-EOL, then one unbuffered write: the whole
+            // update reaches stderr as a single syscall, so it cannot
+            // interleave with warnings from other threads.
+            static const char erase[] = "\x1b[K";
+            if (len + sizeof(erase) - 1 < sizeof(line)) {
+                std::memcpy(line + len, erase, sizeof(erase) - 1);
+                len += sizeof(erase) - 1;
+            }
+            std::fwrite(line, 1, len, stderr);
             std::fflush(stderr);
         });
     }
     const auto start = std::chrono::steady_clock::now();
     out.results = runner.run(jobs);
     const auto end = std::chrono::steady_clock::now();
+    out.telemetry = runner.lastTelemetry();
+    {
+        // The merge identities hold by construction; a violation here
+        // means worker accounting itself broke, which would poison
+        // the resources block and the ledger -- fail loudly.
+        const std::string err = out.telemetry.verify();
+        if (!err.empty())
+            lbic_warn("sweep telemetry identity violated: ", err);
+    }
     if (args.progress)
         std::fprintf(stderr, "\n");
     out.total_wall_ms =
@@ -343,6 +413,49 @@ configHash(const std::string &driver, const BenchArgs &args,
 }
 
 /**
+ * Emit the host-resource telemetry of a finished sweep as the
+ * `"resources"` object documented in the file header (shared by the
+ * detailed and sampled JSON emitters). Host-side numbers only: they
+ * vary run to run, which is exactly why they are segregated from the
+ * deterministic "runs" array.
+ */
+inline void
+printJsonResources(std::ostream &os, const SweepTelemetry &t,
+                   double total_wall_ms)
+{
+    const double secs = total_wall_ms / 1000.0;
+    os << ", \"resources\": {\"jobs_total\": " << t.total_jobs
+       << ", \"jobs_run\": " << t.jobs_run
+       << ", \"failures\": " << t.failures
+       << ", \"retries\": " << t.retries
+       << ", \"busy_ms\": " << t.busy_ms
+       << ", \"insts\": " << t.insts
+       << ", \"insts_per_sec\": "
+       << (secs > 0.0 ? static_cast<double>(t.insts) / secs : 0.0)
+       << ", \"peak_rss_kb\": " << t.peak_rss_kb
+       << ", \"workers\": [";
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+        const WorkerTelemetry &w = t.workers[i];
+        if (i)
+            os << ", ";
+        os << "{\"worker\": " << w.worker
+           << ", \"jobs\": " << w.jobs
+           << ", \"failures\": " << w.failures
+           << ", \"retries\": " << w.retries
+           << ", \"wall_ms\": " << w.wall_ms
+           << ", \"busy_ms\": " << w.busy_ms
+           << ", \"idle_ms\": " << w.idle_ms
+           << ", \"queue_wait_ms\": " << w.queue_wait_ms
+           << ", \"user_ms\": " << w.user_ms
+           << ", \"sys_ms\": " << w.sys_ms
+           << ", \"alloc_bytes\": " << w.alloc_bytes
+           << ", \"peak_rss_kb\": " << w.peak_rss_kb
+           << ", \"insts\": " << w.insts << '}';
+    }
+    os << "]}";
+}
+
+/**
  * Emit the sweep as the machine-readable JSON object documented in
  * the file header. @p jobs and @p out.results are index-aligned.
  */
@@ -361,8 +474,9 @@ printJsonResults(std::ostream &os, const std::string &driver,
        << ", \"seed\": " << args.seed
        << ", \"jobs\": " << out.jobs_used
        << ", \"sampled\": false"
-       << ", \"total_wall_ms\": " << out.total_wall_ms
-       << ", \"runs\": [";
+       << ", \"total_wall_ms\": " << out.total_wall_ms;
+    printJsonResources(os, out.telemetry, out.total_wall_ms);
+    os << ", \"runs\": [";
     for (std::size_t i = 0; i < out.results.size(); ++i) {
         const SweepResult &r = out.results[i];
         const SweepMetrics &m = r.metrics;
@@ -468,15 +582,69 @@ exitCode(const SweepOutput &out)
 }
 
 /**
- * The standard driver epilogue: when `--json` was given, emit the
- * JSON object and return true (the driver should exit with
- * exitCode(out) without printing its tables).
+ * Append one ledger record per run to the persistent run ledger
+ * (observe/ledger.hh), honoring the `ledger=` knob / LBIC_LEDGER /
+ * repo-root default resolution. All records of a sweep land in one
+ * atomic write. A ledger failure (read-only checkout, full disk) is
+ * warned about, never fatal: telemetry must not break experiments.
+ */
+inline void
+appendLedgerEntries(const std::string &driver, const BenchArgs &args,
+                    const std::vector<SweepJob> &jobs,
+                    const SweepOutput &out, bool sampled = false)
+{
+    const std::string path = observe::resolveLedgerPath(args.ledger);
+    if (path.empty())
+        return;
+    const std::string hash = configHash(driver, args, jobs);
+    const std::string stamp = observe::ledgerTimestamp();
+    std::vector<observe::LedgerEntry> entries;
+    entries.reserve(out.results.size());
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+        const SweepResult &r = out.results[i];
+        const SimConfig &cfg = jobs[i].config;
+        observe::LedgerEntry e;
+        e.config_hash = hash;
+        e.driver = driver;
+        e.workload = cfg.workload;
+        e.seed = cfg.seed;
+        e.insts = cfg.max_insts;
+        e.git_sha = LBIC_GIT_SHA;
+        e.label = r.label;
+        e.port_spec = cfg.port_spec;
+        e.status = r.ok ? "ok" : "failed";
+        e.timestamp = stamp;
+        e.ipc = r.ipc();
+        e.instructions = r.result.instructions;
+        e.cycles = r.result.cycles;
+        e.wall_ms = r.wall_ms;
+        e.insts_per_sec = r.wall_ms > 0.0
+            ? static_cast<double>(r.result.instructions)
+                  / (r.wall_ms / 1000.0)
+            : 0.0;
+        e.sampled = sampled;
+        entries.push_back(std::move(e));
+    }
+    try {
+        observe::appendLedger(path, entries);
+    } catch (const std::exception &e) {
+        lbic_warn("run ledger append to '", path, "' failed: ",
+                  e.what());
+    }
+}
+
+/**
+ * The standard driver epilogue. Always appends this sweep's records
+ * to the run ledger (when one is configured); when `--json` was
+ * given, additionally emits the JSON object and returns true (the
+ * driver should exit with exitCode(out) without printing its tables).
  */
 inline bool
 emitJsonIfRequested(const std::string &driver, const BenchArgs &args,
                     const std::vector<SweepJob> &jobs,
                     const SweepOutput &out)
 {
+    appendLedgerEntries(driver, args, jobs, out);
     if (!args.json)
         return false;
     printJsonResults(std::cout, driver, args, jobs, out);

@@ -89,6 +89,47 @@ Derived::printJson(std::ostream &os, bool &first) const
     jsonNumber(os, value());
 }
 
+void
+Scalar::printJsonFlat(std::ostream &os, const std::string &prefix,
+                      bool &first) const
+{
+    jsonSep(os, first);
+    os << '"' << prefix << name() << "\":";
+    jsonNumber(os, value());
+}
+
+void
+Distribution::printJsonFlat(std::ostream &os, const std::string &prefix,
+                            bool &first) const
+{
+    // Mirrors print(): .samples, .mean, .underflow, one key per
+    // populated bucket (named by its low edge), .overflow.
+    const std::string full = prefix + name();
+    jsonSep(os, first);
+    os << '"' << full << ".samples\":" << samples_;
+    os << ",\"" << full << ".mean\":";
+    jsonNumber(os, mean());
+    if (underflow_)
+        os << ",\"" << full << ".underflow\":" << underflow_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << ",\"" << full << '.' << (min_ + i * bucket_size_)
+           << "\":" << buckets_[i];
+    }
+    if (overflow_)
+        os << ",\"" << full << ".overflow\":" << overflow_;
+}
+
+void
+Derived::printJsonFlat(std::ostream &os, const std::string &prefix,
+                       bool &first) const
+{
+    jsonSep(os, first);
+    os << '"' << prefix << name() << "\":";
+    jsonNumber(os, value());
+}
+
 Distribution::Distribution(StatGroup *parent, std::string name,
                            std::string desc, std::uint64_t min,
                            std::uint64_t max, std::uint64_t bucket_size)
@@ -254,6 +295,28 @@ StatGroup::printJson(std::ostream &os) const
         os << '"' << c->name() << "\":";
         c->printJson(os);
     }
+    os << '}';
+}
+
+void
+StatGroup::printJsonFlatInner(std::ostream &os,
+                              const std::string &prefix,
+                              bool &first) const
+{
+    const std::string full =
+        name_.empty() ? prefix : prefix + name_ + ".";
+    for (const auto *s : sortedStats())
+        s->printJsonFlat(os, full, first);
+    for (const auto *c : sortedChildren())
+        c->printJsonFlatInner(os, full, first);
+}
+
+void
+StatGroup::printJsonFlat(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    printJsonFlatInner(os, "", first);
     os << '}';
 }
 

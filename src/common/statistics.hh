@@ -54,6 +54,16 @@ class StatBase
     /** Emit this statistic as one or more JSON object members. */
     virtual void printJson(std::ostream &os, bool &first) const = 0;
 
+    /**
+     * Emit this statistic as one or more flat JSON members keyed by
+     * dotted path ("<prefix><name>" plus any sub-keys). Together with
+     * StatGroup::printJsonFlat this produces one flat object whose
+     * keys match the text dump's left column line for line.
+     */
+    virtual void printJsonFlat(std::ostream &os,
+                               const std::string &prefix,
+                               bool &first) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -75,6 +85,8 @@ class Scalar : public StatBase
 
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os, bool &first) const override;
+    void printJsonFlat(std::ostream &os, const std::string &prefix,
+                       bool &first) const override;
     void reset() override { value_ = 0.0; }
 
   private:
@@ -134,6 +146,8 @@ class Distribution : public StatBase
 
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os, bool &first) const override;
+    void printJsonFlat(std::ostream &os, const std::string &prefix,
+                       bool &first) const override;
     void reset() override;
 
   private:
@@ -160,6 +174,8 @@ class Derived : public StatBase
 
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os, bool &first) const override;
+    void printJsonFlat(std::ostream &os, const std::string &prefix,
+                       bool &first) const override;
     void reset() override {}
 
   private:
@@ -198,6 +214,15 @@ class StatGroup
      */
     void printJson(std::ostream &os) const;
 
+    /**
+     * Emit the group (recursively) as ONE flat JSON object keyed by
+     * dotted path ("core.lsq.occupancy.mean"), in the same order as
+     * print(). Flat keys need no nested parsing -- the ledger,
+     * profiler JSON and stats_json= dumps all share this shape, so
+     * external tooling reads all three with one parser.
+     */
+    void printJsonFlat(std::ostream &os) const;
+
     /** Reset every stat in this group and its children. */
     void reset();
 
@@ -220,6 +245,9 @@ class StatGroup
     /** Registration-order members, sorted by name for dumping. */
     std::vector<const StatBase *> sortedStats() const;
     std::vector<const StatGroup *> sortedChildren() const;
+
+    void printJsonFlatInner(std::ostream &os, const std::string &prefix,
+                            bool &first) const;
 
     StatGroup *parent_;
     std::string name_;

@@ -71,6 +71,13 @@ Core::Core(const CoreConfig &config, Workload &workload,
     forwarded_scratch_.reserve(config_.lsq_size);
     fwd_wait_scratch_.reserve(config_.lsq_size);
     retry_scratch_.reserve(config_.issue_width);
+
+    // Host telemetry hook: credit the window arenas' reserved bytes
+    // to this thread's allocation counter, so sweep workers can
+    // report per-job arena footprint (observe::HostCounters).
+    observe::threadAllocCounter() +=
+        dep_nodes_.capacity() * sizeof(DepNode)
+        + prod_ring_.capacity() * sizeof(ProdBind);
 }
 
 void
@@ -1050,12 +1057,55 @@ Core::fetchStaged()
 void
 Core::tick()
 {
+    if (profiler_) {
+        tickProfiled();
+        return;
+    }
     wakeup();
     issueStage();
     memIssueStage();
     scheduler_.tick();
     commitStage();
     dispatchStage();
+    ++cycle_;
+    ++cycles;
+    if (auditor_ && ++cycles_since_audit_ >= audit_interval_) {
+        cycles_since_audit_ = 0;
+        auditor_->audit(cycle_);
+    }
+}
+
+void
+Core::tickProfiled()
+{
+    // Identical stage sequence to tick(), each stage under its own
+    // phase scope. Profiling reads the host clock twice per stage and
+    // never touches simulation state, so simulated outputs (cycles,
+    // stats, tables) are byte-identical with the profiler attached.
+    {
+        observe::ScopedPhase p(profiler_, "wakeup");
+        wakeup();
+    }
+    {
+        observe::ScopedPhase p(profiler_, "issue");
+        issueStage();
+    }
+    {
+        observe::ScopedPhase p(profiler_, "mem_issue");
+        memIssueStage();
+    }
+    {
+        observe::ScopedPhase p(profiler_, "select");
+        scheduler_.tick();
+    }
+    {
+        observe::ScopedPhase p(profiler_, "commit");
+        commitStage();
+    }
+    {
+        observe::ScopedPhase p(profiler_, "dispatch");
+        dispatchStage();
+    }
     ++cycle_;
     ++cycles;
     if (auditor_ && ++cycles_since_audit_ >= audit_interval_) {

@@ -37,6 +37,7 @@
 #include "isa/dyn_inst.hh"
 #include "memory/hierarchy.hh"
 #include "observe/attribution.hh"
+#include "observe/profiler.hh"
 #include "verify/auditor.hh"
 #include "verify/golden_model.hh"
 #include "workload/workload.hh"
@@ -235,6 +236,18 @@ class Core
      * first violation). Pass nullptr to detach.
      */
     void setAuditor(verify::InvariantAuditor *auditor, Cycle interval);
+
+    /**
+     * Attach the host-side phase profiler: every tick runs its stages
+     * under ScopedPhase scopes (wakeup, issue, mem_issue, select,
+     * commit, dispatch), charging host wall time sum-exactly to the
+     * stage that spent it. Pass nullptr to detach; with no profiler
+     * the tick loop pays a single pointer test per cycle.
+     */
+    void setProfiler(observe::Profiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /**
      * Register this core's structural invariants (occupancy
@@ -479,6 +492,9 @@ class Core
     void dispatchStage();
     /** @} */
 
+    /** tick() with per-stage profiler scopes (profiler_ attached). */
+    void tickProfiled();
+
     /**
      * Pull the next instruction into staged_inst_, from the workload's
      * bulk span when it offers one and through next() otherwise.
@@ -562,6 +578,7 @@ class Core
 
     verify::InvariantAuditor *auditor_ = nullptr;
     Cycle audit_interval_ = 0;
+    observe::Profiler *profiler_ = nullptr;
     Cycle cycles_since_audit_ = 0;
 
     /** Build the watchdog's Deadlock error with a full state dump. */

@@ -1,0 +1,332 @@
+#include "ledger.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <sys/stat.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/sim_error.hh"
+
+namespace lbic
+{
+namespace observe
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+number(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+/**
+ * Scan one JSON scalar value starting at @p i: a quoted string or a
+ * bare literal (number, true/false/null). Returns false on malformed
+ * input; on success @p value holds the *unquoted* string payload or
+ * the literal text, @p was_string distinguishes them, and @p i is
+ * left one past the value.
+ */
+bool
+scanValue(const std::string &s, std::size_t &i, std::string &value,
+          bool &was_string)
+{
+    value.clear();
+    if (i >= s.size())
+        return false;
+    if (s[i] == '"') {
+        was_string = true;
+        for (++i; i < s.size(); ++i) {
+            if (s[i] == '\\') {
+                if (++i >= s.size())
+                    return false;
+                value.push_back(s[i]);
+            } else if (s[i] == '"') {
+                ++i;
+                return true;
+            } else {
+                value.push_back(s[i]);
+            }
+        }
+        return false; // unterminated string
+    }
+    was_string = false;
+    while (i < s.size() && s[i] != ',' && s[i] != '}') {
+        if (!std::isspace(static_cast<unsigned char>(s[i])))
+            value.push_back(s[i]);
+        ++i;
+    }
+    return !value.empty();
+}
+
+std::uint64_t
+toU64(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+} // anonymous namespace
+
+std::string
+LedgerEntry::toJson() const
+{
+    // Every member rendered, then emitted in sorted-key order so the
+    // line is diffable and matches the repo's other flat JSON dumps.
+    std::map<std::string, std::string> kv;
+    kv["schema"] = std::to_string(schema);
+    kv["config_hash"] = quoted(config_hash);
+    kv["driver"] = quoted(driver);
+    kv["workload"] = quoted(workload);
+    kv["seed"] = std::to_string(seed);
+    kv["insts"] = std::to_string(insts);
+    kv["git_sha"] = quoted(git_sha);
+    kv["label"] = quoted(label);
+    kv["port_spec"] = quoted(port_spec);
+    kv["status"] = quoted(status);
+    kv["timestamp"] = quoted(timestamp);
+    kv["ipc"] = number(ipc);
+    kv["instructions"] = std::to_string(instructions);
+    kv["cycles"] = std::to_string(cycles);
+    kv["wall_ms"] = number(wall_ms);
+    kv["insts_per_sec"] = number(insts_per_sec);
+    kv["sampled"] = sampled ? "true" : "false";
+    for (const auto &e : extra) {
+        if (!kv.count(e.first))
+            kv[e.first] = quoted(e.second);
+    }
+    std::string out = "{";
+    bool first = true;
+    for (const auto &e : kv) {
+        out += (first ? "\"" : ",\"") + e.first + "\":" + e.second;
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+bool
+LedgerEntry::fromJson(const std::string &line, LedgerEntry &out)
+{
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos || line[i] != '{')
+        return false;
+    ++i;
+    for (;;) {
+        while (i < line.size()
+               && (std::isspace(static_cast<unsigned char>(line[i]))
+                   || line[i] == ','))
+            ++i;
+        if (i >= line.size())
+            return false;
+        if (line[i] == '}')
+            break;
+        std::string key;
+        bool was_string = false;
+        if (!scanValue(line, i, key, was_string) || !was_string)
+            return false;
+        while (i < line.size()
+               && std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        while (i < line.size()
+               && std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        std::string value;
+        if (!scanValue(line, i, value, was_string))
+            return false;
+
+        if (key == "schema")
+            out.schema = static_cast<unsigned>(toU64(value));
+        else if (key == "config_hash")
+            out.config_hash = value;
+        else if (key == "driver")
+            out.driver = value;
+        else if (key == "workload")
+            out.workload = value;
+        else if (key == "seed")
+            out.seed = toU64(value);
+        else if (key == "insts")
+            out.insts = toU64(value);
+        else if (key == "git_sha")
+            out.git_sha = value;
+        else if (key == "label")
+            out.label = value;
+        else if (key == "port_spec")
+            out.port_spec = value;
+        else if (key == "status")
+            out.status = value;
+        else if (key == "timestamp")
+            out.timestamp = value;
+        else if (key == "ipc")
+            out.ipc = std::strtod(value.c_str(), nullptr);
+        else if (key == "instructions")
+            out.instructions = toU64(value);
+        else if (key == "cycles")
+            out.cycles = toU64(value);
+        else if (key == "wall_ms")
+            out.wall_ms = std::strtod(value.c_str(), nullptr);
+        else if (key == "insts_per_sec")
+            out.insts_per_sec = std::strtod(value.c_str(), nullptr);
+        else if (key == "sampled")
+            out.sampled = value == "true";
+        else
+            out.extra[key] = value;
+    }
+    return true;
+}
+
+void
+appendLedger(const std::string &path,
+             const std::vector<LedgerEntry> &entries)
+{
+    if (entries.empty())
+        return;
+
+    // Heal a torn tail: if a previous writer crashed mid-line, start
+    // our batch with a newline so the torn line stays isolated (the
+    // reader drops it) instead of fusing with our first record.
+    bool needs_leading_newline = false;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (in && in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            char last = '\n';
+            in.get(last);
+            needs_leading_newline = last != '\n';
+        }
+    }
+
+    std::string buf;
+    if (needs_leading_newline)
+        buf.push_back('\n');
+    for (const LedgerEntry &e : entries) {
+        buf += e.toJson();
+        buf.push_back('\n');
+    }
+
+    // One O_APPEND write per batch: concurrent appenders (parallel CI
+    // shards, two sweeps at once) cannot interleave records, and a
+    // crash can only truncate the final line -- which loadLedger()
+    // recovers from by design.
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT,
+                          0644);
+    if (fd < 0) {
+        throw SimError(SimErrorKind::Config,
+                       "cannot open ledger '" + path
+                           + "' for append: " + std::strerror(errno));
+    }
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ::ssize_t n =
+            ::write(fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            throw SimError(SimErrorKind::Config,
+                           "ledger append to '" + path
+                               + "' failed: " + std::strerror(err));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+}
+
+LedgerReadResult
+loadLedger(const std::string &path)
+{
+    LedgerReadResult out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return out; // missing ledger == empty history
+
+    std::string line;
+    bool last_ok = true;
+    while (std::getline(in, line)) {
+        if (line.empty()
+            || line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        LedgerEntry e;
+        if (LedgerEntry::fromJson(line, e)) {
+            out.entries.push_back(std::move(e));
+            last_ok = true;
+        } else {
+            ++out.malformed;
+            last_ok = false;
+        }
+    }
+    out.truncated = !last_ok;
+    return out;
+}
+
+std::string
+ledgerTimestamp()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &now);
+#else
+    gmtime_r(&now, &tm);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+std::string
+resolveLedgerPath(const std::string &knob)
+{
+    auto resolve = [](const std::string &v) -> std::string {
+        if (v == "none" || v == "off")
+            return "";
+        return v;
+    };
+    if (!knob.empty() && knob != "auto")
+        return resolve(knob);
+    if (const char *env = std::getenv("LBIC_LEDGER")) {
+        if (*env && std::string(env) != "auto")
+            return resolve(env);
+    }
+    struct stat st{};
+    if (::stat("results", &st) == 0 && S_ISDIR(st.st_mode))
+        return "results/ledger.jsonl";
+    return "";
+}
+
+} // namespace observe
+} // namespace lbic

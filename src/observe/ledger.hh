@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Persistent run ledger: an append-only JSONL store of every bench
+ * run's provenance and headline performance numbers.
+ *
+ * Every sweep that goes through bench/bench_util.hh appends one line
+ * per run to `results/ledger.jsonl` (when configured -- see
+ * resolveLedgerPath), giving the repository a queryable history of
+ * its own performance: which tree (git_sha) ran which experiment
+ * (config_hash, driver, workload, port_spec, seed, insts) how fast
+ * (ipc, wall_ms, insts_per_sec). `tools/perf_report` reads it back
+ * for trend tables, SHA-to-SHA diffs and CI regression gates, and it
+ * is the seed of the ROADMAP's content-addressed result cache: the
+ * key tuple is exactly the cache key a result store needs.
+ *
+ * Record format: one flat JSON object per line, sorted keys, no
+ * nesting -- the same dotted-path-friendly shape as
+ * StatGroup::printJsonFlat. Unknown keys are preserved by readers
+ * (forward compatibility); `schema` is bumped on breaking changes.
+ *
+ * Crash safety: appendLedger() serializes all lines into one buffer
+ * and hands it to the OS as a single O_APPEND write, so concurrent
+ * appenders cannot interleave records and a crash can only lose or
+ * truncate the *final* line. loadLedger() tolerates exactly that: a
+ * malformed or unterminated last line is dropped (and reported via
+ * LedgerReadResult::truncated), never propagated as an error, and the
+ * next append starts on a fresh line regardless.
+ */
+
+#ifndef LBIC_OBSERVE_LEDGER_HH
+#define LBIC_OBSERVE_LEDGER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lbic
+{
+namespace observe
+{
+
+/** Ledger record schema; bump on breaking changes. */
+constexpr unsigned ledger_schema_version = 1;
+
+/** One run's ledger record. */
+struct LedgerEntry
+{
+    unsigned schema = ledger_schema_version;
+
+    /** @{ @name Identity key (the result-cache key tuple) */
+    std::string config_hash; //!< FNV-1a over the sweep configuration
+    std::string driver;      //!< harness name ("table3_ipc", ...)
+    std::string workload;
+    std::uint64_t seed = 0;
+    std::uint64_t insts = 0; //!< instruction budget of the run
+    std::string git_sha;     //!< tree that built the binary
+    /** @} */
+
+    std::string label;     //!< sweep label ("swim/lbic:4x2")
+    std::string port_spec; //!< port organization
+    std::string status;    //!< "ok" or "failed"
+    std::string timestamp; //!< ISO-8601 UTC append time
+
+    double ipc = 0.0;
+    std::uint64_t instructions = 0; //!< actually committed
+    std::uint64_t cycles = 0;
+    double wall_ms = 0.0;
+    double insts_per_sec = 0.0;
+    bool sampled = false;
+
+    /** Keys this reader does not model, preserved verbatim. */
+    std::map<std::string, std::string> extra;
+
+    /** Serialize as one flat JSON object (no trailing newline). */
+    std::string toJson() const;
+
+    /**
+     * Parse one JSONL line. Returns false (leaving @p out partially
+     * filled) on malformed input.
+     */
+    static bool fromJson(const std::string &line, LedgerEntry &out);
+};
+
+/** What loadLedger() found. */
+struct LedgerReadResult
+{
+    std::vector<LedgerEntry> entries;
+
+    /** Lines dropped as malformed (a crash-truncated tail is 1). */
+    std::size_t malformed = 0;
+
+    /** True when the final line was dropped (torn append). */
+    bool truncated = false;
+};
+
+/**
+ * Append @p entries to the JSONL ledger at @p path as one atomic
+ * write, creating the file (but not directories) on demand. A
+ * preexisting torn final line is healed first: if the file does not
+ * end in a newline, one is prepended to the buffer so the new records
+ * always start clean. Throws SimError (Config) when the file cannot
+ * be opened or written.
+ */
+void appendLedger(const std::string &path,
+                  const std::vector<LedgerEntry> &entries);
+
+/**
+ * Read every well-formed record from @p path. A missing file is an
+ * empty ledger, not an error; malformed lines are counted and
+ * skipped, and a malformed *final* line additionally sets truncated
+ * (the crash-recovery contract).
+ */
+LedgerReadResult loadLedger(const std::string &path);
+
+/** Current UTC time as "YYYY-MM-DDTHH:MM:SSZ". */
+std::string ledgerTimestamp();
+
+/**
+ * Where sweep telemetry should be appended, in priority order:
+ *
+ *   1. @p knob ("ledger=" on the driver command line): a path, or
+ *      "none" to disable, or "auto" (the default) to fall through;
+ *   2. the LBIC_LEDGER environment variable, same semantics;
+ *   3. "results/ledger.jsonl" when ./results exists in the working
+ *      directory (a repo-root invocation), else disabled.
+ *
+ * Returns the resolved path, or an empty string when disabled.
+ */
+std::string resolveLedgerPath(const std::string &knob);
+
+} // namespace observe
+} // namespace lbic
+
+#endif // LBIC_OBSERVE_LEDGER_HH

@@ -1,0 +1,302 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define LBIC_HAVE_RUSAGE 1
+#endif
+
+namespace lbic
+{
+namespace observe
+{
+
+namespace
+{
+
+double
+timevalMs(const struct timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) * 1e3
+           + static_cast<double>(tv.tv_usec) / 1e3;
+}
+
+/**
+ * Process peak RSS in KiB. Linux exposes the high-water mark in
+ * /proc/self/status (VmHWM); elsewhere fall back to getrusage's
+ * ru_maxrss (KiB on Linux, bytes on macOS -- normalized below).
+ */
+std::uint64_t
+peakRssKb()
+{
+#if defined(__linux__)
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            std::uint64_t kb = 0;
+            if (std::sscanf(line.c_str(), "VmHWM: %llu",
+                            reinterpret_cast<unsigned long long *>(&kb))
+                == 1)
+                return kb;
+        }
+    }
+#endif
+#ifdef LBIC_HAVE_RUSAGE
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;
+#else
+        return static_cast<std::uint64_t>(ru.ru_maxrss);
+#endif
+    }
+#endif
+    return 0;
+}
+
+} // anonymous namespace
+
+HostCounters
+sampleHostCounters()
+{
+    HostCounters hc;
+#ifdef LBIC_HAVE_RUSAGE
+#if defined(RUSAGE_THREAD)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_THREAD, &ru) == 0) {
+#else
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#endif
+        hc.user_ms = timevalMs(ru.ru_utime);
+        hc.sys_ms = timevalMs(ru.ru_stime);
+    }
+#endif
+    hc.max_rss_kb = peakRssKb();
+    hc.alloc_bytes = threadAllocCounter();
+    return hc;
+}
+
+std::uint64_t &
+threadAllocCounter()
+{
+    thread_local std::uint64_t counter = 0;
+    return counter;
+}
+
+std::uint64_t
+Profiler::Node::childrenNs() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : children)
+        sum += c->inclusive_ns;
+    return sum;
+}
+
+const Profiler::Node *
+Profiler::Node::child(const std::string &name) const
+{
+    for (const auto &c : children) {
+        if (c->name == name)
+            return c.get();
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Profiler::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Profiler::Profiler()
+{
+    root_.name = "total";
+    root_.open = true;
+    last_ns_ = root_.open_since_ns = nowNs();
+    current_ = &root_;
+}
+
+Profiler::Node *
+Profiler::enter(const char *name)
+{
+    lbic_assert(!stopped_, "Profiler::enter after stop()");
+    // One clock read per transition, shared between the outgoing
+    // phase's self charge and the incoming phase's window start --
+    // this is what makes the verify() identity byte-exact.
+    const std::uint64_t now = nowNs();
+    current_->self_ns += now - last_ns_;
+    last_ns_ = now;
+
+    Node *child = nullptr;
+    for (const auto &c : current_->children) {
+        if (c->name == name) {
+            child = c.get();
+            break;
+        }
+    }
+    if (!child) {
+        current_->children.push_back(std::make_unique<Node>());
+        child = current_->children.back().get();
+        child->name = name;
+        child->parent = current_;
+    }
+    lbic_assert(!child->open, "phase '", child->name,
+                "' re-entered while open (recursion is not supported)");
+    child->open = true;
+    child->open_since_ns = now;
+    current_ = child;
+    ++open_;
+    return child;
+}
+
+void
+Profiler::exit(Node *node)
+{
+    lbic_assert(node == current_,
+                "phase exit out of order: exiting '", node->name,
+                "' but '", current_->name, "' is innermost");
+    const std::uint64_t now = nowNs();
+    node->self_ns += now - last_ns_;
+    last_ns_ = now;
+    node->inclusive_ns += now - node->open_since_ns;
+    node->open = false;
+    ++node->calls;
+    current_ = node->parent;
+    --open_;
+}
+
+void
+Profiler::stop()
+{
+    if (stopped_)
+        return;
+    lbic_assert(current_ == &root_,
+                "Profiler::stop with phase '", current_->name,
+                "' still open");
+    const std::uint64_t now = nowNs();
+    root_.self_ns += now - last_ns_;
+    last_ns_ = now;
+    root_.inclusive_ns += now - root_.open_since_ns;
+    root_.open = false;
+    ++root_.calls;
+    open_ = 0;
+    stopped_ = true;
+}
+
+namespace
+{
+
+std::string
+verifyNode(const Profiler::Node &node, const std::string &path)
+{
+    if (node.open)
+        return "phase '" + path + "' is still open";
+    const std::uint64_t children = node.childrenNs();
+    if (children > node.inclusive_ns) {
+        return "phase '" + path + "': children sum "
+               + std::to_string(children) + " ns exceeds inclusive "
+               + std::to_string(node.inclusive_ns) + " ns";
+    }
+    if (node.self_ns + children != node.inclusive_ns) {
+        return "phase '" + path + "': self " + std::to_string(node.self_ns)
+               + " + children " + std::to_string(children)
+               + " != inclusive " + std::to_string(node.inclusive_ns)
+               + " ns";
+    }
+    for (const auto &c : node.children) {
+        const std::string err = verifyNode(*c, path + "." + c->name);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+std::vector<const Profiler::Node *>
+sortedChildren(const Profiler::Node &node)
+{
+    std::vector<const Profiler::Node *> out;
+    out.reserve(node.children.size());
+    for (const auto &c : node.children)
+        out.push_back(c.get());
+    std::sort(out.begin(), out.end(),
+              [](const Profiler::Node *a, const Profiler::Node *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+void
+reportNode(std::ostream &os, const Profiler::Node &node,
+           std::uint64_t total_ns, unsigned depth)
+{
+    const double ms = static_cast<double>(node.inclusive_ns) / 1e6;
+    const double self_ms = static_cast<double>(node.self_ns) / 1e6;
+    const double pct = total_ns
+        ? 100.0 * static_cast<double>(node.inclusive_ns)
+              / static_cast<double>(total_ns)
+        : 0.0;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%*s%-*s %10.3f ms %6.1f%%  self %10.3f ms  x%llu\n",
+                  static_cast<int>(2 * depth), "",
+                  static_cast<int>(24 - std::min(2 * depth, 22u)),
+                  node.name.c_str(), ms, pct, self_ms,
+                  static_cast<unsigned long long>(node.calls));
+    os << buf;
+    for (const Profiler::Node *c : sortedChildren(node))
+        reportNode(os, *c, total_ns, depth + 1);
+}
+
+void
+jsonNode(std::ostream &os, const Profiler::Node &node,
+         const std::string &path, bool &first)
+{
+    os << (first ? "" : ",") << "\"" << path
+       << ".ns\":" << node.inclusive_ns << ",\"" << path
+       << ".self_ns\":" << node.self_ns << ",\"" << path
+       << ".calls\":" << node.calls;
+    first = false;
+    for (const Profiler::Node *c : sortedChildren(node))
+        jsonNode(os, *c, path + "." + c->name, first);
+}
+
+} // anonymous namespace
+
+std::string
+Profiler::verify() const
+{
+    if (!stopped_)
+        return "Profiler::verify before stop()";
+    if (open_ != 0)
+        return std::to_string(open_) + " phases still open";
+    return verifyNode(root_, root_.name);
+}
+
+void
+Profiler::report(std::ostream &os) const
+{
+    reportNode(os, root_, root_.inclusive_ns, 0);
+}
+
+void
+Profiler::printJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    jsonNode(os, root_, root_.name, first);
+    os << '}';
+}
+
+} // namespace observe
+} // namespace lbic

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Host-side hierarchical phase profiler: where simulator *wall time*
+ * goes, as opposed to where simulated cycles go (attribution.hh).
+ *
+ * A Profiler owns a tree of phases. Code marks phases with RAII
+ * scopes:
+ *
+ * @code
+ *   observe::Profiler prof;
+ *   {
+ *       observe::ScopedPhase p(&prof, "detailed");
+ *       for (...) {
+ *           observe::ScopedPhase c(&prof, "commit");  // nests
+ *           commitStage();
+ *       }
+ *   }
+ *   prof.stop();
+ *   lbic_assert(prof.verify().empty(), "profiler accounting broken");
+ *   prof.report(std::cout);
+ * @endcode
+ *
+ * Accounting is sum-exact in the style of StallAttribution: every
+ * enter/exit transition reads the monotonic clock exactly once and
+ * charges the elapsed nanoseconds since the previous transition to the
+ * phase that was running. A node's self time plus its children's
+ * inclusive time therefore telescopes to the node's own inclusive time
+ * with byte-exact integer equality, and verify() checks that identity
+ * (plus children <= parent and balanced enter/exit) at every node.
+ *
+ * Cost model: a disabled scope (null Profiler pointer) is a single
+ * pointer test -- the tick loop's per-stage scopes are free unless
+ * `profile=1` is set. An enabled scope is two clock reads plus a
+ * small-vector child lookup, which is why per-cycle stage profiling
+ * is opt-in while per-run phases (fast-forward, checkpoint apply,
+ * detailed run) are cheap enough to time always.
+ *
+ * HostCounters complements the tree with per-thread OS-level counters
+ * (user/sys CPU, process peak RSS, a hookable allocation counter) so
+ * sweep workers can report where a whole job's host resources went.
+ */
+
+#ifndef LBIC_OBSERVE_PROFILER_HH
+#define LBIC_OBSERVE_PROFILER_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lbic
+{
+namespace observe
+{
+
+/**
+ * Point-in-time host resource counters for the calling thread (CPU
+ * times) and process (peak RSS). Subtract two snapshots for a
+ * per-phase or per-job delta; max_rss_kb is a high-water mark, not a
+ * rate, so deltas of it are meaningless -- report the later sample.
+ */
+struct HostCounters
+{
+    double user_ms = 0.0;         //!< thread user CPU time
+    double sys_ms = 0.0;          //!< thread system CPU time
+    std::uint64_t max_rss_kb = 0; //!< process peak resident set
+    std::uint64_t alloc_bytes = 0; //!< this thread's hooked allocations
+
+    HostCounters operator-(const HostCounters &o) const
+    {
+        HostCounters d;
+        d.user_ms = user_ms - o.user_ms;
+        d.sys_ms = sys_ms - o.sys_ms;
+        d.max_rss_kb = max_rss_kb; // high-water mark: keep the later
+        d.alloc_bytes = alloc_bytes - o.alloc_bytes;
+        return d;
+    }
+};
+
+/** Sample the calling thread's CPU times and the process peak RSS. */
+HostCounters sampleHostCounters();
+
+/**
+ * Thread-local allocation counter, folded into HostCounters. Arena
+ * and pool owners that want their footprint visible in telemetry add
+ * the bytes they grab from the system here; nothing resets it, so
+ * callers diff snapshots like the CPU counters.
+ */
+std::uint64_t &threadAllocCounter();
+
+/** Hierarchical wall-clock phase profiler (single-threaded). */
+class Profiler
+{
+  public:
+    /** One phase in the tree. */
+    struct Node
+    {
+        std::string name;
+        Node *parent = nullptr;
+
+        /** Wall nanoseconds inside this phase, children included. */
+        std::uint64_t inclusive_ns = 0;
+
+        /** Wall nanoseconds charged to this phase alone. */
+        std::uint64_t self_ns = 0;
+
+        /** Completed enter/exit pairs. */
+        std::uint64_t calls = 0;
+
+        std::vector<std::unique_ptr<Node>> children;
+
+        /** @{ @name Internal scope state (valid while the phase is open) */
+        std::uint64_t open_since_ns = 0;
+        bool open = false;
+        /** @} */
+
+        /** Sum of the children's inclusive time. */
+        std::uint64_t childrenNs() const;
+
+        /** Find a direct child by name (nullptr if absent). */
+        const Node *child(const std::string &name) const;
+    };
+
+    /** Starts the root ("total") phase at construction. */
+    Profiler();
+
+    /**
+     * Enter the phase @p name (created under the current phase on
+     * first use). Returns a token for exit(); use ScopedPhase instead
+     * of calling these directly.
+     */
+    Node *enter(const char *name);
+
+    /** Exit @p node, which must be the innermost open phase. */
+    void exit(Node *node);
+
+    /**
+     * Close the root phase. Call once, after the last scope exits and
+     * before verify()/report(); further enters are illegal.
+     */
+    void stop();
+
+    bool stopped() const { return stopped_; }
+
+    const Node &root() const { return root_; }
+
+    /**
+     * Check the accounting identities at every node:
+     *
+     *   self_ns + sum(children inclusive_ns) == inclusive_ns  (exact)
+     *   sum(children inclusive_ns)           <= inclusive_ns
+     *   no phase still open (stop() called, all scopes exited)
+     *
+     * Returns an empty string when all hold, or a description of the
+     * first violation.
+     */
+    std::string verify() const;
+
+    /**
+     * Human-readable indented tree: per phase the inclusive and self
+     * milliseconds, call count and share of the root's total.
+     */
+    void report(std::ostream &os) const;
+
+    /**
+     * One flat JSON object, sorted dotted-path keys: per phase
+     * "<path>.ns", "<path>.self_ns" and "<path>.calls" -- the same
+     * flat dotted format StatGroup::printJsonFlat and the run ledger
+     * use.
+     */
+    void printJson(std::ostream &os) const;
+
+  private:
+    static std::uint64_t nowNs();
+
+    Node root_;
+    Node *current_;
+    std::uint64_t last_ns_;  //!< previous transition's clock read
+    std::uint64_t open_ = 1; //!< open phases including the root
+    bool stopped_ = false;
+};
+
+/**
+ * RAII phase scope. A null profiler makes construction and
+ * destruction single pointer tests, so instrumentation sites cost
+ * nothing when profiling is off.
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(Profiler *profiler, const char *name)
+        : profiler_(profiler),
+          node_(profiler ? profiler->enter(name) : nullptr)
+    {
+    }
+
+    ~ScopedPhase()
+    {
+        if (profiler_)
+            profiler_->exit(node_);
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Profiler *profiler_;
+    Profiler::Node *node_;
+};
+
+} // namespace observe
+} // namespace lbic
+
+#endif // LBIC_OBSERVE_PROFILER_HH

@@ -14,7 +14,11 @@
  * Observability (mode=run): `trace=PATH trace_format=chrome` writes an
  * event trace (text, chrome or konata); `interval=N interval_out=PATH`
  * writes an interval stats time series (CSV, or JSON when the path
- * ends in .json) every N cycles. See README "Observability".
+ * ends in .json) every N cycles; `profile=1 [profile_out=PATH]` times
+ * the host-side phases (build, fast-forward, checkpoint apply, every
+ * tick stage) and prints the sum-exact phase tree to stderr (or flat
+ * JSON to PATH); `stats_json=PATH` dumps the full statistics tree as
+ * one flat JSON object. See README "Observability".
  *
  * Verification (mode=run): `check=1` runs the golden-model
  * differential checker, `audit=1 [audit_interval=N]` audits the
@@ -43,6 +47,7 @@
 #include "common/config.hh"
 #include "common/sim_error.hh"
 #include "common/table.hh"
+#include "observe/profiler.hh"
 #include "sample/checkpoint.hh"
 #include "sim/refstream.hh"
 #include "sim/simulator.hh"
@@ -132,6 +137,46 @@ modeReplay(const Config &args, SimConfig cfg)
     return 0;
 }
 
+/**
+ * Close out the phase profiler (when profile=1): stop the clock,
+ * check the sum-exact identity at every node, and print the tree --
+ * human-readable on stderr, or flat JSON to cfg.profile_out.
+ */
+void
+finishProfile(Simulator &sim, const SimConfig &cfg)
+{
+    observe::Profiler *prof = sim.profiler();
+    if (!prof)
+        return;
+    prof->stop();
+    const std::string err = prof->verify();
+    if (!err.empty())
+        lbic_fatal("profiler identity violated: ", err);
+    if (cfg.profile_out.empty()) {
+        prof->report(std::cerr);
+        return;
+    }
+    std::ofstream out(cfg.profile_out);
+    if (!out)
+        lbic_fatal("cannot open profile output '", cfg.profile_out,
+                   "' for writing");
+    prof->printJson(out);
+    out << '\n';
+}
+
+/** Dump the statistics tree as flat JSON when stats_json= asks. */
+void
+dumpStatsJson(const Simulator &sim, const SimConfig &cfg)
+{
+    if (cfg.stats_json.empty())
+        return;
+    std::ofstream out(cfg.stats_json);
+    if (!out)
+        lbic_fatal("cannot open stats_json output '", cfg.stats_json,
+                   "' for writing");
+    sim.printStatsJsonFlat(out);
+}
+
 int
 modeRun(const Config &args, SimConfig cfg)
 {
@@ -145,6 +190,7 @@ modeRun(const Config &args, SimConfig cfg)
                    "(the checkpoint already holds a stream position)");
     Simulator sim(cfg);
     if (!ckpt_in.empty()) {
+        observe::ScopedPhase phase(sim.profiler(), "checkpoint_apply");
         const sample::Checkpoint ckpt =
             sample::loadCheckpointFile(ckpt_in);
         sample::applyCheckpoint(sim, ckpt);
@@ -174,6 +220,8 @@ modeRun(const Config &args, SimConfig cfg)
         sim.core().setPipeTrace(&trace_file);
     }
     const RunResult r = sim.run();
+    finishProfile(sim, cfg);
+    dumpStatsJson(sim, cfg);
     if (format == "json") {
         sim.printStatsJson(std::cout);
         return 0;

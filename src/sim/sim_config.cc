@@ -38,6 +38,9 @@ SimConfig::applyOverrides(const Config &cfg)
     interval = cfg.getU64("interval", interval);
     interval_out = cfg.getString("interval_out", interval_out);
     interval_stats = cfg.getString("interval_stats", interval_stats);
+    profile = cfg.getBool("profile", profile);
+    profile_out = cfg.getString("profile_out", profile_out);
+    stats_json = cfg.getString("stats_json", stats_json);
     check = cfg.getBool("check", check);
     audit = cfg.getBool("audit", audit);
     audit_interval = cfg.getU64("audit_interval", audit_interval);

@@ -94,6 +94,31 @@ struct SimConfig
     std::string interval_stats;
 
     /**
+     * Host-side phase profiling: time the tick-loop stages, the
+     * fast-forward and the detailed run with the hierarchical
+     * profiler (observe/profiler.hh). Per-cycle stage timing costs
+     * two clock reads per stage, so it is opt-in; simulated outputs
+     * are byte-identical either way.
+     */
+    bool profile = false;
+
+    /**
+     * Where the profile report goes when profile=1: a path for the
+     * flat-JSON phase tree, or empty (the default) for a
+     * human-readable tree on stderr.
+     */
+    std::string profile_out;
+
+    /**
+     * Dump the full statistics tree as one flat JSON object (sorted
+     * dotted-path keys, StatGroup::printJsonFlat) to this path after
+     * the run. Empty (the default) disables. This is the same flat
+     * format ledger records and profiler JSON use, so external
+     * tooling needs one parser for all three.
+     */
+    std::string stats_json;
+
+    /**
      * Run the golden-model differential checker: an in-order
      * functional memory model shadows the out-of-order core and every
      * committed load/store is cross-checked (throws SimError with kind
@@ -136,8 +161,9 @@ struct SimConfig
      * workload, ports, insts, ff, warmup, seed, replay, banksel,
      * storeq, l1_size, l1_line, l1_assoc, lsq, ruu, fetch_width,
      * issue_width, trace, trace_format, interval, interval_out,
-     * interval_stats, check, audit, audit_interval, watchdog,
-     * max_cycles, max_wall_ms, disambig.
+     * interval_stats, profile, profile_out, stats_json, check,
+     * audit, audit_interval, watchdog, max_cycles, max_wall_ms,
+     * disambig.
      */
     void applyOverrides(const Config &cfg);
 

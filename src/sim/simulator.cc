@@ -34,6 +34,9 @@ makeConfiguredWorkload(const SimConfig &config)
 Simulator::Simulator(const SimConfig &config)
     : config_(config)
 {
+    if (config_.profile)
+        profiler_ = std::make_unique<observe::Profiler>();
+    observe::ScopedPhase build_phase(profiler_.get(), "build");
     owned_workload_ = makeConfiguredWorkload(config_);
     build(*owned_workload_);
 }
@@ -41,6 +44,9 @@ Simulator::Simulator(const SimConfig &config)
 Simulator::Simulator(const SimConfig &config, Workload &workload)
     : config_(config)
 {
+    if (config_.profile)
+        profiler_ = std::make_unique<observe::Profiler>();
+    observe::ScopedPhase build_phase(profiler_.get(), "build");
     build(workload);
 }
 
@@ -148,6 +154,7 @@ Simulator::setupChecker()
 std::uint64_t
 Simulator::fastForward(std::uint64_t n)
 {
+    observe::ScopedPhase phase(profiler_.get(), "fast_forward");
     const std::uint64_t done = core_->fastForward(n);
     ff_done_ += done;
     return done;
@@ -201,8 +208,13 @@ Simulator::run()
         core_->setTracer(&tracer_);
         scheduler_->setTracer(&tracer_);
     }
+    // Per-cycle stage timing only happens under profile=1; the stage
+    // nodes land as children of "detailed" because the core's
+    // enter/exit pairs nest inside this scope.
+    core_->setProfiler(profiler_.get());
     RunResult result;
     try {
+        observe::ScopedPhase phase(profiler_.get(), "detailed");
         if (sampler_) {
             result = core_->run(config_.max_insts, config_.interval,
                                 [this] { sampler_->sample(); });
@@ -234,6 +246,13 @@ void
 Simulator::printStatsJson(std::ostream &os) const
 {
     root_.printJson(os);
+    os << '\n';
+}
+
+void
+Simulator::printStatsJsonFlat(std::ostream &os) const
+{
+    root_.printJsonFlat(os);
     os << '\n';
 }
 

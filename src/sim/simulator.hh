@@ -25,6 +25,7 @@
 #include "cacheport/port_scheduler.hh"
 #include "common/trace.hh"
 #include "cpu/core.hh"
+#include "observe/profiler.hh"
 #include "memory/hierarchy.hh"
 #include "sim/interval_sampler.hh"
 #include "sim/sim_config.hh"
@@ -105,6 +106,12 @@ class Simulator
     /** Dump the full statistics tree as one JSON object. */
     void printStatsJson(std::ostream &os) const;
 
+    /**
+     * Dump the full statistics tree as one flat JSON object keyed by
+     * dotted path, sorted like printStats() (the stats_json= knob).
+     */
+    void printStatsJsonFlat(std::ostream &os) const;
+
     Core &core() { return *core_; }
     MemoryHierarchy &hierarchy() { return *hierarchy_; }
     PortScheduler &portScheduler() { return *scheduler_; }
@@ -136,6 +143,16 @@ class Simulator
         return auditor_.get();
     }
 
+    /**
+     * The host-side phase profiler, or null when config.profile is
+     * off. Created at construction (so the build phase is timed);
+     * run() times fast-forward, the detailed loop and every tick
+     * stage under it. Callers wrap any extra work (checkpoint apply,
+     * report emission) in their own ScopedPhase, then stop() it and
+     * read/verify/report the tree.
+     */
+    observe::Profiler *profiler() { return profiler_.get(); }
+
   private:
     void build(Workload &workload);
 
@@ -163,6 +180,7 @@ class Simulator
     std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<verify::GoldenChecker> checker_;
     std::unique_ptr<verify::InvariantAuditor> auditor_;
+    std::unique_ptr<observe::Profiler> profiler_;
 };
 
 /**

@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/sim_error.hh"
+#include "observe/profiler.hh"
 
 namespace lbic
 {
@@ -63,7 +65,46 @@ runOne(const SweepJob &job)
     return out;
 }
 
+double
+msSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 } // anonymous namespace
+
+std::string
+SweepTelemetry::verify() const
+{
+    std::size_t jobs_sum = 0, fail_sum = 0, retry_sum = 0;
+    std::uint64_t insts_sum = 0;
+    for (const WorkerTelemetry &w : workers) {
+        jobs_sum += w.jobs;
+        fail_sum += w.failures;
+        retry_sum += w.retries;
+        insts_sum += w.insts;
+        // Busy and idle partition the worker's lifetime; they come
+        // from the same clock but separate subtractions, so allow
+        // float rounding (not drift) in the identity.
+        if (std::abs(w.busy_ms + w.idle_ms - w.wall_ms) > 1e-6)
+            return "worker " + std::to_string(w.worker)
+                   + ": busy + idle != wall";
+    }
+    if (jobs_sum != jobs_run)
+        return "sum(worker.jobs) != jobs_run";
+    if (jobs_run != total_jobs)
+        return "jobs_run " + std::to_string(jobs_run)
+               + " != total_jobs " + std::to_string(total_jobs);
+    if (fail_sum != failures)
+        return "sum(worker.failures) != failures";
+    if (retry_sum != retries)
+        return "sum(worker.retries) != retries";
+    if (insts_sum != insts)
+        return "sum(worker.insts) != insts";
+    return "";
+}
 
 SweepRunner::SweepRunner(unsigned num_threads)
     : num_threads_(num_threads)
@@ -76,7 +117,7 @@ SweepRunner::SweepRunner(unsigned num_threads)
 }
 
 std::vector<SweepResult>
-SweepRunner::run(const std::vector<SweepJob> &jobs) const
+SweepRunner::run(const std::vector<SweepJob> &jobs)
 {
     std::vector<SweepResult> results(jobs.size());
     std::vector<std::exception_ptr> errors(jobs.size());
@@ -93,6 +134,16 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             return;
         std::lock_guard<std::mutex> lock(progress_mutex);
         ++progress.running;
+        progress.label = job.label;
+        progress.wall_ms = 0.0;
+        progress.insts_per_sec = 0.0;
+        progress_(progress);
+    };
+    auto notifyRetry = [&](const SweepJob &job) {
+        if (!progress_)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++progress.retries;
         progress.label = job.label;
         progress.wall_ms = 0.0;
         progress.insts_per_sec = 0.0;
@@ -120,16 +171,30 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         progress_(progress);
     };
 
+    const unsigned pool = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads_,
+                              std::max<std::size_t>(jobs.size(), 1)));
+    std::vector<WorkerTelemetry> workers(pool);
+
     // Work-stealing by atomic cursor: each worker claims the next
     // unclaimed submission index. Results land in their submission
-    // slot, so ordering never depends on scheduling.
+    // slot, so ordering never depends on scheduling. Each worker
+    // additionally fills its own telemetry slot -- host-side numbers
+    // only, so simulation outputs stay deterministic.
     std::atomic<std::size_t> cursor{0};
-    auto worker = [&]() {
+    auto worker = [&](unsigned wid) {
+        WorkerTelemetry &tele = workers[wid];
+        tele.worker = wid;
+        const auto worker_start = std::chrono::steady_clock::now();
+        const observe::HostCounters cpu0 =
+            observe::sampleHostCounters();
         for (;;) {
+            const auto ready = std::chrono::steady_clock::now();
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
-                return;
+                break;
+            tele.queue_wait_ms += msSince(ready);
             notifyStart(jobs[i]);
 
             SweepJob job = jobs[i];
@@ -139,12 +204,18 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 job.config.max_wall_ms = policy_.max_wall_ms;
 
             for (unsigned attempt = 1;; ++attempt) {
+                const auto attempt_start =
+                    std::chrono::steady_clock::now();
                 try {
                     results[i] = runOne(job);
                     results[i].attempts = attempt;
+                    tele.busy_ms += msSince(attempt_start);
+                    ++tele.jobs;
+                    tele.insts += results[i].result.instructions;
                     notifyFinish(jobs[i], &results[i]);
                     break;
                 } catch (...) {
+                    tele.busy_ms += msSince(attempt_start);
                     const std::exception_ptr eptr =
                         std::current_exception();
                     // Classify: SimError failures are deterministic
@@ -168,6 +239,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                         kind = "exception";
                     }
                     if (!permanent && attempt <= policy_.retries) {
+                        ++tele.retries;
+                        notifyRetry(jobs[i]);
                         std::this_thread::sleep_for(
                             std::chrono::milliseconds(
                                 static_cast<std::uint64_t>(
@@ -182,26 +255,48 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                     results[i].error = std::move(what);
                     results[i].error_kind = std::move(kind);
                     results[i].attempts = attempt;
+                    ++tele.jobs;
+                    ++tele.failures;
                     notifyFinish(jobs[i], nullptr);
                     break;
                 }
             }
         }
+        const observe::HostCounters cpu =
+            observe::sampleHostCounters() - cpu0;
+        tele.user_ms = cpu.user_ms;
+        tele.sys_ms = cpu.sys_ms;
+        tele.peak_rss_kb = cpu.max_rss_kb;
+        tele.alloc_bytes = cpu.alloc_bytes;
+        tele.wall_ms = msSince(worker_start);
+        tele.idle_ms = tele.wall_ms - tele.busy_ms;
     };
 
-    const unsigned pool =
-        static_cast<unsigned>(std::min<std::size_t>(num_threads_,
-                                                    jobs.size()));
     if (pool <= 1) {
         // Serial path: run inline, no threads spawned.
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(pool);
         for (unsigned t = 0; t < pool; ++t)
-            threads.emplace_back(worker);
+            threads.emplace_back(worker, t);
         for (std::thread &t : threads)
             t.join();
+    }
+
+    // Merge after join (single-threaded): sums across workers plus
+    // the identities SweepTelemetry::verify() re-checks in tests.
+    telemetry_ = SweepTelemetry{};
+    telemetry_.total_jobs = jobs.size();
+    telemetry_.workers = std::move(workers);
+    for (const WorkerTelemetry &w : telemetry_.workers) {
+        telemetry_.jobs_run += w.jobs;
+        telemetry_.failures += w.failures;
+        telemetry_.retries += w.retries;
+        telemetry_.busy_ms += w.busy_ms;
+        telemetry_.insts += w.insts;
+        telemetry_.peak_rss_kb =
+            std::max(telemetry_.peak_rss_kb, w.peak_rss_kb);
     }
 
     if (!policy_.isolate) {

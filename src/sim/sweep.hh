@@ -56,6 +56,7 @@
 
 #include "cacheport/port_scheduler.hh"
 #include "observe/attribution.hh"
+#include "observe/profiler.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 
@@ -206,6 +207,7 @@ struct SweepProgress
     std::size_t completed = 0;  //!< jobs finished successfully
     std::size_t running = 0;    //!< jobs currently executing
     std::size_t failed = 0;     //!< jobs that threw
+    std::size_t retries = 0;    //!< retry attempts started so far
 
     /**
      * Label of the job this event is about: one that just started
@@ -221,6 +223,57 @@ struct SweepProgress
      * (instructions per host second); 0 on start and failure events.
      */
     double insts_per_sec = 0.0;
+};
+
+/**
+ * Host-side telemetry of one worker thread across a sweep: how many
+ * jobs it ran, what they cost the host, and how much of the worker's
+ * lifetime was spent simulating versus waiting. Workers fill their
+ * own slot with no synchronization; the runner merges after join.
+ */
+struct WorkerTelemetry
+{
+    unsigned worker = 0;        //!< worker index (0..pool-1)
+    std::size_t jobs = 0;       //!< jobs this worker completed or failed
+    std::size_t failures = 0;   //!< jobs whose final attempt threw
+    std::size_t retries = 0;    //!< extra attempts after transient fails
+    double wall_ms = 0.0;       //!< worker thread lifetime
+    double busy_ms = 0.0;       //!< summed job attempt wall clock
+    double idle_ms = 0.0;       //!< wall_ms - busy_ms (claim/join waits)
+    double queue_wait_ms = 0.0; //!< summed ready-to-claimed latency
+    double user_ms = 0.0;       //!< worker thread user CPU
+    double sys_ms = 0.0;        //!< worker thread system CPU
+    std::uint64_t peak_rss_kb = 0; //!< process peak RSS at worker exit
+    std::uint64_t alloc_bytes = 0; //!< hooked arena allocations
+    std::uint64_t insts = 0;    //!< simulated instructions retired
+};
+
+/** Merged per-worker telemetry of one SweepRunner::run() call. */
+struct SweepTelemetry
+{
+    /** One entry per pool worker, ordered by worker index. */
+    std::vector<WorkerTelemetry> workers;
+
+    std::size_t total_jobs = 0; //!< jobs submitted to the run
+
+    /** @{ @name Sums over workers (identities checked by verify()) */
+    std::size_t jobs_run = 0;
+    std::size_t failures = 0;
+    std::size_t retries = 0;
+    double busy_ms = 0.0;
+    std::uint64_t insts = 0;
+    /** @} */
+
+    std::uint64_t peak_rss_kb = 0; //!< max over workers
+
+    /**
+     * Check the merge identities: sum(worker.jobs) == jobs_run ==
+     * total_jobs, sum(worker.failures) == failures, sum(retries),
+     * and per worker busy + idle == wall (to float tolerance).
+     * Returns an empty string when all hold, else a description of
+     * the first violation.
+     */
+    std::string verify() const;
 };
 
 /** Fixed-size thread pool for vectors of independent simulations. */
@@ -268,12 +321,23 @@ class SweepRunner
      * policy.isolate the failure is recorded in the job's result
      * slot instead and the sweep returns normally.
      */
-    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    /**
+     * Per-worker host telemetry of the most recent run() call on this
+     * runner (empty before the first). The numbers describe the host
+     * execution (scheduling, CPU, RSS), never the simulation results,
+     * so they are the one part of a sweep that is *not* deterministic
+     * across thread counts -- which is why they live here and not in
+     * the results vector.
+     */
+    const SweepTelemetry &lastTelemetry() const { return telemetry_; }
 
   private:
     unsigned num_threads_;
     ProgressFn progress_;
     SweepPolicy policy_;
+    SweepTelemetry telemetry_;
 };
 
 /** One-shot convenience: run @p jobs on @p num_threads workers. */

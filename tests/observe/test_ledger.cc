@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the persistent run ledger: JSONL round-trips, the
+ * crash-recovery contract (a truncated final line is dropped and the
+ * next append heals the tail), key preservation for unknown fields,
+ * and the ledger-path resolution rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "observe/ledger.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using observe::LedgerEntry;
+using observe::LedgerReadResult;
+
+/** A self-deleting temp path under the build dir. */
+class TempLedger
+{
+  public:
+    explicit TempLedger(const std::string &name)
+        : path_("ledger_test_" + name + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempLedger() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+LedgerEntry
+sampleEntry(const std::string &label)
+{
+    LedgerEntry e;
+    e.config_hash = "deadbeef01234567";
+    e.driver = "table3_ipc";
+    e.workload = "swim";
+    e.seed = 7;
+    e.insts = 20000;
+    e.git_sha = "abc123def456";
+    e.label = label;
+    e.port_spec = "lbic:4x2";
+    e.status = "ok";
+    e.timestamp = "2026-08-08T12:00:00Z";
+    e.ipc = 2.7182;
+    e.instructions = 20000;
+    e.cycles = 7360;
+    e.wall_ms = 12.5;
+    e.insts_per_sec = 1600000.0;
+    return e;
+}
+
+TEST(Ledger, EntryJsonRoundTrip)
+{
+    const LedgerEntry e = sampleEntry("swim/lbic:4x2");
+    const std::string line = e.toJson();
+    // Flat object, no nesting, sorted keys start with config_hash.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('{', 1), std::string::npos);
+
+    LedgerEntry back;
+    ASSERT_TRUE(LedgerEntry::fromJson(line, back));
+    EXPECT_EQ(back.schema, e.schema);
+    EXPECT_EQ(back.config_hash, e.config_hash);
+    EXPECT_EQ(back.driver, e.driver);
+    EXPECT_EQ(back.workload, e.workload);
+    EXPECT_EQ(back.seed, e.seed);
+    EXPECT_EQ(back.insts, e.insts);
+    EXPECT_EQ(back.git_sha, e.git_sha);
+    EXPECT_EQ(back.label, e.label);
+    EXPECT_EQ(back.port_spec, e.port_spec);
+    EXPECT_EQ(back.status, e.status);
+    EXPECT_EQ(back.timestamp, e.timestamp);
+    EXPECT_DOUBLE_EQ(back.ipc, e.ipc);
+    EXPECT_EQ(back.instructions, e.instructions);
+    EXPECT_EQ(back.cycles, e.cycles);
+    EXPECT_DOUBLE_EQ(back.wall_ms, e.wall_ms);
+    EXPECT_DOUBLE_EQ(back.insts_per_sec, e.insts_per_sec);
+    EXPECT_FALSE(back.sampled);
+}
+
+TEST(Ledger, UnknownKeysPreserved)
+{
+    LedgerEntry in;
+    ASSERT_TRUE(LedgerEntry::fromJson(
+        "{\"driver\":\"x\",\"future_field\":\"hello\",\"ipc\":1.5}",
+        in));
+    EXPECT_EQ(in.driver, "x");
+    ASSERT_TRUE(in.extra.count("future_field"));
+    EXPECT_EQ(in.extra.at("future_field"), "hello");
+    // And they survive re-serialization.
+    EXPECT_NE(in.toJson().find("\"future_field\":\"hello\""),
+              std::string::npos);
+}
+
+TEST(Ledger, AppendAndLoad)
+{
+    TempLedger tmp("append");
+    std::vector<LedgerEntry> batch;
+    batch.push_back(sampleEntry("a"));
+    batch.push_back(sampleEntry("b"));
+    observe::appendLedger(tmp.path(), batch);
+    observe::appendLedger(tmp.path(), {sampleEntry("c")});
+
+    const LedgerReadResult r = observe::loadLedger(tmp.path());
+    EXPECT_EQ(r.malformed, 0u);
+    EXPECT_FALSE(r.truncated);
+    ASSERT_EQ(r.entries.size(), 3u);
+    EXPECT_EQ(r.entries[0].label, "a");
+    EXPECT_EQ(r.entries[1].label, "b");
+    EXPECT_EQ(r.entries[2].label, "c");
+}
+
+TEST(Ledger, MissingFileIsEmptyHistory)
+{
+    const LedgerReadResult r =
+        observe::loadLedger("no_such_ledger_file.jsonl");
+    EXPECT_TRUE(r.entries.empty());
+    EXPECT_EQ(r.malformed, 0u);
+    EXPECT_FALSE(r.truncated);
+}
+
+/** The crash contract: a writer killed mid-write truncates only the
+ *  final line; the reader drops it, and the next append heals the
+ *  tail so no two records ever fuse. */
+TEST(Ledger, TruncatedLastLineRecovered)
+{
+    TempLedger tmp("torn");
+    observe::appendLedger(tmp.path(),
+                          {sampleEntry("a"), sampleEntry("b")});
+
+    // Simulate the kill: chop the file mid-record.
+    std::string content;
+    {
+        std::ifstream in(tmp.path(), std::ios::binary);
+        std::getline(in, content, '\0');
+    }
+    const std::size_t cut = content.rfind("\"label\":\"b\"");
+    ASSERT_NE(cut, std::string::npos);
+    {
+        std::ofstream out(tmp.path(),
+                          std::ios::binary | std::ios::trunc);
+        out << content.substr(0, cut + 4); // mid-key, no newline
+    }
+
+    const LedgerReadResult torn = observe::loadLedger(tmp.path());
+    ASSERT_EQ(torn.entries.size(), 1u);
+    EXPECT_EQ(torn.entries[0].label, "a");
+    EXPECT_EQ(torn.malformed, 1u);
+    EXPECT_TRUE(torn.truncated);
+
+    // Healing append: the new record must not fuse with the stump.
+    observe::appendLedger(tmp.path(), {sampleEntry("c")});
+    const LedgerReadResult healed = observe::loadLedger(tmp.path());
+    ASSERT_EQ(healed.entries.size(), 2u);
+    EXPECT_EQ(healed.entries[0].label, "a");
+    EXPECT_EQ(healed.entries[1].label, "c");
+    EXPECT_EQ(healed.malformed, 1u); // the stump stays quarantined
+    EXPECT_FALSE(healed.truncated);  // ...but the tail is clean again
+}
+
+TEST(Ledger, MalformedMiddleLineSkipped)
+{
+    TempLedger tmp("malformed");
+    observe::appendLedger(tmp.path(), {sampleEntry("a")});
+    {
+        std::ofstream out(tmp.path(),
+                          std::ios::binary | std::ios::app);
+        out << "this is not json\n";
+    }
+    observe::appendLedger(tmp.path(), {sampleEntry("b")});
+
+    const LedgerReadResult r = observe::loadLedger(tmp.path());
+    ASSERT_EQ(r.entries.size(), 2u);
+    EXPECT_EQ(r.malformed, 1u);
+    EXPECT_FALSE(r.truncated); // the *final* line is fine
+}
+
+TEST(Ledger, EmptyBatchIsNoop)
+{
+    TempLedger tmp("empty");
+    observe::appendLedger(tmp.path(), {});
+    std::ifstream in(tmp.path());
+    EXPECT_FALSE(in.good()); // not even created
+}
+
+TEST(Ledger, ResolveLedgerPathKnobPriority)
+{
+    // Explicit knob wins outright.
+    EXPECT_EQ(observe::resolveLedgerPath("my/ledger.jsonl"),
+              "my/ledger.jsonl");
+    EXPECT_EQ(observe::resolveLedgerPath("none"), "");
+    EXPECT_EQ(observe::resolveLedgerPath("off"), "");
+
+    // "auto" consults LBIC_LEDGER next.
+    ::setenv("LBIC_LEDGER", "env/ledger.jsonl", 1);
+    EXPECT_EQ(observe::resolveLedgerPath("auto"), "env/ledger.jsonl");
+    ::setenv("LBIC_LEDGER", "none", 1);
+    EXPECT_EQ(observe::resolveLedgerPath("auto"), "");
+    ::unsetenv("LBIC_LEDGER");
+    // With no env, auto resolves to the repo-default path only when
+    // ./results exists in the working directory, else to disabled.
+    struct stat st{};
+    const bool has_results =
+        ::stat("results", &st) == 0 && S_ISDIR(st.st_mode);
+    EXPECT_EQ(observe::resolveLedgerPath("auto"),
+              has_results ? "results/ledger.jsonl" : "");
+}
+
+TEST(Ledger, TimestampShape)
+{
+    const std::string t = observe::ledgerTimestamp();
+    ASSERT_EQ(t.size(), 20u);
+    EXPECT_EQ(t[4], '-');
+    EXPECT_EQ(t[10], 'T');
+    EXPECT_EQ(t[19], 'Z');
+}
+
+} // namespace
+} // namespace lbic

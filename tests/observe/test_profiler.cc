@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the host-side phase profiler: the telescoping sum-exact
+ * identity (self + children == inclusive, byte-exact), the RAII
+ * scope semantics, host counters, and the end-to-end wiring through
+ * Simulator (profile=1 must time every tick stage without changing a
+ * single simulated number).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "observe/profiler.hh"
+#include "sim/simulator.hh"
+
+namespace lbic
+{
+namespace
+{
+
+TEST(Profiler, NestedScopesSumExact)
+{
+    observe::Profiler prof;
+    {
+        observe::ScopedPhase outer(&prof, "outer");
+        for (int i = 0; i < 100; ++i) {
+            observe::ScopedPhase a(&prof, "a");
+            {
+                observe::ScopedPhase b(&prof, "deep");
+            }
+        }
+        observe::ScopedPhase c(&prof, "c");
+    }
+    prof.stop();
+    EXPECT_EQ(prof.verify(), "");
+
+    const observe::Profiler::Node &root = prof.root();
+    EXPECT_EQ(root.name, "total");
+    EXPECT_EQ(root.calls, 1u);
+    ASSERT_NE(root.child("outer"), nullptr);
+    const observe::Profiler::Node &outer = *root.child("outer");
+    EXPECT_EQ(outer.calls, 1u);
+    ASSERT_NE(outer.child("a"), nullptr);
+    EXPECT_EQ(outer.child("a")->calls, 100u);
+    ASSERT_NE(outer.child("a")->child("deep"), nullptr);
+    EXPECT_EQ(outer.child("a")->child("deep")->calls, 100u);
+    ASSERT_NE(outer.child("c"), nullptr);
+
+    // The telescoping identity, restated independently of verify():
+    // byte-exact integer equality at every level.
+    EXPECT_EQ(root.self_ns + root.childrenNs(), root.inclusive_ns);
+    EXPECT_EQ(outer.self_ns + outer.childrenNs(), outer.inclusive_ns);
+    const observe::Profiler::Node &a = *outer.child("a");
+    EXPECT_EQ(a.self_ns + a.childrenNs(), a.inclusive_ns);
+}
+
+TEST(Profiler, NullProfilerScopesAreNoops)
+{
+    // Must not crash, allocate, or need a Profiler at all.
+    for (int i = 0; i < 10; ++i) {
+        observe::ScopedPhase p(nullptr, "anything");
+        observe::ScopedPhase q(nullptr, "nested");
+    }
+}
+
+TEST(Profiler, OpenScopeDetectedByVerify)
+{
+    observe::Profiler prof;
+    observe::Profiler::Node *node = prof.enter("left_open");
+    EXPECT_NE(prof.verify(), ""); // root still open too
+    prof.exit(node);
+    // Root not yet stopped: verify must still flag it.
+    EXPECT_NE(prof.verify(), "");
+    prof.stop();
+    EXPECT_EQ(prof.verify(), "");
+    EXPECT_TRUE(prof.stopped());
+}
+
+TEST(Profiler, SameNameReusesNode)
+{
+    observe::Profiler prof;
+    for (int i = 0; i < 5; ++i) {
+        observe::ScopedPhase p(&prof, "phase");
+    }
+    prof.stop();
+    EXPECT_EQ(prof.verify(), "");
+    ASSERT_NE(prof.root().child("phase"), nullptr);
+    EXPECT_EQ(prof.root().child("phase")->calls, 5u);
+    EXPECT_EQ(prof.root().children.size(), 1u);
+}
+
+TEST(Profiler, ReportAndJsonContainPhases)
+{
+    observe::Profiler prof;
+    {
+        observe::ScopedPhase p(&prof, "alpha");
+        observe::ScopedPhase q(&prof, "beta");
+    }
+    prof.stop();
+    ASSERT_EQ(prof.verify(), "");
+
+    std::ostringstream human;
+    prof.report(human);
+    EXPECT_NE(human.str().find("total"), std::string::npos);
+    EXPECT_NE(human.str().find("alpha"), std::string::npos);
+    EXPECT_NE(human.str().find("beta"), std::string::npos);
+
+    std::ostringstream json;
+    prof.printJson(json);
+    const std::string j = json.str();
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    EXPECT_NE(j.find("\"total.ns\":"), std::string::npos);
+    EXPECT_NE(j.find("\"total.alpha.ns\":"), std::string::npos);
+    EXPECT_NE(j.find("\"total.alpha.beta.self_ns\":"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"total.alpha.beta.calls\":1"),
+              std::string::npos);
+}
+
+TEST(HostCounters, SamplesAreMonotonic)
+{
+    const observe::HostCounters a = observe::sampleHostCounters();
+    // Burn a little CPU so the counters can move.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 2000000; ++i)
+        sink += i * i;
+    (void)sink;
+    const observe::HostCounters b = observe::sampleHostCounters();
+    EXPECT_GE(b.user_ms + b.sys_ms, a.user_ms + a.sys_ms);
+    EXPECT_GE(b.max_rss_kb, a.max_rss_kb);
+    EXPECT_GT(b.max_rss_kb, 0u);
+
+    const observe::HostCounters d = b - a;
+    EXPECT_GE(d.user_ms, 0.0);
+    EXPECT_GE(d.sys_ms, 0.0);
+    EXPECT_EQ(d.max_rss_kb, b.max_rss_kb); // high-water: later sample
+}
+
+TEST(HostCounters, ThreadAllocCounterAccumulates)
+{
+    const std::uint64_t before = observe::threadAllocCounter();
+    observe::threadAllocCounter() += 12345;
+    EXPECT_EQ(observe::threadAllocCounter(), before + 12345);
+}
+
+/** profile=1 wired through Simulator: stage tree + byte-identity. */
+TEST(Profiler, SimulatorRunProducesVerifiedStageTree)
+{
+    SimConfig cfg;
+    cfg.workload = "swim";
+    cfg.port_spec = "lbic:4x2";
+    cfg.max_insts = 20000;
+    cfg.profile = true;
+
+    Simulator sim(cfg);
+    ASSERT_NE(sim.profiler(), nullptr);
+    const RunResult r = sim.run();
+
+    observe::Profiler &prof = *sim.profiler();
+    prof.stop();
+    EXPECT_EQ(prof.verify(), "");
+
+    const observe::Profiler::Node &root = prof.root();
+    ASSERT_NE(root.child("detailed"), nullptr);
+    const observe::Profiler::Node &detailed = *root.child("detailed");
+    // Every tick stage shows up, called exactly once per cycle.
+    for (const char *stage :
+         {"wakeup", "issue", "mem_issue", "select", "commit",
+          "dispatch"}) {
+        ASSERT_NE(detailed.child(stage), nullptr) << stage;
+        EXPECT_EQ(detailed.child(stage)->calls, r.cycles) << stage;
+    }
+    ASSERT_NE(root.child("build"), nullptr);
+
+    // The whole point: profiling must not perturb the simulation.
+    SimConfig plain = cfg;
+    plain.profile = false;
+    Simulator ref(plain);
+    const RunResult rr = ref.run();
+    EXPECT_EQ(rr.instructions, r.instructions);
+    EXPECT_EQ(rr.cycles, r.cycles);
+
+    std::ostringstream a, b;
+    sim.printStats(a);
+    ref.printStats(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+/** fast_forward shows up as its own phase under profile=1. */
+TEST(Profiler, FastForwardPhaseRecorded)
+{
+    SimConfig cfg;
+    cfg.workload = "compress";
+    cfg.port_spec = "bank:4";
+    cfg.max_insts = 5000;
+    cfg.ff_insts = 20000;
+    cfg.profile = true;
+
+    Simulator sim(cfg);
+    sim.run();
+    sim.profiler()->stop();
+    EXPECT_EQ(sim.profiler()->verify(), "");
+    ASSERT_NE(sim.profiler()->root().child("fast_forward"), nullptr);
+    EXPECT_GE(
+        sim.profiler()->root().child("fast_forward")->inclusive_ns,
+        0u);
+}
+
+} // namespace
+} // namespace lbic

@@ -123,7 +123,7 @@ TEST(BenchJsonTest, EmitsSchemaVersionAndProvenanceMetadata)
     const std::string json = os.str();
     expectBalancedJson(json);
 
-    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"sampled\": false"), std::string::npos);
     EXPECT_NE(json.find("\"driver\": \"test_driver\""),
               std::string::npos);
@@ -235,7 +235,8 @@ TEST(BenchJsonTest, SampledJsonCarriesSamplingBlocks)
     const std::string json = os.str();
     expectBalancedJson(json);
     for (const char *key :
-         {"\"schema_version\": 3", "\"sampled\": true",
+         {"\"schema_version\": 4", "\"sampled\": true",
+          "\"resources\": {",
           "\"sampling\": {", "\"intervals\": ",
           "\"interval_len\": 5000", "\"warmup\": 1000",
           "\"coverage\": ", "\"est_ipc\": ", "\"interval_runs\": [",
@@ -248,6 +249,46 @@ TEST(BenchJsonTest, SampledJsonCarriesSamplingBlocks)
     for (const bench::SampledCell &cell : out.cells) {
         ASSERT_GT(cell.full_ipc, 0.0);
         EXPECT_LT(std::abs(cell.errorVsFull()), 0.15) << cell.label;
+    }
+}
+
+TEST(BenchJsonTest, ResourcesBlockAccountsForEveryJob)
+{
+    // Even with an injected fault in the grid, the merged resources
+    // block must be present and its per-worker job counts must sum
+    // to the total job count (failed jobs included).
+    detail::setThrowOnError(true);
+    const std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("no-such-kernel", "bank:4", 1000),
+        SweepJob::of("swim", "lbic:4x2", 5000),
+    };
+    bench::BenchArgs args;
+    args.insts = 5000;
+    args.jobs = 2;
+    const bench::SweepOutput out = bench::runJobs(args, jobs);
+    detail::setThrowOnError(false);
+
+    EXPECT_EQ(out.telemetry.verify(), "");
+    EXPECT_EQ(out.telemetry.total_jobs, jobs.size());
+    EXPECT_EQ(out.telemetry.jobs_run, jobs.size());
+    EXPECT_EQ(out.telemetry.failures, 1u);
+    std::size_t worker_jobs = 0;
+    for (const WorkerTelemetry &w : out.telemetry.workers)
+        worker_jobs += w.jobs;
+    EXPECT_EQ(worker_jobs, jobs.size());
+
+    std::ostringstream os;
+    bench::printJsonResults(os, "test_driver", args, jobs, out);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    for (const char *key :
+         {"\"resources\": {", "\"jobs_total\": 3", "\"jobs_run\": 3",
+          "\"failures\": 1", "\"retries\": ", "\"busy_ms\": ",
+          "\"insts\": ", "\"insts_per_sec\": ", "\"peak_rss_kb\": ",
+          "\"workers\": [", "\"queue_wait_ms\": ", "\"idle_ms\": ",
+          "\"user_ms\": ", "\"alloc_bytes\": "}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
     }
 }
 

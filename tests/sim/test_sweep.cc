@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -287,6 +289,123 @@ TEST(SweepTest, ZeroThreadsMeansHardwareConcurrency)
 TEST(SweepTest, EmptyJobListYieldsEmptyResults)
 {
     EXPECT_TRUE(runSweep({}, 4).empty());
+}
+
+TEST(SweepTest, TelemetryAccountsEveryJob)
+{
+    const std::vector<SweepJob> jobs = mixedMatrix();
+    SweepRunner runner(4);
+    const std::vector<SweepResult> results = runner.run(jobs);
+
+    const SweepTelemetry &t = runner.lastTelemetry();
+    EXPECT_EQ(t.verify(), "");
+    EXPECT_EQ(t.total_jobs, jobs.size());
+    EXPECT_EQ(t.jobs_run, jobs.size());
+    EXPECT_EQ(t.failures, 0u);
+    EXPECT_EQ(t.retries, 0u);
+    EXPECT_LE(t.workers.size(), 4u);
+    EXPECT_GE(t.workers.size(), 1u);
+    EXPECT_GT(t.busy_ms, 0.0);
+    EXPECT_GT(t.peak_rss_kb, 0u);
+
+    // Simulated instructions in the telemetry are the sum over the
+    // (deterministic) results -- host accounting must agree with the
+    // simulation it accounted for.
+    std::uint64_t insts = 0;
+    for (const SweepResult &r : results)
+        insts += r.result.instructions;
+    EXPECT_EQ(t.insts, insts);
+
+    std::size_t worker_jobs = 0;
+    for (const WorkerTelemetry &w : t.workers) {
+        worker_jobs += w.jobs;
+        EXPECT_GE(w.wall_ms, w.busy_ms);
+        EXPECT_GE(w.queue_wait_ms, 0.0);
+        EXPECT_GT(w.peak_rss_kb, 0u);
+        // Every worker ran at least one job (there are 12 jobs for
+        // at most 4 workers), so its arena hook must have counted
+        // the Core's scratch reserves.
+        if (w.jobs > 0)
+            EXPECT_GT(w.alloc_bytes, 0u) << "worker " << w.worker;
+    }
+    EXPECT_EQ(worker_jobs, jobs.size());
+}
+
+TEST(SweepTest, TelemetryCountsFailedJobsToo)
+{
+    detail::setThrowOnError(true);
+    std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 5000),
+        SweepJob::of("no-such-kernel", "ideal:4", 1000),
+        SweepJob::of("swim", "bank:4", 5000),
+    };
+    SweepRunner runner(2);
+    SweepPolicy policy;
+    policy.isolate = true;
+    runner.setPolicy(policy);
+    runner.run(jobs);
+    detail::setThrowOnError(false);
+
+    const SweepTelemetry &t = runner.lastTelemetry();
+    EXPECT_EQ(t.verify(), "");
+    EXPECT_EQ(t.total_jobs, 3u);
+    EXPECT_EQ(t.jobs_run, 3u); // failed jobs are still run jobs
+    EXPECT_EQ(t.failures, 1u);
+    std::size_t worker_failures = 0;
+    for (const WorkerTelemetry &w : t.workers)
+        worker_failures += w.failures;
+    EXPECT_EQ(worker_failures, 1u);
+}
+
+TEST(SweepTest, TelemetryAndProgressCountRetries)
+{
+    // A setup hook that throws a transient error on the first
+    // attempt: the runner must retry, count the retry in both the
+    // telemetry and the progress stream, and succeed on attempt 2.
+    auto flaky_once = std::make_shared<std::atomic<bool>>(true);
+    SweepJob job = SweepJob::of("li", "ideal:4", 5000);
+    job.setup = [flaky_once](Simulator &) {
+        if (flaky_once->exchange(false))
+            throw std::runtime_error("transient setup failure");
+    };
+
+    SweepRunner runner(1);
+    SweepPolicy policy;
+    policy.isolate = true;
+    policy.retries = 2;
+    policy.backoff_ms = 1;
+    runner.setPolicy(policy);
+    std::vector<SweepProgress> events;
+    runner.setProgress([&](const SweepProgress &p) {
+        events.push_back(p);
+    });
+    const std::vector<SweepResult> results = runner.run({job});
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 2u);
+
+    const SweepTelemetry &t = runner.lastTelemetry();
+    EXPECT_EQ(t.verify(), "");
+    EXPECT_EQ(t.retries, 1u);
+    EXPECT_EQ(t.failures, 0u);
+    EXPECT_EQ(t.jobs_run, 1u);
+
+    // start, retry, finish: the retry event carries the new counter.
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[1].retries, 1u);
+    EXPECT_EQ(events.back().completed, 1u);
+    EXPECT_EQ(events.back().retries, 1u);
+}
+
+TEST(SweepTest, TelemetryOfEmptySweepIsConsistent)
+{
+    SweepRunner runner(4);
+    runner.run({});
+    const SweepTelemetry &t = runner.lastTelemetry();
+    EXPECT_EQ(t.verify(), "");
+    EXPECT_EQ(t.total_jobs, 0u);
+    EXPECT_EQ(t.jobs_run, 0u);
 }
 
 } // anonymous namespace

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * perf_report: read the persistent run ledger back as trend tables,
+ * SHA-to-SHA diffs and a CI regression gate.
+ *
+ *   perf_report [ledger=results/ledger.jsonl] [driver=NAME]
+ *       trend tables: one row per recorded sweep (a (git_sha,
+ *       config_hash, timestamp) group), with run counts, mean IPC and
+ *       aggregate host throughput.
+ *
+ *   perf_report diff=SHA1,SHA2 [driver=NAME]
+ *       per-run comparison of the two trees: runs are matched on
+ *       (driver, workload, port_spec, seed, insts, label) and the IPC
+ *       and throughput deltas reported. "last" and "prev" name the
+ *       two most recent distinct SHAs in the ledger.
+ *
+ *   perf_report --check [--warn-only] [baseline=results/perf_baseline.json]
+ *       [threshold=0.25]
+ *       regression gate: the most recent sweep of the baseline's
+ *       driver must sustain min_insts_per_s aggregate throughput, and
+ *       must not have slowed by more than `threshold` (fractional)
+ *       against the previous recorded SHA of the same config_hash.
+ *       Exits 2 on violation (0 with --warn-only, which still prints
+ *       the verdicts).
+ *
+ * Exit codes: 0 ok, 1 usage/io error, 2 regression (--check).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/sim_error.hh"
+#include "common/table.hh"
+#include "observe/ledger.hh"
+
+namespace
+{
+
+using namespace lbic;
+using observe::LedgerEntry;
+
+/**
+ * One recorded sweep: every ledger line sharing (driver, git_sha,
+ * config_hash, timestamp). A driver invocation appends its whole grid
+ * in one atomic batch with one shared timestamp, so this grouping
+ * reconstructs the original sweeps exactly.
+ */
+struct Sweep
+{
+    std::string driver, git_sha, config_hash, timestamp;
+    std::vector<const LedgerEntry *> runs;
+
+    std::size_t okRuns() const
+    {
+        std::size_t n = 0;
+        for (const auto *e : runs)
+            n += e->status == "ok" ? 1 : 0;
+        return n;
+    }
+
+    double meanIpc() const
+    {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (const auto *e : runs) {
+            if (e->status == "ok") {
+                sum += e->ipc;
+                ++n;
+            }
+        }
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    std::uint64_t totalInsts() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto *e : runs)
+            sum += e->instructions;
+        return sum;
+    }
+
+    double totalWallMs() const
+    {
+        double sum = 0.0;
+        for (const auto *e : runs)
+            sum += e->wall_ms;
+        return sum;
+    }
+
+    /** Aggregate host throughput: simulated insts per summed-run-wall
+     *  second. Per-run wall (not sweep wall) so the number is
+     *  comparable across different jobs= settings. */
+    double instsPerSec() const
+    {
+        const double ms = totalWallMs();
+        return ms > 0.0
+                   ? static_cast<double>(totalInsts()) / (ms / 1000.0)
+                   : 0.0;
+    }
+};
+
+/** Group ledger entries into sweeps, preserving ledger (time) order. */
+std::vector<Sweep>
+groupSweeps(const std::vector<LedgerEntry> &entries,
+            const std::string &driver_filter)
+{
+    std::vector<Sweep> sweeps;
+    std::map<std::string, std::size_t> index;
+    for (const LedgerEntry &e : entries) {
+        if (!driver_filter.empty() && e.driver != driver_filter)
+            continue;
+        const std::string key = e.driver + "\x1f" + e.git_sha + "\x1f"
+            + e.config_hash + "\x1f" + e.timestamp;
+        auto it = index.find(key);
+        if (it == index.end()) {
+            it = index.emplace(key, sweeps.size()).first;
+            Sweep s;
+            s.driver = e.driver;
+            s.git_sha = e.git_sha;
+            s.config_hash = e.config_hash;
+            s.timestamp = e.timestamp;
+            sweeps.push_back(std::move(s));
+        }
+        sweeps[it->second].runs.push_back(&e);
+    }
+    return sweeps;
+}
+
+std::string
+shortSha(const std::string &sha)
+{
+    return sha.size() > 12 ? sha.substr(0, 12) : sha;
+}
+
+int
+modeTrend(const std::vector<LedgerEntry> &entries,
+          const std::string &driver_filter)
+{
+    const std::vector<Sweep> sweeps =
+        groupSweeps(entries, driver_filter);
+    if (sweeps.empty()) {
+        std::cout << "ledger holds no "
+                  << (driver_filter.empty()
+                          ? "entries"
+                          : "entries for driver '" + driver_filter
+                                + "'")
+                  << "\n";
+        return 0;
+    }
+    // One table per driver, sweeps in append (chronological) order.
+    std::map<std::string, std::vector<const Sweep *>> by_driver;
+    for (const Sweep &s : sweeps)
+        by_driver[s.driver].push_back(&s);
+    for (const auto &kv : by_driver) {
+        std::cout << "driver " << kv.first << ":\n";
+        TextTable table;
+        table.setHeader({"timestamp", "git_sha", "config", "runs",
+                         "ok", "mean_ipc", "Minsts", "wall_s",
+                         "Minst/s"});
+        for (const Sweep *s : kv.second) {
+            table.addRow(
+                {s->timestamp, shortSha(s->git_sha),
+                 s->config_hash.substr(0, 8),
+                 std::to_string(s->runs.size()),
+                 std::to_string(s->okRuns()),
+                 TextTable::fmt(s->meanIpc(), 4),
+                 TextTable::fmt(
+                     static_cast<double>(s->totalInsts()) / 1e6, 2),
+                 TextTable::fmt(s->totalWallMs() / 1000.0, 2),
+                 TextTable::fmt(s->instsPerSec() / 1e6, 2)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}
+
+/** The run-matching key for SHA-to-SHA diffs. */
+std::string
+runKey(const LedgerEntry &e)
+{
+    return e.driver + "\x1f" + e.workload + "\x1f" + e.port_spec
+        + "\x1f" + std::to_string(e.seed) + "\x1f"
+        + std::to_string(e.insts) + "\x1f" + e.label;
+}
+
+/**
+ * Resolve a diff operand: a literal SHA (any unique prefix), or
+ * "last" / "prev" for the two most recent distinct SHAs.
+ */
+std::string
+resolveSha(const std::vector<LedgerEntry> &entries,
+           const std::string &spec, const std::string &driver_filter)
+{
+    std::vector<std::string> order; // distinct SHAs, oldest first
+    for (const LedgerEntry &e : entries) {
+        if (!driver_filter.empty() && e.driver != driver_filter)
+            continue;
+        if (std::find(order.begin(), order.end(), e.git_sha)
+            == order.end())
+            order.push_back(e.git_sha);
+    }
+    if (spec == "last" || spec == "prev") {
+        const std::size_t back = spec == "last" ? 1 : 2;
+        if (order.size() < back)
+            throw SimError(SimErrorKind::Config,
+                           "ledger holds fewer than "
+                               + std::to_string(back)
+                               + " distinct git SHAs");
+        return order[order.size() - back];
+    }
+    for (const std::string &sha : order) {
+        if (sha.rfind(spec, 0) == 0)
+            return sha;
+    }
+    throw SimError(SimErrorKind::Config,
+                   "git SHA '" + spec + "' not found in ledger");
+}
+
+int
+modeDiff(const std::vector<LedgerEntry> &entries,
+         const std::string &spec, const std::string &driver_filter)
+{
+    const auto comma = spec.find(',');
+    if (comma == std::string::npos)
+        throw SimError(SimErrorKind::Config,
+                       "diff= needs two comma-separated SHAs "
+                       "(or prev,last)");
+    const std::string sha_a =
+        resolveSha(entries, spec.substr(0, comma), driver_filter);
+    const std::string sha_b =
+        resolveSha(entries, spec.substr(comma + 1), driver_filter);
+
+    // Latest entry per run key on each side (a SHA rerun supersedes).
+    std::map<std::string, const LedgerEntry *> a, b;
+    for (const LedgerEntry &e : entries) {
+        if (!driver_filter.empty() && e.driver != driver_filter)
+            continue;
+        if (e.git_sha == sha_a)
+            a[runKey(e)] = &e;
+        else if (e.git_sha == sha_b)
+            b[runKey(e)] = &e;
+    }
+
+    std::cout << "diff " << shortSha(sha_a) << " -> "
+              << shortSha(sha_b) << ":\n";
+    TextTable table;
+    table.setHeader({"run", "ipc_a", "ipc_b", "dipc", "Minst/s_a",
+                     "Minst/s_b", "speed"});
+    std::size_t matched = 0;
+    double ipc_ratio_sum = 0.0, speed_ratio_sum = 0.0;
+    std::size_t speed_n = 0;
+    for (const auto &kv : a) {
+        const auto it = b.find(kv.first);
+        if (it == b.end())
+            continue;
+        const LedgerEntry &ea = *kv.second;
+        const LedgerEntry &eb = *it->second;
+        if (ea.status != "ok" || eb.status != "ok")
+            continue;
+        ++matched;
+        ipc_ratio_sum += ea.ipc > 0.0 ? eb.ipc / ea.ipc : 1.0;
+        std::string speed = "-";
+        if (ea.insts_per_sec > 0.0 && eb.insts_per_sec > 0.0) {
+            const double r = eb.insts_per_sec / ea.insts_per_sec;
+            speed_ratio_sum += r;
+            ++speed_n;
+            speed = TextTable::fmt(r, 2) + "x";
+        }
+        table.addRow({ea.label, TextTable::fmt(ea.ipc, 4),
+                      TextTable::fmt(eb.ipc, 4),
+                      TextTable::fmt(eb.ipc - ea.ipc, 4),
+                      TextTable::fmt(ea.insts_per_sec / 1e6, 2),
+                      TextTable::fmt(eb.insts_per_sec / 1e6, 2),
+                      speed});
+    }
+    table.print(std::cout);
+    if (matched == 0) {
+        std::cout << "no matching ok runs between the two SHAs\n";
+        return 0;
+    }
+    std::cout << '\n' << matched << " matched runs; mean IPC ratio "
+              << TextTable::fmt(
+                     ipc_ratio_sum / static_cast<double>(matched), 4);
+    if (speed_n)
+        std::cout << ", mean host-speed ratio "
+                  << TextTable::fmt(speed_ratio_sum
+                                        / static_cast<double>(speed_n),
+                                    2)
+                  << "x";
+    std::cout << '\n';
+    return 0;
+}
+
+int
+modeCheck(const std::vector<LedgerEntry> &entries,
+          const std::string &baseline_path, double threshold,
+          bool warn_only, std::string driver_filter)
+{
+    // The baseline is one flat JSON object; LedgerEntry's parser
+    // reads it (known keys into fields, thresholds into extra).
+    std::ifstream in(baseline_path);
+    if (!in)
+        throw SimError(SimErrorKind::Config,
+                       "cannot read baseline '" + baseline_path + "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    LedgerEntry baseline;
+    if (!LedgerEntry::fromJson(ss.str(), baseline))
+        throw SimError(SimErrorKind::Config,
+                       "baseline '" + baseline_path
+                           + "' is not a flat JSON object");
+    if (driver_filter.empty())
+        driver_filter = baseline.driver;
+    const double min_ips = baseline.extra.count("min_insts_per_s")
+        ? std::strtod(baseline.extra.at("min_insts_per_s").c_str(),
+                      nullptr)
+        : 0.0;
+
+    const std::vector<Sweep> sweeps =
+        groupSweeps(entries, driver_filter);
+    if (sweeps.empty())
+        throw SimError(SimErrorKind::Config,
+                       "ledger holds no sweeps for driver '"
+                           + driver_filter + "'");
+    const Sweep &latest = sweeps.back();
+    const double ips = latest.instsPerSec();
+
+    bool failed = false;
+    std::cout << "check driver " << driver_filter << " @ "
+              << shortSha(latest.git_sha) << " (" << latest.timestamp
+              << "): " << TextTable::fmt(ips / 1e6, 2) << " Minst/s, "
+              << latest.okRuns() << "/" << latest.runs.size()
+              << " runs ok\n";
+
+    if (latest.okRuns() != latest.runs.size()) {
+        std::cout << "  FAIL: "
+                  << latest.runs.size() - latest.okRuns()
+                  << " failed runs in the latest sweep\n";
+        failed = true;
+    }
+    if (min_ips > 0.0) {
+        if (ips < min_ips) {
+            std::cout << "  FAIL: throughput below baseline floor ("
+                      << TextTable::fmt(ips / 1e6, 2) << " < "
+                      << TextTable::fmt(min_ips / 1e6, 2)
+                      << " Minst/s)\n";
+            failed = true;
+        } else {
+            std::cout << "  ok: above baseline floor "
+                      << TextTable::fmt(min_ips / 1e6, 2)
+                      << " Minst/s\n";
+        }
+    }
+
+    // Regression vs history: the most recent *earlier-SHA* sweep of
+    // the same config_hash (like-for-like grid only).
+    const Sweep *prev = nullptr;
+    for (const Sweep &s : sweeps) {
+        if (s.git_sha != latest.git_sha
+            && s.config_hash == latest.config_hash)
+            prev = &s;
+    }
+    if (prev) {
+        const double prev_ips = prev->instsPerSec();
+        if (prev_ips > 0.0) {
+            const double drop = 1.0 - ips / prev_ips;
+            if (drop > threshold) {
+                std::cout << "  FAIL: "
+                          << TextTable::fmt(drop * 100.0, 1)
+                          << "% slower than " << shortSha(prev->git_sha)
+                          << " (threshold "
+                          << TextTable::fmt(threshold * 100.0, 1)
+                          << "%)\n";
+                failed = true;
+            } else {
+                std::cout << "  ok: vs " << shortSha(prev->git_sha)
+                          << " speed ratio "
+                          << TextTable::fmt(ips / prev_ips, 2) << "x\n";
+            }
+        }
+    } else {
+        std::cout << "  note: no earlier SHA with the same config in "
+                     "the ledger; floor check only\n";
+    }
+
+    if (failed && warn_only) {
+        std::cout << "WARN (--warn-only): regression detected but not "
+                     "failing the build\n";
+        return 0;
+    }
+    return failed ? 2 : 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::vector<const char *> kv;
+    bool check = false, warn_only = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg == "--check")
+            check = true;
+        else if (arg == "--warn-only")
+            warn_only = true;
+        else
+            kv.push_back(argv[i]);
+    }
+    const Config args =
+        Config::fromArgs(static_cast<int>(kv.size()), kv.data());
+    const std::string ledger_path = observe::resolveLedgerPath(
+        args.getString("ledger", "auto"));
+    const std::string baseline =
+        args.getString("baseline", "results/perf_baseline.json");
+    const std::string diff = args.getString("diff", "");
+    const std::string driver = args.getString("driver", "");
+    const double threshold = args.getDouble("threshold", 0.25);
+    args.rejectUnrecognized();
+
+    if (ledger_path.empty()) {
+        std::cerr << "perf_report: no ledger configured (pass "
+                     "ledger=PATH or run from the repo root)\n";
+        return 1;
+    }
+    const observe::LedgerReadResult ledger =
+        observe::loadLedger(ledger_path);
+    if (ledger.malformed)
+        std::cerr << "perf_report: dropped " << ledger.malformed
+                  << " malformed line(s)"
+                  << (ledger.truncated
+                          ? " (including a crash-truncated tail)"
+                          : "")
+                  << " from " << ledger_path << '\n';
+
+    if (check)
+        return modeCheck(ledger.entries, baseline, threshold,
+                         warn_only, driver);
+    if (!diff.empty())
+        return modeDiff(ledger.entries, diff, driver);
+    return modeTrend(ledger.entries, driver);
+} catch (const lbic::SimError &e) {
+    std::cerr << "perf_report: " << e.what() << '\n';
+    return 1;
+}
