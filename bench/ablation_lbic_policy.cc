@@ -27,6 +27,9 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
+    if (const auto worker_rc = bench::maybeRunWorker(argc, argv))
+        return *worker_rc;
+
     const bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, 300000);
     args.config.rejectUnrecognized();

@@ -14,8 +14,31 @@
  * Sweeps run fault-isolated: a job that fails (bad configuration,
  * watchdog deadlock, checker divergence) is reported instead of
  * aborting the grid, transient failures are retried `retries=` times
- * (default 1), and the driver's exit code is nonzero iff any job
- * failed.
+ * (default 1), a run can be bounded by `timeout_ms=` wall clock, and
+ * the driver's exit code is nonzero iff any job failed.
+ *
+ * Two further knobs route the sweep through the exploration service
+ * (service/coordinator.hh) instead of the in-process thread pool:
+ *
+ *  - `store=DIR` opens the persistent content-addressed result store
+ *    at DIR. Cells already simulated under the same provenance tuple
+ *    (config hash, workload, seed, insts, git sha) are answered from
+ *    the store instantly; only the delta is simulated, and every new
+ *    result is persisted for the next run.
+ *  - `workers=N` shards the simulations across N forked worker
+ *    processes (the driver re-executes itself with the `worker`
+ *    subcommand -- see maybeRunWorker()). A worker that segfaults, is
+ *    OOM-killed or hangs costs one job attempt, not the sweep: the
+ *    job is retried on a respawned worker, and a job that keeps
+ *    killing workers (`poison_kills=`, default 2) is marked failed
+ *    with full signal provenance. Merged results are byte-identical
+ *    to a clean single-process sweep. With `timeout_ms=` set, jobs
+ *    stuck past roughly twice the budget are hard-killed.
+ *
+ * Both compose: `store=results/store workers=8` is the crash-isolated
+ * warm-cache sweep. Sweeps whose jobs carry in-process setup hooks
+ * (checkpointed sampled mode) cannot cross a process boundary and
+ * fall back to the thread pool with a warning.
  *
  * Every sweep additionally appends one line per run to the persistent
  * run ledger (observe/ledger.hh) -- `ledger=PATH` overrides the
@@ -27,7 +50,7 @@
  * JSON schema (one object on stdout):
  * @code
  * {
- *   "schema_version": 4,             // bumped on breaking changes
+ *   "schema_version": 5,             // bumped on breaking changes
  *   "driver": "table3_ipc",          // harness name
  *   "git_sha": "52508a4b1c2d",       // tree that built the binary
  *   "config_hash": "9a1f0c...",      // FNV-1a over the sweep config
@@ -56,10 +79,24 @@
  *        "user_ms": 8000.0, "sys_ms": 90.2,  // thread CPU time
  *        "alloc_bytes": 51200,       // hooked arena allocations
  *        "peak_rss_kb": 40960, "insts": 8500000}, ...]},
+ *   "store": {                       // present iff store=/workers=
+ *                                    //   routed the sweep through the
+ *                                    //   coordinator
+ *     "dir": "results/store",        // "" when no store, workers only
+ *     "hits": 120, "misses": 10,     // store lookups
+ *     "simulated": 10, "stored": 10, // delta actually run / persisted
+ *     "quarantined": 0,              // corrupt records set aside
+ *     "workers": 8,                  // worker processes (0 = threads)
+ *     "worker_deaths": 1,            // crashes + timeouts + exits
+ *     "timeouts": 0, "respawns": 1, "poisoned": 0,
+ *     "manifest": ""},               // resume manifest, "" when clean
  *   "runs": [                        // submission order
  *     {"label": "", "workload": "compress", "port_spec": "ideal:1",
  *      "status": "ok",               // "failed" adds "error",
- *                                    // "error_kind" and "attempts"
+ *                                    //   "error_kind", "attempts" and
+ *                                    //   -- for worker process deaths
+ *                                    //   -- "signal": "SIGSEGV",
+ *                                    //   "signal_num": 11
  *      "ipc": 2.661, "instructions": 500000, "cycles": 187900,
  *      "l1_miss_rate": 0.0542, "wall_ms": 103.2,
  *      "attribution": {              // sum-exact CPI stack
@@ -93,13 +130,17 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "observe/ledger.hh"
+#include "service/coordinator.hh"
 #include "sim/sweep.hh"
 #include "workload/replay.hh"
 
@@ -115,7 +156,7 @@ namespace bench
 {
 
 /** Version of the JSON schema below; bump on breaking changes. */
-constexpr unsigned json_schema_version = 4;
+constexpr unsigned json_schema_version = 5;
 
 /** The common driver arguments, parsed once. */
 struct BenchArgs
@@ -129,6 +170,21 @@ struct BenchArgs
     unsigned retries = 1;     //!< retries for transient job failures
     bool json = false;        //!< emit JSON instead of tables
     bool progress = false;    //!< stderr progress line during sweeps
+
+    /** `timeout_ms=`: per-job wall-clock budget; 0 = unbounded. */
+    double timeout_ms = 0.0;
+
+    /** `store=DIR`: persistent result store; empty disables. */
+    std::string store_dir;
+
+    /** `workers=N`: crash-isolated worker processes; 0 = threads. */
+    unsigned workers = 0;
+
+    /** `poison_kills=`: worker deaths before a job is poison. */
+    unsigned poison_kills = 2;
+
+    /** argv[0], re-executed as `argv0 worker` when workers > 0. */
+    std::string argv0;
 
     /**
      * `ledger=`: run-ledger destination -- a path, "none" to disable,
@@ -202,6 +258,13 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
         progress_flag || args.config.getBool("progress", false);
     args.trace_dir = args.config.getString("trace", "");
     args.ledger = args.config.getString("ledger", "auto");
+    args.timeout_ms = args.config.getDouble("timeout_ms", 0.0);
+    args.store_dir = args.config.getString("store", "");
+    args.workers =
+        static_cast<unsigned>(args.config.getU64("workers", 0));
+    args.poison_kills = static_cast<unsigned>(
+        args.config.getU64("poison_kills", 2));
+    args.argv0 = argc > 0 ? argv[0] : "";
 
     if (args.config.getBool("quiet", false))
         setLogLevel(LogLevel::Quiet);
@@ -209,6 +272,39 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
         setLogLevel(LogLevel::Warn);
     return args;
 }
+
+/**
+ * The `worker` subcommand: call this first thing in main(). When
+ * argv[1] is "worker" the process becomes a coordinator worker --
+ * it speaks the job protocol on stdin/stdout until told to quit --
+ * and the returned exit code should be returned from main()
+ * immediately. Returns nullopt in every other invocation.
+ */
+inline std::optional<int>
+maybeRunWorker(int argc, char **argv)
+{
+    if (argc < 2 || std::string(argv[1]) != "worker")
+        return std::nullopt;
+    return service::runWorkerLoop(STDIN_FILENO, STDOUT_FILENO);
+}
+
+/** The "store" JSON block: coordinator + result-store accounting. */
+struct StoreStats
+{
+    bool used = false; //!< sweep went through the coordinator
+    std::string dir;   //!< store directory ("" = no store)
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t simulated = 0;
+    std::size_t stored = 0;
+    std::size_t quarantined = 0;
+    unsigned workers = 0; //!< worker processes (0 = in-process)
+    std::size_t worker_deaths = 0;
+    std::size_t timeouts = 0;
+    std::size_t respawns = 0;
+    std::size_t poisoned = 0;
+    std::string manifest; //!< resume manifest path ("" = clean)
+};
 
 /** A finished sweep plus its bookkeeping. */
 struct SweepOutput
@@ -219,6 +315,9 @@ struct SweepOutput
 
     /** Host-side per-worker telemetry (SweepRunner::lastTelemetry). */
     SweepTelemetry telemetry;
+
+    /** Coordinator accounting; store.used false for plain sweeps. */
+    StoreStats store;
 };
 
 /**
@@ -295,6 +394,96 @@ runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
         return runJobs(generators, replayed);
     }
 
+    // store=/workers=: route through the coordinator. Jobs carrying
+    // setup hooks cannot cross a process boundary or be content-
+    // addressed, so such sweeps stay on the thread pool.
+    if (!args.store_dir.empty() || args.workers > 0) {
+        bool plain = true;
+        for (const SweepJob &job : jobs)
+            plain = plain && !job.setup;
+        if (!plain) {
+            lbic_warn("store=/workers= ignored: sweep carries "
+                      "in-process setup hooks");
+        } else {
+            service::CoordinatorOptions copts;
+            copts.workers = args.workers;
+            copts.store_dir = args.store_dir;
+            if (args.workers > 0)
+                copts.worker_exe = args.argv0;
+            copts.git_sha = LBIC_GIT_SHA;
+            copts.poison_kills = args.poison_kills;
+            copts.in_process_threads = args.jobs;
+            copts.policy.isolate = true;
+            copts.policy.retries = args.retries;
+            if (args.timeout_ms > 0.0) {
+                // In-worker watchdog at the budget; process-level
+                // hard kill well past it, for hangs the watchdog
+                // cannot see (stuck syscalls, livelocked workers).
+                copts.policy.max_wall_ms = args.timeout_ms;
+                copts.job_timeout_ms = args.timeout_ms * 2.0 + 2000.0;
+            }
+
+            std::vector<service::RunRequest> requests;
+            requests.reserve(jobs.size());
+            for (const SweepJob &job : jobs)
+                requests.push_back(service::RunRequest::fromJob(job));
+
+            const auto start = std::chrono::steady_clock::now();
+            service::Coordinator coord(copts);
+            const service::CoordinatorReport report =
+                coord.run(requests);
+            const auto end = std::chrono::steady_clock::now();
+
+            SweepOutput out;
+            out.total_wall_ms =
+                std::chrono::duration<double, std::milli>(end - start)
+                    .count();
+            out.results.reserve(report.outcomes.size());
+            for (const service::RunOutcome &o : report.outcomes)
+                out.results.push_back(o.toSweepResult());
+
+            out.store.used = true;
+            out.store.dir = args.store_dir;
+            out.store.hits = report.cache_hits;
+            out.store.misses = report.cache_misses;
+            out.store.simulated = report.simulated;
+            out.store.stored = report.stored;
+            out.store.quarantined = report.quarantined;
+            out.store.workers = args.workers;
+            out.store.worker_deaths = report.worker_deaths;
+            out.store.timeouts = report.timeouts;
+            out.store.respawns = report.respawns;
+            out.store.poisoned = report.poisoned;
+            out.store.manifest = report.manifest_path;
+
+            if (report.has_thread_telemetry) {
+                out.telemetry = report.thread_telemetry;
+                out.jobs_used = static_cast<unsigned>(
+                    out.telemetry.workers.size());
+            } else {
+                // Synthesize the resources block from the process
+                // slots: only delivered jobs and host wall time are
+                // known here -- failure accounting lives in the
+                // store block, not resources.
+                out.jobs_used = static_cast<unsigned>(
+                    report.slots.size());
+                for (const service::WorkerSlotStats &s :
+                     report.slots) {
+                    WorkerTelemetry w;
+                    w.worker = s.slot;
+                    w.jobs = s.jobs;
+                    w.busy_ms = s.busy_ms;
+                    w.wall_ms = s.busy_ms;
+                    out.telemetry.workers.push_back(w);
+                    out.telemetry.jobs_run += s.jobs;
+                    out.telemetry.busy_ms += s.busy_ms;
+                }
+                out.telemetry.total_jobs = out.telemetry.jobs_run;
+            }
+            return out;
+        }
+    }
+
     SweepOutput out;
     SweepRunner runner(args.jobs);
     out.jobs_used = runner.numThreads();
@@ -306,6 +495,8 @@ runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
     SweepPolicy policy;
     policy.isolate = true;
     policy.retries = args.retries;
+    if (args.timeout_ms > 0.0)
+        policy.max_wall_ms = args.timeout_ms;
     runner.setPolicy(policy);
     if (args.progress) {
         runner.setProgress([](const SweepProgress &p) {
@@ -476,6 +667,22 @@ printJsonResults(std::ostream &os, const std::string &driver,
        << ", \"sampled\": false"
        << ", \"total_wall_ms\": " << out.total_wall_ms;
     printJsonResources(os, out.telemetry, out.total_wall_ms);
+    if (out.store.used) {
+        const StoreStats &s = out.store;
+        os << ", \"store\": {\"dir\": \"" << jsonEscape(s.dir)
+           << "\", \"hits\": " << s.hits
+           << ", \"misses\": " << s.misses
+           << ", \"simulated\": " << s.simulated
+           << ", \"stored\": " << s.stored
+           << ", \"quarantined\": " << s.quarantined
+           << ", \"workers\": " << s.workers
+           << ", \"worker_deaths\": " << s.worker_deaths
+           << ", \"timeouts\": " << s.timeouts
+           << ", \"respawns\": " << s.respawns
+           << ", \"poisoned\": " << s.poisoned
+           << ", \"manifest\": \"" << jsonEscape(s.manifest)
+           << "\"}";
+    }
     os << ", \"runs\": [";
     for (std::size_t i = 0; i < out.results.size(); ++i) {
         const SweepResult &r = out.results[i];
@@ -492,6 +699,13 @@ printJsonResults(std::ostream &os, const std::string &driver,
             os << ", \"error\": \"" << jsonEscape(r.error) << "\""
                << ", \"error_kind\": \"" << jsonEscape(r.error_kind)
                << "\", \"attempts\": " << r.attempts;
+            // Process-death provenance: which signal took the worker
+            // (coordinator sweeps only; 0/absent for in-process
+            // failures and clean worker exits).
+            if (r.signal_num != 0 || !r.signal_name.empty()) {
+                os << ", \"signal\": \"" << jsonEscape(r.signal_name)
+                   << "\", \"signal_num\": " << r.signal_num;
+            }
         }
         os << ", \"ipc\": " << r.ipc()
            << ", \"instructions\": " << r.result.instructions

@@ -6,8 +6,14 @@
  * the SPECint / SPECfp averages.
  *
  * Usage: table3_ipc [insts=N] [seed=S] [jobs=J] [--json]
+ *                   [store=DIR] [workers=N] [timeout_ms=T]
  *                   [sampled=1 intervals=K interval_len=L warmup=W
  *                    compare_full=1]
+ *
+ * `store=DIR workers=N` answers already-simulated cells from the
+ * persistent result store and shards the remainder across N
+ * crash-isolated worker processes (bench_util.hh); `table3_ipc
+ * worker` is the corresponding worker subcommand.
  *
  * `sampled=1` regenerates the table by checkpointed sampled
  * simulation (bench_sample.hh): per kernel, one profiling pass picks K
@@ -42,6 +48,9 @@ specFor(const std::string &kind, unsigned ports)
 int
 main(int argc, char **argv)
 {
+    if (const auto worker_rc = bench::maybeRunWorker(argc, argv))
+        return *worker_rc;
+
     const bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, 500000);
     const bench::SampleArgs sargs = bench::parseSampleArgs(args);

@@ -29,6 +29,9 @@ using namespace lbic;
 int
 main(int argc, char **argv)
 {
+    if (const auto worker_rc = bench::maybeRunWorker(argc, argv))
+        return *worker_rc;
+
     const bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, 500000);
     const bench::SampleArgs sargs = bench::parseSampleArgs(args);

@@ -45,6 +45,9 @@ pct(double part, double total)
 int
 main(int argc, char **argv)
 {
+    if (const auto worker_rc = bench::maybeRunWorker(argc, argv))
+        return *worker_rc;
+
     const bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, 500000);
     args.config.rejectUnrecognized();

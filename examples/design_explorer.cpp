@@ -24,6 +24,10 @@
 int
 main(int argc, char **argv)
 {
+    if (const auto worker_rc =
+            lbic::bench::maybeRunWorker(argc, argv))
+        return *worker_rc;
+
     using namespace lbic;
 
     const bench::BenchArgs args =

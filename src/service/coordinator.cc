@@ -1,0 +1,945 @@
+#include "coordinator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/sim_error.hh"
+
+namespace lbic
+{
+namespace service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(const Clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Human name of @p sig ("SIGSEGV"); "SIG<n>" for exotic ones. */
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+    case SIGSEGV:
+        return "SIGSEGV";
+    case SIGKILL:
+        return "SIGKILL";
+    case SIGABRT:
+        return "SIGABRT";
+    case SIGBUS:
+        return "SIGBUS";
+    case SIGILL:
+        return "SIGILL";
+    case SIGFPE:
+        return "SIGFPE";
+    case SIGTERM:
+        return "SIGTERM";
+    case SIGINT:
+        return "SIGINT";
+    case SIGPIPE:
+        return "SIGPIPE";
+    case SIGHUP:
+        return "SIGHUP";
+    default:
+        return "SIG" + std::to_string(sig);
+    }
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ::ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const std::string &tag, const std::string &payload)
+{
+    const std::string head =
+        tag + " " + std::to_string(payload.size()) + "\n";
+    return writeAll(fd, head.data(), head.size())
+           && writeAll(fd, payload.data(), payload.size());
+}
+
+/**
+ * Pop one complete frame off the front of @p buf. Frames are either
+ * the bare ready line ("lbsw-rdy\n" -> tag "lbsw-rdy", empty payload)
+ * or "<TAG> <bytes>\n<payload>". Returns false when @p buf does not
+ * yet hold a complete frame (read more); throws on garbage, which
+ * callers treat as a dead protocol peer.
+ */
+bool
+popFrame(std::string &buf, std::string &tag, std::string &payload)
+{
+    const std::size_t nl = buf.find('\n');
+    if (nl == std::string::npos) {
+        if (buf.size() > 4096)
+            throw SimError(SimErrorKind::Config,
+                           "worker protocol: oversized frame header");
+        return false;
+    }
+    const std::string head = buf.substr(0, nl);
+    if (head == "lbsw-rdy") {
+        tag = head;
+        payload.clear();
+        buf.erase(0, nl + 1);
+        return true;
+    }
+    const std::size_t sp = head.find(' ');
+    unsigned long long bytes = 0;
+    if (sp == std::string::npos
+        || std::sscanf(head.c_str() + sp + 1, "%llu", &bytes) != 1)
+        throw SimError(SimErrorKind::Config,
+                       "worker protocol: bad frame header '" + head
+                           + "'");
+    if (buf.size() < nl + 1 + bytes)
+        return false;
+    tag = head.substr(0, sp);
+    payload = buf.substr(nl + 1, static_cast<std::size_t>(bytes));
+    buf.erase(0, nl + 1 + static_cast<std::size_t>(bytes));
+    return true;
+}
+
+/** Blocking read of the next frame on @p fd. False on EOF/error. */
+bool
+readFrameBlocking(int fd, std::string &buf, std::string &tag,
+                  std::string &payload)
+{
+    for (;;) {
+        if (popFrame(buf, tag, payload))
+            return true;
+        char chunk[4096];
+        const ::ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** Run one request in this process, catching everything. */
+RunOutcome
+simulateRequest(const RunRequest &req)
+{
+    try {
+        RunOutcome out =
+            RunOutcome::fromSweepResult(runSweepJob(req.toJob()));
+        out.attempts = req.attempt;
+        return out;
+    } catch (...) {
+        RunOutcome out;
+        out.label = req.label;
+        out.ok = false;
+        out.attempts = req.attempt;
+        try {
+            throw;
+        } catch (const SimError &e) {
+            out.error = e.what();
+            out.error_kind = simErrorKindName(e.kind());
+        } catch (const std::exception &e) {
+            out.error = e.what();
+            out.error_kind = "exception";
+        } catch (...) {
+            out.error = "unknown exception";
+            out.error_kind = "exception";
+        }
+        return out;
+    }
+}
+
+/** One worker process slot on the coordinator side. */
+struct Slot
+{
+    pid_t pid = -1;
+    int to_fd = -1;   //!< coordinator -> worker (its stdin)
+    int from_fd = -1; //!< worker -> coordinator (its stdout)
+    std::string inbuf;
+    bool ready = false; //!< saw the rdy frame, can take a job
+    long job = -1;      //!< queue-item index in flight, -1 idle
+
+    Clock::time_point job_start;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    bool killed_for_timeout = false;
+
+    unsigned consecutive_deaths = 0;
+    bool respawn_pending = false;
+    Clock::time_point respawn_at;
+    bool abandoned = false;
+
+    WorkerSlotStats stats;
+
+    bool live() const { return pid > 0; }
+
+    void
+    closeFds()
+    {
+        if (to_fd >= 0)
+            ::close(to_fd);
+        if (from_fd >= 0)
+            ::close(from_fd);
+        to_fd = from_fd = -1;
+    }
+};
+
+/** One queue entry: a request index plus its retry bookkeeping. */
+struct QueueItem
+{
+    std::size_t req = 0;      //!< index into the batch
+    unsigned attempt = 1;     //!< process-level attempt number
+    unsigned deaths = 0;      //!< workers this job has killed
+    bool done = false;
+};
+
+} // anonymous namespace
+
+WorkerFault
+workerFaultFromEnv()
+{
+    WorkerFault fault;
+    const char *env = std::getenv("LBIC_WORKER_FAULT");
+    if (!env || !*env)
+        return fault;
+    // "<kind>@<label-substr>[@<max-attempt>]"; '@' because labels
+    // routinely contain ':' and '/'.
+    const std::string spec(env);
+    const std::size_t first = spec.find('@');
+    const std::string kind = spec.substr(0, first);
+    if (kind == "sigkill")
+        fault.kind = WorkerFault::Kind::SigKill;
+    else if (kind == "exit")
+        fault.kind = WorkerFault::Kind::Exit;
+    else if (kind == "hang")
+        fault.kind = WorkerFault::Kind::Hang;
+    else
+        return fault;
+    if (first == std::string::npos)
+        return fault;
+    const std::size_t second = spec.find('@', first + 1);
+    fault.label_substr =
+        spec.substr(first + 1, second == std::string::npos
+                                   ? std::string::npos
+                                   : second - first - 1);
+    if (second != std::string::npos)
+        fault.max_attempt = static_cast<unsigned>(
+            std::strtoul(spec.c_str() + second + 1, nullptr, 10));
+    return fault;
+}
+
+int
+runWorkerLoop(int in_fd, int out_fd)
+{
+    // Keep the protocol fd private: anything the simulator (or a
+    // stray printf) writes to stdout must not interleave with RES
+    // frames, so move the protocol off fd 1 and point stdout at
+    // stderr instead.
+    int proto_fd = out_fd;
+    if (out_fd == STDOUT_FILENO) {
+        proto_fd = ::dup(out_fd);
+        if (proto_fd < 0)
+            return 2;
+        ::fflush(stdout);
+        ::dup2(STDERR_FILENO, STDOUT_FILENO);
+    }
+
+    const WorkerFault fault = workerFaultFromEnv();
+
+    if (!writeFrame(proto_fd, "lbsw-rdy", ""))
+        return 2;
+    // writeFrame emits "lbsw-rdy 0\n"; the coordinator accepts both
+    // that and the bare line, so no special case is needed here.
+
+    std::string buf, tag, payload;
+    while (readFrameBlocking(in_fd, buf, tag, payload)) {
+        if (tag == "BYE")
+            return 0;
+        if (tag != "JOB")
+            return 2;
+
+        RunRequest req;
+        std::string err;
+        if (!RunRequest::deserialize(payload, req, &err)) {
+            lbic_warn("worker: bad job frame: ", err);
+            return 2;
+        }
+
+        if (fault.matches(req.label, req.attempt)) {
+            switch (fault.kind) {
+            case WorkerFault::Kind::SigKill:
+                ::raise(SIGKILL);
+                break;
+            case WorkerFault::Kind::Exit:
+                ::_exit(3);
+                break;
+            case WorkerFault::Kind::Hang:
+                for (;;)
+                    ::usleep(50 * 1000);
+                break;
+            case WorkerFault::Kind::None:
+                break;
+            }
+        }
+
+        const RunOutcome out = simulateRequest(req);
+        if (!writeFrame(proto_fd, "RES", out.toJson() + "\n"))
+            return 2;
+    }
+    return 0;
+}
+
+namespace
+{
+
+/** The poll()-driven process pool for one batch of cache misses. */
+class ProcessPool
+{
+  public:
+    ProcessPool(const CoordinatorOptions &opts,
+                const std::vector<RunRequest> &requests,
+                CoordinatorReport &report)
+        : opts_(opts), requests_(requests), report_(report),
+          outcomes_(requests.size())
+    {
+    }
+
+    std::vector<RunOutcome>
+    run()
+    {
+        for (std::size_t i = 0; i < requests_.size(); ++i) {
+            QueueItem item;
+            item.req = i;
+            items_.push_back(item);
+            queue_.push_back(i);
+        }
+
+        const unsigned nslots = std::max(
+            1u, std::min<unsigned>(
+                    opts_.workers,
+                    static_cast<unsigned>(requests_.size())));
+        slots_.resize(nslots);
+        for (unsigned s = 0; s < nslots; ++s) {
+            slots_[s].stats.slot = s;
+            spawn(slots_[s]);
+        }
+
+        while (!finished())
+            step();
+
+        shutdown();
+        for (Slot &slot : slots_)
+            report_.slots.push_back(slot.stats);
+        return std::move(outcomes_);
+    }
+
+  private:
+    bool
+    finished() const
+    {
+        for (const QueueItem &item : items_) {
+            if (!item.done)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    spawn(Slot &slot)
+    {
+        int to_pipe[2], from_pipe[2];
+        if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0)
+            throw SimError(SimErrorKind::Config,
+                           std::string("coordinator: pipe failed: ")
+                               + std::strerror(errno));
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            throw SimError(SimErrorKind::Config,
+                           std::string("coordinator: fork failed: ")
+                               + std::strerror(errno));
+
+        if (pid == 0) {
+            // Child: keep only our two pipe ends; close every fd
+            // belonging to sibling slots so their EOFs stay crisp.
+            ::close(to_pipe[1]);
+            ::close(from_pipe[0]);
+            for (Slot &other : slots_)
+                other.closeFds();
+            if (opts_.worker_exe.empty()) {
+                ::_exit(runWorkerLoop(to_pipe[0], from_pipe[1]));
+            }
+            ::dup2(to_pipe[0], STDIN_FILENO);
+            ::dup2(from_pipe[1], STDOUT_FILENO);
+            ::close(to_pipe[0]);
+            ::close(from_pipe[1]);
+            ::execl(opts_.worker_exe.c_str(),
+                    opts_.worker_exe.c_str(), "worker",
+                    static_cast<char *>(nullptr));
+            std::fprintf(stderr, "coordinator: exec '%s' failed: %s\n",
+                         opts_.worker_exe.c_str(),
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+
+        ::close(to_pipe[0]);
+        ::close(from_pipe[1]);
+        slot.pid = pid;
+        slot.to_fd = to_pipe[1];
+        slot.from_fd = from_pipe[0];
+        slot.inbuf.clear();
+        slot.ready = false;
+        slot.job = -1;
+        slot.has_deadline = false;
+        slot.killed_for_timeout = false;
+        slot.respawn_pending = false;
+        ++slot.stats.spawns;
+        const int flags = ::fcntl(slot.from_fd, F_GETFL, 0);
+        ::fcntl(slot.from_fd, F_SETFL, flags | O_NONBLOCK);
+    }
+
+    void
+    dispatch(Slot &slot)
+    {
+        if (queue_.empty() || !slot.ready || slot.job >= 0)
+            return;
+        const std::size_t qi = queue_.front();
+        queue_.pop_front();
+        QueueItem &item = items_[qi];
+
+        RunRequest req = requests_[item.req];
+        req.attempt = item.attempt;
+        if (!writeFrame(slot.to_fd, "JOB", req.serialize())) {
+            // Pipe already broken; the EOF path will see the death
+            // and requeue. Put the item back untouched.
+            queue_.push_front(qi);
+            return;
+        }
+        slot.job = static_cast<long>(qi);
+        slot.job_start = Clock::now();
+        slot.killed_for_timeout = false;
+        if (opts_.job_timeout_ms > 0.0) {
+            slot.deadline =
+                slot.job_start
+                + std::chrono::microseconds(static_cast<long long>(
+                    opts_.job_timeout_ms * 1000.0));
+            slot.has_deadline = true;
+        } else {
+            slot.has_deadline = false;
+        }
+    }
+
+    void
+    finishJob(Slot &slot, RunOutcome outcome)
+    {
+        QueueItem &item = items_[static_cast<std::size_t>(slot.job)];
+
+        // A transient in-simulation failure ("exception": OOM,
+        // filesystem) is retried by re-dispatch, mirroring the
+        // in-process pool's retry loop.
+        if (!outcome.ok && outcome.error_kind == "exception"
+            && item.attempt <= opts_.policy.retries) {
+            ++item.attempt;
+            queue_.push_back(static_cast<std::size_t>(slot.job));
+            slot.job = -1;
+            slot.has_deadline = false;
+            return;
+        }
+
+        outcomes_[item.req] = std::move(outcome);
+        item.done = true;
+        ++report_.simulated;
+        ++slot.stats.jobs;
+        slot.stats.busy_ms += msSince(slot.job_start);
+        slot.consecutive_deaths = 0;
+        slot.job = -1;
+        slot.has_deadline = false;
+    }
+
+    /** Reap a dead worker, classify, requeue or poison its job. */
+    void
+    handleDeath(Slot &slot)
+    {
+        const pid_t dead_pid = slot.pid;
+        int status = 0;
+        ::waitpid(slot.pid, &status, 0);
+        slot.closeFds();
+        slot.pid = -1;
+        slot.ready = false;
+        ++slot.stats.deaths;
+        ++report_.worker_deaths;
+
+        if (slot.job >= 0) {
+            QueueItem &item =
+                items_[static_cast<std::size_t>(slot.job)];
+            ++item.deaths;
+            ++item.attempt;
+
+            std::string kind = "worker_exit";
+            std::string err;
+            int sig = 0;
+            std::string sig_name;
+            if (slot.killed_for_timeout) {
+                kind = "timeout";
+                ++report_.timeouts;
+                err = "job exceeded "
+                      + std::to_string(static_cast<long long>(
+                          opts_.job_timeout_ms))
+                      + " ms wall budget; worker killed";
+            } else if (WIFSIGNALED(status)) {
+                kind = "signal";
+                sig = WTERMSIG(status);
+                sig_name = signalName(sig);
+                err = "worker died to " + sig_name;
+            } else if (WIFEXITED(status)) {
+                err = "worker exited with status "
+                      + std::to_string(WEXITSTATUS(status))
+                      + " mid-job";
+            } else {
+                err = "worker vanished mid-job";
+            }
+            lbic_warn("coordinator: worker ", dead_pid,
+                      " lost job '", requests_[item.req].label,
+                      "' (", kind, err.empty() ? "" : ": ", err,
+                      ")");
+
+            if (item.deaths >= opts_.poison_kills) {
+                RunOutcome out;
+                out.label = requests_[item.req].label;
+                out.ok = false;
+                out.error = err + " (poison: killed "
+                            + std::to_string(item.deaths)
+                            + " workers)";
+                out.error_kind = kind;
+                out.signal_num = sig;
+                out.signal_name = sig_name;
+                out.attempts = item.attempt;
+                outcomes_[item.req] = std::move(out);
+                item.done = true;
+                ++report_.poisoned;
+            } else {
+                queue_.push_back(static_cast<std::size_t>(slot.job));
+            }
+            slot.job = -1;
+            slot.has_deadline = false;
+        }
+
+        ++slot.consecutive_deaths;
+        if (slot.consecutive_deaths > opts_.max_consecutive_respawns) {
+            slot.abandoned = true;
+            return;
+        }
+        const unsigned shift =
+            std::min(slot.consecutive_deaths - 1, 16u);
+        slot.respawn_pending = true;
+        slot.respawn_at =
+            Clock::now()
+            + std::chrono::milliseconds(
+                static_cast<std::uint64_t>(opts_.respawn_backoff_ms)
+                << shift);
+        ++report_.respawns;
+    }
+
+    /** Drain frames already buffered; returns false on protocol rot. */
+    bool
+    consumeFrames(Slot &slot)
+    {
+        std::string tag, payload;
+        try {
+            while (popFrame(slot.inbuf, tag, payload)) {
+                if (tag == "lbsw-rdy") {
+                    slot.ready = true;
+                } else if (tag == "RES") {
+                    RunOutcome out;
+                    // The payload carries a trailing newline.
+                    while (!payload.empty()
+                           && payload.back() == '\n')
+                        payload.pop_back();
+                    if (slot.job < 0
+                        || !RunOutcome::fromJson(payload, out))
+                        return false;
+                    finishJob(slot, std::move(out));
+                } else {
+                    return false;
+                }
+            }
+        } catch (const SimError &) {
+            return false;
+        }
+        return true;
+    }
+
+    void
+    step()
+    {
+        const Clock::time_point now = Clock::now();
+
+        // Hard per-job timeouts: SIGKILL the worker, let the EOF
+        // path classify the death (killed_for_timeout disambiguates
+        // it from an organic crash).
+        for (Slot &slot : slots_) {
+            if (slot.live() && slot.job >= 0 && slot.has_deadline
+                && now >= slot.deadline && !slot.killed_for_timeout) {
+                slot.killed_for_timeout = true;
+                ::kill(slot.pid, SIGKILL);
+            }
+        }
+
+        // Respawns whose backoff has elapsed.
+        for (Slot &slot : slots_) {
+            if (slot.respawn_pending && !slot.abandoned
+                && now >= slot.respawn_at) {
+                slot.respawn_pending = false;
+                spawn(slot);
+            }
+        }
+
+        // All capacity permanently gone: fail what is left rather
+        // than spinning forever.
+        bool any_capacity = false;
+        for (const Slot &slot : slots_) {
+            if (slot.live() || slot.respawn_pending)
+                any_capacity = true;
+        }
+        if (!any_capacity) {
+            for (QueueItem &item : items_) {
+                if (item.done)
+                    continue;
+                RunOutcome out;
+                out.label = requests_[item.req].label;
+                out.ok = false;
+                out.error = "no usable worker processes "
+                            "(all slots abandoned after repeated "
+                            "deaths)";
+                out.error_kind = "worker_exit";
+                out.attempts = item.attempt;
+                outcomes_[item.req] = std::move(out);
+                item.done = true;
+            }
+            return;
+        }
+
+        for (Slot &slot : slots_)
+            dispatch(slot);
+
+        // Wait for worker traffic, the next deadline or the next
+        // respawn, whichever is soonest.
+        std::vector<struct pollfd> fds;
+        std::vector<Slot *> fd_slots;
+        for (Slot &slot : slots_) {
+            if (!slot.live())
+                continue;
+            struct pollfd p;
+            p.fd = slot.from_fd;
+            p.events = POLLIN;
+            p.revents = 0;
+            fds.push_back(p);
+            fd_slots.push_back(&slot);
+        }
+
+        int timeout_ms = 200;
+        auto clamp = [&](const Clock::time_point &when) {
+            const double ms =
+                std::chrono::duration<double, std::milli>(when - now)
+                    .count();
+            timeout_ms = std::max(
+                1, std::min(timeout_ms,
+                            static_cast<int>(ms) + 1));
+        };
+        for (const Slot &slot : slots_) {
+            if (slot.live() && slot.has_deadline
+                && !slot.killed_for_timeout)
+                clamp(slot.deadline);
+            if (slot.respawn_pending && !slot.abandoned)
+                clamp(slot.respawn_at);
+        }
+
+        if (fds.empty()) {
+            ::usleep(static_cast<::useconds_t>(timeout_ms) * 1000);
+            return;
+        }
+        const int rc =
+            ::poll(fds.data(), fds.size(), timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                return;
+            throw SimError(SimErrorKind::Config,
+                           std::string("coordinator: poll failed: ")
+                               + std::strerror(errno));
+        }
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Slot &slot = *fd_slots[i];
+            bool eof = false;
+            char chunk[8192];
+            for (;;) {
+                const ::ssize_t n =
+                    ::read(slot.from_fd, chunk, sizeof(chunk));
+                if (n > 0) {
+                    slot.inbuf.append(
+                        chunk, static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n == 0) {
+                    eof = true;
+                    break;
+                }
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                eof = true;
+                break;
+            }
+            // Complete frames first: a RES that raced the reaper
+            // still counts as a finished job, making the death an
+            // idle one.
+            if (!consumeFrames(slot)) {
+                if (slot.live())
+                    ::kill(slot.pid, SIGKILL);
+                eof = true;
+            }
+            if (eof)
+                handleDeath(slot);
+        }
+    }
+
+    void
+    shutdown()
+    {
+        for (Slot &slot : slots_) {
+            if (!slot.live())
+                continue;
+            writeFrame(slot.to_fd, "BYE", "");
+            ::close(slot.to_fd);
+            slot.to_fd = -1;
+        }
+        const Clock::time_point t0 = Clock::now();
+        for (Slot &slot : slots_) {
+            if (!slot.live())
+                continue;
+            // Give each worker a moment to exit cleanly, then stop
+            // waiting politely.
+            for (;;) {
+                int status = 0;
+                const pid_t r =
+                    ::waitpid(slot.pid, &status, WNOHANG);
+                if (r == slot.pid || r < 0)
+                    break;
+                if (msSince(t0) > 2000.0) {
+                    ::kill(slot.pid, SIGKILL);
+                    ::waitpid(slot.pid, &status, 0);
+                    break;
+                }
+                ::usleep(10 * 1000);
+            }
+            slot.closeFds();
+            slot.pid = -1;
+        }
+    }
+
+    const CoordinatorOptions &opts_;
+    const std::vector<RunRequest> &requests_;
+    CoordinatorReport &report_;
+    std::vector<RunOutcome> outcomes_;
+    std::vector<Slot> slots_;
+    std::vector<QueueItem> items_;
+    std::deque<std::size_t> queue_;
+};
+
+} // anonymous namespace
+
+Coordinator::Coordinator(CoordinatorOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+CoordinatorReport
+Coordinator::run(const std::vector<RunRequest> &requests)
+{
+    CoordinatorReport report;
+    report.outcomes.resize(requests.size());
+    report.used_processes = opts_.workers > 0;
+
+    // Broken worker pipes must surface as EPIPE, not kill us.
+    struct sigaction ignore_pipe, old_pipe;
+    std::memset(&ignore_pipe, 0, sizeof(ignore_pipe));
+    ignore_pipe.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    // Fold the policy's simulation bounds into every request up
+    // front, so store keys, worker watchdogs and the in-process pool
+    // all see the same effective config.
+    std::vector<RunRequest> reqs = requests;
+    for (RunRequest &req : reqs) {
+        if (opts_.policy.max_cycles != 0)
+            req.config.max_cycles = opts_.policy.max_cycles;
+        if (opts_.policy.max_wall_ms > 0.0)
+            req.config.max_wall_ms = opts_.policy.max_wall_ms;
+    }
+
+    std::unique_ptr<ResultStore> store;
+    if (!opts_.store_dir.empty())
+        store.reset(new ResultStore(opts_.store_dir));
+
+    // Phase 1: answer from the store; collect the delta. Claims
+    // partition concurrent coordinators: keys another live process
+    // owns are deferred, everything else is ours.
+    std::vector<StoreKey> keys(reqs.size());
+    std::vector<std::size_t> mine, deferred;
+    std::vector<bool> claimed(reqs.size(), false);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!store) {
+            mine.push_back(i);
+            continue;
+        }
+        keys[i] = StoreKey::of(reqs[i], opts_.git_sha);
+        if (std::optional<RunOutcome> hit = store->lookup(keys[i])) {
+            report.outcomes[i] = std::move(*hit);
+            ++report.cache_hits;
+            continue;
+        }
+        ++report.cache_misses;
+        if (store->tryClaim(keys[i]) == ResultStore::ClaimStatus::Busy)
+            deferred.push_back(i);
+        else {
+            claimed[i] = true;
+            mine.push_back(i);
+        }
+    }
+
+    // Phase 2: wait briefly for deferred keys to be published by
+    // their owners; anything unresolved past the budget we simulate
+    // ourselves (duplicate work beats deadlock on a peer the pid
+    // check cannot see).
+    if (!deferred.empty()) {
+        const Clock::time_point t0 = Clock::now();
+        std::vector<std::size_t> still = deferred;
+        while (!still.empty()
+               && msSince(t0) < opts_.claim_wait_ms) {
+            ::usleep(50 * 1000);
+            std::vector<std::size_t> next;
+            for (const std::size_t i : still) {
+                if (std::optional<RunOutcome> hit =
+                        store->lookup(keys[i]))
+                    report.outcomes[i] = std::move(*hit);
+                else
+                    next.push_back(i);
+            }
+            still.swap(next);
+        }
+        for (const std::size_t i : still)
+            mine.push_back(i);
+        std::sort(mine.begin(), mine.end());
+    }
+
+    // Phase 3: simulate the delta.
+    if (!mine.empty()) {
+        std::vector<RunRequest> batch;
+        batch.reserve(mine.size());
+        for (const std::size_t i : mine)
+            batch.push_back(reqs[i]);
+
+        std::vector<RunOutcome> outcomes;
+        if (opts_.workers > 0) {
+            ProcessPool pool(opts_, batch, report);
+            outcomes = pool.run();
+        } else {
+            // In-process path: the store acts as a pure cache in
+            // front of the ordinary thread pool.
+            std::vector<SweepJob> jobs;
+            jobs.reserve(batch.size());
+            for (const RunRequest &req : batch)
+                jobs.push_back(req.toJob());
+            SweepRunner runner(opts_.in_process_threads);
+            runner.setPolicy(opts_.policy);
+            const std::vector<SweepResult> results =
+                runner.run(jobs);
+            outcomes.reserve(results.size());
+            for (const SweepResult &r : results)
+                outcomes.push_back(RunOutcome::fromSweepResult(r));
+            report.simulated += results.size();
+            report.thread_telemetry = runner.lastTelemetry();
+            report.has_thread_telemetry = true;
+        }
+
+        for (std::size_t b = 0; b < mine.size(); ++b) {
+            const std::size_t i = mine[b];
+            RunOutcome &out = outcomes[b];
+            if (store && out.ok) {
+                store->put(keys[i], out);
+                ++report.stored;
+            }
+            report.outcomes[i] = std::move(out);
+        }
+    }
+
+    if (store) {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            if (claimed[i])
+                store->releaseClaim(keys[i]);
+        }
+        report.quarantined = store->quarantined();
+    }
+
+    // Residual failures: leave a resumable manifest next to the
+    // store so a follow-up `store=` run simulates exactly the
+    // missing cells.
+    if (report.failures() > 0 && store) {
+        const std::string path = opts_.store_dir + "/manifest.last";
+        std::ofstream man(path, std::ios::trunc);
+        if (man) {
+            man << "lbic-manifest 1\n"
+                << "failed " << report.failures() << " of "
+                << reqs.size() << "\n";
+            for (std::size_t i = 0; i < reqs.size(); ++i) {
+                const RunOutcome &o = report.outcomes[i];
+                if (o.ok)
+                    continue;
+                man << keys[i].id() << "\t" << o.label << "\t"
+                    << o.error_kind << "\t" << o.error << "\n";
+            }
+            report.manifest_path = path;
+        }
+    }
+
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    return report;
+}
+
+} // namespace service
+} // namespace lbic

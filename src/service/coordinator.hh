@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Crash-isolated multi-process sweep coordinator.
+ *
+ * The in-process SweepRunner (sim/sweep.hh) isolates C++ exceptions;
+ * it cannot survive a worker that segfaults, is OOM-killed or hangs
+ * in a syscall -- process death takes the whole pool down. The
+ * Coordinator shards jobs across forked worker *processes* instead,
+ * so the blast radius of any failure is one job attempt:
+ *
+ *   - every cache-miss job is dispatched to a worker over a pipe
+ *     protocol (one in-flight job per worker);
+ *   - a worker that dies (SIGSEGV, SIGKILL, OOM, nonzero exit) is
+ *     reaped, its in-flight job is re-queued, and a replacement is
+ *     spawned after exponential backoff;
+ *   - a job may be given a wall-clock budget (job_timeout_ms): past
+ *     it the coordinator SIGKILLs the worker and treats the death as
+ *     a timeout;
+ *   - a poison job -- one that kills poison_kills workers in a row --
+ *     is marked failed (error_kind "signal"/"timeout"/"worker_exit",
+ *     with signal provenance) instead of being retried forever;
+ *   - results are merged in submission order, so the outcome vector
+ *     (and any table or JSON derived from it) is byte-identical to a
+ *     clean single-process sweep.
+ *
+ * When a persistent store (service/result_store.hh) is configured,
+ * every request is first answered from it; only the delta is
+ * simulated, and newly simulated ok outcomes are written back. With
+ * workers == 0 the misses run on the in-process thread pool
+ * (SweepRunner with the supplied SweepPolicy), which turns the store
+ * into a pure cache for ordinary sweeps.
+ *
+ * Worker protocol (all frames over the worker's stdin/stdout pipes):
+ *
+ *   worker -> coordinator:  "lbsw-rdy\n"             once, at start
+ *   coordinator -> worker:  "JOB <bytes>\n<request>"  one at a time
+ *   worker -> coordinator:  "RES <bytes>\n<outcome>"  one per job
+ *   coordinator -> worker:  "BYE\n"                   orderly quit
+ *
+ * Workers are either forked in-image (worker_exe empty; used by the
+ * tests) or fork+exec'd as `<worker_exe> worker` -- the `worker`
+ * subcommand every bench driver answers by calling runWorkerLoop(),
+ * giving each driver a crash-isolated twin of its normal sweep.
+ *
+ * If some jobs still failed at the end, a resumable manifest (the
+ * failed labels, kinds and store ids) is written next to the store
+ * so a follow-up `store=` run can simulate exactly the missing
+ * cells; the driver exits nonzero on partial results either way.
+ *
+ * Fault injection (tests and the crash-smoke CI job): see
+ * workerFaultFromEnv() -- LBIC_WORKER_FAULT="<kind>@<label-substr>
+ * [@<max-attempt>]" makes a worker SIGKILL itself, exit nonzero or
+ * busy-hang when it receives a matching job, and LBIC_STORE_TEAR
+ * makes the store write a torn record (result_store.hh).
+ */
+
+#ifndef LBIC_SERVICE_COORDINATOR_HH
+#define LBIC_SERVICE_COORDINATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/result_store.hh"
+#include "service/run_request.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace service
+{
+
+/** Knobs of one coordinator run. */
+struct CoordinatorOptions
+{
+    /**
+     * Worker processes to shard cache-miss jobs across. 0 runs the
+     * misses on the in-process SweepRunner thread pool instead (the
+     * store still answers hits) -- no processes are forked.
+     */
+    unsigned workers = 0;
+
+    /** Result-store directory; empty disables the store. */
+    std::string store_dir;
+
+    /**
+     * Executable to fork+exec as `<worker_exe> worker`. Empty forks
+     * workers in-image (runWorkerLoop in the child, no exec).
+     */
+    std::string worker_exe;
+
+    /**
+     * Per-job wall budget enforced at the process level: a worker
+     * whose job outlives this is SIGKILLed and the death is recorded
+     * as error_kind "timeout". 0 disables. (In-worker parity is the
+     * SweepPolicy max_wall_ms watchdog, which fires first when both
+     * are set; this one also catches hangs in syscalls the in-process
+     * watchdog can never see.)
+     */
+    double job_timeout_ms = 0.0;
+
+    /** Worker deaths before a job is declared poison and failed. */
+    unsigned poison_kills = 2;
+
+    /** First respawn backoff; doubles per consecutive death. */
+    unsigned respawn_backoff_ms = 50;
+
+    /**
+     * Consecutive deaths of one worker slot (without completing a
+     * job in between) before the slot is abandoned. When every slot
+     * is abandoned, remaining jobs fail with error_kind
+     * "worker_exit" rather than waiting forever.
+     */
+    unsigned max_consecutive_respawns = 5;
+
+    /** git SHA stamped into store keys (store invalidation). */
+    std::string git_sha = "unknown";
+
+    /**
+     * Failure policy applied to the simulations: max_cycles /
+     * max_wall_ms are folded into each job's config before dispatch
+     * (so in-worker watchdogs see them), retries bounds coordinator
+     * re-dispatch of transient ("exception") failures, and the whole
+     * policy drives the in-process pool when workers == 0.
+     */
+    SweepPolicy policy;
+
+    /** Thread count for the workers == 0 in-process pool (0=hw). */
+    unsigned in_process_threads = 0;
+
+    /**
+     * Bound on how long to wait for *another* coordinator's claim on
+     * a key before simulating it ourselves anyway (duplicated work
+     * beats deadlock on a crashed peer the pid check cannot see,
+     * e.g. across hosts).
+     */
+    double claim_wait_ms = 10000.0;
+};
+
+/** Host-side accounting of one worker slot across the run. */
+struct WorkerSlotStats
+{
+    unsigned slot = 0;
+    std::size_t jobs = 0;    //!< results this slot delivered
+    std::size_t deaths = 0;  //!< times a process in this slot died
+    std::size_t spawns = 0;  //!< processes forked into this slot
+    double busy_ms = 0.0;    //!< summed reported job wall clock
+};
+
+/** Everything a coordinator run produced. */
+struct CoordinatorReport
+{
+    /** One outcome per request, submission order. */
+    std::vector<RunOutcome> outcomes;
+
+    /** @{ @name Store traffic */
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t stored = 0;      //!< records written this run
+    std::size_t quarantined = 0; //!< corrupt records set aside
+    /** @} */
+
+    /** @{ @name Process-level fault accounting */
+    std::size_t simulated = 0;     //!< jobs actually executed
+    std::size_t worker_deaths = 0; //!< crashes + timeouts + exits
+    std::size_t timeouts = 0;      //!< deaths caused by job_timeout_ms
+    std::size_t respawns = 0;      //!< replacement workers forked
+    std::size_t poisoned = 0;      //!< jobs failed as poison
+    /** @} */
+
+    /** True when worker processes were used (workers > 0). */
+    bool used_processes = false;
+
+    /** Per-slot accounting (used_processes only). */
+    std::vector<WorkerSlotStats> slots;
+
+    /** Thread-pool telemetry (workers == 0 path only). */
+    SweepTelemetry thread_telemetry;
+    bool has_thread_telemetry = false;
+
+    /** Resumable manifest path; empty when all jobs succeeded. */
+    std::string manifest_path;
+
+    /** Requests whose final outcome is failed. */
+    std::size_t failures() const
+    {
+        std::size_t n = 0;
+        for (const RunOutcome &o : outcomes)
+            n += o.ok ? 0 : 1;
+        return n;
+    }
+};
+
+/** Shards requests across processes, merges deterministically. */
+class Coordinator
+{
+  public:
+    explicit Coordinator(CoordinatorOptions opts);
+
+    /**
+     * Answer every request -- from the store when possible, by
+     * simulation otherwise -- and return the full report. Outcomes
+     * are index-aligned with @p requests regardless of scheduling.
+     */
+    CoordinatorReport run(const std::vector<RunRequest> &requests);
+
+  private:
+    CoordinatorOptions opts_;
+};
+
+/**
+ * Body of the `worker` subcommand: read JOB frames from @p in_fd,
+ * simulate each request, write RES frames to @p out_fd until BYE or
+ * EOF. Returns the process exit code (0 on orderly shutdown). The
+ * caller should treat @p out_fd as owned by the protocol afterwards
+ * (runWorkerLoop redirects stray stdout writes to stderr when
+ * out_fd is stdout, so logging cannot corrupt frames).
+ */
+int runWorkerLoop(int in_fd, int out_fd);
+
+/** One parsed fault-injection directive (see header comment). */
+struct WorkerFault
+{
+    enum class Kind
+    {
+        None,
+        SigKill, //!< raise(SIGKILL) on receipt of a matching job
+        Exit,    //!< _exit(3) on receipt of a matching job
+        Hang,    //!< busy-wait forever (exercises the hard timeout)
+    };
+    Kind kind = Kind::None;
+    std::string label_substr;
+    unsigned max_attempt = ~0u; //!< inject only while attempt <= this
+
+    bool
+    matches(const std::string &label, unsigned attempt) const
+    {
+        return kind != Kind::None && attempt <= max_attempt
+               && label.find(label_substr) != std::string::npos;
+    }
+};
+
+/** Parse LBIC_WORKER_FAULT ("sigkill@swim/bank:4@1"); None if unset. */
+WorkerFault workerFaultFromEnv();
+
+} // namespace service
+} // namespace lbic
+
+#endif // LBIC_SERVICE_COORDINATOR_HH

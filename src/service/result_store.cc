@@ -1,0 +1,425 @@
+#include "result_store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/sim_error.hh"
+
+namespace lbic
+{
+namespace service
+{
+
+namespace
+{
+
+/** mkdir -p: a store=results/store knob must not require results/. */
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return;
+    if (errno == ENOENT) {
+        const std::size_t slash = path.find_last_of('/');
+        if (slash != std::string::npos && slash > 0) {
+            ensureDir(path.substr(0, slash));
+            if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+                return;
+        }
+    }
+    throw SimError(SimErrorKind::Config,
+                   "cannot create store directory '" + path
+                       + "': " + std::strerror(errno));
+}
+
+/** Whole-file read; false when the file cannot be opened. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    out.clear();
+    char buf[8192];
+    for (;;) {
+        const ::ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+/** Write the whole buffer to @p fd, retrying short writes. */
+bool
+writeAll(int fd, const std::string &buf)
+{
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ::ssize_t n =
+            ::write(fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** True when @p pid names a live process we could signal. */
+bool
+pidAlive(int pid)
+{
+    if (pid <= 0)
+        return false;
+    return ::kill(pid, 0) == 0 || errno != ESRCH;
+}
+
+/**
+ * Parse a record file: "lbrs <ver> <checksum> <bytes>\n<payload>".
+ * Returns true and fills @p payload only when the header is well
+ * formed, the length matches exactly and the checksum verifies.
+ */
+bool
+parseRecord(const std::string &content, std::string &payload)
+{
+    const std::size_t nl = content.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    unsigned version = 0;
+    char sum_hex[32] = {0};
+    unsigned long long bytes = 0;
+    if (std::sscanf(content.substr(0, nl).c_str(), "lbrs %u %31s %llu",
+                    &version, sum_hex, &bytes)
+        != 3)
+        return false;
+    if (version != result_store_version)
+        return false;
+    payload = content.substr(nl + 1);
+    if (payload.size() != bytes)
+        return false;
+    return hashHex(fnv1a(payload)) == sum_hex;
+}
+
+std::string
+renderRecord(const std::string &payload)
+{
+    return "lbrs " + std::to_string(result_store_version) + " "
+           + hashHex(fnv1a(payload)) + " "
+           + std::to_string(payload.size()) + "\n" + payload;
+}
+
+} // anonymous namespace
+
+StoreKey
+StoreKey::of(const RunRequest &req, const std::string &git_sha)
+{
+    StoreKey key;
+    key.config_hash = req.configHash();
+    key.workload = req.config.workload;
+    key.seed = req.config.seed;
+    key.insts = req.config.max_insts;
+    key.git_sha = git_sha;
+    return key;
+}
+
+std::string
+StoreKey::text() const
+{
+    return "config_hash=" + config_hash + "\nworkload=" + workload
+           + "\nseed=" + std::to_string(seed)
+           + "\ninsts=" + std::to_string(insts)
+           + "\ngit_sha=" + git_sha + "\n";
+}
+
+std::string
+StoreKey::id() const
+{
+    return hashHex(fnv1a(text()));
+}
+
+ResultStore::ResultStore(const std::string &dir) : dir_(dir)
+{
+    ensureDir(dir_);
+    ensureDir(dir_ + "/records");
+    ensureDir(dir_ + "/tmp");
+    ensureDir(dir_ + "/claims");
+    ensureDir(dir_ + "/quarantine");
+
+    if (const char *env = std::getenv("LBIC_STORE_TEAR")) {
+        tear_armed_ = true;
+        tear_substr_ = env;
+    }
+
+    // Verify every record; quarantine what fails. The scan is the
+    // ledger's torn-tail recovery generalized to a directory: damage
+    // is contained at open time, never served later.
+    const std::string records = dir_ + "/records";
+    DIR *top = ::opendir(records.c_str());
+    if (top) {
+        while (struct dirent *shard = ::readdir(top)) {
+            if (shard->d_name[0] == '.')
+                continue;
+            const std::string shard_path =
+                records + "/" + shard->d_name;
+            DIR *sub = ::opendir(shard_path.c_str());
+            if (!sub)
+                continue;
+            while (struct dirent *rec = ::readdir(sub)) {
+                if (rec->d_name[0] == '.')
+                    continue;
+                const std::string path =
+                    shard_path + "/" + rec->d_name;
+                std::string content, payload;
+                if (readFile(path, content)
+                    && parseRecord(content, payload)) {
+                    ++open_stats_.records;
+                } else {
+                    quarantine(path);
+                    ++open_stats_.quarantined;
+                }
+            }
+            ::closedir(sub);
+        }
+        ::closedir(top);
+    }
+
+    // Sweep tmp files and claims left by dead writers. Names carry
+    // the owning pid; a live pid means an in-flight peer, leave it.
+    const std::string tmp = dir_ + "/tmp";
+    if (DIR *d = ::opendir(tmp.c_str())) {
+        while (struct dirent *e = ::readdir(d)) {
+            if (e->d_name[0] == '.')
+                continue;
+            const char *dot = std::strrchr(e->d_name, '.');
+            int pid = 0;
+            if (dot && std::sscanf(e->d_name, "%*[^.].%d.tmp", &pid)
+                    == 1
+                && pidAlive(pid))
+                continue;
+            ::unlink((tmp + "/" + e->d_name).c_str());
+            ++open_stats_.stale_tmp;
+        }
+        ::closedir(d);
+    }
+    const std::string claims = dir_ + "/claims";
+    if (DIR *d = ::opendir(claims.c_str())) {
+        while (struct dirent *e = ::readdir(d)) {
+            if (e->d_name[0] == '.')
+                continue;
+            const std::string path = claims + "/" + e->d_name;
+            std::string content;
+            int pid = 0;
+            if (readFile(path, content))
+                std::sscanf(content.c_str(), "pid %d", &pid);
+            if (pidAlive(pid))
+                continue;
+            ::unlink(path.c_str());
+            ++open_stats_.stale_claims;
+        }
+        ::closedir(d);
+    }
+}
+
+std::string
+ResultStore::recordPath(const std::string &id) const
+{
+    return dir_ + "/records/" + id.substr(0, 2) + "/" + id + ".rec";
+}
+
+std::string
+ResultStore::claimPath(const std::string &id) const
+{
+    return dir_ + "/claims/" + id + ".claim";
+}
+
+void
+ResultStore::quarantine(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    // Suffix with the epoch so repeated damage to one key never
+    // overwrites earlier evidence.
+    const std::string dest = dir_ + "/quarantine/" + name + "."
+                             + std::to_string(::time(nullptr));
+    if (::rename(path.c_str(), dest.c_str()) != 0)
+        ::unlink(path.c_str());
+    lbic_warn("result store quarantined corrupt record '", path, "'");
+}
+
+std::optional<RunOutcome>
+ResultStore::lookup(const StoreKey &key)
+{
+    const std::string path = recordPath(key.id());
+    std::string content;
+    if (!readFile(path, content)) {
+        ++misses_;
+        return std::nullopt;
+    }
+    std::string payload;
+    if (!parseRecord(content, payload)) {
+        quarantine(path);
+        ++late_quarantined_;
+        ++misses_;
+        return std::nullopt;
+    }
+    // Payload = key text, blank line, outcome JSON. The embedded key
+    // must match byte for byte -- this catches both digest collisions
+    // and records copied between incompatible stores.
+    const std::string expect = key.text() + "\n";
+    if (payload.rfind(expect, 0) != 0) {
+        quarantine(path);
+        ++late_quarantined_;
+        ++misses_;
+        return std::nullopt;
+    }
+    RunOutcome out;
+    if (!RunOutcome::fromJson(payload.substr(expect.size()), out)) {
+        quarantine(path);
+        ++late_quarantined_;
+        ++misses_;
+        return std::nullopt;
+    }
+    out.cached = true;
+    ++hits_;
+    return out;
+}
+
+bool
+ResultStore::contains(const StoreKey &key)
+{
+    std::string content, payload;
+    return readFile(recordPath(key.id()), content)
+           && parseRecord(content, payload);
+}
+
+void
+ResultStore::put(const StoreKey &key, const RunOutcome &outcome)
+{
+    const std::string id = key.id();
+    const std::string payload =
+        key.text() + "\n" + outcome.toJson() + "\n";
+    std::string record = renderRecord(payload);
+
+    // Fault hook: emit a record whose header promises more bytes
+    // than follow -- the shape a torn write (or truncated disk)
+    // leaves behind. open()/lookup() must quarantine it.
+    bool tear = false;
+    if (tear_armed_
+        && (tear_substr_.empty()
+            || outcome.label.find(tear_substr_) != std::string::npos)) {
+        tear = true;
+        tear_armed_ = std::getenv("LBIC_STORE_TEAR") != nullptr;
+        record = record.substr(0, record.size() / 2);
+    }
+
+    const std::string tmp = dir_ + "/tmp/" + id + "."
+                            + std::to_string(::getpid()) + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        throw SimError(SimErrorKind::Config,
+                       "result store cannot open '" + tmp
+                           + "': " + std::strerror(errno));
+    }
+    const bool written = writeAll(fd, record);
+    ::fsync(fd);
+    ::close(fd);
+    if (!written) {
+        ::unlink(tmp.c_str());
+        throw SimError(SimErrorKind::Config,
+                       "result store write to '" + tmp + "' failed");
+    }
+
+    const std::string shard = dir_ + "/records/" + id.substr(0, 2);
+    ensureDir(shard);
+    const std::string dest = recordPath(id);
+    if (::rename(tmp.c_str(), dest.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw SimError(SimErrorKind::Config,
+                       "result store rename to '" + dest
+                           + "' failed: " + std::strerror(err));
+    }
+    (void)tear;
+}
+
+ResultStore::ClaimStatus
+ResultStore::tryClaim(const StoreKey &key)
+{
+    const std::string path = claimPath(key.id());
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd = ::open(path.c_str(),
+                              O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd >= 0) {
+            const std::string body =
+                "pid " + std::to_string(::getpid()) + "\ntime "
+                + std::to_string(::time(nullptr)) + "\nkey "
+                + key.id() + "\n";
+            writeAll(fd, body);
+            ::close(fd);
+            return ClaimStatus::Acquired;
+        }
+        if (errno != EEXIST) {
+            throw SimError(SimErrorKind::Config,
+                           "result store cannot create claim '" + path
+                               + "': " + std::strerror(errno));
+        }
+        // Claim exists. A live owner means Busy; a dead owner is the
+        // crash-between-claim-and-write case -- break the claim and
+        // retry the O_EXCL create once.
+        const int owner = claimOwner(key);
+        if (pidAlive(owner))
+            return ClaimStatus::Busy;
+        ::unlink(path.c_str());
+    }
+    return ClaimStatus::Busy;
+}
+
+void
+ResultStore::releaseClaim(const StoreKey &key)
+{
+    ::unlink(claimPath(key.id()).c_str());
+}
+
+int
+ResultStore::claimOwner(const StoreKey &key) const
+{
+    std::string content;
+    if (!readFile(claimPath(key.id()), content))
+        return 0;
+    int pid = 0;
+    std::sscanf(content.c_str(), "pid %d", &pid);
+    return pid;
+}
+
+void
+ResultStore::tearNextPut(const std::string &label_substr)
+{
+    tear_armed_ = true;
+    tear_substr_ = label_substr;
+}
+
+} // namespace service
+} // namespace lbic

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Persistent content-addressed result store.
+ *
+ * The store is the durable half of the exploration service: every
+ * simulated design point is written once and answered forever. A
+ * record is keyed by the provenance tuple the bench JSON already
+ * stamps -- (config_hash, workload, seed, insts, git_sha) -- so a
+ * cell is re-simulated exactly when something that could change its
+ * result changed: the simulator tree (git_sha) or any knob folded
+ * into the per-request config_hash (RunRequest::cacheText()).
+ *
+ * On-disk layout (all under the store directory):
+ *
+ *   records/<id[0:2]>/<id>.rec   one record per key; id is the FNV-1a
+ *                                digest of the canonical key text
+ *   tmp/<id>.<pid>.tmp           in-flight writes (tmp-file + rename)
+ *   claims/<id>.claim            O_EXCL work claims (coordinators)
+ *   quarantine/<name>            records that failed verification
+ *
+ * Record format: a one-line header
+ *
+ *   lbrs <version> <fnv1a-hex> <payload-bytes>\n
+ *
+ * followed by the payload (the canonical key text, a blank line, the
+ * RunOutcome JSON). Records are immutable once renamed into place;
+ * the store is append-only in the sense that nothing is ever edited
+ * in place.
+ *
+ * Crash safety and corruption handling:
+ *  - put() writes the full record to tmp/ and rename()s it into
+ *    records/ -- readers can never observe a half-written record on
+ *    a POSIX filesystem.
+ *  - open() (construction) verifies every record's header, length
+ *    and checksum; anything torn or bit-rotted is moved to
+ *    quarantine/ (never deleted, never served) and counted. Stale
+ *    tmp files whose writer is dead are removed.
+ *  - lookup() re-verifies the checksum on read, so corruption that
+ *    appears after open is also quarantined, not returned.
+ *
+ * Concurrency: two coordinators may share one store directory.
+ * rename() keeps them from corrupting records (the last writer of a
+ * key wins with an identical byte payload -- results are
+ * deterministic). tryClaim() lets them avoid duplicating work: a
+ * claim file is created with O_EXCL, and a claim whose owning pid is
+ * dead (crash between claim and write) is detected as stale and
+ * broken by the next claimant.
+ */
+
+#ifndef LBIC_SERVICE_RESULT_STORE_HH
+#define LBIC_SERVICE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/run_request.hh"
+
+namespace lbic
+{
+namespace service
+{
+
+/** Record format version inside the `lbrs` header. */
+constexpr unsigned result_store_version = 1;
+
+/** The provenance tuple a record is addressed by. */
+struct StoreKey
+{
+    std::string config_hash; //!< RunRequest::configHash()
+    std::string workload;
+    std::uint64_t seed = 0;
+    std::uint64_t insts = 0;
+    std::string git_sha; //!< tree that built the simulator
+
+    /** Build the key for @p req under @p git_sha. */
+    static StoreKey of(const RunRequest &req,
+                       const std::string &git_sha);
+
+    /** Canonical text form (embedded in records for verification). */
+    std::string text() const;
+
+    /** Content address: FNV-1a hex digest of text(). */
+    std::string id() const;
+};
+
+/** What opening a store found (and cleaned up). */
+struct StoreOpenStats
+{
+    std::size_t records = 0;      //!< verified records present
+    std::size_t quarantined = 0;  //!< torn/corrupt records moved aside
+    std::size_t stale_tmp = 0;    //!< dead writers' tmp files removed
+    std::size_t stale_claims = 0; //!< dead claimants' claims removed
+};
+
+/** Append-only content-addressed store of finished run outcomes. */
+class ResultStore
+{
+  public:
+    /**
+     * Open (creating on demand) the store at @p dir: make the
+     * subdirectories, verify every record and quarantine the torn
+     * ones, and sweep stale tmp files and claims. Throws SimError
+     * (Config) when the directory cannot be created.
+     */
+    explicit ResultStore(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+    const StoreOpenStats &openStats() const { return open_stats_; }
+
+    /**
+     * Fetch the record for @p key, verifying its checksum and
+     * embedded key text. Returns nullopt (and counts a miss) when
+     * absent; a record that fails verification is quarantined and
+     * reported as a miss. The returned outcome has cached=true.
+     */
+    std::optional<RunOutcome> lookup(const StoreKey &key);
+
+    /**
+     * Persist @p outcome under @p key: serialize, write to tmp/,
+     * fsync, rename into records/. Throws SimError (Config) on I/O
+     * failure. Honors the LBIC_STORE_TEAR fault hook (see below).
+     */
+    void put(const StoreKey &key, const RunOutcome &outcome);
+
+    /** True when a verified record for @p key exists right now. */
+    bool contains(const StoreKey &key);
+
+    /** Outcome of a tryClaim() attempt. */
+    enum class ClaimStatus
+    {
+        Acquired, //!< we own the claim; simulate and put()
+        Busy,     //!< a live process owns it; defer or duplicate
+    };
+
+    /**
+     * Try to claim the right to simulate @p key via an O_EXCL claim
+     * file recording our pid. A claim whose recorded pid no longer
+     * exists (the claimant crashed between claim and write) is
+     * treated as stale, broken, and re-acquired.
+     */
+    ClaimStatus tryClaim(const StoreKey &key);
+
+    /** Release a claim acquired by tryClaim(). Idempotent. */
+    void releaseClaim(const StoreKey &key);
+
+    /** Pid recorded in @p key's claim file, or 0 when unclaimed. */
+    int claimOwner(const StoreKey &key) const;
+
+    /** @{ @name Lookup counters (this handle's lifetime) */
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    std::size_t quarantined() const
+    {
+        return open_stats_.quarantined + late_quarantined_;
+    }
+    /** @} */
+
+    /**
+     * Fault hook for the crash-isolation tests: the next put() whose
+     * outcome label contains the configured substring writes a
+     * deliberately torn record (header promising more payload bytes
+     * than follow). Armed by calling this, or process-wide via the
+     * LBIC_STORE_TEAR environment variable (its value is the
+     * substring; empty matches everything).
+     */
+    void tearNextPut(const std::string &label_substr = "");
+
+  private:
+    std::string recordPath(const std::string &id) const;
+    std::string claimPath(const std::string &id) const;
+    void quarantine(const std::string &path);
+
+    std::string dir_;
+    StoreOpenStats open_stats_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t late_quarantined_ = 0;
+    bool tear_armed_ = false;
+    std::string tear_substr_;
+};
+
+} // namespace service
+} // namespace lbic
+
+#endif // LBIC_SERVICE_RESULT_STORE_HH

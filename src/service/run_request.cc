@@ -1,0 +1,670 @@
+#include "run_request.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "cacheport/bank_select.hh"
+
+namespace lbic
+{
+namespace service
+{
+
+namespace
+{
+
+/** Stable names for the enums SimConfig carries. */
+const char *
+replPolicyName(ReplPolicy p)
+{
+    return p == ReplPolicy::Random ? "random" : "lru";
+}
+
+ReplPolicy
+parseReplPolicy(const std::string &s)
+{
+    return s == "random" ? ReplPolicy::Random : ReplPolicy::LRU;
+}
+
+const char *
+disambiguationName(Disambiguation d)
+{
+    return d == Disambiguation::Conservative ? "conservative"
+                                             : "perfect";
+}
+
+Disambiguation
+parseDisambiguation(const std::string &s)
+{
+    return s == "conservative" ? Disambiguation::Conservative
+                               : Disambiguation::Perfect;
+}
+
+/**
+ * Values travel one per line, so the only characters that need
+ * escaping are the line breaks themselves (and the escape char).
+ */
+std::string
+encodeValue(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '%' || c == '\n' || c == '\r') {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+decodeValue(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            const char hex[3] = {s[i + 1], s[i + 2], 0};
+            out.push_back(static_cast<char>(
+                std::strtoul(hex, nullptr, 16)));
+            i += 2;
+        } else {
+            out.push_back(s[i]);
+        }
+    }
+    return out;
+}
+
+std::string
+u64s(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** %.17g: the shortest-common form that round-trips IEEE doubles. */
+std::string
+d17(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Append the result-affecting configuration fields as sorted
+ * key=value lines. Shared by the transport form (which adds the
+ * host/observability fields on top) and the cache-key form.
+ */
+void
+appendCoreFields(const SimConfig &c,
+                 std::map<std::string, std::string> &kv)
+{
+    kv["workload"] = encodeValue(c.workload);
+    kv["ports"] = encodeValue(c.port_spec);
+    kv["seed"] = u64s(c.seed);
+    kv["insts"] = u64s(c.max_insts);
+    kv["ff"] = u64s(c.ff_insts);
+    kv["warmup"] = u64s(c.warmup_insts);
+    kv["banksel"] = bankSelectFnName(c.select_fn);
+    kv["storeq"] = u64s(c.store_queue_depth);
+
+    kv["fetch_width"] = u64s(c.core.fetch_width);
+    kv["issue_width"] = u64s(c.core.issue_width);
+    kv["commit_width"] = u64s(c.core.commit_width);
+    kv["ruu"] = u64s(c.core.ruu_size);
+    kv["lsq"] = u64s(c.core.lsq_size);
+    kv["int_alu"] = u64s(c.core.int_alu_units);
+    kv["int_muldiv"] = u64s(c.core.int_mult_div_units);
+    kv["fp_add"] = u64s(c.core.fp_add_units);
+    kv["fp_muldiv"] = u64s(c.core.fp_mult_div_units);
+    kv["mem_window"] = u64s(c.core.mem_request_window);
+    kv["disambig"] = disambiguationName(c.core.disambiguation);
+    kv["watchdog"] = u64s(c.core.deadlock_threshold);
+
+    kv["l1_size"] = u64s(c.memory.l1.size_bytes);
+    kv["l1_line"] = u64s(c.memory.l1.line_bytes);
+    kv["l1_assoc"] = u64s(c.memory.l1.assoc);
+    kv["l1_repl"] = replPolicyName(c.memory.l1.repl);
+    kv["l2_size"] = u64s(c.memory.l2.size_bytes);
+    kv["l2_line"] = u64s(c.memory.l2.line_bytes);
+    kv["l2_assoc"] = u64s(c.memory.l2.assoc);
+    kv["l2_repl"] = replPolicyName(c.memory.l2.repl);
+    kv["l1_lat"] = u64s(c.memory.l1_hit_latency);
+    kv["l2_lat"] = u64s(c.memory.l2_latency);
+    kv["mem_lat"] = u64s(c.memory.mem_latency);
+    kv["mshrs"] = u64s(c.memory.max_outstanding);
+    kv["miss_per_cycle"] = u64s(c.memory.miss_requests_per_cycle);
+
+    kv["check"] = c.check ? "1" : "0";
+    kv["audit"] = c.audit ? "1" : "0";
+    kv["audit_interval"] = u64s(c.audit_interval);
+    kv["max_cycles"] = u64s(c.max_cycles);
+}
+
+std::string
+renderLines(const std::map<std::string, std::string> &kv)
+{
+    std::string out;
+    for (const auto &e : kv) {
+        out += e.first;
+        out.push_back('=');
+        out += e.second;
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+RunRequest
+RunRequest::fromJob(const SweepJob &job)
+{
+    RunRequest req;
+    req.label = job.label;
+    req.config = job.config;
+    return req;
+}
+
+SweepJob
+RunRequest::toJob() const
+{
+    SweepJob job;
+    job.label = label;
+    job.config = config;
+    return job;
+}
+
+std::string
+RunRequest::serialize() const
+{
+    std::map<std::string, std::string> kv;
+    appendCoreFields(config, kv);
+    kv["label"] = encodeValue(label);
+    kv["attempt"] = u64s(attempt);
+    kv["replay"] = encodeValue(config.replay_trace);
+    kv["max_wall_ms"] = d17(config.max_wall_ms);
+    kv["trace_path"] = encodeValue(config.trace_path);
+    kv["trace_format"] = encodeValue(config.trace_format);
+    kv["interval"] = u64s(config.interval);
+    kv["interval_out"] = encodeValue(config.interval_out);
+    kv["interval_stats"] = encodeValue(config.interval_stats);
+    kv["profile"] = config.profile ? "1" : "0";
+    kv["profile_out"] = encodeValue(config.profile_out);
+    kv["stats_json"] = encodeValue(config.stats_json);
+    return "lbrq " + std::to_string(run_request_version) + "\n"
+           + renderLines(kv);
+}
+
+bool
+RunRequest::deserialize(const std::string &text, RunRequest &out,
+                        std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+
+    std::size_t pos = 0;
+    auto nextLine = [&](std::string &line) {
+        if (pos >= text.size())
+            return false;
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            line = text.substr(pos);
+            pos = text.size();
+        } else {
+            line = text.substr(pos, nl - pos);
+            pos = nl + 1;
+        }
+        return true;
+    };
+
+    std::string line;
+    if (!nextLine(line))
+        return fail("empty request");
+    if (line != "lbrq " + std::to_string(run_request_version))
+        return fail("bad request header '" + line + "'");
+
+    std::map<std::string, std::string> kv;
+    while (nextLine(line)) {
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("malformed line '" + line + "'");
+        kv[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+
+    auto str = [&](const char *key, const std::string &def) {
+        const auto it = kv.find(key);
+        return it == kv.end() ? def : decodeValue(it->second);
+    };
+    auto u64 = [&](const char *key, std::uint64_t def) {
+        const auto it = kv.find(key);
+        return it == kv.end()
+                   ? def
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    };
+    auto u32 = [&](const char *key, unsigned def) {
+        return static_cast<unsigned>(u64(key, def));
+    };
+    auto dbl = [&](const char *key, double def) {
+        const auto it = kv.find(key);
+        return it == kv.end()
+                   ? def
+                   : std::strtod(it->second.c_str(), nullptr);
+    };
+    auto flag = [&](const char *key, bool def) {
+        const auto it = kv.find(key);
+        return it == kv.end() ? def : it->second == "1";
+    };
+
+    out = RunRequest{};
+    SimConfig &c = out.config;
+    out.label = str("label", "");
+    out.attempt = u32("attempt", 1);
+
+    c.workload = str("workload", c.workload);
+    c.port_spec = str("ports", c.port_spec);
+    c.seed = u64("seed", c.seed);
+    c.max_insts = u64("insts", c.max_insts);
+    c.ff_insts = u64("ff", c.ff_insts);
+    c.warmup_insts = u64("warmup", c.warmup_insts);
+    c.select_fn =
+        parseBankSelectFn(str("banksel", bankSelectFnName(c.select_fn)));
+    c.store_queue_depth = u32("storeq", c.store_queue_depth);
+
+    c.core.fetch_width = u32("fetch_width", c.core.fetch_width);
+    c.core.issue_width = u32("issue_width", c.core.issue_width);
+    c.core.commit_width = u32("commit_width", c.core.commit_width);
+    c.core.ruu_size = u32("ruu", c.core.ruu_size);
+    c.core.lsq_size = u32("lsq", c.core.lsq_size);
+    c.core.int_alu_units = u32("int_alu", c.core.int_alu_units);
+    c.core.int_mult_div_units =
+        u32("int_muldiv", c.core.int_mult_div_units);
+    c.core.fp_add_units = u32("fp_add", c.core.fp_add_units);
+    c.core.fp_mult_div_units =
+        u32("fp_muldiv", c.core.fp_mult_div_units);
+    c.core.mem_request_window =
+        u32("mem_window", c.core.mem_request_window);
+    c.core.disambiguation = parseDisambiguation(
+        str("disambig", disambiguationName(c.core.disambiguation)));
+    c.core.deadlock_threshold =
+        u32("watchdog", c.core.deadlock_threshold);
+
+    c.memory.l1.size_bytes = u64("l1_size", c.memory.l1.size_bytes);
+    c.memory.l1.line_bytes = u32("l1_line", c.memory.l1.line_bytes);
+    c.memory.l1.assoc = u32("l1_assoc", c.memory.l1.assoc);
+    c.memory.l1.repl =
+        parseReplPolicy(str("l1_repl", replPolicyName(c.memory.l1.repl)));
+    c.memory.l2.size_bytes = u64("l2_size", c.memory.l2.size_bytes);
+    c.memory.l2.line_bytes = u32("l2_line", c.memory.l2.line_bytes);
+    c.memory.l2.assoc = u32("l2_assoc", c.memory.l2.assoc);
+    c.memory.l2.repl =
+        parseReplPolicy(str("l2_repl", replPolicyName(c.memory.l2.repl)));
+    c.memory.l1_hit_latency = u32("l1_lat", c.memory.l1_hit_latency);
+    c.memory.l2_latency = u32("l2_lat", c.memory.l2_latency);
+    c.memory.mem_latency = u32("mem_lat", c.memory.mem_latency);
+    c.memory.max_outstanding = u32("mshrs", c.memory.max_outstanding);
+    c.memory.miss_requests_per_cycle =
+        u32("miss_per_cycle", c.memory.miss_requests_per_cycle);
+
+    c.check = flag("check", c.check);
+    c.audit = flag("audit", c.audit);
+    c.audit_interval = u64("audit_interval", c.audit_interval);
+    c.max_cycles = u64("max_cycles", c.max_cycles);
+    c.max_wall_ms = dbl("max_wall_ms", c.max_wall_ms);
+
+    c.replay_trace = str("replay", c.replay_trace);
+    c.trace_path = str("trace_path", c.trace_path);
+    c.trace_format = str("trace_format", c.trace_format);
+    c.interval = u64("interval", c.interval);
+    c.interval_out = str("interval_out", c.interval_out);
+    c.interval_stats = str("interval_stats", c.interval_stats);
+    c.profile = flag("profile", c.profile);
+    c.profile_out = str("profile_out", c.profile_out);
+    c.stats_json = str("stats_json", c.stats_json);
+    return true;
+}
+
+std::string
+RunRequest::cacheText() const
+{
+    std::map<std::string, std::string> kv;
+    appendCoreFields(config, kv);
+    return "lbck-req " + std::to_string(run_request_version) + "\n"
+           + renderLines(kv);
+}
+
+std::string
+RunRequest::configHash() const
+{
+    return hashHex(fnv1a(cacheText()));
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+/** Scan one flat-JSON scalar; mirrors the ledger reader's grammar. */
+bool
+scanValue(const std::string &s, std::size_t &i, std::string &value,
+          bool &was_string)
+{
+    value.clear();
+    if (i >= s.size())
+        return false;
+    if (s[i] == '"') {
+        was_string = true;
+        for (++i; i < s.size(); ++i) {
+            if (s[i] == '\\') {
+                if (++i >= s.size())
+                    return false;
+                value.push_back(s[i]);
+            } else if (s[i] == '"') {
+                ++i;
+                return true;
+            } else {
+                value.push_back(s[i]);
+            }
+        }
+        return false;
+    }
+    was_string = false;
+    while (i < s.size() && s[i] != ',' && s[i] != '}') {
+        if (!std::isspace(static_cast<unsigned char>(s[i])))
+            value.push_back(s[i]);
+        ++i;
+    }
+    return !value.empty();
+}
+
+} // anonymous namespace
+
+std::string
+RunOutcome::toJson() const
+{
+    std::map<std::string, std::string> kv;
+    kv["label"] = quoted(label);
+    kv["status"] = quoted(ok ? "ok" : "failed");
+    kv["cached"] = cached ? "true" : "false";
+    kv["error"] = quoted(error);
+    kv["error_kind"] = quoted(error_kind);
+    kv["signal_num"] = std::to_string(signal_num);
+    kv["signal_name"] = quoted(signal_name);
+    kv["attempts"] = std::to_string(attempts);
+    kv["wall_ms"] = d17(wall_ms);
+    kv["instructions"] = u64s(result.instructions);
+    kv["cycles"] = u64s(result.cycles);
+    kv["warmup_instructions"] = u64s(result.warmup_instructions);
+    kv["warmup_cycles"] = u64s(result.warmup_cycles);
+
+    const SweepMetrics &m = metrics;
+    kv["m.l1_miss_rate"] = d17(m.l1_miss_rate);
+    kv["m.loads_executed"] = d17(m.loads_executed);
+    kv["m.stores_executed"] = d17(m.stores_executed);
+    kv["m.loads_forwarded"] = d17(m.loads_forwarded);
+    kv["m.requests_seen"] = d17(m.requests_seen);
+    kv["m.requests_granted"] = d17(m.requests_granted);
+    kv["m.peak_width"] = u64s(m.peak_width);
+    kv["m.requests_rejected"] = d17(m.requests_rejected);
+    for (unsigned c = 0; c < num_reject_causes; ++c) {
+        kv[std::string("m.rejects.")
+           + rejectCauseName(static_cast<RejectCause>(c))] =
+            u64s(m.rejects[c]);
+    }
+    kv["m.reject_bank_samples"] = u64s(m.reject_bank_samples);
+    kv["m.reject_banks"] = u64s(m.reject_banks);
+    kv["m.fetch_width"] = u64s(m.fetch_width);
+    kv["m.commit_width"] = u64s(m.commit_width);
+    kv["m.cycles_base"] = u64s(m.cycles_base);
+    for (unsigned c = 0; c < observe::num_stall_causes; ++c) {
+        const char *name =
+            observe::stallCauseName(static_cast<observe::StallCause>(c));
+        kv[std::string("m.stall_cycles.") + name] =
+            u64s(m.stall_cycles[c]);
+        kv[std::string("m.stall_slots.") + name] =
+            u64s(m.stall_slots[c]);
+    }
+    kv["m.slots_committed"] = u64s(m.slots_committed);
+    kv["m.dispatch_used"] = u64s(m.dispatch_used);
+    for (unsigned c = 0; c < observe::num_dispatch_causes; ++c) {
+        kv[std::string("m.dispatch_stalls.")
+           + observe::dispatchCauseName(
+                 static_cast<observe::DispatchCause>(c))] =
+            u64s(m.dispatch_stalls[c]);
+    }
+
+    std::string out = "{";
+    bool first = true;
+    for (const auto &e : kv) {
+        out += (first ? "\"" : ",\"") + e.first + "\":" + e.second;
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+bool
+RunOutcome::fromJson(const std::string &line, RunOutcome &out)
+{
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos || line[i] != '{')
+        return false;
+    ++i;
+    out = RunOutcome{};
+
+    // Name → slot maps for the enum-indexed arrays, resolved once.
+    auto matchCause = [](const std::string &key,
+                         const std::string &prefix, unsigned count,
+                         const char *(*name)(unsigned)) -> int {
+        if (key.rfind(prefix, 0) != 0)
+            return -1;
+        const std::string tail = key.substr(prefix.size());
+        for (unsigned c = 0; c < count; ++c) {
+            if (tail == name(c))
+                return static_cast<int>(c);
+        }
+        return -1;
+    };
+    auto rejectName = [](unsigned c) {
+        return rejectCauseName(static_cast<RejectCause>(c));
+    };
+    auto stallName = [](unsigned c) {
+        return observe::stallCauseName(
+            static_cast<observe::StallCause>(c));
+    };
+    auto dispatchName = [](unsigned c) {
+        return observe::dispatchCauseName(
+            static_cast<observe::DispatchCause>(c));
+    };
+
+    for (;;) {
+        while (i < line.size()
+               && (std::isspace(static_cast<unsigned char>(line[i]))
+                   || line[i] == ','))
+            ++i;
+        if (i >= line.size())
+            return false;
+        if (line[i] == '}')
+            break;
+        std::string key;
+        bool was_string = false;
+        if (!scanValue(line, i, key, was_string) || !was_string)
+            return false;
+        while (i < line.size()
+               && std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        while (i < line.size()
+               && std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        std::string value;
+        if (!scanValue(line, i, value, was_string))
+            return false;
+
+        auto u64v = [&] {
+            return std::strtoull(value.c_str(), nullptr, 10);
+        };
+        auto dblv = [&] {
+            return std::strtod(value.c_str(), nullptr);
+        };
+
+        if (key == "label")
+            out.label = value;
+        else if (key == "status")
+            out.ok = value == "ok";
+        else if (key == "cached")
+            out.cached = value == "true";
+        else if (key == "error")
+            out.error = value;
+        else if (key == "error_kind")
+            out.error_kind = value;
+        else if (key == "signal_num")
+            out.signal_num = static_cast<int>(
+                std::strtol(value.c_str(), nullptr, 10));
+        else if (key == "signal_name")
+            out.signal_name = value;
+        else if (key == "attempts")
+            out.attempts = static_cast<unsigned>(u64v());
+        else if (key == "wall_ms")
+            out.wall_ms = dblv();
+        else if (key == "instructions")
+            out.result.instructions = u64v();
+        else if (key == "cycles")
+            out.result.cycles = u64v();
+        else if (key == "warmup_instructions")
+            out.result.warmup_instructions = u64v();
+        else if (key == "warmup_cycles")
+            out.result.warmup_cycles = u64v();
+        else if (key == "m.l1_miss_rate")
+            out.metrics.l1_miss_rate = dblv();
+        else if (key == "m.loads_executed")
+            out.metrics.loads_executed = dblv();
+        else if (key == "m.stores_executed")
+            out.metrics.stores_executed = dblv();
+        else if (key == "m.loads_forwarded")
+            out.metrics.loads_forwarded = dblv();
+        else if (key == "m.requests_seen")
+            out.metrics.requests_seen = dblv();
+        else if (key == "m.requests_granted")
+            out.metrics.requests_granted = dblv();
+        else if (key == "m.peak_width")
+            out.metrics.peak_width = static_cast<unsigned>(u64v());
+        else if (key == "m.requests_rejected")
+            out.metrics.requests_rejected = dblv();
+        else if (key == "m.reject_bank_samples")
+            out.metrics.reject_bank_samples = u64v();
+        else if (key == "m.reject_banks")
+            out.metrics.reject_banks = static_cast<unsigned>(u64v());
+        else if (key == "m.fetch_width")
+            out.metrics.fetch_width = static_cast<unsigned>(u64v());
+        else if (key == "m.commit_width")
+            out.metrics.commit_width = static_cast<unsigned>(u64v());
+        else if (key == "m.cycles_base")
+            out.metrics.cycles_base = u64v();
+        else if (key == "m.slots_committed")
+            out.metrics.slots_committed = u64v();
+        else if (key == "m.dispatch_used")
+            out.metrics.dispatch_used = u64v();
+        else if (int c = matchCause(key, "m.rejects.",
+                                    num_reject_causes, rejectName);
+                 c >= 0)
+            out.metrics.rejects[static_cast<unsigned>(c)] = u64v();
+        else if (int c = matchCause(key, "m.stall_cycles.",
+                                    observe::num_stall_causes,
+                                    stallName);
+                 c >= 0)
+            out.metrics.stall_cycles[static_cast<unsigned>(c)] =
+                u64v();
+        else if (int c = matchCause(key, "m.stall_slots.",
+                                    observe::num_stall_causes,
+                                    stallName);
+                 c >= 0)
+            out.metrics.stall_slots[static_cast<unsigned>(c)] = u64v();
+        else if (int c = matchCause(key, "m.dispatch_stalls.",
+                                    observe::num_dispatch_causes,
+                                    dispatchName);
+                 c >= 0)
+            out.metrics.dispatch_stalls[static_cast<unsigned>(c)] =
+                u64v();
+        // Unknown keys are skipped: forward compatibility.
+    }
+    return true;
+}
+
+RunOutcome
+RunOutcome::fromSweepResult(const SweepResult &r)
+{
+    RunOutcome out;
+    out.label = r.label;
+    out.ok = r.ok;
+    out.error = r.error;
+    out.error_kind = r.error_kind;
+    out.signal_num = r.signal_num;
+    out.signal_name = r.signal_name;
+    out.attempts = r.attempts;
+    out.wall_ms = r.wall_ms;
+    out.result = r.result;
+    out.metrics = r.metrics;
+    return out;
+}
+
+SweepResult
+RunOutcome::toSweepResult() const
+{
+    SweepResult r;
+    r.label = label;
+    r.ok = ok;
+    r.error = error;
+    r.error_kind = error_kind;
+    r.signal_num = signal_num;
+    r.signal_name = signal_name;
+    r.attempts = attempts;
+    r.wall_ms = wall_ms;
+    r.result = result;
+    r.metrics = metrics;
+    return r;
+}
+
+} // namespace service
+} // namespace lbic

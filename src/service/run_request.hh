@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The serializable job boundary of the exploration service.
+ *
+ * A RunRequest is one simulation to perform -- the label plus the
+ * complete SimConfig -- in a form that can cross a process boundary
+ * (the coordinator's pipe protocol, service/coordinator.hh) and be
+ * content-addressed (the persistent result store,
+ * service/result_store.hh). A RunOutcome is everything a finished job
+ * produced: status, failure taxonomy (including process-death
+ * provenance), the RunResult counts and the full SweepMetrics the
+ * bench drivers print. Drivers, the store and the workers all speak
+ * exactly these two types, so a cached cell, a forked worker's answer
+ * and an in-process thread-pool run are interchangeable -- and the
+ * merged output of any of them is byte-identical.
+ *
+ * Serialization contracts:
+ *  - RunRequest::serialize() is a versioned key=value text block that
+ *    round-trips every SimConfig field a simulation reads.
+ *    deserialize() of serialize() reconstructs an identical request.
+ *  - RunRequest::cacheText() is the canonical *result-affecting*
+ *    subset: observability knobs (trace/interval/profile/stats_json)
+ *    and host-dependent budgets (max_wall_ms) are excluded, as is
+ *    replay_trace (replay is proven byte-identical to the generator,
+ *    so replay-backed and generator-backed sweeps share cache
+ *    entries). configHash() is the FNV-1a digest of that text.
+ *  - RunOutcome::toJson() is one flat JSON object (sorted keys,
+ *    ledger-style) whose doubles are printed with %.17g so
+ *    fromJson(toJson(x)) reconstructs bit-identical values.
+ */
+
+#ifndef LBIC_SERVICE_RUN_REQUEST_HH
+#define LBIC_SERVICE_RUN_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace service
+{
+
+/** Version tag leading every serialized request; bump on change. */
+constexpr unsigned run_request_version = 1;
+
+/** 64-bit FNV-1a over @p s, chained through @p h. */
+inline std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** @p h as 16 lowercase hex characters. */
+std::string hashHex(std::uint64_t h);
+
+/** One simulation to perform, in wire form. */
+struct RunRequest
+{
+    /** Caller-chosen tag echoed back in the outcome. */
+    std::string label;
+
+    /** Complete configuration of the run. */
+    SimConfig config;
+
+    /**
+     * 1-based process-level attempt number. The coordinator bumps it
+     * each time the job is re-dispatched after a worker death, so
+     * attempt-scoped fault injection (tests) and diagnostics can tell
+     * retries apart; it does not affect simulation results.
+     */
+    unsigned attempt = 1;
+
+    /** Build from a sweep job (the setup hook cannot cross a pipe). */
+    static RunRequest fromJob(const SweepJob &job);
+
+    /** The equivalent in-process sweep job. */
+    SweepJob toJob() const;
+
+    /** Full-fidelity transport text (versioned key=value lines). */
+    std::string serialize() const;
+
+    /**
+     * Parse a serialize()d block. Returns false on malformed input or
+     * version mismatch, with a diagnostic in @p err when non-null.
+     */
+    static bool deserialize(const std::string &text, RunRequest &out,
+                            std::string *err = nullptr);
+
+    /** Canonical result-affecting subset (see file header). */
+    std::string cacheText() const;
+
+    /** FNV-1a hex digest of cacheText(): the store's config_hash. */
+    std::string configHash() const;
+};
+
+/** Everything one finished (or failed) job produced. */
+struct RunOutcome
+{
+    std::string label;
+
+    bool ok = true;
+
+    /** True when answered from the result store, not simulated. */
+    bool cached = false;
+
+    /** The failure's what() text; empty when ok. */
+    std::string error;
+
+    /**
+     * Failure taxonomy: the SimError kinds ("config", "deadlock",
+     * "check") and "exception" as in SweepResult, plus the
+     * process-death kinds the coordinator adds -- "signal" (the
+     * worker died to an uncaught signal), "timeout" (the coordinator
+     * hard-killed it past the per-job wall budget) and "worker_exit"
+     * (the worker exited nonzero without reporting).
+     */
+    std::string error_kind;
+
+    /** Signal that killed the worker (0 when not a signal death). */
+    int signal_num = 0;
+
+    /** Its name ("SIGSEGV", "SIGKILL", ...); empty when none. */
+    std::string signal_name;
+
+    /** Attempts consumed (process respawns + in-process retries). */
+    unsigned attempts = 1;
+
+    /** Host wall-clock of the run, milliseconds. */
+    double wall_ms = 0.0;
+
+    /** Instruction / cycle counts. */
+    RunResult result;
+
+    /** Extracted statistics (everything the table drivers print). */
+    SweepMetrics metrics;
+
+    /** One flat JSON object, sorted keys, exact-round-trip doubles. */
+    std::string toJson() const;
+
+    /** Parse a toJson() line. False on malformed input. */
+    static bool fromJson(const std::string &line, RunOutcome &out);
+
+    /** Lift a finished sweep result into wire form. */
+    static RunOutcome fromSweepResult(const SweepResult &r);
+
+    /** Lower back into the shape the bench drivers consume. */
+    SweepResult toSweepResult() const;
+};
+
+} // namespace service
+} // namespace lbic
+
+#endif // LBIC_SERVICE_RUN_REQUEST_HH

@@ -13,11 +13,8 @@
 namespace lbic
 {
 
-namespace
-{
-
 SweepResult
-runOne(const SweepJob &job)
+runSweepJob(const SweepJob &job)
 {
     const auto start = std::chrono::steady_clock::now();
 
@@ -64,6 +61,9 @@ runOne(const SweepJob &job)
         std::chrono::duration<double, std::milli>(end - start).count();
     return out;
 }
+
+namespace
+{
 
 double
 msSince(const std::chrono::steady_clock::time_point &t0)
@@ -207,7 +207,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
                 const auto attempt_start =
                     std::chrono::steady_clock::now();
                 try {
-                    results[i] = runOne(job);
+                    results[i] = runSweepJob(job);
                     results[i].attempts = attempt;
                     tele.busy_ms += msSince(attempt_start);
                     ++tele.jobs;

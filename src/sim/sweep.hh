@@ -159,9 +159,22 @@ struct SweepResult
 
     /**
      * Failure taxonomy: "config", "deadlock" or "check" for SimError,
-     * "exception" for anything else; empty when ok.
+     * "exception" for anything else thrown in-process; the
+     * multi-process coordinator (service/coordinator.hh) adds
+     * "signal" (worker killed by an uncaught signal), "timeout"
+     * (hard-killed past the per-job wall budget) and "worker_exit"
+     * (worker exited nonzero without reporting). Empty when ok.
      */
     std::string error_kind;
+
+    /**
+     * Process-death provenance, filled by the coordinator when
+     * error_kind is "signal" or "timeout": the signal that ended the
+     * worker and its name ("SIGSEGV", "SIGKILL", ...). Zero/empty
+     * for in-process failures.
+     */
+    int signal_num = 0;
+    std::string signal_name;
 
     /** Simulation attempts consumed (1 unless retries kicked in). */
     unsigned attempts = 1;
@@ -343,6 +356,16 @@ class SweepRunner
 /** One-shot convenience: run @p jobs on @p num_threads workers. */
 std::vector<SweepResult> runSweep(const std::vector<SweepJob> &jobs,
                                   unsigned num_threads = 0);
+
+/**
+ * Execute one job synchronously on the calling thread: build the
+ * Simulator, run it, extract the full SweepMetrics. This is the
+ * single-attempt core the SweepRunner pool loops over, exposed so
+ * the service worker processes (service/coordinator.hh) run exactly
+ * the same code path -- byte-identical results by construction.
+ * Exceptions propagate to the caller (no isolation, no retries).
+ */
+SweepResult runSweepJob(const SweepJob &job);
 
 } // namespace lbic
 

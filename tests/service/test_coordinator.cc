@@ -1,0 +1,409 @@
+/**
+ * @file
+ * The crash-isolated multi-process coordinator: deterministic merge
+ * (byte-identical to the in-process pool), store-backed warm runs,
+ * and survival of injected worker SIGKILLs, exits and hangs.
+ *
+ * Worker faults are injected through the LBIC_WORKER_FAULT
+ * environment variable ("<kind>@<label-substr>[@<max-attempt>]"),
+ * which forked workers inherit; torn store records through
+ * LBIC_STORE_TEAR. Every test clears its variables on exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/coordinator.hh"
+#include "service/result_store.hh"
+#include "service/run_request.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using service::Coordinator;
+using service::CoordinatorOptions;
+using service::CoordinatorReport;
+using service::RunOutcome;
+using service::RunRequest;
+using service::WorkerFault;
+
+/** RAII env var so a failing test cannot poison its neighbors. */
+struct ScopedEnv
+{
+    std::string name;
+    ScopedEnv(const std::string &n, const std::string &value) : name(n)
+    {
+        ::setenv(name.c_str(), value.c_str(), 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + "lbic_coord_" + leaf
+                            + "_" + std::to_string(::getpid());
+    const std::string cmd = "rm -rf '" + dir + "'";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0);
+    return dir;
+}
+
+/** A small real sweep: distinct kernels and port organizations. */
+std::vector<RunRequest>
+sampleRequests()
+{
+    std::vector<RunRequest> reqs;
+    const char *cells[][2] = {
+        {"li", "ideal:2"},
+        {"li", "bank:4"},
+        {"compress", "bank:4"},
+        {"swim", "lbic:4x2"},
+    };
+    for (const auto &cell : cells) {
+        RunRequest req;
+        req.label = std::string(cell[0]) + "/" + cell[1];
+        req.config.workload = cell[0];
+        req.config.port_spec = cell[1];
+        req.config.max_insts = 4000;
+        req.config.seed = 1;
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+/**
+ * The deterministic projection of an outcome: everything except the
+ * host-side wall clock, attempt count and cache marker, which
+ * legitimately differ between pools, retries and warm runs.
+ */
+std::string
+canonical(RunOutcome out)
+{
+    out.wall_ms = 0.0;
+    out.attempts = 1;
+    out.cached = false;
+    return out.toJson();
+}
+
+CoordinatorOptions
+baseOptions()
+{
+    CoordinatorOptions opts;
+    opts.policy.isolate = true;
+    opts.git_sha = "test-sha";
+    opts.respawn_backoff_ms = 5; // keep fault tests fast
+    return opts;
+}
+
+TEST(CoordinatorTest, InProcessPathMatchesSweepRunner)
+{
+    const std::vector<RunRequest> reqs = sampleRequests();
+
+    std::vector<SweepJob> jobs;
+    for (const RunRequest &r : reqs)
+        jobs.push_back(r.toJob());
+    SweepRunner runner(2);
+    const std::vector<SweepResult> direct = runner.run(jobs);
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 0;
+    opts.in_process_threads = 2;
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+
+    ASSERT_EQ(report.outcomes.size(), reqs.size());
+    EXPECT_EQ(report.simulated, reqs.size());
+    EXPECT_EQ(report.cache_hits, 0u);
+    EXPECT_FALSE(report.used_processes);
+    ASSERT_TRUE(report.has_thread_telemetry);
+    EXPECT_EQ(report.thread_telemetry.verify(), "");
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(canonical(report.outcomes[i]),
+                  canonical(RunOutcome::fromSweepResult(direct[i])))
+            << reqs[i].label;
+    }
+}
+
+TEST(CoordinatorTest, ProcessPoolMergesByteIdenticalToInProcess)
+{
+    const std::vector<RunRequest> reqs = sampleRequests();
+
+    CoordinatorOptions in_opts = baseOptions();
+    in_opts.workers = 0;
+    const CoordinatorReport in_proc = Coordinator(in_opts).run(reqs);
+
+    CoordinatorOptions proc_opts = baseOptions();
+    proc_opts.workers = 3;
+    const CoordinatorReport procs = Coordinator(proc_opts).run(reqs);
+
+    ASSERT_EQ(procs.outcomes.size(), reqs.size());
+    EXPECT_TRUE(procs.used_processes);
+    EXPECT_EQ(procs.simulated, reqs.size());
+    EXPECT_EQ(procs.worker_deaths, 0u);
+    ASSERT_EQ(procs.slots.size(), 3u);
+    std::size_t slot_jobs = 0;
+    for (const service::WorkerSlotStats &s : procs.slots)
+        slot_jobs += s.jobs;
+    EXPECT_EQ(slot_jobs, reqs.size());
+
+    // Submission order, byte-for-byte: scheduling across processes
+    // must be invisible in the merged results.
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(canonical(procs.outcomes[i]),
+                  canonical(in_proc.outcomes[i]))
+            << reqs[i].label;
+    }
+}
+
+TEST(CoordinatorTest, StoreAnswersSecondRunWithoutSimulating)
+{
+    const std::string dir = freshDir("warm");
+    const std::vector<RunRequest> reqs = sampleRequests();
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 0;
+    opts.store_dir = dir;
+
+    const CoordinatorReport cold = Coordinator(opts).run(reqs);
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.cache_misses, reqs.size());
+    EXPECT_EQ(cold.simulated, reqs.size());
+    EXPECT_EQ(cold.stored, reqs.size());
+
+    const CoordinatorReport warm = Coordinator(opts).run(reqs);
+    EXPECT_EQ(warm.cache_hits, reqs.size());
+    EXPECT_EQ(warm.cache_misses, 0u);
+    EXPECT_EQ(warm.simulated, 0u) << "warm run must not simulate";
+    EXPECT_EQ(warm.stored, 0u);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(warm.outcomes[i].cached);
+        EXPECT_EQ(canonical(warm.outcomes[i]),
+                  canonical(cold.outcomes[i]));
+        // Cached wall clock is the original simulation's -- a stored
+        // fact, not a new measurement -- so even it matches.
+        EXPECT_EQ(warm.outcomes[i].wall_ms, cold.outcomes[i].wall_ms);
+    }
+
+    // A new cell joins the grid: only the delta is simulated.
+    std::vector<RunRequest> grown = reqs;
+    RunRequest extra = reqs[0];
+    extra.label = "li/ideal:4";
+    extra.config.port_spec = "ideal:4";
+    grown.push_back(extra);
+    const CoordinatorReport delta = Coordinator(opts).run(grown);
+    EXPECT_EQ(delta.cache_hits, reqs.size());
+    EXPECT_EQ(delta.simulated, 1u);
+    EXPECT_EQ(delta.stored, 1u);
+}
+
+TEST(CoordinatorTest, GitShaChangeInvalidatesTheStore)
+{
+    const std::string dir = freshDir("sha");
+    const std::vector<RunRequest> reqs = {sampleRequests()[0]};
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 0;
+    opts.store_dir = dir;
+    Coordinator(opts).run(reqs);
+
+    opts.git_sha = "another-sha";
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+    EXPECT_EQ(report.cache_hits, 0u);
+    EXPECT_EQ(report.simulated, 1u);
+}
+
+TEST(CoordinatorTest, SigkilledWorkerIsRespawnedAndJobRetried)
+{
+    const std::vector<RunRequest> reqs = sampleRequests();
+    // Kill the worker handling the swim cell, but only on its first
+    // attempt: the retry on a fresh worker must succeed.
+    const ScopedEnv fault("LBIC_WORKER_FAULT", "sigkill@swim/@1");
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 2;
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+
+    ASSERT_EQ(report.outcomes.size(), reqs.size());
+    EXPECT_GE(report.worker_deaths, 1u);
+    EXPECT_GE(report.respawns, 1u);
+    EXPECT_EQ(report.poisoned, 0u);
+    for (const RunOutcome &out : report.outcomes)
+        EXPECT_TRUE(out.ok) << out.label << ": " << out.error;
+
+    // The fault cost one attempt, nothing else.
+    for (const RunOutcome &out : report.outcomes) {
+        if (out.label.rfind("swim/", 0) == 0) {
+            EXPECT_EQ(out.attempts, 2u);
+        }
+    }
+}
+
+TEST(CoordinatorTest, PoisonJobFailsWithSignalProvenance)
+{
+    const std::vector<RunRequest> reqs = sampleRequests();
+    // Unconditional kill: the job takes down every worker that
+    // touches it and must be declared poison, not retried forever.
+    const ScopedEnv fault("LBIC_WORKER_FAULT", "sigkill@compress/");
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 2;
+    opts.poison_kills = 2;
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+
+    ASSERT_EQ(report.outcomes.size(), reqs.size());
+    EXPECT_EQ(report.poisoned, 1u);
+    EXPECT_GE(report.worker_deaths, 2u);
+    for (const RunOutcome &out : report.outcomes) {
+        if (out.label.rfind("compress/", 0) == 0) {
+            EXPECT_FALSE(out.ok);
+            EXPECT_EQ(out.error_kind, "signal");
+            EXPECT_EQ(out.signal_num, SIGKILL);
+            EXPECT_EQ(out.signal_name, "SIGKILL");
+        } else {
+            EXPECT_TRUE(out.ok)
+                << "poison must not leak: " << out.label;
+        }
+    }
+}
+
+TEST(CoordinatorTest, CleanExitMidJobIsWorkerExit)
+{
+    const std::vector<RunRequest> reqs = {sampleRequests()[0]};
+    const ScopedEnv fault("LBIC_WORKER_FAULT", "exit@li/");
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 1;
+    opts.poison_kills = 2;
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_FALSE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].error_kind, "worker_exit");
+    EXPECT_EQ(report.outcomes[0].signal_num, 0);
+}
+
+TEST(CoordinatorTest, HungWorkerIsHardKilledAsTimeout)
+{
+    const std::vector<RunRequest> reqs = {sampleRequests()[0]};
+    const ScopedEnv fault("LBIC_WORKER_FAULT", "hang@li/");
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 1;
+    opts.poison_kills = 2;
+    opts.job_timeout_ms = 250.0; // the in-worker watchdog never fires
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_FALSE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].error_kind, "timeout");
+    EXPECT_EQ(report.timeouts, 2u);
+    EXPECT_EQ(report.poisoned, 1u);
+}
+
+TEST(CoordinatorTest, CrashySweepStillFillsTheStoreForResume)
+{
+    const std::string dir = freshDir("resume");
+    const std::vector<RunRequest> reqs = sampleRequests();
+
+    // First pass: one cell is poison, the rest complete and persist.
+    {
+        const ScopedEnv fault("LBIC_WORKER_FAULT",
+                              "sigkill@compress/");
+        CoordinatorOptions opts = baseOptions();
+        opts.workers = 2;
+        opts.store_dir = dir;
+        const CoordinatorReport report = Coordinator(opts).run(reqs);
+        EXPECT_EQ(report.failures(), 1u);
+        EXPECT_EQ(report.stored, reqs.size() - 1);
+
+        // The resumable manifest names exactly the missing cell.
+        ASSERT_FALSE(report.manifest_path.empty());
+        std::ifstream man(report.manifest_path);
+        ASSERT_TRUE(man.good());
+        std::string text((std::istreambuf_iterator<char>(man)),
+                         std::istreambuf_iterator<char>());
+        EXPECT_NE(text.find("compress/bank:4"), std::string::npos);
+        EXPECT_NE(text.find("signal"), std::string::npos);
+        EXPECT_EQ(text.find("swim/"), std::string::npos);
+    }
+
+    // Second pass, fault gone: only the failed cell is simulated.
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 2;
+    opts.store_dir = dir;
+    const CoordinatorReport resumed = Coordinator(opts).run(reqs);
+    EXPECT_EQ(resumed.failures(), 0u);
+    EXPECT_EQ(resumed.cache_hits, reqs.size() - 1);
+    EXPECT_EQ(resumed.simulated, 1u);
+    EXPECT_TRUE(resumed.manifest_path.empty());
+}
+
+TEST(CoordinatorTest, TornStoreRecordIsReSimulatedOnNextRun)
+{
+    const std::string dir = freshDir("tear");
+    const std::vector<RunRequest> reqs = sampleRequests();
+
+    CoordinatorOptions opts = baseOptions();
+    opts.workers = 0;
+    opts.store_dir = dir;
+    {
+        // The record for the swim cell is written torn, as if the
+        // writer died mid-write.
+        const ScopedEnv tear("LBIC_STORE_TEAR", "swim/");
+        const CoordinatorReport cold = Coordinator(opts).run(reqs);
+        EXPECT_EQ(cold.failures(), 0u);
+    }
+
+    const CoordinatorReport warm = Coordinator(opts).run(reqs);
+    EXPECT_EQ(warm.quarantined, 1u);
+    EXPECT_EQ(warm.cache_hits, reqs.size() - 1);
+    EXPECT_EQ(warm.simulated, 1u) << "torn cell must re-simulate";
+    EXPECT_EQ(warm.failures(), 0u);
+
+    // Third run: the re-simulated record is intact, everything hits.
+    const CoordinatorReport third = Coordinator(opts).run(reqs);
+    EXPECT_EQ(third.cache_hits, reqs.size());
+    EXPECT_EQ(third.simulated, 0u);
+}
+
+TEST(CoordinatorTest, FaultSpecParsing)
+{
+    {
+        const ScopedEnv env("LBIC_WORKER_FAULT",
+                            "sigkill@swim/bank:4@1");
+        const WorkerFault f = service::workerFaultFromEnv();
+        EXPECT_EQ(f.kind, WorkerFault::Kind::SigKill);
+        EXPECT_EQ(f.label_substr, "swim/bank:4");
+        EXPECT_EQ(f.max_attempt, 1u);
+        EXPECT_TRUE(f.matches("swim/bank:4", 1));
+        EXPECT_FALSE(f.matches("swim/bank:4", 2));
+        EXPECT_FALSE(f.matches("li/bank:4", 1));
+    }
+    {
+        const ScopedEnv env("LBIC_WORKER_FAULT", "hang@x");
+        const WorkerFault f = service::workerFaultFromEnv();
+        EXPECT_EQ(f.kind, WorkerFault::Kind::Hang);
+        EXPECT_TRUE(f.matches("xyz", 1000));
+    }
+    {
+        const ScopedEnv env("LBIC_WORKER_FAULT", "nonsense@x");
+        EXPECT_EQ(service::workerFaultFromEnv().kind,
+                  WorkerFault::Kind::None);
+    }
+    EXPECT_EQ(service::workerFaultFromEnv().kind,
+              WorkerFault::Kind::None)
+        << "env guard leaked";
+}
+
+} // anonymous namespace
+} // namespace lbic

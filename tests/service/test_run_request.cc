@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The serializable job boundary: transport round-trips, cache-key
+ * sensitivity rules, and bit-exact outcome JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "service/run_request.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using service::RunOutcome;
+using service::RunRequest;
+
+/** A request with deliberately non-default, awkward values. */
+RunRequest
+sampleRequest()
+{
+    RunRequest req;
+    req.label = "swim/lbic:4x2 50%\nodd";
+    req.attempt = 3;
+    SimConfig &c = req.config;
+    c.workload = "swim";
+    c.port_spec = "lbic:4x2";
+    c.seed = 12345;
+    c.max_insts = 250000;
+    c.ff_insts = 1000;
+    c.warmup_insts = 500;
+    c.store_queue_depth = 12;
+    c.core.fetch_width = 8;
+    c.core.issue_width = 8;
+    c.core.commit_width = 8;
+    c.core.ruu_size = 48;
+    c.core.lsq_size = 24;
+    c.memory.l1.size_bytes = 16 * 1024;
+    c.memory.l1.assoc = 2;
+    c.memory.l2_latency = 9;
+    c.max_cycles = 777777;
+    c.max_wall_ms = 1234.5;
+    c.replay_trace = "/tmp/swim_s12345.trace";
+    c.interval = 10000;
+    c.profile = true;
+    c.stats_json = "out % stats.json";
+    return req;
+}
+
+TEST(RunRequestTest, SerializeRoundTripsEveryField)
+{
+    const RunRequest req = sampleRequest();
+    RunRequest back;
+    std::string err;
+    ASSERT_TRUE(RunRequest::deserialize(req.serialize(), back, &err))
+        << err;
+
+    // The transport form is canonical, so equality of re-serialized
+    // text is equality of every field it carries.
+    EXPECT_EQ(back.serialize(), req.serialize());
+    EXPECT_EQ(back.label, req.label);
+    EXPECT_EQ(back.attempt, 3u);
+    EXPECT_EQ(back.config.workload, "swim");
+    EXPECT_EQ(back.config.port_spec, "lbic:4x2");
+    EXPECT_EQ(back.config.seed, 12345u);
+    EXPECT_EQ(back.config.max_insts, 250000u);
+    EXPECT_EQ(back.config.memory.l1.size_bytes, 16u * 1024u);
+    EXPECT_EQ(back.config.max_cycles, 777777u);
+    EXPECT_DOUBLE_EQ(back.config.max_wall_ms, 1234.5);
+    EXPECT_EQ(back.config.replay_trace, "/tmp/swim_s12345.trace");
+    EXPECT_EQ(back.config.stats_json, "out % stats.json");
+    EXPECT_TRUE(back.config.profile);
+}
+
+TEST(RunRequestTest, DeserializeRejectsGarbage)
+{
+    RunRequest out;
+    std::string err;
+    EXPECT_FALSE(RunRequest::deserialize("", out, &err));
+    EXPECT_FALSE(RunRequest::deserialize("lbrq 999\n", out, &err));
+    EXPECT_FALSE(
+        RunRequest::deserialize("lbrq 1\nno-equals-sign\n", out,
+                                &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(RunRequestTest, CacheKeyTracksResultAffectingKnobsOnly)
+{
+    const RunRequest base = sampleRequest();
+    const std::string h = base.configHash();
+
+    // Observability and host knobs must NOT change the key: cached
+    // cells are shared across tracing/profiling/time-budget setups.
+    RunRequest r = base;
+    r.config.replay_trace = "";
+    EXPECT_EQ(r.configHash(), h) << "replay backing leaked into key";
+    r = base;
+    r.config.max_wall_ms = 0.0;
+    EXPECT_EQ(r.configHash(), h);
+    r = base;
+    r.config.interval = 0;
+    r.config.interval_out = "other.jsonl";
+    EXPECT_EQ(r.configHash(), h);
+    r = base;
+    r.config.profile = false;
+    r.config.stats_json = "";
+    r.config.trace_path = "t.log";
+    EXPECT_EQ(r.configHash(), h);
+    r = base;
+    r.label = "different label";
+    r.attempt = 9;
+    EXPECT_EQ(r.configHash(), h) << "label/attempt leaked into key";
+
+    // Result-affecting knobs MUST change the key.
+    r = base;
+    r.config.seed = 99;
+    EXPECT_NE(r.configHash(), h);
+    r = base;
+    r.config.workload = "compress";
+    EXPECT_NE(r.configHash(), h);
+    r = base;
+    r.config.max_insts += 1;
+    EXPECT_NE(r.configHash(), h);
+    r = base;
+    r.config.memory.l1.size_bytes *= 2;
+    EXPECT_NE(r.configHash(), h);
+    r = base;
+    r.config.max_cycles = 1;
+    EXPECT_NE(r.configHash(), h);
+    r = base;
+    r.config.core.lsq_size += 8;
+    EXPECT_NE(r.configHash(), h);
+}
+
+TEST(RunRequestTest, OutcomeJsonRoundTripsBitExact)
+{
+    RunOutcome out;
+    out.label = "li/bank:4";
+    out.ok = true;
+    out.attempts = 2;
+    out.wall_ms = 123.45678901234567;
+    out.result.instructions = 500000;
+    out.result.cycles = 187903;
+    out.result.warmup_instructions = 1000;
+    out.result.warmup_cycles = 421;
+    out.metrics.l1_miss_rate = 1.0 / 3.0; // not representable exactly
+    out.metrics.loads_executed = 123456.0;
+    out.metrics.requests_seen = 7.0 / 11.0 * 1e6;
+    out.metrics.peak_width = 4;
+    out.metrics.rejects[0] = 42;
+    out.metrics.stall_cycles[1] = 99;
+    out.metrics.dispatch_stalls[0] = 7;
+
+    const std::string json = out.toJson();
+    RunOutcome back;
+    ASSERT_TRUE(RunOutcome::fromJson(json, back));
+
+    // Byte-identical re-serialization is the property the merged
+    // table output depends on: a cached cell and a fresh one print
+    // identically.
+    EXPECT_EQ(back.toJson(), json);
+    EXPECT_EQ(std::memcmp(&back.metrics.l1_miss_rate,
+                          &out.metrics.l1_miss_rate, sizeof(double)),
+              0)
+        << "doubles must round-trip bit-exact";
+    EXPECT_EQ(back.result.cycles, out.result.cycles);
+    EXPECT_EQ(back.metrics.rejects[0], 42u);
+    EXPECT_EQ(back.metrics.stall_cycles[1], 99u);
+}
+
+TEST(RunRequestTest, OutcomeJsonCarriesFailureTaxonomy)
+{
+    RunOutcome out;
+    out.label = "poisoned";
+    out.ok = false;
+    out.error = "worker died to SIGSEGV";
+    out.error_kind = "signal";
+    out.signal_num = 11;
+    out.signal_name = "SIGSEGV";
+    out.attempts = 3;
+
+    RunOutcome back;
+    ASSERT_TRUE(RunOutcome::fromJson(out.toJson(), back));
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, "worker died to SIGSEGV");
+    EXPECT_EQ(back.error_kind, "signal");
+    EXPECT_EQ(back.signal_num, 11);
+    EXPECT_EQ(back.signal_name, "SIGSEGV");
+    EXPECT_EQ(back.attempts, 3u);
+
+    // And it survives the lift back into the bench driver shape.
+    const SweepResult r = back.toSweepResult();
+    EXPECT_EQ(r.signal_num, 11);
+    EXPECT_EQ(r.signal_name, "SIGSEGV");
+    EXPECT_EQ(r.error_kind, "signal");
+}
+
+TEST(RunRequestTest, FromJsonRejectsMalformedInput)
+{
+    RunOutcome out;
+    EXPECT_FALSE(RunOutcome::fromJson("", out));
+    EXPECT_FALSE(RunOutcome::fromJson("not json", out));
+    EXPECT_FALSE(RunOutcome::fromJson("{\"label\":", out));
+    EXPECT_TRUE(RunOutcome::fromJson("{}", out));
+}
+
+} // anonymous namespace
+} // namespace lbic

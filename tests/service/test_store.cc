@@ -1,0 +1,345 @@
+/**
+ * @file
+ * The persistent content-addressed result store: round-trips,
+ * open-time verification and quarantine of torn records, stale
+ * tmp/claim sweeping, and concurrent multi-process appenders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/result_store.hh"
+#include "service/run_request.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using service::ResultStore;
+using service::RunOutcome;
+using service::RunRequest;
+using service::StoreKey;
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + "lbic_store_" + leaf
+                            + "_" + std::to_string(::getpid());
+    // Tests reuse names across runs of the binary; start clean.
+    const std::string cmd = "rm -rf '" + dir + "'";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0);
+    return dir;
+}
+
+RunRequest
+requestFor(std::uint64_t seed)
+{
+    RunRequest req;
+    req.label = "li/bank:4 s" + std::to_string(seed);
+    req.config.workload = "li";
+    req.config.port_spec = "bank:4";
+    req.config.seed = seed;
+    req.config.max_insts = 5000;
+    return req;
+}
+
+RunOutcome
+outcomeFor(const RunRequest &req, std::uint64_t salt)
+{
+    RunOutcome out;
+    out.label = req.label;
+    out.result.instructions = req.config.max_insts;
+    out.result.cycles = 1000 + salt;
+    out.metrics.l1_miss_rate = 0.01 * static_cast<double>(salt);
+    return out;
+}
+
+std::size_t
+countFiles(const std::string &dir)
+{
+    std::size_t n = 0;
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (struct dirent *e = ::readdir(d))
+            n += e->d_name[0] != '.' ? 1 : 0;
+        ::closedir(d);
+    }
+    return n;
+}
+
+TEST(ResultStoreTest, PutLookupRoundTrip)
+{
+    const std::string dir = freshDir("roundtrip");
+    ResultStore store(dir);
+    const RunRequest req = requestFor(1);
+    const StoreKey key = StoreKey::of(req, "deadbeef");
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_FALSE(store.contains(key));
+
+    const RunOutcome out = outcomeFor(req, 7);
+    store.put(key, out);
+    EXPECT_TRUE(store.contains(key));
+    const auto hit = store.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->cached);
+    // Identical payload modulo the cached marker.
+    RunOutcome uncached = *hit;
+    uncached.cached = false;
+    EXPECT_EQ(uncached.toJson(), out.toJson());
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(ResultStoreTest, KeyIncludesEveryProvenanceComponent)
+{
+    const RunRequest req = requestFor(1);
+    const StoreKey key = StoreKey::of(req, "sha1");
+    StoreKey k2 = key;
+    k2.git_sha = "sha2";
+    EXPECT_NE(k2.id(), key.id()) << "git sha must invalidate";
+    k2 = key;
+    k2.seed = 2;
+    EXPECT_NE(k2.id(), key.id());
+    k2 = key;
+    k2.insts = 1;
+    EXPECT_NE(k2.id(), key.id());
+    k2 = key;
+    k2.workload = "swim";
+    EXPECT_NE(k2.id(), key.id());
+    k2 = key;
+    k2.config_hash = "0000000000000000";
+    EXPECT_NE(k2.id(), key.id());
+}
+
+TEST(ResultStoreTest, ReopenVerifiesAndServesRecords)
+{
+    const std::string dir = freshDir("reopen");
+    const RunRequest req = requestFor(3);
+    const StoreKey key = StoreKey::of(req, "sha");
+    {
+        ResultStore store(dir);
+        store.put(key, outcomeFor(req, 1));
+    }
+    ResultStore store(dir);
+    EXPECT_EQ(store.openStats().records, 1u);
+    EXPECT_EQ(store.openStats().quarantined, 0u);
+    EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStoreTest, TornRecordIsQuarantinedOnOpen)
+{
+    const std::string dir = freshDir("torn");
+    const RunRequest req = requestFor(4);
+    const StoreKey key = StoreKey::of(req, "sha");
+    {
+        ResultStore store(dir);
+        // Fault hook: the record header promises more bytes than the
+        // write delivers -- the on-disk shape of a crash mid-write
+        // that somehow reached the records directory.
+        store.tearNextPut();
+        store.put(key, outcomeFor(req, 1));
+    }
+    ResultStore store(dir);
+    EXPECT_EQ(store.openStats().records, 0u);
+    EXPECT_EQ(store.openStats().quarantined, 1u);
+    EXPECT_FALSE(store.lookup(key).has_value());
+    // The damage is preserved as evidence, not deleted.
+    EXPECT_GE(countFiles(dir + "/quarantine"), 1u);
+
+    // The key is re-writable and servable after the quarantine.
+    store.put(key, outcomeFor(req, 2));
+    EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStoreTest, BitrotFoundAtLookupIsQuarantined)
+{
+    const std::string dir = freshDir("bitrot");
+    const RunRequest req = requestFor(5);
+    const StoreKey key = StoreKey::of(req, "sha");
+    ResultStore store(dir);
+    store.put(key, outcomeFor(req, 1));
+
+    // Flip payload bytes behind the open store's back.
+    const std::string path =
+        dir + "/records/" + key.id().substr(0, 2) + "/" + key.id()
+        + ".rec";
+    {
+        std::fstream f(path, std::ios::in | std::ios::out);
+        ASSERT_TRUE(f.good());
+        f.seekp(-10, std::ios::end);
+        f.write("XXXXXXXX", 8);
+    }
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_GE(store.quarantined(), 1u);
+}
+
+TEST(ResultStoreTest, RecordCopiedUnderWrongKeyIsRejected)
+{
+    const std::string dir = freshDir("wrongkey");
+    const RunRequest req = requestFor(6);
+    const StoreKey key = StoreKey::of(req, "sha");
+    ResultStore store(dir);
+    store.put(key, outcomeFor(req, 1));
+
+    // Simulate a record smuggled in from an incompatible store: the
+    // checksum verifies but the embedded key text disagrees with the
+    // address it sits at.
+    StoreKey other = key;
+    other.seed = 999;
+    const std::string src =
+        dir + "/records/" + key.id().substr(0, 2) + "/" + key.id()
+        + ".rec";
+    const std::string shard =
+        dir + "/records/" + other.id().substr(0, 2);
+    ::mkdir(shard.c_str(), 0755);
+    const std::string dst = shard + "/" + other.id() + ".rec";
+    {
+        std::ifstream in(src, std::ios::binary);
+        std::ofstream out(dst, std::ios::binary);
+        out << in.rdbuf();
+    }
+    EXPECT_FALSE(store.lookup(other).has_value());
+    EXPECT_GE(store.quarantined(), 1u);
+    // The original is untouched.
+    EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStoreTest, ClaimLifecycle)
+{
+    const std::string dir = freshDir("claims");
+    ResultStore store(dir);
+    const StoreKey key = StoreKey::of(requestFor(7), "sha");
+
+    ASSERT_EQ(store.tryClaim(key), ResultStore::ClaimStatus::Acquired);
+    EXPECT_EQ(store.claimOwner(key), ::getpid());
+    // We are alive, so a second claimant must defer.
+    EXPECT_EQ(store.tryClaim(key), ResultStore::ClaimStatus::Busy);
+    store.releaseClaim(key);
+    EXPECT_EQ(store.claimOwner(key), 0);
+    EXPECT_EQ(store.tryClaim(key), ResultStore::ClaimStatus::Acquired);
+    store.releaseClaim(key);
+}
+
+TEST(ResultStoreTest, StaleClaimOfDeadProcessIsBroken)
+{
+    const std::string dir = freshDir("staleclaim");
+    const StoreKey key = StoreKey::of(requestFor(8), "sha");
+    ResultStore store(dir);
+
+    // A child claims the key and dies before writing the record --
+    // the crash-between-claim-and-write case.
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        ResultStore mine(dir);
+        mine.tryClaim(key);
+        ::_exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_EQ(store.claimOwner(key), child);
+
+    // The next claimant detects the dead owner and takes over.
+    EXPECT_EQ(store.tryClaim(key), ResultStore::ClaimStatus::Acquired);
+    EXPECT_EQ(store.claimOwner(key), ::getpid());
+    store.releaseClaim(key);
+}
+
+TEST(ResultStoreTest, OpenSweepsDeadWritersTmpAndClaims)
+{
+    const std::string dir = freshDir("sweep");
+    const StoreKey key = StoreKey::of(requestFor(9), "sha");
+    { ResultStore create(dir); }
+
+    // A dead writer's tmp file and claim, and a live writer's tmp.
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        ResultStore mine(dir);
+        mine.tryClaim(key);
+        std::ofstream(dir + "/tmp/" + key.id() + "."
+                      + std::to_string(::getpid()) + ".tmp")
+            << "partial";
+        ::_exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    std::ofstream(dir + "/tmp/live." + std::to_string(::getpid())
+                  + ".tmp")
+        << "in-flight";
+
+    ResultStore store(dir);
+    EXPECT_EQ(store.openStats().stale_tmp, 1u);
+    EXPECT_EQ(store.openStats().stale_claims, 1u);
+    EXPECT_EQ(store.claimOwner(key), 0);
+    EXPECT_EQ(countFiles(dir + "/tmp"), 1u) << "live tmp must survive";
+}
+
+TEST(ResultStoreTest, ConcurrentAppendersNeverCorrupt)
+{
+    const std::string dir = freshDir("concurrent");
+    { ResultStore create(dir); }
+
+    // Several processes append overlapping key ranges at once; the
+    // O_EXCL-claimed tmp-then-rename discipline must leave every
+    // record verifiable regardless of interleaving.
+    constexpr int writers = 4;
+    constexpr std::uint64_t keys_per = 12;
+    std::vector<pid_t> pids;
+    for (int w = 0; w < writers; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ResultStore mine(dir);
+            for (std::uint64_t k = 0; k < keys_per; ++k) {
+                // Overlap: every writer covers half the previous
+                // writer's range, so same-key renames race.
+                const std::uint64_t seed =
+                    k + static_cast<std::uint64_t>(w) * keys_per / 2;
+                const RunRequest req = requestFor(seed);
+                const StoreKey key = StoreKey::of(req, "sha");
+                if (mine.tryClaim(key)
+                    == ResultStore::ClaimStatus::Acquired) {
+                    mine.put(key, outcomeFor(req, seed));
+                    mine.releaseClaim(key);
+                } else {
+                    mine.put(key, outcomeFor(req, seed));
+                }
+            }
+            ::_exit(0);
+        }
+        pids.push_back(pid);
+    }
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    // Reopen verifies every record's checksum; nothing may be torn.
+    ResultStore store(dir);
+    const std::uint64_t distinct =
+        keys_per + (writers - 1) * keys_per / 2;
+    EXPECT_EQ(store.openStats().records, distinct);
+    EXPECT_EQ(store.openStats().quarantined, 0u);
+    for (std::uint64_t seed = 0; seed < distinct; ++seed) {
+        const RunRequest req = requestFor(seed);
+        const auto hit = store.lookup(StoreKey::of(req, "sha"));
+        ASSERT_TRUE(hit.has_value()) << "seed " << seed;
+        EXPECT_EQ(hit->result.cycles, 1000 + seed);
+    }
+}
+
+} // anonymous namespace
+} // namespace lbic

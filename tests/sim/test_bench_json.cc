@@ -123,8 +123,10 @@ TEST(BenchJsonTest, EmitsSchemaVersionAndProvenanceMetadata)
     const std::string json = os.str();
     expectBalancedJson(json);
 
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"sampled\": false"), std::string::npos);
+    // Plain sweeps carry no coordinator/store block.
+    EXPECT_EQ(json.find("\"store\": {"), std::string::npos);
     EXPECT_NE(json.find("\"driver\": \"test_driver\""),
               std::string::npos);
     EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
@@ -235,7 +237,7 @@ TEST(BenchJsonTest, SampledJsonCarriesSamplingBlocks)
     const std::string json = os.str();
     expectBalancedJson(json);
     for (const char *key :
-         {"\"schema_version\": 4", "\"sampled\": true",
+         {"\"schema_version\": 5", "\"sampled\": true",
           "\"resources\": {",
           "\"sampling\": {", "\"intervals\": ",
           "\"interval_len\": 5000", "\"warmup\": 1000",
@@ -290,6 +292,58 @@ TEST(BenchJsonTest, ResourcesBlockAccountsForEveryJob)
           "\"user_ms\": ", "\"alloc_bytes\": "}) {
         EXPECT_NE(json.find(key), std::string::npos) << key;
     }
+}
+
+TEST(BenchJsonTest, SignalDeathsAndStoreBlockAreEmitted)
+{
+    // A coordinator sweep that lost a worker to SIGSEGV: the failed
+    // run must carry the signal provenance, and the top-level object
+    // must carry the store accounting block.
+    const std::vector<SweepJob> jobs = {
+        SweepJob::of("li", "ideal:4", 1000),
+    };
+    bench::BenchArgs args;
+    args.insts = 1000;
+
+    bench::SweepOutput out;
+    SweepResult r;
+    r.label = "li/ideal:4";
+    r.ok = false;
+    r.error = "worker died to SIGSEGV (poison: killed 2 workers)";
+    r.error_kind = "signal";
+    r.signal_num = 11;
+    r.signal_name = "SIGSEGV";
+    r.attempts = 3;
+    out.results.push_back(r);
+    out.store.used = true;
+    out.store.dir = "results/store";
+    out.store.misses = 1;
+    out.store.workers = 4;
+    out.store.worker_deaths = 2;
+    out.store.poisoned = 1;
+    out.store.manifest = "results/store/manifest.last";
+
+    std::ostringstream os;
+    bench::printJsonResults(os, "test_driver", args, jobs, out);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    for (const char *key :
+         {"\"error_kind\": \"signal\"", "\"signal\": \"SIGSEGV\"",
+          "\"signal_num\": 11", "\"store\": {",
+          "\"dir\": \"results/store\"", "\"hits\": 0",
+          "\"misses\": 1", "\"workers\": 4", "\"worker_deaths\": 2",
+          "\"poisoned\": 1",
+          "\"manifest\": \"results/store/manifest.last\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    // In-process failures keep the old shape: no signal fields.
+    SweepResult &res = out.results[0];
+    res.signal_num = 0;
+    res.signal_name.clear();
+    res.error_kind = "config";
+    std::ostringstream os2;
+    bench::printJsonResults(os2, "test_driver", args, jobs, out);
+    EXPECT_EQ(os2.str().find("\"signal\""), std::string::npos);
 }
 
 TEST(BenchJsonTest, FailedRunsOmitAttributionObjects)
