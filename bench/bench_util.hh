@@ -47,6 +47,14 @@
  * what `tools/perf_report` reads for trend tables and regression
  * checks.
  *
+ * `trace_sweep=PATH` additionally arms the sweep flight recorder
+ * (observe/flight_recorder.hh): coordinator job lifecycle, worker
+ * process spans, store traffic, thread-pool scheduling and simulator
+ * phases are recorded onto one corrected clock and spilled crash-safe
+ * to PATH as JSONL. Inspect with `tools/sweep_inspect` (timeline,
+ * critical path, `--chrome` export, `--check` identity gate). Off by
+ * default; the disabled path costs one null check per site.
+ *
  * JSON schema (one object on stdout):
  * @code
  * {
@@ -139,6 +147,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "observe/flight_recorder.hh"
 #include "observe/ledger.hh"
 #include "service/coordinator.hh"
 #include "sim/sweep.hh"
@@ -204,6 +213,12 @@ struct BenchArgs
      */
     std::string trace_dir;
 
+    /**
+     * `trace_sweep=PATH`: spill a flight-recorder timeline of the
+     * sweep to PATH (see the file header). Empty disables recording.
+     */
+    std::string trace_sweep;
+
     /** Base SimConfig carrying the shared seed. */
     SimConfig
     base() const
@@ -257,6 +272,7 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_insts)
     args.progress =
         progress_flag || args.config.getBool("progress", false);
     args.trace_dir = args.config.getString("trace", "");
+    args.trace_sweep = args.config.getString("trace_sweep", "");
     args.ledger = args.config.getString("ledger", "auto");
     args.timeout_ms = args.config.getDouble("timeout_ms", 0.0);
     args.store_dir = args.config.getString("store", "");
@@ -383,6 +399,15 @@ applyReplayTraces(const BenchArgs &args, std::vector<SweepJob> &jobs)
 inline SweepOutput
 runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
 {
+    // trace_sweep=PATH: arm the flight recorder before anything can
+    // fork. initFlightRecorder() exports the spill path and the clock
+    // epoch through the environment, which is how coordinator worker
+    // processes join the same corrected timeline. Idempotent for a
+    // given path, so the trace=DIR re-entry below is harmless.
+    observe::FlightRecorder *frec = nullptr;
+    if (!args.trace_sweep.empty())
+        frec = observe::initFlightRecorder(args.trace_sweep);
+
     // trace=DIR: swap every job onto a pre-generated replay trace.
     // The copy leaves the caller's jobs (used for labels and JSON
     // metadata) untouched; results stay index-aligned either way.
@@ -548,6 +573,21 @@ runJobs(const BenchArgs &args, const std::vector<SweepJob> &jobs)
         std::fprintf(stderr, "\n");
     out.total_wall_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
+    // The coordinator emits one "job.resolved" instant per request
+    // itself; mirror that here for thread-pool sweeps so a flight
+    // record's job set always equals the runs array, either path.
+    if (frec) {
+        for (const SweepResult &r : out.results) {
+            std::map<std::string, std::string> a;
+            a["status"] = r.ok ? "ok" : "failed";
+            a["source"] = "simulated";
+            a["attempts"] = std::to_string(r.attempts);
+            if (!r.ok && !r.error_kind.empty())
+                a["kind"] = r.error_kind;
+            frec->instant("job", "resolved", r.label, a);
+        }
+        frec->flush();
+    }
     return out;
 }
 
@@ -859,6 +899,19 @@ emitJsonIfRequested(const std::string &driver, const BenchArgs &args,
                     const SweepOutput &out)
 {
     appendLedgerEntries(driver, args, jobs, out);
+    // Stamp the flight record with the sweep's identity tuple -- the
+    // same (driver, config_hash, git_sha) key the ledger uses, which
+    // is what perf_report --spans joins on.
+    if (observe::FlightRecorder *rec = observe::flightRecorder()) {
+        std::map<std::string, std::string> a;
+        a["driver"] = driver;
+        a["config_hash"] = configHash(driver, args, jobs);
+        a["git_sha"] = LBIC_GIT_SHA;
+        a["jobs"] = std::to_string(jobs.size());
+        a["total_wall_ms"] = std::to_string(out.total_wall_ms);
+        rec->meta("sweep", a);
+        rec->flush();
+    }
     if (!args.json)
         return false;
     printJsonResults(std::cout, driver, args, jobs, out);

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Sweep flight recorder: one low-overhead span/event stream across
+ * every process and layer of a sweep -- coordinator job lifecycle,
+ * worker simulation phases, store traffic, thread-pool scheduling --
+ * merged onto a single corrected clock and spilled crash-safe as
+ * JSONL in the run ledger's flat sorted-key style.
+ *
+ * Clock model: every event timestamp is CLOCK_MONOTONIC (via
+ * std::chrono::steady_clock, which is CLOCK_MONOTONIC on Linux) minus
+ * a sweep-wide *epoch* taken once when the coordinating process
+ * installs its recorder. The epoch is exported through
+ * LBIC_FLIGHT_EPOCH_NS before workers are forked, and the monotonic
+ * clock is machine-wide, so coordinator and worker events land on one
+ * common timeline with t=0 at sweep start -- no per-fork offset
+ * handshake is needed, the env var *is* the clock correction.
+ *
+ * Transport: the coordinating process runs a *spill-mode* recorder
+ * that batches completed events and appends them to the record file
+ * with the ledger's single-O_APPEND-write-per-batch primitive
+ * (appendTextAtomic), on its own fd -- progress lines on stderr and
+ * recorder output can never interleave, and a crash truncates at most
+ * the final line. Worker processes run a *forward-mode* recorder
+ * (no path): completed events accumulate in memory and are drained
+ * with takeBatch() after each job, shipped to the coordinator as an
+ * `EVT` frame on the existing lbsw pipe, and ingested verbatim into
+ * the coordinator's spill buffer. A worker killed mid-job loses only
+ * its own unsent spans; the coordinator's lifecycle spans (with death
+ * provenance) survive.
+ *
+ * Consistency contract (the StallAttribution::verify() style): spans
+ * form a forest per (pid, tid, parent links). For every span,
+ *
+ *   excl_ns + sum(direct children dur_ns) == dur_ns   (byte-exact)
+ *   child.ts_ns        >= parent.ts_ns
+ *   child end          <= parent end
+ *
+ * which telescopes: the sum of exclusive time over a span tree equals
+ * the root's inclusive duration exactly. verifyFlightRecord() checks
+ * all of it; `sweep_inspect --check` and the tests gate on it.
+ *
+ * Cost model: a disabled recorder is a null pointer -- every
+ * instrumentation site guards on flightRecorder() returning null, so
+ * the default path costs one predictable branch. Enabled spans are a
+ * clock read plus a small mutex-guarded append.
+ */
+
+#ifndef LBIC_OBSERVE_FLIGHT_RECORDER_HH
+#define LBIC_OBSERVE_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lbic
+{
+namespace observe
+{
+
+class Profiler;
+
+/** Flight record schema; bump on breaking changes. */
+constexpr unsigned flight_schema_version = 1;
+
+/**
+ * One recorded event: a completed span (kind "span"), a point event
+ * (kind "instant") or sweep metadata (kind "meta"). Serialized as one
+ * flat JSON object per line, sorted keys; free-form string args are
+ * flattened with an "a_" prefix so the line stays nesting-free like
+ * the ledger's. Unknown keys parse into args (forward compatibility).
+ */
+struct SpanEvent
+{
+    std::uint64_t id = 0;     //!< per-process unique span id (0: none)
+    std::uint64_t parent = 0; //!< enclosing span id, same pid (0: root)
+    int pid = 0;
+    int tid = 0;              //!< small per-process thread index
+    std::string kind;         //!< "span" | "instant" | "meta"
+    std::string cat;          //!< "job" | "worker" | "store" | "sweep" | "sim"
+    std::string name;         //!< phase/event name ("running", "lookup", ...)
+    std::string job;          //!< sweep job label, "" when not job-scoped
+    std::int64_t ts_ns = 0;   //!< epoch-corrected monotonic start
+    std::int64_t dur_ns = 0;  //!< inclusive duration (0 for instants)
+    std::int64_t excl_ns = 0; //!< dur_ns minus direct children's dur_ns
+
+    /** Free-form string annotations ("attempt", "signal", ...). */
+    std::map<std::string, std::string> args;
+
+    /** Serialize as one flat JSON object (no trailing newline). */
+    std::string toJson() const;
+
+    /** Parse one JSONL line; false on malformed input. */
+    static bool fromJson(const std::string &line, SpanEvent &out);
+};
+
+/**
+ * Thread-safe span/event recorder. Construct with a spill path
+ * (coordinator side) or an empty path (worker forward mode); prefer
+ * the process-wide instance managed by initFlightRecorder() /
+ * flightRecorder() so instrumentation sites across layers share one
+ * stream.
+ */
+class FlightRecorder
+{
+  public:
+    /**
+     * @param path  JSONL spill destination, or "" for forward mode
+     *              (events drained with takeBatch()).
+     * @param epoch_ns  raw monotonic nanoseconds of the sweep's t=0;
+     *              pass the LBIC_FLIGHT_EPOCH_NS value in children.
+     */
+    FlightRecorder(std::string path, std::int64_t epoch_ns);
+
+    /** Flushes pending events (spill mode). */
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Epoch-corrected monotonic now, in nanoseconds. */
+    std::int64_t now() const;
+
+    std::int64_t epochNs() const { return epoch_ns_; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Open a span on the calling thread's scope stack; it becomes a
+     * child of the thread's innermost open span. Nothing is emitted
+     * until endSpan(). Returns the span id for endSpan().
+     */
+    std::uint64_t beginSpan(const std::string &cat,
+                            const std::string &name,
+                            const std::string &job);
+
+    /** Close @p id (innermost open span of this thread) and emit it. */
+    void endSpan(std::uint64_t id,
+                 const std::map<std::string, std::string> &args = {});
+
+    /**
+     * Emit an externally-timed completed leaf span. When
+     * @p attach_to_open is true and the calling thread has an open
+     * span, the new span becomes its child (and charges its duration
+     * against the parent's exclusive time); pass false for top-level
+     * lifecycle spans emitted from an event loop, which overlap each
+     * other and must stay roots. Returns the emitted span id.
+     */
+    std::uint64_t
+    completeSpan(const std::string &cat, const std::string &name,
+                 const std::string &job, std::int64_t ts_ns,
+                 std::int64_t dur_ns,
+                 const std::map<std::string, std::string> &args = {},
+                 bool attach_to_open = true);
+
+    /** Emit a point event at now(). */
+    void instant(const std::string &cat, const std::string &name,
+                 const std::string &job,
+                 const std::map<std::string, std::string> &args = {});
+
+    /** Emit a metadata record (sweep identity for joins). */
+    void meta(const std::string &name,
+              const std::map<std::string, std::string> &args);
+
+    /**
+     * Bridge a stopped Profiler tree into nested spans ending at
+     * now(): each profiler node becomes a "sim" span whose exclusive
+     * time is the node's self_ns, children laid out back to back from
+     * the parent's start so containment and the telescoping identity
+     * hold byte-exact (the profiler's own identity guarantees
+     * self + children == inclusive). The bridged root attaches to the
+     * calling thread's innermost open span.
+     */
+    void bridgeProfiler(const Profiler &prof, const std::string &job);
+
+    /**
+     * Ingest already-serialized JSONL event lines (an EVT frame from
+     * a worker) verbatim into the pending buffer.
+     */
+    void ingest(const std::string &jsonl);
+
+    /** Drain pending serialized lines (forward mode transport). */
+    std::string takeBatch();
+
+    /**
+     * Spill pending events to the record file as one atomic append
+     * (no-op in forward mode or when nothing is pending).
+     */
+    void flush();
+
+  private:
+    struct OpenSpan
+    {
+        std::uint64_t id = 0;
+        std::string cat, name, job;
+        std::int64_t ts_ns = 0;
+        std::int64_t child_ns = 0; //!< closed direct children's dur
+    };
+
+    int tidOfLocked(std::thread::id id);
+    void emitLocked(const SpanEvent &ev);
+    void maybeSpillLocked();
+
+    std::string path_;
+    std::int64_t epoch_ns_ = 0;
+    int pid_ = 0;
+
+    mutable std::mutex mu_;
+    std::uint64_t next_id_ = 1;
+    std::map<std::thread::id, int> tids_;
+    std::map<int, std::vector<OpenSpan>> stacks_; //!< per tid
+    std::string pending_; //!< serialized JSONL awaiting flush/take
+};
+
+/**
+ * RAII span with the ScopedPhase null fast path: a null recorder
+ * makes construction and destruction pointer tests. The span closes
+ * (with any args set) even when the scope unwinds via exception, so
+ * the per-thread scope stack never leaks an open span.
+ */
+class ScopedFlightSpan
+{
+  public:
+    ScopedFlightSpan(FlightRecorder *rec, const std::string &cat,
+                     const std::string &name, const std::string &job)
+        : rec_(rec), id_(rec ? rec->beginSpan(cat, name, job) : 0)
+    {
+    }
+
+    ~ScopedFlightSpan()
+    {
+        if (rec_)
+            rec_->endSpan(id_, args_);
+    }
+
+    void setArg(const std::string &key, const std::string &value)
+    {
+        if (rec_)
+            args_[key] = value;
+    }
+
+    ScopedFlightSpan(const ScopedFlightSpan &) = delete;
+    ScopedFlightSpan &operator=(const ScopedFlightSpan &) = delete;
+
+  private:
+    FlightRecorder *rec_;
+    std::uint64_t id_;
+    std::map<std::string, std::string> args_;
+};
+
+/**
+ * The process-wide recorder, or null when recording is off. First
+ * call initializes lazily from the environment: LBIC_FLIGHT_RECORD
+ * names a spill path (exported by the coordinating driver so forked
+ * children inherit the destination). The null answer is cached, so
+ * hot-path guards cost one load after the first call.
+ */
+FlightRecorder *flightRecorder();
+
+/**
+ * Install the process spill recorder at @p path (coordinating driver
+ * side), taking the epoch from LBIC_FLIGHT_EPOCH_NS when already set
+ * or from the current clock otherwise, and exporting both
+ * LBIC_FLIGHT_RECORD and LBIC_FLIGHT_EPOCH_NS so forked/exec'd
+ * workers join the same timeline. Replaces any existing recorder
+ * (flushing it first). Returns the installed recorder.
+ */
+FlightRecorder *initFlightRecorder(const std::string &path);
+
+/**
+ * Install a forward-mode recorder for a worker process. Called at the
+ * top of the worker loop; any recorder state inherited across fork()
+ * is abandoned *without flushing* (the parent's buffered events are
+ * not ours to spill). Returns the recorder, or null when
+ * LBIC_FLIGHT_EPOCH_NS is not set (recording off).
+ */
+FlightRecorder *initFlightRecorderForward();
+
+/** Flush and drop the process recorder; recording turns off. */
+void shutdownFlightRecorder();
+
+/** What loadFlightRecord() found. */
+struct FlightRecord
+{
+    std::vector<SpanEvent> events;
+
+    /** Lines dropped as malformed (a crash-truncated tail is 1). */
+    std::size_t malformed = 0;
+
+    /** True when the final line was dropped (torn append). */
+    bool truncated = false;
+};
+
+/**
+ * Read every well-formed event from @p path. Missing file == empty
+ * record; malformed lines are counted and skipped, and a malformed
+ * final line additionally sets truncated (same contract as
+ * loadLedger).
+ */
+FlightRecord loadFlightRecord(const std::string &path);
+
+/**
+ * Check the recorder identities over a loaded record: span ids unique
+ * per pid, every referenced parent present and a span, children
+ * contained in their parent's [ts, ts+dur] window, exclusive time
+ * non-negative, excl + sum(children dur) == dur byte-exact at every
+ * span, and sum(excl) over every tree == root dur. Returns "" when
+ * all hold, else a description of the first violation.
+ */
+std::string verifyFlightRecord(const FlightRecord &rec);
+
+/**
+ * Export @p rec as a Chrome trace-event JSON document (the PR 2
+ * chrome sink conventions: displayTimeUnit ns, ph "X" duration and
+ * ph "i" instant events, microsecond timestamps). Coordinator job
+ * lifecycle spans (cat "job") are remapped onto a synthetic "jobs"
+ * process with one track per job label so each job reads as its own
+ * swimlane; all other events keep their real pid/tid. Returns the
+ * number of trace events written.
+ */
+std::size_t exportChromeTrace(const FlightRecord &rec,
+                              std::ostream &os);
+
+} // namespace observe
+} // namespace lbic
+
+#endif // LBIC_OBSERVE_FLIGHT_RECORDER_HH

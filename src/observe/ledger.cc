@@ -209,10 +209,9 @@ LedgerEntry::fromJson(const std::string &line, LedgerEntry &out)
 }
 
 void
-appendLedger(const std::string &path,
-             const std::vector<LedgerEntry> &entries)
+appendTextAtomic(const std::string &path, const std::string &text)
 {
-    if (entries.empty())
+    if (text.empty())
         return;
 
     // Heal a torn tail: if a previous writer crashed mid-line, start
@@ -232,20 +231,18 @@ appendLedger(const std::string &path,
     std::string buf;
     if (needs_leading_newline)
         buf.push_back('\n');
-    for (const LedgerEntry &e : entries) {
-        buf += e.toJson();
-        buf.push_back('\n');
-    }
+    buf += text;
 
-    // One O_APPEND write per batch: concurrent appenders (parallel CI
-    // shards, two sweeps at once) cannot interleave records, and a
-    // crash can only truncate the final line -- which loadLedger()
-    // recovers from by design.
+    // One O_APPEND write per batch on a private fd: concurrent
+    // appenders (parallel CI shards, two sweeps at once, progress
+    // lines on stderr) cannot interleave inside the batch, and a
+    // crash can only truncate the final line -- which the readers
+    // recover from by design.
     const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT,
                           0644);
     if (fd < 0) {
         throw SimError(SimErrorKind::Config,
-                       "cannot open ledger '" + path
+                       "cannot open '" + path
                            + "' for append: " + std::strerror(errno));
     }
     std::size_t off = 0;
@@ -258,12 +255,26 @@ appendLedger(const std::string &path,
             const int err = errno;
             ::close(fd);
             throw SimError(SimErrorKind::Config,
-                           "ledger append to '" + path
+                           "append to '" + path
                                + "' failed: " + std::strerror(err));
         }
         off += static_cast<std::size_t>(n);
     }
     ::close(fd);
+}
+
+void
+appendLedger(const std::string &path,
+             const std::vector<LedgerEntry> &entries)
+{
+    if (entries.empty())
+        return;
+    std::string buf;
+    for (const LedgerEntry &e : entries) {
+        buf += e.toJson();
+        buf.push_back('\n');
+    }
+    appendTextAtomic(path, buf);
 }
 
 LedgerReadResult

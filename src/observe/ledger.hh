@@ -113,6 +113,17 @@ void appendLedger(const std::string &path,
  */
 LedgerReadResult loadLedger(const std::string &path);
 
+/**
+ * Append @p text to @p path as one O_APPEND write on a private fd,
+ * healing a torn tail first (if the file does not already end in a
+ * newline, one is prepended so the torn line stays isolated). This is
+ * the crash-safety primitive under both the run ledger and the flight
+ * recorder spill: concurrent appenders cannot interleave inside a
+ * batch, and a crash can only truncate the final line. Throws
+ * SimError (Config) on open/write failure.
+ */
+void appendTextAtomic(const std::string &path, const std::string &text);
+
 /** Current UTC time as "YYYY-MM-DDTHH:MM:SSZ". */
 std::string ledgerTimestamp();
 

@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "observe/flight_recorder.hh"
 
 namespace lbic
 {
@@ -192,6 +193,7 @@ struct Slot
     long job = -1;      //!< queue-item index in flight, -1 idle
 
     Clock::time_point job_start;
+    std::int64_t run_start_ns = 0; //!< flight-recorder clock at dispatch
     Clock::time_point deadline;
     bool has_deadline = false;
     bool killed_for_timeout = false;
@@ -223,6 +225,7 @@ struct QueueItem
     unsigned attempt = 1;     //!< process-level attempt number
     unsigned deaths = 0;      //!< workers this job has killed
     bool done = false;
+    std::int64_t enqueued_ns = 0; //!< flight clock at (re)enqueue
 };
 
 } // anonymous namespace
@@ -278,6 +281,17 @@ runWorkerLoop(int in_fd, int out_fd)
 
     const WorkerFault fault = workerFaultFromEnv();
 
+    // Flight recording: when the coordinator exported a sweep epoch,
+    // run a *forward-mode* recorder -- spans buffer in memory and are
+    // shipped back as EVT frames after each RES, never written to the
+    // record file directly. This must be a fresh recorder: an
+    // in-image forked child inherits the coordinator's spill-mode
+    // recorder (and its buffered events), which are not ours to
+    // flush. A worker killed mid-job simply loses its unsent spans;
+    // the coordinator's lifecycle spans survive and classify the
+    // death.
+    observe::FlightRecorder *rec = observe::initFlightRecorderForward();
+
     if (!writeFrame(proto_fd, "lbsw-rdy", ""))
         return 2;
     // writeFrame emits "lbsw-rdy 0\n"; the coordinator accepts both
@@ -314,9 +328,22 @@ runWorkerLoop(int in_fd, int out_fd)
             }
         }
 
-        const RunOutcome out = simulateRequest(req);
+        RunOutcome out;
+        {
+            observe::ScopedFlightSpan span(rec, "worker", "job",
+                                           req.label);
+            span.setArg("attempt", std::to_string(req.attempt));
+            out = simulateRequest(req);
+            span.setArg("status", out.ok ? "ok" : "failed");
+        }
         if (!writeFrame(proto_fd, "RES", out.toJson() + "\n"))
             return 2;
+        if (rec) {
+            const std::string batch = rec->takeBatch();
+            if (!batch.empty()
+                && !writeFrame(proto_fd, "EVT", batch))
+                return 2;
+        }
     }
     return 0;
 }
@@ -332,7 +359,8 @@ class ProcessPool
                 const std::vector<RunRequest> &requests,
                 CoordinatorReport &report)
         : opts_(opts), requests_(requests), report_(report),
-          outcomes_(requests.size())
+          outcomes_(requests.size()),
+          rec_(observe::flightRecorder())
     {
     }
 
@@ -342,6 +370,8 @@ class ProcessPool
         for (std::size_t i = 0; i < requests_.size(); ++i) {
             QueueItem item;
             item.req = i;
+            if (rec_)
+                item.enqueued_ns = rec_->now();
             items_.push_back(item);
             queue_.push_back(i);
         }
@@ -416,6 +446,11 @@ class ProcessPool
 
         ::close(to_pipe[0]);
         ::close(from_pipe[1]);
+        if (rec_) {
+            rec_->instant("worker", "spawn", "",
+                          {{"slot", std::to_string(slot.stats.slot)},
+                           {"pid", std::to_string(pid)}});
+        }
         slot.pid = pid;
         slot.to_fd = to_pipe[1];
         slot.from_fd = from_pipe[0];
@@ -449,6 +484,19 @@ class ProcessPool
         }
         slot.job = static_cast<long>(qi);
         slot.job_start = Clock::now();
+        if (rec_) {
+            // The queued phase ends where the running phase begins;
+            // both are roots (the event loop interleaves jobs, so
+            // nesting them under one span would break exclusivity).
+            const std::int64_t now_ns = rec_->now();
+            rec_->completeSpan(
+                "job", "queued", requests_[item.req].label,
+                item.enqueued_ns, now_ns - item.enqueued_ns,
+                {{"attempt", std::to_string(item.attempt)},
+                 {"slot", std::to_string(slot.stats.slot)}},
+                false);
+            slot.run_start_ns = now_ns;
+        }
         slot.killed_for_timeout = false;
         if (opts_.job_timeout_ms > 0.0) {
             slot.deadline =
@@ -466,18 +514,41 @@ class ProcessPool
     {
         QueueItem &item = items_[static_cast<std::size_t>(slot.job)];
 
+        auto closeRun = [&](const char *status,
+                            const std::string &kind) {
+            if (!rec_)
+                return;
+            std::map<std::string, std::string> args{
+                {"attempt", std::to_string(item.attempt)},
+                {"slot", std::to_string(slot.stats.slot)},
+                {"pid", std::to_string(slot.pid)},
+                {"status", status}};
+            if (!kind.empty())
+                args["kind"] = kind;
+            rec_->completeSpan("job", "running",
+                               requests_[item.req].label,
+                               slot.run_start_ns,
+                               rec_->now() - slot.run_start_ns, args,
+                               false);
+        };
+
         // A transient in-simulation failure ("exception": OOM,
         // filesystem) is retried by re-dispatch, mirroring the
         // in-process pool's retry loop.
         if (!outcome.ok && outcome.error_kind == "exception"
             && item.attempt <= opts_.policy.retries) {
+            closeRun("retry", outcome.error_kind);
             ++item.attempt;
+            if (rec_)
+                item.enqueued_ns = rec_->now();
             queue_.push_back(static_cast<std::size_t>(slot.job));
             slot.job = -1;
             slot.has_deadline = false;
             return;
         }
 
+        closeRun(outcome.ok ? "ok" : "failed",
+                 outcome.ok ? std::string() : outcome.error_kind);
         outcomes_[item.req] = std::move(outcome);
         item.done = true;
         ++report_.simulated;
@@ -504,6 +575,7 @@ class ProcessPool
         if (slot.job >= 0) {
             QueueItem &item =
                 items_[static_cast<std::size_t>(slot.job)];
+            const unsigned died_attempt = item.attempt;
             ++item.deaths;
             ++item.attempt;
 
@@ -535,6 +607,25 @@ class ProcessPool
                       "' (", kind, err.empty() ? "" : ": ", err,
                       ")");
 
+            if (rec_) {
+                // The job's terminal running span carries the death
+                // classification, so the timeline answers *why* the
+                // span ended without consulting --json.
+                std::map<std::string, std::string> args{
+                    {"attempt", std::to_string(died_attempt)},
+                    {"slot", std::to_string(slot.stats.slot)},
+                    {"pid", std::to_string(dead_pid)},
+                    {"status", "died"},
+                    {"end", kind}};
+                if (!sig_name.empty())
+                    args["signal"] = sig_name;
+                rec_->completeSpan("job", "running",
+                                   requests_[item.req].label,
+                                   slot.run_start_ns,
+                                   rec_->now() - slot.run_start_ns,
+                                   args, false);
+            }
+
             if (item.deaths >= opts_.poison_kills) {
                 RunOutcome out;
                 out.label = requests_[item.req].label;
@@ -549,7 +640,18 @@ class ProcessPool
                 outcomes_[item.req] = std::move(out);
                 item.done = true;
                 ++report_.poisoned;
+                if (rec_) {
+                    std::map<std::string, std::string> args{
+                        {"deaths", std::to_string(item.deaths)},
+                        {"kind", kind}};
+                    if (!sig_name.empty())
+                        args["signal"] = sig_name;
+                    rec_->instant("job", "poison",
+                                  requests_[item.req].label, args);
+                }
             } else {
+                if (rec_)
+                    item.enqueued_ns = rec_->now();
                 queue_.push_back(static_cast<std::size_t>(slot.job));
             }
             slot.job = -1;
@@ -559,17 +661,30 @@ class ProcessPool
         ++slot.consecutive_deaths;
         if (slot.consecutive_deaths > opts_.max_consecutive_respawns) {
             slot.abandoned = true;
+            if (rec_) {
+                rec_->instant(
+                    "worker", "abandoned", "",
+                    {{"slot", std::to_string(slot.stats.slot)},
+                     {"deaths",
+                      std::to_string(slot.consecutive_deaths)}});
+            }
             return;
         }
         const unsigned shift =
             std::min(slot.consecutive_deaths - 1, 16u);
+        const std::uint64_t backoff_ms =
+            static_cast<std::uint64_t>(opts_.respawn_backoff_ms)
+            << shift;
         slot.respawn_pending = true;
-        slot.respawn_at =
-            Clock::now()
-            + std::chrono::milliseconds(
-                static_cast<std::uint64_t>(opts_.respawn_backoff_ms)
-                << shift);
+        slot.respawn_at = Clock::now()
+                          + std::chrono::milliseconds(backoff_ms);
         ++report_.respawns;
+        if (rec_) {
+            rec_->instant("worker", "respawn", "",
+                          {{"slot", std::to_string(slot.stats.slot)},
+                           {"backoff_ms",
+                            std::to_string(backoff_ms)}});
+        }
     }
 
     /** Drain frames already buffered; returns false on protocol rot. */
@@ -581,6 +696,12 @@ class ProcessPool
             while (popFrame(slot.inbuf, tag, payload)) {
                 if (tag == "lbsw-rdy") {
                     slot.ready = true;
+                } else if (tag == "EVT") {
+                    // Worker span batch: already-serialized JSONL on
+                    // the shared sweep clock; splice it into our
+                    // spill buffer verbatim.
+                    if (rec_)
+                        rec_->ingest(payload);
                 } else if (tag == "RES") {
                     RunOutcome out;
                     // The payload carries a trailing newline.
@@ -779,6 +900,7 @@ class ProcessPool
     std::vector<Slot> slots_;
     std::vector<QueueItem> items_;
     std::deque<std::size_t> queue_;
+    observe::FlightRecorder *rec_ = nullptr;
 };
 
 } // anonymous namespace
@@ -847,7 +969,16 @@ Coordinator::run(const std::vector<RunRequest> &requests)
     // ourselves (duplicate work beats deadlock on a peer the pid
     // check cannot see).
     if (!deferred.empty()) {
+        observe::FlightRecorder *rec = observe::flightRecorder();
         const Clock::time_point t0 = Clock::now();
+        const std::int64_t t0_ns = rec ? rec->now() : 0;
+        auto closeWait = [&](std::size_t i, const char *outcome) {
+            if (!rec)
+                return;
+            rec->completeSpan("store", "claim_wait", reqs[i].label,
+                              t0_ns, rec->now() - t0_ns,
+                              {{"outcome", outcome}}, false);
+        };
         std::vector<std::size_t> still = deferred;
         while (!still.empty()
                && msSince(t0) < opts_.claim_wait_ms) {
@@ -855,15 +986,19 @@ Coordinator::run(const std::vector<RunRequest> &requests)
             std::vector<std::size_t> next;
             for (const std::size_t i : still) {
                 if (std::optional<RunOutcome> hit =
-                        store->lookup(keys[i]))
+                        store->lookup(keys[i])) {
                     report.outcomes[i] = std::move(*hit);
-                else
+                    closeWait(i, "published");
+                } else {
                     next.push_back(i);
+                }
             }
             still.swap(next);
         }
-        for (const std::size_t i : still)
+        for (const std::size_t i : still) {
+            closeWait(i, "timeout");
             mine.push_back(i);
+        }
         std::sort(mine.begin(), mine.end());
     }
 
@@ -935,6 +1070,25 @@ Coordinator::run(const std::vector<RunRequest> &requests)
             }
             report.manifest_path = path;
         }
+    }
+
+    // One "resolved" instant per request -- hit, simulated or failed
+    // alike -- so a flight record's job set always equals the sweep's
+    // runs array, then spill everything gathered so far (including
+    // ingested worker batches) while the process is known-healthy.
+    if (observe::FlightRecorder *rec = observe::flightRecorder()) {
+        for (const RunOutcome &o : report.outcomes) {
+            std::map<std::string, std::string> args{
+                {"status", o.ok ? "ok" : "failed"},
+                {"source", o.cached ? "store" : "simulated"},
+                {"attempts", std::to_string(o.attempts)}};
+            if (!o.error_kind.empty())
+                args["kind"] = o.error_kind;
+            if (!o.signal_name.empty())
+                args["signal"] = o.signal_name;
+            rec->instant("job", "resolved", o.label, args);
+        }
+        rec->flush();
     }
 
     ::sigaction(SIGPIPE, &old_pipe, nullptr);

@@ -15,6 +15,7 @@
 
 #include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "observe/flight_recorder.hh"
 
 namespace lbic
 {
@@ -266,15 +267,28 @@ ResultStore::quarantine(const std::string &path)
     if (::rename(path.c_str(), dest.c_str()) != 0)
         ::unlink(path.c_str());
     lbic_warn("result store quarantined corrupt record '", path, "'");
+    if (observe::FlightRecorder *rec = observe::flightRecorder())
+        rec->instant("store", "quarantine", "", {{"path", path}});
 }
 
 std::optional<RunOutcome>
 ResultStore::lookup(const StoreKey &key)
 {
+    observe::FlightRecorder *rec = observe::flightRecorder();
+    const std::int64_t t0 = rec ? rec->now() : 0;
+    auto record = [&](const char *outcome, const std::string &label) {
+        if (!rec)
+            return;
+        rec->completeSpan("store", "lookup", label, t0, rec->now() - t0,
+                          {{"outcome", outcome},
+                           {"key", key.id()}});
+    };
+
     const std::string path = recordPath(key.id());
     std::string content;
     if (!readFile(path, content)) {
         ++misses_;
+        record("miss", "");
         return std::nullopt;
     }
     std::string payload;
@@ -282,6 +296,7 @@ ResultStore::lookup(const StoreKey &key)
         quarantine(path);
         ++late_quarantined_;
         ++misses_;
+        record("quarantined", "");
         return std::nullopt;
     }
     // Payload = key text, blank line, outcome JSON. The embedded key
@@ -292,6 +307,7 @@ ResultStore::lookup(const StoreKey &key)
         quarantine(path);
         ++late_quarantined_;
         ++misses_;
+        record("quarantined", "");
         return std::nullopt;
     }
     RunOutcome out;
@@ -299,10 +315,12 @@ ResultStore::lookup(const StoreKey &key)
         quarantine(path);
         ++late_quarantined_;
         ++misses_;
+        record("quarantined", "");
         return std::nullopt;
     }
     out.cached = true;
     ++hits_;
+    record("hit", out.label);
     return out;
 }
 
@@ -317,6 +335,8 @@ ResultStore::contains(const StoreKey &key)
 void
 ResultStore::put(const StoreKey &key, const RunOutcome &outcome)
 {
+    observe::FlightRecorder *rec = observe::flightRecorder();
+    const std::int64_t t0 = rec ? rec->now() : 0;
     const std::string id = key.id();
     const std::string payload =
         key.text() + "\n" + outcome.toJson() + "\n";
@@ -363,6 +383,12 @@ ResultStore::put(const StoreKey &key, const RunOutcome &outcome)
                            + "' failed: " + std::strerror(err));
     }
     (void)tear;
+    if (rec) {
+        rec->completeSpan("store", "publish", outcome.label, t0,
+                          rec->now() - t0,
+                          {{"key", id},
+                           {"bytes", std::to_string(record.size())}});
+    }
 }
 
 ResultStore::ClaimStatus

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/sim_error.hh"
+#include "observe/flight_recorder.hh"
 #include "observe/profiler.hh"
 
 namespace lbic
@@ -17,6 +18,14 @@ SweepResult
 runSweepJob(const SweepJob &job)
 {
     const auto start = std::chrono::steady_clock::now();
+
+    // Flight recording: the whole job becomes a "sim.simulate" span
+    // (a child of whatever scheduling span is open on this thread),
+    // and a profiled run's phase tree is bridged underneath it so the
+    // merged timeline shows build/fast-forward/detailed inside the
+    // job. The recorder-off path costs one cached pointer load.
+    observe::FlightRecorder *rec = observe::flightRecorder();
+    observe::ScopedFlightSpan span(rec, "sim", "simulate", job.label);
 
     Simulator sim(job.config);
     if (job.setup)
@@ -54,6 +63,12 @@ runSweepJob(const SweepJob &job)
     for (unsigned c = 0; c < observe::num_dispatch_causes; ++c) {
         out.metrics.dispatch_stalls[c] = attr.dispatchStallSlots(
             static_cast<observe::DispatchCause>(c));
+    }
+
+    if (rec && sim.profiler()) {
+        if (!sim.profiler()->stopped())
+            sim.profiler()->stop();
+        rec->bridgeProfiler(*sim.profiler(), job.label);
     }
 
     const auto end = std::chrono::steady_clock::now();
@@ -181,6 +196,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
     // slot, so ordering never depends on scheduling. Each worker
     // additionally fills its own telemetry slot -- host-side numbers
     // only, so simulation outputs stay deterministic.
+    observe::FlightRecorder *rec = observe::flightRecorder();
     std::atomic<std::size_t> cursor{0};
     auto worker = [&](unsigned wid) {
         WorkerTelemetry &tele = workers[wid];
@@ -188,13 +204,24 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         const auto worker_start = std::chrono::steady_clock::now();
         const observe::HostCounters cpu0 =
             observe::sampleHostCounters();
+        // One lifetime span per pool worker; queue waits and per-
+        // attempt running spans nest under it, so the telescoping
+        // identity attributes the worker's wall time exactly.
+        observe::ScopedFlightSpan wspan(rec, "sweep", "worker", "");
+        wspan.setArg("worker", std::to_string(wid));
         for (;;) {
+            const std::int64_t ready_ns = rec ? rec->now() : 0;
             const auto ready = std::chrono::steady_clock::now();
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 break;
             tele.queue_wait_ms += msSince(ready);
+            if (rec) {
+                rec->completeSpan("sweep", "queue_wait", jobs[i].label,
+                                  ready_ns, rec->now() - ready_ns,
+                                  {{"worker", std::to_string(wid)}});
+            }
             notifyStart(jobs[i]);
 
             SweepJob job = jobs[i];
@@ -206,12 +233,29 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
             for (unsigned attempt = 1;; ++attempt) {
                 const auto attempt_start =
                     std::chrono::steady_clock::now();
+                const std::uint64_t rid =
+                    rec ? rec->beginSpan("sweep", "running",
+                                         jobs[i].label)
+                        : 0;
+                auto closeRun = [&](const char *status,
+                                    const std::string &kind) {
+                    if (!rec)
+                        return;
+                    std::map<std::string, std::string> args{
+                        {"attempt", std::to_string(attempt)},
+                        {"status", status},
+                        {"worker", std::to_string(wid)}};
+                    if (!kind.empty())
+                        args["kind"] = kind;
+                    rec->endSpan(rid, args);
+                };
                 try {
                     results[i] = runSweepJob(job);
                     results[i].attempts = attempt;
                     tele.busy_ms += msSince(attempt_start);
                     ++tele.jobs;
                     tele.insts += results[i].result.instructions;
+                    closeRun("ok", "");
                     notifyFinish(jobs[i], &results[i]);
                     break;
                 } catch (...) {
@@ -239,6 +283,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
                         kind = "exception";
                     }
                     if (!permanent && attempt <= policy_.retries) {
+                        closeRun("retry", kind);
                         ++tele.retries;
                         notifyRetry(jobs[i]);
                         std::this_thread::sleep_for(
@@ -248,6 +293,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
                                 << (attempt - 1)));
                         continue;
                     }
+                    closeRun("failed", kind);
                     errors[i] = eptr;
                     results[i] = SweepResult{};
                     results[i].label = jobs[i].label;
@@ -270,6 +316,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         tele.alloc_bytes = cpu.alloc_bytes;
         tele.wall_ms = msSince(worker_start);
         tele.idle_ms = tele.wall_ms - tele.busy_ms;
+        wspan.setArg("jobs", std::to_string(tele.jobs));
     };
 
     if (pool <= 1) {

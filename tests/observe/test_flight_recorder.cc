@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The sweep flight recorder: JSONL round trips, scope-stack nesting
+ * and the sum-exact telescoping identity, crash-truncated tails,
+ * forward-mode transport, the Profiler bridge and the Chrome export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "observe/flight_recorder.hh"
+#include "observe/ledger.hh"
+#include "observe/profiler.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using observe::FlightRecord;
+using observe::FlightRecorder;
+using observe::SpanEvent;
+
+std::string
+freshPath(const std::string &leaf)
+{
+    const std::string path = testing::TempDir() + "lbic_flight_"
+        + leaf + "_" + std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** Parse a takeBatch() payload through the public loader contract. */
+FlightRecord
+parseBatch(const std::string &jsonl)
+{
+    FlightRecord rec;
+    std::istringstream in(jsonl);
+    std::string line;
+    while (std::getline(in, line)) {
+        SpanEvent ev;
+        if (SpanEvent::fromJson(line, ev))
+            rec.events.push_back(std::move(ev));
+        else
+            ++rec.malformed;
+    }
+    return rec;
+}
+
+const SpanEvent *
+findEvent(const FlightRecord &rec, const std::string &name)
+{
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.name == name)
+            return &ev;
+    }
+    return nullptr;
+}
+
+TEST(FlightRecorderTest, SpanEventJsonRoundTrip)
+{
+    SpanEvent ev;
+    ev.id = 7;
+    ev.parent = 3;
+    ev.pid = 1234;
+    ev.tid = 2;
+    ev.kind = "span";
+    ev.cat = "job";
+    ev.name = "running";
+    ev.job = "li/bank:4";
+    ev.ts_ns = 1000;
+    ev.dur_ns = 500;
+    ev.excl_ns = 200;
+    ev.args["attempt"] = "2";
+    ev.args["signal"] = "SIGKILL";
+
+    const std::string line = ev.toJson();
+    // Flat sorted-key object, args flattened with the a_ prefix.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_NE(line.find("\"a_attempt\":\"2\""), std::string::npos);
+    EXPECT_LT(line.find("\"a_attempt\""), line.find("\"a_signal\""));
+    EXPECT_LT(line.find("\"cat\""), line.find("\"dur_ns\""));
+
+    SpanEvent back;
+    ASSERT_TRUE(SpanEvent::fromJson(line, back));
+    EXPECT_EQ(back.id, 7u);
+    EXPECT_EQ(back.parent, 3u);
+    EXPECT_EQ(back.pid, 1234);
+    EXPECT_EQ(back.tid, 2);
+    EXPECT_EQ(back.kind, "span");
+    EXPECT_EQ(back.cat, "job");
+    EXPECT_EQ(back.name, "running");
+    EXPECT_EQ(back.job, "li/bank:4");
+    EXPECT_EQ(back.ts_ns, 1000);
+    EXPECT_EQ(back.dur_ns, 500);
+    EXPECT_EQ(back.excl_ns, 200);
+    EXPECT_EQ(back.args.at("attempt"), "2");
+    EXPECT_EQ(back.args.at("signal"), "SIGKILL");
+    // Byte-stable: serializing the parse reproduces the line.
+    EXPECT_EQ(back.toJson(), line);
+
+    SpanEvent bad;
+    EXPECT_FALSE(SpanEvent::fromJson("not json", bad));
+    EXPECT_FALSE(SpanEvent::fromJson("{\"id\":1}", bad)); // no kind
+}
+
+TEST(FlightRecorderTest, NestingBuildsTelescopingTree)
+{
+    FlightRecorder rec("", 0); // forward mode
+    const std::uint64_t outer = rec.beginSpan("sweep", "worker", "");
+    const std::uint64_t inner =
+        rec.beginSpan("sweep", "running", "li/bank:4");
+    rec.completeSpan("sim", "simulate", "li/bank:4", rec.now(), 0);
+    rec.endSpan(inner, {{"status", "ok"}});
+    rec.endSpan(outer);
+
+    const FlightRecord parsed = parseBatch(rec.takeBatch());
+    ASSERT_EQ(parsed.events.size(), 3u);
+    EXPECT_EQ(parsed.malformed, 0u);
+    EXPECT_EQ(observe::verifyFlightRecord(parsed), "");
+
+    const SpanEvent *w = findEvent(parsed, "worker");
+    const SpanEvent *r = findEvent(parsed, "running");
+    const SpanEvent *s = findEvent(parsed, "simulate");
+    ASSERT_TRUE(w && r && s);
+    EXPECT_EQ(w->parent, 0u);
+    EXPECT_EQ(r->parent, w->id);
+    EXPECT_EQ(s->parent, r->id);
+    EXPECT_EQ(r->args.at("status"), "ok");
+    // The telescoping identity, byte-exact at every span.
+    EXPECT_EQ(r->excl_ns + s->dur_ns, r->dur_ns);
+    EXPECT_EQ(w->excl_ns + r->dur_ns, w->dur_ns);
+    // Containment.
+    EXPECT_GE(r->ts_ns, w->ts_ns);
+    EXPECT_LE(r->ts_ns + r->dur_ns, w->ts_ns + w->dur_ns);
+}
+
+TEST(FlightRecorderTest, DetachedSpansStayRoots)
+{
+    FlightRecorder rec("", 0);
+    const std::uint64_t open = rec.beginSpan("sweep", "worker", "");
+    // Event-loop lifecycle spans pass attach_to_open = false: they
+    // overlap each other, so they must not be charged to whatever
+    // span the emitting thread happens to have open.
+    rec.completeSpan("job", "queued", "a", rec.now(), 0, {}, false);
+    rec.endSpan(open);
+
+    const FlightRecord parsed = parseBatch(rec.takeBatch());
+    const SpanEvent *q = findEvent(parsed, "queued");
+    const SpanEvent *w = findEvent(parsed, "worker");
+    ASSERT_TRUE(q && w);
+    EXPECT_EQ(q->parent, 0u);
+    EXPECT_EQ(w->excl_ns, w->dur_ns);
+    EXPECT_EQ(observe::verifyFlightRecord(parsed), "");
+}
+
+TEST(FlightRecorderTest, VerifyRejectsBrokenIdentities)
+{
+    // Non-vacuous check: hand-build records that violate each rule.
+    const auto span = [](std::uint64_t id, std::uint64_t parent,
+                         std::int64_t ts, std::int64_t dur,
+                         std::int64_t excl) {
+        SpanEvent ev;
+        ev.id = id;
+        ev.parent = parent;
+        ev.pid = 1;
+        ev.kind = "span";
+        ev.cat = "sim";
+        ev.name = "phase";
+        ev.ts_ns = ts;
+        ev.dur_ns = dur;
+        ev.excl_ns = excl;
+        return ev;
+    };
+
+    FlightRecord ok;
+    ok.events = {span(1, 0, 0, 100, 60), span(2, 1, 10, 40, 40)};
+    EXPECT_EQ(observe::verifyFlightRecord(ok), "");
+
+    FlightRecord bad_sum = ok;
+    bad_sum.events[0].excl_ns = 61; // excl + children != dur
+    EXPECT_NE(observe::verifyFlightRecord(bad_sum), "");
+
+    FlightRecord escape = ok;
+    escape.events[1].ts_ns = 90; // child ends past parent end
+    EXPECT_NE(observe::verifyFlightRecord(escape), "");
+
+    FlightRecord orphan = ok;
+    orphan.events[1].parent = 99; // parent absent
+    EXPECT_NE(observe::verifyFlightRecord(orphan), "");
+
+    FlightRecord dup = ok;
+    dup.events[1].id = 1; // id reuse within a pid
+    EXPECT_NE(observe::verifyFlightRecord(dup), "");
+}
+
+TEST(FlightRecorderTest, TornTailIsQuarantinedAndHealed)
+{
+    const std::string path = freshPath("torn");
+    {
+        FlightRecorder rec(path, 0);
+        rec.instant("job", "resolved", "a");
+        rec.flush();
+    }
+    // Crash mid-append: a torn, newline-less final line.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"kind\":\"instant\",\"name\":\"torn";
+    }
+    FlightRecord rec = observe::loadFlightRecord(path);
+    EXPECT_EQ(rec.events.size(), 1u);
+    EXPECT_EQ(rec.malformed, 1u);
+    EXPECT_TRUE(rec.truncated);
+
+    // The shared append primitive heals the tear: the next batch
+    // starts on a fresh line, losing only the torn record.
+    observe::appendTextAtomic(
+        path, "{\"kind\":\"instant\",\"cat\":\"job\",\"name\":\"next\","
+              "\"pid\":1,\"schema\":1}\n");
+    rec = observe::loadFlightRecord(path);
+    ASSERT_EQ(rec.events.size(), 2u);
+    EXPECT_EQ(rec.events[1].name, "next");
+    EXPECT_EQ(rec.malformed, 1u);
+    EXPECT_FALSE(rec.truncated); // tear is interior now
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ForwardBatchIngestsVerbatim)
+{
+    // Worker side: forward mode buffers serialized lines.
+    FlightRecorder worker("", 1000);
+    const std::uint64_t id = worker.beginSpan("worker", "job", "x");
+    worker.endSpan(id, {{"status", "ok"}});
+    const std::string batch = worker.takeBatch();
+    ASSERT_FALSE(batch.empty());
+    EXPECT_EQ(batch.back(), '\n');
+    EXPECT_TRUE(worker.takeBatch().empty()); // drained
+
+    // Coordinator side: ingest lands the lines in the spill file
+    // byte-for-byte, alongside the coordinator's own events.
+    const std::string path = freshPath("fwd");
+    FlightRecorder coord(path, 1000);
+    coord.ingest(batch);
+    coord.instant("job", "resolved", "x");
+    coord.flush();
+
+    const FlightRecord rec = observe::loadFlightRecord(path);
+    ASSERT_EQ(rec.events.size(), 2u);
+    EXPECT_EQ(rec.events[0].name, "job");
+    EXPECT_EQ(rec.events[0].args.at("status"), "ok");
+    EXPECT_EQ(rec.events[0].toJson() + "\n", batch);
+    EXPECT_EQ(observe::verifyFlightRecord(rec), "");
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, BridgedProfilerKeepsIdentity)
+{
+    // Mirror the real call shape: the sim span opens first, then the
+    // profiler lives entirely inside it (sweep.cc creates the
+    // Simulator -- and with it the profiler -- under the span).
+    FlightRecorder rec("", 0);
+    const std::uint64_t sim = rec.beginSpan("sim", "simulate", "j");
+    observe::Profiler prof;
+    observe::Profiler::Node *a = prof.enter("fetch");
+    prof.exit(a);
+    observe::Profiler::Node *b = prof.enter("execute");
+    observe::Profiler::Node *c = prof.enter("dcache");
+    prof.exit(c);
+    prof.exit(b);
+    prof.stop();
+    ASSERT_EQ(prof.verify(), "");
+    rec.bridgeProfiler(prof, "j");
+    rec.endSpan(sim);
+
+    const FlightRecord parsed = parseBatch(rec.takeBatch());
+    EXPECT_EQ(observe::verifyFlightRecord(parsed), "");
+    const SpanEvent *root = findEvent(parsed, "total");
+    const SpanEvent *fetch = findEvent(parsed, "fetch");
+    const SpanEvent *execute = findEvent(parsed, "execute");
+    const SpanEvent *dcache = findEvent(parsed, "dcache");
+    const SpanEvent *outer = findEvent(parsed, "simulate");
+    ASSERT_TRUE(root && fetch && execute && dcache && outer);
+    // Tree shape mirrors the profiler's, rooted under the sim span.
+    EXPECT_EQ(root->parent, outer->id);
+    EXPECT_EQ(fetch->parent, root->id);
+    EXPECT_EQ(execute->parent, root->id);
+    EXPECT_EQ(dcache->parent, execute->id);
+    EXPECT_EQ(root->cat, "sim");
+    EXPECT_EQ(root->job, "j");
+    EXPECT_EQ(fetch->args.at("calls"), "1");
+    // The profiler's own identity carried over byte-exact.
+    EXPECT_EQ(execute->excl_ns + dcache->dur_ns, execute->dur_ns);
+    EXPECT_EQ(root->excl_ns + fetch->dur_ns + execute->dur_ns,
+              root->dur_ns);
+}
+
+TEST(FlightRecorderTest, ChromeExportEmitsEveryEvent)
+{
+    FlightRecorder rec("", 0);
+    const std::uint64_t id = rec.beginSpan("sweep", "running", "j");
+    rec.endSpan(id);
+    rec.completeSpan("job", "queued", "j", 0, 50, {}, false);
+    rec.instant("job", "resolved", "j", {{"status", "ok"}});
+    rec.meta("sweep", {{"driver", "test"}});
+    const FlightRecord parsed = parseBatch(rec.takeBatch());
+    ASSERT_EQ(parsed.events.size(), 4u);
+
+    std::ostringstream os;
+    const std::size_t n = observe::exportChromeTrace(parsed, os);
+    const std::string doc = os.str();
+    // Every recorded event plus naming metadata; well-formed JSON is
+    // asserted end-to-end by the CI smoke job's json.load.
+    EXPECT_GE(n, parsed.events.size());
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    // cat "job" events ride the synthetic per-job swimlane process.
+    EXPECT_NE(doc.find("\"jobs\""), std::string::npos);
+    EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(FlightRecorderTest, EpochCorrectsAcrossRecorders)
+{
+    // Two recorders sharing an epoch (the fork model: the child reads
+    // LBIC_FLIGHT_EPOCH_NS) see the same timeline within clock skew.
+    FlightRecorder a("", 0);
+    const std::int64_t epoch = a.epochNs();
+    FlightRecorder b("", epoch);
+    const std::int64_t ta = a.now();
+    const std::int64_t tb = b.now();
+    EXPECT_GE(tb, ta);
+    EXPECT_LT(tb - ta, 1000000000); // same clock, not re-zeroed
+}
+
+TEST(FlightRecorderTest, EnvInitRoundTrip)
+{
+    const std::string path = freshPath("env");
+    observe::shutdownFlightRecorder();
+    FlightRecorder *rec = observe::initFlightRecorder(path);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(observe::flightRecorder(), rec);
+    // The environment now carries the spill path and epoch for
+    // forked children.
+    const char *env_path = std::getenv("LBIC_FLIGHT_RECORD");
+    const char *env_epoch = std::getenv("LBIC_FLIGHT_EPOCH_NS");
+    ASSERT_NE(env_path, nullptr);
+    ASSERT_NE(env_epoch, nullptr);
+    EXPECT_EQ(std::string(env_path), path);
+    EXPECT_EQ(std::strtoll(env_epoch, nullptr, 10), rec->epochNs());
+    // Re-init on the same path keeps the instance (idempotent).
+    EXPECT_EQ(observe::initFlightRecorder(path), rec);
+
+    rec->instant("job", "resolved", "x");
+    observe::shutdownFlightRecorder();
+    EXPECT_EQ(observe::flightRecorder(), nullptr);
+    EXPECT_EQ(std::getenv("LBIC_FLIGHT_RECORD"), nullptr);
+    const FlightRecord loaded = observe::loadFlightRecord(path);
+    EXPECT_EQ(loaded.events.size(), 1u); // shutdown flushed
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace lbic

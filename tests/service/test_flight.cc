@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The flight recorder under the multi-process coordinator: a forked
+ * 4-worker sweep with an injected worker SIGKILL must yield one
+ * merged record whose identities hold, whose job set equals the
+ * request set, whose terminal span for the killed job carries the
+ * death classification, and whose worker-process events prove the
+ * EVT forwarding path worked.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "observe/flight_recorder.hh"
+#include "service/coordinator.hh"
+#include "service/run_request.hh"
+#include "sim/sweep.hh"
+
+namespace lbic
+{
+namespace
+{
+
+using observe::FlightRecord;
+using observe::SpanEvent;
+using service::Coordinator;
+using service::CoordinatorOptions;
+using service::CoordinatorReport;
+using service::RunRequest;
+
+/** RAII env var so a failing test cannot poison its neighbors. */
+struct ScopedEnv
+{
+    std::string name;
+    ScopedEnv(const std::string &n, const std::string &value) : name(n)
+    {
+        ::setenv(name.c_str(), value.c_str(), 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+/** RAII recorder teardown: env vars cleared even on ASSERT exits. */
+struct ScopedRecorder
+{
+    ~ScopedRecorder() { observe::shutdownFlightRecorder(); }
+};
+
+std::string
+freshPath(const std::string &leaf)
+{
+    const std::string path = testing::TempDir() + "lbic_flight_"
+        + leaf + "_" + std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + "lbic_flight_" + leaf
+        + "_" + std::to_string(::getpid());
+    const std::string cmd = "rm -rf '" + dir + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+}
+
+std::vector<RunRequest>
+sampleRequests()
+{
+    std::vector<RunRequest> reqs;
+    const char *cells[][2] = {
+        {"li", "ideal:2"},   {"li", "bank:4"},
+        {"compress", "bank:4"}, {"gcc", "repl:2"},
+        {"go", "ideal:1"},   {"swim", "lbic:4x2"},
+    };
+    for (const auto &cell : cells) {
+        RunRequest req;
+        req.label = std::string(cell[0]) + "/" + cell[1];
+        req.config.workload = cell[0];
+        req.config.port_spec = cell[1];
+        req.config.max_insts = 4000;
+        req.config.seed = 1;
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+std::string
+arg(const SpanEvent &ev, const std::string &key)
+{
+    const auto it = ev.args.find(key);
+    return it == ev.args.end() ? std::string() : it->second;
+}
+
+TEST(FlightServiceTest, CrashInjectedWorkerSweepYieldsSoundRecord)
+{
+    const std::string victim = "li/bank:4";
+    const std::string record_path = freshPath("crash");
+    const ScopedEnv fault("LBIC_WORKER_FAULT",
+                          "sigkill@" + victim + "@1");
+    const ScopedRecorder teardown;
+    ASSERT_NE(observe::initFlightRecorder(record_path), nullptr);
+
+    const std::vector<RunRequest> reqs = sampleRequests();
+    CoordinatorOptions opts;
+    opts.policy.isolate = true;
+    opts.git_sha = "test-sha";
+    opts.respawn_backoff_ms = 5;
+    opts.workers = 4;
+    opts.store_dir = freshDir("store");
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+
+    // The sweep itself survived the kill: every job ok, one death.
+    ASSERT_EQ(report.outcomes.size(), reqs.size());
+    for (const auto &out : report.outcomes)
+        EXPECT_TRUE(out.ok) << out.label << ": " << out.error;
+    EXPECT_EQ(report.worker_deaths, 1u);
+    EXPECT_GE(report.respawns, 1u);
+
+    observe::shutdownFlightRecorder(); // flush before reading back
+    const FlightRecord rec = observe::loadFlightRecord(record_path);
+    ASSERT_FALSE(rec.events.empty());
+    EXPECT_EQ(rec.malformed, 0u);
+
+    // The telescoping identity holds over the merged record --
+    // coordinator stream and every surviving worker batch alike.
+    EXPECT_EQ(observe::verifyFlightRecord(rec), "");
+
+    // The record's job set equals the request set, via the one
+    // "resolved" instant per request.
+    std::set<std::string> resolved, requested;
+    for (const RunRequest &r : reqs)
+        requested.insert(r.label);
+    const int coord_pid = ::getpid();
+    std::set<int> worker_pids;
+    const SpanEvent *died = nullptr;
+    bool victim_retry_ok = false;
+    std::size_t victim_queued = 0, lookups = 0, publishes = 0;
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.pid != coord_pid)
+            worker_pids.insert(ev.pid);
+        const std::string key = ev.cat + "." + ev.name;
+        if (key == "job.resolved") {
+            EXPECT_TRUE(resolved.insert(ev.job).second)
+                << "duplicate resolved instant for " << ev.job;
+            EXPECT_EQ(arg(ev, "status"), "ok");
+        } else if (key == "job.running" && ev.job == victim) {
+            if (arg(ev, "status") == "died")
+                died = &ev;
+            if (arg(ev, "status") == "ok"
+                && arg(ev, "attempt") == "2")
+                victim_retry_ok = true;
+        } else if (key == "job.queued" && ev.job == victim) {
+            ++victim_queued;
+        } else if (key == "store.lookup") {
+            ++lookups;
+            EXPECT_EQ(arg(ev, "outcome"), "miss"); // cold store
+        } else if (key == "store.publish") {
+            ++publishes;
+        }
+    }
+    EXPECT_EQ(resolved, requested);
+
+    // Death provenance on the victim's terminal span.
+    ASSERT_NE(died, nullptr);
+    EXPECT_EQ(arg(*died, "end"), "signal");
+    EXPECT_EQ(arg(*died, "signal"), "SIGKILL");
+    EXPECT_EQ(arg(*died, "attempt"), "1");
+
+    // The retry went through: re-queued once more, then ran clean.
+    EXPECT_TRUE(victim_retry_ok);
+    EXPECT_GE(victim_queued, 2u);
+
+    // Worker-process events arrived over the EVT frames: at least
+    // one surviving worker shipped its batch (the killed worker's
+    // unsent spans are legitimately lost).
+    EXPECT_GE(worker_pids.size(), 1u);
+
+    // Store traffic recorded from inside the coordinator process.
+    EXPECT_EQ(lookups, reqs.size());
+    EXPECT_EQ(publishes, reqs.size());
+}
+
+TEST(FlightServiceTest, ThreadPoolSweepBridgesProfilerPhases)
+{
+    const std::string record_path = freshPath("pool");
+    const ScopedRecorder teardown;
+    ASSERT_NE(observe::initFlightRecorder(record_path), nullptr);
+
+    std::vector<SweepJob> jobs;
+    for (const char *wl : {"li", "compress"}) {
+        SweepJob job;
+        job.label = wl;
+        job.config.workload = wl;
+        job.config.port_spec = "bank:4";
+        job.config.max_insts = 4000;
+        job.config.profile = true; // arms the simulator phase bridge
+        jobs.push_back(job);
+    }
+    SweepRunner runner(2);
+    const std::vector<SweepResult> results = runner.run(jobs);
+    for (const SweepResult &r : results)
+        EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+
+    observe::shutdownFlightRecorder();
+    const FlightRecord rec = observe::loadFlightRecord(record_path);
+    EXPECT_EQ(observe::verifyFlightRecord(rec), "");
+
+    // The span chain nests worker -> running -> simulate -> bridged
+    // profiler root ("total") per job, all on the pool's threads.
+    std::map<std::uint64_t, const SpanEvent *> by_id;
+    for (const SpanEvent &ev : rec.events)
+        by_id[ev.id] = &ev;
+    std::size_t bridged = 0;
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.kind != "span" || ev.name != "total")
+            continue;
+        ++bridged;
+        ASSERT_NE(ev.parent, 0u) << "bridged root detached";
+        const SpanEvent *sim = by_id.at(ev.parent);
+        EXPECT_EQ(sim->name, "simulate");
+        ASSERT_NE(sim->parent, 0u);
+        EXPECT_EQ(by_id.at(sim->parent)->name, "running");
+    }
+    EXPECT_EQ(bridged, jobs.size());
+}
+
+TEST(FlightServiceTest, RecorderOffLeavesNoTrace)
+{
+    // Default path: no env, no recorder -- a coordinator sweep runs
+    // with flightRecorder() null at every site and writes nothing.
+    observe::shutdownFlightRecorder();
+    ASSERT_EQ(observe::flightRecorder(), nullptr);
+    std::vector<RunRequest> reqs = sampleRequests();
+    reqs.resize(2);
+    CoordinatorOptions opts;
+    opts.policy.isolate = true;
+    opts.git_sha = "test-sha";
+    opts.workers = 2;
+    const CoordinatorReport report = Coordinator(opts).run(reqs);
+    ASSERT_EQ(report.outcomes.size(), reqs.size());
+    for (const auto &out : report.outcomes)
+        EXPECT_TRUE(out.ok) << out.label << ": " << out.error;
+    EXPECT_EQ(observe::flightRecorder(), nullptr);
+}
+
+} // anonymous namespace
+} // namespace lbic

@@ -14,6 +14,15 @@
  *       and throughput deltas reported. "last" and "prev" name the
  *       two most recent distinct SHAs in the ledger.
  *
+ *   perf_report [--spans DIR] ...
+ *       join trend rows with sweep flight records (trace_sweep=PATH,
+ *       observe/flight_recorder.hh): DIR is scanned for *.jsonl
+ *       records, matched to sweeps on the (driver, config_hash,
+ *       git_sha) identity stamped in each record's sweep meta event,
+ *       and the trend table gains the sweep's critical phase -- the
+ *       cat.name with the largest total exclusive time -- and its
+ *       milliseconds.
+ *
  *   perf_report --check [--warn-only] [baseline=results/perf_baseline.json]
  *       [threshold=0.25]
  *       regression gate: the most recent sweep of the baseline's
@@ -36,9 +45,12 @@
 #include <string>
 #include <vector>
 
+#include <dirent.h>
+
 #include "common/config.hh"
 #include "common/sim_error.hh"
 #include "common/table.hh"
+#include "observe/flight_recorder.hh"
 #include "observe/ledger.hh"
 
 namespace
@@ -140,9 +152,76 @@ shortSha(const std::string &sha)
     return sha.size() > 12 ? sha.substr(0, 12) : sha;
 }
 
+/** A flight record's contribution to the trend table. */
+struct SpanJoin
+{
+    std::string crit_phase; //!< cat.name with max total exclusive ns
+    double crit_ms = 0.0;
+};
+
+/**
+ * Scan @p dir for *.jsonl flight records and index each by the
+ * (driver, config_hash, git_sha) identity its sweep meta event
+ * carries -- the same tuple the ledger rows hold, which is the join
+ * key. Records without a sweep meta (worker fragments, foreign files)
+ * are skipped; a later file with the same identity supersedes.
+ */
+std::map<std::string, SpanJoin>
+loadSpanJoins(const std::string &dir)
+{
+    std::map<std::string, SpanJoin> joins;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        throw SimError(SimErrorKind::Config,
+                       "cannot open spans directory '" + dir + "'");
+    std::vector<std::string> files;
+    while (const dirent *ent = readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.size() > 6
+            && name.compare(name.size() - 6, 6, ".jsonl") == 0)
+            files.push_back(dir + "/" + name);
+    }
+    closedir(d);
+    std::sort(files.begin(), files.end());
+    for (const std::string &path : files) {
+        const observe::FlightRecord rec =
+            observe::loadFlightRecord(path);
+        std::string key;
+        std::map<std::string, std::int64_t> excl;
+        for (const observe::SpanEvent &ev : rec.events) {
+            if (ev.kind == "meta" && ev.name == "sweep") {
+                const auto get = [&](const char *k) {
+                    const auto it = ev.args.find(k);
+                    return it == ev.args.end() ? std::string()
+                                               : it->second;
+                };
+                key = get("driver") + "\x1f" + get("config_hash")
+                    + "\x1f" + get("git_sha");
+            } else if (ev.kind == "span") {
+                excl[ev.cat + "." + ev.name] += ev.excl_ns;
+            }
+        }
+        if (key.empty() || excl.empty())
+            continue;
+        SpanJoin join;
+        std::int64_t best = -1;
+        for (const auto &kv : excl) {
+            if (kv.second > best) {
+                best = kv.second;
+                join.crit_phase = kv.first;
+                join.crit_ms =
+                    static_cast<double>(kv.second) / 1e6;
+            }
+        }
+        joins[key] = join;
+    }
+    return joins;
+}
+
 int
 modeTrend(const std::vector<LedgerEntry> &entries,
-          const std::string &driver_filter)
+          const std::string &driver_filter,
+          const std::map<std::string, SpanJoin> &joins)
 {
     const std::vector<Sweep> sweeps =
         groupSweeps(entries, driver_filter);
@@ -162,20 +241,37 @@ modeTrend(const std::vector<LedgerEntry> &entries,
     for (const auto &kv : by_driver) {
         std::cout << "driver " << kv.first << ":\n";
         TextTable table;
-        table.setHeader({"timestamp", "git_sha", "config", "runs",
-                         "ok", "mean_ipc", "Minsts", "wall_s",
-                         "Minst/s"});
+        std::vector<std::string> header = {
+            "timestamp", "git_sha", "config", "runs", "ok",
+            "mean_ipc", "Minsts", "wall_s", "Minst/s"};
+        if (!joins.empty()) {
+            header.push_back("crit_phase");
+            header.push_back("crit_ms");
+        }
+        table.setHeader(header);
         for (const Sweep *s : kv.second) {
-            table.addRow(
-                {s->timestamp, shortSha(s->git_sha),
-                 s->config_hash.substr(0, 8),
-                 std::to_string(s->runs.size()),
-                 std::to_string(s->okRuns()),
-                 TextTable::fmt(s->meanIpc(), 4),
-                 TextTable::fmt(
-                     static_cast<double>(s->totalInsts()) / 1e6, 2),
-                 TextTable::fmt(s->totalWallMs() / 1000.0, 2),
-                 TextTable::fmt(s->instsPerSec() / 1e6, 2)});
+            std::vector<std::string> row = {
+                s->timestamp, shortSha(s->git_sha),
+                s->config_hash.substr(0, 8),
+                std::to_string(s->runs.size()),
+                std::to_string(s->okRuns()),
+                TextTable::fmt(s->meanIpc(), 4),
+                TextTable::fmt(
+                    static_cast<double>(s->totalInsts()) / 1e6, 2),
+                TextTable::fmt(s->totalWallMs() / 1000.0, 2),
+                TextTable::fmt(s->instsPerSec() / 1e6, 2)};
+            if (!joins.empty()) {
+                const auto it = joins.find(s->driver + "\x1f"
+                                           + s->config_hash + "\x1f"
+                                           + s->git_sha);
+                row.push_back(it == joins.end() ? "-"
+                                                : it->second.crit_phase);
+                row.push_back(it == joins.end()
+                                  ? "-"
+                                  : TextTable::fmt(
+                                        it->second.crit_ms, 2));
+            }
+            table.addRow(row);
         }
         table.print(std::cout);
         std::cout << '\n';
@@ -407,12 +503,15 @@ main(int argc, char **argv)
 try {
     std::vector<const char *> kv;
     bool check = false, warn_only = false;
+    std::string spans_dir;
     for (int i = 0; i < argc; ++i) {
         const std::string arg(argv[i]);
         if (arg == "--check")
             check = true;
         else if (arg == "--warn-only")
             warn_only = true;
+        else if (arg == "--spans" && i + 1 < argc)
+            spans_dir = argv[++i];
         else
             kv.push_back(argv[i]);
     }
@@ -447,7 +546,10 @@ try {
                          warn_only, driver);
     if (!diff.empty())
         return modeDiff(ledger.entries, diff, driver);
-    return modeTrend(ledger.entries, driver);
+    return modeTrend(ledger.entries, driver,
+                     spans_dir.empty()
+                         ? std::map<std::string, SpanJoin>()
+                         : loadSpanJoins(spans_dir));
 } catch (const lbic::SimError &e) {
     std::cerr << "perf_report: " << e.what() << '\n';
     return 1;

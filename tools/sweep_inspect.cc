@@ -1,0 +1,465 @@
+/**
+ * @file
+ * sweep_inspect: read a sweep flight record (trace_sweep=PATH, see
+ * observe/flight_recorder.hh) back as human-readable tables, check
+ * its accounting identities, and export a Chrome trace timeline.
+ *
+ *   sweep_inspect RECORD.jsonl [top=N]
+ *       summary + per-job timeline table (queued / running / sim
+ *       time, attempts, worker deaths), phase breakdown by exclusive
+ *       time, top-N slowest and most-retried jobs, and store lookup
+ *       latency histograms split by hit/miss outcome.
+ *
+ *   sweep_inspect RECORD.jsonl --check
+ *       identity gate: verifyFlightRecord() must pass -- span ids
+ *       unique, parents present, children contained, and the
+ *       telescoping identity excl + sum(children) == dur byte-exact
+ *       at every span. Exits 2 on violation. A crash-truncated final
+ *       line is reported but tolerated (that is the spill format's
+ *       crash contract, not a corruption).
+ *
+ *   sweep_inspect RECORD.jsonl --chrome OUT.json
+ *       write the merged cross-process timeline as a Chrome
+ *       trace-event file (load in chrome://tracing or Perfetto).
+ *       Coordinator job-lifecycle spans get one swimlane per job.
+ *
+ * Exit codes: 0 ok, 1 usage/io error, 2 identity violation (--check).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "observe/flight_recorder.hh"
+
+namespace
+{
+
+using namespace lbic;
+using observe::FlightRecord;
+using observe::SpanEvent;
+
+double
+ms(std::int64_t ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+/** Look up a parsed arg ("" when absent). */
+std::string
+arg(const SpanEvent &ev, const std::string &key)
+{
+    const auto it = ev.args.find(key);
+    return it == ev.args.end() ? std::string() : it->second;
+}
+
+/** Everything the timeline table knows about one job label. */
+struct JobStat
+{
+    std::string label;
+    std::string status; //!< from the "resolved" instant
+    std::string source; //!< "store" | "simulated"
+    std::string note;   //!< death/poison provenance, "" when clean
+    unsigned attempts = 0;
+    std::size_t runs = 0;   //!< running spans (attempts started)
+    std::size_t deaths = 0; //!< running spans that ended in a death
+    double queued_ms = 0.0;
+    double run_ms = 0.0;
+    double sim_ms = 0.0;
+};
+
+struct PhaseStat
+{
+    std::size_t spans = 0;
+    std::int64_t incl_ns = 0;
+    std::int64_t excl_ns = 0;
+};
+
+/** Store-lookup latency histogram: fixed power-of-4 µs buckets. */
+constexpr std::int64_t bucket_bounds_us[] = {1, 4, 16, 64, 256, 1024,
+                                             4096};
+constexpr std::size_t num_buckets =
+    sizeof(bucket_bounds_us) / sizeof(bucket_bounds_us[0]) + 1;
+
+std::size_t
+bucketOf(std::int64_t dur_ns)
+{
+    const std::int64_t us = dur_ns / 1000;
+    for (std::size_t b = 0; b + 1 < num_buckets; ++b) {
+        if (us < bucket_bounds_us[b])
+            return b;
+    }
+    return num_buckets - 1;
+}
+
+std::string
+bucketLabel(std::size_t b)
+{
+    if (b + 1 < num_buckets)
+        return "<" + std::to_string(bucket_bounds_us[b]) + "us";
+    return ">=" + std::to_string(bucket_bounds_us[num_buckets - 2])
+        + "us";
+}
+
+void
+printSummary(const std::string &path, const FlightRecord &rec)
+{
+    std::size_t spans = 0, instants = 0, metas = 0;
+    std::set<int> pids;
+    std::int64_t t_min = 0, t_max = 0;
+    bool any = false;
+    const SpanEvent *sweep_meta = nullptr;
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.kind == "span")
+            ++spans;
+        else if (ev.kind == "instant")
+            ++instants;
+        else if (ev.kind == "meta") {
+            ++metas;
+            if (ev.name == "sweep")
+                sweep_meta = &ev;
+        }
+        pids.insert(ev.pid);
+        const std::int64_t end = ev.ts_ns + ev.dur_ns;
+        if (!any || ev.ts_ns < t_min)
+            t_min = ev.ts_ns;
+        if (!any || end > t_max)
+            t_max = end;
+        any = true;
+    }
+    std::cout << "flight record " << path << ": " << rec.events.size()
+              << " events (" << spans << " spans, " << instants
+              << " instants, " << metas << " meta) from "
+              << pids.size() << " process(es)";
+    if (any)
+        std::cout << ", " << TextTable::fmt(ms(t_max - t_min), 1)
+                  << " ms of timeline";
+    std::cout << '\n';
+    if (sweep_meta) {
+        std::cout << "sweep: driver=" << arg(*sweep_meta, "driver")
+                  << " config=" << arg(*sweep_meta, "config_hash")
+                  << " git_sha=" << arg(*sweep_meta, "git_sha")
+                  << " jobs=" << arg(*sweep_meta, "jobs") << '\n';
+    }
+    if (rec.malformed) {
+        std::cout << "note: dropped " << rec.malformed
+                  << " malformed line(s)"
+                  << (rec.truncated
+                          ? " (including a crash-truncated tail)"
+                          : "")
+                  << '\n';
+    }
+}
+
+/**
+ * Fold the record into per-job stats, keyed by label in first-seen
+ * (submission) order. Coordinator sweeps report lifecycle under
+ * "job.*", thread-pool sweeps under "sweep.*"; both feed the same
+ * columns so the table reads identically either way.
+ */
+std::vector<JobStat>
+foldJobs(const FlightRecord &rec)
+{
+    std::vector<JobStat> jobs;
+    std::map<std::string, std::size_t> index;
+    const auto at = [&](const std::string &label) -> JobStat & {
+        auto it = index.find(label);
+        if (it == index.end()) {
+            it = index.emplace(label, jobs.size()).first;
+            jobs.emplace_back();
+            jobs.back().label = label;
+        }
+        return jobs[it->second];
+    };
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.job.empty())
+            continue;
+        JobStat &j = at(ev.job);
+        const std::string key = ev.cat + "." + ev.name;
+        if (ev.kind == "instant") {
+            if (key == "job.resolved") {
+                j.status = arg(ev, "status");
+                j.source = arg(ev, "source");
+                j.attempts = static_cast<unsigned>(
+                    std::strtoul(arg(ev, "attempts").c_str(), nullptr,
+                                 10));
+                // A poison note (below) is the sharper diagnosis;
+                // keep it over the resolved instant's raw kind.
+                if (j.note.empty()) {
+                    const std::string kind = arg(ev, "kind");
+                    if (!kind.empty())
+                        j.note = kind;
+                    const std::string sig = arg(ev, "signal");
+                    if (!sig.empty())
+                        j.note += (j.note.empty() ? "" : " ") + sig;
+                }
+            } else if (key == "job.poison") {
+                j.note = "poisoned after " + arg(ev, "deaths")
+                    + " deaths";
+                const std::string sig = arg(ev, "signal");
+                if (!sig.empty())
+                    j.note += " (" + sig + ")";
+            }
+            continue;
+        }
+        if (ev.kind != "span")
+            continue;
+        if (key == "job.queued" || key == "sweep.queue_wait") {
+            j.queued_ms += ms(ev.dur_ns);
+        } else if (key == "job.running" || key == "sweep.running") {
+            j.run_ms += ms(ev.dur_ns);
+            ++j.runs;
+            if (arg(ev, "status") == "died")
+                ++j.deaths;
+        } else if (key == "sim.simulate") {
+            j.sim_ms += ms(ev.dur_ns);
+        }
+    }
+    return jobs;
+}
+
+void
+printTimeline(const std::vector<JobStat> &jobs)
+{
+    std::cout << "\nper-job timeline (" << jobs.size() << " jobs):\n";
+    TextTable table;
+    table.setHeader({"job", "status", "src", "att", "queued_ms",
+                     "run_ms", "sim_ms", "deaths", "note"});
+    for (const JobStat &j : jobs) {
+        table.addRow({j.label,
+                      j.status.empty() ? "?" : j.status,
+                      j.source.empty() ? "-" : j.source,
+                      std::to_string(j.attempts),
+                      TextTable::fmt(j.queued_ms, 2),
+                      TextTable::fmt(j.run_ms, 2),
+                      TextTable::fmt(j.sim_ms, 2),
+                      std::to_string(j.deaths), j.note});
+    }
+    table.print(std::cout);
+}
+
+void
+printPhases(const FlightRecord &rec)
+{
+    std::map<std::string, PhaseStat> phases;
+    std::int64_t total_excl = 0;
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.kind != "span")
+            continue;
+        PhaseStat &p = phases[ev.cat + "." + ev.name];
+        ++p.spans;
+        p.incl_ns += ev.dur_ns;
+        p.excl_ns += ev.excl_ns;
+        total_excl += ev.excl_ns;
+    }
+    if (phases.empty())
+        return;
+    // Exclusive time is the critical-path currency: it sums to the
+    // root durations exactly (the telescoping identity), so the
+    // percentages below add up -- inclusive double-counts nesting.
+    std::vector<std::pair<std::string, PhaseStat>> order(
+        phases.begin(), phases.end());
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.excl_ns > b.second.excl_ns;
+              });
+    std::cout << "\nphase breakdown (by exclusive time):\n";
+    TextTable table;
+    table.setHeader({"phase", "spans", "excl_ms", "incl_ms", "excl%"});
+    for (const auto &kv : order) {
+        const PhaseStat &p = kv.second;
+        table.addRow({kv.first, std::to_string(p.spans),
+                      TextTable::fmt(ms(p.excl_ns), 2),
+                      TextTable::fmt(ms(p.incl_ns), 2),
+                      TextTable::fmt(
+                          total_excl
+                              ? 100.0 * static_cast<double>(p.excl_ns)
+                                  / static_cast<double>(total_excl)
+                              : 0.0,
+                          1)});
+    }
+    table.print(std::cout);
+}
+
+void
+printTop(const std::vector<JobStat> &jobs, std::size_t top_n)
+{
+    std::vector<const JobStat *> order;
+    order.reserve(jobs.size());
+    for (const JobStat &j : jobs)
+        order.push_back(&j);
+
+    std::sort(order.begin(), order.end(),
+              [](const JobStat *a, const JobStat *b) {
+                  return a->run_ms > b->run_ms;
+              });
+    std::cout << "\ntop " << std::min(top_n, order.size())
+              << " slowest jobs (by running time):\n";
+    TextTable slow;
+    slow.setHeader({"job", "run_ms", "sim_ms", "att"});
+    for (std::size_t i = 0; i < order.size() && i < top_n; ++i) {
+        slow.addRow({order[i]->label,
+                     TextTable::fmt(order[i]->run_ms, 2),
+                     TextTable::fmt(order[i]->sim_ms, 2),
+                     std::to_string(order[i]->attempts)});
+    }
+    slow.print(std::cout);
+
+    std::sort(order.begin(), order.end(),
+              [](const JobStat *a, const JobStat *b) {
+                  return a->attempts > b->attempts;
+              });
+    std::size_t retried = 0;
+    for (const JobStat *j : order)
+        retried += j->attempts > 1 ? 1 : 0;
+    if (!retried)
+        return;
+    std::cout << "\nretried jobs (" << retried << "):\n";
+    TextTable retry;
+    retry.setHeader({"job", "att", "deaths", "status", "note"});
+    for (std::size_t i = 0; i < order.size() && i < top_n; ++i) {
+        if (order[i]->attempts <= 1)
+            break;
+        retry.addRow({order[i]->label,
+                      std::to_string(order[i]->attempts),
+                      std::to_string(order[i]->deaths),
+                      order[i]->status, order[i]->note});
+    }
+    retry.print(std::cout);
+}
+
+void
+printStore(const FlightRecord &rec)
+{
+    // outcome -> per-bucket counts; outcomes are the store.lookup
+    // span's "outcome" arg (hit / miss / quarantined).
+    std::map<std::string, std::vector<std::size_t>> hist;
+    std::size_t lookups = 0, publishes = 0;
+    std::int64_t publish_ns = 0;
+    for (const SpanEvent &ev : rec.events) {
+        if (ev.kind != "span" || ev.cat != "store")
+            continue;
+        if (ev.name == "lookup") {
+            ++lookups;
+            auto &h = hist[arg(ev, "outcome")];
+            h.resize(num_buckets);
+            ++h[bucketOf(ev.dur_ns)];
+        } else if (ev.name == "publish") {
+            ++publishes;
+            publish_ns += ev.dur_ns;
+        }
+    }
+    if (!lookups)
+        return;
+    std::cout << "\nstore lookup latency (" << lookups
+              << " lookups):\n";
+    TextTable table;
+    std::vector<std::string> header = {"latency"};
+    for (const auto &kv : hist)
+        header.push_back(kv.first.empty() ? "?" : kv.first);
+    table.setHeader(header);
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+        std::vector<std::string> row = {bucketLabel(b)};
+        for (const auto &kv : hist)
+            row.push_back(std::to_string(kv.second[b]));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    if (publishes) {
+        std::cout << publishes << " publishes, "
+                  << TextTable::fmt(ms(publish_ns), 2)
+                  << " ms total\n";
+    }
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: sweep_inspect RECORD.jsonl [--check] "
+           "[--chrome OUT.json] [top=N]\n";
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string record_path, chrome_path;
+    bool check = false;
+    std::size_t top_n = 5;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        if (a == "--check") {
+            check = true;
+        } else if (a == "--chrome") {
+            if (++i >= argc)
+                return usage();
+            chrome_path = argv[i];
+        } else if (a.rfind("top=", 0) == 0) {
+            top_n = std::strtoul(a.c_str() + 4, nullptr, 10);
+        } else if (!a.empty() && a[0] == '-') {
+            return usage();
+        } else if (record_path.empty()) {
+            record_path = a;
+        } else {
+            return usage();
+        }
+    }
+    if (record_path.empty())
+        return usage();
+
+    const FlightRecord rec = observe::loadFlightRecord(record_path);
+    if (rec.events.empty()) {
+        std::cerr << "sweep_inspect: no events in '" << record_path
+                  << "'\n";
+        return 1;
+    }
+
+    if (check) {
+        const std::string err = observe::verifyFlightRecord(rec);
+        if (!err.empty()) {
+            std::cerr << "sweep_inspect: identity violation: " << err
+                      << '\n';
+            return 2;
+        }
+        std::cout << "check ok: " << rec.events.size()
+                  << " events, identities hold";
+        if (rec.truncated)
+            std::cout << " (crash-truncated tail dropped)";
+        std::cout << '\n';
+    }
+
+    if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path);
+        if (!out) {
+            std::cerr << "sweep_inspect: cannot write '" << chrome_path
+                      << "'\n";
+            return 1;
+        }
+        const std::size_t n = observe::exportChromeTrace(rec, out);
+        std::cout << "wrote " << n << " trace events to "
+                  << chrome_path << '\n';
+    }
+
+    if (check || !chrome_path.empty())
+        return 0;
+
+    printSummary(record_path, rec);
+    const std::vector<JobStat> jobs = foldJobs(rec);
+    if (!jobs.empty()) {
+        printTimeline(jobs);
+        printTop(jobs, top_n);
+    }
+    printPhases(rec);
+    printStore(rec);
+    return 0;
+}
