@@ -15,27 +15,44 @@
  *
  * Extra keys in sampled mode:
  *   sampled=1        enable
- *   intervals=K      representative intervals per workload (default 5)
+ *   sample_mode=M    kmeans (default) | systematic | adaptive
+ *   intervals=K      representative intervals per workload (default 5;
+ *                    kmeans / systematic modes)
  *   interval_len=L   interval length in instructions (default 50000)
  *   warmup=W         detailed warmup before each interval (10000)
  *   compare_full=1   also run every cell in full and report the
  *                    per-cell estimation error (accuracy audits)
  *
+ * Statistics keys (systematic / adaptive; see sample/stats.hh):
+ *   confidence=C     nominal CI coverage (default 0.95)
+ *   target_rel_err=E adaptive convergence target on the relative CI
+ *                    half-width (default 0.01)
+ *   pilot=P          adaptive pilot batch (default 4)
+ *   interval_budget=B adaptive per-cell interval cap (0 = whole run)
+ *   min_rel_hw=F     non-sampling floor on the claimed relative
+ *                    half-width (default 0.005; 0 = pure CLT claim)
+ *
  * JSON: the per-run "sampling" block (see printJsonSampledResults)
  * carries the plan, per-interval results and, with compare_full=1,
- * the measured error against the full run; schema v4 adds the same
- * top-level "resources" telemetry block full-mode sweeps emit.
+ * the measured error against the full run; schema v6 adds the CI
+ * fields (ci_low/ci_high/half_width/confidence/intervals_used/
+ * batches/ci_valid/ci_converged) and the renormalization record
+ * (renormalized/dropped_intervals) to that block.
  */
 
 #ifndef LBIC_BENCH_BENCH_SAMPLE_HH
 #define LBIC_BENCH_BENCH_SAMPLE_HH
 
+#include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "sample/sampler.hh"
+#include "workload/registry.hh"
 
 namespace lbic
 {
@@ -50,7 +67,9 @@ struct SampleArgs
     sample::SamplingConfig cfg;
 };
 
-/** Parse sampled=/intervals=/interval_len=/warmup=/compare_full=. */
+/** Parse sampled=/sample_mode=/intervals=/interval_len=/warmup=/
+ *  compare_full= plus the statistics knobs (confidence=,
+ *  target_rel_err=, pilot=, interval_budget=, min_rel_hw=). */
 inline SampleArgs
 parseSampleArgs(const BenchArgs &args)
 {
@@ -64,7 +83,52 @@ parseSampleArgs(const BenchArgs &args)
         args.config.getU64("intervals", s.cfg.max_intervals));
     s.cfg.warmup_insts =
         args.config.getU64("warmup", s.cfg.warmup_insts);
+
+    const std::string mode =
+        args.config.getString("sample_mode", "kmeans");
+    if (mode == "kmeans")
+        s.cfg.mode = sample::SampleMode::KMeans;
+    else if (mode == "systematic")
+        s.cfg.mode = sample::SampleMode::Systematic;
+    else if (mode == "adaptive")
+        s.cfg.mode = sample::SampleMode::Adaptive;
+    else
+        lbic_fatal("unknown sample_mode '", mode,
+                   "' (kmeans | systematic | adaptive)");
+
+    s.cfg.confidence =
+        args.config.getDouble("confidence", s.cfg.confidence);
+    if (s.cfg.confidence <= 0.0 || s.cfg.confidence >= 1.0)
+        lbic_fatal("config key 'confidence': must be in (0, 1)");
+    s.cfg.target_rel_err =
+        args.config.getDouble("target_rel_err", s.cfg.target_rel_err);
+    if (s.cfg.target_rel_err <= 0.0)
+        lbic_fatal("config key 'target_rel_err': must be > 0");
+    s.cfg.pilot_intervals = static_cast<unsigned>(
+        args.config.getU64("pilot", s.cfg.pilot_intervals));
+    s.cfg.interval_budget = static_cast<unsigned>(
+        args.config.getU64("interval_budget", s.cfg.interval_budget));
+    s.cfg.min_rel_half_width =
+        args.config.getDouble("min_rel_hw", s.cfg.min_rel_half_width);
+    // The systematic phase and the adaptive order follow the run
+    // seed: the whole plan stays a pure function of (stream, args).
+    s.cfg.phase_seed = args.seed;
     return s;
+}
+
+/** The "sample_mode" spelling of a plan mode (JSON / ledger). */
+inline const char *
+sampleModeName(sample::SampleMode mode)
+{
+    switch (mode) {
+      case sample::SampleMode::Systematic:
+        return "systematic";
+      case sample::SampleMode::Adaptive:
+        return "adaptive";
+      case sample::SampleMode::KMeans:
+        break;
+    }
+    return "kmeans";
 }
 
 /** One grid cell's sampled outcome. */
@@ -109,6 +173,237 @@ struct SampledOutput
     SweepTelemetry telemetry;
 };
 
+/** Accumulate one round's sweep telemetry into a multi-round total
+ *  (adaptive mode runs one SweepRunner invocation per batch round). */
+inline void
+mergeTelemetry(SweepTelemetry &into, const SweepTelemetry &t)
+{
+    if (into.workers.size() < t.workers.size())
+        into.workers.resize(t.workers.size());
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+        WorkerTelemetry &w = into.workers[i];
+        const WorkerTelemetry &s = t.workers[i];
+        w.worker = static_cast<unsigned>(i);
+        w.jobs += s.jobs;
+        w.failures += s.failures;
+        w.retries += s.retries;
+        w.wall_ms += s.wall_ms;
+        w.busy_ms += s.busy_ms;
+        w.idle_ms += s.idle_ms;
+        w.queue_wait_ms += s.queue_wait_ms;
+        w.user_ms += s.user_ms;
+        w.sys_ms += s.sys_ms;
+        w.peak_rss_kb = std::max(w.peak_rss_kb, s.peak_rss_kb);
+        w.alloc_bytes += s.alloc_bytes;
+        w.insts += s.insts;
+    }
+    into.total_jobs += t.total_jobs;
+    into.jobs_run += t.jobs_run;
+    into.failures += t.failures;
+    into.retries += t.retries;
+    into.busy_ms += t.busy_ms;
+    into.insts += t.insts;
+    into.peak_rss_kb = std::max(into.peak_rss_kb, t.peak_rss_kb);
+}
+
+/**
+ * Run the grid with adaptive run-until-CI<=ε stopping: every cell
+ * starts from a pilot prefix of its workload's low-discrepancy sample
+ * order (sample/signature.hh sampleOrder), and after each round the
+ * CI on the weighted CPI mean decides -- per cell -- whether to stop
+ * or how many more intervals to add (sample/stats.hh adaptiveNext).
+ * Rounds are batched: one SweepRunner invocation runs every
+ * still-unconverged cell's next batch, so parallelism survives the
+ * sequential stopping rule. Checkpoints for the whole budget prefix
+ * are captured up front in the usual single fast-forward pass and
+ * shared across cells of a workload, so later batches never
+ * re-profile or re-fast-forward.
+ */
+inline SampledOutput
+runAdaptiveCells(const BenchArgs &args, const SampleArgs &sargs,
+                 const std::vector<SweepJob> &cells)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SampledOutput out;
+    out.cells.resize(cells.size());
+
+    std::vector<SweepJob> replayed;
+    const std::vector<SweepJob> *grid = &cells;
+    if (!args.trace_dir.empty()) {
+        replayed = cells;
+        applyReplayTraces(args, replayed);
+        grid = &replayed;
+    }
+
+    /** Shared by every cell of one workload. */
+    struct AdaptiveWorkload
+    {
+        std::vector<sample::IntervalSignature> sigs;
+        std::vector<std::size_t> order;
+        sample::SamplingPlan super; //!< the whole budget prefix
+        std::vector<sample::Checkpoint> ckpts; //!< aligned with super
+        std::map<std::uint64_t, std::size_t> by_start; //!< into super
+        unsigned budget = 0;
+    };
+
+    std::map<std::string, AdaptiveWorkload> wctx;
+    for (const SweepJob &cell : *grid) {
+        const std::string &w = cell.config.workload;
+        if (wctx.count(w))
+            continue;
+        AdaptiveWorkload ctx;
+        {
+            const std::unique_ptr<Workload> stream =
+                makeConfiguredWorkload(cell.config);
+            ctx.sigs = sample::profileStream(*stream, sargs.cfg);
+        }
+        ctx.order = sample::sampleOrder(ctx.sigs.size(),
+                                        sargs.cfg.phase_seed);
+        const unsigned population =
+            static_cast<unsigned>(ctx.sigs.size());
+        ctx.budget = sargs.cfg.interval_budget
+                         ? std::min(sargs.cfg.interval_budget,
+                                    population)
+                         : population;
+        ctx.super = sample::planFromOrder(ctx.sigs, sargs.cfg,
+                                          ctx.order, ctx.budget);
+        ctx.ckpts = sample::makeCheckpoints(cell.config, ctx.super);
+        for (std::size_t i = 0; i < ctx.super.selected.size(); ++i)
+            ctx.by_start[ctx.super.selected[i].start] = i;
+        out.plans[w] = ctx.super;
+        wctx[w] = std::move(ctx);
+    }
+
+    struct CellState
+    {
+        unsigned used = 0;     //!< sample-order prefix consumed
+        unsigned next = 0;     //!< intervals to add this round
+        unsigned batches = 0;
+        bool done = false;
+        bool converged = false;
+        std::map<std::uint64_t, SweepResult> results; //!< by start
+    };
+    std::vector<CellState> st(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const AdaptiveWorkload &ctx =
+            wctx[(*grid)[i].config.workload];
+        st[i].next = std::min(
+            std::max<unsigned>(sargs.cfg.pilot_intervals, 2),
+            ctx.budget);
+    }
+
+    constexpr std::uint64_t full_marker = ~std::uint64_t(0);
+    bool first_round = true;
+    while (true) {
+        // Gather every active cell's next batch into one sweep.
+        std::vector<SweepJob> flat;
+        std::vector<std::pair<std::size_t, std::uint64_t>> slot;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            CellState &cs = st[i];
+            if (cs.done || cs.next == 0)
+                continue;
+            const SweepJob &cell = (*grid)[i];
+            const AdaptiveWorkload &ctx =
+                wctx[cell.config.workload];
+            const unsigned want =
+                std::min(cs.used + cs.next, ctx.budget);
+            const sample::SamplingPlan plan_n = sample::planFromOrder(
+                ctx.sigs, sargs.cfg, ctx.order, want);
+            sample::SamplingPlan sub = ctx.super;
+            sub.selected.clear();
+            std::vector<sample::Checkpoint> subck;
+            for (const sample::IntervalInfo &iv : plan_n.selected) {
+                if (cs.results.count(iv.start))
+                    continue;
+                sub.selected.push_back(iv);
+                subck.push_back(ctx.ckpts[ctx.by_start.at(iv.start)]);
+            }
+            std::vector<SweepJob> jobs = sample::buildJobs(
+                cell.config, sub, subck, cells[i].label);
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                slot.emplace_back(i, sub.selected[j].start);
+                flat.push_back(std::move(jobs[j]));
+            }
+            cs.used = want;
+        }
+        if (first_round && sargs.compare_full) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                SweepJob full = (*grid)[i];
+                full.label += "/full";
+                slot.emplace_back(i, full_marker);
+                flat.push_back(std::move(full));
+            }
+        }
+        if (flat.empty())
+            break;
+
+        const SweepOutput swept = runJobs(args, flat);
+        out.jobs_used = std::max(out.jobs_used, swept.jobs_used);
+        mergeTelemetry(out.telemetry, swept.telemetry);
+        for (std::size_t k = 0; k < swept.results.size(); ++k) {
+            const std::size_t ci = slot[k].first;
+            const SweepResult &r = swept.results[k];
+            if (slot[k].second == full_marker) {
+                if (r.ok)
+                    out.cells[ci].full_ipc = r.ipc();
+                else
+                    out.cells[ci].full_failed = true;
+                continue;
+            }
+            st[ci].results[slot[k].second] = r;
+            out.cells[ci].wall_ms += r.wall_ms;
+        }
+
+        // Re-estimate each active cell and let the CI decide.
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            CellState &cs = st[i];
+            if (cs.done || cs.next == 0)
+                continue;
+            const AdaptiveWorkload &ctx =
+                wctx[(*grid)[i].config.workload];
+            ++cs.batches;
+            const sample::SamplingPlan plan_used =
+                sample::planFromOrder(ctx.sigs, sargs.cfg, ctx.order,
+                                      cs.used);
+            std::vector<SweepResult> aligned;
+            aligned.reserve(plan_used.selected.size());
+            for (const sample::IntervalInfo &iv : plan_used.selected)
+                aligned.push_back(cs.results.at(iv.start));
+            sample::SampledEstimate est =
+                sample::estimate(plan_used, aligned);
+            est.batches = cs.batches;
+            const sample::AdaptiveDecision d = sample::adaptiveNext(
+                est.cpi_ci, sargs.cfg.target_rel_err, cs.used,
+                ctx.budget, ctx.sigs.size());
+            if (d.converged) {
+                cs.done = true;
+                cs.converged = true;
+            } else if (d.next_batch == 0) {
+                cs.done = true; // budget exhausted, target unmet
+            } else {
+                cs.next = d.next_batch;
+            }
+            est.ci_converged = cs.converged;
+            out.cells[i].est = std::move(est);
+        }
+        first_round = false;
+    }
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SampledCell &cell = out.cells[i];
+        cell.label = cells[i].label;
+        cell.workload = cells[i].config.workload;
+        cell.port_spec = cells[i].config.port_spec;
+        if (!cell.ok())
+            ++out.failed;
+    }
+
+    const auto end = std::chrono::steady_clock::now();
+    out.total_wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return out;
+}
+
 /**
  * Run the driver's full-mode grid (@p cells, one SweepJob per table
  * cell) in sampled mode. Plans and checkpoints are built once per
@@ -120,6 +415,9 @@ inline SampledOutput
 runSampledCells(const BenchArgs &args, const SampleArgs &sargs,
                 const std::vector<SweepJob> &cells)
 {
+    if (sargs.cfg.mode == sample::SampleMode::Adaptive)
+        return runAdaptiveCells(args, sargs, cells);
+
     const auto start = std::chrono::steady_clock::now();
     SampledOutput out;
     out.cells.resize(cells.size());
@@ -238,11 +536,13 @@ toSweepOutput(const SampledOutput &sout)
 }
 
 /**
- * Emit the sampled grid as one schema-v4 JSON object: the usual
+ * Emit the sampled grid as one schema-v6 JSON object: the usual
  * header (including "resources") plus "sampled": true and, per run,
  * a "sampling" block with the plan, coverage, per-interval
- * measurements and (compare_full=1) the full-run IPC and relative
- * error.
+ * measurements, the confidence interval (systematic/adaptive modes;
+ * ci_valid says whether the claim is honest), the renormalization
+ * record (renormalized/dropped_intervals) and (compare_full=1) the
+ * full-run IPC and relative error.
  */
 inline void
 printJsonSampledResults(std::ostream &os, const std::string &driver,
@@ -265,6 +565,8 @@ printJsonSampledResults(std::ostream &os, const std::string &driver,
     os << ", \"runs\": [";
     for (std::size_t i = 0; i < out.cells.size(); ++i) {
         const SampledCell &cell = out.cells[i];
+        const sample::SamplingPlan &plan =
+            out.plans.at(cell.workload);
         if (i)
             os << ", ";
         os << "{\"label\": \"" << jsonEscape(cell.label) << "\""
@@ -279,12 +581,28 @@ printJsonSampledResults(std::ostream &os, const std::string &driver,
                << "\"";
         os << ", \"ipc\": " << cell.est.ipc
            << ", \"wall_ms\": " << cell.wall_ms
-           << ", \"sampling\": {\"intervals\": "
-           << cell.est.runs.size()
+           << ", \"sampling\": {\"mode\": \""
+           << sampleModeName(sargs.cfg.mode) << "\""
+           << ", \"intervals\": " << cell.est.runs.size()
            << ", \"interval_len\": " << sargs.cfg.interval_insts
            << ", \"warmup\": " << sargs.cfg.warmup_insts
            << ", \"coverage\": " << cell.est.coverage
            << ", \"est_ipc\": " << cell.est.ipc
+           << ", \"population_intervals\": "
+           << plan.population_intervals
+           << ", \"intervals_used\": " << cell.est.intervals_used
+           << ", \"batches\": " << cell.est.batches
+           << ", \"confidence\": " << cell.est.confidence
+           << ", \"ci_low\": " << cell.est.ci_low
+           << ", \"ci_high\": " << cell.est.ci_high
+           << ", \"half_width\": " << cell.est.half_width
+           << ", \"rel_half_width\": " << cell.est.rel_half_width
+           << ", \"ci_valid\": " << (cell.est.ci_valid ? 1 : 0)
+           << ", \"ci_converged\": "
+           << (cell.est.ci_converged ? 1 : 0)
+           << ", \"renormalized\": "
+           << (cell.est.renormalized ? 1 : 0)
+           << ", \"dropped_intervals\": " << cell.est.dropped_intervals
            << ", \"interval_runs\": [";
         for (std::size_t k = 0; k < cell.est.runs.size(); ++k) {
             const sample::SampledRun &run = cell.est.runs[k];
@@ -305,16 +623,30 @@ printJsonSampledResults(std::ostream &os, const std::string &driver,
     os << "]}\n";
 }
 
+/** Shortest round-trippable spelling of a double for ledger extras. */
+inline std::string
+formatLedgerDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
 /**
  * Append one sampled=true ledger record per cell. Interval counts
  * are estimates, not simulation totals, so instructions / cycles /
  * insts_per_sec are left zero; ipc carries the sampled estimate.
+ * Systematic/adaptive cells carry their CI through the extra map
+ * (ci_rel_half_width, ci_half_width, ci_intervals, ci_batches,
+ * ci_valid, ci_converged), which perf_report surfaces as trend
+ * columns.
  */
 inline void
 appendSampledLedgerEntries(const std::string &driver,
                            const BenchArgs &args,
                            const std::vector<SweepJob> &cells,
-                           const SampledOutput &out)
+                           const SampledOutput &out,
+                           const SampleArgs &sargs)
 {
     const std::string path = observe::resolveLedgerPath(args.ledger);
     if (path.empty())
@@ -339,6 +671,20 @@ appendSampledLedgerEntries(const std::string &driver,
         e.ipc = cell.est.ipc;
         e.wall_ms = cell.wall_ms;
         e.sampled = true;
+        e.extra["sample_mode"] = sampleModeName(sargs.cfg.mode);
+        if (sargs.cfg.mode != sample::SampleMode::KMeans) {
+            e.extra["ci_rel_half_width"] =
+                formatLedgerDouble(cell.est.rel_half_width);
+            e.extra["ci_half_width"] =
+                formatLedgerDouble(cell.est.half_width);
+            e.extra["ci_intervals"] =
+                std::to_string(cell.est.intervals_used);
+            e.extra["ci_batches"] =
+                std::to_string(cell.est.batches);
+            e.extra["ci_valid"] = cell.est.ci_valid ? "1" : "0";
+            e.extra["ci_converged"] =
+                cell.est.ci_converged ? "1" : "0";
+        }
         entries.push_back(std::move(e));
     }
     try {
@@ -357,7 +703,7 @@ emitSampledJsonIfRequested(const std::string &driver,
                            const SampledOutput &out,
                            const SampleArgs &sargs)
 {
-    appendSampledLedgerEntries(driver, args, cells, out);
+    appendSampledLedgerEntries(driver, args, cells, out, sargs);
     if (!args.json)
         return false;
     printJsonSampledResults(std::cout, driver, args, cells, out,

@@ -58,7 +58,7 @@
  * JSON schema (one object on stdout):
  * @code
  * {
- *   "schema_version": 5,             // bumped on breaking changes
+ *   "schema_version": 6,             // bumped on breaking changes
  *   "driver": "table3_ipc",          // harness name
  *   "git_sha": "52508a4b1c2d",       // tree that built the binary
  *   "config_hash": "9a1f0c...",      // FNV-1a over the sweep config
@@ -164,8 +164,12 @@ namespace lbic
 namespace bench
 {
 
-/** Version of the JSON schema below; bump on breaking changes. */
-constexpr unsigned json_schema_version = 5;
+/** Version of the JSON schema below; bump on breaking changes.
+ *  v6: sampled "sampling" blocks carry the confidence interval
+ *  (mode/ci_low/ci_high/half_width/rel_half_width/confidence/
+ *  intervals_used/batches/ci_valid/ci_converged) and the failure
+ *  renormalization record (renormalized/dropped_intervals). */
+constexpr unsigned json_schema_version = 6;
 
 /** The common driver arguments, parsed once. */
 struct BenchArgs

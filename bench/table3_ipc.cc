@@ -7,8 +7,10 @@
  *
  * Usage: table3_ipc [insts=N] [seed=S] [jobs=J] [--json]
  *                   [store=DIR] [workers=N] [timeout_ms=T]
- *                   [sampled=1 intervals=K interval_len=L warmup=W
- *                    compare_full=1]
+ *                   [sampled=1 sample_mode=kmeans|systematic|adaptive
+ *                    intervals=K interval_len=L warmup=W
+ *                    confidence=C target_rel_err=E pilot=P
+ *                    interval_budget=B min_rel_hw=F compare_full=1]
  *
  * `store=DIR workers=N` answers already-simulated cells from the
  * persistent result store and shards the remainder across N
@@ -19,8 +21,13 @@
  * simulation (bench_sample.hh): per kernel, one profiling pass picks K
  * representative intervals and one fast-forward pass captures shared
  * warmed checkpoints; every port organization then runs only the
- * short detailed windows. `compare_full=1` additionally runs every
- * cell in full and reports per-cell estimation error (JSON mode).
+ * short detailed windows. `sample_mode=systematic` replaces the
+ * k-means selection with SMARTS-style every-Nth sampling and attaches
+ * a confidence interval to every cell; `sample_mode=adaptive` keeps
+ * adding intervals per cell until the CI half-width falls below
+ * target_rel_err (or interval_budget is spent). `compare_full=1`
+ * additionally runs every cell in full and reports per-cell
+ * estimation error (JSON mode).
  */
 
 #include <iostream>

@@ -6,12 +6,17 @@
  * and the LBIC-versus-conventional cross-checks.
  *
  * Usage: table4_lbic [insts=N] [seed=S] [jobs=J] [--json]
- *                    [sampled=1 intervals=K interval_len=L warmup=W
- *                     compare_full=1]
+ *                    [sampled=1 sample_mode=kmeans|systematic|adaptive
+ *                     intervals=K interval_len=L warmup=W
+ *                     confidence=C target_rel_err=E pilot=P
+ *                     interval_budget=B min_rel_hw=F compare_full=1]
  *
  * `sampled=1` regenerates the table by checkpointed sampled
  * simulation (bench_sample.hh); the per-kernel checkpoints are shared
- * across all six LBIC configurations.
+ * across all six LBIC configurations. `sample_mode=systematic`
+ * attaches a CLT confidence interval per cell; `sample_mode=adaptive`
+ * grows each cell's sample until the CI half-width is below
+ * target_rel_err at the requested confidence (bench_sample.hh).
  */
 
 #include <iostream>

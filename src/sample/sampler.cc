@@ -22,6 +22,29 @@ warmupFor(const SamplingPlan &plan, std::uint64_t start)
     return std::min(plan.warmup_insts, start);
 }
 
+/** Dispatch interval selection on the configured mode. Adaptive
+ *  plans start from their pilot prefix of the sample order; the
+ *  driver's batch loop extends them with planFromOrder(). */
+SamplingPlan
+selectByMode(const std::vector<IntervalSignature> &sigs,
+             const SamplingConfig &cfg)
+{
+    switch (cfg.mode) {
+      case SampleMode::Systematic:
+        return selectSystematic(sigs, cfg);
+      case SampleMode::Adaptive: {
+        const std::vector<std::size_t> order =
+            sampleOrder(sigs.size(), cfg.phase_seed);
+        const std::size_t pilot =
+            std::max<unsigned>(cfg.pilot_intervals, 2);
+        return planFromOrder(sigs, cfg, order, pilot);
+      }
+      case SampleMode::KMeans:
+        break;
+    }
+    return selectIntervals(sigs, cfg);
+}
+
 } // anonymous namespace
 
 SamplingPlan
@@ -31,7 +54,7 @@ makePlan(const std::string &name, std::uint64_t seed,
     const std::unique_ptr<Workload> stream = makeWorkload(name, seed);
     const std::vector<IntervalSignature> sigs =
         profileStream(*stream, cfg);
-    return selectIntervals(sigs, cfg);
+    return selectByMode(sigs, cfg);
 }
 
 SamplingPlan
@@ -41,7 +64,7 @@ makePlan(const SimConfig &base, const SamplingConfig &cfg)
         makeConfiguredWorkload(base);
     const std::vector<IntervalSignature> sigs =
         profileStream(*stream, cfg);
-    return selectIntervals(sigs, cfg);
+    return selectByMode(sigs, cfg);
 }
 
 std::vector<Checkpoint>
@@ -196,6 +219,55 @@ estimate(const SamplingPlan &plan,
     // weight_ok is 1 and this is exactly 1 / sum(w * CPI).
     if (weight_ok > 0.0 && weighted_cpi > 0.0)
         est.ipc = weight_ok / weighted_cpi;
+
+    // Bookkeeping the CI math needs to stay honest: how many
+    // intervals actually contributed, and whether the weights above
+    // were silently renormalized over failures.
+    for (const SampledRun &run : est.runs) {
+        if (run.ok && run.result.measuredIpc() > 0.0)
+            ++est.intervals_used;
+        else
+            ++est.dropped_intervals;
+    }
+    est.renormalized = est.dropped_intervals > 0;
+
+    // Attach the confidence interval for probability-sampled plans.
+    // k-means cluster-mass weights are not a sampling design, so no
+    // CLT claim is made for them (all CI fields stay zero).
+    if (plan.mode == SampleMode::KMeans)
+        return est;
+
+    est.confidence = plan.confidence;
+    std::vector<WeightedSample> cpis;
+    cpis.reserve(est.runs.size());
+    for (const SampledRun &run : est.runs) {
+        if (!run.ok)
+            continue;
+        const double mipc = run.result.measuredIpc();
+        if (mipc <= 0.0)
+            continue;
+        cpis.push_back({1.0 / mipc, run.weight});
+    }
+    est.cpi_ci = weightedMeanCi(cpis, plan.confidence,
+                                plan.population_intervals,
+                                plan.min_rel_half_width);
+
+    // Map the CPI-space interval into IPC space by inversion. The
+    // arms are asymmetric; report the larger one as half_width so
+    // containment implies |ipc - full| <= half_width.
+    const double mean_cpi = est.cpi_ci.mean;
+    const double hw_cpi = est.cpi_ci.half_width;
+    if (est.cpi_ci.valid && mean_cpi > 0.0 && hw_cpi < mean_cpi) {
+        est.ci_low = 1.0 / (mean_cpi + hw_cpi);
+        est.ci_high = 1.0 / (mean_cpi - hw_cpi);
+        est.half_width =
+            std::max(est.ipc - est.ci_low, est.ci_high - est.ipc);
+        est.rel_half_width =
+            est.ipc > 0.0 ? est.half_width / est.ipc : 0.0;
+        // A renormalized estimate lost part of its design; refuse to
+        // attach the claimed coverage to it (satellite 1).
+        est.ci_valid = !est.renormalized;
+    }
     return est;
 }
 

@@ -35,6 +35,7 @@
 
 #include "sample/checkpoint.hh"
 #include "sample/signature.hh"
+#include "sample/stats.hh"
 #include "sim/sweep.hh"
 
 namespace lbic
@@ -61,6 +62,50 @@ struct SampledEstimate
     std::vector<SampledRun> runs;
     bool ok = true;         //!< false when any interval run failed
     std::string error;      //!< first failure, when !ok
+
+    /** @{ @name Statistics block (Systematic/Adaptive plans)
+     *
+     * The CI is computed in CPI space (where weights combine
+     * linearly) and mapped into IPC space by inversion, so
+     * ci_low <= ipc <= ci_high and half_width is the larger of the
+     * two asymmetric arms: containment of the full-run IPC in
+     * [ci_low, ci_high] implies |ipc - full| <= half_width.
+     * All zero for k-means plans, whose cluster-mass weights are not
+     * a probability sampling design the CLT covers.
+     */
+
+    /** The underlying CPI-space interval (adaptive loop input). */
+    CiEstimate cpi_ci;
+
+    double ci_low = 0.0;     //!< IPC lower confidence bound
+    double ci_high = 0.0;    //!< IPC upper confidence bound
+    double half_width = 0.0; //!< max(ipc - ci_low, ci_high - ipc)
+    double rel_half_width = 0.0; //!< half_width / ipc
+    double confidence = 0.0; //!< nominal coverage claimed
+
+    /** Intervals whose measurements fed the estimate. */
+    unsigned intervals_used = 0;
+
+    /** Adaptive rounds consumed (1 for single-shot plans). */
+    unsigned batches = 1;
+
+    /**
+     * True when the CI is an honest claim: a Systematic/Adaptive
+     * plan, >= 2 surviving intervals, no weight renormalization over
+     * failures (a lost interval is not part of the sampling design,
+     * so the claimed coverage would be a lie), and a finite interval
+     * (half_width < mean CPI).
+     */
+    bool ci_valid = false;
+
+    /** Adaptive target met (single-shot plans report true). */
+    bool ci_converged = true;
+
+    /** Weights were renormalized over failed intervals. */
+    bool renormalized = false;
+
+    /** Intervals dropped from the aggregation (failed or empty). */
+    unsigned dropped_intervals = 0;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include "cacheport/bank_select.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace lbic
 {
@@ -112,9 +113,13 @@ profileStream(Workload &stream, const SamplingConfig &cfg)
     return sigs;
 }
 
+namespace
+{
+
+/** The shared plan header every selection strategy fills first. */
 SamplingPlan
-selectIntervals(const std::vector<IntervalSignature> &sigs,
-                const SamplingConfig &cfg)
+planHeader(const std::vector<IntervalSignature> &sigs,
+           const SamplingConfig &cfg, SampleMode mode)
 {
     SamplingPlan plan;
     plan.total_insts = 0;
@@ -122,6 +127,45 @@ selectIntervals(const std::vector<IntervalSignature> &sigs,
         plan.total_insts += s.length;
     plan.interval_insts = cfg.interval_insts;
     plan.warmup_insts = cfg.warmup_insts;
+    plan.mode = mode;
+    plan.population_intervals = sigs.size();
+    plan.confidence = cfg.confidence;
+    plan.min_rel_half_width = cfg.min_rel_half_width;
+    return plan;
+}
+
+/**
+ * Fill @p plan with the intervals at @p picks (indices into @p sigs,
+ * unsorted ok), weights proportional to interval length over the
+ * selection, output sorted by start.
+ */
+void
+selectByIndex(SamplingPlan &plan,
+              const std::vector<IntervalSignature> &sigs,
+              std::vector<std::size_t> picks)
+{
+    std::sort(picks.begin(), picks.end());
+    std::uint64_t mass = 0;
+    for (const std::size_t i : picks)
+        mass += sigs[i].length;
+    for (const std::size_t i : picks) {
+        IntervalInfo info;
+        info.start = sigs[i].start;
+        info.length = sigs[i].length;
+        info.weight = mass ? static_cast<double>(sigs[i].length)
+                                 / static_cast<double>(mass)
+                           : 0.0;
+        plan.selected.push_back(info);
+    }
+}
+
+} // anonymous namespace
+
+SamplingPlan
+selectIntervals(const std::vector<IntervalSignature> &sigs,
+                const SamplingConfig &cfg)
+{
+    SamplingPlan plan = planHeader(sigs, cfg, SampleMode::KMeans);
     if (sigs.empty())
         return plan;
 
@@ -207,6 +251,92 @@ selectIntervals(const std::vector<IntervalSignature> &sigs,
               [](const IntervalInfo &a, const IntervalInfo &b) {
                   return a.start < b.start;
               });
+    return plan;
+}
+
+SamplingPlan
+selectSystematic(const std::vector<IntervalSignature> &sigs,
+                 const SamplingConfig &cfg)
+{
+    SamplingPlan plan = planHeader(sigs, cfg, SampleMode::Systematic);
+    if (sigs.empty())
+        return plan;
+
+    const std::size_t n = sigs.size();
+    const std::size_t k = std::min<std::size_t>(
+        std::max<unsigned>(cfg.max_intervals, 1), n);
+
+    // Fixed-point stride through the population with a random phase:
+    // pick index floor((j + phase) * n / k) mod n for j in [0, k).
+    // The phase is a real in [0, 1) drawn from the run seed, so the
+    // same (stream, seed) always selects the same intervals and a
+    // different seed shifts the whole comb.
+    Random rng(cfg.phase_seed ^ 0x5a4d5254u /* "SMRT" */);
+    const double phase = rng.real();
+    std::vector<std::size_t> picks;
+    picks.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+        const double pos = (static_cast<double>(j) + phase)
+                           * static_cast<double>(n)
+                           / static_cast<double>(k);
+        picks.push_back(static_cast<std::size_t>(pos) % n);
+    }
+    // Distinct strides can collide only when k == n rounds twice
+    // into one slot; dedupe defensively.
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()),
+                picks.end());
+
+    selectByIndex(plan, sigs, std::move(picks));
+    return plan;
+}
+
+std::vector<std::size_t>
+sampleOrder(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    if (n == 0)
+        return order;
+
+    std::size_t bits = 0;
+    while ((std::size_t(1) << bits) < n)
+        ++bits;
+    const std::size_t span = std::size_t(1) << bits;
+
+    Random rng(seed ^ 0x41444150u /* "ADAP" */);
+    const std::size_t phase = rng.below(n);
+
+    // Bit-reversal over the enclosing power of two visits 0, span/2,
+    // span/4, 3·span/4, ... -- every prefix is a near-uniform comb.
+    // Indices beyond n are skipped; the phase rotates the comb so
+    // different seeds start from different intervals.
+    for (std::size_t i = 0; i < span; ++i) {
+        std::size_t rev = 0;
+        for (std::size_t b = 0; b < bits; ++b) {
+            if (i & (std::size_t(1) << b))
+                rev |= std::size_t(1) << (bits - 1 - b);
+        }
+        if (rev < n)
+            order.push_back((rev + phase) % n);
+    }
+    return order;
+}
+
+SamplingPlan
+planFromOrder(const std::vector<IntervalSignature> &sigs,
+              const SamplingConfig &cfg,
+              const std::vector<std::size_t> &order,
+              std::size_t count)
+{
+    SamplingPlan plan = planHeader(sigs, cfg, SampleMode::Adaptive);
+    count = std::min(count, order.size());
+    selectByIndex(plan, sigs,
+                  std::vector<std::size_t>(order.begin(),
+                                           order.begin()
+                                               + static_cast<
+                                                   std::ptrdiff_t>(
+                                                   count)));
     return plan;
 }
 

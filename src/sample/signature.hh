@@ -30,9 +30,35 @@ namespace lbic
 namespace sample
 {
 
+/** How representative intervals are chosen. */
+enum class SampleMode
+{
+    /** Fixed-K k-means clustering of interval signatures (PR 5). */
+    KMeans,
+
+    /**
+     * SMARTS-style systematic sampling: every (N/K)-th interval with
+     * a random phase derived from the run seed. Equal-length
+     * intervals get equal weights, so the CLT confidence interval on
+     * the weighted CPI mean is the classical one.
+     */
+    Systematic,
+
+    /**
+     * Run-until-CI<=ε: start from a systematic pilot, grow the
+     * sample in batches (stats.hh adaptiveNext) until the Student-t
+     * half-width on the weighted CPI mean falls below
+     * target_rel_err or the interval budget is exhausted.
+     */
+    Adaptive,
+};
+
 /** Knobs of the sampled-simulation pipeline. */
 struct SamplingConfig
 {
+    /** Interval-selection strategy. */
+    SampleMode mode = SampleMode::KMeans;
+
     /** Instructions of the full run being estimated. */
     std::uint64_t total_insts = 1000000;
 
@@ -58,6 +84,42 @@ struct SamplingConfig
 
     /** Line size assumed by the locality features. */
     std::uint32_t line_bytes = 32;
+
+    /** @{ @name Statistics knobs (Systematic and Adaptive modes) */
+
+    /** Nominal two-sided CI coverage of the reported interval. */
+    double confidence = 0.95;
+
+    /** Adaptive convergence target on the relative CI half-width. */
+    double target_rel_err = 0.01;
+
+    /** Adaptive pilot batch (intervals before the first CI). */
+    unsigned pilot_intervals = 4;
+
+    /**
+     * Adaptive cap on intervals per cell; 0 means every interval of
+     * the run may be sampled. Exhausting the cap before the target
+     * is met terminates with ci_converged = 0, never loops.
+     */
+    unsigned interval_budget = 0;
+
+    /**
+     * Floor on the claimed relative half-width: the non-sampling
+     * error allowance (warmup-boundary bias; DESIGN §16). Applied in
+     * Systematic/Adaptive CI math so a census sample cannot claim a
+     * zero-width interval. 0 disables (pure CLT claim).
+     */
+    double min_rel_half_width = 0.005;
+
+    /**
+     * Seed of the systematic random phase (and of the adaptive
+     * sample order). Drivers pass the run seed so the plan is a
+     * deterministic function of (stream, config), like everything
+     * else in this pipeline.
+     */
+    std::uint64_t phase_seed = 1;
+
+    /** @} */
 };
 
 /** One profiled interval's feature vector. */
@@ -82,6 +144,19 @@ struct SamplingPlan
     std::uint64_t total_insts = 0;
     std::uint64_t interval_insts = 0;
     std::uint64_t warmup_insts = 0;
+
+    /** The strategy that produced this plan. */
+    SampleMode mode = SampleMode::KMeans;
+
+    /** Total intervals in the profiled run (the population N the
+     *  finite-population correction divides by). */
+    std::uint64_t population_intervals = 0;
+
+    /** Nominal coverage of the CI estimate() attaches. */
+    double confidence = 0.95;
+
+    /** Non-sampling floor on the claimed relative half-width. */
+    double min_rel_half_width = 0.0;
 
     /** Representative intervals, sorted by start; weights sum to 1. */
     std::vector<IntervalInfo> selected;
@@ -116,6 +191,41 @@ profileStream(Workload &stream, const SamplingConfig &cfg);
  */
 SamplingPlan selectIntervals(const std::vector<IntervalSignature> &sigs,
                              const SamplingConfig &cfg);
+
+/**
+ * SMARTS-style systematic selection: cfg.max_intervals intervals at
+ * a fixed stride through the run, phase drawn deterministically from
+ * cfg.phase_seed. Weights are proportional to interval length over
+ * the selected set (equal for equal-length intervals), so
+ * estimate()'s weighted-CPI aggregation is the classical systematic
+ * estimator and its CI the classical CLT one.
+ */
+SamplingPlan
+selectSystematic(const std::vector<IntervalSignature> &sigs,
+                 const SamplingConfig &cfg);
+
+/**
+ * The adaptive sample order: a permutation of [0, n) in which every
+ * prefix is spread as evenly as a systematic sample -- bit-reversed
+ * index order over the enclosing power of two, rotated by a phase
+ * drawn from @p seed. The adaptive loop consumes prefixes of this
+ * order, so "add a batch" refines the existing coverage instead of
+ * clustering new intervals at one end of the run.
+ */
+std::vector<std::size_t> sampleOrder(std::size_t n,
+                                     std::uint64_t seed);
+
+/**
+ * Build the plan for the first @p count entries of @p order over
+ * @p sigs: selection sorted by start, weights proportional to
+ * interval length over the selected set. This is both the adaptive
+ * loop's per-batch plan constructor and (with count = budget) the
+ * checkpoint-capture plan.
+ */
+SamplingPlan planFromOrder(const std::vector<IntervalSignature> &sigs,
+                           const SamplingConfig &cfg,
+                           const std::vector<std::size_t> &order,
+                           std::size_t count);
 
 } // namespace sample
 } // namespace lbic

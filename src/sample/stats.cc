@@ -1,0 +1,234 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lbic
+{
+namespace sample
+{
+
+namespace
+{
+
+/**
+ * Continued-fraction kernel of the regularized incomplete beta
+ * function (modified Lentz), valid for x < (a+1)/(a+b+2); the
+ * symmetry relation in regularizedIncompleteBeta() covers the rest.
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr double tiny = 1e-300;
+    constexpr double eps = 1e-14;
+
+    double c = 1.0;
+    double d = 1.0 - (a + b) * x / (a + 1.0);
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= 300; ++m) {
+        const double m2 = 2.0 * m;
+        // Even step.
+        double aa = m * (b - m) * x / ((a + m2 - 1.0) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        aa = -(a + m) * (a + b + m) * x
+             / ((a + m2) * (a + m2 + 1.0));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+/** CDF of the Student-t distribution with @p dof degrees of freedom. */
+double
+tCdf(double t, double dof)
+{
+    if (t == 0.0)
+        return 0.5;
+    const double x = dof / (dof + t * t);
+    const double p =
+        0.5 * regularizedIncompleteBeta(dof / 2.0, 0.5, x);
+    return t > 0.0 ? 1.0 - p : p;
+}
+
+} // anonymous namespace
+
+double
+regularizedIncompleteBeta(double a, double b, double x)
+{
+    lbic_assert(a > 0.0 && b > 0.0, "incomplete beta needs a, b > 0");
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a)
+                            - std::lgamma(b) + a * std::log(x)
+                            + b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+tCritical(double confidence, double dof)
+{
+    lbic_assert(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0, 1)");
+    lbic_assert(dof > 0.0, "t distribution needs dof > 0");
+    const double target = 0.5 + confidence / 2.0; // upper-tail CDF
+
+    // Bracket the quantile, then bisect. tCdf is monotone in t, so
+    // plain bisection is robust for every (confidence, dof) the
+    // sampler can produce -- including dof = 1, whose tails are so
+    // heavy the bracket has to grow geometrically first.
+    double lo = 0.0, hi = 2.0;
+    while (tCdf(hi, dof) < target) {
+        hi *= 2.0;
+        if (hi > 1e18)
+            break; // confidence pathologically close to 1
+    }
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (tCdf(mid, dof) < target)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * std::max(1.0, hi))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+CiEstimate
+weightedMeanCi(const std::vector<WeightedSample> &samples,
+               double confidence, std::uint64_t population,
+               double min_rel_half_width)
+{
+    CiEstimate ci;
+    ci.confidence = confidence;
+
+    double wsum = 0.0, wsq = 0.0, mean = 0.0;
+    for (const WeightedSample &s : samples) {
+        if (s.weight <= 0.0)
+            continue;
+        ++ci.samples;
+        wsum += s.weight;
+        wsq += s.weight * s.weight;
+        mean += s.weight * s.value;
+    }
+    if (ci.samples == 0 || wsum <= 0.0)
+        return ci;
+    mean /= wsum;
+    ci.mean = mean;
+    if (ci.samples < 2)
+        return ci; // a single observation carries no variance
+
+    // Unbiased ("reliability"-weighted) sample variance: reduces to
+    // Σ(x-x̄)²/(n-1) for equal weights.
+    double ss = 0.0;
+    for (const WeightedSample &s : samples) {
+        if (s.weight <= 0.0)
+            continue;
+        const double d = s.value - mean;
+        ss += s.weight * d * d;
+    }
+    const double denom = wsum - wsq / wsum;
+    ci.variance = denom > 0.0 ? ss / denom : 0.0;
+    ci.n_eff = wsum * wsum / wsq;
+    ci.dof = ci.n_eff - 1.0;
+    if (ci.dof <= 0.0)
+        return ci;
+
+    // Standard error of the weighted mean with finite-population
+    // correction: sampling n_eff of N intervals without replacement
+    // leaves only (1 - n/N) of the infinite-population variance.
+    double fpc = 1.0;
+    if (population > 0) {
+        fpc = 1.0 - ci.n_eff / static_cast<double>(population);
+        fpc = std::max(fpc, 0.0);
+    }
+    ci.fpc = fpc;
+    ci.std_error = std::sqrt(ci.variance / ci.n_eff * fpc);
+    ci.t_critical = tCritical(confidence, ci.dof);
+    ci.half_width = ci.t_critical * ci.std_error;
+
+    // Non-sampling error floor: even a census (n = N, fpc = 0) has
+    // warmup-boundary bias the CLT cannot see; never claim below it.
+    if (min_rel_half_width > 0.0 && mean > 0.0)
+        ci.half_width =
+            std::max(ci.half_width, min_rel_half_width * mean);
+    ci.valid = true;
+    return ci;
+}
+
+AdaptiveDecision
+adaptiveNext(const CiEstimate &ci, double target_rel_err,
+             unsigned used, unsigned budget, std::uint64_t population)
+{
+    AdaptiveDecision d;
+    const unsigned remaining = budget > used ? budget - used : 0;
+    if (ci.valid && ci.relHalfWidth() <= target_rel_err) {
+        d.converged = true;
+        return d;
+    }
+    if (remaining == 0)
+        return d; // budget spent, target unmet: not converged
+
+    // Pilot too small for a variance estimate: grow geometrically.
+    if (!ci.valid || ci.mean <= 0.0 || ci.half_width <= 0.0) {
+        d.next_batch = std::min(remaining, std::max(used, 1u));
+        return d;
+    }
+
+    // Invert the FPC'd CLT model for the n that meets the target:
+    //   hw(n)² ∝ (1/n - 1/N) * s²  =>
+    //   1/n_req - 1/N = (1/n - 1/N) * (target/hw_rel)²
+    const double hw_rel = ci.relHalfWidth();
+    const double ratio = target_rel_err / hw_rel;
+    const double inv_pop =
+        population > 0 ? 1.0 / static_cast<double>(population) : 0.0;
+    const double inv_n = 1.0 / static_cast<double>(used);
+    const double inv_req =
+        (inv_n - inv_pop) * ratio * ratio + inv_pop;
+    double n_req = inv_req > 0.0
+                       ? 1.0 / inv_req
+                       : static_cast<double>(budget);
+    n_req = std::min(n_req, static_cast<double>(budget));
+    unsigned add = n_req > static_cast<double>(used)
+                       ? static_cast<unsigned>(
+                             std::ceil(n_req)
+                             - static_cast<double>(used))
+                       : 1u;
+    // Trust the noisy variance estimate only so far: at most double
+    // per round, so one wild pilot cannot burn the whole budget.
+    add = std::max(add, 1u);
+    add = std::min(add, std::max(used, 1u));
+    add = std::min(add, remaining);
+    d.next_batch = add;
+    return d;
+}
+
+} // namespace sample
+} // namespace lbic

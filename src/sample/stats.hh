@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The statistics layer under sampled simulation: confidence intervals
+ * on weighted per-interval CPI means, and the adaptive run-until-CI<=ε
+ * batch controller.
+ *
+ * The estimator pipeline (sampler.hh) reduces a sampled run to a
+ * weighted mean of per-interval CPI observations. This file turns
+ * that point estimate into a falsifiable claim:
+ *
+ *   - weightedMeanCi() computes the weighted mean, the unbiased
+ *     weighted sample variance, the finite-population-corrected
+ *     standard error (the run has only N intervals; sampling n of
+ *     them shrinks the error by sqrt(1 - n/N)), and the Student-t
+ *     half-width at the requested confidence. The effective sample
+ *     size n_eff = (Σw)²/Σw² replaces n for unequal weights, so
+ *     equal-weight systematic samples reduce exactly to the
+ *     classical CLT formula.
+ *
+ *   - tCritical() is the two-sided Student-t critical value,
+ *     computed from the regularized incomplete beta function and
+ *     inverted by bisection: deterministic, no tables, accurate to
+ *     ~1e-10 over every dof the sampler can produce (fractional dof
+ *     from n_eff included).
+ *
+ *   - adaptiveNext() is the pure decision function of the adaptive
+ *     sampling loop: given the current CI and the target relative
+ *     error, either declare convergence or size the next batch of
+ *     intervals (inverting the FPC'd variance formula, growth capped
+ *     at 2x per round so a noisy pilot variance cannot overshoot the
+ *     budget in one step).
+ *
+ * Honesty notes. The CLT half-width covers *sampling* error only.
+ * Two deliberate guards keep the reported interval honest:
+ * `min_rel_half_width` floors the claim at the non-sampling error
+ * budget (detailed-warmup boundary bias -- see DESIGN §16), so a
+ * sample that happens to cover every interval (FPC -> 0) cannot claim
+ * perfection it does not have; and callers must refuse to attach a
+ * confidence to an estimate whose weights were renormalized over
+ * failed intervals (SampledEstimate::ci_valid), because the failure
+ * process is not part of the sampling design. Both claims are gated
+ * by the statistical test suite (tests/sample/test_stats.cc), which
+ * resamples a seeded synthetic population and asserts the realized
+ * coverage of 200 independent CIs matches the nominal rate.
+ */
+
+#ifndef LBIC_SAMPLE_STATS_HH
+#define LBIC_SAMPLE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lbic
+{
+namespace sample
+{
+
+/** One observation with its sampling weight (weights need not sum
+ *  to 1; only relative magnitudes matter). */
+struct WeightedSample
+{
+    double value = 0.0;
+    double weight = 0.0;
+};
+
+/** A weighted-mean confidence interval, in the sample's value space. */
+struct CiEstimate
+{
+    double mean = 0.0;       //!< weighted mean
+    double variance = 0.0;   //!< unbiased weighted sample variance
+    double std_error = 0.0;  //!< FPC-corrected standard error of mean
+    double fpc = 1.0;        //!< applied correction factor (1 - n/N)
+    double n_eff = 0.0;      //!< effective sample size (Σw)²/Σw²
+    double dof = 0.0;        //!< t degrees of freedom (n_eff - 1)
+    double t_critical = 0.0; //!< two-sided t value at @c confidence
+    double half_width = 0.0; //!< t * std_error, floored (value space)
+    double confidence = 0.0; //!< the nominal coverage claimed
+
+    /** Samples with positive weight that fed the estimate. */
+    unsigned samples = 0;
+
+    /**
+     * True when a CI could be formed at all: at least two positively
+     * weighted samples (one observation has no variance estimate).
+     * The mean is still filled when false.
+     */
+    bool valid = false;
+
+    /** half_width / mean; 0 when the mean is 0 or the CI invalid. */
+    double
+    relHalfWidth() const
+    {
+        return valid && mean > 0.0 ? half_width / mean : 0.0;
+    }
+};
+
+/**
+ * Two-sided Student-t critical value: the t with
+ * P(|T_dof| <= t) = @p confidence. @p dof may be fractional (the
+ * Welch-Satterthwaite-style effective dof of a weighted mean).
+ * Requires 0 < confidence < 1 and dof > 0.
+ */
+double tCritical(double confidence, double dof);
+
+/**
+ * Regularized incomplete beta function I_x(a, b), the workhorse under
+ * the t distribution. Exposed for the unit tests; standard Lentz
+ * continued-fraction evaluation, accurate to ~1e-12.
+ */
+double regularizedIncompleteBeta(double a, double b, double x);
+
+/**
+ * Confidence interval on the weighted mean of @p samples.
+ *
+ * @param samples observations with weights; entries with weight <= 0
+ *                are ignored (a dropped interval contributes nothing).
+ * @param confidence nominal two-sided coverage, e.g. 0.95.
+ * @param population total intervals N the samples were drawn from;
+ *                0 means an effectively infinite population (no FPC).
+ * @param min_rel_half_width floor on half_width/mean: the
+ *                non-sampling error allowance. 0 disables (pure CLT).
+ */
+CiEstimate weightedMeanCi(const std::vector<WeightedSample> &samples,
+                          double confidence,
+                          std::uint64_t population = 0,
+                          double min_rel_half_width = 0.0);
+
+/** What the adaptive loop should do next. */
+struct AdaptiveDecision
+{
+    /** The CI met the target (or could never improve: budget spent). */
+    bool converged = false;
+
+    /** Intervals to add next round; 0 iff converged or budget spent. */
+    unsigned next_batch = 0;
+};
+
+/**
+ * Decide the next step of a run-until-CI<=ε loop.
+ *
+ * @param ci current interval over the @p used sampled intervals.
+ * @param target_rel_err convergence threshold on ci.relHalfWidth().
+ * @param used intervals sampled so far.
+ * @param budget maximum intervals this cell may consume
+ *               (budget <= population).
+ * @param population total intervals in the run (for the FPC term of
+ *               the batch-size inversion); 0 = infinite.
+ *
+ * An invalid CI (pilot too small) always requests more. The returned
+ * batch solves hw(n) <= target for n under the FPC'd CLT model using
+ * the current variance estimate, clamped to [1, used] (at most
+ * doubling per round) and to the remaining budget.
+ */
+AdaptiveDecision adaptiveNext(const CiEstimate &ci,
+                              double target_rel_err, unsigned used,
+                              unsigned budget,
+                              std::uint64_t population);
+
+} // namespace sample
+} // namespace lbic
+
+#endif // LBIC_SAMPLE_STATS_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests of the systematic and adaptive plan modes: the sample order
+ * is a low-discrepancy permutation whose prefixes stay spread out,
+ * systematic plans have the classical equal-stride shape, and the
+ * end-to-end adaptive loop behaves like a statistician -- more
+ * intervals for high-variance workloads than low-variance ones,
+ * monotonically more work for tighter targets, and a hard stop (with
+ * ci_converged = 0, not a hang) when the interval budget runs out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sample/sampler.hh"
+#include "sample/stats.hh"
+#include "sim/sweep.hh"
+#include "workload/registry.hh"
+
+namespace lbic
+{
+namespace sample
+{
+namespace
+{
+
+SamplingConfig
+statConfig()
+{
+    SamplingConfig cfg;
+    cfg.total_insts = 100000;
+    cfg.interval_insts = 10000;
+    cfg.max_intervals = 4;
+    cfg.warmup_insts = 2500;
+    cfg.mode = SampleMode::Adaptive;
+    cfg.confidence = 0.95;
+    cfg.target_rel_err = 0.01;
+    cfg.pilot_intervals = 3;
+    cfg.phase_seed = 1;
+    return cfg;
+}
+
+std::vector<IntervalSignature>
+profileKernel(const std::string &kernel, const SamplingConfig &cfg,
+              std::uint64_t seed = 1)
+{
+    const std::unique_ptr<Workload> stream =
+        makeWorkload(kernel, seed);
+    return profileStream(*stream, cfg);
+}
+
+/** The adaptive loop, exactly as bench_sample.hh runs it per cell. */
+struct AdaptiveRun
+{
+    SampledEstimate est;
+    unsigned used = 0;
+    unsigned batches = 0;
+};
+
+AdaptiveRun
+runAdaptive(const std::string &kernel, const std::string &org,
+            const SamplingConfig &cfg)
+{
+    SimConfig base;
+    base.workload = kernel;
+    base.port_spec = org;
+    base.max_insts = cfg.total_insts;
+
+    const std::vector<IntervalSignature> sigs =
+        profileKernel(kernel, cfg, base.seed);
+    const std::vector<std::size_t> order =
+        sampleOrder(sigs.size(), cfg.phase_seed);
+    const unsigned population =
+        static_cast<unsigned>(sigs.size());
+    const unsigned budget =
+        cfg.interval_budget
+            ? std::min(cfg.interval_budget, population)
+            : population;
+    const SamplingPlan super =
+        planFromOrder(sigs, cfg, order, budget);
+    const std::vector<Checkpoint> ckpts =
+        makeCheckpoints(base, super);
+    std::map<std::uint64_t, std::size_t> by_start;
+    for (std::size_t i = 0; i < super.selected.size(); ++i)
+        by_start[super.selected[i].start] = i;
+
+    std::map<std::uint64_t, SweepResult> results;
+    AdaptiveRun out;
+    unsigned next = std::min(
+        std::max<unsigned>(cfg.pilot_intervals, 2), budget);
+    while (next > 0) {
+        const unsigned want = std::min(out.used + next, budget);
+        const SamplingPlan plan_n =
+            planFromOrder(sigs, cfg, order, want);
+        SamplingPlan sub = super;
+        sub.selected.clear();
+        std::vector<Checkpoint> subck;
+        for (const IntervalInfo &iv : plan_n.selected) {
+            if (results.count(iv.start))
+                continue;
+            sub.selected.push_back(iv);
+            subck.push_back(ckpts[by_start.at(iv.start)]);
+        }
+        const std::vector<SweepResult> swept =
+            runSweep(buildJobs(base, sub, subck, kernel));
+        for (std::size_t i = 0; i < swept.size(); ++i)
+            results[sub.selected[i].start] = swept[i];
+        out.used = want;
+        ++out.batches;
+
+        std::vector<SweepResult> aligned;
+        for (const IntervalInfo &iv : plan_n.selected)
+            aligned.push_back(results.at(iv.start));
+        out.est = estimate(plan_n, aligned);
+        out.est.batches = out.batches;
+        const AdaptiveDecision d =
+            adaptiveNext(out.est.cpi_ci, cfg.target_rel_err,
+                         out.used, budget, sigs.size());
+        out.est.ci_converged = d.converged;
+        next = d.converged ? 0 : d.next_batch;
+    }
+    return out;
+}
+
+TEST(SampleOrderTest, IsAPermutationWithSpreadPrefixes)
+{
+    // Permutation of [0, n), any n.
+    for (const std::size_t n : {1u, 7u, 10u, 16u, 33u}) {
+        std::vector<std::size_t> order = sampleOrder(n, 9);
+        ASSERT_EQ(order.size(), n) << n;
+        std::sort(order.begin(), order.end());
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(order[i], i) << n;
+    }
+
+    // Power-of-two population: a prefix of length k (k a power of
+    // two) is exactly a stride-n/k systematic comb -- every circular
+    // gap equals n/k, the signature of bit-reversed ordering.
+    const std::size_t n = 16;
+    const std::vector<std::size_t> order = sampleOrder(n, 5);
+    for (const std::size_t k : {2u, 4u, 8u}) {
+        std::vector<std::size_t> prefix(order.begin(),
+                                        order.begin()
+                                            + static_cast<
+                                                std::ptrdiff_t>(k));
+        std::sort(prefix.begin(), prefix.end());
+        for (std::size_t i = 0; i + 1 < k; ++i)
+            EXPECT_EQ(prefix[i + 1] - prefix[i], n / k) << k;
+    }
+}
+
+TEST(SampleOrderTest, IsDeterministicInTheSeed)
+{
+    const std::vector<std::size_t> a = sampleOrder(12, 3);
+    const std::vector<std::size_t> b = sampleOrder(12, 3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SystematicPlanTest, HasTheClassicalShape)
+{
+    SamplingConfig cfg = statConfig();
+    cfg.mode = SampleMode::Systematic;
+    cfg.max_intervals = 5;
+    const std::vector<IntervalSignature> sigs =
+        profileKernel("compress", cfg);
+    ASSERT_EQ(sigs.size(), 10u);
+
+    const SamplingPlan plan = selectSystematic(sigs, cfg);
+    EXPECT_EQ(plan.mode, SampleMode::Systematic);
+    EXPECT_EQ(plan.population_intervals, 10u);
+    EXPECT_NEAR(plan.confidence, 0.95, 1e-12);
+    ASSERT_EQ(plan.selected.size(), 5u);
+
+    // Sorted by start, weights sum to 1, equal for equal lengths.
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < plan.selected.size(); ++i) {
+        wsum += plan.selected[i].weight;
+        if (i)
+            EXPECT_LT(plan.selected[i - 1].start,
+                      plan.selected[i].start);
+    }
+    EXPECT_NEAR(wsum, 1.0, 1e-12);
+
+    // Equal-length intervals at a fixed stride of population/K.
+    for (std::size_t i = 0; i + 1 < plan.selected.size(); ++i)
+        EXPECT_EQ(plan.selected[i + 1].start - plan.selected[i].start,
+                  2 * cfg.interval_insts);
+
+    // Deterministic in the phase seed.
+    const SamplingPlan again = selectSystematic(sigs, cfg);
+    ASSERT_EQ(again.selected.size(), plan.selected.size());
+    for (std::size_t i = 0; i < plan.selected.size(); ++i)
+        EXPECT_EQ(again.selected[i].start, plan.selected[i].start);
+}
+
+TEST(SystematicPlanTest, MakePlanDispatchesOnMode)
+{
+    SamplingConfig cfg = statConfig();
+    cfg.mode = SampleMode::Systematic;
+    const SamplingPlan sys = makePlan("swim", 1, cfg);
+    EXPECT_EQ(sys.mode, SampleMode::Systematic);
+
+    cfg.mode = SampleMode::KMeans;
+    const SamplingPlan km = makePlan("swim", 1, cfg);
+    EXPECT_EQ(km.mode, SampleMode::KMeans);
+    EXPECT_EQ(km.population_intervals, 10u);
+
+    cfg.mode = SampleMode::Adaptive;
+    const SamplingPlan ad = makePlan("swim", 1, cfg);
+    EXPECT_EQ(ad.mode, SampleMode::Adaptive);
+    // The adaptive entry plan is the pilot prefix.
+    EXPECT_EQ(ad.selected.size(),
+              std::max<std::size_t>(cfg.pilot_intervals, 2));
+}
+
+TEST(AdaptiveLoopTest, HighVarianceNeedsMoreIntervalsThanLow)
+{
+    const SamplingConfig cfg = statConfig();
+    // 'uniform' is a stationary synthetic stream (every interval
+    // looks alike); 'li' has strong phase behavior.
+    const AdaptiveRun low = runAdaptive("uniform", "bank:4", cfg);
+    const AdaptiveRun high = runAdaptive("li", "bank:4", cfg);
+
+    ASSERT_TRUE(low.est.ok);
+    ASSERT_TRUE(high.est.ok);
+    EXPECT_TRUE(low.est.ci_valid);
+    EXPECT_TRUE(high.est.ci_valid);
+    EXPECT_LT(low.used, high.used);
+    EXPECT_LE(low.batches, high.batches);
+}
+
+TEST(AdaptiveLoopTest, TighterTargetsUseMoreIntervals)
+{
+    SamplingConfig cfg = statConfig();
+    std::vector<unsigned> used;
+    for (const double target : {0.06, 0.02, 0.004}) {
+        cfg.target_rel_err = target;
+        const AdaptiveRun run = runAdaptive("li", "bank:4", cfg);
+        ASSERT_TRUE(run.est.ok) << target;
+        used.push_back(run.used);
+    }
+    EXPECT_LE(used[0], used[1]);
+    EXPECT_LE(used[1], used[2]);
+    EXPECT_LT(used[0], used[2]); // measurably, not just weakly
+}
+
+TEST(AdaptiveLoopTest, BudgetCapTerminatesWithoutConverging)
+{
+    SamplingConfig cfg = statConfig();
+    cfg.target_rel_err = 0.0005; // unreachable at this budget
+    cfg.interval_budget = 4;
+    const AdaptiveRun run = runAdaptive("gcc", "bank:4", cfg);
+    ASSERT_TRUE(run.est.ok);
+    EXPECT_EQ(run.used, 4u);
+    EXPECT_FALSE(run.est.ci_converged);
+    EXPECT_LE(run.batches, 4u); // terminated, never looped
+}
+
+TEST(AdaptiveLoopTest, IsDeterministic)
+{
+    const SamplingConfig cfg = statConfig();
+    const AdaptiveRun a = runAdaptive("compress", "lbic:4x2", cfg);
+    const AdaptiveRun b = runAdaptive("compress", "lbic:4x2", cfg);
+    EXPECT_EQ(a.used, b.used);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.est.ipc, b.est.ipc);
+    EXPECT_EQ(a.est.half_width, b.est.half_width);
+}
+
+} // anonymous namespace
+} // namespace sample
+} // namespace lbic

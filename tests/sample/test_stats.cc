@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests of the sampling statistics layer (sample/stats.hh):
+ * Student-t quantiles against table values, weighted mean / variance /
+ * FPC arithmetic against hand-computed fixtures, degenerate inputs,
+ * the adaptive batch controller, and -- the part that makes the CI an
+ * honest claim rather than a formula -- a seeded synthetic-population
+ * coverage experiment: resample one fixed population many times and
+ * check the realized fraction of CIs containing the true mean matches
+ * the nominal confidence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.hh"
+#include "sample/stats.hh"
+
+namespace lbic
+{
+namespace sample
+{
+namespace
+{
+
+TEST(TDistributionTest, CriticalValuesMatchTheTable)
+{
+    // Two-sided 95% column of any t table.
+    EXPECT_NEAR(tCritical(0.95, 1.0), 12.706, 2e-3);
+    EXPECT_NEAR(tCritical(0.95, 2.0), 4.303, 2e-3);
+    EXPECT_NEAR(tCritical(0.95, 3.0), 3.182, 2e-3);
+    EXPECT_NEAR(tCritical(0.95, 4.0), 2.776, 2e-3);
+    EXPECT_NEAR(tCritical(0.95, 10.0), 2.228, 2e-3);
+    EXPECT_NEAR(tCritical(0.95, 30.0), 2.042, 2e-3);
+    // Other confidence levels.
+    EXPECT_NEAR(tCritical(0.90, 10.0), 1.812, 2e-3);
+    EXPECT_NEAR(tCritical(0.99, 10.0), 3.169, 2e-3);
+    // Large dof converges on the normal quantile 1.960.
+    EXPECT_NEAR(tCritical(0.95, 1e6), 1.960, 2e-3);
+    // Fractional dof (weighted means produce them) interpolate
+    // monotonically between the integer rows.
+    const double t25 = tCritical(0.95, 2.5);
+    EXPECT_LT(t25, tCritical(0.95, 2.0));
+    EXPECT_GT(t25, tCritical(0.95, 3.0));
+}
+
+TEST(TDistributionTest, IncompleteBetaIdentities)
+{
+    // I_x(1, 1) = x.
+    for (const double x : {0.1, 0.25, 0.5, 0.9})
+        EXPECT_NEAR(regularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+    // Symmetry: I_x(a, b) + I_{1-x}(b, a) = 1.
+    EXPECT_NEAR(regularizedIncompleteBeta(2.0, 5.0, 0.3)
+                    + regularizedIncompleteBeta(5.0, 2.0, 0.7),
+                1.0, 1e-12);
+    // I_{1/2}(1/2, 1/2) = 1/2 (arcsine distribution median).
+    EXPECT_NEAR(regularizedIncompleteBeta(0.5, 0.5, 0.5), 0.5, 1e-10);
+    // Bounds.
+    EXPECT_EQ(regularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_EQ(regularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(WeightedMeanCiTest, EqualWeightsMatchHandComputation)
+{
+    // Samples {2, 4, 6, 8}: mean 5, unbiased variance 20/3,
+    // SE = sqrt((20/3)/4) = sqrt(5/3), t(0.95, 3) = 3.182.
+    const std::vector<WeightedSample> s = {
+        {2.0, 1.0}, {4.0, 1.0}, {6.0, 1.0}, {8.0, 1.0}};
+    const CiEstimate ci = weightedMeanCi(s, 0.95);
+    ASSERT_TRUE(ci.valid);
+    EXPECT_NEAR(ci.mean, 5.0, 1e-12);
+    EXPECT_NEAR(ci.variance, 20.0 / 3.0, 1e-12);
+    EXPECT_NEAR(ci.n_eff, 4.0, 1e-12);
+    EXPECT_NEAR(ci.dof, 3.0, 1e-12);
+    EXPECT_NEAR(ci.fpc, 1.0, 1e-12);
+    EXPECT_NEAR(ci.std_error, std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_NEAR(ci.t_critical, 3.182, 2e-3);
+    EXPECT_NEAR(ci.half_width, ci.t_critical * ci.std_error, 1e-12);
+    EXPECT_NEAR(ci.relHalfWidth(), ci.half_width / 5.0, 1e-12);
+}
+
+TEST(WeightedMeanCiTest, FinitePopulationCorrectionShrinksTheError)
+{
+    const std::vector<WeightedSample> s = {
+        {2.0, 1.0}, {4.0, 1.0}, {6.0, 1.0}, {8.0, 1.0}};
+    const CiEstimate inf = weightedMeanCi(s, 0.95);
+    // Sampling 4 of 16 intervals keeps (1 - 4/16) of the variance.
+    const CiEstimate fin = weightedMeanCi(s, 0.95, 16);
+    ASSERT_TRUE(fin.valid);
+    EXPECT_NEAR(fin.fpc, 0.75, 1e-12);
+    EXPECT_NEAR(fin.std_error, inf.std_error * std::sqrt(0.75),
+                1e-12);
+    // A census (n = N) claims zero sampling error.
+    const CiEstimate census = weightedMeanCi(s, 0.95, 4);
+    ASSERT_TRUE(census.valid);
+    EXPECT_NEAR(census.fpc, 0.0, 1e-12);
+    EXPECT_NEAR(census.half_width, 0.0, 1e-12);
+}
+
+TEST(WeightedMeanCiTest, UnequalWeightsReduceEffectiveSampleSize)
+{
+    // n_eff = (Σw)² / Σw² = 1 / 0.82 for weights {0.9, 0.1}.
+    const std::vector<WeightedSample> s = {{2.0, 0.9}, {4.0, 0.1}};
+    const CiEstimate ci = weightedMeanCi(s, 0.95);
+    EXPECT_NEAR(ci.mean, 2.2, 1e-12);
+    EXPECT_NEAR(ci.n_eff, 1.0 / 0.82, 1e-12);
+    // dof = n_eff - 1 < 1 but > 0: still a (very wide) valid CI.
+    ASSERT_TRUE(ci.valid);
+    EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(WeightedMeanCiTest, DegenerateInputs)
+{
+    // One sample: mean reported, no variance, no CI.
+    const CiEstimate one = weightedMeanCi({{3.0, 1.0}}, 0.95);
+    EXPECT_FALSE(one.valid);
+    EXPECT_NEAR(one.mean, 3.0, 1e-12);
+    EXPECT_EQ(one.samples, 1u);
+    EXPECT_EQ(one.relHalfWidth(), 0.0);
+
+    // Zero-variance stream: a zero-width CI (no floor requested).
+    const CiEstimate flat = weightedMeanCi(
+        {{2.0, 1.0}, {2.0, 1.0}, {2.0, 1.0}}, 0.95);
+    ASSERT_TRUE(flat.valid);
+    EXPECT_NEAR(flat.half_width, 0.0, 1e-12);
+
+    // All-failed batch (every weight zero): nothing to estimate.
+    const CiEstimate none =
+        weightedMeanCi({{2.0, 0.0}, {4.0, 0.0}}, 0.95);
+    EXPECT_FALSE(none.valid);
+    EXPECT_EQ(none.samples, 0u);
+
+    // Empty input.
+    EXPECT_FALSE(weightedMeanCi({}, 0.95).valid);
+}
+
+TEST(WeightedMeanCiTest, NonSamplingFloorBoundsTheClaim)
+{
+    // Zero variance with a 1% floor: the claim stops at 1% of the
+    // mean instead of pretending perfection.
+    const CiEstimate flat = weightedMeanCi(
+        {{2.0, 1.0}, {2.0, 1.0}, {2.0, 1.0}}, 0.95, 0, 0.01);
+    ASSERT_TRUE(flat.valid);
+    EXPECT_NEAR(flat.half_width, 0.02, 1e-12);
+
+    // A census cannot claim below the floor either.
+    const std::vector<WeightedSample> s = {
+        {2.0, 1.0}, {4.0, 1.0}, {6.0, 1.0}, {8.0, 1.0}};
+    const CiEstimate census = weightedMeanCi(s, 0.95, 4, 0.01);
+    ASSERT_TRUE(census.valid);
+    EXPECT_NEAR(census.half_width, 0.05, 1e-12);
+
+    // The floor never shrinks a genuine sampling-error interval.
+    const CiEstimate wide = weightedMeanCi(s, 0.95, 0, 0.01);
+    EXPECT_GT(wide.half_width, 0.05);
+}
+
+TEST(AdaptiveNextTest, ConvergesWhenTheTargetIsMet)
+{
+    CiEstimate ci;
+    ci.valid = true;
+    ci.mean = 1.0;
+    ci.half_width = 0.008;
+    const AdaptiveDecision d = adaptiveNext(ci, 0.01, 8, 20, 20);
+    EXPECT_TRUE(d.converged);
+    EXPECT_EQ(d.next_batch, 0u);
+}
+
+TEST(AdaptiveNextTest, BudgetExhaustionTerminatesUnconverged)
+{
+    CiEstimate ci;
+    ci.valid = true;
+    ci.mean = 1.0;
+    ci.half_width = 0.2; // far from target
+    const AdaptiveDecision d = adaptiveNext(ci, 0.01, 20, 20, 40);
+    EXPECT_FALSE(d.converged);
+    EXPECT_EQ(d.next_batch, 0u);
+}
+
+TEST(AdaptiveNextTest, InvalidPilotGrowsGeometrically)
+{
+    const CiEstimate ci; // invalid: no variance estimate yet
+    const AdaptiveDecision d = adaptiveNext(ci, 0.01, 4, 100, 100);
+    EXPECT_FALSE(d.converged);
+    EXPECT_EQ(d.next_batch, 4u); // double, clamped to remaining
+    EXPECT_EQ(adaptiveNext(ci, 0.01, 4, 6, 100).next_batch, 2u);
+}
+
+TEST(AdaptiveNextTest, BatchGrowthIsCappedAtDoubling)
+{
+    CiEstimate ci;
+    ci.valid = true;
+    ci.mean = 1.0;
+    ci.half_width = 0.5; // would ask for thousands of intervals
+    const AdaptiveDecision d =
+        adaptiveNext(ci, 0.01, 4, 1000000, 1000000);
+    EXPECT_FALSE(d.converged);
+    EXPECT_EQ(d.next_batch, 4u); // at most 2x per round
+}
+
+TEST(AdaptiveNextTest, CloserTargetsRequestSmallerBatches)
+{
+    CiEstimate ci;
+    ci.valid = true;
+    ci.mean = 1.0;
+    ci.half_width = 0.02; // 2x the target: needs ~4x the intervals
+    const AdaptiveDecision d =
+        adaptiveNext(ci, 0.01, 100, 100000, 0);
+    EXPECT_FALSE(d.converged);
+    // hw ∝ 1/sqrt(n) with no FPC: n_req = 400, add = 100 (2x cap).
+    EXPECT_EQ(d.next_batch, 100u);
+
+    ci.half_width = 0.012; // nearly there: small top-up
+    const AdaptiveDecision e =
+        adaptiveNext(ci, 0.01, 100, 100000, 0);
+    EXPECT_FALSE(e.converged);
+    EXPECT_GE(e.next_batch, 1u);
+    EXPECT_LE(e.next_batch, 46u); // n_req ~ 144
+}
+
+TEST(CoverageExperimentTest, RealizedCoverageMatchesTheClaim)
+{
+    // One fixed synthetic population of N interval "CPIs"; resample
+    // it many times without replacement and count how often the
+    // 95% CI contains the true mean. The floor is disabled: this is
+    // the pure CLT claim under the estimator's own assumptions, so
+    // realized coverage must track the nominal rate (binomial noise
+    // allows a few points; grossly dishonest intervals -- wrong t,
+    // wrong FPC, wrong variance -- land far outside the window).
+    constexpr std::size_t population_n = 200;
+    constexpr std::size_t sample_n = 20;
+    constexpr int trials = 200;
+
+    Random pop_rng(12345);
+    std::vector<double> population;
+    population.reserve(population_n);
+    for (std::size_t i = 0; i < population_n; ++i)
+        population.push_back(1.0 + pop_rng.real());
+    const double true_mean =
+        std::accumulate(population.begin(), population.end(), 0.0)
+        / static_cast<double>(population_n);
+
+    Random rng(67890);
+    int contained = 0;
+    for (int t = 0; t < trials; ++t) {
+        // Partial Fisher-Yates: a uniform sample w/o replacement.
+        std::vector<std::size_t> idx(population_n);
+        std::iota(idx.begin(), idx.end(), std::size_t{0});
+        std::vector<WeightedSample> sample;
+        sample.reserve(sample_n);
+        for (std::size_t k = 0; k < sample_n; ++k) {
+            const std::size_t j =
+                k + static_cast<std::size_t>(
+                        rng.below(population_n - k));
+            std::swap(idx[k], idx[j]);
+            sample.push_back({population[idx[k]], 1.0});
+        }
+        const CiEstimate ci =
+            weightedMeanCi(sample, 0.95, population_n);
+        ASSERT_TRUE(ci.valid);
+        if (std::abs(ci.mean - true_mean) <= ci.half_width)
+            ++contained;
+    }
+    const double coverage =
+        static_cast<double>(contained) / trials;
+    EXPECT_GE(coverage, 0.90);
+    EXPECT_LE(coverage, 1.0);
+}
+
+} // anonymous namespace
+} // namespace sample
+} // namespace lbic

@@ -123,7 +123,7 @@ TEST(BenchJsonTest, EmitsSchemaVersionAndProvenanceMetadata)
     const std::string json = os.str();
     expectBalancedJson(json);
 
-    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
     EXPECT_NE(json.find("\"sampled\": false"), std::string::npos);
     // Plain sweeps carry no coordinator/store block.
     EXPECT_EQ(json.find("\"store\": {"), std::string::npos);
@@ -237,11 +237,18 @@ TEST(BenchJsonTest, SampledJsonCarriesSamplingBlocks)
     const std::string json = os.str();
     expectBalancedJson(json);
     for (const char *key :
-         {"\"schema_version\": 5", "\"sampled\": true",
+         {"\"schema_version\": 6", "\"sampled\": true",
           "\"resources\": {",
-          "\"sampling\": {", "\"intervals\": ",
+          "\"sampling\": {", "\"mode\": \"kmeans\"",
+          "\"intervals\": ",
           "\"interval_len\": 5000", "\"warmup\": 1000",
-          "\"coverage\": ", "\"est_ipc\": ", "\"interval_runs\": [",
+          "\"coverage\": ", "\"est_ipc\": ",
+          "\"population_intervals\": ", "\"intervals_used\": ",
+          "\"batches\": ", "\"confidence\": ", "\"ci_low\": ",
+          "\"ci_high\": ", "\"half_width\": ",
+          "\"rel_half_width\": ", "\"ci_valid\": 0",
+          "\"ci_converged\": 1", "\"renormalized\": 0",
+          "\"dropped_intervals\": 0", "\"interval_runs\": [",
           "\"weight\": ", "\"full_ipc\": ",
           "\"error_vs_full\": "}) {
         EXPECT_NE(json.find(key), std::string::npos) << key;
@@ -251,6 +258,46 @@ TEST(BenchJsonTest, SampledJsonCarriesSamplingBlocks)
     for (const bench::SampledCell &cell : out.cells) {
         ASSERT_GT(cell.full_ipc, 0.0);
         EXPECT_LT(std::abs(cell.errorVsFull()), 0.15) << cell.label;
+    }
+}
+
+TEST(BenchJsonTest, SystematicSampledJsonCarriesALiveCi)
+{
+    const std::vector<SweepJob> cells = {
+        SweepJob::of("li", "bank:4", 40000),
+    };
+    bench::BenchArgs args;
+    args.insts = 40000;
+    args.jobs = 2;
+    bench::SampleArgs sargs;
+    sargs.enabled = true;
+    sargs.cfg.mode = sample::SampleMode::Systematic;
+    sargs.cfg.total_insts = 40000;
+    sargs.cfg.interval_insts = 5000;
+    sargs.cfg.max_intervals = 4;
+    sargs.cfg.warmup_insts = 1000;
+    sargs.cfg.phase_seed = 1;
+
+    const bench::SampledOutput out =
+        bench::runSampledCells(args, sargs, cells);
+    ASSERT_EQ(out.cells.size(), 1u);
+    ASSERT_EQ(out.failed, 0u);
+    const bench::SampledCell &cell = out.cells[0];
+    ASSERT_TRUE(cell.est.ci_valid);
+    EXPECT_LE(cell.est.ci_low, cell.est.ipc);
+    EXPECT_GE(cell.est.ci_high, cell.est.ipc);
+    EXPECT_GT(cell.est.half_width, 0.0);
+    EXPECT_EQ(cell.est.intervals_used, 4u);
+
+    std::ostringstream os;
+    bench::printJsonSampledResults(os, "test_driver", args, cells,
+                                   out, sargs);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    for (const char *key :
+         {"\"mode\": \"systematic\"", "\"ci_valid\": 1",
+          "\"confidence\": 0.95", "\"population_intervals\": 8"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
     }
 }
 

@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -116,6 +117,62 @@ struct Sweep
         return ms > 0.0
                    ? static_cast<double>(totalInsts()) / (ms / 1000.0)
                    : 0.0;
+    }
+
+    /** Runs that recorded a sampling CI (ledger extra ci_valid=1). */
+    std::size_t ciCells() const
+    {
+        std::size_t n = 0;
+        for (const auto *e : runs) {
+            const auto it = e->extra.find("ci_valid");
+            n += (it != e->extra.end() && it->second == "1") ? 1 : 0;
+        }
+        return n;
+    }
+
+    /** Of the CI cells, how many converged to their target. */
+    std::size_t ciConverged() const
+    {
+        std::size_t n = 0;
+        for (const auto *e : runs) {
+            if (!e->extra.count("ci_valid")
+                || e->extra.at("ci_valid") != "1")
+                continue;
+            const auto it = e->extra.find("ci_converged");
+            n += (it != e->extra.end() && it->second == "1") ? 1 : 0;
+        }
+        return n;
+    }
+
+    /** Worst (largest) relative half-width across the CI cells --
+     *  the precision the whole sweep can actually claim. */
+    double worstRelHalfWidth() const
+    {
+        double worst = 0.0;
+        for (const auto *e : runs) {
+            if (!e->extra.count("ci_valid")
+                || e->extra.at("ci_valid") != "1")
+                continue;
+            const auto it = e->extra.find("ci_rel_half_width");
+            if (it == e->extra.end())
+                continue;
+            worst = std::max(worst,
+                             std::strtod(it->second.c_str(), nullptr));
+        }
+        return worst;
+    }
+
+    /** Total intervals simulated across the CI cells: what the
+     *  precision cost, in units the adaptive loop spends. */
+    std::uint64_t ciIntervals() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto *e : runs) {
+            const auto it = e->extra.find("ci_intervals");
+            if (it != e->extra.end())
+                sum += std::strtoull(it->second.c_str(), nullptr, 10);
+        }
+        return sum;
     }
 };
 
@@ -241,9 +298,21 @@ modeTrend(const std::vector<LedgerEntry> &entries,
     for (const auto &kv : by_driver) {
         std::cout << "driver " << kv.first << ":\n";
         TextTable table;
+        // CI columns appear only when some sweep of this driver
+        // recorded sampling confidence intervals (schema v6 ledgers);
+        // older ledgers keep the v5 table shape byte-for-byte.
+        bool any_ci = false;
+        for (const Sweep *s : kv.second)
+            any_ci = any_ci || s->ciCells() > 0;
         std::vector<std::string> header = {
             "timestamp", "git_sha", "config", "runs", "ok",
             "mean_ipc", "Minsts", "wall_s", "Minst/s"};
+        if (any_ci) {
+            header.push_back("ci_cells");
+            header.push_back("conv");
+            header.push_back("max_rhw");
+            header.push_back("ivals");
+        }
         if (!joins.empty()) {
             header.push_back("crit_phase");
             header.push_back("crit_ms");
@@ -260,6 +329,17 @@ modeTrend(const std::vector<LedgerEntry> &entries,
                     static_cast<double>(s->totalInsts()) / 1e6, 2),
                 TextTable::fmt(s->totalWallMs() / 1000.0, 2),
                 TextTable::fmt(s->instsPerSec() / 1e6, 2)};
+            if (any_ci) {
+                const std::size_t ci = s->ciCells();
+                row.push_back(std::to_string(ci));
+                row.push_back(ci ? std::to_string(s->ciConverged())
+                                 : "-");
+                row.push_back(
+                    ci ? TextTable::fmt(s->worstRelHalfWidth(), 4)
+                       : "-");
+                row.push_back(ci ? std::to_string(s->ciIntervals())
+                                 : "-");
+            }
             if (!joins.empty()) {
                 const auto it = joins.find(s->driver + "\x1f"
                                            + s->config_hash + "\x1f"
